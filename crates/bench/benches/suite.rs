@@ -1,0 +1,68 @@
+//! Criterion benchmarks: one per paper table/figure.
+//!
+//! - `table1/<name>-<device>`: end-to-end simulated runtime of each of the
+//!   16 benchmarks (the rows of Table 1 / bars of Figure 13). Criterion
+//!   measures our harness; the *simulated* milliseconds are what the
+//!   `table1` binary reports.
+//! - `impact/*`: the Section 6.1.1 ablation configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use futhark::{Device, PipelineOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for b in futhark_bench::all_benchmarks() {
+        // Compile once; measure the simulated execution.
+        let compiled = match b.compile(PipelineOptions::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", b.name);
+                continue;
+            }
+        };
+        g.bench_function(format!("{}-gtx780", b.name), |bench| {
+            bench.iter(|| compiled.run(Device::Gtx780, &b.small_args).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_impact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("impact");
+    g.sample_size(10);
+    let b = futhark_bench::benchmark("MRI-Q").expect("exists");
+    for (tag, opts) in [
+        ("all-on", PipelineOptions::default()),
+        (
+            "no-fusion",
+            PipelineOptions {
+                fusion: false,
+                ..PipelineOptions::default()
+            },
+        ),
+        (
+            "no-coalescing",
+            PipelineOptions {
+                coalescing: false,
+                ..PipelineOptions::default()
+            },
+        ),
+        (
+            "no-tiling",
+            PipelineOptions {
+                tiling: false,
+                ..PipelineOptions::default()
+            },
+        ),
+    ] {
+        let compiled = b.compile(opts).expect("compiles");
+        g.bench_function(format!("mriq-{tag}"), |bench| {
+            bench.iter(|| compiled.run(Device::Gtx780, &b.small_args).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_impact);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates the paper's Table 2 (benchmark dataset configurations),
+//! with both the paper's configuration and our scaled one.
+
+fn main() {
+    println!("Table 2: Benchmark dataset configurations");
+    println!("{:-<100}", "");
+    println!("{:<14} {:<10} {:<40} {}", "Benchmark", "Suite", "Paper dataset", "Scaled dataset (simulated)");
+    println!("{:-<100}", "");
+    for b in futhark_bench::all_benchmarks() {
+        println!(
+            "{:<14} {:<10} {:<40} {}",
+            b.name,
+            b.suite.to_string(),
+            b.paper_dataset,
+            b.scaled_dataset
+        );
+    }
+}

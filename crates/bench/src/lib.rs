@@ -1,0 +1,198 @@
+//! The evaluation harness for futhark-rs: the sixteen benchmarks of the
+//! paper's Section 6 (Table 1, Table 2, Figure 13) and the optimisation
+//! ablations of Section 6.1.1.
+//!
+//! Each benchmark consists of (a) a Futhark source program ported with the
+//! same structure as the paper's port, (b) a dataset generator following
+//! Table 2's configuration (scaled to simulator-friendly sizes; the scale
+//! factors are recorded in EXPERIMENTS.md), and (c) a *reference
+//! implementation model*: the characteristics Section 6.1 reports for each
+//! hand-written baseline (sequential host reductions, uncoalesced
+//! accesses, missing fusion, time tiling, hand tuning), expressed either
+//! structurally (a different source / pipeline options) or — where our
+//! simulator cannot derive the effect — as a documented time adjustment.
+
+pub mod suite;
+
+use futhark::{Compiled, Compiler, Device, PerfReport, PipelineOptions};
+use futhark_core::Value;
+
+/// Which benchmark suite a program was ported from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// Rodinia 3.x.
+    Rodinia,
+    /// FinPar.
+    FinPar,
+    /// Parboil.
+    Parboil,
+    /// Accelerate's example programs.
+    Accelerate,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::Rodinia => "Rodinia",
+            Suite::FinPar => "FinPar",
+            Suite::Parboil => "Parboil",
+            Suite::Accelerate => "Accelerate",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The paper's Table 1 runtimes in milliseconds, for side-by-side printing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperNumbers {
+    /// NVIDIA reference runtime.
+    pub nv_ref: Option<f64>,
+    /// NVIDIA Futhark runtime.
+    pub nv_fut: f64,
+    /// AMD reference runtime (None where Table 1 prints "—").
+    pub amd_ref: Option<f64>,
+    /// AMD Futhark runtime.
+    pub amd_fut: Option<f64>,
+}
+
+/// The reference-implementation model for a benchmark.
+#[derive(Debug, Clone)]
+pub struct Reference {
+    /// Alternative source structurally matching the baseline (e.g. a
+    /// sequential host reduction); `None` reuses the Futhark source.
+    pub source: Option<String>,
+    /// Pipeline options for compiling the reference (e.g. coalescing off
+    /// when the paper reports the baseline was uncoalesced).
+    pub opts: PipelineOptions,
+    /// Time multiplier applied on the NVIDIA profile for effects our
+    /// simulator cannot derive (hand tuning, time tiling); 1.0 = none.
+    pub adjust_nv: f64,
+    /// Same for the AMD profile.
+    pub adjust_amd: f64,
+    /// Human-readable explanation, quoted in EXPERIMENTS.md.
+    pub note: &'static str,
+}
+
+impl Reference {
+    /// A reference identical to the Futhark version (no known baseline
+    /// deficiencies).
+    pub fn same() -> Reference {
+        Reference {
+            source: None,
+            opts: PipelineOptions::default(),
+            adjust_nv: 1.0,
+            adjust_amd: 1.0,
+            note: "reference structurally equal to the Futhark port",
+        }
+    }
+}
+
+/// One benchmark instance (program + dataset + reference model).
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Name as in Table 1.
+    pub name: &'static str,
+    /// Origin suite.
+    pub suite: Suite,
+    /// Table 2's dataset description.
+    pub paper_dataset: &'static str,
+    /// Our scaled dataset configuration.
+    pub scaled_dataset: String,
+    /// The Futhark source.
+    pub source: String,
+    /// The reference model.
+    pub reference: Reference,
+    /// Arguments for timed runs.
+    pub args: Vec<Value>,
+    /// Smaller arguments for correctness verification.
+    pub small_args: Vec<Value>,
+    /// Whether Table 1 has an AMD reference ("—" rows don't).
+    pub amd_reference: bool,
+    /// The paper's measured numbers.
+    pub paper: PaperNumbers,
+}
+
+impl Benchmark {
+    /// Compiles the Futhark version with the given options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn compile(&self, opts: PipelineOptions) -> Result<Compiled, futhark::Error> {
+        Compiler::with_options(opts).compile(&self.source)
+    }
+
+    /// Runs the Futhark version on a device, returning the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn run_futhark(&self, device: Device) -> Result<PerfReport, futhark::Error> {
+        let compiled = self.compile(PipelineOptions::default())?;
+        let (_, perf) = compiled.run(device, &self.args)?;
+        Ok(perf)
+    }
+
+    /// Runs the reference model on a device, returning adjusted
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn run_reference(&self, device: Device) -> Result<f64, futhark::Error> {
+        let src = self.reference.source.as_deref().unwrap_or(&self.source);
+        let compiled = Compiler::with_options(self.reference.opts).compile(src)?;
+        let (_, perf) = compiled.run(device, &self.args)?;
+        let adjust = match device {
+            Device::Gtx780 => self.reference.adjust_nv,
+            Device::W8100 => self.reference.adjust_amd,
+        };
+        Ok(perf.total_ms() * adjust)
+    }
+
+    /// Verifies the compiled program against the reference interpreter on
+    /// the small dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when outputs mismatch or any stage fails.
+    pub fn verify(&self) -> Result<(), String> {
+        let compiled = self
+            .compile(PipelineOptions::default())
+            .map_err(|e| format!("{}: compile failed: {e}", self.name))?;
+        let (gpu, _) = compiled
+            .run(Device::Gtx780, &self.small_args)
+            .map_err(|e| format!("{}: gpu run failed: {e}", self.name))?;
+        let interp = futhark::interpret(&self.source, &self.small_args)
+            .map_err(|e| format!("{}: interpreter failed: {e}", self.name))?;
+        if gpu.len() != interp.len() {
+            return Err(format!("{}: result arity mismatch", self.name));
+        }
+        for (i, (a, b)) in gpu.iter().zip(&interp).enumerate() {
+            if !a.approx_eq(b, 1e-3) {
+                return Err(format!(
+                    "{}: result {i} differs between GPU and interpreter",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All sixteen benchmarks, in Table 1 order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut v = Vec::new();
+    v.extend(suite::rodinia::benchmarks());
+    v.extend(suite::finpar::benchmarks());
+    v.extend(suite::parboil::benchmarks());
+    v.extend(suite::accelerate::benchmarks());
+    v
+}
+
+/// Looks up a benchmark by (case-insensitive) name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}

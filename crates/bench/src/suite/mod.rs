@@ -1,0 +1,55 @@
+//! The sixteen benchmark definitions, grouped by origin suite.
+
+pub mod accelerate;
+pub mod finpar;
+pub mod parboil;
+pub mod rodinia;
+
+use futhark_core::{ArrayVal, Buffer, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG per benchmark (reproducible datasets).
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A vector of f32 in `[lo, hi)`.
+pub fn f32s(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Value {
+    Value::Array(ArrayVal::from_f32s(
+        (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
+    ))
+}
+
+/// A matrix of f32 in `[lo, hi)`.
+pub fn f32_mat(rng: &mut StdRng, r: usize, c: usize, lo: f32, hi: f32) -> Value {
+    Value::Array(ArrayVal::new(
+        vec![r, c],
+        Buffer::F32((0..r * c).map(|_| rng.gen_range(lo..hi)).collect()),
+    ))
+}
+
+/// A vector of i64 in `[0, k)`.
+pub fn i64s_mod(rng: &mut StdRng, n: usize, k: i64) -> Value {
+    Value::Array(ArrayVal::from_i64s(
+        (0..n).map(|_| rng.gen_range(0..k)).collect(),
+    ))
+}
+
+/// A matrix of i64 in `[0, k)`.
+pub fn i64_mat_mod(rng: &mut StdRng, r: usize, c: usize, k: i64) -> Value {
+    Value::Array(ArrayVal::new(
+        vec![r, c],
+        Buffer::I64((0..r * c).map(|_| rng.gen_range(0..k)).collect()),
+    ))
+}
+
+/// An i64 scalar.
+pub fn i(v: i64) -> Value {
+    Value::i64(v)
+}
+
+/// An f32 scalar.
+pub fn f(v: f32) -> Value {
+    Value::f32(v)
+}

@@ -1,0 +1,925 @@
+//! Type checking of core IR programs.
+//!
+//! Shapes are checked *symbolically and loosely*: two sizes are compatible
+//! unless both are constants that differ. Where static verification of
+//! sizes fails, the paper inserts dynamic checks (Section 2.2); in this
+//! implementation the interpreter and the GPU runtime perform those dynamic
+//! checks.
+
+use futhark_core::{
+    BinOp, Body, Exp, FunDef, Lambda, LoopForm, Name, Program, ScalarType, Size, Soac, SubExp,
+    Type,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A type error, with a path of context frames for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+type TResult<T> = Result<T, TypeError>;
+
+fn terr<T>(msg: impl Into<String>) -> TResult<T> {
+    Err(TypeError {
+        message: msg.into(),
+    })
+}
+
+/// Whether two types agree, allowing symbolic sizes to match anything but a
+/// contradicting constant.
+pub fn compatible(a: &Type, b: &Type) -> bool {
+    match (a, b) {
+        (Type::Scalar(x), Type::Scalar(y)) => x == y,
+        (Type::Array(x), Type::Array(y)) => {
+            x.elem == y.elem
+                && x.rank() == y.rank()
+                && x.dims.iter().zip(&y.dims).all(|(d, e)| match (d, e) {
+                    (Size::Const(k), Size::Const(l)) => k == l,
+                    _ => true,
+                })
+        }
+        _ => false,
+    }
+}
+
+#[derive(Clone, Default)]
+struct TEnv {
+    vars: HashMap<Name, Type>,
+}
+
+impl TEnv {
+    fn bind(&mut self, n: &Name, t: &Type) {
+        self.vars.insert(n.clone(), t.clone());
+    }
+
+    fn lookup(&self, n: &Name) -> TResult<&Type> {
+        self.vars
+            .get(n)
+            .ok_or_else(|| TypeError {
+                message: format!("variable `{n}` not in scope"),
+            })
+    }
+}
+
+struct Checker<'a> {
+    prog: &'a Program,
+}
+
+/// Type-checks a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`].
+pub fn typecheck_program(prog: &Program) -> TResult<()> {
+    let checker = Checker { prog };
+    for f in &prog.functions {
+        checker
+            .check_fun(f)
+            .map_err(|e| TypeError {
+                message: format!("in function `{}`: {}", f.name, e.message),
+            })?;
+    }
+    Ok(())
+}
+
+impl<'a> Checker<'a> {
+    fn check_fun(&self, f: &FunDef) -> TResult<()> {
+        let mut env = TEnv::default();
+        for p in &f.params {
+            env.bind(&p.name, &p.ty);
+        }
+        let tys = self.check_body(&env, &f.body)?;
+        if tys.len() != f.ret.len() {
+            return terr(format!(
+                "function returns {} values but declares {}",
+                tys.len(),
+                f.ret.len()
+            ));
+        }
+        for (t, d) in tys.iter().zip(&f.ret) {
+            if !compatible(t, &d.ty) {
+                return terr(format!(
+                    "function result type `{t}` does not match declared `{}`",
+                    d.ty
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_body(&self, env: &TEnv, body: &Body) -> TResult<Vec<Type>> {
+        let mut env = env.clone();
+        for stm in &body.stms {
+            if stm.pat.is_empty() {
+                return terr("statement with empty pattern");
+            }
+            let tys = self.check_exp(&env, &stm.exp)?;
+            if tys.len() != stm.pat.len() {
+                return terr(format!(
+                    "pattern of {} names bound to expression producing {} values: {}",
+                    stm.pat.len(),
+                    tys.len(),
+                    stm.exp
+                ));
+            }
+            for (pe, t) in stm.pat.iter().zip(&tys) {
+                if !compatible(&pe.ty, t) {
+                    return terr(format!(
+                        "binding `{}` annotated `{}` but expression has type `{t}`",
+                        pe.name, pe.ty
+                    ));
+                }
+                env.bind(&pe.name, &pe.ty);
+            }
+        }
+        body.result
+            .iter()
+            .map(|se| self.subexp_type(&env, se))
+            .collect()
+    }
+
+    fn subexp_type(&self, env: &TEnv, se: &SubExp) -> TResult<Type> {
+        match se {
+            SubExp::Const(k) => Ok(Type::Scalar(k.scalar_type())),
+            SubExp::Var(v) => env.lookup(v).cloned(),
+        }
+    }
+
+    fn scalar_type_of(&self, env: &TEnv, se: &SubExp, what: &str) -> TResult<ScalarType> {
+        match self.subexp_type(env, se)? {
+            Type::Scalar(s) => Ok(s),
+            t => terr(format!("{what} must be a scalar, found `{t}`")),
+        }
+    }
+
+    fn index_type_of(&self, env: &TEnv, se: &SubExp, what: &str) -> TResult<()> {
+        let t = self.scalar_type_of(env, se, what)?;
+        if t != ScalarType::I64 {
+            return terr(format!("{what} must be i64, found `{t}`"));
+        }
+        Ok(())
+    }
+
+    fn array_type_of(&self, env: &TEnv, v: &Name) -> TResult<futhark_core::ArrayType> {
+        match env.lookup(v)? {
+            Type::Array(a) => Ok(a.clone()),
+            t => terr(format!("`{v}` must be an array, found `{t}`")),
+        }
+    }
+
+    fn check_lambda(&self, env: &TEnv, lam: &Lambda, args: &[Type]) -> TResult<()> {
+        if lam.params.len() != args.len() {
+            return terr(format!(
+                "lambda takes {} parameters but is applied to {} values",
+                lam.params.len(),
+                args.len()
+            ));
+        }
+        let mut env = env.clone();
+        for (p, a) in lam.params.iter().zip(args) {
+            if !compatible(&p.ty, a) {
+                return terr(format!(
+                    "lambda parameter `{}` has type `{}` but receives `{a}`",
+                    p.name, p.ty
+                ));
+            }
+            env.bind(&p.name, &p.ty);
+        }
+        let tys = self.check_body(&env, &lam.body)?;
+        if tys.len() != lam.ret.len() {
+            return terr(format!(
+                "lambda declares {} results but body produces {}",
+                lam.ret.len(),
+                tys.len()
+            ));
+        }
+        for (t, r) in tys.iter().zip(&lam.ret) {
+            if !compatible(t, r) {
+                return terr(format!(
+                    "lambda result type `{t}` does not match declared `{r}`"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that a lambda is a plausible associative operator over `tys`:
+    /// it takes `2 × tys.len()` parameters and returns `tys`.
+    fn check_operator(&self, env: &TEnv, lam: &Lambda, tys: &[Type]) -> TResult<()> {
+        let mut args = tys.to_vec();
+        args.extend(tys.iter().cloned());
+        self.check_lambda(env, lam, &args)?;
+        for (r, t) in lam.ret.iter().zip(tys) {
+            if !compatible(r, t) {
+                return terr(format!(
+                    "reduction operator returns `{r}` but neutral element has type `{t}`"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_exp(&self, env: &TEnv, exp: &Exp) -> TResult<Vec<Type>> {
+        match exp {
+            Exp::SubExp(se) => Ok(vec![self.subexp_type(env, se)?]),
+            Exp::UnOp(op, a) => {
+                use futhark_core::UnOp::*;
+                let t = self.scalar_type_of(env, a, "unary operand")?;
+                match op {
+                    Not if t != ScalarType::Bool => terr("`!` on non-boolean"),
+                    Neg | Abs | Signum if !t.is_numeric() => {
+                        terr(format!("`{op:?}` on non-numeric `{t}`"))
+                    }
+                    Sqrt | Exp | Log | Sin | Cos | Tanh if !t.is_float() => {
+                        terr(format!("`{op:?}` on non-float `{t}`"))
+                    }
+                    _ => Ok(vec![Type::Scalar(t)]),
+                }
+            }
+            Exp::BinOp(op, a, b) => {
+                let ta = self.scalar_type_of(env, a, "left operand")?;
+                let tb = self.scalar_type_of(env, b, "right operand")?;
+                if ta != tb {
+                    return terr(format!("operands of `{}` differ: {ta} vs {tb}", op.symbol()));
+                }
+                match op {
+                    BinOp::And | BinOp::Or if ta != ScalarType::Bool => {
+                        terr("logical operator on non-boolean")
+                    }
+                    BinOp::Pow | BinOp::Atan2 if !ta.is_float() => {
+                        terr("pow/atan2 need float operands")
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+                        if !ta.is_numeric() =>
+                    {
+                        terr("arithmetic on non-numeric operands")
+                    }
+                    _ => Ok(vec![Type::Scalar(ta)]),
+                }
+            }
+            Exp::Cmp(_, a, b) => {
+                let ta = self.scalar_type_of(env, a, "left operand")?;
+                let tb = self.scalar_type_of(env, b, "right operand")?;
+                if ta != tb {
+                    return terr(format!("compared operands differ: {ta} vs {tb}"));
+                }
+                Ok(vec![Type::Scalar(ScalarType::Bool)])
+            }
+            Exp::Convert(t, a) => {
+                let ta = self.scalar_type_of(env, a, "conversion operand")?;
+                if ta == ScalarType::Bool || *t == ScalarType::Bool {
+                    return terr("conversions to/from bool are not supported");
+                }
+                Ok(vec![Type::Scalar(*t)])
+            }
+            Exp::If {
+                cond,
+                then_body,
+                else_body,
+                ret,
+            } => {
+                if self.scalar_type_of(env, cond, "if condition")? != ScalarType::Bool {
+                    return terr("if condition must be bool");
+                }
+                let tt = self.check_body(env, then_body)?;
+                let te = self.check_body(env, else_body)?;
+                if tt.len() != ret.len() || te.len() != ret.len() {
+                    return terr("if branches produce a different number of values");
+                }
+                for ((a, b), r) in tt.iter().zip(&te).zip(ret) {
+                    if !compatible(a, r) || !compatible(b, r) {
+                        return terr(format!(
+                            "if branch types `{a}`/`{b}` incompatible with declared `{r}`"
+                        ));
+                    }
+                }
+                Ok(ret.clone())
+            }
+            Exp::Apply { func, args } => {
+                let f = self
+                    .prog
+                    .function(func)
+                    .ok_or_else(|| TypeError {
+                        message: format!("unknown function `{func}`"),
+                    })?;
+                if f.params.len() != args.len() {
+                    return terr(format!(
+                        "`{func}` expects {} arguments, got {}",
+                        f.params.len(),
+                        args.len()
+                    ));
+                }
+                for (a, p) in args.iter().zip(&f.params) {
+                    let ta = self.subexp_type(env, a)?;
+                    if !compatible(&ta, &p.ty) {
+                        return terr(format!(
+                            "argument of type `{ta}` passed to `{func}` parameter `{}` of type `{}`",
+                            p.name, p.ty
+                        ));
+                    }
+                }
+                Ok(f.ret.iter().map(|d| d.ty.clone()).collect())
+            }
+            Exp::Index { array, indices } => {
+                let at = self.array_type_of(env, array)?;
+                if indices.len() > at.rank() || indices.is_empty() {
+                    return terr(format!(
+                        "indexing rank-{} array `{array}` with {} indices",
+                        at.rank(),
+                        indices.len()
+                    ));
+                }
+                for i in indices {
+                    self.index_type_of(env, i, "index")?;
+                }
+                Ok(vec![Type::array_of(
+                    at.elem,
+                    at.dims[indices.len()..].to_vec(),
+                )])
+            }
+            Exp::Update {
+                array,
+                indices,
+                value,
+            } => {
+                let at = self.array_type_of(env, array)?;
+                if indices.len() > at.rank() || indices.is_empty() {
+                    return terr("update with wrong number of indices");
+                }
+                for i in indices {
+                    self.index_type_of(env, i, "update index")?;
+                }
+                let slot = Type::array_of(at.elem, at.dims[indices.len()..].to_vec());
+                let vt = self.subexp_type(env, value)?;
+                if !compatible(&vt, &slot) {
+                    return terr(format!(
+                        "updating slot of type `{slot}` with value of type `{vt}`"
+                    ));
+                }
+                Ok(vec![Type::Array(at)])
+            }
+            Exp::Iota(n) => {
+                self.index_type_of(env, n, "iota bound")?;
+                let dim = match n {
+                    SubExp::Const(k) => Size::Const(k.as_i64().unwrap_or(0)),
+                    SubExp::Var(v) => Size::Var(v.clone()),
+                };
+                Ok(vec![Type::array_of(ScalarType::I64, vec![dim])])
+            }
+            Exp::Replicate(n, v) => {
+                self.index_type_of(env, n, "replicate count")?;
+                let vt = self.subexp_type(env, v)?;
+                let dim = match n {
+                    SubExp::Const(k) => Size::Const(k.as_i64().unwrap_or(0)),
+                    SubExp::Var(v) => Size::Var(v.clone()),
+                };
+                Ok(vec![match vt {
+                    Type::Scalar(s) => Type::array_of(s, vec![dim]),
+                    Type::Array(a) => Type::Array(a.with_outer(dim)),
+                }])
+            }
+            Exp::Rearrange { perm, array } => {
+                let at = self.array_type_of(env, array)?;
+                if perm.len() != at.rank() {
+                    return terr("rearrange permutation length mismatch");
+                }
+                let mut sorted = perm.clone();
+                sorted.sort_unstable();
+                if sorted != (0..at.rank()).collect::<Vec<_>>() {
+                    return terr("rearrange argument is not a permutation");
+                }
+                let dims = perm.iter().map(|&p| at.dims[p].clone()).collect();
+                Ok(vec![Type::array_of(at.elem, dims)])
+            }
+            Exp::Reshape { shape, array } => {
+                let at = self.array_type_of(env, array)?;
+                let mut dims = Vec::new();
+                for s in shape {
+                    self.index_type_of(env, s, "reshape dimension")?;
+                    dims.push(match s {
+                        SubExp::Const(k) => Size::Const(k.as_i64().unwrap_or(0)),
+                        SubExp::Var(v) => Size::Var(v.clone()),
+                    });
+                }
+                Ok(vec![Type::array_of(at.elem, dims)])
+            }
+            Exp::Concat { arrays } => {
+                if arrays.is_empty() {
+                    return terr("concat of zero arrays");
+                }
+                let first = self.array_type_of(env, &arrays[0])?;
+                let mut outer_known = 0i64;
+                let mut all_const = true;
+                for a in arrays {
+                    let at = self.array_type_of(env, a)?;
+                    if at.elem != first.elem || at.rank() != first.rank() {
+                        return terr("concat of incompatible arrays");
+                    }
+                    match at.dims[0] {
+                        Size::Const(k) => outer_known += k,
+                        Size::Var(_) => all_const = false,
+                    }
+                }
+                let outer = if all_const {
+                    Size::Const(outer_known)
+                } else {
+                    // Symbolic; leave as the first array's own size (the
+                    // binding's annotation is authoritative downstream).
+                    first.dims[0].clone()
+                };
+                let mut dims = vec![outer];
+                dims.extend(first.dims[1..].iter().cloned());
+                Ok(vec![Type::array_of(first.elem, dims)])
+            }
+            Exp::Copy(a) => Ok(vec![Type::Array(self.array_type_of(env, a)?)]),
+            Exp::Loop { params, form, body } => {
+                let mut env2 = env.clone();
+                for (p, init) in params {
+                    let it = self.subexp_type(env, init)?;
+                    if !compatible(&it, &p.ty) {
+                        return terr(format!(
+                            "loop parameter `{}` of type `{}` initialised with `{it}`",
+                            p.name, p.ty
+                        ));
+                    }
+                    env2.bind(&p.name, &p.ty);
+                }
+                match form {
+                    LoopForm::For { var, bound } => {
+                        self.index_type_of(env, bound, "loop bound")?;
+                        env2.bind(var, &Type::Scalar(ScalarType::I64));
+                    }
+                    LoopForm::While(cond) => {
+                        let ct = self.check_body(&env2, cond)?;
+                        if ct.len() != 1 || ct[0] != Type::Scalar(ScalarType::Bool) {
+                            return terr("while condition must produce a single bool");
+                        }
+                    }
+                }
+                let tys = self.check_body(&env2, body)?;
+                if tys.len() != params.len() {
+                    return terr(format!(
+                        "loop body produces {} values for {} merge parameters",
+                        tys.len(),
+                        params.len()
+                    ));
+                }
+                for (t, (p, _)) in tys.iter().zip(params) {
+                    if !compatible(t, &p.ty) {
+                        return terr(format!(
+                            "loop body result `{t}` does not match merge parameter `{}`",
+                            p.ty
+                        ));
+                    }
+                }
+                Ok(params.iter().map(|(p, _)| p.ty.clone()).collect())
+            }
+            Exp::Soac(soac) => self.check_soac(env, soac),
+        }
+    }
+
+    fn soac_inputs(
+        &self,
+        env: &TEnv,
+        width: &SubExp,
+        arrs: &[Name],
+    ) -> TResult<Vec<Type>> {
+        self.index_type_of(env, width, "SOAC width")?;
+        let mut rows = Vec::new();
+        for a in arrs {
+            let at = self.array_type_of(env, a)?;
+            if let (Size::Const(k), SubExp::Const(w)) = (&at.dims[0], width) {
+                if Some(*k) != w.as_i64() {
+                    return terr(format!(
+                        "SOAC width {width} does not match input `{a}` outer size {k}"
+                    ));
+                }
+            }
+            rows.push(at.row_type());
+        }
+        Ok(rows)
+    }
+
+    fn check_soac(&self, env: &TEnv, soac: &Soac) -> TResult<Vec<Type>> {
+        let outer = |width: &SubExp| match width {
+            SubExp::Const(k) => Size::Const(k.as_i64().unwrap_or(0)),
+            SubExp::Var(v) => Size::Var(v.clone()),
+        };
+        let lifted = |t: &Type, o: Size| match t {
+            Type::Scalar(s) => Type::array_of(*s, vec![o]),
+            Type::Array(a) => Type::Array(a.with_outer(o)),
+        };
+        match soac {
+            Soac::Map { width, lam, arrs } => {
+                let rows = self.soac_inputs(env, width, arrs)?;
+                self.check_lambda(env, lam, &rows)?;
+                Ok(lam
+                    .ret
+                    .iter()
+                    .map(|t| lifted(t, outer(width)))
+                    .collect())
+            }
+            Soac::Reduce {
+                width,
+                lam,
+                neutral,
+                arrs,
+                ..
+            } => {
+                let rows = self.soac_inputs(env, width, arrs)?;
+                let ntys: Vec<Type> = neutral
+                    .iter()
+                    .map(|e| self.subexp_type(env, e))
+                    .collect::<TResult<_>>()?;
+                for (r, n) in rows.iter().zip(&ntys) {
+                    if !compatible(r, n) {
+                        return terr(format!(
+                            "reduce input rows `{r}` incompatible with neutral `{n}`"
+                        ));
+                    }
+                }
+                self.check_operator(env, lam, &ntys)?;
+                Ok(ntys)
+            }
+            Soac::Scan {
+                width,
+                lam,
+                neutral,
+                arrs,
+            } => {
+                let rows = self.soac_inputs(env, width, arrs)?;
+                let ntys: Vec<Type> = neutral
+                    .iter()
+                    .map(|e| self.subexp_type(env, e))
+                    .collect::<TResult<_>>()?;
+                for (r, n) in rows.iter().zip(&ntys) {
+                    if !compatible(r, n) {
+                        return terr("scan input rows incompatible with neutral element");
+                    }
+                }
+                self.check_operator(env, lam, &ntys)?;
+                Ok(ntys.iter().map(|t| lifted(t, outer(width))).collect())
+            }
+            Soac::Redomap {
+                width,
+                red_lam,
+                map_lam,
+                neutral,
+                arrs,
+                ..
+            } => {
+                let rows = self.soac_inputs(env, width, arrs)?;
+                self.check_lambda(env, map_lam, &rows)?;
+                let ntys: Vec<Type> = neutral
+                    .iter()
+                    .map(|e| self.subexp_type(env, e))
+                    .collect::<TResult<_>>()?;
+                if map_lam.ret.len() < ntys.len() {
+                    return terr("redomap map operator returns fewer values than neutral");
+                }
+                self.check_operator(env, red_lam, &ntys)?;
+                let mut out = ntys.clone();
+                for t in map_lam.ret.iter().skip(ntys.len()) {
+                    out.push(lifted(t, outer(width)));
+                }
+                Ok(out)
+            }
+            Soac::StreamMap { width, lam, arrs } => {
+                let rows = self.soac_inputs(env, width, arrs)?;
+                self.check_stream_lambda(env, lam, &[], &rows)?;
+                let chunk = lam.params[0].name.clone();
+                lam.ret
+                    .iter()
+                    .map(|t| self.stream_result(t, &chunk, outer(width)))
+                    .collect()
+            }
+            Soac::StreamRed {
+                width,
+                red_lam,
+                fold_lam,
+                accs,
+                arrs,
+            } => {
+                let rows = self.soac_inputs(env, width, arrs)?;
+                let atys: Vec<Type> = accs
+                    .iter()
+                    .map(|e| self.subexp_type(env, e))
+                    .collect::<TResult<_>>()?;
+                self.check_stream_lambda(env, fold_lam, &atys, &rows)?;
+                self.check_operator(env, red_lam, &atys)?;
+                let chunk = fold_lam.params[0].name.clone();
+                let mut out = atys.clone();
+                for t in fold_lam.ret.iter().skip(atys.len()) {
+                    out.push(self.stream_result(t, &chunk, outer(width))?);
+                }
+                Ok(out)
+            }
+            Soac::StreamSeq {
+                width,
+                lam,
+                accs,
+                arrs,
+            } => {
+                let rows = self.soac_inputs(env, width, arrs)?;
+                let atys: Vec<Type> = accs
+                    .iter()
+                    .map(|e| self.subexp_type(env, e))
+                    .collect::<TResult<_>>()?;
+                self.check_stream_lambda(env, lam, &atys, &rows)?;
+                let chunk = lam.params[0].name.clone();
+                let mut out = atys.clone();
+                for t in lam.ret.iter().skip(atys.len()) {
+                    out.push(self.stream_result(t, &chunk, outer(width))?);
+                }
+                Ok(out)
+            }
+            Soac::Scatter {
+                width,
+                dest,
+                indices,
+                values,
+            } => {
+                self.index_type_of(env, width, "scatter width")?;
+                let dt = self.array_type_of(env, dest)?;
+                let it = self.array_type_of(env, indices)?;
+                if it.elem != ScalarType::I64 || it.rank() != 1 {
+                    return terr("scatter indices must be a rank-1 i64 array");
+                }
+                let vt = self.array_type_of(env, values)?;
+                if vt.elem != dt.elem {
+                    return terr("scatter values element type mismatch");
+                }
+                Ok(vec![Type::Array(dt)])
+            }
+        }
+    }
+
+    fn stream_result(&self, t: &Type, chunk: &Name, outer: Size) -> TResult<Type> {
+        match t {
+            Type::Array(a) => match &a.dims[0] {
+                Size::Var(v) if v == chunk => {
+                    let mut dims = a.dims.clone();
+                    dims[0] = outer;
+                    Ok(Type::array_of(a.elem, dims))
+                }
+                _ => terr("stream array result must be chunk-sized in its outer dimension"),
+            },
+            t => terr(format!("stream array result must be an array, got `{t}`")),
+        }
+    }
+
+    fn check_stream_lambda(
+        &self,
+        env: &TEnv,
+        lam: &Lambda,
+        accs: &[Type],
+        rows: &[Type],
+    ) -> TResult<()> {
+        if lam.params.len() != 1 + accs.len() + rows.len() {
+            return terr(format!(
+                "stream operator takes {} parameters but needs {}",
+                lam.params.len(),
+                1 + accs.len() + rows.len()
+            ));
+        }
+        if lam.params[0].ty != Type::Scalar(ScalarType::I64) {
+            return terr("stream operator's first parameter (chunk size) must be i64");
+        }
+        let chunk = lam.params[0].name.clone();
+        let mut env = env.clone();
+        env.bind(&chunk, &Type::Scalar(ScalarType::I64));
+        for (p, want) in lam.params[1..1 + accs.len()].iter().zip(accs) {
+            if !compatible(&p.ty, want) {
+                return terr(format!(
+                    "stream accumulator `{}` of type `{}` receives `{want}`",
+                    p.name, p.ty
+                ));
+            }
+            env.bind(&p.name, &p.ty);
+        }
+        for (p, row) in lam.params[1 + accs.len()..].iter().zip(rows) {
+            let Type::Array(a) = &p.ty else {
+                return terr("stream chunk parameter must be an array");
+            };
+            if !matches!(&a.dims[0], Size::Var(v) if *v == chunk) {
+                return terr(format!(
+                    "stream chunk parameter `{}` outer dimension must be the chunk size",
+                    p.name
+                ));
+            }
+            if !a.row_type().eq_modulo_sizes(row) && !compatible(&a.row_type(), row) {
+                return terr("stream chunk parameter row type mismatch");
+            }
+            env.bind(&p.name, &p.ty);
+        }
+        let tys = self.check_body(&env, &lam.body)?;
+        if tys.len() != lam.ret.len() {
+            return terr("stream operator result arity mismatch");
+        }
+        for (t, r) in tys.iter().zip(&lam.ret) {
+            if !compatible(t, r) {
+                return terr(format!("stream operator result `{t}` declared `{r}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futhark_frontend::parse_program;
+
+    fn check_src(src: &str) -> TResult<()> {
+        let (prog, _) = parse_program(src).unwrap();
+        typecheck_program(&prog)
+    }
+
+    #[test]
+    fn accepts_wellformed_programs() {
+        check_src(
+            "fun main (n: i64) (xs: [n]f32): (f32, [n]f32) =\n\
+             let s = reduce (+) 0.0f32 xs\n\
+             let ys = scan (+) 0.0f32 xs\n\
+             in (s, ys)",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn accepts_figure4c() {
+        check_src(
+            "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+             let zeros = replicate k 0\n\
+             let counts = stream_red (\\(x: [k]i64) (y: [k]i64) -> map (+) x y)\n\
+               (\\(chunk: i64) (acc: [k]i64) (cs: [chunk]i64) ->\n\
+                 loop (a = acc) for i < chunk do (\n\
+                   let c = cs[i]\n\
+                   let old = a[c]\n\
+                   in a with [c] <- old + 1))\n\
+               zeros membership\n\
+             in counts",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_operand_type_mismatch() {
+        // Hand-build ill-typed IR: i64 + f32.
+        use futhark_core::*;
+        let mut ns = NameSource::new();
+        let x = ns.fresh("x");
+        let y = ns.fresh("y");
+        let r = ns.fresh("r");
+        let prog = Program {
+            functions: vec![FunDef {
+                name: "main".into(),
+                params: vec![
+                    Param::new(x.clone(), Type::Scalar(ScalarType::I64)),
+                    Param::new(y.clone(), Type::Scalar(ScalarType::F32)),
+                ],
+                ret: vec![DeclType::nonunique(Type::Scalar(ScalarType::I64))],
+                body: Body::new(
+                    vec![Stm::single(
+                        r.clone(),
+                        Type::Scalar(ScalarType::I64),
+                        Exp::BinOp(BinOp::Add, SubExp::Var(x), SubExp::Var(y)),
+                    )],
+                    vec![SubExp::Var(r)],
+                ),
+            }],
+        };
+        assert!(typecheck_program(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_constant_width_mismatch() {
+        use futhark_core::*;
+        let mut ns = NameSource::new();
+        let xs = ns.fresh("xs");
+        let p = ns.fresh("p");
+        let r = ns.fresh("r");
+        let arr3 = Type::array_of(ScalarType::I64, vec![Size::Const(3)]);
+        let lam = Lambda {
+            params: vec![Param::new(p.clone(), Type::Scalar(ScalarType::I64))],
+            body: Body::new(vec![], vec![SubExp::Var(p)]),
+            ret: vec![Type::Scalar(ScalarType::I64)],
+        };
+        let prog = Program {
+            functions: vec![FunDef {
+                name: "main".into(),
+                params: vec![Param::new(xs.clone(), arr3.clone())],
+                ret: vec![DeclType::nonunique(Type::array_of(
+                    ScalarType::I64,
+                    vec![Size::Const(5)],
+                ))],
+                body: Body::new(
+                    vec![Stm::single(
+                        r.clone(),
+                        Type::array_of(ScalarType::I64, vec![Size::Const(5)]),
+                        Exp::Soac(Soac::Map {
+                            width: SubExp::i64(5),
+                            lam,
+                            arrs: vec![xs],
+                        }),
+                    )],
+                    vec![SubExp::Var(r)],
+                ),
+            }],
+        };
+        assert!(typecheck_program(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_loop_merge() {
+        use futhark_core::*;
+        let mut ns = NameSource::new();
+        let acc = ns.fresh("acc");
+        let i = ns.fresh("i");
+        let r = ns.fresh("r");
+        // Loop whose body returns f32 for an i64 merge parameter.
+        let prog = Program {
+            functions: vec![FunDef {
+                name: "main".into(),
+                params: vec![],
+                ret: vec![DeclType::nonunique(Type::Scalar(ScalarType::I64))],
+                body: Body::new(
+                    vec![Stm::single(
+                        r.clone(),
+                        Type::Scalar(ScalarType::I64),
+                        Exp::Loop {
+                            params: vec![(
+                                Param::new(acc.clone(), Type::Scalar(ScalarType::I64)),
+                                SubExp::i64(0),
+                            )],
+                            form: LoopForm::For {
+                                var: i,
+                                bound: SubExp::i64(4),
+                            },
+                            body: Body::new(
+                                vec![],
+                                vec![SubExp::Const(Scalar::F32(1.0))],
+                            ),
+                        },
+                    )],
+                    vec![SubExp::Var(r)],
+                ),
+            }],
+        };
+        assert!(typecheck_program(&prog).is_err());
+    }
+
+    #[test]
+    fn rejects_indexing_too_deep() {
+        let e = {
+            use futhark_core::*;
+            let mut ns = NameSource::new();
+            let xs = ns.fresh("xs");
+            let v = ns.fresh("v");
+            let prog = Program {
+                functions: vec![FunDef {
+                    name: "main".into(),
+                    params: vec![Param::new(
+                        xs.clone(),
+                        Type::array_of(ScalarType::I64, vec![Size::Const(3)]),
+                    )],
+                    ret: vec![DeclType::nonunique(Type::Scalar(ScalarType::I64))],
+                    body: Body::new(
+                        vec![Stm::single(
+                            v.clone(),
+                            Type::Scalar(ScalarType::I64),
+                            Exp::Index {
+                                array: xs,
+                                indices: vec![SubExp::i64(0), SubExp::i64(0)],
+                            },
+                        )],
+                        vec![SubExp::Var(v)],
+                    ),
+                }],
+            };
+            typecheck_program(&prog)
+        };
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn checks_scatter() {
+        check_src(
+            "fun main (k: i64) (n: i64) (dest: *[k]f32) (is: [n]i64) (vs: [n]f32): *[k]f32 =\n\
+             let r = scatter dest is vs\n\
+             in r",
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,349 @@
+//! Ergonomic programmatic construction of core IR.
+//!
+//! Tests and internal passes build IR fragments with [`BodyBuilder`], which
+//! handles fresh-name generation and type bookkeeping for the common cases.
+//!
+//! ```
+//! use futhark_core::builder::{BodyBuilder, ProgramBuilder};
+//! use futhark_core::{NameSource, ScalarType, SubExp, Type};
+//!
+//! let mut ns = NameSource::new();
+//! let mut b = BodyBuilder::new(&mut ns);
+//! let x = b.bind_const_i64("x", 2);
+//! let y = b.binop(futhark_core::BinOp::Add, ScalarType::I64, x.clone().into(), SubExp::i64(3));
+//! let body = b.finish(vec![y.into()]);
+//! assert_eq!(body.stms.len(), 2);
+//! ```
+
+use crate::ir::{
+    BinOp, Body, CmpOp, Exp, FunDef, Lambda, Param, PatElem, Program, Scalar, Soac, Stm, SubExp,
+    UnOp,
+};
+use crate::name::{Name, NameSource};
+use crate::types::{DeclType, ScalarType, Size, Type};
+
+/// Accumulates statements for a [`Body`], generating fresh names.
+#[derive(Debug)]
+pub struct BodyBuilder<'a> {
+    ns: &'a mut NameSource,
+    stms: Vec<Stm>,
+}
+
+impl<'a> BodyBuilder<'a> {
+    /// Creates an empty builder drawing names from `ns`.
+    pub fn new(ns: &'a mut NameSource) -> Self {
+        BodyBuilder { ns, stms: Vec::new() }
+    }
+
+    /// Access to the underlying name source.
+    pub fn names(&mut self) -> &mut NameSource {
+        self.ns
+    }
+
+    /// Binds `exp` to a fresh single name of type `ty`.
+    pub fn bind(&mut self, hint: &str, ty: Type, exp: Exp) -> Name {
+        let name = self.ns.fresh(hint);
+        self.stms.push(Stm::single(name.clone(), ty, exp));
+        name
+    }
+
+    /// Binds a multi-result expression to fresh names of the given types.
+    pub fn bind_multi(&mut self, hint: &str, tys: Vec<Type>, exp: Exp) -> Vec<Name> {
+        let pat: Vec<PatElem> = tys
+            .into_iter()
+            .map(|t| PatElem::new(self.ns.fresh(hint), t))
+            .collect();
+        let names = pat.iter().map(|pe| pe.name.clone()).collect();
+        self.stms.push(Stm::new(pat, exp));
+        names
+    }
+
+    /// Pushes an already-built statement.
+    pub fn push(&mut self, stm: Stm) {
+        self.stms.push(stm);
+    }
+
+    /// Binds an `i64` constant.
+    pub fn bind_const_i64(&mut self, hint: &str, k: i64) -> Name {
+        self.bind(
+            hint,
+            Type::Scalar(ScalarType::I64),
+            Exp::SubExp(SubExp::i64(k)),
+        )
+    }
+
+    /// Binds a scalar binary operation.
+    pub fn binop(&mut self, op: BinOp, t: ScalarType, a: SubExp, b: SubExp) -> Name {
+        self.bind(
+            "b",
+            Type::Scalar(t),
+            Exp::BinOp(op, a, b),
+        )
+    }
+
+    /// Binds a scalar unary operation.
+    pub fn unop(&mut self, op: UnOp, t: ScalarType, a: SubExp) -> Name {
+        self.bind("u", Type::Scalar(t), Exp::UnOp(op, a))
+    }
+
+    /// Binds a comparison.
+    pub fn cmp(&mut self, op: CmpOp, a: SubExp, b: SubExp) -> Name {
+        self.bind("c", Type::Scalar(ScalarType::Bool), Exp::Cmp(op, a, b))
+    }
+
+    /// Binds `iota n`.
+    pub fn iota(&mut self, n: SubExp) -> Name {
+        let dim = match &n {
+            SubExp::Const(k) => Size::Const(k.as_i64().expect("iota bound must be integral")),
+            SubExp::Var(v) => Size::Var(v.clone()),
+        };
+        self.bind(
+            "iota",
+            Type::array_of(ScalarType::I64, vec![dim]),
+            Exp::Iota(n),
+        )
+    }
+
+    /// Binds `replicate n v` of the given element type.
+    pub fn replicate(&mut self, n: SubExp, v: SubExp, elem_ty: Type) -> Name {
+        let dim = match &n {
+            SubExp::Const(k) => Size::Const(k.as_i64().expect("size must be integral")),
+            SubExp::Var(v) => Size::Var(v.clone()),
+        };
+        let ty = match elem_ty {
+            Type::Scalar(s) => Type::array_of(s, vec![dim]),
+            Type::Array(a) => Type::Array(a.with_outer(dim)),
+        };
+        self.bind("rep", ty, Exp::Replicate(n, v))
+    }
+
+    /// Binds a `map` whose lambda produces a single result.
+    pub fn map(&mut self, width: SubExp, lam: Lambda, arrs: Vec<Name>) -> Name {
+        let dim = match &width {
+            SubExp::Const(k) => Size::Const(k.as_i64().expect("width must be integral")),
+            SubExp::Var(v) => Size::Var(v.clone()),
+        };
+        let ret = lam.ret[0].clone();
+        let ty = match ret {
+            Type::Scalar(s) => Type::array_of(s, vec![dim]),
+            Type::Array(a) => Type::Array(a.with_outer(dim)),
+        };
+        self.bind("mapres", ty, Exp::Soac(Soac::Map { width, lam, arrs }))
+    }
+
+    /// Binds a single-result `reduce`.
+    pub fn reduce(
+        &mut self,
+        width: SubExp,
+        lam: Lambda,
+        neutral: SubExp,
+        arrs: Vec<Name>,
+    ) -> Name {
+        let ty = lam.ret[0].clone();
+        self.bind(
+            "redres",
+            ty,
+            Exp::Soac(Soac::Reduce {
+                width,
+                lam,
+                neutral: vec![neutral],
+                arrs,
+                comm: false,
+            }),
+        )
+    }
+
+    /// Completes the body with the given result operands.
+    pub fn finish(self, result: Vec<SubExp>) -> Body {
+        Body::new(self.stms, result)
+    }
+}
+
+/// Builds a [`Lambda`] with scalar parameters implementing a binary
+/// operator, e.g. the `(+)` passed to `reduce`.
+pub fn binop_lambda(ns: &mut NameSource, op: BinOp, t: ScalarType) -> Lambda {
+    let x = ns.fresh("x");
+    let y = ns.fresh("y");
+    let r = ns.fresh("r");
+    Lambda {
+        params: vec![
+            Param::new(x.clone(), Type::Scalar(t)),
+            Param::new(y.clone(), Type::Scalar(t)),
+        ],
+        body: Body::new(
+            vec![Stm::single(
+                r.clone(),
+                Type::Scalar(t),
+                Exp::BinOp(op, SubExp::Var(x), SubExp::Var(y)),
+            )],
+            vec![SubExp::Var(r)],
+        ),
+        ret: vec![Type::Scalar(t)],
+    }
+}
+
+/// Builds the vectorised form `map (⊕)` of a binary operator: a lambda over
+/// two `[n]t` arrays combining them elementwise, as used by K-means'
+/// `stream_red` in Figure 4c.
+pub fn vectorised_binop_lambda(
+    ns: &mut NameSource,
+    op: BinOp,
+    t: ScalarType,
+    n: Size,
+) -> Lambda {
+    let xs = ns.fresh("xs");
+    let ys = ns.fresh("ys");
+    let rs = ns.fresh("rs");
+    let arr_t = Type::array_of(t, vec![n.clone()]);
+    let inner = binop_lambda(ns, op, t);
+    Lambda {
+        params: vec![
+            Param::new(xs.clone(), arr_t.clone()),
+            Param::new(ys.clone(), arr_t.clone()),
+        ],
+        body: Body::new(
+            vec![Stm::single(
+                rs.clone(),
+                arr_t.clone(),
+                Exp::Soac(Soac::Map {
+                    width: SubExp::from(&n),
+                    lam: inner,
+                    arrs: vec![xs, ys],
+                }),
+            )],
+            vec![SubExp::Var(rs)],
+        ),
+        ret: vec![arr_t],
+    }
+}
+
+/// Builds the identity lambda over the given types.
+pub fn identity_lambda(ns: &mut NameSource, tys: &[Type]) -> Lambda {
+    let params: Vec<Param> = tys
+        .iter()
+        .map(|t| Param::new(ns.fresh("p"), t.clone()))
+        .collect();
+    let result = params.iter().map(|p| SubExp::Var(p.name.clone())).collect();
+    Lambda {
+        params,
+        body: Body::new(vec![], result),
+        ret: tys.to_vec(),
+    }
+}
+
+/// Incrementally builds a [`Program`].
+#[derive(Debug)]
+pub struct ProgramBuilder<'a> {
+    ns: &'a mut NameSource,
+    functions: Vec<FunDef>,
+}
+
+impl<'a> ProgramBuilder<'a> {
+    /// Creates an empty program builder.
+    pub fn new(ns: &'a mut NameSource) -> Self {
+        ProgramBuilder {
+            ns,
+            functions: Vec::new(),
+        }
+    }
+
+    /// Access to the name source for building parameters and bodies.
+    pub fn names(&mut self) -> &mut NameSource {
+        self.ns
+    }
+
+    /// Adds a function.
+    pub fn function(
+        &mut self,
+        name: &str,
+        params: Vec<Param>,
+        ret: Vec<DeclType>,
+        body: Body,
+    ) -> &mut Self {
+        self.functions.push(FunDef {
+            name: name.to_string(),
+            params,
+            ret,
+            body,
+        });
+        self
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program {
+            functions: self.functions,
+        }
+    }
+}
+
+/// Convenience: a scalar constant subexpression of the given type holding
+/// integer value `k`.
+pub fn const_of(t: ScalarType, k: i64) -> SubExp {
+    SubExp::Const(match t {
+        ScalarType::Bool => Scalar::Bool(k != 0),
+        ScalarType::I32 => Scalar::I32(k as i32),
+        ScalarType::I64 => Scalar::I64(k),
+        ScalarType::F32 => Scalar::F32(k as f32),
+        ScalarType::F64 => Scalar::F64(k as f64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_bindings() {
+        let mut ns = NameSource::new();
+        let mut b = BodyBuilder::new(&mut ns);
+        let i = b.iota(SubExp::i64(10));
+        let lam = {
+            let x = b.names().fresh("x");
+            Lambda {
+                params: vec![Param::new(x.clone(), Type::Scalar(ScalarType::I64))],
+                body: Body::new(vec![], vec![SubExp::Var(x)]),
+                ret: vec![Type::Scalar(ScalarType::I64)],
+            }
+        };
+        let m = b.map(SubExp::i64(10), lam, vec![i]);
+        let body = b.finish(vec![SubExp::Var(m)]);
+        assert_eq!(body.stms.len(), 2);
+        assert_eq!(body.result.len(), 1);
+    }
+
+    #[test]
+    fn binop_lambda_shape() {
+        let mut ns = NameSource::new();
+        let lam = binop_lambda(&mut ns, BinOp::Add, ScalarType::F32);
+        assert_eq!(lam.params.len(), 2);
+        assert_eq!(lam.ret, vec![Type::Scalar(ScalarType::F32)]);
+        assert_eq!(lam.body.stms.len(), 1);
+    }
+
+    #[test]
+    fn vectorised_lambda_maps() {
+        let mut ns = NameSource::new();
+        let lam = vectorised_binop_lambda(&mut ns, BinOp::Add, ScalarType::I64, Size::Const(4));
+        assert_eq!(lam.params.len(), 2);
+        match &lam.body.stms[0].exp {
+            Exp::Soac(Soac::Map { arrs, .. }) => assert_eq!(arrs.len(), 2),
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_lambda_returns_params() {
+        let mut ns = NameSource::new();
+        let tys = vec![Type::Scalar(ScalarType::I64), Type::Scalar(ScalarType::F32)];
+        let lam = identity_lambda(&mut ns, &tys);
+        assert_eq!(lam.body.result.len(), 2);
+        assert!(lam.body.stms.is_empty());
+    }
+
+    #[test]
+    fn const_of_types() {
+        assert_eq!(const_of(ScalarType::F32, 3), SubExp::Const(Scalar::F32(3.0)));
+        assert_eq!(const_of(ScalarType::I32, -1), SubExp::Const(Scalar::I32(-1)));
+    }
+}

@@ -1,0 +1,171 @@
+//! Variable names with globally unique identifiers.
+//!
+//! A [`Name`] pairs a human-readable hint with a `u32` tag. Equality,
+//! ordering, and hashing consider only the tag, so two names with the same
+//! hint but different tags are distinct variables — exactly what compiler
+//! passes need when they duplicate or specialise code.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable name: a textual hint plus a unique numeric tag.
+///
+/// Produce names through a [`NameSource`] so tags stay unique within a
+/// program.
+///
+/// ```
+/// use futhark_core::NameSource;
+/// let mut ns = NameSource::new();
+/// let a = ns.fresh("x");
+/// let b = ns.fresh("x");
+/// assert_ne!(a, b); // same hint, different variables
+/// ```
+#[derive(Clone)]
+pub struct Name {
+    hint: Arc<str>,
+    tag: u32,
+}
+
+impl Name {
+    /// The textual hint this name was created with.
+    pub fn hint(&self) -> &str {
+        &self.hint
+    }
+
+    /// The unique numeric tag.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.tag == other.tag
+    }
+}
+
+impl Eq for Name {}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.tag.cmp(&other.tag)
+    }
+}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.tag.hash(state);
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.hint, self.tag)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}", self.hint, self.tag)
+    }
+}
+
+/// A generator of fresh [`Name`]s.
+///
+/// Every program carries one so that transformation passes can invent new
+/// variables without colliding with existing ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NameSource {
+    next: u32,
+}
+
+impl NameSource {
+    /// Creates a source whose first name will have tag 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a source that will only produce tags `>= next`.
+    pub fn starting_at(next: u32) -> Self {
+        NameSource { next }
+    }
+
+    /// Produces a fresh name with the given hint.
+    pub fn fresh(&mut self, hint: &str) -> Name {
+        let tag = self.next;
+        self.next += 1;
+        Name {
+            hint: Arc::from(hint),
+            tag,
+        }
+    }
+
+    /// Produces a fresh name reusing the hint of an existing name.
+    pub fn fresh_from(&mut self, like: &Name) -> Name {
+        let tag = self.next;
+        self.next += 1;
+        Name {
+            hint: Arc::clone(&like.hint),
+            tag,
+        }
+    }
+
+    /// The tag the next fresh name will receive.
+    pub fn peek(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        let mut ns = NameSource::new();
+        let names: Vec<Name> = (0..100).map(|_| ns.fresh("v")).collect();
+        let set: HashSet<&Name> = names.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn equality_ignores_hint() {
+        let mut ns = NameSource::new();
+        let a = ns.fresh("foo");
+        let b = Name {
+            hint: Arc::from("bar"),
+            tag: a.tag(),
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_includes_hint_and_tag() {
+        let mut ns = NameSource::starting_at(7);
+        let a = ns.fresh("xs");
+        assert_eq!(a.to_string(), "xs_7");
+    }
+
+    #[test]
+    fn fresh_from_preserves_hint() {
+        let mut ns = NameSource::new();
+        let a = ns.fresh("acc");
+        let b = ns.fresh_from(&a);
+        assert_eq!(b.hint(), "acc");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn starting_at_skips_tags() {
+        let mut ns = NameSource::starting_at(10);
+        assert_eq!(ns.fresh("x").tag(), 10);
+        assert_eq!(ns.peek(), 11);
+    }
+}

@@ -1,0 +1,490 @@
+//! A pretty-printer for the core IR.
+//!
+//! The output is valid input for the `futhark-frontend` parser, with one
+//! deliberate divergence from the paper's Figure 1: SOACs print their outer
+//! width explicitly (`map n (\x -> …) xs`), since the IR records it.
+
+use crate::ir::{
+    Body, Exp, FunDef, Lambda, LoopForm, Program, Soac, Stm, SubExp,
+};
+use std::fmt::{self, Write};
+
+/// Pretty-prints a whole program.
+pub fn program_to_string(prog: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in prog.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        fundef(&mut out, f).expect("infallible write");
+    }
+    out
+}
+
+/// Pretty-prints a single function.
+pub fn fundef_to_string(f: &FunDef) -> String {
+    let mut out = String::new();
+    fundef(&mut out, f).expect("infallible write");
+    out
+}
+
+/// Pretty-prints a body at the given indentation.
+pub fn body_to_string(b: &Body) -> String {
+    let mut out = String::new();
+    body(&mut out, b, 1).expect("infallible write");
+    out
+}
+
+fn indent(out: &mut String, level: usize) -> fmt::Result {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+    Ok(())
+}
+
+fn fundef(out: &mut String, f: &FunDef) -> fmt::Result {
+    write!(out, "fun {}", f.name)?;
+    for p in &f.params {
+        let star = if p.unique { "*" } else { "" };
+        write!(out, " ({}: {}{})", p.name, star, p.ty)?;
+    }
+    out.push_str(": ");
+    if f.ret.len() == 1 {
+        write!(out, "{}", f.ret[0])?;
+    } else {
+        out.push('(');
+        for (i, t) in f.ret.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "{t}")?;
+        }
+        out.push(')');
+    }
+    out.push_str(" =\n");
+    body(out, &f.body, 1)?;
+    out.push('\n');
+    Ok(())
+}
+
+fn body(out: &mut String, b: &Body, level: usize) -> fmt::Result {
+    for stm_ in &b.stms {
+        indent(out, level)?;
+        stm(out, stm_, level)?;
+        out.push('\n');
+    }
+    indent(out, level)?;
+    out.push_str("in ");
+    result(out, &b.result)?;
+    Ok(())
+}
+
+fn result(out: &mut String, res: &[SubExp]) -> fmt::Result {
+    if res.len() == 1 {
+        write!(out, "{}", res[0])
+    } else {
+        out.push('(');
+        for (i, se) in res.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "{se}")?;
+        }
+        out.push(')');
+        Ok(())
+    }
+}
+
+fn stm(out: &mut String, s: &Stm, level: usize) -> fmt::Result {
+    out.push_str("let ");
+    if s.pat.len() == 1 {
+        write!(out, "{}: {}", s.pat[0].name, s.pat[0].ty)?;
+    } else {
+        out.push('(');
+        for (i, pe) in s.pat.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "{}: {}", pe.name, pe.ty)?;
+        }
+        out.push(')');
+    }
+    out.push_str(" = ");
+    exp(out, &s.exp, level)
+}
+
+fn paren_body(out: &mut String, b: &Body, level: usize) -> fmt::Result {
+    if b.stms.is_empty() {
+        out.push('(');
+        result(out, &b.result)?;
+        out.push(')');
+        Ok(())
+    } else {
+        out.push_str("(\n");
+        body(out, b, level + 1)?;
+        out.push(')');
+        Ok(())
+    }
+}
+
+fn lambda(out: &mut String, l: &Lambda, level: usize) -> fmt::Result {
+    out.push('\\');
+    for p in &l.params {
+        write!(out, "({}: {})", p.name, p.ty)?;
+    }
+    out.push_str(": ");
+    if l.ret.len() == 1 {
+        write!(out, "{}", l.ret[0])?;
+    } else {
+        out.push('(');
+        for (i, t) in l.ret.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "{t}")?;
+        }
+        out.push(')');
+    }
+    out.push_str(" -> ");
+    if l.body.stms.is_empty() {
+        result(out, &l.body.result)
+    } else {
+        out.push('\n');
+        body(out, &l.body, level + 1)
+    }
+}
+
+fn subexps(out: &mut String, args: &[SubExp]) -> fmt::Result {
+    out.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{a}")?;
+    }
+    out.push(')');
+    Ok(())
+}
+
+fn exp(out: &mut String, e: &Exp, level: usize) -> fmt::Result {
+    match e {
+        Exp::SubExp(se) => write!(out, "{se}"),
+        Exp::UnOp(op, a) => write!(out, "{} {a}", op.symbol()),
+        Exp::BinOp(op, a, b) => {
+            let sym = op.symbol();
+            if sym.chars().next().map(char::is_alphabetic).unwrap_or(false) {
+                write!(out, "{sym} {a} {b}")
+            } else {
+                write!(out, "{a} {sym} {b}")
+            }
+        }
+        Exp::Cmp(op, a, b) => write!(out, "{a} {} {b}", op.symbol()),
+        Exp::Convert(t, a) => write!(out, "convert {t} {a}"),
+        Exp::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            write!(out, "if {cond} then ")?;
+            paren_body(out, then_body, level)?;
+            out.push_str(" else ");
+            paren_body(out, else_body, level)
+        }
+        Exp::Apply { func, args } => {
+            write!(out, "{func}")?;
+            subexps(out, args)
+        }
+        Exp::Index { array, indices } => {
+            write!(out, "{array}[")?;
+            for (i, ix) in indices.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "{ix}")?;
+            }
+            out.push(']');
+            Ok(())
+        }
+        Exp::Update {
+            array,
+            indices,
+            value,
+        } => {
+            write!(out, "{array} with [")?;
+            for (i, ix) in indices.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "{ix}")?;
+            }
+            write!(out, "] <- {value}")
+        }
+        Exp::Iota(n) => write!(out, "iota {n}"),
+        Exp::Replicate(n, v) => write!(out, "replicate {n} {v}"),
+        Exp::Rearrange { perm, array } => {
+            out.push_str("rearrange (");
+            for (i, p) in perm.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "{p}")?;
+            }
+            write!(out, ") {array}")
+        }
+        Exp::Reshape { shape, array } => {
+            out.push_str("reshape (");
+            for (i, s) in shape.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write!(out, "{s}")?;
+            }
+            write!(out, ") {array}")
+        }
+        Exp::Concat { arrays } => {
+            out.push_str("concat");
+            for a in arrays {
+                write!(out, " {a}")?;
+            }
+            Ok(())
+        }
+        Exp::Copy(a) => write!(out, "copy {a}"),
+        Exp::Loop { params, form, body: b } => {
+            out.push_str("loop (");
+            for (i, (p, init)) in params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let star = if p.unique { "*" } else { "" };
+                write!(out, "{}: {}{} = {}", p.name, star, p.ty, init)?;
+            }
+            out.push(')');
+            match form {
+                LoopForm::For { var, bound } => {
+                    write!(out, " for {var} < {bound} do ")?;
+                }
+                LoopForm::While(cond) => {
+                    out.push_str(" while ");
+                    paren_body(out, cond, level)?;
+                    out.push_str(" do ");
+                }
+            }
+            paren_body(out, b, level)
+        }
+        Exp::Soac(soac) => match soac {
+            Soac::Map { width, lam, arrs } => {
+                write!(out, "map {width} (")?;
+                lambda(out, lam, level)?;
+                out.push(')');
+                for a in arrs {
+                    write!(out, " {a}")?;
+                }
+                Ok(())
+            }
+            Soac::Reduce {
+                width,
+                lam,
+                neutral,
+                arrs,
+                comm,
+            } => {
+                let kw = if *comm { "reduce_comm" } else { "reduce" };
+                write!(out, "{kw} {width} (")?;
+                lambda(out, lam, level)?;
+                out.push_str(") ");
+                subexps(out, neutral)?;
+                for a in arrs {
+                    write!(out, " {a}")?;
+                }
+                Ok(())
+            }
+            Soac::Scan {
+                width,
+                lam,
+                neutral,
+                arrs,
+            } => {
+                write!(out, "scan {width} (")?;
+                lambda(out, lam, level)?;
+                out.push_str(") ");
+                subexps(out, neutral)?;
+                for a in arrs {
+                    write!(out, " {a}")?;
+                }
+                Ok(())
+            }
+            Soac::Redomap {
+                width,
+                red_lam,
+                map_lam,
+                neutral,
+                arrs,
+                comm,
+            } => {
+                let kw = if *comm { "redomap_comm" } else { "redomap" };
+                write!(out, "{kw} {width} (")?;
+                lambda(out, red_lam, level)?;
+                out.push_str(") (");
+                lambda(out, map_lam, level)?;
+                out.push_str(") ");
+                subexps(out, neutral)?;
+                for a in arrs {
+                    write!(out, " {a}")?;
+                }
+                Ok(())
+            }
+            Soac::StreamMap { width, lam, arrs } => {
+                write!(out, "stream_map {width} (")?;
+                lambda(out, lam, level)?;
+                out.push(')');
+                for a in arrs {
+                    write!(out, " {a}")?;
+                }
+                Ok(())
+            }
+            Soac::StreamRed {
+                width,
+                red_lam,
+                fold_lam,
+                accs,
+                arrs,
+            } => {
+                write!(out, "stream_red {width} (")?;
+                lambda(out, red_lam, level)?;
+                out.push_str(") (");
+                lambda(out, fold_lam, level)?;
+                out.push_str(") ");
+                subexps(out, accs)?;
+                for a in arrs {
+                    write!(out, " {a}")?;
+                }
+                Ok(())
+            }
+            Soac::StreamSeq {
+                width,
+                lam,
+                accs,
+                arrs,
+            } => {
+                write!(out, "stream_seq {width} (")?;
+                lambda(out, lam, level)?;
+                out.push_str(") ");
+                subexps(out, accs)?;
+                for a in arrs {
+                    write!(out, " {a}")?;
+                }
+                Ok(())
+            }
+            Soac::Scatter {
+                width,
+                dest,
+                indices,
+                values,
+            } => {
+                write!(out, "scatter {width} {dest} {indices} {values}")
+            }
+        },
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&program_to_string(self))
+    }
+}
+
+impl fmt::Display for FunDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&fundef_to_string(self))
+    }
+}
+
+impl fmt::Display for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&body_to_string(self))
+    }
+}
+
+impl fmt::Display for Exp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        exp(&mut s, self, 0).expect("infallible write");
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Param, PatElem};
+    use crate::name::NameSource;
+    use crate::types::{ScalarType, Size, Type};
+
+    #[test]
+    fn prints_a_map_function() {
+        let mut ns = NameSource::new();
+        let n = ns.fresh("n");
+        let xs = ns.fresh("xs");
+        let x = ns.fresh("x");
+        let y = ns.fresh("y");
+        let ys = ns.fresh("ys");
+        let arr_t = Type::array_of(ScalarType::F32, vec![Size::Var(n.clone())]);
+        let f = FunDef {
+            name: "main".into(),
+            params: vec![
+                Param::new(n.clone(), Type::Scalar(ScalarType::I64)),
+                Param::new(xs.clone(), arr_t.clone()),
+            ],
+            ret: vec![crate::types::DeclType::unique(arr_t.clone())],
+            body: Body::new(
+                vec![Stm {
+                    pat: vec![PatElem::new(ys.clone(), arr_t)],
+                    exp: Exp::Soac(Soac::Map {
+                        width: SubExp::Var(n.clone()),
+                        lam: Lambda {
+                            params: vec![Param::new(x.clone(), Type::Scalar(ScalarType::F32))],
+                            body: Body::new(
+                                vec![Stm::single(
+                                    y.clone(),
+                                    Type::Scalar(ScalarType::F32),
+                                    Exp::BinOp(
+                                        BinOp::Add,
+                                        SubExp::Var(x.clone()),
+                                        SubExp::Const(crate::ir::Scalar::F32(1.0)),
+                                    ),
+                                )],
+                                vec![SubExp::Var(y.clone())],
+                            ),
+                            ret: vec![Type::Scalar(ScalarType::F32)],
+                        },
+                        arrs: vec![xs.clone()],
+                    }),
+                }],
+                vec![SubExp::Var(ys.clone())],
+            ),
+        };
+        let s = fundef_to_string(&f);
+        assert!(s.contains("fun main"), "{s}");
+        assert!(s.contains("map n_0"), "{s}");
+        assert!(s.contains("*[n_0]f32"), "{s}");
+        assert!(s.contains("x_2 + 1.0f32"), "{s}");
+    }
+
+    #[test]
+    fn prints_update_and_index() {
+        let mut ns = NameSource::new();
+        let a = ns.fresh("a");
+        let e = Exp::Update {
+            array: a.clone(),
+            indices: vec![SubExp::i64(0)],
+            value: SubExp::i64(7),
+        };
+        assert_eq!(e.to_string(), format!("{a} with [0i64] <- 7i64"));
+        let ix = Exp::Index {
+            array: a.clone(),
+            indices: vec![SubExp::i64(1), SubExp::i64(2)],
+        };
+        assert_eq!(ix.to_string(), format!("{a}[1i64, 2i64]"));
+    }
+}

@@ -1,0 +1,1633 @@
+//! Elaboration: surface AST → core IR.
+//!
+//! This pass is the "Desugaring" stage of the paper's Figure 3 pipeline. It
+//! flattens nested expressions into A-normal form, resolves operator
+//! sections into lambdas, computes the type of every binding (the core IR
+//! annotates all patterns), derives SOAC widths from input array types, and
+//! instantiates function-result shapes at call sites.
+//!
+//! Elaboration performs *loose* type checking only — enough to build
+//! well-formed IR. The rigorous checks (shapes, uniqueness, aliasing) live
+//! in `futhark-check`.
+
+use crate::ast::*;
+use futhark_core::{
+    BinOp, Body, CmpOp, DeclType, Exp, FunDef, Lambda, LoopForm, Name, NameSource,
+    Param, PatElem, Program, Scalar, ScalarType, Size, Soac, Stm, SubExp, Type, UnOp,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An elaboration error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElabError {
+    /// Explanation, including the function being elaborated.
+    pub message: String,
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+type EResult<T> = Result<T, ElabError>;
+
+fn err<T>(msg: impl Into<String>) -> EResult<T> {
+    Err(ElabError {
+        message: msg.into(),
+    })
+}
+
+#[derive(Clone, Default)]
+struct Env {
+    vars: HashMap<String, (Name, Type)>,
+}
+
+impl Env {
+    fn lookup(&self, s: &str) -> EResult<(Name, Type)> {
+        self.vars
+            .get(s)
+            .cloned()
+            .ok_or_else(|| ElabError {
+                message: format!("variable `{s}` not in scope"),
+            })
+    }
+
+    fn bind(&mut self, s: &str, name: Name, ty: Type) {
+        self.vars.insert(s.to_string(), (name, ty));
+    }
+}
+
+/// Elaborates a parsed surface program into core IR.
+///
+/// # Errors
+///
+/// Returns an [`ElabError`] for unbound variables, arity mismatches, and
+/// loosely detected type errors.
+pub fn elaborate(uprog: &UProgram) -> EResult<(Program, NameSource)> {
+    let mut ns = NameSource::new();
+    // First pass: signatures (param names become the core parameter names).
+    let mut sigs: HashMap<String, (Vec<Param>, Vec<DeclType>, Vec<bool>)> = HashMap::new();
+    let mut param_envs: HashMap<String, Env> = HashMap::new();
+    for f in &uprog.functions {
+        if sigs.contains_key(&f.name) {
+            return err(format!("duplicate function `{}`", f.name));
+        }
+        let mut env = Env::default();
+        let mut params = Vec::new();
+        let mut uniques = Vec::new();
+        for (pname, dt) in &f.params {
+            let ty = elab_type(&env, &dt.ty)
+                .map_err(|e| prefix(&f.name, e))?;
+            let name = ns.fresh(hint_of(pname));
+            env.bind(pname, name.clone(), ty.clone());
+            params.push(Param {
+                name,
+                ty,
+                unique: dt.unique,
+            });
+            uniques.push(dt.unique);
+        }
+        let mut ret = Vec::new();
+        for dt in &f.ret {
+            let ty = elab_type(&env, &dt.ty).map_err(|e| prefix(&f.name, e))?;
+            ret.push(DeclType {
+                ty,
+                unique: dt.unique,
+            });
+        }
+        sigs.insert(f.name.clone(), (params, ret, uniques));
+        param_envs.insert(f.name.clone(), env);
+    }
+
+    let mut elab = Elab { ns, sigs };
+    let mut functions = Vec::new();
+    for f in &uprog.functions {
+        let env = param_envs[&f.name].clone();
+        let (params, ret, _) = elab.sigs[&f.name].clone();
+        let hints: Vec<Type> = ret.iter().map(|d| d.ty.clone()).collect();
+        let body = elab
+            .body(&env, &f.body, Some(&hints))
+            .map_err(|e| prefix(&f.name, e))?;
+        functions.push(FunDef {
+            name: f.name.clone(),
+            params,
+            ret,
+            body,
+        });
+    }
+    Ok((Program { functions }, elab.ns))
+}
+
+
+/// Hint for a fresh core name from a surface identifier: strips a trailing
+/// `_<digits>` tag so that re-parsing pretty-printed output (where names
+/// render as `hint_tag`) does not accrete suffixes.
+fn hint_of(s: &str) -> &str {
+    match s.rfind('_') {
+        Some(i) if s[i + 1..].chars().all(|c| c.is_ascii_digit()) && !s[i + 1..].is_empty() => {
+            &s[..i]
+        }
+        _ => s,
+    }
+}
+
+fn prefix(fun: &str, e: ElabError) -> ElabError {
+    ElabError {
+        message: format!("in function `{fun}`: {}", e.message),
+    }
+}
+
+fn elab_type(env: &Env, t: &UType) -> EResult<Type> {
+    match t {
+        UType::Scalar(s) => Ok(Type::Scalar(*s)),
+        UType::Array(dims, elem) => {
+            let mut ds = Vec::new();
+            for d in dims {
+                ds.push(match d {
+                    USize::Const(k) => Size::Const(*k),
+                    USize::Var(s) => {
+                        let (name, ty) = env.lookup(s)?;
+                        if ty != Type::Scalar(ScalarType::I64) {
+                            return err(format!("size variable `{s}` must have type i64"));
+                        }
+                        Size::Var(name)
+                    }
+                });
+            }
+            Ok(Type::array_of(*elem, ds))
+        }
+    }
+}
+
+fn size_to_subexp(s: &Size) -> SubExp {
+    SubExp::from(s)
+}
+
+fn subexp_to_size(se: &SubExp) -> EResult<Size> {
+    match se {
+        SubExp::Var(v) => Ok(Size::Var(v.clone())),
+        SubExp::Const(k) => match k.as_i64() {
+            Some(n) => Ok(Size::Const(n)),
+            None => err("array size must be integral"),
+        },
+    }
+}
+
+fn lift(ty: &Type, outer: Size) -> Type {
+    match ty {
+        Type::Scalar(s) => Type::array_of(*s, vec![outer]),
+        Type::Array(a) => Type::Array(a.with_outer(outer)),
+    }
+}
+
+fn is_literal(e: &UExp) -> bool {
+    matches!(
+        e,
+        UExp::IntLit(..) | UExp::FloatLit(..) | UExp::UnOp(UUnOp::Neg, _)
+    )
+}
+
+fn ubinop_arith(op: UBinOp) -> Option<BinOp> {
+    Some(match op {
+        UBinOp::Add => BinOp::Add,
+        UBinOp::Sub => BinOp::Sub,
+        UBinOp::Mul => BinOp::Mul,
+        UBinOp::Div => BinOp::Div,
+        UBinOp::Rem => BinOp::Rem,
+        UBinOp::Min => BinOp::Min,
+        UBinOp::Max => BinOp::Max,
+        UBinOp::Pow => BinOp::Pow,
+        UBinOp::Atan2 => BinOp::Atan2,
+        UBinOp::And => BinOp::And,
+        UBinOp::Or => BinOp::Or,
+        _ => return None,
+    })
+}
+
+fn ubinop_cmp(op: UBinOp) -> Option<CmpOp> {
+    match op {
+        UBinOp::Eq => Some(CmpOp::Eq),
+        UBinOp::Ne => Some(CmpOp::Ne),
+        UBinOp::Lt => Some(CmpOp::Lt),
+        UBinOp::Le => Some(CmpOp::Le),
+        UBinOp::Gt => Some(CmpOp::Gt),
+        UBinOp::Ge => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+const UNOP_BUILTINS: &[(&str, UnOp)] = &[
+    ("sqrt", UnOp::Sqrt),
+    ("exp", UnOp::Exp),
+    ("log", UnOp::Log),
+    ("sin", UnOp::Sin),
+    ("cos", UnOp::Cos),
+    ("tanh", UnOp::Tanh),
+    ("abs", UnOp::Abs),
+    ("signum", UnOp::Signum),
+];
+
+struct Elab {
+    ns: NameSource,
+    sigs: HashMap<String, (Vec<Param>, Vec<DeclType>, Vec<bool>)>,
+}
+
+impl Elab {
+    /// Elaborates an expression as a full body with its own statement list.
+    fn body(&mut self, env: &Env, e: &UExp, hints: Option<&[Type]>) -> EResult<Body> {
+        let mut stms = Vec::new();
+        let results = self.exp_multi(env, &mut stms, e, hints)?;
+        Ok(Body::new(
+            stms,
+            results.into_iter().map(|(se, _)| se).collect(),
+        ))
+    }
+
+    /// Elaborates an expression into zero or more result operands, emitting
+    /// supporting statements into `stms`.
+    fn exp_multi(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        e: &UExp,
+        hints: Option<&[Type]>,
+    ) -> EResult<Vec<(SubExp, Type)>> {
+        match e {
+            UExp::Tuple(parts) => {
+                let mut out = Vec::new();
+                for (i, p) in parts.iter().enumerate() {
+                    let hint = hints.and_then(|h| h.get(i));
+                    out.push(self.atomic(env, stms, p, hint)?);
+                }
+                Ok(out)
+            }
+            UExp::Let { pat, rhs, body } => {
+                let env2 = self.bind_let(env, stms, pat, rhs)?;
+                self.exp_multi(&env2, stms, body, hints)
+            }
+            UExp::LetUpdate {
+                name,
+                indices,
+                value,
+                body,
+            } => {
+                let desugared = UExp::Let {
+                    pat: vec![UPatElem {
+                        name: name.clone(),
+                        ty: None,
+                    }],
+                    rhs: Box::new(UExp::With {
+                        array: name.clone(),
+                        indices: indices.clone(),
+                        value: value.clone(),
+                    }),
+                    body: body.clone(),
+                };
+                self.exp_multi(env, stms, &desugared, hints)
+            }
+            _ => {
+                let (exp, tys) = self.to_exp(env, stms, e, hints)?;
+                if let Exp::SubExp(se) = &exp {
+                    if tys.len() == 1 {
+                        return Ok(vec![(se.clone(), tys[0].clone())]);
+                    }
+                }
+                let pat: Vec<PatElem> = tys
+                    .iter()
+                    .map(|t| PatElem::new(self.ns.fresh("t"), t.clone()))
+                    .collect();
+                let out = pat
+                    .iter()
+                    .zip(&tys)
+                    .map(|(pe, t)| (SubExp::Var(pe.name.clone()), t.clone()))
+                    .collect();
+                stms.push(Stm::new(pat, exp));
+                Ok(out)
+            }
+        }
+    }
+
+    /// Elaborates a let binding and returns the extended environment.
+    fn bind_let(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        pat: &[UPatElem],
+        rhs: &UExp,
+    ) -> EResult<Env> {
+        let hint_tys: Vec<Option<Type>> = pat
+            .iter()
+            .map(|pe| pe.ty.as_ref().map(|t| elab_type(env, t)).transpose())
+            .collect::<EResult<_>>()?;
+        let hints: Option<Vec<Type>> = hint_tys.iter().cloned().collect();
+        let (exp, tys) = self.to_exp(env, stms, rhs, hints.as_deref())?;
+        if tys.len() != pat.len() {
+            return err(format!(
+                "pattern binds {} names but expression produces {} values",
+                pat.len(),
+                tys.len()
+            ));
+        }
+        let mut env2 = env.clone();
+        let mut pes = Vec::new();
+        for (pe, ty) in pat.iter().zip(&tys) {
+            let ty = match &hint_tys[pat.iter().position(|q| q.name == pe.name).unwrap()] {
+                Some(annot) if annot.eq_modulo_sizes(ty) => annot.clone(),
+                Some(annot) => {
+                    return err(format!(
+                        "annotation `{annot}` on `{}` does not match inferred `{ty}`",
+                        pe.name
+                    ))
+                }
+                None => ty.clone(),
+            };
+            let name = self.ns.fresh(hint_of(&pe.name));
+            env2.bind(&pe.name, name.clone(), ty.clone());
+            pes.push(PatElem::new(name, ty));
+        }
+        stms.push(Stm::new(pes, exp));
+        Ok(env2)
+    }
+
+    /// Elaborates to a single operand, binding complex expressions to a
+    /// fresh name.
+    fn atomic(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        e: &UExp,
+        hint: Option<&Type>,
+    ) -> EResult<(SubExp, Type)> {
+        let hints_buf;
+        let hints = match hint {
+            Some(h) => {
+                hints_buf = [h.clone()];
+                Some(&hints_buf[..])
+            }
+            None => None,
+        };
+        let (exp, tys) = self.to_exp(env, stms, e, hints)?;
+        if tys.len() != 1 {
+            return err(format!(
+                "expected a single value, got {} (a tuple?)",
+                tys.len()
+            ));
+        }
+        if let Exp::SubExp(se) = exp {
+            return Ok((se, tys[0].clone()));
+        }
+        let name = self.ns.fresh("e");
+        stms.push(Stm::single(name.clone(), tys[0].clone(), exp));
+        Ok((SubExp::Var(name), tys[0].clone()))
+    }
+
+    /// Elaborates to a core expression plus its result types.
+    fn to_exp(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        e: &UExp,
+        hints: Option<&[Type]>,
+    ) -> EResult<(Exp, Vec<Type>)> {
+        let hint1 = hints.and_then(|h| if h.len() == 1 { Some(&h[0]) } else { None });
+        match e {
+            UExp::Var(s) => {
+                let (name, ty) = env.lookup(s)?;
+                Ok((Exp::SubExp(SubExp::Var(name)), vec![ty]))
+            }
+            UExp::IntLit(k, suffix) => {
+                let t = suffix.unwrap_or_else(|| match hint1 {
+                    Some(Type::Scalar(s)) if s.is_numeric() => *s,
+                    _ => ScalarType::I64,
+                });
+                let sc = match t {
+                    ScalarType::I32 => Scalar::I32(*k as i32),
+                    ScalarType::I64 => Scalar::I64(*k),
+                    ScalarType::F32 => Scalar::F32(*k as f32),
+                    ScalarType::F64 => Scalar::F64(*k as f64),
+                    ScalarType::Bool => return err("integer literal in boolean position"),
+                };
+                Ok((Exp::SubExp(SubExp::Const(sc)), vec![Type::Scalar(t)]))
+            }
+            UExp::FloatLit(x, suffix) => {
+                let t = suffix.unwrap_or_else(|| match hint1 {
+                    Some(Type::Scalar(s)) if s.is_float() => *s,
+                    _ => ScalarType::F64,
+                });
+                let sc = match t {
+                    ScalarType::F32 => Scalar::F32(*x as f32),
+                    ScalarType::F64 => Scalar::F64(*x),
+                    _ => return err("float literal in non-float position"),
+                };
+                Ok((Exp::SubExp(SubExp::Const(sc)), vec![Type::Scalar(t)]))
+            }
+            UExp::BoolLit(b) => Ok((
+                Exp::SubExp(SubExp::Const(Scalar::Bool(*b))),
+                vec![Type::Scalar(ScalarType::Bool)],
+            )),
+            UExp::UnOp(UUnOp::Neg, inner) => {
+                let (se, ty) = self.atomic(env, stms, inner, hint1)?;
+                let t = match &ty {
+                    Type::Scalar(s) if s.is_numeric() => *s,
+                    other => return err(format!("negation of non-numeric `{other}`")),
+                };
+                // Fold negation of constants.
+                if let SubExp::Const(k) = &se {
+                    let folded = match k {
+                        Scalar::I32(v) => Scalar::I32(-v),
+                        Scalar::I64(v) => Scalar::I64(-v),
+                        Scalar::F32(v) => Scalar::F32(-v),
+                        Scalar::F64(v) => Scalar::F64(-v),
+                        Scalar::Bool(_) => unreachable!(),
+                    };
+                    return Ok((Exp::SubExp(SubExp::Const(folded)), vec![ty]));
+                }
+                Ok((Exp::UnOp(UnOp::Neg, se), vec![Type::Scalar(t)]))
+            }
+            UExp::UnOp(UUnOp::Not, inner) => {
+                let (se, ty) = self.atomic(env, stms, inner, None)?;
+                if ty != Type::Scalar(ScalarType::Bool) {
+                    return err("`!` applied to non-boolean");
+                }
+                Ok((Exp::UnOp(UnOp::Not, se), vec![ty]))
+            }
+            UExp::BinOp(op, a, b) => self.binop(env, stms, *op, a, b, hint1),
+            UExp::Apply(fname, args) => self.apply(env, stms, fname, args, hint1),
+            UExp::If(c, t, f) => {
+                let (cse, cty) = self.atomic(env, stms, c, None)?;
+                if cty != Type::Scalar(ScalarType::Bool) {
+                    return err("if condition must be boolean");
+                }
+                let then_body = self.body(env, t, hints)?;
+                let then_tys = self.body_types(env, t, hints)?;
+                let else_body = self.body(env, f, Some(&then_tys))?;
+                Ok((
+                    Exp::If {
+                        cond: cse,
+                        then_body,
+                        else_body,
+                        ret: then_tys.clone(),
+                    },
+                    then_tys,
+                ))
+            }
+            UExp::Let { .. } | UExp::LetUpdate { .. } | UExp::Tuple(_) => {
+                // Multi-value / binding forms: elaborate via exp_multi and
+                // wrap. A single result stays an operand; multiple results
+                // cannot be a core Exp, so the caller must use exp_multi —
+                // here they only occur as nested single-value expressions.
+                let results = self.exp_multi(env, stms, e, hints)?;
+                if results.len() == 1 {
+                    let (se, ty) = results.into_iter().next().unwrap();
+                    Ok((Exp::SubExp(se), vec![ty]))
+                } else {
+                    err("tuple expression in single-value position")
+                }
+            }
+            UExp::Index(arr, idx) => {
+                let (name, ty) = env.lookup(arr)?;
+                let mut indices = Vec::new();
+                for i in idx {
+                    let (se, ity) = self.atomic(
+                        env,
+                        stms,
+                        i,
+                        Some(&Type::Scalar(ScalarType::I64)),
+                    )?;
+                    if ity != Type::Scalar(ScalarType::I64) {
+                        return err(format!("index into `{arr}` must be i64, got {ity}"));
+                    }
+                    indices.push(se);
+                }
+                let rty = ty.index_type(indices.len()).ok_or_else(|| ElabError {
+                    message: format!("too many indices for `{arr}` of type {ty}"),
+                })?;
+                Ok((Exp::Index { array: name, indices }, vec![rty]))
+            }
+            UExp::With {
+                array,
+                indices,
+                value,
+            } => {
+                let (name, ty) = env.lookup(array)?;
+                let mut idx = Vec::new();
+                for i in indices {
+                    let (se, _) = self.atomic(
+                        env,
+                        stms,
+                        i,
+                        Some(&Type::Scalar(ScalarType::I64)),
+                    )?;
+                    idx.push(se);
+                }
+                let vty = ty.index_type(idx.len()).ok_or_else(|| ElabError {
+                    message: format!("too many indices updating `{array}`"),
+                })?;
+                let (vse, _) = self.atomic(env, stms, value, Some(&vty))?;
+                Ok((
+                    Exp::Update {
+                        array: name,
+                        indices: idx,
+                        value: vse,
+                    },
+                    vec![ty],
+                ))
+            }
+            UExp::Loop { params, form, body } => self.loop_exp(env, stms, params, form, body),
+            UExp::Lambda(_) | UExp::Section(..) => {
+                err("lambda or operator section outside an operator position")
+            }
+            UExp::Soac(soac) => self.soac(env, stms, soac),
+            UExp::Rearrange(perm, arr) => {
+                let (se, ty) = self.atomic(env, stms, arr, None)?;
+                let SubExp::Var(name) = se else {
+                    return err("rearrange of non-array");
+                };
+                let at = ty.as_array().ok_or_else(|| ElabError {
+                    message: "rearrange of non-array".into(),
+                })?;
+                if perm.len() != at.rank() {
+                    return err(format!(
+                        "rearrange permutation has length {} but array rank is {}",
+                        perm.len(),
+                        at.rank()
+                    ));
+                }
+                let mut sorted = perm.clone();
+                sorted.sort_unstable();
+                if sorted != (0..at.rank()).collect::<Vec<_>>() {
+                    return err("rearrange argument is not a permutation");
+                }
+                let dims: Vec<Size> = perm.iter().map(|&p| at.dims[p].clone()).collect();
+                Ok((
+                    Exp::Rearrange {
+                        perm: perm.clone(),
+                        array: name,
+                    },
+                    vec![Type::array_of(at.elem, dims)],
+                ))
+            }
+            UExp::Reshape(shape, arr) => {
+                let (se, ty) = self.atomic(env, stms, arr, None)?;
+                let SubExp::Var(name) = se else {
+                    return err("reshape of non-array");
+                };
+                let elem = ty.elem();
+                let mut ses = Vec::new();
+                let mut dims = Vec::new();
+                for s in shape {
+                    let (sse, _) = self.atomic(
+                        env,
+                        stms,
+                        s,
+                        Some(&Type::Scalar(ScalarType::I64)),
+                    )?;
+                    dims.push(subexp_to_size(&sse)?);
+                    ses.push(sse);
+                }
+                Ok((
+                    Exp::Reshape {
+                        shape: ses,
+                        array: name,
+                    },
+                    vec![Type::array_of(elem, dims)],
+                ))
+            }
+        }
+    }
+
+    /// Computes the result types of an expression without emitting its code
+    /// (used to get if-branch types; elaborates into a scratch buffer).
+    fn body_types(&mut self, env: &Env, e: &UExp, hints: Option<&[Type]>) -> EResult<Vec<Type>> {
+        let mut scratch = Vec::new();
+        let results = self.exp_multi(env, &mut scratch, e, hints)?;
+        Ok(results.into_iter().map(|(_, t)| t).collect())
+    }
+
+    fn binop(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        op: UBinOp,
+        a: &UExp,
+        b: &UExp,
+        hint: Option<&Type>,
+    ) -> EResult<(Exp, Vec<Type>)> {
+        if let Some(cmp) = ubinop_cmp(op) {
+            // Elaborate the non-literal side first so literals adapt.
+            let (ase, bse, ty) = self.homogeneous_pair(env, stms, a, b, None)?;
+            if !ty.is_scalar() {
+                return err("comparison of arrays");
+            }
+            let _ = cmp;
+            return Ok((
+                Exp::Cmp(cmp, ase, bse),
+                vec![Type::Scalar(ScalarType::Bool)],
+            ));
+        }
+        let core = ubinop_arith(op).expect("non-cmp op is arithmetic");
+        let (ase, bse, ty) = self.homogeneous_pair(env, stms, a, b, hint)?;
+        let t = match &ty {
+            Type::Scalar(s) => *s,
+            other => return err(format!("binary operator applied to array `{other}`")),
+        };
+        match core {
+            BinOp::And | BinOp::Or if t != ScalarType::Bool => {
+                return err("logical operator on non-boolean")
+            }
+            BinOp::Pow | BinOp::Atan2 if !t.is_float() => {
+                return err("pow/atan2 require float operands")
+            }
+            _ => {}
+        }
+        Ok((Exp::BinOp(core, ase, bse), vec![Type::Scalar(t)]))
+    }
+
+    /// Elaborates two operands that must share one type, resolving literal
+    /// polymorphism from the non-literal side (or the hint).
+    fn homogeneous_pair(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        a: &UExp,
+        b: &UExp,
+        hint: Option<&Type>,
+    ) -> EResult<(SubExp, SubExp, Type)> {
+        if is_literal(a) && !is_literal(b) {
+            let (bse, bty) = self.atomic(env, stms, b, hint)?;
+            let (ase, aty) = self.atomic(env, stms, a, Some(&bty))?;
+            if aty != bty {
+                return err(format!("operand types differ: {aty} vs {bty}"));
+            }
+            Ok((ase, bse, bty))
+        } else {
+            let (ase, aty) = self.atomic(env, stms, a, hint)?;
+            let (bse, bty) = self.atomic(env, stms, b, Some(&aty))?;
+            if aty != bty {
+                return err(format!("operand types differ: {aty} vs {bty}"));
+            }
+            Ok((ase, bse, aty))
+        }
+    }
+
+    fn apply(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        fname: &str,
+        args: &[UExp],
+        hint: Option<&Type>,
+    ) -> EResult<(Exp, Vec<Type>)> {
+        // Builtin unary math.
+        if let Some((_, op)) = UNOP_BUILTINS.iter().find(|(n, _)| *n == fname) {
+            if args.len() != 1 {
+                return err(format!("`{fname}` takes one argument"));
+            }
+            let (se, ty) = self.atomic(env, stms, &args[0], hint)?;
+            let t = match &ty {
+                Type::Scalar(s) if s.is_numeric() => *s,
+                other => return err(format!("`{fname}` of non-numeric `{other}`")),
+            };
+            match op {
+                UnOp::Sqrt | UnOp::Exp | UnOp::Log | UnOp::Sin | UnOp::Cos | UnOp::Tanh
+                    if !t.is_float() =>
+                {
+                    return err(format!("`{fname}` requires a float argument"))
+                }
+                _ => {}
+            }
+            return Ok((Exp::UnOp(*op, se), vec![ty]));
+        }
+        // Builtin binary math applied in prefix position: `min a b`.
+        if let Some(op) = match fname {
+            "min" => Some(UBinOp::Min),
+            "max" => Some(UBinOp::Max),
+            "pow" => Some(UBinOp::Pow),
+            "atan2" => Some(UBinOp::Atan2),
+            _ => None,
+        } {
+            if args.len() != 2 {
+                return err(format!("`{fname}` takes two arguments"));
+            }
+            return self.binop(env, stms, op, &args[0], &args[1], hint);
+        }
+        match fname {
+            "iota" => {
+                if args.len() != 1 {
+                    return err("`iota` takes one argument");
+                }
+                let (n, _) =
+                    self.atomic(env, stms, &args[0], Some(&Type::Scalar(ScalarType::I64)))?;
+                let dim = subexp_to_size(&n)?;
+                Ok((
+                    Exp::Iota(n),
+                    vec![Type::array_of(ScalarType::I64, vec![dim])],
+                ))
+            }
+            "replicate" => {
+                if args.len() != 2 {
+                    return err("`replicate` takes two arguments");
+                }
+                let (n, _) =
+                    self.atomic(env, stms, &args[0], Some(&Type::Scalar(ScalarType::I64)))?;
+                let elem_hint = hint.and_then(Type::as_array).map(|a| a.row_type());
+                let (v, vty) = self.atomic(env, stms, &args[1], elem_hint.as_ref())?;
+                let dim = subexp_to_size(&n)?;
+                Ok((Exp::Replicate(n, v), vec![lift(&vty, dim)]))
+            }
+            "copy" => {
+                if args.len() != 1 {
+                    return err("`copy` takes one argument");
+                }
+                let (se, ty) = self.atomic(env, stms, &args[0], hint)?;
+                let SubExp::Var(name) = se else {
+                    return err("`copy` of a constant");
+                };
+                Ok((Exp::Copy(name), vec![ty]))
+            }
+            "concat" => {
+                if args.is_empty() {
+                    return err("`concat` needs at least one array");
+                }
+                let mut names = Vec::new();
+                let mut tys = Vec::new();
+                for a in args {
+                    let (se, ty) = self.atomic(env, stms, a, None)?;
+                    let SubExp::Var(name) = se else {
+                        return err("`concat` of a constant");
+                    };
+                    names.push(name);
+                    tys.push(ty);
+                }
+                let first = tys[0].as_array().ok_or_else(|| ElabError {
+                    message: "`concat` of non-arrays".into(),
+                })?;
+                // Outer size: sum of constants if all known, else symbolic
+                // via an explicit add chain.
+                let mut outer = Size::Const(0);
+                let mut all_const = true;
+                for t in &tys {
+                    match t.outer_dim() {
+                        Some(Size::Const(k)) => {
+                            if let Size::Const(acc) = outer {
+                                outer = Size::Const(acc + k);
+                            }
+                        }
+                        _ => all_const = false,
+                    }
+                }
+                if !all_const {
+                    let mut acc = size_to_subexp(
+                        tys[0].outer_dim().expect("array has outer dim"),
+                    );
+                    for t in &tys[1..] {
+                        let d = size_to_subexp(t.outer_dim().expect("array has outer dim"));
+                        let name = self.ns.fresh("cl");
+                        stms.push(Stm::single(
+                            name.clone(),
+                            Type::Scalar(ScalarType::I64),
+                            Exp::BinOp(BinOp::Add, acc, d),
+                        ));
+                        acc = SubExp::Var(name);
+                    }
+                    outer = subexp_to_size(&acc)?;
+                }
+                let mut dims = vec![outer];
+                dims.extend(first.dims[1..].iter().cloned());
+                Ok((
+                    Exp::Concat { arrays: names },
+                    vec![Type::array_of(first.elem, dims)],
+                ))
+            }
+            "transpose" => {
+                if args.len() != 1 {
+                    return err("`transpose` takes one argument");
+                }
+                let (se, ty) = self.atomic(env, stms, &args[0], None)?;
+                let SubExp::Var(name) = se else {
+                    return err("`transpose` of a constant");
+                };
+                let at = ty.as_array().ok_or_else(|| ElabError {
+                    message: "`transpose` of a non-array".into(),
+                })?;
+                if at.rank() < 2 {
+                    return err("`transpose` needs rank >= 2");
+                }
+                let mut perm: Vec<usize> = (0..at.rank()).collect();
+                perm.swap(0, 1);
+                let dims: Vec<Size> = perm.iter().map(|&p| at.dims[p].clone()).collect();
+                Ok((
+                    Exp::Rearrange { perm, array: name },
+                    vec![Type::array_of(at.elem, dims)],
+                ))
+            }
+            "convert" => {
+                if args.len() != 2 {
+                    return err("`convert` takes a type and a value");
+                }
+                let UExp::Var(tyname) = &args[0] else {
+                    return err("`convert`'s first argument must be a type name");
+                };
+                let t = crate::parser::scalar_type_name(tyname).ok_or_else(|| ElabError {
+                    message: format!("unknown scalar type `{tyname}`"),
+                })?;
+                let (se, _) = self.atomic(env, stms, &args[1], None)?;
+                Ok((Exp::Convert(t, se), vec![Type::Scalar(t)]))
+            }
+            _ => {
+                // Scalar-type names double as conversion functions: `f32 x`.
+                if let Some(t) = crate::parser::scalar_type_name(fname) {
+                    if args.len() != 1 {
+                        return err(format!("conversion `{fname}` takes one argument"));
+                    }
+                    let (se, _) = self.atomic(env, stms, &args[0], None)?;
+                    return Ok((Exp::Convert(t, se), vec![Type::Scalar(t)]));
+                }
+                // User function call.
+                let (params, ret, _) = self
+                    .sigs
+                    .get(fname)
+                    .cloned()
+                    .ok_or_else(|| ElabError {
+                        message: format!("unknown function `{fname}`"),
+                    })?;
+                if args.len() != params.len() {
+                    return err(format!(
+                        "`{fname}` expects {} arguments, got {}",
+                        params.len(),
+                        args.len()
+                    ));
+                }
+                let mut arg_ses = Vec::new();
+                let mut inst: HashMap<Name, SubExp> = HashMap::new();
+                for (a, p) in args.iter().zip(&params) {
+                    let (se, _) = self.atomic(env, stms, a, Some(&p.ty))?;
+                    inst.insert(p.name.clone(), se.clone());
+                    arg_ses.push(se);
+                }
+                // Instantiate result shapes with the actual arguments.
+                let mut rtys = Vec::new();
+                for d in &ret {
+                    let mut ty = d.ty.clone();
+                    if let Type::Array(at) = &mut ty {
+                        for dim in &mut at.dims {
+                            if let Size::Var(v) = dim {
+                                if let Some(se) = inst.get(v) {
+                                    *dim = subexp_to_size(se)?;
+                                }
+                            }
+                        }
+                    }
+                    rtys.push(ty);
+                }
+                Ok((
+                    Exp::Apply {
+                        func: fname.to_string(),
+                        args: arg_ses,
+                    },
+                    rtys,
+                ))
+            }
+        }
+    }
+
+    fn loop_exp(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        params: &[(String, Option<UDeclType>, UExp)],
+        form: &ULoopForm,
+        body: &UExp,
+    ) -> EResult<(Exp, Vec<Type>)> {
+        let mut inits = Vec::new();
+        let mut env2 = env.clone();
+        let mut core_params = Vec::new();
+        for (pname, decl, init) in params {
+            let decl_ty = decl
+                .as_ref()
+                .map(|d| elab_type(env, &d.ty))
+                .transpose()?;
+            let (ise, ity) = self.atomic(env, stms, init, decl_ty.as_ref())?;
+            let ty = decl_ty.unwrap_or(ity);
+            let unique = decl.as_ref().map(|d| d.unique).unwrap_or(false);
+            let name = self.ns.fresh(hint_of(pname));
+            env2.bind(pname, name.clone(), ty.clone());
+            core_params.push((
+                Param {
+                    name,
+                    ty: ty.clone(),
+                    unique,
+                },
+                ise.clone(),
+            ));
+            inits.push((ise, ty));
+        }
+        let lform = match form {
+            ULoopForm::For(ivar, bound) => {
+                let (bse, bty) = self.atomic(
+                    env,
+                    stms,
+                    bound,
+                    Some(&Type::Scalar(ScalarType::I64)),
+                )?;
+                if bty != Type::Scalar(ScalarType::I64) {
+                    return err("loop bound must be i64");
+                }
+                let iname = self.ns.fresh(hint_of(ivar));
+                env2.bind(ivar, iname.clone(), Type::Scalar(ScalarType::I64));
+                LoopForm::For {
+                    var: iname,
+                    bound: bse,
+                }
+            }
+            ULoopForm::While(cond) => {
+                let cbody = self.body(&env2, cond, None)?;
+                LoopForm::While(cbody)
+            }
+        };
+        let ptys: Vec<Type> = core_params.iter().map(|(p, _)| p.ty.clone()).collect();
+        let lbody = self.body(&env2, body, Some(&ptys))?;
+        if lbody.result.len() != core_params.len() {
+            return err(format!(
+                "loop body produces {} values but has {} merge parameters",
+                lbody.result.len(),
+                core_params.len()
+            ));
+        }
+        Ok((
+            Exp::Loop {
+                params: core_params,
+                form: lform,
+                body: lbody,
+            },
+            ptys,
+        ))
+    }
+
+    // ---- SOACs ----
+
+    fn soac(&mut self, env: &Env, stms: &mut Vec<Stm>, soac: &USoac) -> EResult<(Exp, Vec<Type>)> {
+        match soac {
+            USoac::Map { op, arrs } => {
+                let (names, width, row_tys) = self.elab_arrays(env, stms, arrs)?;
+                let lam = self.operator(env, stms, op, &row_tys, None)?;
+                let outer = subexp_to_size(&width)?;
+                let rtys: Vec<Type> = lam.ret.iter().map(|t| lift(t, outer.clone())).collect();
+                Ok((
+                    Exp::Soac(Soac::Map {
+                        width,
+                        lam,
+                        arrs: names,
+                    }),
+                    rtys,
+                ))
+            }
+            USoac::Reduce {
+                comm,
+                op,
+                neutral,
+                arrs,
+            } => {
+                let (names, width, row_tys) = self.elab_arrays(env, stms, arrs)?;
+                let (nses, ntys) = self.elab_neutral(env, stms, neutral, &row_tys)?;
+                let mut ptys = ntys.clone();
+                ptys.extend(ntys.iter().cloned());
+                let lam = self.operator(env, stms, op, &ptys, Some(&ntys))?;
+                Ok((
+                    Exp::Soac(Soac::Reduce {
+                        width,
+                        lam,
+                        neutral: nses,
+                        arrs: names,
+                        comm: *comm,
+                    }),
+                    ntys,
+                ))
+            }
+            USoac::Scan { op, neutral, arrs } => {
+                let (names, width, row_tys) = self.elab_arrays(env, stms, arrs)?;
+                let (nses, ntys) = self.elab_neutral(env, stms, neutral, &row_tys)?;
+                let mut ptys = ntys.clone();
+                ptys.extend(ntys.iter().cloned());
+                let lam = self.operator(env, stms, op, &ptys, Some(&ntys))?;
+                let outer = subexp_to_size(&width)?;
+                let rtys: Vec<Type> = ntys.iter().map(|t| lift(t, outer.clone())).collect();
+                Ok((
+                    Exp::Soac(Soac::Scan {
+                        width,
+                        lam,
+                        neutral: nses,
+                        arrs: names,
+                    }),
+                    rtys,
+                ))
+            }
+            USoac::Redomap {
+                comm,
+                red,
+                map,
+                neutral,
+                arrs,
+            } => {
+                let (names, width, row_tys) = self.elab_arrays(env, stms, arrs)?;
+                let (nses, ntys) = self.elab_neutral(env, stms, neutral, &row_tys)?;
+                let map_lam = self.operator(env, stms, map, &row_tys, None)?;
+                let mut red_ptys = ntys.clone();
+                red_ptys.extend(ntys.iter().cloned());
+                let red_lam = self.operator(env, stms, red, &red_ptys, Some(&ntys))?;
+                let outer = subexp_to_size(&width)?;
+                let mut rtys = ntys.clone();
+                for extra in map_lam.ret.iter().skip(ntys.len()) {
+                    rtys.push(lift(extra, outer.clone()));
+                }
+                Ok((
+                    Exp::Soac(Soac::Redomap {
+                        width,
+                        red_lam,
+                        map_lam,
+                        neutral: nses,
+                        arrs: names,
+                        comm: *comm,
+                    }),
+                    rtys,
+                ))
+            }
+            USoac::StreamMap { op, arrs } => {
+                let (names, width, row_tys) = self.elab_arrays(env, stms, arrs)?;
+                let lam = self.stream_operator(env, stms, op, &[], &row_tys)?;
+                let outer = subexp_to_size(&width)?;
+                let chunk = lam.params[0].name.clone();
+                let rtys: Vec<Type> = lam
+                    .ret
+                    .iter()
+                    .map(|t| replace_outer(t, &chunk, outer.clone()))
+                    .collect::<EResult<_>>()?;
+                Ok((
+                    Exp::Soac(Soac::StreamMap {
+                        width,
+                        lam,
+                        arrs: names,
+                    }),
+                    rtys,
+                ))
+            }
+            USoac::StreamRed {
+                red,
+                fold,
+                accs,
+                arrs,
+            } => {
+                let (names, width, row_tys) = self.elab_arrays(env, stms, arrs)?;
+                let (ases, atys) = self.elab_neutral(env, stms, accs, &[])?;
+                let fold_lam = self.stream_operator(env, stms, fold, &atys, &row_tys)?;
+                let mut red_ptys = atys.clone();
+                red_ptys.extend(atys.iter().cloned());
+                let red_lam = self.operator(env, stms, red, &red_ptys, Some(&atys))?;
+                let outer = subexp_to_size(&width)?;
+                let chunk = fold_lam.params[0].name.clone();
+                let mut rtys = atys.clone();
+                for t in fold_lam.ret.iter().skip(atys.len()) {
+                    rtys.push(replace_outer(t, &chunk, outer.clone())?);
+                }
+                Ok((
+                    Exp::Soac(Soac::StreamRed {
+                        width,
+                        red_lam,
+                        fold_lam,
+                        accs: ases,
+                        arrs: names,
+                    }),
+                    rtys,
+                ))
+            }
+            USoac::StreamSeq { fold, accs, arrs } => {
+                let (names, width, row_tys) = self.elab_arrays(env, stms, arrs)?;
+                let (ases, atys) = self.elab_neutral(env, stms, accs, &[])?;
+                let lam = self.stream_operator(env, stms, fold, &atys, &row_tys)?;
+                let outer = subexp_to_size(&width)?;
+                let chunk = lam.params[0].name.clone();
+                let mut rtys = atys.clone();
+                for t in lam.ret.iter().skip(atys.len()) {
+                    rtys.push(replace_outer(t, &chunk, outer.clone())?);
+                }
+                Ok((
+                    Exp::Soac(Soac::StreamSeq {
+                        width,
+                        lam,
+                        accs: ases,
+                        arrs: names,
+                    }),
+                    rtys,
+                ))
+            }
+            USoac::Scatter {
+                dest,
+                indices,
+                values,
+            } => {
+                let (dse, dty) = self.atomic(env, stms, dest, None)?;
+                let (ise, _) = self.atomic(env, stms, indices, None)?;
+                let (vse, vty) = self.atomic(env, stms, values, None)?;
+                let (SubExp::Var(dname), SubExp::Var(iname), SubExp::Var(vname)) =
+                    (dse, ise, vse)
+                else {
+                    return err("scatter arguments must be arrays");
+                };
+                let width = vty
+                    .outer_dim()
+                    .map(size_to_subexp)
+                    .ok_or_else(|| ElabError {
+                        message: "scatter values must be an array".into(),
+                    })?;
+                Ok((
+                    Exp::Soac(Soac::Scatter {
+                        width,
+                        dest: dname,
+                        indices: iname,
+                        values: vname,
+                    }),
+                    vec![dty],
+                ))
+            }
+        }
+    }
+
+    /// Elaborates SOAC input arrays; returns their names, the common outer
+    /// width, and their row types.
+    fn elab_arrays(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        arrs: &[UExp],
+    ) -> EResult<(Vec<Name>, SubExp, Vec<Type>)> {
+        if arrs.is_empty() {
+            return err("SOAC needs at least one input array");
+        }
+        let mut names = Vec::new();
+        let mut row_tys = Vec::new();
+        let mut width: Option<SubExp> = None;
+        for a in arrs {
+            let (se, ty) = self.atomic(env, stms, a, None)?;
+            let SubExp::Var(name) = se else {
+                return err("SOAC input must be an array, found a constant");
+            };
+            let at = ty.as_array().ok_or_else(|| ElabError {
+                message: format!("SOAC input `{name}` is not an array"),
+            })?;
+            let w = size_to_subexp(&at.dims[0]);
+            match &width {
+                None => width = Some(w),
+                Some(prev) => {
+                    if let (SubExp::Const(a), SubExp::Const(b)) = (prev, &w) {
+                        if a != b {
+                            return err("SOAC inputs have different outer sizes");
+                        }
+                    }
+                }
+            }
+            names.push(name);
+            row_tys.push(at.row_type());
+        }
+        Ok((names, width.expect("nonempty"), row_tys))
+    }
+
+    /// Elaborates a neutral element / accumulator expression, which may be a
+    /// tuple. Hints come from the SOAC's input row types when available.
+    fn elab_neutral(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        e: &UExp,
+        row_tys: &[Type],
+    ) -> EResult<(Vec<SubExp>, Vec<Type>)> {
+        let parts: Vec<&UExp> = match e {
+            UExp::Tuple(parts) => parts.iter().collect(),
+            single => vec![single],
+        };
+        let mut ses = Vec::new();
+        let mut tys = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            let hint = row_tys.get(i);
+            let (se, ty) = self.atomic(env, stms, p, hint)?;
+            ses.push(se);
+            tys.push(ty);
+        }
+        Ok((ses, tys))
+    }
+
+    /// Elaborates an operator (lambda or section) against expected parameter
+    /// types.
+    fn operator(
+        &mut self,
+        env: &Env,
+        stms: &mut Vec<Stm>,
+        op: &UExp,
+        param_tys: &[Type],
+        ret_hint: Option<&[Type]>,
+    ) -> EResult<Lambda> {
+        match op {
+            UExp::Lambda(ul) => {
+                if ul.params.len() != param_tys.len() {
+                    return err(format!(
+                        "operator takes {} parameters but {} are required",
+                        ul.params.len(),
+                        param_tys.len()
+                    ));
+                }
+                let mut env2 = env.clone();
+                let mut params = Vec::new();
+                for ((pname, annot), want) in ul.params.iter().zip(param_tys) {
+                    let ty = match annot {
+                        Some(u) => {
+                            let t = elab_type(&env2, u)?;
+                            if !t.eq_modulo_sizes(want) {
+                                return err(format!(
+                                    "operator parameter `{pname}` annotated `{t}` but expected `{want}`"
+                                ));
+                            }
+                            t
+                        }
+                        None => want.clone(),
+                    };
+                    let name = self.ns.fresh(hint_of(pname));
+                    env2.bind(pname, name.clone(), ty.clone());
+                    params.push(Param::new(name, ty));
+                }
+                let ret_annot: Option<Vec<Type>> = ul
+                    .ret
+                    .as_ref()
+                    .map(|ts| ts.iter().map(|t| elab_type(&env2, t)).collect())
+                    .transpose()?;
+                let hints = ret_annot.as_deref().or(ret_hint);
+                let body = self.body(&env2, &ul.body, hints)?;
+                let tys = self.lambda_result_types(&env2, &ul.body, hints)?;
+                Ok(Lambda {
+                    params,
+                    body,
+                    ret: tys,
+                })
+            }
+            UExp::Section(op, None, None) => {
+                if param_tys.len() != 2 {
+                    return err("binary operator section needs exactly two parameters");
+                }
+                self.section_lambda(*op, &param_tys[0], None, stms, env)
+            }
+            UExp::Section(op, None, Some(rhs)) => {
+                if param_tys.len() != 1 {
+                    return err("right section needs exactly one parameter");
+                }
+                let (rse, _) = self.atomic(env, stms, rhs, Some(&param_tys[0]))?;
+                self.section_lambda(*op, &param_tys[0], Some(rse), stms, env)
+            }
+            other => err(format!(
+                "expected a lambda or operator section, found {other:?}"
+            )),
+        }
+    }
+
+    fn section_lambda(
+        &mut self,
+        op: UBinOp,
+        operand_ty: &Type,
+        rhs: Option<SubExp>,
+        _stms: &mut [Stm],
+        _env: &Env,
+    ) -> EResult<Lambda> {
+        let Type::Scalar(t) = operand_ty else {
+            return err("operator sections require scalar operands");
+        };
+        let x = self.ns.fresh("x");
+        let r = self.ns.fresh("r");
+        let (exp, rty) = if let Some(cmp) = ubinop_cmp(op) {
+            let b = rhs.clone().ok_or(())
+                .or_else(|_| err::<SubExp>("comparison section must be a right section"))?;
+            (
+                Exp::Cmp(cmp, SubExp::Var(x.clone()), b),
+                Type::Scalar(ScalarType::Bool),
+            )
+        } else {
+            let core = ubinop_arith(op).expect("non-cmp section");
+            match &rhs {
+                Some(b) => (
+                    Exp::BinOp(core, SubExp::Var(x.clone()), b.clone()),
+                    Type::Scalar(*t),
+                ),
+                None => {
+                    let y = self.ns.fresh("y");
+                    let body = Body::new(
+                        vec![Stm::single(
+                            r.clone(),
+                            Type::Scalar(*t),
+                            Exp::BinOp(core, SubExp::Var(x.clone()), SubExp::Var(y.clone())),
+                        )],
+                        vec![SubExp::Var(r)],
+                    );
+                    return Ok(Lambda {
+                        params: vec![
+                            Param::new(x, Type::Scalar(*t)),
+                            Param::new(y, Type::Scalar(*t)),
+                        ],
+                        body,
+                        ret: vec![Type::Scalar(*t)],
+                    });
+                }
+            }
+        };
+        let body = Body::new(
+            vec![Stm::single(r.clone(), rty.clone(), exp)],
+            vec![SubExp::Var(r)],
+        );
+        Ok(Lambda {
+            params: vec![Param::new(x, operand_ty.clone())],
+            body,
+            ret: vec![rty],
+        })
+    }
+
+    /// Elaborates a stream operator: first parameter is the chunk size, then
+    /// accumulators, then chunk arrays whose outer dimension is the chunk
+    /// size parameter.
+    fn stream_operator(
+        &mut self,
+        env: &Env,
+        _stms: &mut Vec<Stm>,
+        op: &UExp,
+        acc_tys: &[Type],
+        row_tys: &[Type],
+    ) -> EResult<Lambda> {
+        let UExp::Lambda(ul) = op else {
+            return err("stream operators must be explicit lambdas");
+        };
+        let expected = 1 + acc_tys.len() + row_tys.len();
+        if ul.params.len() != expected {
+            return err(format!(
+                "stream operator takes {} parameters but {expected} are required \
+                 (chunk size, {} accumulator(s), {} chunk array(s))",
+                ul.params.len(),
+                acc_tys.len(),
+                row_tys.len()
+            ));
+        }
+        let mut env2 = env.clone();
+        let mut params = Vec::new();
+        // Chunk-size parameter.
+        let (cname_str, cannot) = &ul.params[0];
+        if let Some(u) = cannot {
+            let t = elab_type(&env2, u)?;
+            if t != Type::Scalar(ScalarType::I64) {
+                return err("the first stream parameter (chunk size) must be i64");
+            }
+        }
+        let chunk = self.ns.fresh(hint_of(cname_str));
+        env2.bind(cname_str, chunk.clone(), Type::Scalar(ScalarType::I64));
+        params.push(Param::new(chunk.clone(), Type::Scalar(ScalarType::I64)));
+        // Accumulators.
+        for ((pname, annot), want) in ul.params[1..1 + acc_tys.len()].iter().zip(acc_tys) {
+            let ty = match annot {
+                Some(u) => {
+                    let t = elab_type(&env2, u)?;
+                    if !t.eq_modulo_sizes(want) {
+                        return err(format!(
+                            "accumulator `{pname}` annotated `{t}` but expected `{want}`"
+                        ));
+                    }
+                    t
+                }
+                None => want.clone(),
+            };
+            let name = self.ns.fresh(hint_of(pname));
+            env2.bind(pname, name.clone(), ty.clone());
+            // Stream accumulators may be updated in place (Figure 4c marks
+            // them unique); elaboration keeps them consumable and the
+            // uniqueness checker enforces the details.
+            params.push(Param::unique(name, ty));
+        }
+        // Chunk arrays.
+        for ((pname, annot), row) in ul.params[1 + acc_tys.len()..].iter().zip(row_tys) {
+            let want = lift(row, Size::Var(chunk.clone()));
+            let ty = match annot {
+                Some(u) => {
+                    let t = elab_type(&env2, u)?;
+                    if !t.eq_modulo_sizes(&want) {
+                        return err(format!(
+                            "chunk array `{pname}` annotated `{t}` but expected `{want}`"
+                        ));
+                    }
+                    // Normalise the outer dim to the chunk variable.
+                    want.clone()
+                }
+                None => want.clone(),
+            };
+            let name = self.ns.fresh(hint_of(pname));
+            env2.bind(pname, name.clone(), ty.clone());
+            params.push(Param::new(name, ty));
+        }
+        let ret_annot: Option<Vec<Type>> = ul
+            .ret
+            .as_ref()
+            .map(|ts| ts.iter().map(|t| elab_type(&env2, t)).collect())
+            .transpose()?;
+        let body = self.body(&env2, &ul.body, ret_annot.as_deref())?;
+        let tys = self.lambda_result_types(&env2, &ul.body, ret_annot.as_deref())?;
+        Ok(Lambda {
+            params,
+            body,
+            ret: tys,
+        })
+    }
+
+    /// Result types of a lambda body (re-elaborated into a scratch buffer;
+    /// cheap because operator bodies are small).
+    fn lambda_result_types(
+        &mut self,
+        env: &Env,
+        body: &UExp,
+        hints: Option<&[Type]>,
+    ) -> EResult<Vec<Type>> {
+        self.body_types(env, body, hints)
+    }
+}
+
+fn replace_outer(t: &Type, chunk: &Name, outer: Size) -> EResult<Type> {
+    let Type::Array(at) = t else {
+        return err(format!(
+            "stream operator array result must be an array, got `{t}`"
+        ));
+    };
+    let mut dims = at.dims.clone();
+    match &dims[0] {
+        Size::Var(v) if v == chunk => {
+            dims[0] = outer;
+            Ok(Type::array_of(at.elem, dims))
+        }
+        _ => err(
+            "stream operator array result must have the chunk size as its outer dimension",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn elab_src(src: &str) -> (Program, NameSource) {
+        let up = parse(src).unwrap();
+        elaborate(&up).unwrap()
+    }
+
+    #[test]
+    fn elaborates_map_increment() {
+        let (prog, _) = elab_src(
+            "fun main (n: i64) (xs: [n]f32): [n]f32 =\n  let ys = map (\\x -> x + 1.0f32) xs\n  in ys",
+        );
+        let f = prog.main().unwrap();
+        assert_eq!(f.params.len(), 2);
+        let Exp::Soac(Soac::Map { width, lam, .. }) = &f.body.stms[0].exp else {
+            panic!("expected map, got {:?}", f.body.stms[0].exp);
+        };
+        assert_eq!(width, &SubExp::Var(f.params[0].name.clone()));
+        assert_eq!(lam.params[0].ty, Type::Scalar(ScalarType::F32));
+        assert_eq!(lam.ret, vec![Type::Scalar(ScalarType::F32)]);
+    }
+
+    #[test]
+    fn literal_adapts_to_operand_type() {
+        let (prog, _) = elab_src(
+            "fun main (x: f32): f32 =\n  let y = x * 2.0 + 1.0\n  in y",
+        );
+        let f = prog.main().unwrap();
+        for stm in &f.body.stms {
+            for pe in &stm.pat {
+                assert_eq!(pe.ty, Type::Scalar(ScalarType::F32), "{stm:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_section_builds_lambda() {
+        let (prog, _) = elab_src(
+            "fun main (n: i64) (xs: [n]f32): f32 =\n  let s = reduce (+) 0.0 xs\n  in s",
+        );
+        let f = prog.main().unwrap();
+        let Exp::Soac(Soac::Reduce { lam, neutral, .. }) = &f.body.stms[0].exp else {
+            panic!("expected reduce");
+        };
+        assert_eq!(lam.params.len(), 2);
+        assert_eq!(neutral[0], SubExp::Const(Scalar::F32(0.0)));
+    }
+
+    #[test]
+    fn function_call_instantiates_result_shape() {
+        let (prog, _) = elab_src(
+            "fun helper (m: i64) (v: f32): [m]f32 =\n  let r = replicate m v\n  in r\n\
+             fun main (k: i64): [k]f32 =\n  let out = helper(k, 1.0f32)\n  in out",
+        );
+        let f = prog.main().unwrap();
+        let Exp::Apply { func, .. } = &f.body.stms[0].exp else {
+            panic!("expected call, got {:?}", f.body.stms[0].exp);
+        };
+        assert_eq!(func, "helper");
+        // The call's result type is [k]f32 with k = main's parameter.
+        let k = f.params[0].name.clone();
+        assert_eq!(
+            f.body.stms[0].pat[0].ty,
+            Type::array_of(ScalarType::F32, vec![Size::Var(k)])
+        );
+    }
+
+    #[test]
+    fn loop_with_update_elaborates() {
+        let (prog, _) = elab_src(
+            "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+             let z = replicate k 0\n\
+             let counts = loop (c = z) for i < n do (\n\
+               let cluster = membership[i]\n\
+               let old = c[cluster]\n\
+               in c with [cluster] <- old + 1)\n\
+             in counts",
+        );
+        let f = prog.main().unwrap();
+        let last = f.body.stms.last().unwrap();
+        assert!(matches!(last.exp, Exp::Loop { .. }), "{:?}", last.exp);
+    }
+
+    #[test]
+    fn stream_red_kmeans_shape() {
+        let (prog, _) = elab_src(
+            "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+             let z = replicate k 0\n\
+             let counts = stream_red (\\(a: [k]i64) (b: [k]i64) -> map (+) a b)\n\
+               (\\(chunk: i64) (acc: [k]i64) (cs: [chunk]i64) ->\n\
+                 loop (a = acc) for i < chunk do (\n\
+                   let c = cs[i]\n\
+                   let old = a[c]\n\
+                   in a with [c] <- old + 1))\n\
+               z membership\n\
+             in counts",
+        );
+        let f = prog.main().unwrap();
+        let Exp::Soac(Soac::StreamRed { fold_lam, .. }) = &f.body.stms.last().unwrap().exp
+        else {
+            panic!("expected stream_red");
+        };
+        assert_eq!(fold_lam.params.len(), 3);
+        assert_eq!(fold_lam.params[0].ty, Type::Scalar(ScalarType::I64));
+        assert!(fold_lam.params[1].unique, "accumulator should be consumable");
+    }
+
+    #[test]
+    fn rejects_unbound_variable() {
+        let up = parse("fun main (): i64 =\n  let x = y + 1\n  in x").unwrap();
+        let e = elaborate(&up).unwrap_err();
+        assert!(e.message.contains("not in scope"), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_operator_arity() {
+        let up = parse(
+            "fun main (n: i64) (xs: [n]f32): [n]f32 =\n  let r = map (\\x y -> x) xs\n  in r",
+        )
+        .unwrap();
+        let e = elaborate(&up).unwrap_err();
+        assert!(e.message.contains("parameters"), "{e}");
+    }
+
+    #[test]
+    fn transpose_types() {
+        let (prog, _) = elab_src(
+            "fun main (n: i64) (m: i64) (xss: [n][m]f32): [m][n]f32 =\n\
+             let t = transpose xss\n  in t",
+        );
+        let f = prog.main().unwrap();
+        let Exp::Rearrange { perm, .. } = &f.body.stms[0].exp else {
+            panic!("expected rearrange");
+        };
+        assert_eq!(perm, &vec![1, 0]);
+    }
+
+    #[test]
+    fn multi_result_if() {
+        let (prog, _) = elab_src(
+            "fun main (a: i64) (b: i64): (i64, i64) =\n\
+             let (x, y) = if a < b then (a, b) else (b, a)\n  in (x, y)",
+        );
+        let f = prog.main().unwrap();
+        let Some(Exp::If { ret, .. }) = f
+            .body
+            .stms
+            .iter()
+            .map(|s| &s.exp)
+            .find(|e| matches!(e, Exp::If { .. }))
+        else {
+            panic!("expected if");
+        };
+        assert_eq!(ret.len(), 2);
+        assert_eq!(f.body.result.len(), 2);
+    }
+}

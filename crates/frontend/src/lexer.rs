@@ -1,0 +1,571 @@
+//! Tokeniser for the Futhark core-language concrete syntax.
+
+use futhark_core::ScalarType;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier (variable or function name).
+    Ident(String),
+    /// An integer literal with an optional type suffix.
+    IntLit(i64, Option<ScalarType>),
+    /// A float literal with an optional type suffix.
+    FloatLit(f64, Option<ScalarType>),
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+
+    // Keywords.
+    /// `fun`
+    Fun,
+    /// `let`
+    Let,
+    /// `in`
+    In,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `loop`
+    Loop,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `with`
+    With,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Equals,
+    /// `->`
+    Arrow,
+    /// `<-`
+    LArrow,
+    /// `\`
+    Backslash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::IntLit(k, _) => write!(f, "{k}"),
+            Token::FloatLit(x, _) => write!(f, "{x}"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Fun => write!(f, "fun"),
+            Token::Let => write!(f, "let"),
+            Token::In => write!(f, "in"),
+            Token::If => write!(f, "if"),
+            Token::Then => write!(f, "then"),
+            Token::Else => write!(f, "else"),
+            Token::Loop => write!(f, "loop"),
+            Token::For => write!(f, "for"),
+            Token::While => write!(f, "while"),
+            Token::Do => write!(f, "do"),
+            Token::With => write!(f, "with"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Equals => write!(f, "="),
+            Token::Arrow => write!(f, "->"),
+            Token::LArrow => write!(f, "<-"),
+            Token::Backslash => write!(f, "\\"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Lt => write!(f, "<"),
+            Token::Gt => write!(f, ">"),
+            Token::Le => write!(f, "<="),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// The 1-based line it starts on.
+    pub line: u32,
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// The 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises a source string. Comments run from `--` to end of line.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed numbers or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                out.push(SpannedToken {
+                    token: Token::Arrow,
+                    line,
+                });
+                i += 2;
+            }
+            '-' => {
+                out.push(SpannedToken {
+                    token: Token::Minus,
+                    line,
+                });
+                i += 1;
+            }
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                out.push(SpannedToken {
+                    token: Token::LArrow,
+                    line,
+                });
+                i += 2;
+            }
+            '<' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedToken {
+                    token: Token::Le,
+                    line,
+                });
+                i += 2;
+            }
+            '<' => {
+                out.push(SpannedToken {
+                    token: Token::Lt,
+                    line,
+                });
+                i += 1;
+            }
+            '>' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedToken {
+                    token: Token::Ge,
+                    line,
+                });
+                i += 2;
+            }
+            '>' => {
+                out.push(SpannedToken {
+                    token: Token::Gt,
+                    line,
+                });
+                i += 1;
+            }
+            '=' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedToken {
+                    token: Token::EqEq,
+                    line,
+                });
+                i += 2;
+            }
+            '=' => {
+                out.push(SpannedToken {
+                    token: Token::Equals,
+                    line,
+                });
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedToken {
+                    token: Token::NotEq,
+                    line,
+                });
+                i += 2;
+            }
+            '!' => {
+                out.push(SpannedToken {
+                    token: Token::Bang,
+                    line,
+                });
+                i += 1;
+            }
+            '&' if i + 1 < bytes.len() && bytes[i + 1] == b'&' => {
+                out.push(SpannedToken {
+                    token: Token::AndAnd,
+                    line,
+                });
+                i += 2;
+            }
+            '|' if i + 1 < bytes.len() && bytes[i + 1] == b'|' => {
+                out.push(SpannedToken {
+                    token: Token::OrOr,
+                    line,
+                });
+                i += 2;
+            }
+            '(' => {
+                out.push(SpannedToken {
+                    token: Token::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedToken {
+                    token: Token::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(SpannedToken {
+                    token: Token::LBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(SpannedToken {
+                    token: Token::RBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(SpannedToken {
+                    token: Token::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            ':' => {
+                out.push(SpannedToken {
+                    token: Token::Colon,
+                    line,
+                });
+                i += 1;
+            }
+            '\\' => {
+                out.push(SpannedToken {
+                    token: Token::Backslash,
+                    line,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(SpannedToken {
+                    token: Token::Plus,
+                    line,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(SpannedToken {
+                    token: Token::Star,
+                    line,
+                });
+                i += 1;
+            }
+            '/' => {
+                out.push(SpannedToken {
+                    token: Token::Slash,
+                    line,
+                });
+                i += 1;
+            }
+            '%' => {
+                out.push(SpannedToken {
+                    token: Token::Percent,
+                    line,
+                });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(src, i, line)?;
+                out.push(SpannedToken { token: tok, line });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "fun" => Token::Fun,
+                    "let" => Token::Let,
+                    "in" => Token::In,
+                    "if" => Token::If,
+                    "then" => Token::Then,
+                    "else" => Token::Else,
+                    "loop" => Token::Loop,
+                    "for" => Token::For,
+                    "while" => Token::While,
+                    "do" => Token::Do,
+                    "with" => Token::With,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push(SpannedToken { token: tok, line });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(src: &str, start: usize, line: u32) -> Result<(Token, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    // Fractional part: '.' followed by a digit (so `a[1].` never happens but
+    // ranges would be safe).
+    if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let num_end = i;
+    // Optional type suffix.
+    let mut suffix = None;
+    for (text, t, floaty) in [
+        ("i32", ScalarType::I32, false),
+        ("i64", ScalarType::I64, false),
+        ("f32", ScalarType::F32, true),
+        ("f64", ScalarType::F64, true),
+    ] {
+        if src[i..].starts_with(text) {
+            suffix = Some((t, floaty));
+            i += 3;
+            break;
+        }
+    }
+    let text = &src[start..num_end];
+    match suffix {
+        Some((t, true)) => {
+            let x: f64 = text.parse().map_err(|e| LexError {
+                message: format!("bad float literal {text:?}: {e}"),
+                line,
+            })?;
+            Ok((Token::FloatLit(x, Some(t)), i))
+        }
+        Some((t, false)) => {
+            if is_float {
+                return Err(LexError {
+                    message: format!("integer suffix on float literal {text:?}"),
+                    line,
+                });
+            }
+            let k: i64 = text.parse().map_err(|e| LexError {
+                message: format!("bad integer literal {text:?}: {e}"),
+                line,
+            })?;
+            Ok((Token::IntLit(k, Some(t)), i))
+        }
+        None if is_float => {
+            let x: f64 = text.parse().map_err(|e| LexError {
+                message: format!("bad float literal {text:?}: {e}"),
+                line,
+            })?;
+            Ok((Token::FloatLit(x, None), i))
+        }
+        None => {
+            let k: i64 = text.parse().map_err(|e| LexError {
+                message: format!("bad integer literal {text:?}: {e}"),
+                line,
+            })?;
+            Ok((Token::IntLit(k, None), i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("fun main xs"),
+            vec![
+                Token::Fun,
+                Token::Ident("main".into()),
+                Token::Ident("xs".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_with_suffixes() {
+        assert_eq!(toks("42"), vec![Token::IntLit(42, None)]);
+        assert_eq!(toks("42i32"), vec![Token::IntLit(42, Some(ScalarType::I32))]);
+        assert_eq!(
+            toks("1.5f32"),
+            vec![Token::FloatLit(1.5, Some(ScalarType::F32))]
+        );
+        assert_eq!(toks("2.0e3"), vec![Token::FloatLit(2000.0, None)]);
+        assert_eq!(toks("1e-2"), vec![Token::FloatLit(0.01, None)]);
+        // An integer with a float suffix is a float literal.
+        assert_eq!(toks("3f64"), vec![Token::FloatLit(3.0, Some(ScalarType::F64))]);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("a <- b -> c <= d == e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::LArrow,
+                Token::Ident("b".into()),
+                Token::Arrow,
+                Token::Ident("c".into()),
+                Token::Le,
+                Token::Ident("d".into()),
+                Token::EqEq,
+                Token::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_run_to_eol() {
+        assert_eq!(
+            toks("a -- the rest is ignored\nb"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let ts = lex("a\nb\n\nc").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn indexing_is_not_a_float() {
+        // `a[1]` must lex the 1 as an integer even with `.` nearby.
+        assert_eq!(
+            toks("a[1]"),
+            vec![
+                Token::Ident("a".into()),
+                Token::LBracket,
+                Token::IntLit(1, None),
+                Token::RBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a # b").is_err());
+    }
+}

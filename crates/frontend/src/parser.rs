@@ -1,0 +1,1015 @@
+//! Recursive-descent parser from tokens to the surface AST.
+//!
+//! The grammar accepts both hand-written sources (optional pattern types,
+//! optional SOAC widths, operator sections, untyped lambda parameters) and
+//! the output of the core pretty-printer (explicit widths and annotations).
+
+use crate::ast::*;
+use crate::lexer::{lex, SpannedToken, Token};
+use futhark_core::ScalarType;
+use std::fmt;
+
+/// A parse error with a source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based source line (0 for end of input).
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full surface program from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+pub fn parse(src: &str) -> Result<UProgram, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+    })?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut functions = Vec::new();
+    while !p.at_end() {
+        functions.push(p.fundef()?);
+    }
+    Ok(UProgram { functions })
+}
+
+/// Parses a single expression (used by tests).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_exp(src: &str) -> Result<UExp, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+    })?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.exp()?;
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+const SOAC_KEYWORDS: &[&str] = &[
+    "map",
+    "reduce",
+    "reduce_comm",
+    "scan",
+    "redomap",
+    "redomap_comm",
+    "stream_map",
+    "stream_red",
+    "stream_seq",
+    "scatter",
+];
+
+const NAMED_BINOPS: &[(&str, UBinOp)] = &[
+    ("min", UBinOp::Min),
+    ("max", UBinOp::Max),
+    ("pow", UBinOp::Pow),
+    ("atan2", UBinOp::Atan2),
+];
+
+struct Parser {
+    toks: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1).map(|t| &t.token)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            line: self.line(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t.token)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{t}`, found `{}`",
+                self.peek().map(|t| t.to_string()).unwrap_or_default()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    // ---- Functions ----
+
+    fn fundef(&mut self) -> Result<UFunDef, ParseError> {
+        self.expect(&Token::Fun)?;
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        while self.peek() == Some(&Token::LParen) {
+            self.expect(&Token::LParen)?;
+            if self.eat(&Token::RParen) {
+                continue; // `()` — no parameters
+            }
+            let pname = self.ident()?;
+            self.expect(&Token::Colon)?;
+            let ty = self.decl_type()?;
+            self.expect(&Token::RParen)?;
+            params.push((pname, ty));
+        }
+        self.expect(&Token::Colon)?;
+        let ret = self.ret_types()?;
+        self.expect(&Token::Equals)?;
+        let body = self.exp()?;
+        Ok(UFunDef {
+            name,
+            params,
+            ret,
+            body,
+        })
+    }
+
+    fn ret_types(&mut self) -> Result<Vec<UDeclType>, ParseError> {
+        if self.eat(&Token::LParen) {
+            let mut out = vec![self.decl_type()?];
+            while self.eat(&Token::Comma) {
+                out.push(self.decl_type()?);
+            }
+            self.expect(&Token::RParen)?;
+            Ok(out)
+        } else {
+            Ok(vec![self.decl_type()?])
+        }
+    }
+
+    // ---- Types ----
+
+    fn decl_type(&mut self) -> Result<UDeclType, ParseError> {
+        let unique = self.eat(&Token::Star);
+        let ty = self.utype()?;
+        Ok(UDeclType { unique, ty })
+    }
+
+    fn utype(&mut self) -> Result<UType, ParseError> {
+        let mut dims = Vec::new();
+        while self.eat(&Token::LBracket) {
+            let d = match self.next()? {
+                Token::IntLit(k, _) => USize::Const(k),
+                Token::Ident(v) => USize::Var(v),
+                other => return Err(self.err(format!("expected size, found `{other}`"))),
+            };
+            self.expect(&Token::RBracket)?;
+            dims.push(d);
+        }
+        let elem = self.scalar_type()?;
+        if dims.is_empty() {
+            Ok(UType::Scalar(elem))
+        } else {
+            Ok(UType::Array(dims, elem))
+        }
+    }
+
+    fn scalar_type(&mut self) -> Result<ScalarType, ParseError> {
+        let id = self.ident()?;
+        scalar_type_name(&id).ok_or_else(|| self.err(format!("unknown scalar type `{id}`")))
+    }
+
+    // ---- Expressions ----
+
+    fn exp(&mut self) -> Result<UExp, ParseError> {
+        // The pretty-printer prints binding-free bodies as `in result`;
+        // accept a leading `in` so its output always re-parses.
+        if self.peek() == Some(&Token::In) {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(Token::Let) => self.let_exp(),
+            Some(Token::If) => self.if_exp(),
+            Some(Token::Loop) => self.loop_exp(),
+            Some(Token::Backslash) => Ok(UExp::Lambda(self.lambda()?)),
+            _ => {
+                let e = self.or_exp()?;
+                // Postfix `with [i…] <- v`.
+                if self.peek() == Some(&Token::With) {
+                    let array = match e {
+                        UExp::Var(name) => name,
+                        other => {
+                            return Err(self.err(format!(
+                                "`with` requires a variable on the left, found {other:?}"
+                            )))
+                        }
+                    };
+                    self.expect(&Token::With)?;
+                    self.expect(&Token::LBracket)?;
+                    let mut indices = vec![self.exp()?];
+                    while self.eat(&Token::Comma) {
+                        indices.push(self.exp()?);
+                    }
+                    self.expect(&Token::RBracket)?;
+                    self.expect(&Token::LArrow)?;
+                    let value = Box::new(self.exp()?);
+                    return Ok(UExp::With {
+                        array,
+                        indices,
+                        value,
+                    });
+                }
+                Ok(e)
+            }
+        }
+    }
+
+    fn let_exp(&mut self) -> Result<UExp, ParseError> {
+        self.expect(&Token::Let)?;
+        // `let x[i…] = v` update sugar.
+        if let (Some(Token::Ident(_)), Some(Token::LBracket)) = (self.peek(), self.peek2()) {
+            let name = self.ident()?;
+            self.expect(&Token::LBracket)?;
+            let mut indices = vec![self.exp()?];
+            while self.eat(&Token::Comma) {
+                indices.push(self.exp()?);
+            }
+            self.expect(&Token::RBracket)?;
+            self.expect(&Token::Equals)?;
+            let value = Box::new(self.exp()?);
+            let body = Box::new(self.let_continuation()?);
+            return Ok(UExp::LetUpdate {
+                name,
+                indices,
+                value,
+                body,
+            });
+        }
+        let pat = self.let_pattern()?;
+        self.expect(&Token::Equals)?;
+        let rhs = Box::new(self.exp()?);
+        let body = Box::new(self.let_continuation()?);
+        Ok(UExp::Let { pat, rhs, body })
+    }
+
+    /// After a let's right-hand side: either `in <exp>`, or directly another
+    /// `let`/`loop` (the pretty-printer omits `in` between bindings).
+    fn let_continuation(&mut self) -> Result<UExp, ParseError> {
+        if self.eat(&Token::In) {
+            self.exp()
+        } else if self.peek() == Some(&Token::Let) {
+            self.exp()
+        } else {
+            Err(self.err("expected `in` or another `let` after binding"))
+        }
+    }
+
+    fn let_pattern(&mut self) -> Result<Vec<UPatElem>, ParseError> {
+        if self.eat(&Token::LParen) {
+            let mut out = vec![self.pat_elem()?];
+            while self.eat(&Token::Comma) {
+                out.push(self.pat_elem()?);
+            }
+            self.expect(&Token::RParen)?;
+            Ok(out)
+        } else {
+            Ok(vec![self.pat_elem()?])
+        }
+    }
+
+    fn pat_elem(&mut self) -> Result<UPatElem, ParseError> {
+        let name = self.ident()?;
+        let ty = if self.eat(&Token::Colon) {
+            Some(self.utype()?)
+        } else {
+            None
+        };
+        Ok(UPatElem { name, ty })
+    }
+
+    fn if_exp(&mut self) -> Result<UExp, ParseError> {
+        self.expect(&Token::If)?;
+        let cond = Box::new(self.exp()?);
+        self.expect(&Token::Then)?;
+        let then_e = Box::new(self.exp()?);
+        self.expect(&Token::Else)?;
+        let else_e = Box::new(self.exp()?);
+        Ok(UExp::If(cond, then_e, else_e))
+    }
+
+    fn loop_exp(&mut self) -> Result<UExp, ParseError> {
+        self.expect(&Token::Loop)?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let ty = if self.eat(&Token::Colon) {
+                Some(self.decl_type()?)
+            } else {
+                None
+            };
+            self.expect(&Token::Equals)?;
+            let init = self.exp()?;
+            params.push((name, ty, init));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        let form = if self.eat(&Token::For) {
+            let var = self.ident()?;
+            self.expect(&Token::Lt)?;
+            let bound = Box::new(self.exp()?);
+            ULoopForm::For(var, bound)
+        } else if self.eat(&Token::While) {
+            let cond = Box::new(self.exp()?);
+            ULoopForm::While(cond)
+        } else {
+            return Err(self.err("expected `for` or `while` after loop parameters"));
+        };
+        self.expect(&Token::Do)?;
+        let body = Box::new(self.exp()?);
+        Ok(UExp::Loop { params, form, body })
+    }
+
+    fn lambda(&mut self) -> Result<ULambda, ParseError> {
+        self.expect(&Token::Backslash)?;
+        let mut params = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::LParen) => {
+                    self.expect(&Token::LParen)?;
+                    let name = self.ident()?;
+                    let ty = if self.eat(&Token::Colon) {
+                        Some(self.utype()?)
+                    } else {
+                        None
+                    };
+                    self.expect(&Token::RParen)?;
+                    params.push((name, ty));
+                }
+                Some(Token::Ident(_)) => {
+                    let name = self.ident()?;
+                    params.push((name, None));
+                }
+                _ => break,
+            }
+        }
+        let ret = if self.eat(&Token::Colon) {
+            Some(if self.eat(&Token::LParen) {
+                let mut out = vec![self.utype()?];
+                while self.eat(&Token::Comma) {
+                    out.push(self.utype()?);
+                }
+                self.expect(&Token::RParen)?;
+                out
+            } else {
+                vec![self.utype()?]
+            })
+        } else {
+            None
+        };
+        self.expect(&Token::Arrow)?;
+        let body = Box::new(self.exp()?);
+        Ok(ULambda { params, ret, body })
+    }
+
+    // Precedence chain: || > && > cmp > add > mul > unary > application.
+
+    fn or_exp(&mut self) -> Result<UExp, ParseError> {
+        let mut e = self.and_exp()?;
+        while self.eat(&Token::OrOr) {
+            let r = self.and_exp()?;
+            e = UExp::BinOp(UBinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_exp(&mut self) -> Result<UExp, ParseError> {
+        let mut e = self.cmp_exp()?;
+        while self.eat(&Token::AndAnd) {
+            let r = self.cmp_exp()?;
+            e = UExp::BinOp(UBinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn cmp_exp(&mut self) -> Result<UExp, ParseError> {
+        let e = self.add_exp()?;
+        let op = match self.peek() {
+            Some(Token::EqEq) => Some(UBinOp::Eq),
+            Some(Token::NotEq) => Some(UBinOp::Ne),
+            Some(Token::Lt) => Some(UBinOp::Lt),
+            Some(Token::Le) => Some(UBinOp::Le),
+            Some(Token::Gt) => Some(UBinOp::Gt),
+            Some(Token::Ge) => Some(UBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let r = self.add_exp()?;
+            Ok(UExp::BinOp(op, Box::new(e), Box::new(r)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn add_exp(&mut self) -> Result<UExp, ParseError> {
+        let mut e = self.mul_exp()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => UBinOp::Add,
+                Some(Token::Minus) => UBinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.mul_exp()?;
+            e = UExp::BinOp(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn mul_exp(&mut self) -> Result<UExp, ParseError> {
+        let mut e = self.unary_exp()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => UBinOp::Mul,
+                Some(Token::Slash) => UBinOp::Div,
+                Some(Token::Percent) => UBinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.unary_exp()?;
+            e = UExp::BinOp(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary_exp(&mut self) -> Result<UExp, ParseError> {
+        if self.eat(&Token::Minus) {
+            let e = self.unary_exp()?;
+            Ok(UExp::UnOp(UUnOp::Neg, Box::new(e)))
+        } else if self.eat(&Token::Bang) {
+            let e = self.unary_exp()?;
+            Ok(UExp::UnOp(UUnOp::Not, Box::new(e)))
+        } else {
+            self.app_exp()
+        }
+    }
+
+    /// Application: a head identifier followed by atoms, or a single atom.
+    fn app_exp(&mut self) -> Result<UExp, ParseError> {
+        if let Some(Token::Ident(id)) = self.peek() {
+            let id = id.clone();
+            if SOAC_KEYWORDS.contains(&id.as_str()) {
+                return self.soac(&id);
+            }
+            if id == "rearrange" || id == "reshape" {
+                return self.rearrange_or_reshape(&id);
+            }
+            // A general application: consume the head, then greedy atoms.
+            self.pos += 1;
+            let mut head = UExp::Var(id.clone());
+            // Indexing binds tighter than application: `a[i]`.
+            if self.peek() == Some(&Token::LBracket) {
+                head = self.index_suffix(id)?;
+                return Ok(head);
+            }
+            let mut args = Vec::new();
+            while let Some(arg) = self.try_atom()? {
+                args.push(arg);
+            }
+            if args.is_empty() {
+                Ok(head)
+            } else {
+                // `f(a, b)` arrives as a single tuple atom; splat it.
+                if args.len() == 1 {
+                    if let UExp::Tuple(parts) = &args[0] {
+                        return Ok(UExp::Apply(id, parts.clone()));
+                    }
+                }
+                Ok(UExp::Apply(id, args))
+            }
+        } else {
+            match self.try_atom()? {
+                Some(a) => Ok(a),
+                None => Err(self.err(format!(
+                    "expected expression, found `{}`",
+                    self.peek().map(|t| t.to_string()).unwrap_or_default()
+                ))),
+            }
+        }
+    }
+
+    fn index_suffix(&mut self, array: String) -> Result<UExp, ParseError> {
+        self.expect(&Token::LBracket)?;
+        let mut indices = vec![self.exp()?];
+        while self.eat(&Token::Comma) {
+            indices.push(self.exp()?);
+        }
+        self.expect(&Token::RBracket)?;
+        Ok(UExp::Index(array, indices))
+    }
+
+    /// Parses an atom if one starts here, else `None` (ends an argument
+    /// list).
+    fn try_atom(&mut self) -> Result<Option<UExp>, ParseError> {
+        match self.peek() {
+            Some(Token::IntLit(k, s)) => {
+                let (k, s) = (*k, *s);
+                self.pos += 1;
+                Ok(Some(UExp::IntLit(k, s)))
+            }
+            Some(Token::FloatLit(x, s)) => {
+                let (x, s) = (*x, *s);
+                self.pos += 1;
+                Ok(Some(UExp::FloatLit(x, s)))
+            }
+            Some(Token::True) => {
+                self.pos += 1;
+                Ok(Some(UExp::BoolLit(true)))
+            }
+            Some(Token::False) => {
+                self.pos += 1;
+                Ok(Some(UExp::BoolLit(false)))
+            }
+            Some(Token::Ident(id)) => {
+                let id = id.clone();
+                if SOAC_KEYWORDS.contains(&id.as_str()) {
+                    // SOACs are not atoms; they end an argument list.
+                    return Ok(None);
+                }
+                self.pos += 1;
+                if self.peek() == Some(&Token::LBracket) {
+                    Ok(Some(self.index_suffix(id)?))
+                } else {
+                    Ok(Some(UExp::Var(id)))
+                }
+            }
+            Some(Token::Backslash) => Ok(Some(UExp::Lambda(self.lambda()?))),
+            Some(Token::LParen) => {
+                self.pos += 1;
+                // Operator sections.
+                if let Some(sec) = self.try_section()? {
+                    return Ok(Some(sec));
+                }
+                let first = self.exp()?;
+                if self.eat(&Token::Comma) {
+                    let mut parts = vec![first];
+                    loop {
+                        parts.push(self.exp()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Some(UExp::Tuple(parts)))
+                } else {
+                    self.expect(&Token::RParen)?;
+                    Ok(Some(first))
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Sections: `(+)`, `(*)`, `(/)`, `(-)`, `(%)`, `(min)`, comparison
+    /// sections, and right sections `(+ e)` with an atom operand.
+    fn try_section(&mut self) -> Result<Option<UExp>, ParseError> {
+        let op = match self.peek() {
+            Some(Token::Plus) => Some(UBinOp::Add),
+            Some(Token::Star) => Some(UBinOp::Mul),
+            Some(Token::Slash) => Some(UBinOp::Div),
+            Some(Token::Percent) => Some(UBinOp::Rem),
+            Some(Token::EqEq) => Some(UBinOp::Eq),
+            Some(Token::AndAnd) => Some(UBinOp::And),
+            Some(Token::OrOr) => Some(UBinOp::Or),
+            // `(-)` is only a section when immediately closed; `(-x)` is
+            // negation and handled by the general expression path.
+            Some(Token::Minus) if self.peek2() == Some(&Token::RParen) => Some(UBinOp::Sub),
+            Some(Token::Ident(id)) => NAMED_BINOPS
+                .iter()
+                .find(|(n, _)| n == id)
+                .map(|(_, op)| *op)
+                // `(min)` bare or `(min e)` right-section; `min a b` full
+                // application is handled by app_exp, so only treat as a
+                // section when followed by `)` or a single atom then `)`.
+                .filter(|_| {
+                    matches!(
+                        self.peek2(),
+                        Some(Token::RParen)
+                            | Some(Token::IntLit(..))
+                            | Some(Token::FloatLit(..))
+                    )
+                }),
+            _ => None,
+        };
+        let Some(op) = op else { return Ok(None) };
+        self.pos += 1;
+        if self.eat(&Token::RParen) {
+            return Ok(Some(UExp::Section(op, None, None)));
+        }
+        // Right section with one atom operand.
+        let operand = match self.try_atom()? {
+            Some(a) => a,
+            None => return Err(self.err("expected operand or `)` in operator section")),
+        };
+        self.expect(&Token::RParen)?;
+        Ok(Some(UExp::Section(op, None, Some(Box::new(operand)))))
+    }
+
+    fn rearrange_or_reshape(&mut self, kw: &str) -> Result<UExp, ParseError> {
+        self.pos += 1;
+        self.expect(&Token::LParen)?;
+        if kw == "rearrange" {
+            let mut perm = Vec::new();
+            loop {
+                match self.next()? {
+                    Token::IntLit(k, _) if k >= 0 => perm.push(k as usize),
+                    other => {
+                        return Err(self.err(format!(
+                            "rearrange permutation must be literal naturals, found `{other}`"
+                        )))
+                    }
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            let arr = self
+                .try_atom()?
+                .ok_or_else(|| self.err("expected array after rearrange"))?;
+            Ok(UExp::Rearrange(perm, Box::new(arr)))
+        } else {
+            let mut shape = vec![self.exp()?];
+            while self.eat(&Token::Comma) {
+                shape.push(self.exp()?);
+            }
+            self.expect(&Token::RParen)?;
+            let arr = self
+                .try_atom()?
+                .ok_or_else(|| self.err("expected array after reshape"))?;
+            Ok(UExp::Reshape(shape, Box::new(arr)))
+        }
+    }
+
+    // ---- SOACs ----
+
+    /// Parses a SOAC application. A leading width atom (printed by the
+    /// pretty-printer) is recognised as a bare variable/integer in operator
+    /// position and discarded: the elaborator recomputes widths from input
+    /// types.
+    fn soac(&mut self, kw: &str) -> Result<UExp, ParseError> {
+        self.pos += 1;
+        let mut atoms = Vec::new();
+        while let Some(a) = self.try_atom()? {
+            // A bare named operator (`reduce max 0 xs`) acts as a section.
+            let a = match a {
+                UExp::Var(ref v) => NAMED_BINOPS
+                    .iter()
+                    .find(|(n, _)| n == v)
+                    .map(|(_, op)| UExp::Section(*op, None, None))
+                    .unwrap_or(a),
+                other => other,
+            };
+            atoms.push(a);
+        }
+        // Drop an explicit width: recognised as a bare variable or integer
+        // in the first (operator) position. For scatter, a width is
+        // recognised only when 4 atoms are present.
+        let looks_like_width =
+            |e: &UExp| matches!(e, UExp::Var(_) | UExp::IntLit(..));
+        let has_width = if kw == "scatter" {
+            atoms.len() == 4
+        } else {
+            !atoms.is_empty() && looks_like_width(&atoms[0])
+        };
+        let mut it = atoms.into_iter();
+        if has_width {
+            let _ = it.next();
+        }
+        let mut need = |what: &str| -> Result<UExp, ParseError> {
+            it.next()
+                .ok_or_else(|| self.err(format!("{kw}: missing {what}")))
+        };
+        let e = match kw {
+            "map" => {
+                let op = Box::new(need("operator")?);
+                let arrs: Vec<UExp> = it.collect();
+                if arrs.is_empty() {
+                    return Err(self.err("map: missing input arrays"));
+                }
+                USoac::Map { op, arrs }
+            }
+            "reduce" | "reduce_comm" => {
+                let op = Box::new(need("operator")?);
+                let neutral = Box::new(need("neutral element")?);
+                let arrs: Vec<UExp> = it.collect();
+                if arrs.is_empty() {
+                    return Err(self.err("reduce: missing input arrays"));
+                }
+                USoac::Reduce {
+                    comm: kw == "reduce_comm",
+                    op,
+                    neutral,
+                    arrs,
+                }
+            }
+            "scan" => {
+                let op = Box::new(need("operator")?);
+                let neutral = Box::new(need("neutral element")?);
+                let arrs: Vec<UExp> = it.collect();
+                if arrs.is_empty() {
+                    return Err(self.err("scan: missing input arrays"));
+                }
+                USoac::Scan { op, neutral, arrs }
+            }
+            "redomap" | "redomap_comm" => {
+                let red = Box::new(need("reduction operator")?);
+                let map = Box::new(need("map operator")?);
+                let neutral = Box::new(need("neutral element")?);
+                let arrs: Vec<UExp> = it.collect();
+                USoac::Redomap {
+                    comm: kw == "redomap_comm",
+                    red,
+                    map,
+                    neutral,
+                    arrs,
+                }
+            }
+            "stream_map" => {
+                let op = Box::new(need("operator")?);
+                let arrs: Vec<UExp> = it.collect();
+                USoac::StreamMap { op, arrs }
+            }
+            "stream_red" => {
+                let red = Box::new(need("reduction operator")?);
+                let fold = Box::new(need("fold operator")?);
+                let accs = Box::new(need("accumulator")?);
+                let arrs: Vec<UExp> = it.collect();
+                USoac::StreamRed {
+                    red,
+                    fold,
+                    accs,
+                    arrs,
+                }
+            }
+            "stream_seq" => {
+                let fold = Box::new(need("fold operator")?);
+                let accs = Box::new(need("accumulator")?);
+                let arrs: Vec<UExp> = it.collect();
+                USoac::StreamSeq { fold, accs, arrs }
+            }
+            "scatter" => {
+                let dest = Box::new(need("destination")?);
+                let indices = Box::new(need("indices")?);
+                let values = Box::new(need("values")?);
+                USoac::Scatter {
+                    dest,
+                    indices,
+                    values,
+                }
+            }
+            other => return Err(self.err(format!("unknown SOAC `{other}`"))),
+        };
+        Ok(UExp::Soac(e))
+    }
+}
+
+/// Maps a scalar type name to the type.
+pub fn scalar_type_name(s: &str) -> Option<ScalarType> {
+    match s {
+        "bool" => Some(ScalarType::Bool),
+        "i32" => Some(ScalarType::I32),
+        "i64" => Some(ScalarType::I64),
+        "f32" => Some(ScalarType::F32),
+        "f64" => Some(ScalarType::F64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_function() {
+        let p = parse(
+            "fun main (n: i64) (xs: [n]f32): *[n]f32 =\n  let ys = map (\\x -> x + 1.0f32) xs\n  in ys",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "main");
+        assert_eq!(f.params.len(), 2);
+        assert!(f.ret[0].unique);
+    }
+
+    #[test]
+    fn parses_sections_and_reduce() {
+        let e = parse_exp("reduce (+) 0.0f32 xs").unwrap();
+        match e {
+            UExp::Soac(USoac::Reduce { op, comm, .. }) => {
+                assert!(!comm);
+                assert_eq!(*op, UExp::Section(UBinOp::Add, None, None));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_right_section() {
+        let e = parse_exp("map (+ r) ps").unwrap();
+        match e {
+            UExp::Soac(USoac::Map { op, .. }) => match *op {
+                UExp::Section(UBinOp::Add, None, Some(_)) => {}
+                other => panic!("unexpected op {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_atom_is_discarded() {
+        let with_width = parse_exp("map n (\\x -> x) xs").unwrap();
+        let without = parse_exp("map (\\x -> x) xs").unwrap();
+        assert_eq!(with_width, without);
+    }
+
+    #[test]
+    fn parses_let_chain_without_in() {
+        let e = parse_exp("let a = 1 let b = a + 2 in b").unwrap();
+        match e {
+            UExp::Let { body, .. } => {
+                assert!(matches!(*body, UExp::Let { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_loop_for() {
+        let e = parse_exp("loop (acc = 0) for i < n do acc + i").unwrap();
+        match e {
+            UExp::Loop { params, form, .. } => {
+                assert_eq!(params.len(), 1);
+                assert!(matches!(form, ULoopForm::For(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_loop_while() {
+        let e = parse_exp("loop (x = 1) while x < 10 do x * 2").unwrap();
+        match e {
+            UExp::Loop { form, .. } => assert!(matches!(form, ULoopForm::While(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_with_and_update_sugar() {
+        let e = parse_exp("counts with [c] <- x + 1").unwrap();
+        assert!(matches!(e, UExp::With { .. }));
+        let e2 = parse_exp("let a[0] = 5 in a").unwrap();
+        assert!(matches!(e2, UExp::LetUpdate { .. }));
+    }
+
+    #[test]
+    fn parses_indexing() {
+        let e = parse_exp("a[i, j] + b[0]").unwrap();
+        match e {
+            UExp::BinOp(UBinOp::Add, l, r) => {
+                assert!(matches!(*l, UExp::Index(_, _)));
+                assert!(matches!(*r, UExp::Index(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stream_red() {
+        let e = parse_exp(
+            "stream_red (\\(x: [k]i32) (y: [k]i32) -> map (+) x y) \
+             (\\(chunk: i64) (acc: [k]i32) (cs: [chunk]i32) -> acc) \
+             (replicate k 0) membership",
+        )
+        .unwrap();
+        assert!(matches!(e, UExp::Soac(USoac::StreamRed { .. })));
+    }
+
+    #[test]
+    fn parses_rearrange_and_reshape() {
+        let e = parse_exp("rearrange (1, 0) a").unwrap();
+        assert_eq!(e, UExp::Rearrange(vec![1, 0], Box::new(UExp::Var("a".into()))));
+        let e2 = parse_exp("reshape (n, m) a").unwrap();
+        assert!(matches!(e2, UExp::Reshape(..)));
+    }
+
+    #[test]
+    fn parses_if_and_comparison() {
+        let e = parse_exp("if x <= y then x else y").unwrap();
+        assert!(matches!(e, UExp::If(..)));
+    }
+
+    #[test]
+    fn parses_call_with_parenthesised_args() {
+        let e = parse_exp("f(a, b)").unwrap();
+        assert_eq!(
+            e,
+            UExp::Apply(
+                "f".into(),
+                vec![UExp::Var("a".into()), UExp::Var("b".into())]
+            )
+        );
+    }
+
+    #[test]
+    fn parses_multi_pattern_let() {
+        let e = parse_exp("let (a: i64, b) = f(x) in a + b").unwrap();
+        match e {
+            UExp::Let { pat, .. } => {
+                assert_eq!(pat.len(), 2);
+                assert!(pat[0].ty.is_some());
+                assert!(pat[1].ty.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_is_not_a_section() {
+        let e = parse_exp("(-x)").unwrap();
+        assert!(matches!(e, UExp::UnOp(UUnOp::Neg, _)));
+        let s = parse_exp("(-)").unwrap();
+        assert_eq!(s, UExp::Section(UBinOp::Sub, None, None));
+    }
+
+    #[test]
+    fn min_application_vs_section() {
+        let app = parse_exp("min a b").unwrap();
+        assert_eq!(
+            app,
+            UExp::Apply(
+                "min".into(),
+                vec![UExp::Var("a".into()), UExp::Var("b".into())]
+            )
+        );
+        let sec = parse_exp("(min)").unwrap();
+        assert_eq!(sec, UExp::Section(UBinOp::Min, None, None));
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let err = parse("fun main (): i64 =\n  let x = in x").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

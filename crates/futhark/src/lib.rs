@@ -1,0 +1,491 @@
+//! `futhark` — the umbrella crate of **futhark-rs**, a Rust reproduction of
+//! *Futhark: Purely Functional GPU-Programming with Nested Parallelism and
+//! In-Place Array Updates* (PLDI 2017).
+//!
+//! This crate wires the whole compiler pipeline of the paper's Figure 3:
+//!
+//! ```text
+//! source ──parse/elaborate──► core IR ──type/uniqueness check──►
+//!   simplification ──► fusion ──► kernel extraction (flattening) ──►
+//!   locality optimisation + code generation ──► simulated-GPU execution
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use futhark::{Compiler, Device};
+//! use futhark_core::{ArrayVal, Value};
+//!
+//! let compiled = Compiler::new()
+//!     .compile(
+//!         "fun main (n: i64) (xs: [n]f32): f32 =\n\
+//!          let ys = map (\\x -> x * x) xs\n\
+//!          let s = reduce (+) 0.0f32 ys\n\
+//!          in s",
+//!     )?;
+//! let (out, perf) = compiled.run(
+//!     Device::Gtx780,
+//!     &[Value::i64(4), Value::Array(ArrayVal::from_f32s(vec![1.0, 2.0, 3.0, 4.0]))],
+//! )?;
+//! assert_eq!(out, vec![Value::f32(30.0)]);
+//! assert!(perf.total_ms() > 0.0);
+//! # Ok::<(), futhark::Error>(())
+//! ```
+
+use futhark_core::{NameSource, Program, Value};
+use futhark_gpu::codegen::{self, CodegenOptions};
+use futhark_gpu::exec::{self};
+use futhark_gpu::plan::GpuPlan;
+use futhark_gpu::DeviceProfile;
+use std::fmt;
+
+pub use futhark_gpu::exec::{ExecError, PerfReport};
+
+/// The two simulated devices of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// NVIDIA GeForce GTX 780 Ti (simulated).
+    Gtx780,
+    /// AMD FirePro W8100 (simulated).
+    W8100,
+}
+
+impl Device {
+    /// The device profile.
+    pub fn profile(self) -> DeviceProfile {
+        match self {
+            Device::Gtx780 => DeviceProfile::gtx780(),
+            Device::W8100 => DeviceProfile::w8100(),
+        }
+    }
+}
+
+/// Pipeline configuration; each switch corresponds to one of the
+/// optimisations whose impact Section 6.1.1 measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineOptions {
+    /// Run the simplification engine.
+    pub simplify: bool,
+    /// Run the fusion engine (Section 4).
+    pub fusion: bool,
+    /// Apply coalescing-by-transposition (Section 5.2).
+    pub coalescing: bool,
+    /// Apply 1-D block tiling in local memory (Section 5.2).
+    pub tiling: bool,
+    /// Reject programs that fail uniqueness checking (on by default; the
+    /// checker is the paper's Section 3 type system).
+    pub check: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            simplify: true,
+            fusion: true,
+            coalescing: true,
+            tiling: true,
+            check: true,
+        }
+    }
+}
+
+/// A pipeline error.
+#[derive(Debug)]
+pub enum Error {
+    /// Parse/elaboration failure.
+    Front(futhark_frontend::FrontError),
+    /// Type or uniqueness error.
+    Check(futhark_check::CheckError),
+    /// Code generation failure.
+    Codegen(codegen::CodegenError),
+    /// Execution failure.
+    Exec(ExecError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Front(e) => write!(f, "{e}"),
+            Error::Check(e) => write!(f, "{e}"),
+            Error::Codegen(e) => write!(f, "{e}"),
+            Error::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<futhark_frontend::FrontError> for Error {
+    fn from(e: futhark_frontend::FrontError) -> Self {
+        Error::Front(e)
+    }
+}
+
+impl From<futhark_check::CheckError> for Error {
+    fn from(e: futhark_check::CheckError) -> Self {
+        Error::Check(e)
+    }
+}
+
+impl From<codegen::CodegenError> for Error {
+    fn from(e: codegen::CodegenError) -> Self {
+        Error::Codegen(e)
+    }
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+/// The compiler driver.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    opts: PipelineOptions,
+}
+
+impl Compiler {
+    /// A compiler with default options (everything on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A compiler with explicit options.
+    pub fn with_options(opts: PipelineOptions) -> Self {
+        Compiler { opts }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &PipelineOptions {
+        &self.opts
+    }
+
+    /// Compiles source text through the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] for syntax, type, uniqueness, or code
+    /// generation failures.
+    pub fn compile(&self, src: &str) -> Result<Compiled, Error> {
+        let (prog, ns) = futhark_frontend::parse_program(src)?;
+        if self.opts.check {
+            futhark_check::check_program(&prog)?;
+        }
+        self.compile_core(prog, ns)
+    }
+
+    /// Compiles an already-elaborated core program.
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiler::compile`].
+    pub fn compile_core(
+        &self,
+        mut prog: Program,
+        mut ns: NameSource,
+    ) -> Result<Compiled, Error> {
+        // Inlining always runs (kernels cannot call functions).
+        futhark_opt::simplify::inline_functions(&mut prog, &mut ns);
+        if self.opts.simplify {
+            futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+        }
+        if self.opts.fusion {
+            futhark_opt::fusion::fuse_program(&mut prog, &mut ns);
+        }
+        futhark_opt::flatten::flatten_program(&mut prog, &mut ns);
+        if self.opts.simplify {
+            futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+        }
+        let plan = codegen::compile(
+            &prog,
+            CodegenOptions {
+                coalescing: self.opts.coalescing,
+                tiling: self.opts.tiling,
+            },
+        )?;
+        Ok(Compiled { prog, plan })
+    }
+}
+
+/// A fully compiled program, ready to run on a simulated device.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The flattened core program (used for host fallbacks and reference
+    /// runs).
+    pub prog: Program,
+    /// The GPU plan.
+    pub plan: GpuPlan,
+}
+
+impl Compiled {
+    /// Runs the program on a simulated device.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] for runtime faults.
+    pub fn run(&self, device: Device, args: &[Value]) -> Result<(Vec<Value>, PerfReport), Error> {
+        let profile = device.profile();
+        let (vals, report) = exec::run(&self.plan, &self.prog, &profile, args)?;
+        Ok((vals, report))
+    }
+
+    /// Runs the program on a custom device profile.
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiled::run`].
+    pub fn run_on(
+        &self,
+        profile: &DeviceProfile,
+        args: &[Value],
+    ) -> Result<(Vec<Value>, PerfReport), Error> {
+        let (vals, report) = exec::run(&self.plan, &self.prog, profile, args)?;
+        Ok((vals, report))
+    }
+
+    /// Number of distinct kernels extracted.
+    pub fn kernel_count(&self) -> usize {
+        self.plan.kernel_count()
+    }
+}
+
+/// Convenience: run a source program on the reference interpreter.
+///
+/// # Errors
+///
+/// Returns an [`Error`] for frontend or interpretation failures.
+pub fn interpret(src: &str, args: &[Value]) -> Result<Vec<Value>, Error> {
+    let (prog, _) = futhark_frontend::parse_program(src)?;
+    futhark_interp::Interpreter::new(&prog)
+        .run_main(args)
+        .map_err(|e| Error::Exec(ExecError::Interp(e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futhark_core::{ArrayVal, Buffer, Value};
+
+    fn run_both(src: &str, args: &[Value]) -> (Vec<Value>, PerfReport) {
+        let compiled = Compiler::new().compile(src).expect("compiles");
+        let (gpu_out, perf) = compiled
+            .run(Device::Gtx780, args)
+            .unwrap_or_else(|e| panic!("gpu run failed: {e}\n{}", compiled.prog));
+        let interp_out = interpret(src, args).expect("interprets");
+        assert_eq!(gpu_out.len(), interp_out.len());
+        for (a, b) in gpu_out.iter().zip(&interp_out) {
+            assert!(
+                a.approx_eq(b, 1e-4),
+                "GPU {a} != interpreter {b}\nflattened:\n{}",
+                compiled.prog
+            );
+        }
+        (gpu_out, perf)
+    }
+
+    #[test]
+    fn map_kernel_end_to_end() {
+        let (_, perf) = run_both(
+            "fun main (n: i64) (xs: [n]f32): [n]f32 =\n\
+             let ys = map (\\x -> x * 2.0f32 + 1.0f32) xs\n\
+             in ys",
+            &[
+                Value::i64(100),
+                Value::Array(ArrayVal::from_f32s((0..100).map(|i| i as f32).collect())),
+            ],
+        );
+        assert_eq!(perf.launches, 1);
+    }
+
+    #[test]
+    fn fused_map_reduce_is_one_kernel_chain() {
+        let (out, perf) = run_both(
+            "fun main (n: i64) (xs: [n]f32): f32 =\n\
+             let ys = map (\\x -> x * x) xs\n\
+             let s = reduce (+) 0.0f32 ys\n\
+             in s",
+            &[
+                Value::i64(1000),
+                Value::Array(ArrayVal::from_f32s(vec![1.0; 1000])),
+            ],
+        );
+        assert_eq!(out, vec![Value::f32(1000.0)]);
+        // Fusion gives one redomap → one stage-1 launch.
+        assert_eq!(perf.launches, 1, "{perf:?}");
+    }
+
+    #[test]
+    fn nested_map_reduce_segmented() {
+        let src = "fun main (n: i64) (m: i64) (xss: [n][m]f32): [n]f32 =\n\
+                   let sums = map (\\(row: [m]f32) -> reduce (+) 0.0f32 row) xss\n\
+                   in sums";
+        let n = 64usize;
+        let m = 32usize;
+        let data: Vec<f32> = (0..n * m).map(|i| (i % 7) as f32).collect();
+        let (out, perf) = run_both(
+            src,
+            &[
+                Value::i64(n as i64),
+                Value::i64(m as i64),
+                Value::Array(ArrayVal::new(vec![n, m], Buffer::F32(data))),
+            ],
+        );
+        let sums = out[0].as_array().unwrap();
+        assert_eq!(sums.shape, vec![n]);
+        // Coalescing: the segmented reduce reads the (transposed) matrix
+        // with high efficiency.
+        assert!(
+            perf.stats.coalescing_efficiency() > 0.5,
+            "{:?}",
+            perf.stats
+        );
+        assert!(perf.transposes >= 1, "expected a coalescing transpose");
+    }
+
+    #[test]
+    fn coalescing_off_is_slower() {
+        let src = "fun main (n: i64) (m: i64) (xss: [n][m]f32): [n]f32 =\n\
+                   let sums = map (\\(row: [m]f32) -> reduce (+) 0.0f32 row) xss\n\
+                   in sums";
+        let n = 256usize;
+        let m = 64usize;
+        let data: Vec<f32> = (0..n * m).map(|i| (i % 5) as f32).collect();
+        let args = vec![
+            Value::i64(n as i64),
+            Value::i64(m as i64),
+            Value::Array(ArrayVal::new(vec![n, m], Buffer::F32(data))),
+        ];
+        let on = Compiler::new().compile(src).unwrap();
+        let off = Compiler::with_options(PipelineOptions {
+            coalescing: false,
+            ..PipelineOptions::default()
+        })
+        .compile(src)
+        .unwrap();
+        let (ro, po) = on.run(Device::Gtx780, &args).unwrap();
+        let (rf, pf) = off.run(Device::Gtx780, &args).unwrap();
+        for (a, b) in ro.iter().zip(&rf) {
+            assert!(a.approx_eq(b, 1e-4));
+        }
+        assert!(
+            pf.stats.global_transactions > po.stats.global_transactions * 4,
+            "coalescing should cut transactions: on={} off={}",
+            po.stats.global_transactions,
+            pf.stats.global_transactions
+        );
+    }
+
+    #[test]
+    fn kmeans_counts_figure4c_runs_on_gpu() {
+        let src = "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+                   let zeros = replicate k 0\n\
+                   let counts = stream_red (\\(x: [k]i64) (y: [k]i64) -> map (+) x y)\n\
+                     (\\(chunk: i64) (acc: [k]i64) (cs: [chunk]i64) ->\n\
+                       loop (a = acc) for i < chunk do (\n\
+                         let c = cs[i]\n\
+                         let old = a[c]\n\
+                         in a with [c] <- old + 1))\n\
+                     zeros membership\n\
+                   in counts";
+        let n = 10_000i64;
+        let k = 8i64;
+        let membership: Vec<i64> = (0..n).map(|i| (i * 7 + 3) % k).collect();
+        let (out, perf) = run_both(
+            src,
+            &[
+                Value::i64(n),
+                Value::i64(k),
+                Value::Array(ArrayVal::from_i64s(membership)),
+            ],
+        );
+        let counts = out[0].as_array().unwrap();
+        let total: i64 = (0..k as usize)
+            .map(|i| match counts.data.get(i) {
+                futhark_core::Scalar::I64(v) => v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, n);
+        assert!(perf.launches >= 1);
+    }
+
+    #[test]
+    fn host_loop_with_kernels() {
+        // Iterated stencil-ish update: a host loop launching a map kernel
+        // per iteration.
+        let src = "fun main (n: i64) (iters: i64) (xs: [n]f32): [n]f32 =\n\
+                   let out = loop (cur = xs) for t < iters do (\n\
+                     let next = map (\\x -> x * 0.5f32 + 1.0f32) cur\n\
+                     in next)\n\
+                   in out";
+        let (_, perf) = run_both(
+            src,
+            &[
+                Value::i64(64),
+                Value::i64(5),
+                Value::Array(ArrayVal::from_f32s(vec![4.0; 64])),
+            ],
+        );
+        assert_eq!(perf.launches, 5, "{perf:?}");
+    }
+
+    #[test]
+    fn scatter_kernel() {
+        let src = "fun main (k: i64) (n: i64) (dest: *[k]f32) (is: [n]i64) (vs: [n]f32): *[k]f32 =\n\
+                   let r = scatter dest is vs\n\
+                   in r";
+        run_both(
+            src,
+            &[
+                Value::i64(8),
+                Value::i64(3),
+                Value::Array(ArrayVal::from_f32s(vec![0.0; 8])),
+                Value::Array(ArrayVal::from_i64s(vec![1, 7, 100])),
+                Value::Array(ArrayVal::from_f32s(vec![10.0, 20.0, 30.0])),
+            ],
+        );
+    }
+
+    #[test]
+    fn matrix_pipeline_section_2_2() {
+        let src = "fun main (n: i64) (m: i64) (matrix: [n][m]f32): ([n][m]f32, [n]f32) =\n\
+                   let (rows, sums) = map (\\(row: [m]f32) ->\n\
+                     let r2 = map (\\x -> x + 1.0f32) row\n\
+                     let s = reduce (+) 0.0f32 row\n\
+                     in (r2, s)) matrix\n\
+                   in (rows, sums)";
+        let n = 16usize;
+        let m = 8usize;
+        run_both(
+            src,
+            &[
+                Value::i64(n as i64),
+                Value::i64(m as i64),
+                Value::Array(ArrayVal::new(
+                    vec![n, m],
+                    Buffer::F32((0..n * m).map(|i| i as f32 * 0.25).collect()),
+                )),
+            ],
+        );
+    }
+
+    #[test]
+    fn in_place_update_kernels() {
+        // Figure 7's legal example: per-row in-place updates in a map.
+        let src = "fun main (n: i64) (m: i64) (as1: *[n][m]i64): [n][m]i64 =\n\
+                   let bs = map (\\(a: [m]i64) -> a with [0] <- 2) as1\n\
+                   in bs";
+        run_both(
+            src,
+            &[
+                Value::i64(8),
+                Value::i64(4),
+                Value::Array(ArrayVal::new(
+                    vec![8, 4],
+                    Buffer::I64((0..32).collect()),
+                )),
+            ],
+        );
+    }
+}

@@ -1,0 +1,8 @@
+#[test]
+fn dbg() {
+    let b = futhark_bench::benchmark("Fluid").unwrap();
+    let (mut prog, mut ns) = futhark_frontend::parse_program(&b.source).unwrap();
+    futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+    futhark_opt::fusion::fuse_program(&mut prog, &mut ns);
+    println!("AFTER FUSION:\n{prog}");
+}

@@ -1,0 +1,120 @@
+//! Simulated device profiles.
+//!
+//! The paper evaluates on an NVIDIA GeForce GTX 780 Ti (CUDA 8.0) and an
+//! AMD FirePro W8100; the two profiles below model those GPUs' published
+//! characteristics (compute units, SIMD width, clock, bandwidth) plus the
+//! behavioural notes from Section 6.1 (e.g. the AMD part's higher kernel
+//! launch overhead, which the paper blames for NN's smaller speedup
+//! there).
+//!
+//! The simulator's timing model (see `sim`) is
+//!
+//! ```text
+//! t_kernel = launch_overhead
+//!          + max( issue_cycles·instructions / (num_cus·ipc·clock),
+//!                 bus_bytes / bandwidth )
+//! ```
+//!
+//! where `bus_bytes` counts whole memory transactions — so uncoalesced
+//! access patterns pay for the full transaction even when threads use 4
+//! bytes of it, reproducing the ~one-order-of-magnitude coalescing effects
+//! reported in Section 6.1.1.
+
+/// Parameters of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of compute units (SMs / CUs).
+    pub num_cus: u32,
+    /// SIMD width: threads per warp (NVIDIA) / wavefront (AMD).
+    pub warp_size: u32,
+    /// Default work-group size used by generated kernels.
+    pub group_size: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Warp instructions issued per compute unit per cycle.
+    pub ipc: f64,
+    /// Global-memory transaction size in bytes.
+    pub transaction_bytes: u64,
+    /// Peak global-memory bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Local-memory accesses per compute unit per cycle (throughput).
+    pub local_per_cycle: f64,
+    /// Fixed kernel-launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Host-device round trip (used for host-side fallbacks), microseconds.
+    pub sync_overhead_us: f64,
+}
+
+impl DeviceProfile {
+    /// The NVIDIA GeForce GTX 780 Ti profile used in the paper's Table 1.
+    pub fn gtx780() -> DeviceProfile {
+        DeviceProfile {
+            name: "NVIDIA GTX 780 Ti (simulated)".into(),
+            num_cus: 15,
+            warp_size: 32,
+            group_size: 256,
+            clock_ghz: 0.928,
+            ipc: 4.0,
+            transaction_bytes: 128,
+            bandwidth_gbps: 336.0,
+            local_per_cycle: 32.0,
+            launch_overhead_us: 5.0,
+            sync_overhead_us: 8.0,
+        }
+    }
+
+    /// The AMD FirePro W8100 profile used in the paper's Table 1.
+    ///
+    /// The launch overhead is substantially larger than the NVIDIA part's —
+    /// the behaviour Section 6.1 uses to explain NN's reduced speedup on
+    /// this GPU ("due to higher kernel launch overhead—this benchmark is
+    /// dominated by frequent launches of short kernels").
+    pub fn w8100() -> DeviceProfile {
+        DeviceProfile {
+            name: "AMD FirePro W8100 (simulated)".into(),
+            num_cus: 44,
+            warp_size: 64,
+            group_size: 256,
+            clock_ghz: 0.824,
+            ipc: 1.0,
+            transaction_bytes: 64,
+            bandwidth_gbps: 320.0,
+            local_per_cycle: 64.0,
+            launch_overhead_us: 25.0,
+            sync_overhead_us: 40.0,
+        }
+    }
+
+    /// Microseconds for `cycles` of fully parallel compute work.
+    pub fn compute_us(&self, warp_instructions: f64) -> f64 {
+        warp_instructions / (self.num_cus as f64 * self.ipc * self.clock_ghz * 1e3)
+    }
+
+    /// Microseconds to move `bytes` over the memory bus.
+    pub fn memory_us(&self, bus_bytes: f64) -> f64 {
+        bus_bytes / (self.bandwidth_gbps * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_where_the_paper_says() {
+        let nv = DeviceProfile::gtx780();
+        let amd = DeviceProfile::w8100();
+        assert!(amd.launch_overhead_us > nv.launch_overhead_us);
+        assert!(amd.warp_size > nv.warp_size);
+        assert_eq!(nv.warp_size, 32);
+    }
+
+    #[test]
+    fn timing_helpers_scale() {
+        let d = DeviceProfile::gtx780();
+        assert!(d.memory_us(336e3) > 0.9 && d.memory_us(336e3) < 1.1);
+        assert!(d.compute_us(1e6) > 0.0);
+    }
+}

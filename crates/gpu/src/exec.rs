@@ -1,0 +1,898 @@
+//! The plan executor: runs a [`GpuPlan`] against a simulated device and
+//! produces both the program results and a [`PerfReport`].
+//!
+//! Arrays live in device memory as [`DArr`]s carrying a *symbolic layout*
+//! (`perm`): transposition composes symbolically and is only materialised
+//! when a consumer requests a specific physical layout — the paper's
+//! representation of arrays "as a symbolic composition of affine
+//! transformations" (Section 5.2). Materialised layouts are cached per
+//! buffer, so a transposition inserted for coalescing is paid once even
+//! inside host loops.
+
+use crate::device::DeviceProfile;
+use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec};
+use crate::sim::{self, Arg, BufId, DeviceMemory, KernelStats, SimError};
+use futhark_core::traverse::{free_in_exp, free_in_lambda};
+use futhark_core::{
+    ArrayVal, Buffer, Exp, Name, PatElem, Program, Scalar, ScalarType, Size, SubExp, Type,
+    Value,
+};
+use futhark_interp::{InterpError, Interpreter};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Host execution cost constants (documented substitutions: a ~1 GHz
+/// sequential core for interpreter fallbacks, PCIe-class transfers).
+const HOST_US_PER_OP: f64 = 0.002;
+const PCIE_GBPS: f64 = 12.0;
+
+/// A device array: a buffer plus logical shape and physical layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DArr {
+    /// The backing buffer.
+    pub buf: BufId,
+    /// Logical shape.
+    pub shape: Vec<usize>,
+    /// Element type.
+    pub elem: ScalarType,
+    /// Physical layout: `perm[p]` is the logical dimension stored at
+    /// physical position `p`. Empty means row-major (identity).
+    pub perm: Vec<usize>,
+}
+
+impl DArr {
+    fn elems(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    fn bytes(&self) -> u64 {
+        (self.elems() * self.elem.byte_size()) as u64
+    }
+
+    fn is_row_major(&self) -> bool {
+        self.perm.is_empty() || self.perm.iter().enumerate().all(|(i, &p)| i == p)
+    }
+}
+
+/// A host value.
+#[derive(Debug, Clone)]
+enum HVal {
+    Scalar(Scalar),
+    Array(DArr),
+}
+
+/// Accumulated performance data for one program run.
+#[derive(Debug, Clone, Default)]
+pub struct PerfReport {
+    /// Total modelled time, microseconds.
+    pub total_us: f64,
+    /// Time spent in kernels (including launch overhead).
+    pub kernel_us: f64,
+    /// Time in device builtins (transposes, copies, iota, …).
+    pub device_op_us: f64,
+    /// Time in interpreter fallbacks (modelled as sequential host code).
+    pub fallback_us: f64,
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Number of layout materialisations (transposes) performed.
+    pub transposes: u64,
+    /// Aggregated kernel statistics.
+    pub stats: KernelStats,
+    /// Per-kernel breakdown: name → (launches, total µs, stats).
+    pub per_kernel: HashMap<String, (u64, f64, KernelStats)>,
+}
+
+impl PerfReport {
+    /// Total time in milliseconds (the unit of the paper's Table 1).
+    pub fn total_ms(&self) -> f64 {
+        self.total_us / 1e3
+    }
+}
+
+/// An execution failure.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Simulator fault.
+    Sim(SimError),
+    /// Interpreter fault in a host fallback.
+    Interp(InterpError),
+    /// Plan-level inconsistency.
+    Plan(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Sim(e) => write!(f, "{e}"),
+            ExecError::Interp(e) => write!(f, "{e}"),
+            ExecError::Plan(m) => write!(f, "plan error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> Self {
+        ExecError::Sim(e)
+    }
+}
+
+impl From<InterpError> for ExecError {
+    fn from(e: InterpError) -> Self {
+        ExecError::Interp(e)
+    }
+}
+
+type EResult<T> = Result<T, ExecError>;
+
+/// Runs a compiled plan on the given device profile.
+///
+/// `prog` is the original (flattened) program: interpreter fallbacks and
+/// host-side combines evaluate fragments of it.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] on simulator faults or malformed plans.
+pub fn run(
+    plan: &GpuPlan,
+    prog: &Program,
+    device: &DeviceProfile,
+    args: &[Value],
+) -> EResult<(Vec<Value>, PerfReport)> {
+    let mut ex = Executor {
+        plan,
+        prog,
+        device,
+        mem: DeviceMemory::new(),
+        env: HashMap::new(),
+        report: PerfReport::default(),
+        layout_cache: HashMap::new(),
+    };
+    if args.len() != plan.params.len() {
+        return Err(ExecError::Plan(format!(
+            "expected {} arguments, got {}",
+            plan.params.len(),
+            args.len()
+        )));
+    }
+    // Bind parameters (and implicit sizes, like the interpreter).
+    for (p, a) in plan.params.iter().zip(args) {
+        let hv = ex.upload_value(a);
+        ex.env.insert(p.name.clone(), hv);
+    }
+    for (p, a) in plan.params.iter().zip(args) {
+        if let (Type::Array(at), Value::Array(arr)) = (&p.ty, a) {
+            for (d, &actual) in at.dims.iter().zip(&arr.shape) {
+                if let Size::Var(v) = d {
+                    ex.env
+                        .entry(v.clone())
+                        .or_insert(HVal::Scalar(Scalar::I64(actual as i64)));
+                }
+            }
+        }
+    }
+    let results = ex.body(&plan.body)?;
+    let values = results
+        .into_iter()
+        .map(|hv| ex.download_value(&hv))
+        .collect();
+    Ok((values, ex.report))
+}
+
+struct Executor<'a> {
+    plan: &'a GpuPlan,
+    prog: &'a Program,
+    device: &'a DeviceProfile,
+    mem: DeviceMemory,
+    env: HashMap<Name, HVal>,
+    report: PerfReport,
+    layout_cache: HashMap<(BufId, Vec<usize>), BufId>,
+}
+
+impl<'a> Executor<'a> {
+    fn upload_value(&mut self, v: &Value) -> HVal {
+        match v {
+            Value::Scalar(s) => HVal::Scalar(*s),
+            Value::Array(a) => {
+                let buf = self.mem.upload(a.data.clone());
+                HVal::Array(DArr {
+                    buf,
+                    shape: a.shape.clone(),
+                    elem: a.elem_type(),
+                    perm: Vec::new(),
+                })
+            }
+        }
+    }
+
+    fn download_value(&mut self, hv: &HVal) -> Value {
+        match hv {
+            HVal::Scalar(s) => Value::Scalar(*s),
+            HVal::Array(d) => Value::Array(self.download_arr(d)),
+        }
+    }
+
+    fn download_arr(&mut self, d: &DArr) -> ArrayVal {
+        let data = self.mem.download(d.buf).clone();
+        if d.is_row_major() {
+            ArrayVal::new(d.shape.clone(), data)
+        } else {
+            // The buffer is stored permuted; undo it.
+            let phys_shape: Vec<usize> = d.perm.iter().map(|&l| d.shape[l]).collect();
+            let phys = ArrayVal::new(phys_shape, data);
+            // Physical dim p holds logical dim perm[p]; to get logical
+            // order we rearrange with the inverse permutation.
+            let mut inv = vec![0usize; d.perm.len()];
+            for (p, &l) in d.perm.iter().enumerate() {
+                inv[l] = p;
+            }
+            phys.rearrange(&inv)
+        }
+    }
+
+    fn scalar(&self, se: &SubExp) -> EResult<Scalar> {
+        match se {
+            SubExp::Const(k) => Ok(*k),
+            SubExp::Var(v) => match self.env.get(v) {
+                Some(HVal::Scalar(s)) => Ok(*s),
+                Some(HVal::Array(_)) => {
+                    Err(ExecError::Plan(format!("{v} is an array, expected scalar")))
+                }
+                None => Err(ExecError::Plan(format!("unbound host variable {v}"))),
+            },
+        }
+    }
+
+    fn usize_of(&self, se: &SubExp) -> EResult<usize> {
+        Ok(self
+            .scalar(se)?
+            .as_i64()
+            .ok_or_else(|| ExecError::Plan("non-integer size".into()))?
+            .max(0) as usize)
+    }
+
+    fn array(&self, v: &Name) -> EResult<DArr> {
+        match self.env.get(v) {
+            Some(HVal::Array(d)) => Ok(d.clone()),
+            _ => Err(ExecError::Plan(format!("{v} is not a device array"))),
+        }
+    }
+
+    /// Materialises `d` in the requested physical layout, with caching.
+    fn materialise(&mut self, d: &DArr, wanted: &[usize]) -> EResult<BufId> {
+        let identity: Vec<usize> = (0..d.shape.len()).collect();
+        let wanted_full: Vec<usize> = if wanted.is_empty() {
+            identity.clone()
+        } else {
+            wanted.to_vec()
+        };
+        let current: Vec<usize> = if d.perm.is_empty() {
+            identity
+        } else {
+            d.perm.clone()
+        };
+        if current == wanted_full {
+            return Ok(d.buf);
+        }
+        if let Some(&cached) = self.layout_cache.get(&(d.buf, wanted_full.clone())) {
+            return Ok(cached);
+        }
+        // Physical rearrangement: download logical, upload permuted.
+        let logical = self.download_arr(d);
+        let permuted = logical.rearrange(&wanted_full);
+        let new_buf = self.mem.upload(permuted.data);
+        self.layout_cache
+            .insert((d.buf, wanted_full), new_buf);
+        // Cost: one round over memory in, one out, plus a launch.
+        let t = self.device.launch_overhead_us + self.device.memory_us(2.0 * d.bytes() as f64);
+        self.report.device_op_us += t;
+        self.report.total_us += t;
+        self.report.transposes += 1;
+        Ok(new_buf)
+    }
+
+    fn device_op(&mut self, bytes: f64) {
+        let t = self.device.launch_overhead_us + self.device.memory_us(bytes);
+        self.report.device_op_us += t;
+        self.report.total_us += t;
+    }
+
+    fn body(&mut self, b: &HBody) -> EResult<Vec<HVal>> {
+        for stm in &b.stms {
+            self.stm(stm)?;
+        }
+        b.result
+            .iter()
+            .map(|se| match se {
+                SubExp::Const(k) => Ok(HVal::Scalar(*k)),
+                SubExp::Var(v) => self
+                    .env
+                    .get(v)
+                    .cloned()
+                    .ok_or_else(|| ExecError::Plan(format!("unbound result {v}"))),
+            })
+            .collect()
+    }
+
+    fn stm(&mut self, stm: &HStm) -> EResult<()> {
+        match stm {
+            HStm::Direct(s) => self.direct(s),
+            HStm::Launch { pat, spec } => self.launch(pat, spec),
+            HStm::Combine {
+                pat,
+                partials,
+                red_lam,
+                init,
+            } => self.combine(pat, partials, red_lam, init),
+            HStm::Loop {
+                pat,
+                params,
+                while_cond,
+                for_var,
+                body,
+            } => {
+                let mut merge: Vec<HVal> = params
+                    .iter()
+                    .map(|(_, init)| self.hval(init))
+                    .collect::<EResult<_>>()?;
+                match (while_cond, for_var) {
+                    (None, Some((var, bound))) => {
+                        let n = self
+                            .scalar(bound)?
+                            .as_i64()
+                            .ok_or_else(|| ExecError::Plan("loop bound".into()))?;
+                        for i in 0..n {
+                            for ((p, _), v) in params.iter().zip(&merge) {
+                                self.env.insert(p.name.clone(), v.clone());
+                            }
+                            self.env
+                                .insert(var.clone(), HVal::Scalar(Scalar::I64(i)));
+                            merge = self.body(body)?;
+                        }
+                    }
+                    (Some(cond), _) => loop {
+                        for ((p, _), v) in params.iter().zip(&merge) {
+                            self.env.insert(p.name.clone(), v.clone());
+                        }
+                        let cv = self.body(cond)?;
+                        let c = match cv.first() {
+                            Some(HVal::Scalar(Scalar::Bool(b))) => *b,
+                            _ => {
+                                return Err(ExecError::Plan(
+                                    "while condition not boolean".into(),
+                                ))
+                            }
+                        };
+                        if !c {
+                            break;
+                        }
+                        merge = self.body(body)?;
+                    },
+                    _ => return Err(ExecError::Plan("malformed loop".into())),
+                }
+                for (pe, v) in pat.iter().zip(merge) {
+                    self.env.insert(pe.name.clone(), v);
+                }
+                Ok(())
+            }
+            HStm::If {
+                pat,
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let c = self
+                    .scalar(cond)?
+                    .as_bool()
+                    .ok_or_else(|| ExecError::Plan("if condition not boolean".into()))?;
+                let vals = if c {
+                    self.body(then_b)?
+                } else {
+                    self.body(else_b)?
+                };
+                for (pe, v) in pat.iter().zip(vals) {
+                    self.env.insert(pe.name.clone(), v);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn hval(&self, se: &SubExp) -> EResult<HVal> {
+        match se {
+            SubExp::Const(k) => Ok(HVal::Scalar(*k)),
+            SubExp::Var(v) => self
+                .env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| ExecError::Plan(format!("unbound {v}"))),
+        }
+    }
+
+    /// Executes a non-launch statement: scalar host code, device builtins,
+    /// or an interpreter fallback.
+    fn direct(&mut self, stm: &futhark_core::Stm) -> EResult<()> {
+        use futhark_interp::scalar as sc;
+        let bind1 = |ex: &mut Self, pat: &[PatElem], v: HVal| {
+            ex.env.insert(pat[0].name.clone(), v);
+        };
+        match &stm.exp {
+            Exp::SubExp(se) => {
+                let v = self.hval(se)?;
+                bind1(self, &stm.pat, v);
+                Ok(())
+            }
+            Exp::BinOp(op, a, b) => {
+                let x = self.scalar(a)?;
+                let y = self.scalar(b)?;
+                let r = sc::eval_binop(*op, x, y)?;
+                bind1(self, &stm.pat, HVal::Scalar(r));
+                Ok(())
+            }
+            Exp::UnOp(op, a) => {
+                let x = self.scalar(a)?;
+                bind1(self, &stm.pat, HVal::Scalar(sc::eval_unop(*op, x)?));
+                Ok(())
+            }
+            Exp::Cmp(op, a, b) => {
+                let x = self.scalar(a)?;
+                let y = self.scalar(b)?;
+                bind1(self, &stm.pat, HVal::Scalar(sc::eval_cmp(*op, x, y)?));
+                Ok(())
+            }
+            Exp::Convert(t, a) => {
+                let x = self.scalar(a)?;
+                bind1(self, &stm.pat, HVal::Scalar(sc::eval_convert(*t, x)?));
+                Ok(())
+            }
+            Exp::Iota(n) => {
+                let n = self.usize_of(n)?;
+                let buf = self.mem.upload(Buffer::I64((0..n as i64).collect()));
+                self.device_op((n * 8) as f64);
+                bind1(
+                    self,
+                    &stm.pat,
+                    HVal::Array(DArr {
+                        buf,
+                        shape: vec![n],
+                        elem: ScalarType::I64,
+                        perm: Vec::new(),
+                    }),
+                );
+                Ok(())
+            }
+            Exp::Replicate(n, v) => {
+                let n = self.usize_of(n)?;
+                match self.hval(v)? {
+                    HVal::Scalar(s) => {
+                        let t = s.scalar_type();
+                        let buf = self
+                            .mem
+                            .upload(Buffer::from_scalars(t, (0..n).map(|_| s)));
+                        self.device_op((n * t.byte_size()) as f64);
+                        bind1(
+                            self,
+                            &stm.pat,
+                            HVal::Array(DArr {
+                                buf,
+                                shape: vec![n],
+                                elem: t,
+                                perm: Vec::new(),
+                            }),
+                        );
+                    }
+                    HVal::Array(d) => {
+                        let row = self.download_arr(&d);
+                        let mut shape = vec![n];
+                        shape.extend(&row.shape);
+                        let total = n * row.data.len();
+                        let mut data = Buffer::zeros(row.elem_type(), total);
+                        for i in 0..n {
+                            data.copy_from(i * row.data.len(), &row.data, 0, row.data.len());
+                        }
+                        let buf = self.mem.upload(data);
+                        self.device_op((total * row.elem_type().byte_size()) as f64);
+                        bind1(
+                            self,
+                            &stm.pat,
+                            HVal::Array(DArr {
+                                buf,
+                                shape,
+                                elem: row.elem_type(),
+                                perm: Vec::new(),
+                            }),
+                        );
+                    }
+                }
+                Ok(())
+            }
+            Exp::Copy(a) => {
+                let d = self.array(a)?;
+                let data = self.mem.download(d.buf).clone();
+                let buf = self.mem.upload(data);
+                self.device_op(2.0 * d.bytes() as f64);
+                bind1(
+                    self,
+                    &stm.pat,
+                    HVal::Array(DArr { buf, ..d.clone() }),
+                );
+                Ok(())
+            }
+            Exp::Rearrange { perm, array } => {
+                // Symbolic: compose permutations, zero cost.
+                let d = self.array(array)?;
+                let cur: Vec<usize> = if d.perm.is_empty() {
+                    (0..d.shape.len()).collect()
+                } else {
+                    d.perm.clone()
+                };
+                let new_shape: Vec<usize> = perm.iter().map(|&p| d.shape[p]).collect();
+                // Physical position p holds old logical cur[p] = new logical
+                // j with perm[j] == cur[p].
+                let mut inv_perm = vec![0usize; perm.len()];
+                for (j, &p) in perm.iter().enumerate() {
+                    inv_perm[p] = j;
+                }
+                let new_perm: Vec<usize> = cur.iter().map(|&l| inv_perm[l]).collect();
+                bind1(
+                    self,
+                    &stm.pat,
+                    HVal::Array(DArr {
+                        buf: d.buf,
+                        shape: new_shape,
+                        elem: d.elem,
+                        perm: new_perm,
+                    }),
+                );
+                Ok(())
+            }
+            Exp::Reshape { shape, array } => {
+                let d = self.array(array)?;
+                let buf = self.materialise(&d, &[])?;
+                let new_shape: Vec<usize> = shape
+                    .iter()
+                    .map(|s| self.usize_of(s))
+                    .collect::<EResult<_>>()?;
+                bind1(
+                    self,
+                    &stm.pat,
+                    HVal::Array(DArr {
+                        buf,
+                        shape: new_shape,
+                        elem: d.elem,
+                        perm: Vec::new(),
+                    }),
+                );
+                Ok(())
+            }
+            Exp::Concat { arrays } => {
+                let parts: Vec<ArrayVal> = arrays
+                    .iter()
+                    .map(|a| {
+                        let d = self.array(a)?;
+                        Ok(self.download_arr(&d))
+                    })
+                    .collect::<EResult<_>>()?;
+                let refs: Vec<&ArrayVal> = parts.iter().collect();
+                let joined = ArrayVal::concat(&refs);
+                let bytes = joined.data.len() * joined.elem_type().byte_size();
+                let shape = joined.shape.clone();
+                let elem = joined.elem_type();
+                let buf = self.mem.upload(joined.data);
+                self.device_op(2.0 * bytes as f64);
+                bind1(
+                    self,
+                    &stm.pat,
+                    HVal::Array(DArr {
+                        buf,
+                        shape,
+                        elem,
+                        perm: Vec::new(),
+                    }),
+                );
+                Ok(())
+            }
+            Exp::Index { array, indices } => {
+                let d = self.array(array)?;
+                let idx: Vec<i64> = indices
+                    .iter()
+                    .map(|i| {
+                        self.scalar(i)?
+                            .as_i64()
+                            .ok_or_else(|| ExecError::Plan("bad index".into()))
+                    })
+                    .collect::<EResult<_>>()?;
+                let arr = self.download_arr(&d);
+                if idx.len() == arr.rank() {
+                    let v = arr.index_scalar(&idx).ok_or_else(|| {
+                        ExecError::Interp(InterpError::OutOfBounds {
+                            what: format!("host read {array}{idx:?}"),
+                        })
+                    })?;
+                    // A device→host read.
+                    self.report.total_us += self.device.sync_overhead_us;
+                    bind1(self, &stm.pat, HVal::Scalar(v));
+                } else {
+                    let slice = arr.index_slice(&idx).ok_or_else(|| {
+                        ExecError::Interp(InterpError::OutOfBounds {
+                            what: format!("host slice {array}{idx:?}"),
+                        })
+                    })?;
+                    let bytes = slice.data.len() * slice.elem_type().byte_size();
+                    let shape = slice.shape.clone();
+                    let elem = slice.elem_type();
+                    let buf = self.mem.upload(slice.data);
+                    self.device_op(2.0 * bytes as f64);
+                    bind1(
+                        self,
+                        &stm.pat,
+                        HVal::Array(DArr {
+                            buf,
+                            shape,
+                            elem,
+                            perm: Vec::new(),
+                        }),
+                    );
+                }
+                Ok(())
+            }
+            Exp::Update {
+                array,
+                indices,
+                value,
+            } => {
+                // Uniqueness guarantees in-place safety: a small device
+                // write (or row write for bulk updates).
+                let d = self.array(array)?;
+                let buf = self.materialise(&d, &[])?;
+                let idx: Vec<i64> = indices
+                    .iter()
+                    .map(|i| {
+                        self.scalar(i)?
+                            .as_i64()
+                            .ok_or_else(|| ExecError::Plan("bad index".into()))
+                    })
+                    .collect::<EResult<_>>()?;
+                let mut arr =
+                    ArrayVal::new(d.shape.clone(), self.mem.download(buf).clone());
+                let ok = match self.hval(value)? {
+                    HVal::Scalar(s) => arr.update_scalar(&idx, s),
+                    HVal::Array(vd) => {
+                        let v = self.download_arr(&vd);
+                        arr.update_slice(&idx, &v)
+                    }
+                };
+                if !ok {
+                    return Err(ExecError::Interp(InterpError::OutOfBounds {
+                        what: format!("host update {array}{idx:?}"),
+                    }));
+                }
+                let nbuf = self.mem.upload(arr.data);
+                self.report.total_us += self.device.sync_overhead_us;
+                bind1(
+                    self,
+                    &stm.pat,
+                    HVal::Array(DArr {
+                        buf: nbuf,
+                        shape: d.shape.clone(),
+                        elem: d.elem,
+                        perm: Vec::new(),
+                    }),
+                );
+                Ok(())
+            }
+            // Everything else (leftover SOACs, applies, loops that reached
+            // a Direct statement): interpreter fallback, costed as
+            // sequential host execution plus transfers.
+            other => {
+                let free = free_in_exp(other);
+                let mut bindings: HashMap<Name, Value> = HashMap::new();
+                let mut transfer_bytes = 0f64;
+                for v in free {
+                    if let Some(hv) = self.env.get(&v).cloned() {
+                        let val = self.download_value(&hv);
+                        if let Value::Array(a) = &val {
+                            transfer_bytes +=
+                                (a.data.len() * a.elem_type().byte_size()) as f64;
+                        }
+                        bindings.insert(v, val);
+                    }
+                }
+                let mut interp = Interpreter::new(self.prog);
+                let before = interp.work();
+                let vals = interp.eval_exp_with(&bindings, other)?;
+                let work = interp.work() - before;
+                let t = 2.0 * self.device.sync_overhead_us
+                    + transfer_bytes / (PCIE_GBPS * 1e3)
+                    + work as f64 * HOST_US_PER_OP;
+                self.report.fallback_us += t;
+                self.report.total_us += t;
+                for (pe, v) in stm.pat.iter().zip(vals) {
+                    let hv = self.upload_value(&v);
+                    self.env.insert(pe.name.clone(), hv);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn launch(&mut self, pat: &[PatElem], spec: &LaunchSpec) -> EResult<()> {
+        let kernel = &self.plan.kernels[spec.kernel];
+        // Thread count.
+        let num_threads = match &spec.kind {
+            LaunchKind::Grid => {
+                let mut t = 1u64;
+                for w in &spec.widths {
+                    t *= self.usize_of(w)? as u64;
+                }
+                t
+            }
+            LaunchKind::Stream { total } => {
+                // "The optimal chunk size is the maximal one that still
+                // fully occupies hardware" (§4.1) — but per-thread
+                // accumulator state (e.g. Figure 4c's [k] histogram) adds a
+                // fixed per-thread cost, so the thread count is balanced
+                // against the accumulator footprint.
+                let n = self.usize_of(total)? as u64;
+                let cap = self.device.num_cus as u64 * self.device.group_size as u64 * 4;
+                let acc_elems: u64 = spec
+                    .outs
+                    .iter()
+                    .map(|o| {
+                        o.shape[1..]
+                            .iter()
+                            .map(|d| self.usize_of(d).unwrap_or(1) as u64)
+                            .product::<u64>()
+                    })
+                    .sum::<u64>()
+                    .max(1);
+                let floor = (self.device.num_cus * self.device.warp_size) as u64;
+                let balanced = (n / acc_elems).max(floor);
+                n.min(cap).min(balanced).max(1)
+            }
+        };
+        // Output buffers.
+        let mut out_bufs = Vec::new();
+        let mut out_darrs = Vec::new();
+        for o in &spec.outs {
+            let shape: Vec<usize> = o
+                .shape
+                .iter()
+                .map(|s| {
+                    if *s == SubExp::i64(-1) {
+                        Ok(num_threads as usize)
+                    } else {
+                        self.usize_of(s)
+                    }
+                })
+                .collect::<EResult<_>>()?;
+            let total: usize = shape.iter().product();
+            let buf = match &o.init_from {
+                Some(src) => {
+                    let d = self.array(src)?;
+                    let b = self.materialise(&d, &[])?;
+                    let data = self.mem.download(b).clone();
+                    self.device_op(2.0 * d.bytes() as f64);
+                    self.mem.upload(data)
+                }
+                None => self.mem.alloc(o.elem, total),
+            };
+            out_bufs.push(buf);
+            out_darrs.push(DArr {
+                buf,
+                shape,
+                elem: o.elem,
+                perm: o.perm.clone(),
+            });
+        }
+        // Arguments.
+        let mut args = Vec::new();
+        for a in &spec.args {
+            args.push(match a {
+                ArgSpec::ScalarVar(v) => Arg::Scalar(self.scalar(&SubExp::Var(v.clone()))?),
+                ArgSpec::ScalarConst(k) => Arg::Scalar(*k),
+                ArgSpec::NumThreadsArg => Arg::Scalar(Scalar::I64(num_threads as i64)),
+                ArgSpec::ArrayIn { name, perm } => {
+                    let d = self.array(name)?;
+                    Arg::Buffer(self.materialise(&d, perm)?)
+                }
+                ArgSpec::Out(i) => Arg::Buffer(out_bufs[*i]),
+            });
+        }
+        let stats = sim::launch(self.device, kernel, num_threads, &args, &mut self.mem)?;
+        let t = sim::kernel_time_us(self.device, &stats);
+        self.report.total_us += t;
+        self.report.kernel_us += t;
+        self.report.launches += 1;
+        let entry = self
+            .report
+            .per_kernel
+            .entry(kernel.name.clone())
+            .or_insert((0, 0.0, KernelStats::default()));
+        entry.0 += 1;
+        entry.1 += t;
+        let merged = &mut entry.2;
+        merged.threads += stats.threads;
+        merged.warp_instructions += stats.warp_instructions;
+        merged.global_transactions += stats.global_transactions;
+        merged.bus_bytes += stats.bus_bytes;
+        merged.useful_bytes += stats.useful_bytes;
+        merged.local_accesses += stats.local_accesses;
+        merged.barriers += stats.barriers;
+        self.report.stats = {
+            let mut s = self.report.stats;
+            s.threads += stats.threads;
+            s.warp_instructions += stats.warp_instructions;
+            s.global_transactions += stats.global_transactions;
+            s.bus_bytes += stats.bus_bytes;
+            s.useful_bytes += stats.useful_bytes;
+            s.local_accesses += stats.local_accesses;
+            s.barriers += stats.barriers;
+            s
+        };
+        for (pe, d) in pat.iter().zip(out_darrs) {
+            self.env.insert(pe.name.clone(), HVal::Array(d));
+        }
+        Ok(())
+    }
+
+    fn combine(
+        &mut self,
+        pat: &[PatElem],
+        partials: &[Name],
+        red_lam: &futhark_core::Lambda,
+        init: &[SubExp],
+    ) -> EResult<()> {
+        // Download partials; fold on the host with the combine operator.
+        let parts: Vec<ArrayVal> = partials
+            .iter()
+            .map(|p| {
+                let d = self.array(p)?;
+                Ok(self.download_arr(&d))
+            })
+            .collect::<EResult<_>>()?;
+        let t_count = parts[0].shape[0];
+        let mut acc: Vec<Value> = init
+            .iter()
+            .map(|se| Ok(self.download_value(&self.hval(se)?.clone())))
+            .collect::<EResult<_>>()?;
+        // The operator may reference free host variables (e.g. widths of a
+        // vectorised combine); bind them.
+        let mut bindings: HashMap<Name, Value> = HashMap::new();
+        for v in free_in_lambda(red_lam) {
+            if let Some(hv) = self.env.get(&v).cloned() {
+                let val = self.download_value(&hv);
+                bindings.insert(v, val);
+            }
+        }
+        let mut interp = Interpreter::new(self.prog);
+        for i in 0..t_count as i64 {
+            let mut args = acc;
+            for p in &parts {
+                let v = if p.rank() == 1 {
+                    Value::Scalar(p.index_scalar(&[i]).expect("in bounds"))
+                } else {
+                    Value::Array(p.index_slice(&[i]).expect("in bounds"))
+                };
+                args.push(v);
+            }
+            acc = interp.eval_lambda_with(&bindings, red_lam, &args)?;
+        }
+        // Cost: a small second-stage reduction over the partials.
+        let bytes: f64 = parts
+            .iter()
+            .map(|p| (p.data.len() * p.elem_type().byte_size()) as f64)
+            .sum();
+        let t = self.device.launch_overhead_us
+            + self.device.memory_us(bytes)
+            + self.device.sync_overhead_us;
+        self.report.device_op_us += t;
+        self.report.total_us += t;
+        for (pe, v) in pat.iter().zip(acc) {
+            let hv = self.upload_value(&v);
+            self.env.insert(pe.name.clone(), hv);
+        }
+        Ok(())
+    }
+}

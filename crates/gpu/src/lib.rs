@@ -1,0 +1,14 @@
+//! GPU backend for `futhark-rs`: kernel IR, code generation from the
+//! flattened core IR, and a SIMT virtual GPU with a coalescing-aware cost
+//! model (the evaluation substrate standing in for the paper's physical
+//! GTX 780 Ti and FirePro W8100).
+
+pub mod codegen;
+pub mod device;
+pub mod exec;
+pub mod kernel;
+pub mod plan;
+pub mod sim;
+
+pub use device::DeviceProfile;
+pub use sim::{kernel_time_us, Arg, BufId, DeviceMemory, KernelStats, SimError};

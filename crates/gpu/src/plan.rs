@@ -1,0 +1,179 @@
+//! The GPU execution plan: host-side IR plus compiled kernels.
+//!
+//! A [`GpuPlan`] is what `codegen` produces from a flattened core program:
+//! host statements (scalar code, device builtins, control flow) with
+//! [`HStm::Launch`] nodes for the extracted kernels. The executor in
+//! `exec` walks the plan against a [`crate::DeviceProfile`], keeping arrays
+//! in simulated device memory and accumulating a performance report.
+
+use crate::kernel::Kernel;
+use futhark_core::{Lambda, Name, Param, PatElem, Scalar, ScalarType, Stm, SubExp};
+
+/// How a launch computes its thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaunchKind {
+    /// One thread per element of the (multi-dimensional) grid: the product
+    /// of the widths.
+    Grid,
+    /// A streaming fold: the executor picks a thread count `T` that
+    /// saturates the device, and each thread processes a contiguous chunk
+    /// of the `total` elements (the paper's `stream_red`: "the optimal
+    /// chunk size is the maximal one that still fully occupies hardware").
+    Stream {
+        /// Total number of elements to partition.
+        total: SubExp,
+    },
+}
+
+/// One kernel argument as seen by the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgSpec {
+    /// A host scalar variable.
+    ScalarVar(Name),
+    /// A constant.
+    ScalarConst(Scalar),
+    /// The launch's total thread count (streams need it for chunking).
+    NumThreadsArg,
+    /// An input array, materialised in the given layout (`perm` maps
+    /// physical dimension position → logical dimension; empty = row-major).
+    ArrayIn {
+        /// The host array.
+        name: Name,
+        /// Requested layout.
+        perm: Vec<usize>,
+    },
+    /// Output buffer `index` of this launch.
+    Out(usize),
+}
+
+/// An output buffer of a launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutSpec {
+    /// Element type.
+    pub elem: ScalarType,
+    /// Logical shape (host-evaluable).
+    pub shape: Vec<SubExp>,
+    /// Physical layout of the buffer the kernel writes (see
+    /// [`ArgSpec::ArrayIn`]); recorded on the resulting device array so
+    /// later consumers can use or undo it lazily — the paper's "symbolic
+    /// composition of affine transformations".
+    pub perm: Vec<usize>,
+    /// If set, the output buffer starts as a copy of this array (used by
+    /// `scatter`, whose kernel only writes the scattered positions).
+    pub init_from: Option<Name>,
+}
+
+/// A kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchSpec {
+    /// Index into [`GpuPlan::kernels`].
+    pub kernel: usize,
+    /// Grid widths (outermost first); the thread count is their product
+    /// for [`LaunchKind::Grid`].
+    pub widths: Vec<SubExp>,
+    /// Thread-count policy.
+    pub kind: LaunchKind,
+    /// Arguments, aligned with the kernel's parameter list.
+    pub args: Vec<ArgSpec>,
+    /// Outputs, aligned with the statement pattern.
+    pub outs: Vec<OutSpec>,
+}
+
+/// A host-level statement of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HStm {
+    /// Evaluated directly by the executor: scalar operations on the host,
+    /// array builtins (`iota`, `replicate`, `rearrange`, …) as device
+    /// operations with modelled cost, or — for anything the backend cannot
+    /// kernelise — an interpreter fallback costed as sequential device
+    /// code.
+    Direct(Stm),
+    /// A kernel launch.
+    Launch {
+        /// Bound pattern.
+        pat: Vec<PatElem>,
+        /// The launch.
+        spec: LaunchSpec,
+    },
+    /// Host-side combine of per-thread partial results (the second stage
+    /// of a two-stage reduction / `stream_red`).
+    Combine {
+        /// Bound pattern (the final accumulator values).
+        pat: Vec<PatElem>,
+        /// Partials: one array per accumulator, outer size = thread count.
+        partials: Vec<Name>,
+        /// The associative combine operator.
+        red_lam: Lambda,
+        /// Initial accumulator values.
+        init: Vec<SubExp>,
+    },
+    /// A sequential host loop containing device work.
+    Loop {
+        /// Bound pattern.
+        pat: Vec<PatElem>,
+        /// Merge parameters and initial values.
+        params: Vec<(Param, SubExp)>,
+        /// Loop form: `Some` body = while-condition, `None` = for.
+        while_cond: Option<HBody>,
+        /// For-loop variable and bound (unused for while loops).
+        for_var: Option<(Name, SubExp)>,
+        /// The body.
+        body: HBody,
+    },
+    /// Host-side branch.
+    If {
+        /// Bound pattern.
+        pat: Vec<PatElem>,
+        /// Condition (a host scalar).
+        cond: SubExp,
+        /// Then branch.
+        then_b: HBody,
+        /// Else branch.
+        else_b: HBody,
+    },
+}
+
+/// A sequence of host statements with results.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HBody {
+    /// The statements.
+    pub stms: Vec<HStm>,
+    /// Result operands.
+    pub result: Vec<SubExp>,
+}
+
+/// A compiled GPU program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuPlan {
+    /// Entry parameters (from `main`).
+    pub params: Vec<Param>,
+    /// Compiled kernels.
+    pub kernels: Vec<Kernel>,
+    /// The host program.
+    pub body: HBody,
+}
+
+impl GpuPlan {
+    /// Number of distinct kernels.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Total number of launch sites (static).
+    pub fn launch_sites(&self) -> usize {
+        fn count(b: &HBody) -> usize {
+            b.stms
+                .iter()
+                .map(|s| match s {
+                    HStm::Launch { .. } => 1,
+                    HStm::Loop {
+                        body, while_cond, ..
+                    } => count(body) + while_cond.as_ref().map(count).unwrap_or(0),
+                    HStm::If { then_b, else_b, .. } => count(then_b) + count(else_b),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}

@@ -1,0 +1,859 @@
+//! The SIMT virtual GPU.
+//!
+//! Kernels execute group-by-group; within a group all threads run in
+//! lockstep with divergence masks, exactly like warps on real hardware.
+//! The simulator is *functional* (it computes the real answer in device
+//! buffers) and *counted* (it accumulates the cost events the paper's
+//! evaluation hinges on):
+//!
+//! - **warp instructions**: each statement costs one issue per active warp;
+//! - **global-memory transactions**: per warp and access, the distinct
+//!   aligned segments covered by the active lanes' addresses — the
+//!   *coalescing* model of Section 5.2;
+//! - **bus bytes**: transactions × transaction size (so uncoalesced code
+//!   pays the full segment even for 4 useful bytes);
+//! - local-memory accesses and barriers.
+
+use crate::device::DeviceProfile;
+use crate::kernel::{KExp, KStm, Kernel};
+use futhark_core::{Buffer, Scalar, ScalarType};
+use futhark_interp::scalar::{eval_binop, eval_cmp, eval_convert, eval_unop};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A device buffer handle.
+pub type BufId = usize;
+
+/// Device global memory: a growable arena of typed buffers.
+#[derive(Debug, Default)]
+pub struct DeviceMemory {
+    buffers: Vec<Buffer>,
+}
+
+impl DeviceMemory {
+    /// Creates empty device memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a zero-initialised buffer.
+    pub fn alloc(&mut self, t: ScalarType, len: usize) -> BufId {
+        self.buffers.push(Buffer::zeros(t, len));
+        self.buffers.len() - 1
+    }
+
+    /// Uploads host data.
+    pub fn upload(&mut self, data: Buffer) -> BufId {
+        self.buffers.push(data);
+        self.buffers.len() - 1
+    }
+
+    /// Reads a buffer back.
+    pub fn download(&self, id: BufId) -> &Buffer {
+        &self.buffers[id]
+    }
+
+    /// Mutable access.
+    pub fn buffer_mut(&mut self, id: BufId) -> &mut Buffer {
+        &mut self.buffers[id]
+    }
+
+    /// Total allocated bytes.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.buffers
+            .iter()
+            .map(|b| (b.len() * b.elem_type().byte_size()) as u64)
+            .sum()
+    }
+}
+
+/// An argument to a kernel launch.
+#[derive(Debug, Clone)]
+pub enum Arg {
+    /// A global buffer.
+    Buffer(BufId),
+    /// A scalar.
+    Scalar(Scalar),
+}
+
+/// Cost counters accumulated by one launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Threads launched.
+    pub threads: u64,
+    /// Warp instruction issues.
+    pub warp_instructions: u64,
+    /// Global-memory transactions.
+    pub global_transactions: u64,
+    /// Bytes moved over the bus (transactions × transaction size).
+    pub bus_bytes: u64,
+    /// Bytes actually requested by threads.
+    pub useful_bytes: u64,
+    /// Local-memory accesses.
+    pub local_accesses: u64,
+    /// Barriers executed (per group).
+    pub barriers: u64,
+}
+
+impl KernelStats {
+    /// Coalescing efficiency: useful bytes / bus bytes (1.0 = perfect).
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.bus_bytes == 0 {
+            1.0
+        } else {
+            self.useful_bytes as f64 / self.bus_bytes as f64
+        }
+    }
+
+    fn merge(&mut self, o: &KernelStats) {
+        self.threads += o.threads;
+        self.warp_instructions += o.warp_instructions;
+        self.global_transactions += o.global_transactions;
+        self.bus_bytes += o.bus_bytes;
+        self.useful_bytes += o.useful_bytes;
+        self.local_accesses += o.local_accesses;
+        self.barriers += o.barriers;
+    }
+}
+
+/// A simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Out-of-bounds access in a kernel.
+    OutOfBounds {
+        /// Which kernel.
+        kernel: String,
+        /// Description.
+        what: String,
+    },
+    /// Barrier reached by a divergent subset of a work-group.
+    DivergentBarrier {
+        /// Which kernel.
+        kernel: String,
+    },
+    /// Scalar operator failure (type confusion, division by zero).
+    Scalar(String),
+    /// A while loop exceeded the iteration safety bound.
+    RunawayLoop {
+        /// Which kernel.
+        kernel: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { kernel, what } => {
+                write!(f, "out of bounds in kernel `{kernel}`: {what}")
+            }
+            SimError::DivergentBarrier { kernel } => {
+                write!(f, "divergent barrier in kernel `{kernel}`")
+            }
+            SimError::Scalar(m) => write!(f, "scalar fault: {m}"),
+            SimError::RunawayLoop { kernel } => {
+                write!(f, "runaway while-loop in kernel `{kernel}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+type SResult<T> = Result<T, SimError>;
+
+struct Lane {
+    regs: Vec<Scalar>,
+    privs: Vec<Vec<Scalar>>,
+}
+
+struct GroupCtx<'a> {
+    kernel: &'a Kernel,
+    args: &'a [Arg],
+    scalars: Vec<Option<Scalar>>,
+    group_id: u64,
+    group_size: u64,
+    num_threads: u64,
+    warp_size: usize,
+    transaction_bytes: u64,
+    lanes: Vec<Lane>,
+    locals: Vec<Buffer>,
+}
+
+/// Launches a kernel over `num_threads` threads and returns the accumulated
+/// stats. Buffers are read and written in `mem`.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on faults (bounds, divergent barriers, runaway
+/// loops).
+pub fn launch(
+    device: &DeviceProfile,
+    kernel: &Kernel,
+    num_threads: u64,
+    args: &[Arg],
+    mem: &mut DeviceMemory,
+) -> SResult<KernelStats> {
+    let group_size = device.group_size as u64;
+    let num_groups = num_threads.div_ceil(group_size).max(1);
+    let mut stats = KernelStats {
+        threads: num_threads,
+        ..KernelStats::default()
+    };
+    // Pre-extract scalar args for local sizing.
+    let scalars: Vec<Option<Scalar>> = args
+        .iter()
+        .map(|a| match a {
+            Arg::Scalar(s) => Some(*s),
+            Arg::Buffer(_) => None,
+        })
+        .collect();
+    for g in 0..num_groups {
+        let lanes_in_group = group_size.min(num_threads.saturating_sub(g * group_size));
+        if lanes_in_group == 0 {
+            continue;
+        }
+        let mut ctx = GroupCtx {
+            kernel,
+            args,
+            scalars: scalars.clone(),
+            group_id: g,
+            group_size,
+            num_threads,
+            warp_size: device.warp_size as usize,
+            transaction_bytes: device.transaction_bytes,
+            lanes: (0..lanes_in_group)
+                .map(|_| Lane {
+                    regs: vec![Scalar::I64(0); kernel.num_regs as usize],
+                    privs: vec![Vec::new(); kernel.num_priv],
+                })
+                .collect(),
+            locals: Vec::new(),
+        };
+        // Size local buffers.
+        for (t, size) in &kernel.locals {
+            let n = ctx.eval_uniform(size)?;
+            ctx.locals.push(Buffer::zeros(*t, n.max(0) as usize));
+        }
+        let mask: Vec<bool> = vec![true; lanes_in_group as usize];
+        let mut gstats = KernelStats::default();
+        ctx.exec(&kernel.body, &mask, mem, &mut gstats)?;
+        stats.merge(&gstats);
+    }
+    Ok(stats)
+}
+
+impl<'a> GroupCtx<'a> {
+    /// Evaluates an expression that must be uniform across the group (local
+    /// buffer sizes): uses lane 0 semantics without lane state.
+    fn eval_uniform(&self, e: &KExp) -> SResult<i64> {
+        match e {
+            KExp::Const(k) => k.as_i64().ok_or_else(|| {
+                SimError::Scalar("non-integer uniform expression".into())
+            }),
+            KExp::GroupSize => Ok(self.group_size as i64),
+            KExp::ScalarArg(i) => self.scalars[*i]
+                .and_then(|s| s.as_i64())
+                .ok_or_else(|| SimError::Scalar("bad scalar argument".into())),
+            KExp::BinOp(op, a, b) => {
+                let x = self.eval_uniform(a)?;
+                let y = self.eval_uniform(b)?;
+                eval_binop(*op, Scalar::I64(x), Scalar::I64(y))
+                    .map_err(|e| SimError::Scalar(e.to_string()))?
+                    .as_i64()
+                    .ok_or_else(|| SimError::Scalar("non-integer uniform".into()))
+            }
+            _ => Err(SimError::Scalar(
+                "local size must be built from constants and scalar args".into(),
+            )),
+        }
+    }
+
+    fn eval(&self, e: &KExp, lane: usize) -> SResult<Scalar> {
+        Ok(match e {
+            KExp::Const(k) => *k,
+            KExp::Var(r) => self.lanes[lane].regs[*r as usize],
+            KExp::GlobalId => {
+                Scalar::I64((self.group_id * self.group_size + lane as u64) as i64)
+            }
+            KExp::GroupId => Scalar::I64(self.group_id as i64),
+            KExp::LocalId => Scalar::I64(lane as i64),
+            KExp::GroupSize => Scalar::I64(self.group_size as i64),
+            KExp::NumThreads => Scalar::I64(self.num_threads as i64),
+            KExp::ScalarArg(i) => self.scalars[*i]
+                .ok_or_else(|| SimError::Scalar(format!("argument {i} is not a scalar")))?,
+            KExp::BinOp(op, a, b) => {
+                let x = self.eval(a, lane)?;
+                let y = self.eval(b, lane)?;
+                eval_binop(*op, x, y).map_err(|e| SimError::Scalar(e.to_string()))?
+            }
+            KExp::Cmp(op, a, b) => {
+                let x = self.eval(a, lane)?;
+                let y = self.eval(b, lane)?;
+                eval_cmp(*op, x, y).map_err(|e| SimError::Scalar(e.to_string()))?
+            }
+            KExp::UnOp(op, a) => {
+                let x = self.eval(a, lane)?;
+                eval_unop(*op, x).map_err(|e| SimError::Scalar(e.to_string()))?
+            }
+            KExp::Convert(t, a) => {
+                let x = self.eval(a, lane)?;
+                eval_convert(*t, x).map_err(|e| SimError::Scalar(e.to_string()))?
+            }
+        })
+    }
+
+    fn eval_index(&self, e: &KExp, lane: usize) -> SResult<i64> {
+        self.eval(e, lane)?
+            .as_i64()
+            .ok_or_else(|| SimError::Scalar("non-integer index".into()))
+    }
+
+    fn buffer_id(&self, arg: usize) -> SResult<BufId> {
+        match &self.args[arg] {
+            Arg::Buffer(b) => Ok(*b),
+            Arg::Scalar(_) => Err(SimError::Scalar(format!(
+                "argument {arg} is not a buffer"
+            ))),
+        }
+    }
+
+    /// Counts the warp issue cost for one statement over a mask.
+    fn issue(&self, mask: &[bool], ops: u64, stats: &mut KernelStats) {
+        let mut warps = 0u64;
+        for chunk in mask.chunks(self.warp_size) {
+            if chunk.iter().any(|&b| b) {
+                warps += 1;
+            }
+        }
+        stats.warp_instructions += warps * (1 + ops);
+    }
+
+    /// Counts memory transactions for a warp-grouped global access.
+    fn memory_access(
+        &self,
+        mask: &[bool],
+        offsets: &[Option<i64>],
+        elem_bytes: u64,
+        stats: &mut KernelStats,
+    ) {
+        for (w, chunk) in mask.chunks(self.warp_size).enumerate() {
+            let mut segments: HashSet<i64> = HashSet::new();
+            let mut useful = 0u64;
+            for (l, &on) in chunk.iter().enumerate() {
+                if !on {
+                    continue;
+                }
+                if let Some(off) = offsets[w * self.warp_size + l] {
+                    segments.insert((off * elem_bytes as i64) / self.transaction_bytes as i64);
+                    useful += elem_bytes;
+                }
+            }
+            stats.global_transactions += segments.len() as u64;
+            stats.bus_bytes += segments.len() as u64 * self.transaction_bytes;
+            stats.useful_bytes += useful;
+        }
+    }
+
+    fn exec(
+        &mut self,
+        stms: &[KStm],
+        mask: &[bool],
+        mem: &mut DeviceMemory,
+        stats: &mut KernelStats,
+    ) -> SResult<()> {
+        if !mask.iter().any(|&b| b) {
+            return Ok(());
+        }
+        for stm in stms {
+            match stm {
+                KStm::Assign { var, exp } => {
+                    self.issue(mask, exp.op_count(), stats);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let v = self.eval(exp, lane)?;
+                            self.lanes[lane].regs[*var as usize] = v;
+                        }
+                    }
+                }
+                KStm::GlobalRead { var, buf, index } => {
+                    self.issue(mask, index.op_count(), stats);
+                    let bid = self.buffer_id(*buf)?;
+                    let len = mem.download(bid).len() as i64;
+                    let elem = mem.download(bid).elem_type();
+                    let mut offsets = vec![None; mask.len()];
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            if i < 0 || i >= len {
+                                return Err(SimError::OutOfBounds {
+                                    kernel: self.kernel.name.clone(),
+                                    what: format!("read {i} of buffer len {len}"),
+                                });
+                            }
+                            offsets[lane] = Some(i);
+                            let v = mem.download(bid).get(i as usize);
+                            self.lanes[lane].regs[*var as usize] = v;
+                        }
+                    }
+                    self.memory_access(mask, &offsets, elem.byte_size() as u64, stats);
+                }
+                KStm::GlobalWrite { buf, index, value } => {
+                    self.issue(mask, index.op_count() + value.op_count(), stats);
+                    let bid = self.buffer_id(*buf)?;
+                    let len = mem.download(bid).len() as i64;
+                    let elem = mem.download(bid).elem_type();
+                    let mut offsets = vec![None; mask.len()];
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            if i < 0 || i >= len {
+                                return Err(SimError::OutOfBounds {
+                                    kernel: self.kernel.name.clone(),
+                                    what: format!("write {i} of buffer len {len}"),
+                                });
+                            }
+                            let v = self.eval(value, lane)?;
+                            offsets[lane] = Some(i);
+                            mem.buffer_mut(bid).set(i as usize, v);
+                        }
+                    }
+                    self.memory_access(mask, &offsets, elem.byte_size() as u64, stats);
+                }
+                KStm::LocalRead { var, mem: lm, index } => {
+                    self.issue(mask, index.op_count(), stats);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            let buf = &self.locals[*lm];
+                            if i < 0 || i as usize >= buf.len() {
+                                return Err(SimError::OutOfBounds {
+                                    kernel: self.kernel.name.clone(),
+                                    what: format!("local read {i} of len {}", buf.len()),
+                                });
+                            }
+                            let v = buf.get(i as usize);
+                            self.lanes[lane].regs[*var as usize] = v;
+                            stats.local_accesses += 1;
+                        }
+                    }
+                }
+                KStm::LocalWrite { mem: lm, index, value } => {
+                    self.issue(mask, index.op_count() + value.op_count(), stats);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            let v = self.eval(value, lane)?;
+                            let buf = &mut self.locals[*lm];
+                            if i < 0 || i as usize >= buf.len() {
+                                return Err(SimError::OutOfBounds {
+                                    kernel: self.kernel.name.clone(),
+                                    what: format!("local write {i} of len {}", buf.len()),
+                                });
+                            }
+                            buf.set(i as usize, v);
+                            stats.local_accesses += 1;
+                        }
+                    }
+                }
+                KStm::PrivAlloc { arr, elem, size } => {
+                    self.issue(mask, size.op_count(), stats);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let n = self.eval_index(size, lane)?.max(0) as usize;
+                            let init = Scalar::zero(*elem);
+                            self.lanes[lane].privs[*arr] = vec![init; n];
+                        }
+                    }
+                }
+                KStm::PrivRead { var, arr, index } => {
+                    self.issue(mask, index.op_count(), stats);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            let p = &self.lanes[lane].privs[*arr];
+                            if i < 0 || i as usize >= p.len() {
+                                return Err(SimError::OutOfBounds {
+                                    kernel: self.kernel.name.clone(),
+                                    what: format!("private read {i} of len {}", p.len()),
+                                });
+                            }
+                            let v = p[i as usize];
+                            self.lanes[lane].regs[*var as usize] = v;
+                        }
+                    }
+                }
+                KStm::PrivWrite { arr, index, value } => {
+                    self.issue(mask, index.op_count() + value.op_count(), stats);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            let v = self.eval(value, lane)?;
+                            let p = &mut self.lanes[lane].privs[*arr];
+                            if i < 0 || i as usize >= p.len() {
+                                return Err(SimError::OutOfBounds {
+                                    kernel: self.kernel.name.clone(),
+                                    what: format!("private write {i} of len {}", p.len()),
+                                });
+                            }
+                            p[i as usize] = v;
+                        }
+                    }
+                }
+                KStm::PrivCopy { dst, src, len } => {
+                    self.issue(mask, len.op_count(), stats);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let n = self.eval_index(len, lane)?.max(0) as usize;
+                            let v: Vec<Scalar> =
+                                self.lanes[lane].privs[*src][..n].to_vec();
+                            self.lanes[lane].privs[*dst] = v;
+                        }
+                    }
+                }
+                KStm::For { var, bound, body } => {
+                    self.issue(mask, bound.op_count(), stats);
+                    let bounds: Vec<i64> = (0..mask.len())
+                        .map(|lane| {
+                            if mask[lane] {
+                                self.eval_index(bound, lane)
+                            } else {
+                                Ok(0)
+                            }
+                        })
+                        .collect::<SResult<_>>()?;
+                    let max_bound = bounds.iter().copied().max().unwrap_or(0);
+                    for t in 0..max_bound {
+                        let sub: Vec<bool> = mask
+                            .iter()
+                            .zip(&bounds)
+                            .map(|(&m, &b)| m && t < b)
+                            .collect();
+                        if !sub.iter().any(|&b| b) {
+                            break;
+                        }
+                        for lane in 0..mask.len() {
+                            if sub[lane] {
+                                self.lanes[lane].regs[*var as usize] = Scalar::I64(t);
+                            }
+                        }
+                        self.exec(body, &sub, mem, stats)?;
+                    }
+                }
+                KStm::While { cond, body } => {
+                    let mut live = mask.to_vec();
+                    let mut iterations = 0u64;
+                    loop {
+                        self.issue(&live, cond.op_count(), stats);
+                        for lane in 0..live.len() {
+                            if live[lane] {
+                                let c = self.eval(cond, lane)?.as_bool().ok_or_else(|| {
+                                    SimError::Scalar("non-boolean while condition".into())
+                                })?;
+                                live[lane] = c;
+                            }
+                        }
+                        if !live.iter().any(|&b| b) {
+                            break;
+                        }
+                        self.exec(body, &live, mem, stats)?;
+                        iterations += 1;
+                        if iterations > 100_000_000 {
+                            return Err(SimError::RunawayLoop {
+                                kernel: self.kernel.name.clone(),
+                            });
+                        }
+                    }
+                }
+                KStm::If { cond, then_s, else_s } => {
+                    self.issue(mask, cond.op_count(), stats);
+                    let mut then_mask = vec![false; mask.len()];
+                    let mut else_mask = vec![false; mask.len()];
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let c = self.eval(cond, lane)?.as_bool().ok_or_else(|| {
+                                SimError::Scalar("non-boolean if condition".into())
+                            })?;
+                            then_mask[lane] = c;
+                            else_mask[lane] = !c;
+                        }
+                    }
+                    self.exec(then_s, &then_mask, mem, stats)?;
+                    self.exec(else_s, &else_mask, mem, stats)?;
+                }
+                KStm::Barrier => {
+                    // All in-bounds lanes of the group must participate.
+                    if mask.iter().any(|&b| !b) {
+                        return Err(SimError::DivergentBarrier {
+                            kernel: self.kernel.name.clone(),
+                        });
+                    }
+                    stats.barriers += 1;
+                    self.issue(mask, 0, stats);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Timing model: microseconds for one launch with the given stats.
+pub fn kernel_time_us(device: &DeviceProfile, stats: &KernelStats) -> f64 {
+    let compute = device.compute_us(stats.warp_instructions as f64);
+    let memory = device.memory_us(stats.bus_bytes as f64);
+    let local = stats.local_accesses as f64
+        / (device.num_cus as f64 * device.local_per_cycle * device.clock_ghz * 1e3);
+    device.launch_overhead_us + compute.max(memory).max(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::*;
+
+    fn vecadd_kernel(stride: i64) -> Kernel {
+        // out[i] = a[idx] + b[idx] with idx = i*stride (stride 1 coalesced).
+        let idx = KExp::GlobalId.mul(KExp::i64(stride));
+        Kernel {
+            name: "vecadd".into(),
+            params: vec![
+                KParam::Buffer(ScalarType::F32),
+                KParam::Buffer(ScalarType::F32),
+                KParam::Buffer(ScalarType::F32),
+            ],
+            locals: vec![],
+            num_regs: 2,
+            num_priv: 0,
+            body: vec![
+                KStm::GlobalRead {
+                    var: 0,
+                    buf: 0,
+                    index: idx.clone(),
+                },
+                KStm::GlobalRead {
+                    var: 1,
+                    buf: 1,
+                    index: idx.clone(),
+                },
+                KStm::GlobalWrite {
+                    buf: 2,
+                    index: idx,
+                    value: KExp::BinOp(
+                        futhark_core::BinOp::Add,
+                        Box::new(KExp::Var(0)),
+                        Box::new(KExp::Var(1)),
+                    ),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn vecadd_computes_and_is_coalesced() {
+        let dev = DeviceProfile::gtx780();
+        let mut mem = DeviceMemory::new();
+        let n = 1024usize;
+        let a = mem.upload(Buffer::F32((0..n).map(|i| i as f32).collect()));
+        let b = mem.upload(Buffer::F32(vec![1.0; n]));
+        let c = mem.alloc(ScalarType::F32, n);
+        let stats = launch(
+            &dev,
+            &vecadd_kernel(1),
+            n as u64,
+            &[Arg::Buffer(a), Arg::Buffer(b), Arg::Buffer(c)],
+            &mut mem,
+        )
+        .unwrap();
+        let Buffer::F32(out) = mem.download(c) else {
+            panic!()
+        };
+        assert_eq!(out[10], 11.0);
+        assert_eq!(out[1023], 1024.0);
+        // Coalesced: each warp of 32 f32 reads = 128 bytes = 1 transaction.
+        // 3 accesses × 32 warps = 96 transactions.
+        assert_eq!(stats.global_transactions, 96);
+        assert!(stats.coalescing_efficiency() > 0.99);
+    }
+
+    #[test]
+    fn strided_access_multiplies_transactions() {
+        let dev = DeviceProfile::gtx780();
+        let stride = 32i64;
+        let n = 1024usize;
+        let total = n * stride as usize;
+        let mut mem = DeviceMemory::new();
+        let a = mem.upload(Buffer::F32(vec![2.0; total]));
+        let b = mem.upload(Buffer::F32(vec![3.0; total]));
+        let c = mem.alloc(ScalarType::F32, total);
+        let stats = launch(
+            &dev,
+            &vecadd_kernel(stride),
+            n as u64,
+            &[Arg::Buffer(a), Arg::Buffer(b), Arg::Buffer(c)],
+            &mut mem,
+        )
+        .unwrap();
+        // Every lane hits its own 128-byte segment: 32× the transactions.
+        assert_eq!(stats.global_transactions, 96 * 32);
+        assert!(stats.coalescing_efficiency() < 0.05);
+    }
+
+    #[test]
+    fn local_memory_staging_with_barrier() {
+        // Each thread writes its id to local memory, barriers, then reads
+        // its neighbour's value (a rotation within the group).
+        let dev = DeviceProfile::gtx780();
+        let k = Kernel {
+            name: "rotate".into(),
+            params: vec![KParam::Buffer(ScalarType::I64)],
+            locals: vec![(ScalarType::I64, KExp::GroupSize)],
+            num_regs: 2,
+            num_priv: 0,
+            body: vec![
+                KStm::LocalWrite {
+                    mem: 0,
+                    index: KExp::LocalId,
+                    value: KExp::GlobalId,
+                },
+                KStm::Barrier,
+                KStm::Assign {
+                    var: 0,
+                    exp: KExp::LocalId
+                        .add(KExp::i64(1))
+                        .rem(KExp::GroupSize),
+                },
+                KStm::LocalRead {
+                    var: 1,
+                    mem: 0,
+                    index: KExp::Var(0),
+                },
+                KStm::GlobalWrite {
+                    buf: 0,
+                    index: KExp::GlobalId,
+                    value: KExp::Var(1),
+                },
+            ],
+        };
+        let mut mem = DeviceMemory::new();
+        let n = 512usize;
+        let out = mem.alloc(ScalarType::I64, n);
+        let stats = launch(&dev, &k, n as u64, &[Arg::Buffer(out)], &mut mem).unwrap();
+        let Buffer::I64(v) = mem.download(out) else { panic!() };
+        assert_eq!(v[0], 1);
+        assert_eq!(v[255], 0); // wraps within the first group of 256
+        assert_eq!(v[256], 257);
+        assert_eq!(stats.barriers, 2); // one per group
+        assert!(stats.local_accesses >= 1024);
+    }
+
+    #[test]
+    fn divergence_executes_both_sides() {
+        // if (id % 2 == 0) out[id] = 1 else out[id] = 2.
+        let dev = DeviceProfile::gtx780();
+        let k = Kernel {
+            name: "diverge".into(),
+            params: vec![KParam::Buffer(ScalarType::I64)],
+            locals: vec![],
+            num_regs: 1,
+            num_priv: 0,
+            body: vec![KStm::If {
+                cond: KExp::Cmp(
+                    futhark_core::CmpOp::Eq,
+                    Box::new(KExp::GlobalId.rem(KExp::i64(2))),
+                    Box::new(KExp::i64(0)),
+                ),
+                then_s: vec![KStm::GlobalWrite {
+                    buf: 0,
+                    index: KExp::GlobalId,
+                    value: KExp::i64(1),
+                }],
+                else_s: vec![KStm::GlobalWrite {
+                    buf: 0,
+                    index: KExp::GlobalId,
+                    value: KExp::i64(2),
+                }],
+            }],
+        };
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(ScalarType::I64, 64);
+        launch(&dev, &k, 64, &[Arg::Buffer(out)], &mut mem).unwrap();
+        let Buffer::I64(v) = mem.download(out) else { panic!() };
+        assert_eq!(v[0], 1);
+        assert_eq!(v[1], 2);
+        assert_eq!(v[63], 2);
+    }
+
+    #[test]
+    fn for_loop_with_variant_bounds() {
+        // out[id] = sum(0..id) via a per-thread loop; bounds diverge.
+        let dev = DeviceProfile::gtx780();
+        let k = Kernel {
+            name: "tri".into(),
+            params: vec![KParam::Buffer(ScalarType::I64)],
+            locals: vec![],
+            num_regs: 2,
+            num_priv: 0,
+            body: vec![
+                KStm::Assign {
+                    var: 1,
+                    exp: KExp::i64(0),
+                },
+                KStm::For {
+                    var: 0,
+                    bound: KExp::GlobalId,
+                    body: vec![KStm::Assign {
+                        var: 1,
+                        exp: KExp::Var(1).add(KExp::Var(0)),
+                    }],
+                },
+                KStm::GlobalWrite {
+                    buf: 0,
+                    index: KExp::GlobalId,
+                    value: KExp::Var(1),
+                },
+            ],
+        };
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(ScalarType::I64, 16);
+        launch(&dev, &k, 16, &[Arg::Buffer(out)], &mut mem).unwrap();
+        let Buffer::I64(v) = mem.download(out) else { panic!() };
+        assert_eq!(v[0], 0);
+        assert_eq!(v[5], 10);
+        assert_eq!(v[15], 105);
+    }
+
+    #[test]
+    fn oob_is_reported() {
+        let dev = DeviceProfile::gtx780();
+        let mut mem = DeviceMemory::new();
+        let small = mem.alloc(ScalarType::F32, 4);
+        let b = mem.alloc(ScalarType::F32, 4);
+        let c = mem.alloc(ScalarType::F32, 4);
+        let e = launch(
+            &dev,
+            &vecadd_kernel(1),
+            64,
+            &[Arg::Buffer(small), Arg::Buffer(b), Arg::Buffer(c)],
+            &mut mem,
+        )
+        .unwrap_err();
+        assert!(matches!(e, SimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn timing_model_prefers_coalesced() {
+        let dev = DeviceProfile::gtx780();
+        let a = KernelStats {
+            threads: 1000,
+            warp_instructions: 1000,
+            global_transactions: 100,
+            bus_bytes: 100 * 128,
+            useful_bytes: 100 * 128,
+            local_accesses: 0,
+            barriers: 0,
+        };
+        let mut b = a;
+        b.global_transactions = 3200;
+        b.bus_bytes = 3200 * 128;
+        assert!(kernel_time_us(&dev, &b) > kernel_time_us(&dev, &a));
+    }
+}

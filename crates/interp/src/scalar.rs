@@ -1,0 +1,292 @@
+//! Scalar operator semantics shared by the interpreter and the GPU
+//! simulator.
+
+use crate::InterpError;
+use futhark_core::{BinOp, CmpOp, Scalar, ScalarType, UnOp};
+
+type SResult = Result<Scalar, InterpError>;
+
+fn type_err(msg: impl Into<String>) -> InterpError {
+    InterpError::Type(msg.into())
+}
+
+/// Evaluates a binary operator on two scalars of the same type.
+///
+/// # Errors
+///
+/// Returns [`InterpError::DivisionByZero`] for integer division/remainder by
+/// zero and [`InterpError::Type`] on operand type mismatches.
+pub fn eval_binop(op: BinOp, a: Scalar, b: Scalar) -> SResult {
+    use BinOp::*;
+    use Scalar::*;
+    match (a, b) {
+        (I32(x), I32(y)) => Ok(I32(match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(InterpError::DivisionByZero);
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(InterpError::DivisionByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            Min => x.min(y),
+            Max => x.max(y),
+            Pow | Atan2 => return Err(type_err("pow/atan2 on integers")),
+            And | Or => return Err(type_err("logical op on integers")),
+        })),
+        (I64(x), I64(y)) => Ok(I64(match op {
+            Add => x.wrapping_add(y),
+            Sub => x.wrapping_sub(y),
+            Mul => x.wrapping_mul(y),
+            Div => {
+                if y == 0 {
+                    return Err(InterpError::DivisionByZero);
+                }
+                x.wrapping_div(y)
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(InterpError::DivisionByZero);
+                }
+                x.wrapping_rem(y)
+            }
+            Min => x.min(y),
+            Max => x.max(y),
+            Pow | Atan2 => return Err(type_err("pow/atan2 on integers")),
+            And | Or => return Err(type_err("logical op on integers")),
+        })),
+        (F32(x), F32(y)) => Ok(F32(match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            Rem => x % y,
+            Min => x.min(y),
+            Max => x.max(y),
+            Pow => x.powf(y),
+            Atan2 => x.atan2(y),
+            And | Or => return Err(type_err("logical op on floats")),
+        })),
+        (F64(x), F64(y)) => Ok(F64(match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            Rem => x % y,
+            Min => x.min(y),
+            Max => x.max(y),
+            Pow => x.powf(y),
+            Atan2 => x.atan2(y),
+            And | Or => return Err(type_err("logical op on floats")),
+        })),
+        (Bool(x), Bool(y)) => Ok(Bool(match op {
+            And => x && y,
+            Or => x || y,
+            _ => return Err(type_err("arithmetic on booleans")),
+        })),
+        (a, b) => Err(type_err(format!(
+            "operand type mismatch: {:?} vs {:?}",
+            a.scalar_type(),
+            b.scalar_type()
+        ))),
+    }
+}
+
+/// Evaluates a comparison on two scalars of the same type.
+///
+/// # Errors
+///
+/// Returns [`InterpError::Type`] on operand type mismatches.
+pub fn eval_cmp(op: CmpOp, a: Scalar, b: Scalar) -> SResult {
+    use Scalar::*;
+    fn cmp<T: PartialOrd>(op: CmpOp, x: T, y: T) -> bool {
+        match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    }
+    let r = match (a, b) {
+        (I32(x), I32(y)) => cmp(op, x, y),
+        (I64(x), I64(y)) => cmp(op, x, y),
+        (F32(x), F32(y)) => cmp(op, x, y),
+        (F64(x), F64(y)) => cmp(op, x, y),
+        (Bool(x), Bool(y)) => cmp(op, x, y),
+        (a, b) => {
+            return Err(type_err(format!(
+                "comparison type mismatch: {:?} vs {:?}",
+                a.scalar_type(),
+                b.scalar_type()
+            )))
+        }
+    };
+    Ok(Scalar::Bool(r))
+}
+
+/// Evaluates a unary operator.
+///
+/// # Errors
+///
+/// Returns [`InterpError::Type`] when the operand type does not support the
+/// operator.
+pub fn eval_unop(op: UnOp, a: Scalar) -> SResult {
+    use Scalar::*;
+    use UnOp::*;
+    match (op, a) {
+        (Neg, I32(x)) => Ok(I32(x.wrapping_neg())),
+        (Neg, I64(x)) => Ok(I64(x.wrapping_neg())),
+        (Neg, F32(x)) => Ok(F32(-x)),
+        (Neg, F64(x)) => Ok(F64(-x)),
+        (Not, Bool(x)) => Ok(Bool(!x)),
+        (Abs, I32(x)) => Ok(I32(x.wrapping_abs())),
+        (Abs, I64(x)) => Ok(I64(x.wrapping_abs())),
+        (Abs, F32(x)) => Ok(F32(x.abs())),
+        (Abs, F64(x)) => Ok(F64(x.abs())),
+        (Signum, I32(x)) => Ok(I32(x.signum())),
+        (Signum, I64(x)) => Ok(I64(x.signum())),
+        (Signum, F32(x)) => Ok(F32(if x > 0.0 {
+            1.0
+        } else if x < 0.0 {
+            -1.0
+        } else {
+            0.0
+        })),
+        (Signum, F64(x)) => Ok(F64(if x > 0.0 {
+            1.0
+        } else if x < 0.0 {
+            -1.0
+        } else {
+            0.0
+        })),
+        (Sqrt, F32(x)) => Ok(F32(x.sqrt())),
+        (Sqrt, F64(x)) => Ok(F64(x.sqrt())),
+        (Exp, F32(x)) => Ok(F32(x.exp())),
+        (Exp, F64(x)) => Ok(F64(x.exp())),
+        (Log, F32(x)) => Ok(F32(x.ln())),
+        (Log, F64(x)) => Ok(F64(x.ln())),
+        (Sin, F32(x)) => Ok(F32(x.sin())),
+        (Sin, F64(x)) => Ok(F64(x.sin())),
+        (Cos, F32(x)) => Ok(F32(x.cos())),
+        (Cos, F64(x)) => Ok(F64(x.cos())),
+        (Tanh, F32(x)) => Ok(F32(x.tanh())),
+        (Tanh, F64(x)) => Ok(F64(x.tanh())),
+        (op, a) => Err(type_err(format!(
+            "unary {op:?} on {:?}",
+            a.scalar_type()
+        ))),
+    }
+}
+
+/// Converts a scalar to the given type.
+///
+/// # Errors
+///
+/// Returns [`InterpError::Type`] for boolean conversions.
+pub fn eval_convert(t: ScalarType, a: Scalar) -> SResult {
+    use Scalar::*;
+    let x = match a {
+        I32(v) => v as f64,
+        I64(v) => v as f64,
+        F32(v) => v as f64,
+        F64(v) => v,
+        Bool(_) => return Err(type_err("conversion from bool")),
+    };
+    Ok(match t {
+        ScalarType::I32 => I32(match a {
+            I64(v) => v as i32,
+            I32(v) => v,
+            _ => x as i32,
+        }),
+        ScalarType::I64 => I64(match a {
+            I32(v) => v as i64,
+            I64(v) => v,
+            _ => x as i64,
+        }),
+        ScalarType::F32 => F32(x as f32),
+        ScalarType::F64 => F64(x),
+        ScalarType::Bool => return Err(type_err("conversion to bool")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(
+            eval_binop(BinOp::Add, Scalar::I64(2), Scalar::I64(3)).unwrap(),
+            Scalar::I64(5)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Rem, Scalar::I32(7), Scalar::I32(4)).unwrap(),
+            Scalar::I32(3)
+        );
+        assert!(matches!(
+            eval_binop(BinOp::Div, Scalar::I64(1), Scalar::I64(0)),
+            Err(InterpError::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(
+            eval_binop(BinOp::Pow, Scalar::F64(2.0), Scalar::F64(10.0)).unwrap(),
+            Scalar::F64(1024.0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Min, Scalar::F32(1.5), Scalar::F32(-1.0)).unwrap(),
+            Scalar::F32(-1.0)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            eval_cmp(CmpOp::Lt, Scalar::I64(1), Scalar::I64(2)).unwrap(),
+            Scalar::Bool(true)
+        );
+        assert_eq!(
+            eval_cmp(CmpOp::Ge, Scalar::F32(1.0), Scalar::F32(1.0)).unwrap(),
+            Scalar::Bool(true)
+        );
+        assert!(eval_cmp(CmpOp::Eq, Scalar::I64(1), Scalar::I32(1)).is_err());
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(eval_unop(UnOp::Neg, Scalar::I64(5)).unwrap(), Scalar::I64(-5));
+        assert_eq!(
+            eval_unop(UnOp::Sqrt, Scalar::F64(9.0)).unwrap(),
+            Scalar::F64(3.0)
+        );
+        assert_eq!(
+            eval_unop(UnOp::Signum, Scalar::F32(-2.0)).unwrap(),
+            Scalar::F32(-1.0)
+        );
+        assert!(eval_unop(UnOp::Sqrt, Scalar::I64(9)).is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(
+            eval_convert(ScalarType::F32, Scalar::I64(3)).unwrap(),
+            Scalar::F32(3.0)
+        );
+        assert_eq!(
+            eval_convert(ScalarType::I32, Scalar::F64(3.9)).unwrap(),
+            Scalar::I32(3)
+        );
+        assert!(eval_convert(ScalarType::Bool, Scalar::I64(1)).is_err());
+    }
+}

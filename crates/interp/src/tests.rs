@@ -1,0 +1,357 @@
+//! Interpreter tests, including the paper's Figure 4 K-means variants.
+
+use crate::{InterpError, Interpreter};
+use futhark_core::{ArrayVal, Value};
+use futhark_frontend::parse_program;
+
+fn run(src: &str, args: &[Value]) -> Vec<Value> {
+    let (prog, _) = parse_program(src).unwrap();
+    Interpreter::new(&prog).run_main(args).unwrap()
+}
+
+#[test]
+fn map_increment() {
+    let out = run(
+        "fun main (n: i64) (xs: [n]f32): [n]f32 =\n  let ys = map (\\x -> x + 1.0f32) xs\n  in ys",
+        &[
+            Value::i64(3),
+            Value::Array(ArrayVal::from_f32s(vec![1.0, 2.0, 3.0])),
+        ],
+    );
+    assert_eq!(
+        out,
+        vec![Value::Array(ArrayVal::from_f32s(vec![2.0, 3.0, 4.0]))]
+    );
+}
+
+#[test]
+fn reduce_sum_and_scan() {
+    let out = run(
+        "fun main (n: i64) (xs: [n]i64): (i64, [n]i64) =\n\
+         let s = reduce (+) 0 xs\n\
+         let ps = scan (+) 0 xs\n\
+         in (s, ps)",
+        &[
+            Value::i64(4),
+            Value::Array(ArrayVal::from_i64s(vec![1, 2, 3, 4])),
+        ],
+    );
+    assert_eq!(out[0], Value::i64(10));
+    assert_eq!(
+        out[1],
+        Value::Array(ArrayVal::from_i64s(vec![1, 3, 6, 10]))
+    );
+}
+
+#[test]
+fn nested_map_reduce_row_sums() {
+    // The Section 2.2 example: add one to each element and sum each row.
+    let src = "fun main (n: i64) (m: i64) (matrix: [n][m]f32): ([n][m]f32, [n]f32) =\n\
+               let (rows, sums) = map (\\(row: [m]f32) ->\n\
+                 let r2 = map (\\x -> x + 1.0f32) row\n\
+                 let s = reduce (+) 0.0f32 row\n\
+                 in (r2, s)) matrix\n\
+               in (rows, sums)";
+    let m = ArrayVal::new(
+        vec![2, 3],
+        futhark_core::Buffer::F32(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+    );
+    let out = run(src, &[Value::i64(2), Value::i64(3), Value::Array(m)]);
+    let rows = out[0].as_array().unwrap();
+    assert_eq!(rows.shape, vec![2, 3]);
+    assert_eq!(
+        rows.data,
+        futhark_core::Buffer::F32(vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+    );
+    assert_eq!(
+        out[1],
+        Value::Array(ArrayVal::from_f32s(vec![6.0, 15.0]))
+    );
+}
+
+/// The three K-means counts formulations of Figure 4 must agree.
+#[test]
+fn kmeans_counts_figure4_variants_agree() {
+    let fig4a = "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+                 let zeros = replicate k 0\n\
+                 let counts = loop (c = zeros) for i < n do (\n\
+                   let cluster = membership[i]\n\
+                   let old = c[cluster]\n\
+                   in c with [cluster] <- old + 1)\n\
+                 in counts";
+    let fig4b = "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+                 let increments = map (\\(cluster: i64) ->\n\
+                   let incr = replicate k 0\n\
+                   let incr[cluster] = 1\n\
+                   in incr) membership\n\
+                 let zeros = replicate k 0\n\
+                 let counts = reduce (\\(x: [k]i64) (y: [k]i64) -> map (+) x y)\n\
+                   zeros increments\n\
+                 in counts";
+    let fig4c = "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+                 let zeros = replicate k 0\n\
+                 let counts = stream_red (\\(x: [k]i64) (y: [k]i64) -> map (+) x y)\n\
+                   (\\(chunk: i64) (acc: [k]i64) (cs: [chunk]i64) ->\n\
+                     loop (a = acc) for i < chunk do (\n\
+                       let cluster = cs[i]\n\
+                       let old = a[cluster]\n\
+                       in a with [cluster] <- old + 1))\n\
+                   zeros membership\n\
+                 in counts";
+    let membership = vec![0i64, 2, 1, 2, 2, 0, 1, 1, 1, 0, 2, 2];
+    let args = vec![
+        Value::i64(membership.len() as i64),
+        Value::i64(3),
+        Value::Array(ArrayVal::from_i64s(membership)),
+    ];
+    let a = run(fig4a, &args);
+    let b = run(fig4b, &args);
+    let c = run(fig4c, &args);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+    assert_eq!(a[0], Value::Array(ArrayVal::from_i64s(vec![3, 4, 5])));
+}
+
+/// Figure 4a does O(n) work; Figure 4b does O(n·k): check the ratio grows
+/// with k.
+#[test]
+fn kmeans_work_ratio_matches_paper() {
+    let fig4a = "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+                 let zeros = replicate k 0\n\
+                 let counts = loop (c = zeros) for i < n do (\n\
+                   let cluster = membership[i]\n\
+                   let old = c[cluster]\n\
+                   in c with [cluster] <- old + 1)\n\
+                 in counts";
+    let fig4b = "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+                 let increments = map (\\(cluster: i64) ->\n\
+                   let incr = replicate k 0\n\
+                   let incr[cluster] = 1\n\
+                   in incr) membership\n\
+                 let zeros = replicate k 0\n\
+                 let counts = reduce (\\(x: [k]i64) (y: [k]i64) -> map (+) x y)\n\
+                   zeros increments\n\
+                 in counts";
+    let n = 256i64;
+    let k = 32i64;
+    let membership: Vec<i64> = (0..n).map(|i| i % k).collect();
+    let args = vec![
+        Value::i64(n),
+        Value::i64(k),
+        Value::Array(ArrayVal::from_i64s(membership)),
+    ];
+    let (pa, _) = parse_program(fig4a).unwrap();
+    let (pb, _) = parse_program(fig4b).unwrap();
+    let mut ia = Interpreter::new(&pa);
+    ia.run_main(&args).unwrap();
+    let mut ib = Interpreter::new(&pb);
+    ib.run_main(&args).unwrap();
+    // 4b must do at least k/4 times more work than 4a at this size.
+    assert!(
+        ib.work() > ia.work() * (k as u64 / 4),
+        "work 4a = {}, work 4b = {}",
+        ia.work(),
+        ib.work()
+    );
+}
+
+/// Streaming SOACs must be invariant to the chosen partitioning.
+#[test]
+fn stream_chunking_is_semantics_invariant() {
+    let src = "fun main (n: i64) (xs: [n]i64): (i64, [n]i64) =\n\
+               let (s, ys) = stream_seq (\\(chunk: i64) (acc: i64) (cs: [chunk]i64) ->\n\
+                 let partial = reduce (+) 0 cs\n\
+                 let doubled = map (\\x -> x * 2) cs\n\
+                 in (acc + partial, doubled))\n\
+                 0 xs\n\
+               in (s, ys)";
+    let xs: Vec<i64> = (1..=17).collect();
+    let args = vec![Value::i64(17), Value::Array(ArrayVal::from_i64s(xs))];
+    let (prog, _) = parse_program(src).unwrap();
+    let mut reference = None;
+    for chunk in [0usize, 1, 2, 3, 5, 17, 100] {
+        let mut interp = Interpreter::new(&prog);
+        interp.set_chunk_size(chunk);
+        let out = interp.run_main(&args).unwrap();
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(&out, r, "chunk size {chunk} changed the result"),
+        }
+    }
+    let r = reference.unwrap();
+    assert_eq!(r[0], Value::i64((1..=17).sum::<i64>()));
+}
+
+#[test]
+fn stream_map_chunking_invariant() {
+    let src = "fun main (n: i64) (xs: [n]i64): [n]i64 =\n\
+               let ys = stream_map (\\(chunk: i64) (cs: [chunk]i64) ->\n\
+                 map (\\x -> x + 100) cs) xs\n\
+               in ys";
+    let (prog, _) = parse_program(src).unwrap();
+    let args = vec![
+        Value::i64(7),
+        Value::Array(ArrayVal::from_i64s((0..7).collect())),
+    ];
+    for chunk in [0usize, 1, 3, 7] {
+        let mut interp = Interpreter::new(&prog);
+        interp.set_chunk_size(chunk);
+        let out = interp.run_main(&args).unwrap();
+        assert_eq!(
+            out[0],
+            Value::Array(ArrayVal::from_i64s((100..107).collect()))
+        );
+    }
+}
+
+#[test]
+fn while_loop_and_convert() {
+    let out = run(
+        "fun main (x: i64): f32 =\n\
+         let r = loop (v = x) while v < 100 do v * 2\n\
+         let f = f32 r\n\
+         in f",
+        &[Value::i64(3)],
+    );
+    assert_eq!(out, vec![Value::f32(192.0)]);
+}
+
+#[test]
+fn scatter_ignores_out_of_bounds() {
+    let out = run(
+        "fun main (k: i64) (n: i64) (dest: *[k]i64) (is: [n]i64) (vs: [n]i64): [k]i64 =\n\
+         let r = scatter dest is vs\n\
+         in r",
+        &[
+            Value::i64(4),
+            Value::i64(3),
+            Value::Array(ArrayVal::from_i64s(vec![0, 0, 0, 0])),
+            Value::Array(ArrayVal::from_i64s(vec![1, 9, 3])),
+            Value::Array(ArrayVal::from_i64s(vec![10, 20, 30])),
+        ],
+    );
+    assert_eq!(
+        out,
+        vec![Value::Array(ArrayVal::from_i64s(vec![0, 10, 0, 30]))]
+    );
+}
+
+#[test]
+fn out_of_bounds_index_is_an_error() {
+    let (prog, _) = parse_program(
+        "fun main (n: i64) (xs: [n]i64): i64 =\n  let v = xs[n]\n  in v",
+    )
+    .unwrap();
+    let e = Interpreter::new(&prog)
+        .run_main(&[
+            Value::i64(2),
+            Value::Array(ArrayVal::from_i64s(vec![1, 2])),
+        ])
+        .unwrap_err();
+    assert!(matches!(e, InterpError::OutOfBounds { .. }));
+}
+
+#[test]
+fn transpose_and_rearrange() {
+    let out = run(
+        "fun main (n: i64) (m: i64) (a: [n][m]i64): [m][n]i64 =\n\
+         let t = transpose a\n  in t",
+        &[
+            Value::i64(2),
+            Value::i64(3),
+            Value::Array(ArrayVal::new(
+                vec![2, 3],
+                futhark_core::Buffer::I64((0..6).collect()),
+            )),
+        ],
+    );
+    let t = out[0].as_array().unwrap();
+    assert_eq!(t.shape, vec![3, 2]);
+    assert_eq!(t.data, futhark_core::Buffer::I64(vec![0, 3, 1, 4, 2, 5]));
+}
+
+#[test]
+fn function_calls_compose() {
+    let out = run(
+        "fun square (x: i64): i64 = let y = x * x in y\n\
+         fun main (n: i64) (xs: [n]i64): [n]i64 =\n\
+         let ys = map (\\v -> square(v)) xs\n\
+         in ys",
+        &[
+            Value::i64(3),
+            Value::Array(ArrayVal::from_i64s(vec![1, 2, 3])),
+        ],
+    );
+    assert_eq!(out, vec![Value::Array(ArrayVal::from_i64s(vec![1, 4, 9]))]);
+}
+
+#[test]
+fn redomap_semantics() {
+    // redomap (+) (\x -> x*x) 0 xs == sum of squares
+    let src = "fun main (n: i64) (xs: [n]i64): i64 =\n\
+               let s = redomap (+) (\\x -> x * x) 0 xs\n\
+               in s";
+    let out = run(
+        src,
+        &[
+            Value::i64(4),
+            Value::Array(ArrayVal::from_i64s(vec![1, 2, 3, 4])),
+        ],
+    );
+    assert_eq!(out, vec![Value::i64(30)]);
+}
+
+#[test]
+fn iota_replicate_concat() {
+    let out = run(
+        "fun main (n: i64): [n]i64 =\n\
+         let a = iota n\n  in a",
+        &[Value::i64(4)],
+    );
+    assert_eq!(out, vec![Value::Array(ArrayVal::from_i64s(vec![0, 1, 2, 3]))]);
+
+    let out = run(
+        "fun main (n: i64) (m: i64): i64 =\n\
+         let a = iota n\n\
+         let b = iota m\n\
+         let c = concat a b\n\
+         let s = reduce (+) 0 c\n\
+         in s",
+        &[Value::i64(3), Value::i64(2)],
+    );
+    assert_eq!(out, vec![Value::i64(0 + 1 + 2 + 0 + 1)]);
+}
+
+#[test]
+fn empty_map_produces_empty_arrays() {
+    let out = run(
+        "fun main (n: i64) (xs: [n]i64): [n]i64 =\n\
+         let ys = map (\\x -> x + 1) xs\n  in ys",
+        &[Value::i64(0), Value::Array(ArrayVal::from_i64s(vec![]))],
+    );
+    let a = out[0].as_array().unwrap();
+    assert_eq!(a.shape, vec![0]);
+}
+
+#[test]
+fn size_postcondition_checked() {
+    let (prog, _) = parse_program(
+        "fun main (n: i64) (xs: [n]i64): i64 =\n  let s = reduce (+) 0 xs\n  in s",
+    )
+    .unwrap();
+    // Passing n=5 with a 3-element array must fail the dynamic size check.
+    let e = Interpreter::new(&prog)
+        .run_main(&[
+            Value::i64(5),
+            Value::Array(ArrayVal::from_i64s(vec![1, 2, 3])),
+        ])
+        .unwrap_err();
+    assert!(matches!(e, InterpError::SizeMismatch(_)), "{e}");
+}
+
+#[test]
+fn division_by_zero_reported() {
+    let (prog, _) = parse_program("fun main (x: i64): i64 = let y = x / 0 in y").unwrap();
+    let e = Interpreter::new(&prog).run_main(&[Value::i64(1)]).unwrap_err();
+    assert_eq!(e, InterpError::DivisionByZero);
+}

@@ -1,0 +1,7 @@
+//! Optimisation passes for `futhark-rs`: the simplification engine,
+//! the fusion engine (Section 4), and the flattening / kernel-extraction
+//! transformation (Section 5).
+
+pub mod flatten;
+pub mod fusion;
+pub mod simplify;
