@@ -1,17 +1,38 @@
-//! Criterion benchmarks: one per paper table/figure.
+//! Wall-clock benchmarks: one per paper table/figure, on a dependency-free
+//! harness (`harness = false`; the external criterion crate is not
+//! available offline).
 //!
 //! - `table1/<name>-<device>`: end-to-end simulated runtime of each of the
-//!   16 benchmarks (the rows of Table 1 / bars of Figure 13). Criterion
-//!   measures our harness; the *simulated* milliseconds are what the
+//!   16 benchmarks (the rows of Table 1 / bars of Figure 13). The harness
+//!   times our simulator; the *simulated* milliseconds are what the
 //!   `table1` binary reports.
 //! - `impact/*`: the Section 6.1.1 ablation configurations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use futhark::{Device, PipelineOptions};
+use std::time::Instant;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(10);
+const SAMPLES: u32 = 10;
+
+fn bench<F: FnMut()>(group: &str, name: &str, mut f: F) {
+    // One warm-up, then the median of SAMPLES timed runs.
+    f();
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{group}/{name}: median {:.3} ms  (min {:.3}, max {:.3}, n={SAMPLES})",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1]
+    );
+}
+
+fn bench_table1() {
     for b in futhark_bench::all_benchmarks() {
         // Compile once; measure the simulated execution.
         let compiled = match b.compile(PipelineOptions::default()) {
@@ -21,16 +42,13 @@ fn bench_table1(c: &mut Criterion) {
                 continue;
             }
         };
-        g.bench_function(format!("{}-gtx780", b.name), |bench| {
-            bench.iter(|| compiled.run(Device::Gtx780, &b.small_args).expect("runs"))
+        bench("table1", &format!("{}-gtx780", b.name), || {
+            compiled.run(Device::Gtx780, &b.small_args).expect("runs");
         });
     }
-    g.finish();
 }
 
-fn bench_impact(c: &mut Criterion) {
-    let mut g = c.benchmark_group("impact");
-    g.sample_size(10);
+fn bench_impact() {
     let b = futhark_bench::benchmark("MRI-Q").expect("exists");
     for (tag, opts) in [
         ("all-on", PipelineOptions::default()),
@@ -57,12 +75,21 @@ fn bench_impact(c: &mut Criterion) {
         ),
     ] {
         let compiled = b.compile(opts).expect("compiles");
-        g.bench_function(format!("mriq-{tag}"), |bench| {
-            bench.iter(|| compiled.run(Device::Gtx780, &b.small_args).expect("runs"))
+        bench("impact", &format!("mriq-{tag}"), || {
+            compiled.run(Device::Gtx780, &b.small_args).expect("runs");
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_table1, bench_impact);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes filter/flag arguments; accept an optional
+    // substring filter and ignore `--bench`-style flags.
+    let filter: Option<String> = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let want = |name: &str| filter.as_deref().is_none_or(|f| name.contains(f));
+    if want("table1") {
+        bench_table1();
+    }
+    if want("impact") {
+        bench_impact();
+    }
+}

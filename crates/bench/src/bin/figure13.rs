@@ -54,7 +54,7 @@ fn main() {
                     paper_amd.map(|p| format!("{p:.2}x")).unwrap_or("—".into()),
                     bar(x)
                 ),
-                Err(e) => println!("{:<14} W8100  ERROR: {e}", "", ),
+                Err(e) => println!("{:<14} W8100  ERROR: {e}", "",),
             }
         }
     }

@@ -17,8 +17,21 @@ fn ratio_with(bname: &str, opts: PipelineOptions) -> Result<f64, futhark::Error>
 
 fn fusion() {
     println!("\nImpact of fusion (×slowdown when disabled; paper: K-means 1.42, LavaMD 4.55, Myocyte 1.66, SRAD 1.21, Crystal 10.1, LocVolCalib 9.4):");
-    let opts = PipelineOptions { fusion: false, ..PipelineOptions::default() };
-    for name in ["K-means", "LavaMD", "Myocyte", "SRAD", "Crystal", "LocVolCalib", "N-body", "MRI-Q", "OptionPricing"] {
+    let opts = PipelineOptions {
+        fusion: false,
+        ..PipelineOptions::default()
+    };
+    for name in [
+        "K-means",
+        "LavaMD",
+        "Myocyte",
+        "SRAD",
+        "Crystal",
+        "LocVolCalib",
+        "N-body",
+        "MRI-Q",
+        "OptionPricing",
+    ] {
         match ratio_with(name, opts) {
             Ok(r) => println!("  {name:<14} x{r:.2}"),
             Err(e) => println!("  {name:<14} failed without fusion: {e} (paper: OptionPricing, N-body and MRI-Q fail due to increased storage requirements)"),
@@ -28,7 +41,9 @@ fn fusion() {
 
 fn inplace() {
     // The paper replaces K-means' Figure 4c formulation with Figure 4b.
-    println!("\nImpact of in-place updates (paper: K-means ×8.3 slower with the Figure 4b formulation):");
+    println!(
+        "\nImpact of in-place updates (paper: K-means ×8.3 slower with the Figure 4b formulation):"
+    );
     let b = benchmark("K-means").expect("kmeans");
     let base = b.run_futhark(Device::Gtx780).expect("base").total_ms();
     let fig4b = "\
@@ -67,13 +82,19 @@ fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =
     let without = run(fig4b);
     println!("  K-means counts: Figure 4c (stream_red + in-place) {with_ip:.3} ms");
     println!("  K-means counts: Figure 4b (O(n*k) work)           {without:.3} ms");
-    println!("  slowdown without in-place updates: x{:.2}", without / with_ip);
+    println!(
+        "  slowdown without in-place updates: x{:.2}",
+        without / with_ip
+    );
     println!("  (full K-means baseline: {base:.2} ms; OptionPricing's Brownian bridge is inexpressible without in-place updates)");
 }
 
 fn coalescing() {
     println!("\nImpact of coalescing (×slowdown when disabled; paper: K-means 9.26, Myocyte 4.2, OptionPricing 8.79, LocVolCalib 8.4):");
-    let opts = PipelineOptions { coalescing: false, ..PipelineOptions::default() };
+    let opts = PipelineOptions {
+        coalescing: false,
+        ..PipelineOptions::default()
+    };
     for name in ["K-means", "Myocyte", "OptionPricing", "LocVolCalib"] {
         match ratio_with(name, opts) {
             Ok(r) => println!("  {name:<14} x{r:.2}"),
@@ -84,7 +105,10 @@ fn coalescing() {
 
 fn tiling() {
     println!("\nImpact of block tiling (×slowdown when disabled; paper: LavaMD 1.35, MRI-Q 1.33, N-body 2.29):");
-    let opts = PipelineOptions { tiling: false, ..PipelineOptions::default() };
+    let opts = PipelineOptions {
+        tiling: false,
+        ..PipelineOptions::default()
+    };
     for name in ["LavaMD", "MRI-Q", "N-body"] {
         match ratio_with(name, opts) {
             Ok(r) => println!("  {name:<14} x{r:.2}"),

@@ -1,0 +1,114 @@
+//! `futhark-prof` for the benchmark suite: compiles a benchmark with
+//! pass-level tracing, runs it on a simulated device, and prints the
+//! profile — per-kernel time table, pass-time breakdown, rewrite
+//! counters — optionally archiving the whole trace as JSON.
+//!
+//! Usage: profile [options] <benchmark>
+//!
+//!   --list              list benchmark names and exit
+//!   --device <name>     gtx780 (default) or w8100
+//!   --small             run the verification-sized dataset
+//!   --json <file>       also write the full trace as JSON
+//!   --no-simplify / --no-fusion / --no-coalescing / --no-tiling
+//!                       disable individual optimisations
+
+use futhark::{prof, Compiler, Device, PipelineOptions};
+use futhark_bench::{all_benchmarks, benchmark};
+
+struct Config {
+    name: Option<String>,
+    device: Device,
+    small: bool,
+    json: Option<String>,
+    opts: PipelineOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile [--list] [--device gtx780|w8100] [--small] \
+         [--json FILE] [--no-simplify] [--no-fusion] [--no-coalescing] \
+         [--no-tiling] <benchmark>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        name: None,
+        device: Device::Gtx780,
+        small: false,
+        json: None,
+        opts: PipelineOptions::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--list" => {
+                for b in all_benchmarks() {
+                    println!("{:<14} ({}, {})", b.name, b.suite, b.paper_dataset);
+                }
+                std::process::exit(0)
+            }
+            "--device" => {
+                cfg.device = match args.next().as_deref() {
+                    Some("gtx780") => Device::Gtx780,
+                    Some("w8100") => Device::W8100,
+                    _ => usage(),
+                }
+            }
+            "--small" => cfg.small = true,
+            "--json" => cfg.json = Some(args.next().unwrap_or_else(|| usage())),
+            "--no-simplify" => cfg.opts.simplify = false,
+            "--no-fusion" => cfg.opts.fusion = false,
+            "--no-coalescing" => cfg.opts.coalescing = false,
+            "--no-tiling" => cfg.opts.tiling = false,
+            _ if a.starts_with('-') => usage(),
+            _ if cfg.name.is_none() => cfg.name = Some(a),
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    let Some(name) = &cfg.name else { usage() };
+    let Some(b) = benchmark(name) else {
+        eprintln!("unknown benchmark {name:?}; try --list");
+        std::process::exit(2)
+    };
+    let compiled = match Compiler::with_options(cfg.opts)
+        .with_trace()
+        .compile(&b.source)
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: compile failed: {e}", b.name);
+            std::process::exit(1)
+        }
+    };
+    let args = if cfg.small { &b.small_args } else { &b.args };
+    let (_, perf) = match compiled.run(cfg.device, args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: run failed: {e}", b.name);
+            std::process::exit(1)
+        }
+    };
+    println!(
+        "{} ({}) on {:?}, {} dataset",
+        b.name,
+        b.suite,
+        cfg.device,
+        if cfg.small { "small" } else { "timed" }
+    );
+    print!("{}", prof::render(compiled.report(), &perf));
+    if let Some(path) = &cfg.json {
+        let doc = prof::trace_json(compiled.report(), &perf).render_pretty();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1)
+        }
+        println!("\ntrace written to {path}");
+    }
+}

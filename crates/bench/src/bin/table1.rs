@@ -37,7 +37,11 @@ fn main() {
                         format!("{:>7.2}", amd_ref / amd_fut),
                     )
                 } else {
-                    ("         —".to_string(), format!("{amd_fut:>10.2}"), "      —".to_string())
+                    (
+                        "         —".to_string(),
+                        format!("{amd_fut:>10.2}"),
+                        "      —".to_string(),
+                    )
                 }
             };
             let paper = {

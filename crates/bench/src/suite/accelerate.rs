@@ -178,9 +178,8 @@ fun main (h: i64) (w: i64) (limit: i64): [h][w]i64 =
       in it) cis) ris
   in out"
     );
-    let mk = |h: usize, w: usize, limit: i64| -> Vec<Value> {
-        vec![i(h as i64), i(w as i64), i(limit)]
-    };
+    let mk =
+        |h: usize, w: usize, limit: i64| -> Vec<Value> { vec![i(h as i64), i(w as i64), i(limit)] };
     Benchmark {
         name: "Mandelbrot",
         suite: Suite::Accelerate,

@@ -6,41 +6,87 @@ pub mod parboil;
 pub mod rodinia;
 
 use futhark_core::{ArrayVal, Buffer, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// A small deterministic PRNG (xorshift64* core seeded through splitmix64)
+/// for reproducible benchmark datasets. In-tree so the workspace builds
+/// without network access to crates.io.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Seeds the generator; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Rng64 {
+        // One splitmix64 round de-correlates small consecutive seeds.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Rng64 {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform f32 in `[lo, hi)`.
+    pub fn gen_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (self.next_f64() as f32) * (hi - lo)
+    }
+
+    /// A uniform i64 in `[lo, hi)`.
+    pub fn gen_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+}
 
 /// Deterministic RNG per benchmark (reproducible datasets).
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng64 {
+    Rng64::seed_from_u64(seed)
 }
 
 /// A vector of f32 in `[lo, hi)`.
-pub fn f32s(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Value {
+pub fn f32s(rng: &mut Rng64, n: usize, lo: f32, hi: f32) -> Value {
     Value::Array(ArrayVal::from_f32s(
-        (0..n).map(|_| rng.gen_range(lo..hi)).collect(),
+        (0..n).map(|_| rng.gen_f32(lo, hi)).collect(),
     ))
 }
 
 /// A matrix of f32 in `[lo, hi)`.
-pub fn f32_mat(rng: &mut StdRng, r: usize, c: usize, lo: f32, hi: f32) -> Value {
+pub fn f32_mat(rng: &mut Rng64, r: usize, c: usize, lo: f32, hi: f32) -> Value {
     Value::Array(ArrayVal::new(
         vec![r, c],
-        Buffer::F32((0..r * c).map(|_| rng.gen_range(lo..hi)).collect()),
+        Buffer::F32((0..r * c).map(|_| rng.gen_f32(lo, hi)).collect()),
     ))
 }
 
 /// A vector of i64 in `[0, k)`.
-pub fn i64s_mod(rng: &mut StdRng, n: usize, k: i64) -> Value {
+pub fn i64s_mod(rng: &mut Rng64, n: usize, k: i64) -> Value {
     Value::Array(ArrayVal::from_i64s(
-        (0..n).map(|_| rng.gen_range(0..k)).collect(),
+        (0..n).map(|_| rng.gen_i64(0, k)).collect(),
     ))
 }
 
 /// A matrix of i64 in `[0, k)`.
-pub fn i64_mat_mod(rng: &mut StdRng, r: usize, c: usize, k: i64) -> Value {
+pub fn i64_mat_mod(rng: &mut Rng64, r: usize, c: usize, k: i64) -> Value {
     Value::Array(ArrayVal::new(
         vec![r, c],
-        Buffer::I64((0..r * c).map(|_| rng.gen_range(0..k)).collect()),
+        Buffer::I64((0..r * c).map(|_| rng.gen_i64(0, k)).collect()),
     ))
 }
 
@@ -52,4 +98,35 @@ pub fn i(v: i64) -> Value {
 /// An f32 scalar.
 pub fn f(v: f32) -> Value {
     Value::f32(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Rng64;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = r.gen_f32(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = r.gen_i64(-5, 11);
+            assert!((-5..11).contains(&i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
 }

@@ -37,7 +37,7 @@ fun main (nv: i64) (nk: i64) (x: [nv]f32) (kx: [nk]f32) (phi: [nk]f32): ([nv]f32
             i(nv as i64),
             i(nk as i64),
             f32s(&mut g, nv, -1.0, 1.0),
-            f32s(&mut g, nk, -3.14, 3.14),
+            f32s(&mut g, nk, -std::f32::consts::PI, std::f32::consts::PI),
             f32s(&mut g, nk, 0.0, 1.0),
         ]
     };

@@ -278,9 +278,7 @@ impl<'a> Analysis<'a> {
         for stm in &b.stms {
             match &stm.exp {
                 Exp::Update { array, .. } => out.extend(self.out.observe(array)),
-                Exp::Soac(Soac::Scatter { dest, .. }) => {
-                    out.extend(self.out.observe(dest))
-                }
+                Exp::Soac(Soac::Scatter { dest, .. }) => out.extend(self.out.observe(dest)),
                 Exp::Apply { func, args } => {
                     if let Some(f) = self.prog.function(func) {
                         for (a, p) in args.iter().zip(&f.params) {
@@ -344,7 +342,9 @@ mod tests {
             }
             in_body(&f.body, hint, &mut out);
         }
-        out.into_iter().next().unwrap_or_else(|| panic!("no binding named {hint}"))
+        out.into_iter()
+            .next()
+            .unwrap_or_else(|| panic!("no binding named {hint}"))
     }
 
     #[test]

@@ -72,10 +72,9 @@ impl fmt::Display for UniquenessError {
             UniquenessError::DoubleConsume { var } => {
                 write!(f, "`{var}` is consumed twice in one expression")
             }
-            UniquenessError::UniqueReturnAliasesParam { var } => write!(
-                f,
-                "unique result aliases non-unique parameter `{var}`"
-            ),
+            UniquenessError::UniqueReturnAliasesParam { var } => {
+                write!(f, "unique result aliases non-unique parameter `{var}`")
+            }
             UniquenessError::ConsumeInWhileCondition => {
                 write!(f, "a while-loop condition may not consume arrays")
             }
@@ -123,9 +122,7 @@ impl Trace {
             .chain(then.consumed.iter())
             .find(|v| self.consumed.contains(v))
         {
-            return Err(UniquenessError::UseAfterConsume {
-                var: w.to_string(),
-            });
+            return Err(UniquenessError::UseAfterConsume { var: w.to_string() });
         }
         self.consumed.extend(then.consumed);
         self.observed.extend(then.observed);
@@ -266,9 +263,7 @@ impl<'a> ConsumeCheck<'a> {
                         if let SubExp::Var(v) = a {
                             let als = self.aliases.observe(v);
                             if let Some(w) = als.intersection(&consumed).next() {
-                                return Err(UniquenessError::DoubleConsume {
-                                    var: w.to_string(),
-                                });
+                                return Err(UniquenessError::DoubleConsume { var: w.to_string() });
                             }
                             consumed.extend(als);
                         }
@@ -277,9 +272,7 @@ impl<'a> ConsumeCheck<'a> {
                     }
                 }
                 if let Some(w) = consumed.intersection(&observed).next() {
-                    return Err(UniquenessError::DoubleConsume {
-                        var: w.to_string(),
-                    });
+                    return Err(UniquenessError::DoubleConsume { var: w.to_string() });
                 }
                 Ok(Trace { consumed, observed })
             }
@@ -305,9 +298,7 @@ impl<'a> ConsumeCheck<'a> {
                 o.extend(self.obs_subexp(v));
                 Ok(Trace::observing(o))
             }
-            Exp::Rearrange { array, .. } => {
-                Ok(Trace::observing(self.aliases.observe(array)))
-            }
+            Exp::Rearrange { array, .. } => Ok(Trace::observing(self.aliases.observe(array))),
             Exp::Reshape { shape, array } => {
                 let mut o = self.aliases.observe(array);
                 o.extend(self.obs_many(shape.iter()));
@@ -341,8 +332,7 @@ impl<'a> ConsumeCheck<'a> {
                 for (p, init) in params {
                     pmap.insert(p.name.clone(), self.obs_subexp(init));
                 }
-                let mapped =
-                    self.map_through_params(bt, &pmap, &local, "loop body")?;
+                let mapped = self.map_through_params(bt, &pmap, &local, "loop body")?;
                 trace.seq(mapped)
             }
             Exp::Soac(soac) => self.soac(soac),
@@ -472,8 +462,7 @@ impl<'a> ConsumeCheck<'a> {
                 let ses: Vec<SubExp> = arrs.iter().map(var_se).collect();
                 let minputs: Vec<Option<&SubExp>> = ses.iter().map(Some).collect();
                 let mt = self.operator_trace(map_lam, &minputs, "redomap map operator")?;
-                let rinputs: Vec<Option<&SubExp>> =
-                    red_lam.params.iter().map(|_| None).collect();
+                let rinputs: Vec<Option<&SubExp>> = red_lam.params.iter().map(|_| None).collect();
                 let rt = self.operator_trace(red_lam, &rinputs, "redomap operator")?;
                 let mut obs = self.obs_subexp(width);
                 obs.extend(self.obs_many(neutral.iter()));
@@ -507,13 +496,12 @@ impl<'a> ConsumeCheck<'a> {
             } => {
                 let ses: Vec<SubExp> = arrs.iter().map(var_se).collect();
                 let mut inputs: Vec<Option<&SubExp>> = vec![None]; // chunk size
-                // Accumulator parameters: consuming them consumes the
-                // initial accumulator values (Figure 4c's `acc: *[k]int`).
+                                                                   // Accumulator parameters: consuming them consumes the
+                                                                   // initial accumulator values (Figure 4c's `acc: *[k]int`).
                 inputs.extend(accs.iter().map(Some));
                 inputs.extend(ses.iter().map(Some));
                 let ft = self.operator_trace(fold_lam, &inputs, "stream_red fold")?;
-                let rinputs: Vec<Option<&SubExp>> =
-                    red_lam.params.iter().map(|_| None).collect();
+                let rinputs: Vec<Option<&SubExp>> = red_lam.params.iter().map(|_| None).collect();
                 let rt = self.operator_trace(red_lam, &rinputs, "stream_red operator")?;
                 let mut obs = self.obs_subexp(width);
                 obs.extend(self.obs_many(accs.iter()));
@@ -556,9 +544,7 @@ impl<'a> ConsumeCheck<'a> {
                 observed.extend(self.aliases.observe(indices));
                 observed.extend(self.aliases.observe(values));
                 if let Some(w) = consumed.intersection(&observed).next() {
-                    return Err(UniquenessError::DoubleConsume {
-                        var: w.to_string(),
-                    });
+                    return Err(UniquenessError::DoubleConsume { var: w.to_string() });
                 }
                 Ok(Trace { consumed, observed })
             }

@@ -7,8 +7,7 @@
 //! checks.
 
 use futhark_core::{
-    BinOp, Body, Exp, FunDef, Lambda, LoopForm, Name, Program, ScalarType, Size, Soac, SubExp,
-    Type,
+    BinOp, Body, Exp, FunDef, Lambda, LoopForm, Name, Program, ScalarType, Size, Soac, SubExp, Type,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -64,11 +63,9 @@ impl TEnv {
     }
 
     fn lookup(&self, n: &Name) -> TResult<&Type> {
-        self.vars
-            .get(n)
-            .ok_or_else(|| TypeError {
-                message: format!("variable `{n}` not in scope"),
-            })
+        self.vars.get(n).ok_or_else(|| TypeError {
+            message: format!("variable `{n}` not in scope"),
+        })
     }
 }
 
@@ -84,11 +81,9 @@ struct Checker<'a> {
 pub fn typecheck_program(prog: &Program) -> TResult<()> {
     let checker = Checker { prog };
     for f in &prog.functions {
-        checker
-            .check_fun(f)
-            .map_err(|e| TypeError {
-                message: format!("in function `{}`: {}", f.name, e.message),
-            })?;
+        checker.check_fun(f).map_err(|e| TypeError {
+            message: format!("in function `{}`: {}", f.name, e.message),
+        })?;
     }
     Ok(())
 }
@@ -251,7 +246,10 @@ impl<'a> Checker<'a> {
                 let ta = self.scalar_type_of(env, a, "left operand")?;
                 let tb = self.scalar_type_of(env, b, "right operand")?;
                 if ta != tb {
-                    return terr(format!("operands of `{}` differ: {ta} vs {tb}", op.symbol()));
+                    return terr(format!(
+                        "operands of `{}` differ: {ta} vs {tb}",
+                        op.symbol()
+                    ));
                 }
                 match op {
                     BinOp::And | BinOp::Or if ta != ScalarType::Bool => {
@@ -307,12 +305,9 @@ impl<'a> Checker<'a> {
                 Ok(ret.clone())
             }
             Exp::Apply { func, args } => {
-                let f = self
-                    .prog
-                    .function(func)
-                    .ok_or_else(|| TypeError {
-                        message: format!("unknown function `{func}`"),
-                    })?;
+                let f = self.prog.function(func).ok_or_else(|| TypeError {
+                    message: format!("unknown function `{func}`"),
+                })?;
                 if f.params.len() != args.len() {
                     return terr(format!(
                         "`{func}` expects {} arguments, got {}",
@@ -489,12 +484,7 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn soac_inputs(
-        &self,
-        env: &TEnv,
-        width: &SubExp,
-        arrs: &[Name],
-    ) -> TResult<Vec<Type>> {
+    fn soac_inputs(&self, env: &TEnv, width: &SubExp, arrs: &[Name]) -> TResult<Vec<Type>> {
         self.index_type_of(env, width, "SOAC width")?;
         let mut rows = Vec::new();
         for a in arrs {
@@ -524,11 +514,7 @@ impl<'a> Checker<'a> {
             Soac::Map { width, lam, arrs } => {
                 let rows = self.soac_inputs(env, width, arrs)?;
                 self.check_lambda(env, lam, &rows)?;
-                Ok(lam
-                    .ret
-                    .iter()
-                    .map(|t| lifted(t, outer(width)))
-                    .collect())
+                Ok(lam.ret.iter().map(|t| lifted(t, outer(width))).collect())
             }
             Soac::Reduce {
                 width,
@@ -867,10 +853,7 @@ mod tests {
                                 var: i,
                                 bound: SubExp::i64(4),
                             },
-                            body: Body::new(
-                                vec![],
-                                vec![SubExp::Const(Scalar::F32(1.0))],
-                            ),
+                            body: Body::new(vec![], vec![SubExp::Const(Scalar::F32(1.0))]),
                         },
                     )],
                     vec![SubExp::Var(r)],

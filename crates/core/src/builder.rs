@@ -32,7 +32,10 @@ pub struct BodyBuilder<'a> {
 impl<'a> BodyBuilder<'a> {
     /// Creates an empty builder drawing names from `ns`.
     pub fn new(ns: &'a mut NameSource) -> Self {
-        BodyBuilder { ns, stms: Vec::new() }
+        BodyBuilder {
+            ns,
+            stms: Vec::new(),
+        }
     }
 
     /// Access to the underlying name source.
@@ -74,11 +77,7 @@ impl<'a> BodyBuilder<'a> {
 
     /// Binds a scalar binary operation.
     pub fn binop(&mut self, op: BinOp, t: ScalarType, a: SubExp, b: SubExp) -> Name {
-        self.bind(
-            "b",
-            Type::Scalar(t),
-            Exp::BinOp(op, a, b),
-        )
+        self.bind("b", Type::Scalar(t), Exp::BinOp(op, a, b))
     }
 
     /// Binds a scalar unary operation.
@@ -132,13 +131,7 @@ impl<'a> BodyBuilder<'a> {
     }
 
     /// Binds a single-result `reduce`.
-    pub fn reduce(
-        &mut self,
-        width: SubExp,
-        lam: Lambda,
-        neutral: SubExp,
-        arrs: Vec<Name>,
-    ) -> Name {
+    pub fn reduce(&mut self, width: SubExp, lam: Lambda, neutral: SubExp, arrs: Vec<Name>) -> Name {
         let ty = lam.ret[0].clone();
         self.bind(
             "redres",
@@ -185,12 +178,7 @@ pub fn binop_lambda(ns: &mut NameSource, op: BinOp, t: ScalarType) -> Lambda {
 /// Builds the vectorised form `map (⊕)` of a binary operator: a lambda over
 /// two `[n]t` arrays combining them elementwise, as used by K-means'
 /// `stream_red` in Figure 4c.
-pub fn vectorised_binop_lambda(
-    ns: &mut NameSource,
-    op: BinOp,
-    t: ScalarType,
-    n: Size,
-) -> Lambda {
+pub fn vectorised_binop_lambda(ns: &mut NameSource, op: BinOp, t: ScalarType, n: Size) -> Lambda {
     let xs = ns.fresh("xs");
     let ys = ns.fresh("ys");
     let rs = ns.fresh("rs");
@@ -343,7 +331,13 @@ mod tests {
 
     #[test]
     fn const_of_types() {
-        assert_eq!(const_of(ScalarType::F32, 3), SubExp::Const(Scalar::F32(3.0)));
-        assert_eq!(const_of(ScalarType::I32, -1), SubExp::Const(Scalar::I32(-1)));
+        assert_eq!(
+            const_of(ScalarType::F32, 3),
+            SubExp::Const(Scalar::F32(3.0))
+        );
+        assert_eq!(
+            const_of(ScalarType::I32, -1),
+            SubExp::Const(Scalar::I32(-1))
+        );
     }
 }

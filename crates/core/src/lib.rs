@@ -37,8 +37,8 @@ pub mod types;
 pub mod value;
 
 pub use ir::{
-    BinOp, Body, CmpOp, Exp, FunDef, Lambda, LoopForm, Param, PatElem, Program, Scalar, Soac,
-    Stm, SubExp, UnOp,
+    BinOp, Body, CmpOp, Exp, FunDef, Lambda, LoopForm, Param, PatElem, Program, Scalar, Soac, Stm,
+    SubExp, UnOp,
 };
 pub use name::{Name, NameSource};
 pub use types::{ArrayType, DeclType, ScalarType, Size, Type};

@@ -4,9 +4,7 @@
 //! deliberate divergence from the paper's Figure 1: SOACs print their outer
 //! width explicitly (`map n (\x -> …) xs`), since the IR records it.
 
-use crate::ir::{
-    Body, Exp, FunDef, Lambda, LoopForm, Program, Soac, Stm, SubExp,
-};
+use crate::ir::{Body, Exp, FunDef, Lambda, LoopForm, Program, Soac, Stm, SubExp};
 use std::fmt::{self, Write};
 
 /// Pretty-prints a whole program.
@@ -250,7 +248,11 @@ fn exp(out: &mut String, e: &Exp, level: usize) -> fmt::Result {
             Ok(())
         }
         Exp::Copy(a) => write!(out, "copy {a}"),
-        Exp::Loop { params, form, body: b } => {
+        Exp::Loop {
+            params,
+            form,
+            body: b,
+        } => {
             out.push_str("loop (");
             for (i, (p, init)) in params.iter().enumerate() {
                 if i > 0 {

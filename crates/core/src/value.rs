@@ -472,8 +472,7 @@ impl Value {
             (Value::Array(a), Value::Array(b)) => {
                 a.shape == b.shape
                     && a.elem_type() == b.elem_type()
-                    && (0..a.data.len())
-                        .all(|i| scalar_close(&a.data.get(i), &b.data.get(i), tol))
+                    && (0..a.data.len()).all(|i| scalar_close(&a.data.get(i), &b.data.get(i), tol))
             }
             _ => false,
         }
@@ -502,10 +501,7 @@ impl fmt::Display for Value {
                     write!(
                         f,
                         "<{}{}>",
-                        a.shape
-                            .iter()
-                            .map(|d| format!("[{d}]"))
-                            .collect::<String>(),
+                        a.shape.iter().map(|d| format!("[{d}]")).collect::<String>(),
                         a.elem_type()
                     )
                 } else {
@@ -619,10 +615,7 @@ mod tests {
 
     #[test]
     fn display_small_arrays() {
-        let a = Value::Array(ArrayVal::new(
-            vec![2, 2],
-            Buffer::I64(vec![1, 2, 3, 4]),
-        ));
+        let a = Value::Array(ArrayVal::new(vec![2, 2], Buffer::I64(vec![1, 2, 3, 4])));
         assert_eq!(a.to_string(), "[[1i64, 2i64], [3i64, 4i64]]");
     }
 }

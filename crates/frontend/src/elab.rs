@@ -12,8 +12,8 @@
 
 use crate::ast::*;
 use futhark_core::{
-    BinOp, Body, CmpOp, DeclType, Exp, FunDef, Lambda, LoopForm, Name, NameSource,
-    Param, PatElem, Program, Scalar, ScalarType, Size, Soac, Stm, SubExp, Type, UnOp,
+    BinOp, Body, CmpOp, DeclType, Exp, FunDef, Lambda, LoopForm, Name, NameSource, Param, PatElem,
+    Program, Scalar, ScalarType, Size, Soac, Stm, SubExp, Type, UnOp,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -48,12 +48,9 @@ struct Env {
 
 impl Env {
     fn lookup(&self, s: &str) -> EResult<(Name, Type)> {
-        self.vars
-            .get(s)
-            .cloned()
-            .ok_or_else(|| ElabError {
-                message: format!("variable `{s}` not in scope"),
-            })
+        self.vars.get(s).cloned().ok_or_else(|| ElabError {
+            message: format!("variable `{s}` not in scope"),
+        })
     }
 
     fn bind(&mut self, s: &str, name: Name, ty: Type) {
@@ -70,7 +67,7 @@ impl Env {
 pub fn elaborate(uprog: &UProgram) -> EResult<(Program, NameSource)> {
     let mut ns = NameSource::new();
     // First pass: signatures (param names become the core parameter names).
-    let mut sigs: HashMap<String, (Vec<Param>, Vec<DeclType>, Vec<bool>)> = HashMap::new();
+    let mut sigs: HashMap<String, Sig> = HashMap::new();
     let mut param_envs: HashMap<String, Env> = HashMap::new();
     for f in &uprog.functions {
         if sigs.contains_key(&f.name) {
@@ -80,8 +77,7 @@ pub fn elaborate(uprog: &UProgram) -> EResult<(Program, NameSource)> {
         let mut params = Vec::new();
         let mut uniques = Vec::new();
         for (pname, dt) in &f.params {
-            let ty = elab_type(&env, &dt.ty)
-                .map_err(|e| prefix(&f.name, e))?;
+            let ty = elab_type(&env, &dt.ty).map_err(|e| prefix(&f.name, e))?;
             let name = ns.fresh(hint_of(pname));
             env.bind(pname, name.clone(), ty.clone());
             params.push(Param {
@@ -121,7 +117,6 @@ pub fn elaborate(uprog: &UProgram) -> EResult<(Program, NameSource)> {
     }
     Ok((Program { functions }, elab.ns))
 }
-
 
 /// Hint for a fresh core name from a surface identifier: strips a trailing
 /// `_<digits>` tag so that re-parsing pretty-printed output (where names
@@ -231,9 +226,13 @@ const UNOP_BUILTINS: &[(&str, UnOp)] = &[
     ("signum", UnOp::Signum),
 ];
 
+/// A function signature: parameters, return types, and per-parameter
+/// uniqueness.
+type Sig = (Vec<Param>, Vec<DeclType>, Vec<bool>);
+
 struct Elab {
     ns: NameSource,
-    sigs: HashMap<String, (Vec<Param>, Vec<DeclType>, Vec<bool>)>,
+    sigs: HashMap<String, Sig>,
 }
 
 impl Elab {
@@ -290,7 +289,7 @@ impl Elab {
                 self.exp_multi(env, stms, &desugared, hints)
             }
             _ => {
-                let (exp, tys) = self.to_exp(env, stms, e, hints)?;
+                let (exp, tys) = self.elab_exp(env, stms, e, hints)?;
                 if let Exp::SubExp(se) = &exp {
                     if tys.len() == 1 {
                         return Ok(vec![(se.clone(), tys[0].clone())]);
@@ -324,7 +323,7 @@ impl Elab {
             .map(|pe| pe.ty.as_ref().map(|t| elab_type(env, t)).transpose())
             .collect::<EResult<_>>()?;
         let hints: Option<Vec<Type>> = hint_tys.iter().cloned().collect();
-        let (exp, tys) = self.to_exp(env, stms, rhs, hints.as_deref())?;
+        let (exp, tys) = self.elab_exp(env, stms, rhs, hints.as_deref())?;
         if tys.len() != pat.len() {
             return err(format!(
                 "pattern binds {} names but expression produces {} values",
@@ -370,7 +369,7 @@ impl Elab {
             }
             None => None,
         };
-        let (exp, tys) = self.to_exp(env, stms, e, hints)?;
+        let (exp, tys) = self.elab_exp(env, stms, e, hints)?;
         if tys.len() != 1 {
             return err(format!(
                 "expected a single value, got {} (a tuple?)",
@@ -386,7 +385,7 @@ impl Elab {
     }
 
     /// Elaborates to a core expression plus its result types.
-    fn to_exp(
+    fn elab_exp(
         &mut self,
         env: &Env,
         stms: &mut Vec<Stm>,
@@ -492,12 +491,8 @@ impl Elab {
                 let (name, ty) = env.lookup(arr)?;
                 let mut indices = Vec::new();
                 for i in idx {
-                    let (se, ity) = self.atomic(
-                        env,
-                        stms,
-                        i,
-                        Some(&Type::Scalar(ScalarType::I64)),
-                    )?;
+                    let (se, ity) =
+                        self.atomic(env, stms, i, Some(&Type::Scalar(ScalarType::I64)))?;
                     if ity != Type::Scalar(ScalarType::I64) {
                         return err(format!("index into `{arr}` must be i64, got {ity}"));
                     }
@@ -506,7 +501,13 @@ impl Elab {
                 let rty = ty.index_type(indices.len()).ok_or_else(|| ElabError {
                     message: format!("too many indices for `{arr}` of type {ty}"),
                 })?;
-                Ok((Exp::Index { array: name, indices }, vec![rty]))
+                Ok((
+                    Exp::Index {
+                        array: name,
+                        indices,
+                    },
+                    vec![rty],
+                ))
             }
             UExp::With {
                 array,
@@ -516,12 +517,8 @@ impl Elab {
                 let (name, ty) = env.lookup(array)?;
                 let mut idx = Vec::new();
                 for i in indices {
-                    let (se, _) = self.atomic(
-                        env,
-                        stms,
-                        i,
-                        Some(&Type::Scalar(ScalarType::I64)),
-                    )?;
+                    let (se, _) =
+                        self.atomic(env, stms, i, Some(&Type::Scalar(ScalarType::I64)))?;
                     idx.push(se);
                 }
                 let vty = ty.index_type(idx.len()).ok_or_else(|| ElabError {
@@ -580,12 +577,8 @@ impl Elab {
                 let mut ses = Vec::new();
                 let mut dims = Vec::new();
                 for s in shape {
-                    let (sse, _) = self.atomic(
-                        env,
-                        stms,
-                        s,
-                        Some(&Type::Scalar(ScalarType::I64)),
-                    )?;
+                    let (sse, _) =
+                        self.atomic(env, stms, s, Some(&Type::Scalar(ScalarType::I64)))?;
                     dims.push(subexp_to_size(&sse)?);
                     ses.push(sse);
                 }
@@ -781,9 +774,7 @@ impl Elab {
                     }
                 }
                 if !all_const {
-                    let mut acc = size_to_subexp(
-                        tys[0].outer_dim().expect("array has outer dim"),
-                    );
+                    let mut acc = size_to_subexp(tys[0].outer_dim().expect("array has outer dim"));
                     for t in &tys[1..] {
                         let d = size_to_subexp(t.outer_dim().expect("array has outer dim"));
                         let name = self.ns.fresh("cl");
@@ -848,13 +839,9 @@ impl Elab {
                     return Ok((Exp::Convert(t, se), vec![Type::Scalar(t)]));
                 }
                 // User function call.
-                let (params, ret, _) = self
-                    .sigs
-                    .get(fname)
-                    .cloned()
-                    .ok_or_else(|| ElabError {
-                        message: format!("unknown function `{fname}`"),
-                    })?;
+                let (params, ret, _) = self.sigs.get(fname).cloned().ok_or_else(|| ElabError {
+                    message: format!("unknown function `{fname}`"),
+                })?;
                 if args.len() != params.len() {
                     return err(format!(
                         "`{fname}` expects {} arguments, got {}",
@@ -907,10 +894,7 @@ impl Elab {
         let mut env2 = env.clone();
         let mut core_params = Vec::new();
         for (pname, decl, init) in params {
-            let decl_ty = decl
-                .as_ref()
-                .map(|d| elab_type(env, &d.ty))
-                .transpose()?;
+            let decl_ty = decl.as_ref().map(|d| elab_type(env, &d.ty)).transpose()?;
             let (ise, ity) = self.atomic(env, stms, init, decl_ty.as_ref())?;
             let ty = decl_ty.unwrap_or(ity);
             let unique = decl.as_ref().map(|d| d.unique).unwrap_or(false);
@@ -928,12 +912,8 @@ impl Elab {
         }
         let lform = match form {
             ULoopForm::For(ivar, bound) => {
-                let (bse, bty) = self.atomic(
-                    env,
-                    stms,
-                    bound,
-                    Some(&Type::Scalar(ScalarType::I64)),
-                )?;
+                let (bse, bty) =
+                    self.atomic(env, stms, bound, Some(&Type::Scalar(ScalarType::I64)))?;
                 if bty != Type::Scalar(ScalarType::I64) {
                     return err("loop bound must be i64");
                 }
@@ -1132,8 +1112,7 @@ impl Elab {
                 let (dse, dty) = self.atomic(env, stms, dest, None)?;
                 let (ise, _) = self.atomic(env, stms, indices, None)?;
                 let (vse, vty) = self.atomic(env, stms, values, None)?;
-                let (SubExp::Var(dname), SubExp::Var(iname), SubExp::Var(vname)) =
-                    (dse, ise, vse)
+                let (SubExp::Var(dname), SubExp::Var(iname), SubExp::Var(vname)) = (dse, ise, vse)
                 else {
                     return err("scatter arguments must be arrays");
                 };
@@ -1304,7 +1283,9 @@ impl Elab {
         let x = self.ns.fresh("x");
         let r = self.ns.fresh("r");
         let (exp, rty) = if let Some(cmp) = ubinop_cmp(op) {
-            let b = rhs.clone().ok_or(())
+            let b = rhs
+                .clone()
+                .ok_or(())
                 .or_else(|_| err::<SubExp>("comparison section must be a right section"))?;
             (
                 Exp::Cmp(cmp, SubExp::Var(x.clone()), b),
@@ -1465,9 +1446,7 @@ fn replace_outer(t: &Type, chunk: &Name, outer: Size) -> EResult<Type> {
             dims[0] = outer;
             Ok(Type::array_of(at.elem, dims))
         }
-        _ => err(
-            "stream operator array result must have the chunk size as its outer dimension",
-        ),
+        _ => err("stream operator array result must have the chunk size as its outer dimension"),
     }
 }
 
@@ -1498,9 +1477,7 @@ mod tests {
 
     #[test]
     fn literal_adapts_to_operand_type() {
-        let (prog, _) = elab_src(
-            "fun main (x: f32): f32 =\n  let y = x * 2.0 + 1.0\n  in y",
-        );
+        let (prog, _) = elab_src("fun main (x: f32): f32 =\n  let y = x * 2.0 + 1.0\n  in y");
         let f = prog.main().unwrap();
         for stm in &f.body.stms {
             for pe in &stm.pat {
@@ -1511,9 +1488,8 @@ mod tests {
 
     #[test]
     fn reduce_section_builds_lambda() {
-        let (prog, _) = elab_src(
-            "fun main (n: i64) (xs: [n]f32): f32 =\n  let s = reduce (+) 0.0 xs\n  in s",
-        );
+        let (prog, _) =
+            elab_src("fun main (n: i64) (xs: [n]f32): f32 =\n  let s = reduce (+) 0.0 xs\n  in s");
         let f = prog.main().unwrap();
         let Exp::Soac(Soac::Reduce { lam, neutral, .. }) = &f.body.stms[0].exp else {
             panic!("expected reduce");
@@ -1572,13 +1548,15 @@ mod tests {
              in counts",
         );
         let f = prog.main().unwrap();
-        let Exp::Soac(Soac::StreamRed { fold_lam, .. }) = &f.body.stms.last().unwrap().exp
-        else {
+        let Exp::Soac(Soac::StreamRed { fold_lam, .. }) = &f.body.stms.last().unwrap().exp else {
             panic!("expected stream_red");
         };
         assert_eq!(fold_lam.params.len(), 3);
         assert_eq!(fold_lam.params[0].ty, Type::Scalar(ScalarType::I64));
-        assert!(fold_lam.params[1].unique, "accumulator should be consumable");
+        assert!(
+            fold_lam.params[1].unique,
+            "accumulator should be consumable"
+        );
     }
 
     #[test]

@@ -505,7 +505,10 @@ mod tests {
     #[test]
     fn lexes_numbers_with_suffixes() {
         assert_eq!(toks("42"), vec![Token::IntLit(42, None)]);
-        assert_eq!(toks("42i32"), vec![Token::IntLit(42, Some(ScalarType::I32))]);
+        assert_eq!(
+            toks("42i32"),
+            vec![Token::IntLit(42, Some(ScalarType::I32))]
+        );
         assert_eq!(
             toks("1.5f32"),
             vec![Token::FloatLit(1.5, Some(ScalarType::F32))]
@@ -513,7 +516,10 @@ mod tests {
         assert_eq!(toks("2.0e3"), vec![Token::FloatLit(2000.0, None)]);
         assert_eq!(toks("1e-2"), vec![Token::FloatLit(0.01, None)]);
         // An integer with a float suffix is a float literal.
-        assert_eq!(toks("3f64"), vec![Token::FloatLit(3.0, Some(ScalarType::F64))]);
+        assert_eq!(
+            toks("3f64"),
+            vec![Token::FloatLit(3.0, Some(ScalarType::F64))]
+        );
     }
 
     #[test]

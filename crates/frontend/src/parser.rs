@@ -301,9 +301,7 @@ impl Parser {
     /// After a let's right-hand side: either `in <exp>`, or directly another
     /// `let`/`loop` (the pretty-printer omits `in` between bindings).
     fn let_continuation(&mut self) -> Result<UExp, ParseError> {
-        if self.eat(&Token::In) {
-            self.exp()
-        } else if self.peek() == Some(&Token::Let) {
+        if self.eat(&Token::In) || self.peek() == Some(&Token::Let) {
             self.exp()
         } else {
             Err(self.err("expected `in` or another `let` after binding"))
@@ -643,9 +641,7 @@ impl Parser {
                 .filter(|_| {
                     matches!(
                         self.peek2(),
-                        Some(Token::RParen)
-                            | Some(Token::IntLit(..))
-                            | Some(Token::FloatLit(..))
+                        Some(Token::RParen) | Some(Token::IntLit(..)) | Some(Token::FloatLit(..))
                     )
                 }),
             _ => None,
@@ -724,8 +720,7 @@ impl Parser {
         // Drop an explicit width: recognised as a bare variable or integer
         // in the first (operator) position. For scatter, a width is
         // recognised only when 4 atoms are present.
-        let looks_like_width =
-            |e: &UExp| matches!(e, UExp::Var(_) | UExp::IntLit(..));
+        let looks_like_width = |e: &UExp| matches!(e, UExp::Var(_) | UExp::IntLit(..));
         let has_width = if kw == "scatter" {
             atoms.len() == 4
         } else {
@@ -949,7 +944,10 @@ mod tests {
     #[test]
     fn parses_rearrange_and_reshape() {
         let e = parse_exp("rearrange (1, 0) a").unwrap();
-        assert_eq!(e, UExp::Rearrange(vec![1, 0], Box::new(UExp::Var("a".into()))));
+        assert_eq!(
+            e,
+            UExp::Rearrange(vec![1, 0], Box::new(UExp::Var("a".into())))
+        );
         let e2 = parse_exp("reshape (n, m) a").unwrap();
         assert!(matches!(e2, UExp::Reshape(..)));
     }

@@ -32,14 +32,18 @@
 //! # Ok::<(), futhark::Error>(())
 //! ```
 
-use futhark_core::{NameSource, Program, Value};
+use futhark_core::{Body, NameSource, Program, Value};
 use futhark_gpu::codegen::{self, CodegenOptions};
 use futhark_gpu::exec::{self};
 use futhark_gpu::plan::GpuPlan;
 use futhark_gpu::DeviceProfile;
+use futhark_trace::SpanTimer;
 use std::fmt;
 
-pub use futhark_gpu::exec::{ExecError, PerfReport};
+pub mod prof;
+
+pub use futhark_gpu::exec::{ExecError, LaunchRecord, PerfReport, TimelineEvent};
+pub use futhark_trace::{CompileReport, Counters, IrSize, Json, PassSpan};
 
 /// The two simulated devices of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,10 +143,56 @@ impl From<ExecError> for Error {
     }
 }
 
+/// Statement count of a body, recursing into nested bodies (branches,
+/// loop and lambda bodies).
+fn body_statements(body: &Body) -> u64 {
+    let mut n = body.stms.len() as u64;
+    for stm in &body.stms {
+        for inner in stm.exp.inner_bodies() {
+            n += body_statements(inner);
+        }
+    }
+    n
+}
+
+/// IR size of a whole program (statements only; kernels are counted at
+/// the codegen boundary).
+fn program_size(prog: &Program) -> IrSize {
+    IrSize::stms(
+        prog.functions
+            .iter()
+            .map(|f| body_statements(&f.body))
+            .sum(),
+    )
+}
+
+/// Runs one pipeline phase, recording a [`PassSpan`] when tracing is on.
+/// `f` returns the phase result together with the IR size after the
+/// phase (returning it from the closure keeps the borrow of the program
+/// inside `f`).
+fn spanned<R>(
+    report: &mut Option<CompileReport>,
+    name: &str,
+    before: IrSize,
+    f: impl FnOnce() -> (R, IrSize),
+) -> R {
+    match report {
+        Some(rep) => {
+            let mut timer = SpanTimer::start(name, before);
+            let ((r, after), counters) = futhark_trace::collect(f);
+            timer.counters = counters;
+            rep.push(timer.finish(after));
+            r
+        }
+        None => f().0,
+    }
+}
+
 /// The compiler driver.
 #[derive(Debug, Clone, Default)]
 pub struct Compiler {
     opts: PipelineOptions,
+    trace: bool,
 }
 
 impl Compiler {
@@ -153,7 +203,21 @@ impl Compiler {
 
     /// A compiler with explicit options.
     pub fn with_options(opts: PipelineOptions) -> Self {
-        Compiler { opts }
+        Compiler { opts, trace: false }
+    }
+
+    /// Enables pass-level tracing: compilation attaches a
+    /// [`CompileReport`] (one [`PassSpan`] per phase, with wall-clock
+    /// time, IR sizes, and rewrite counters) to the resulting
+    /// [`Compiled`] program.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Whether pass-level tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace
     }
 
     /// The active options.
@@ -168,11 +232,22 @@ impl Compiler {
     /// Returns an [`Error`] for syntax, type, uniqueness, or code
     /// generation failures.
     pub fn compile(&self, src: &str) -> Result<Compiled, Error> {
-        let (prog, ns) = futhark_frontend::parse_program(src)?;
+        let mut report = self.trace.then(CompileReport::new);
+        let (prog, ns) = spanned(&mut report, "parse", IrSize::stms(0), || {
+            let res = futhark_frontend::parse_program(src);
+            let after = res
+                .as_ref()
+                .map(|(p, _)| program_size(p))
+                .unwrap_or_default();
+            (res, after)
+        })?;
         if self.opts.check {
-            futhark_check::check_program(&prog)?;
+            let size = program_size(&prog);
+            spanned(&mut report, "check", size, || {
+                (futhark_check::check_program(&prog), size)
+            })?;
         }
-        self.compile_core(prog, ns)
+        self.compile_core_inner(prog, ns, report)
     }
 
     /// Compiles an already-elaborated core program.
@@ -180,31 +255,57 @@ impl Compiler {
     /// # Errors
     ///
     /// As [`Compiler::compile`].
-    pub fn compile_core(
+    pub fn compile_core(&self, prog: Program, ns: NameSource) -> Result<Compiled, Error> {
+        let report = self.trace.then(CompileReport::new);
+        self.compile_core_inner(prog, ns, report)
+    }
+
+    fn compile_core_inner(
         &self,
         mut prog: Program,
         mut ns: NameSource,
+        mut report: Option<CompileReport>,
     ) -> Result<Compiled, Error> {
         // Inlining always runs (kernels cannot call functions).
-        futhark_opt::simplify::inline_functions(&mut prog, &mut ns);
+        spanned(&mut report, "inline", program_size(&prog), || {
+            futhark_opt::simplify::inline_functions(&mut prog, &mut ns);
+            ((), program_size(&prog))
+        });
         if self.opts.simplify {
-            futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+            spanned(&mut report, "simplify", program_size(&prog), || {
+                futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+                ((), program_size(&prog))
+            });
         }
         if self.opts.fusion {
-            futhark_opt::fusion::fuse_program(&mut prog, &mut ns);
+            spanned(&mut report, "fusion", program_size(&prog), || {
+                futhark_opt::fusion::fuse_program(&mut prog, &mut ns);
+                ((), program_size(&prog))
+            });
         }
-        futhark_opt::flatten::flatten_program(&mut prog, &mut ns);
+        spanned(&mut report, "flatten", program_size(&prog), || {
+            futhark_opt::flatten::flatten_program(&mut prog, &mut ns);
+            ((), program_size(&prog))
+        });
         if self.opts.simplify {
-            futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+            spanned(&mut report, "simplify-post", program_size(&prog), || {
+                futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+                ((), program_size(&prog))
+            });
         }
-        let plan = codegen::compile(
-            &prog,
-            CodegenOptions {
-                coalescing: self.opts.coalescing,
-                tiling: self.opts.tiling,
-            },
-        )?;
-        Ok(Compiled { prog, plan })
+        let opts = CodegenOptions {
+            coalescing: self.opts.coalescing,
+            tiling: self.opts.tiling,
+        };
+        let plan = spanned(&mut report, "codegen", program_size(&prog), || {
+            let res = codegen::compile(&prog, opts);
+            let mut after = program_size(&prog);
+            if let Ok(plan) = &res {
+                after.kernels = plan.kernel_count() as u64;
+            }
+            (res, after)
+        })?;
+        Ok(Compiled { prog, plan, report })
     }
 }
 
@@ -216,6 +317,9 @@ pub struct Compiled {
     pub prog: Program,
     /// The GPU plan.
     pub plan: GpuPlan,
+    /// The pass-level trace, when compiled with
+    /// [`Compiler::with_trace`].
+    pub report: Option<CompileReport>,
 }
 
 impl Compiled {
@@ -247,6 +351,12 @@ impl Compiled {
     /// Number of distinct kernels extracted.
     pub fn kernel_count(&self) -> usize {
         self.plan.kernel_count()
+    }
+
+    /// The pass-level trace (present when compiled with
+    /// [`Compiler::with_trace`]).
+    pub fn report(&self) -> Option<&CompileReport> {
+        self.report.as_ref()
     }
 }
 
@@ -335,11 +445,7 @@ mod tests {
         assert_eq!(sums.shape, vec![n]);
         // Coalescing: the segmented reduce reads the (transposed) matrix
         // with high efficiency.
-        assert!(
-            perf.stats.coalescing_efficiency() > 0.5,
-            "{:?}",
-            perf.stats
-        );
+        assert!(perf.stats.coalescing_efficiency() > 0.5, "{:?}", perf.stats);
         assert!(perf.transposes >= 1, "expected a coalescing transpose");
     }
 
@@ -432,7 +538,8 @@ mod tests {
 
     #[test]
     fn scatter_kernel() {
-        let src = "fun main (k: i64) (n: i64) (dest: *[k]f32) (is: [n]i64) (vs: [n]f32): *[k]f32 =\n\
+        let src =
+            "fun main (k: i64) (n: i64) (dest: *[k]f32) (is: [n]i64) (vs: [n]f32): *[k]f32 =\n\
                    let r = scatter dest is vs\n\
                    in r";
         run_both(
@@ -481,10 +588,7 @@ mod tests {
             &[
                 Value::i64(8),
                 Value::i64(4),
-                Value::Array(ArrayVal::new(
-                    vec![8, 4],
-                    Buffer::I64((0..32).collect()),
-                )),
+                Value::Array(ArrayVal::new(vec![8, 4], Buffer::I64((0..32).collect()))),
             ],
         );
     }

@@ -1,0 +1,148 @@
+//! `futhark::prof` — the **futhark-prof** report renderer.
+//!
+//! Turns the two halves of a trace — the compile-side [`CompileReport`]
+//! and the run-side [`PerfReport`] — into a human-readable profile
+//! (per-kernel time table with time share and coalescing efficiency,
+//! pass-time breakdown, rewrite counters) and one machine-readable JSON
+//! document for archival next to benchmark output.
+
+use futhark_gpu::exec::{PerfReport, TimelineEvent};
+use futhark_trace::{CompileReport, Json};
+use std::fmt::Write as _;
+
+/// One-line execution summary: modelled time split by category.
+pub fn render_summary(run: &PerfReport) -> String {
+    let fallbacks = run
+        .timeline
+        .iter()
+        .filter(|e| matches!(e, TimelineEvent::Fallback { .. }))
+        .count();
+    format!(
+        "total {:.1} us | kernels {:.1} us ({} launches) | \
+         device ops {:.1} us ({} transposes) | \
+         fallbacks {:.1} us ({} events)",
+        run.total_us,
+        run.kernel_us,
+        run.launches,
+        run.device_op_us,
+        run.transposes,
+        run.fallback_us,
+        fallbacks,
+    )
+}
+
+/// Per-kernel table, hottest kernel first: launches, total modelled
+/// time, share of total time, and coalescing efficiency.
+pub fn render_kernels(run: &PerfReport) -> String {
+    let nw = run
+        .per_kernel
+        .keys()
+        .map(String::len)
+        .max()
+        .unwrap_or(0)
+        .max("kernel".len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<nw$}  {:>8}  {:>12}  {:>6}  {:>8}",
+        "kernel", "launches", "time (us)", "share", "coalesce"
+    );
+    for (name, (launches, us, stats)) in run.kernels_by_time() {
+        let share = if run.total_us > 0.0 {
+            us / run.total_us * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{name:<nw$}  {launches:>8}  {us:>12.1}  {share:>5.1}%  {:>7.1}%",
+            stats.coalescing_efficiency() * 100.0
+        );
+    }
+    out
+}
+
+/// Pass-time breakdown: wall-clock time, IR size across the phase, and
+/// how many rewrite events fired.
+pub fn render_passes(report: &CompileReport) -> String {
+    let nw = report
+        .passes
+        .iter()
+        .map(|p| p.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("pass".len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<nw$}  {:>10}  {:>16}  {:>7}  {:>8}",
+        "pass", "wall (us)", "statements", "kernels", "rewrites"
+    );
+    for p in &report.passes {
+        let stms = format!("{} -> {}", p.before.statements, p.after.statements);
+        let rewrites: u64 = p.counters.iter().map(|(_, v)| v).sum();
+        let _ = writeln!(
+            out,
+            "{:<nw$}  {:>10.1}  {stms:>16}  {:>7}  {rewrites:>8}",
+            p.name, p.wall_us, p.after.kernels
+        );
+    }
+    let _ = writeln!(out, "{:<nw$}  {:>10.1}", "(total)", report.total_wall_us());
+    out
+}
+
+/// Every rewrite counter of every phase, merged, one per line.
+pub fn render_counters(report: &CompileReport) -> String {
+    let all = report.all_counters();
+    let nw = all.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in all.iter() {
+        let _ = writeln!(out, "  {k:<nw$}  {v:>8}");
+    }
+    out
+}
+
+/// The full profile: execution summary, per-kernel table, and — when a
+/// compile-side trace is available — pass breakdown and rewrite
+/// counters.
+pub fn render(compile: Option<&CompileReport>, run: &PerfReport) -> String {
+    let mut out = String::from("== futhark-prof ==\n");
+    out.push_str(&render_summary(run));
+    out.push('\n');
+    if !run.per_kernel.is_empty() {
+        out.push('\n');
+        out.push_str(&render_kernels(run));
+    }
+    if let Some(rep) = compile {
+        out.push('\n');
+        out.push_str(&render_passes(rep));
+        let counters = render_counters(rep);
+        if !counters.is_empty() {
+            out.push_str("\nrewrite counters:\n");
+            out.push_str(&counters);
+        }
+    }
+    out
+}
+
+/// The whole trace as one JSON document: `{"compile": ..., "run": ...}`
+/// (`compile` is `null` without [`crate::Compiler::with_trace`]).
+pub fn trace_json(compile: Option<&CompileReport>, run: &PerfReport) -> Json {
+    Json::obj(vec![
+        (
+            "compile",
+            compile.map_or(Json::Null, CompileReport::to_json),
+        ),
+        ("run", run.to_json()),
+    ])
+}
+
+/// Parses a [`trace_json`] document back into its two halves.
+pub fn trace_from_json(j: &Json) -> Option<(Option<CompileReport>, PerfReport)> {
+    let compile = match j.get("compile")? {
+        Json::Null => None,
+        c => Some(CompileReport::from_json(c)?),
+    };
+    let run = PerfReport::from_json(j.get("run")?)?;
+    Some((compile, run))
+}

@@ -23,8 +23,8 @@
 use crate::kernel::{KExp, KParam, KStm, Kernel, PrivId, Reg};
 use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec, OutSpec};
 use futhark_core::{
-    BinOp, Body, Exp, Lambda, LoopForm, Name, Param, PatElem, Program, ScalarType,
-    Size, Soac, Stm, SubExp, Type,
+    BinOp, Body, Exp, Lambda, LoopForm, Name, Param, PatElem, Program, ScalarType, Size, Soac, Stm,
+    SubExp, Type,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -78,11 +78,9 @@ fn cerr<T>(m: impl Into<String>) -> CResult<T> {
 /// Returns a [`CodegenError`] only if `main` is missing; unsupported
 /// statements become interpreter fallbacks, not errors.
 pub fn compile(prog: &Program, opts: CodegenOptions) -> Result<GpuPlan, CodegenError> {
-    let main = prog
-        .main()
-        .ok_or_else(|| CodegenError {
-            message: "program has no main function".into(),
-        })?;
+    let main = prog.main().ok_or_else(|| CodegenError {
+        message: "program has no main function".into(),
+    })?;
     let mut cg = Codegen {
         opts,
         kernels: Vec::new(),
@@ -93,6 +91,7 @@ pub fn compile(prog: &Program, opts: CodegenOptions) -> Result<GpuPlan, CodegenE
         cg.types.insert(p.name.clone(), p.ty.clone());
     }
     let body = cg.host_body(&main.body);
+    futhark_trace::event_n("codegen.kernels_extracted", cg.kcount as u64);
     Ok(GpuPlan {
         params: main.params.clone(),
         kernels: cg.kernels,
@@ -117,16 +116,20 @@ impl Codegen {
             match &stm.exp {
                 Exp::Soac(_) => match self.try_launch(stm) {
                     Ok(hstms) => out.extend(hstms),
-                    Err(e) => {
-                        if std::env::var_os("FUTHARK_RS_DEBUG_CODEGEN").is_some() {
-                            eprintln!("codegen fallback for `{}`: {e}", stm.exp);
-                        }
+                    Err(_) => {
+                        // The statement runs as an interpreter fallback; the
+                        // trace counter (surfaced by futhark-prof) replaces
+                        // the old stderr diagnostic.
+                        futhark_trace::event("codegen.fallback_sites");
                         out.push(HStm::Direct(stm.clone()));
                     }
                 },
-                Exp::Loop { params, form, body: lbody }
-                    if body_has_soac(lbody)
-                        || matches!(form, LoopForm::While(c) if body_has_soac(c)) =>
+                Exp::Loop {
+                    params,
+                    form,
+                    body: lbody,
+                } if body_has_soac(lbody)
+                    || matches!(form, LoopForm::While(c) if body_has_soac(c)) =>
                 {
                     for (p, _) in params {
                         self.types.insert(p.name.clone(), p.ty.clone());
@@ -181,9 +184,7 @@ impl Codegen {
     /// Attempts to compile a SOAC statement into kernel launches.
     fn try_launch(&mut self, stm: &Stm) -> CResult<Vec<HStm>> {
         match &stm.exp {
-            Exp::Soac(Soac::Map { width, lam, arrs }) => {
-                self.segmap(stm, width, lam, arrs)
-            }
+            Exp::Soac(Soac::Map { width, lam, arrs }) => self.segmap(stm, width, lam, arrs),
             Exp::Soac(Soac::Reduce {
                 width,
                 lam,
@@ -192,12 +193,7 @@ impl Codegen {
                 ..
             }) if lam.ret.iter().all(Type::is_scalar) => {
                 self.stream_fold_launch(
-                    stm,
-                    width,
-                    neutral,
-                    arrs,
-                    lam,
-                    None, // plain reduce: identity map stage
+                    stm, width, neutral, arrs, lam, None, // plain reduce: identity map stage
                 )
             }
             Exp::Soac(Soac::Redomap {
@@ -207,9 +203,7 @@ impl Codegen {
                 neutral,
                 arrs,
                 ..
-            }) if red_lam.ret.iter().all(Type::is_scalar)
-                && map_lam.ret.len() == neutral.len() =>
-            {
+            }) if red_lam.ret.iter().all(Type::is_scalar) && map_lam.ret.len() == neutral.len() => {
                 self.stream_fold_launch(stm, width, neutral, arrs, red_lam, Some(map_lam))
             }
             Exp::Soac(Soac::StreamRed {
@@ -241,12 +235,10 @@ impl Codegen {
     ) -> CResult<Vec<HStm>> {
         // Peel the nest.
         let mut widths = vec![width.clone()];
-        let mut levels: Vec<(Vec<Param>, Vec<Name>)> =
-            vec![(lam.params.clone(), arrs.to_vec())];
+        let mut levels: Vec<(Vec<Param>, Vec<Name>)> = vec![(lam.params.clone(), arrs.to_vec())];
         let mut innermost = &lam.body;
         loop {
-            if innermost.stms.len() == 1 && innermost.result.len() == innermost.stms[0].pat.len()
-            {
+            if innermost.stms.len() == 1 && innermost.result.len() == innermost.stms[0].pat.len() {
                 if let Exp::Soac(Soac::Map {
                     width: w2,
                     lam: l2,
@@ -288,19 +280,16 @@ impl Codegen {
                 // Resolve the array: at level 0 it is a host array; deeper
                 // it is a previous level's parameter.
                 let base = if l == 0 {
-                    let ty = self
-                        .types
-                        .get(a)
-                        .cloned()
-                        .ok_or_else(|| CodegenError {
-                            message: format!("unknown host array {a}"),
-                        })?;
+                    let ty = self.types.get(a).cloned().ok_or_else(|| CodegenError {
+                        message: format!("unknown host array {a}"),
+                    })?;
                     let row_rank = ty.rank().saturating_sub(depth);
                     let perm = if self.opts.coalescing && row_rank >= 1 && ty.rank() >= 2 {
                         // Sequential (row) dims first, context dims last.
                         let d = ty.rank() - row_rank;
                         let mut perm: Vec<usize> = (d..ty.rank()).collect();
                         perm.extend(0..d);
+                        futhark_trace::event("codegen.coalesced_inputs");
                         perm
                     } else {
                         Vec::new()
@@ -317,10 +306,8 @@ impl Codegen {
                             // thread index, which is the faster-varying one,
                             // so row-major is already the coalesced layout
                             // for rank-1 rows.
-                            let ty = self.types.get(a).cloned().ok_or_else(|| {
-                                CodegenError {
-                                    message: format!("nest array {a} not bound"),
-                                }
+                            let ty = self.types.get(a).cloned().ok_or_else(|| CodegenError {
+                                message: format!("nest array {a} not bound"),
                             })?;
                             kb.array_ref(a, &ty, Vec::new())?
                         }
@@ -358,6 +345,7 @@ impl Codegen {
             let perm = if self.opts.coalescing && row_rank >= 1 {
                 let mut perm: Vec<usize> = (depth..at.rank()).collect();
                 perm.extend(0..depth);
+                futhark_trace::event("codegen.coalesced_outputs");
                 perm
             } else {
                 Vec::new()
@@ -390,8 +378,8 @@ impl Codegen {
             lower.write_into(&dst, r, &mut body_stms)?;
         }
         let mut kernel = kb.finish(body_stms);
-        if self.opts.tiling {
-            tile_1d(&mut kernel);
+        if self.opts.tiling && tile_1d(&mut kernel) {
+            futhark_trace::event("codegen.tiled_kernels");
         }
         let spec = LaunchSpec {
             kernel: self.push_kernel(kernel),
@@ -446,7 +434,11 @@ impl Codegen {
         let elem_idx = KExp::Var(i).add(KExp::Var(lo));
         let mut elems: Vec<TVal> = Vec::new();
         for inp in &inputs {
-            elems.push(lower.read_elem_or_slice(inp, &[elem_idx.clone()], &mut loop_body)?);
+            elems.push(lower.read_elem_or_slice(
+                inp,
+                std::slice::from_ref(&elem_idx),
+                &mut loop_body,
+            )?);
         }
         // Optionally apply the map stage (names are globally unique, so
         // binding into the shared environment is safe).
@@ -506,10 +498,7 @@ impl Codegen {
             .zip(neutral)
             .map(|(pe, ne)| {
                 let t = self.subexp_scalar_type(ne).expect("scalar neutral");
-                PatElem::new(
-                    pe.name.clone(),
-                    Type::array_of(t, vec![Size::Const(-1)]),
-                )
+                PatElem::new(pe.name.clone(), Type::array_of(t, vec![Size::Const(-1)]))
             })
             .collect();
         let partial_names: Vec<Name> = pat.iter().map(|pe| pe.name.clone()).collect();
@@ -579,7 +568,10 @@ impl Codegen {
             let TVal::GArr(mut g) = base else {
                 return cerr("stream input must be global");
             };
-            g.offset = g.offset.clone().add(KExp::Var(lo).mul(g.strides[0].clone()));
+            g.offset = g
+                .offset
+                .clone()
+                .add(KExp::Var(lo).mul(g.strides[0].clone()));
             g.dims[0] = KExp::Var(len);
             lower.env.insert(p.name.clone(), TVal::GArr(g));
         }
@@ -1147,13 +1139,9 @@ impl<'a> Lower<'a> {
             return Ok(t.clone());
         }
         // A free (host) array used inside the kernel.
-        let ty = self
-            .cg_types
-            .get(v)
-            .cloned()
-            .ok_or_else(|| CodegenError {
-                message: format!("unknown array {v} in kernel body"),
-            })?;
+        let ty = self.cg_types.get(v).cloned().ok_or_else(|| CodegenError {
+            message: format!("unknown array {v} in kernel body"),
+        })?;
         let r = self.kb.array_ref(v, &ty, Vec::new())?;
         self.env.insert(v.clone(), r.clone());
         Ok(r)
@@ -1236,12 +1224,7 @@ impl<'a> Lower<'a> {
     }
 
     /// Copies every element of `src` into the destination view.
-    fn copy_elements(
-        &mut self,
-        dst: &CopyDst,
-        src: &TVal,
-        out: &mut Vec<KStm>,
-    ) -> CResult<()> {
+    fn copy_elements(&mut self, dst: &CopyDst, src: &TVal, out: &mut Vec<KStm>) -> CResult<()> {
         let dims = src.dims();
         // Nested loops over the logical dims.
         let mut idx_regs: Vec<Reg> = Vec::new();
@@ -1300,12 +1283,7 @@ impl<'a> Lower<'a> {
 
     /// Initialises a (consumable) accumulator parameter from its initial
     /// value: scalars to registers, arrays to private copies.
-    fn init_acc(
-        &mut self,
-        p: &Param,
-        init: &SubExp,
-        out: &mut Vec<KStm>,
-    ) -> CResult<TVal> {
+    fn init_acc(&mut self, p: &Param, init: &SubExp, out: &mut Vec<KStm>) -> CResult<TVal> {
         match &p.ty {
             Type::Scalar(t) => {
                 let e = self.subexp(init, out)?;
@@ -1352,12 +1330,7 @@ impl<'a> Lower<'a> {
             .collect()
     }
 
-    fn exp(
-        &mut self,
-        e: &Exp,
-        pat: &[PatElem],
-        out: &mut Vec<KStm>,
-    ) -> CResult<Vec<TVal>> {
+    fn exp(&mut self, e: &Exp, pat: &[PatElem], out: &mut Vec<KStm>) -> CResult<Vec<TVal>> {
         match e {
             Exp::SubExp(se) => match se {
                 SubExp::Const(k) => {
@@ -1368,21 +1341,16 @@ impl<'a> Lower<'a> {
                     });
                     Ok(vec![TVal::Reg(r, k.scalar_type())])
                 }
-                SubExp::Var(v) => Ok(vec![self
-                    .env
-                    .get(v)
-                    .cloned()
-                    .ok_or(())
-                    .or_else(|_| {
-                        if matches!(self.cg_types.get(v), Some(Type::Scalar(_))) {
-                            let e = self.kb.scalar_subexp(se)?;
-                            let r = self.kb.reg();
-                            out.push(KStm::Assign { var: r, exp: e });
-                            Ok(TVal::Reg(r, scalar_of(&self.cg_types[v])?))
-                        } else {
-                            self.lookup_array(v)
-                        }
-                    })?]),
+                SubExp::Var(v) => Ok(vec![self.env.get(v).cloned().ok_or(()).or_else(|_| {
+                    if matches!(self.cg_types.get(v), Some(Type::Scalar(_))) {
+                        let e = self.kb.scalar_subexp(se)?;
+                        let r = self.kb.reg();
+                        out.push(KStm::Assign { var: r, exp: e });
+                        Ok(TVal::Reg(r, scalar_of(&self.cg_types[v])?))
+                    } else {
+                        self.lookup_array(v)
+                    }
+                })?]),
             },
             Exp::BinOp(op, a, b) => {
                 let x = self.subexp(a, out)?;
@@ -1488,11 +1456,7 @@ impl<'a> Lower<'a> {
                             let mut dims = vec![ne];
                             dims.extend(arr.dims());
                             let elem = arr.elem();
-                            let total = dims
-                                .iter()
-                                .cloned()
-                                .reduce(|a, b| a.mul(b))
-                                .unwrap();
+                            let total = dims.iter().cloned().reduce(|a, b| a.mul(b)).unwrap();
                             let id = self.kb.priv_id();
                             out.push(KStm::PrivAlloc {
                                 arr: id,
@@ -1501,8 +1465,7 @@ impl<'a> Lower<'a> {
                             });
                             let mut strides = vec![KExp::i64(1); dims.len()];
                             for i in (0..dims.len() - 1).rev() {
-                                strides[i] =
-                                    strides[i + 1].clone().mul(dims[i + 1].clone());
+                                strides[i] = strides[i + 1].clone().mul(dims[i + 1].clone());
                             }
                             let pr = PRef {
                                 id,
@@ -1525,9 +1488,11 @@ impl<'a> Lower<'a> {
                         None => {
                             let e = self.kb.scalar_subexp(v)?;
                             let t = scalar_of(
-                                &self.cg_types.get(name).cloned().unwrap_or(Type::Scalar(
-                                    ScalarType::I64,
-                                )),
+                                &self
+                                    .cg_types
+                                    .get(name)
+                                    .cloned()
+                                    .unwrap_or(Type::Scalar(ScalarType::I64)),
                             )?;
                             Ok(vec![TVal::VirtRepl {
                                 value: e,
@@ -1681,13 +1646,12 @@ impl<'a> Lower<'a> {
                         }
                     }
                 }
-                let lower_branch = |lower: &mut Self,
-                                        b: &Body|
-                 -> CResult<(Vec<KStm>, Vec<TVal>)> {
-                    let mut stms = Vec::new();
-                    let vals = lower.body(b, &mut stms)?;
-                    Ok((stms, vals))
-                };
+                let lower_branch =
+                    |lower: &mut Self, b: &Body| -> CResult<(Vec<KStm>, Vec<TVal>)> {
+                        let mut stms = Vec::new();
+                        let vals = lower.body(b, &mut stms)?;
+                        Ok((stms, vals))
+                    };
                 let (mut then_s, tvals) = lower_branch(self, then_body)?;
                 let (mut else_s, evals) = lower_branch(self, else_body)?;
                 let mut final_slots = Vec::new();
@@ -1714,8 +1678,7 @@ impl<'a> Lower<'a> {
                                 .unwrap_or(KExp::i64(1));
                             let mut strides = vec![KExp::i64(1); dims.len()];
                             for i in (0..dims.len().saturating_sub(1)).rev() {
-                                strides[i] =
-                                    strides[i + 1].clone().mul(dims[i + 1].clone());
+                                strides[i] = strides[i + 1].clone().mul(dims[i + 1].clone());
                             }
                             let dst = PRef {
                                 id: p.id,
@@ -1801,8 +1764,7 @@ impl<'a> Lower<'a> {
             LoopForm::For { var, bound } => {
                 let b = self.subexp(bound, out)?;
                 let i = self.kb.reg();
-                self.env
-                    .insert(var.clone(), TVal::Reg(i, ScalarType::I64));
+                self.env.insert(var.clone(), TVal::Reg(i, ScalarType::I64));
                 let mut inner = Vec::new();
                 let results = self.body(body, &mut inner)?;
                 write_back(self, &merge, &results, &mut inner)?;
@@ -1859,11 +1821,7 @@ impl<'a> Lower<'a> {
                         }
                     }
                     let elem = t.elem();
-                    let total = dims
-                        .iter()
-                        .cloned()
-                        .reduce(|a, b| a.mul(b))
-                        .unwrap();
+                    let total = dims.iter().cloned().reduce(|a, b| a.mul(b)).unwrap();
                     let id = self.kb.priv_id();
                     out.push(KStm::PrivAlloc {
                         arr: id,
@@ -1965,16 +1923,11 @@ impl<'a> Lower<'a> {
                 let k = neutral.len();
                 for (j, p) in lam.params.iter().enumerate() {
                     if j < k {
-                        self.env.insert(
-                            p.name.clone(),
-                            TVal::Reg(carries[j], scalar_of(&p.ty)?),
-                        );
+                        self.env
+                            .insert(p.name.clone(), TVal::Reg(carries[j], scalar_of(&p.ty)?));
                     } else {
-                        let elem = self.read_elem_or_slice(
-                            &inputs[j - k],
-                            &[KExp::Var(i)],
-                            &mut inner,
-                        )?;
+                        let elem =
+                            self.read_elem_or_slice(&inputs[j - k], &[KExp::Var(i)], &mut inner)?;
                         self.env.insert(p.name.clone(), elem);
                     }
                 }
@@ -2011,9 +1964,7 @@ impl<'a> Lower<'a> {
                 arrs,
                 ..
             } => self.inline_stream(width, fold_lam, accs, arrs, out),
-            Soac::StreamMap { width, lam, arrs } => {
-                self.inline_stream(width, lam, &[], arrs, out)
-            }
+            Soac::StreamMap { width, lam, arrs } => self.inline_stream(width, lam, &[], arrs, out),
             _ => cerr("unsupported SOAC in kernel body"),
         }
     }
@@ -2124,10 +2075,11 @@ enum CopyDst {
 /// elementwise (`A[j]`) to stage tiles through local memory with barriers —
 /// the N-body pattern. Only applied at the outermost statement level so
 /// barriers stay convergent.
-pub fn tile_1d(kernel: &mut Kernel) {
+pub fn tile_1d(kernel: &mut Kernel) -> bool {
     let mut new_body = Vec::new();
     let mut locals = kernel.locals.clone();
     let mut next_reg = kernel.num_regs;
+    let mut tiled = false;
     for stm in std::mem::take(&mut kernel.body) {
         match stm {
             KStm::For { var, bound, body } if is_uniform(&bound) => {
@@ -2224,9 +2176,10 @@ pub fn tile_1d(kernel: &mut Kernel) {
                     var,
                     exp: KExp::Var(base).add(KExp::Var(ji)),
                 }];
-                inner.extend(body.iter().map(|s| {
-                    rewrite_reads(s.clone(), &local_of, var, ji)
-                }));
+                inner.extend(
+                    body.iter()
+                        .map(|s| rewrite_reads(s.clone(), &local_of, var, ji)),
+                );
                 tile_body.push(KStm::For {
                     var: ji,
                     bound: KExp::Var(lim),
@@ -2238,6 +2191,7 @@ pub fn tile_1d(kernel: &mut Kernel) {
                     bound: ntiles,
                     body: tile_body,
                 });
+                tiled = true;
             }
             other => new_body.push(other),
         }
@@ -2245,6 +2199,7 @@ pub fn tile_1d(kernel: &mut Kernel) {
     kernel.body = new_body;
     kernel.locals = locals;
     kernel.num_regs = next_reg;
+    tiled
 }
 
 fn is_uniform(e: &KExp) -> bool {
@@ -2265,12 +2220,7 @@ fn contains_barrier(stms: &[KStm]) -> bool {
     })
 }
 
-fn rewrite_reads(
-    stm: KStm,
-    local_of: &HashMap<usize, usize>,
-    j: Reg,
-    ji: Reg,
-) -> KStm {
+fn rewrite_reads(stm: KStm, local_of: &HashMap<usize, usize>, j: Reg, ji: Reg) -> KStm {
     match stm {
         KStm::GlobalRead { var, buf, index }
             if index == KExp::Var(j) && local_of.contains_key(&buf) =>
@@ -2321,7 +2271,6 @@ fn rewrite_reads(
 /// transfer, then sequential host work).
 fn body_has_soac(b: &Body) -> bool {
     b.stms.iter().any(|s| {
-        matches!(s.exp, Exp::Soac(_))
-            || s.exp.inner_bodies().into_iter().any(body_has_soac)
+        matches!(s.exp, Exp::Soac(_)) || s.exp.inner_bodies().into_iter().any(body_has_soac)
     })
 }

@@ -14,17 +14,39 @@ use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec};
 use crate::sim::{self, Arg, BufId, DeviceMemory, KernelStats, SimError};
 use futhark_core::traverse::{free_in_exp, free_in_lambda};
 use futhark_core::{
-    ArrayVal, Buffer, Exp, Name, PatElem, Program, Scalar, ScalarType, Size, SubExp, Type,
-    Value,
+    ArrayVal, Buffer, Exp, Name, PatElem, Program, Scalar, ScalarType, Size, SubExp, Type, Value,
 };
 use futhark_interp::{InterpError, Interpreter};
-use std::collections::HashMap;
+use futhark_trace::Json;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Host execution cost constants (documented substitutions: a ~1 GHz
 /// sequential core for interpreter fallbacks, PCIe-class transfers).
 const HOST_US_PER_OP: f64 = 0.002;
 const PCIE_GBPS: f64 = 12.0;
+
+/// A short tag naming the construct an interpreter fallback executed (for
+/// timeline attribution).
+fn exp_tag(e: &Exp) -> &'static str {
+    use futhark_core::Soac;
+    match e {
+        Exp::Soac(s) => match s {
+            Soac::Map { .. } => "soac.map",
+            Soac::Scan { .. } => "soac.scan",
+            Soac::Reduce { .. } => "soac.reduce",
+            Soac::Redomap { .. } => "soac.redomap",
+            Soac::Scatter { .. } => "soac.scatter",
+            Soac::StreamMap { .. } => "soac.stream_map",
+            Soac::StreamRed { .. } => "soac.stream_red",
+            Soac::StreamSeq { .. } => "soac.stream_seq",
+        },
+        Exp::Apply { .. } => "apply",
+        Exp::Loop { .. } => "loop",
+        Exp::If { .. } => "if",
+        _ => "host_exp",
+    }
+}
 
 /// A device array: a buffer plus logical shape and physical layout.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,8 +83,133 @@ enum HVal {
     Array(DArr),
 }
 
+/// One kernel launch, as it appears in the execution timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchRecord {
+    /// Kernel name (e.g. `segmap_1`).
+    pub kernel: String,
+    /// Number of work-groups dispatched.
+    pub num_groups: u64,
+    /// Work-group (thread-block) size.
+    pub group_size: u64,
+    /// Total threads launched.
+    pub num_threads: u64,
+    /// Cost counters of this launch alone.
+    pub stats: KernelStats,
+    /// Modelled duration, microseconds.
+    pub us: f64,
+}
+
+/// One entry of the ordered execution timeline. Every modelled-time
+/// increment of a run is attributed to exactly one event, so the event
+/// durations sum to [`PerfReport::total_us`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineEvent {
+    /// A kernel launch.
+    Launch(LaunchRecord),
+    /// A device builtin (transpose, iota, replicate, copy, concat, …).
+    DeviceOp {
+        /// Operation tag (`transpose`, `iota`, `copy`, `combine`, …).
+        what: String,
+        /// Bytes moved.
+        bytes: u64,
+        /// Modelled duration, microseconds.
+        us: f64,
+    },
+    /// An interpreter fallback (sequential host execution + transfers).
+    Fallback {
+        /// Tag of the unsupported construct (`soac`, `apply`, `loop`, …).
+        what: String,
+        /// Interpreter work units executed.
+        work: u64,
+        /// Modelled duration, microseconds.
+        us: f64,
+    },
+    /// A host synchronisation point (device→host scalar read, host-side
+    /// in-place update).
+    Sync {
+        /// Tag (`host_read`, `host_update`).
+        what: String,
+        /// Modelled duration, microseconds.
+        us: f64,
+    },
+}
+
+impl TimelineEvent {
+    /// The modelled duration of the event, microseconds.
+    pub fn us(&self) -> f64 {
+        match self {
+            TimelineEvent::Launch(l) => l.us,
+            TimelineEvent::DeviceOp { us, .. }
+            | TimelineEvent::Fallback { us, .. }
+            | TimelineEvent::Sync { us, .. } => *us,
+        }
+    }
+
+    /// Serialises to JSON (tagged by a `kind` field).
+    pub fn to_json(&self) -> Json {
+        match self {
+            TimelineEvent::Launch(l) => Json::obj(vec![
+                ("kind", Json::Str("launch".into())),
+                ("kernel", Json::Str(l.kernel.clone())),
+                ("num_groups", Json::U64(l.num_groups)),
+                ("group_size", Json::U64(l.group_size)),
+                ("num_threads", Json::U64(l.num_threads)),
+                ("stats", l.stats.to_json()),
+                ("us", Json::F64(l.us)),
+            ]),
+            TimelineEvent::DeviceOp { what, bytes, us } => Json::obj(vec![
+                ("kind", Json::Str("device_op".into())),
+                ("what", Json::Str(what.clone())),
+                ("bytes", Json::U64(*bytes)),
+                ("us", Json::F64(*us)),
+            ]),
+            TimelineEvent::Fallback { what, work, us } => Json::obj(vec![
+                ("kind", Json::Str("fallback".into())),
+                ("what", Json::Str(what.clone())),
+                ("work", Json::U64(*work)),
+                ("us", Json::F64(*us)),
+            ]),
+            TimelineEvent::Sync { what, us } => Json::obj(vec![
+                ("kind", Json::Str("sync".into())),
+                ("what", Json::Str(what.clone())),
+                ("us", Json::F64(*us)),
+            ]),
+        }
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &Json) -> Option<TimelineEvent> {
+        match j.get("kind")?.as_str()? {
+            "launch" => Some(TimelineEvent::Launch(LaunchRecord {
+                kernel: j.get("kernel")?.as_str()?.to_string(),
+                num_groups: j.get("num_groups")?.as_u64()?,
+                group_size: j.get("group_size")?.as_u64()?,
+                num_threads: j.get("num_threads")?.as_u64()?,
+                stats: KernelStats::from_json(j.get("stats")?)?,
+                us: j.get("us")?.as_f64()?,
+            })),
+            "device_op" => Some(TimelineEvent::DeviceOp {
+                what: j.get("what")?.as_str()?.to_string(),
+                bytes: j.get("bytes")?.as_u64()?,
+                us: j.get("us")?.as_f64()?,
+            }),
+            "fallback" => Some(TimelineEvent::Fallback {
+                what: j.get("what")?.as_str()?.to_string(),
+                work: j.get("work")?.as_u64()?,
+                us: j.get("us")?.as_f64()?,
+            }),
+            "sync" => Some(TimelineEvent::Sync {
+                what: j.get("what")?.as_str()?.to_string(),
+                us: j.get("us")?.as_f64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// Accumulated performance data for one program run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PerfReport {
     /// Total modelled time, microseconds.
     pub total_us: f64,
@@ -78,14 +225,97 @@ pub struct PerfReport {
     pub transposes: u64,
     /// Aggregated kernel statistics.
     pub stats: KernelStats,
-    /// Per-kernel breakdown: name → (launches, total µs, stats).
-    pub per_kernel: HashMap<String, (u64, f64, KernelStats)>,
+    /// Per-kernel breakdown: name → (launches, total µs, stats). Ordered,
+    /// so reports and serialised traces are deterministic.
+    pub per_kernel: BTreeMap<String, (u64, f64, KernelStats)>,
+    /// The ordered execution timeline (one event per modelled-time
+    /// increment; event durations sum to `total_us`).
+    pub timeline: Vec<TimelineEvent>,
 }
 
 impl PerfReport {
     /// Total time in milliseconds (the unit of the paper's Table 1).
     pub fn total_ms(&self) -> f64 {
         self.total_us / 1e3
+    }
+
+    /// Kernels ranked by total modelled time, descending (ties broken by
+    /// name, so the order is deterministic).
+    pub fn kernels_by_time(&self) -> Vec<(&str, &(u64, f64, KernelStats))> {
+        let mut v: Vec<_> = self
+            .per_kernel
+            .iter()
+            .map(|(k, e)| (k.as_str(), e))
+            .collect();
+        v.sort_by(|a, b| b.1 .1.total_cmp(&a.1 .1).then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total_us", Json::F64(self.total_us)),
+            ("kernel_us", Json::F64(self.kernel_us)),
+            ("device_op_us", Json::F64(self.device_op_us)),
+            ("fallback_us", Json::F64(self.fallback_us)),
+            ("launches", Json::U64(self.launches)),
+            ("transposes", Json::U64(self.transposes)),
+            ("stats", self.stats.to_json()),
+            (
+                "per_kernel",
+                Json::Obj(
+                    self.per_kernel
+                        .iter()
+                        .map(|(k, (n, us, st))| {
+                            (
+                                k.clone(),
+                                Json::obj(vec![
+                                    ("launches", Json::U64(*n)),
+                                    ("us", Json::F64(*us)),
+                                    ("stats", st.to_json()),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "timeline",
+                Json::Arr(self.timeline.iter().map(TimelineEvent::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &Json) -> Option<PerfReport> {
+        let mut per_kernel = BTreeMap::new();
+        for (k, e) in j.get("per_kernel")?.as_obj()? {
+            per_kernel.insert(
+                k.clone(),
+                (
+                    e.get("launches")?.as_u64()?,
+                    e.get("us")?.as_f64()?,
+                    KernelStats::from_json(e.get("stats")?)?,
+                ),
+            );
+        }
+        let timeline = j
+            .get("timeline")?
+            .as_arr()?
+            .iter()
+            .map(TimelineEvent::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(PerfReport {
+            total_us: j.get("total_us")?.as_f64()?,
+            kernel_us: j.get("kernel_us")?.as_f64()?,
+            device_op_us: j.get("device_op_us")?.as_f64()?,
+            fallback_us: j.get("fallback_us")?.as_f64()?,
+            launches: j.get("launches")?.as_u64()?,
+            transposes: j.get("transposes")?.as_u64()?,
+            stats: KernelStats::from_json(j.get("stats")?)?,
+            per_kernel,
+            timeline,
+        })
     }
 }
 
@@ -282,20 +512,38 @@ impl<'a> Executor<'a> {
         let logical = self.download_arr(d);
         let permuted = logical.rearrange(&wanted_full);
         let new_buf = self.mem.upload(permuted.data);
-        self.layout_cache
-            .insert((d.buf, wanted_full), new_buf);
+        self.layout_cache.insert((d.buf, wanted_full), new_buf);
         // Cost: one round over memory in, one out, plus a launch.
         let t = self.device.launch_overhead_us + self.device.memory_us(2.0 * d.bytes() as f64);
         self.report.device_op_us += t;
         self.report.total_us += t;
         self.report.transposes += 1;
+        self.report.timeline.push(TimelineEvent::DeviceOp {
+            what: "transpose".into(),
+            bytes: 2 * d.bytes(),
+            us: t,
+        });
         Ok(new_buf)
     }
 
-    fn device_op(&mut self, bytes: f64) {
+    fn device_op(&mut self, what: &str, bytes: f64) {
         let t = self.device.launch_overhead_us + self.device.memory_us(bytes);
         self.report.device_op_us += t;
         self.report.total_us += t;
+        self.report.timeline.push(TimelineEvent::DeviceOp {
+            what: what.into(),
+            bytes: bytes as u64,
+            us: t,
+        });
+    }
+
+    fn sync_point(&mut self, what: &str) {
+        let t = self.device.sync_overhead_us;
+        self.report.total_us += t;
+        self.report.timeline.push(TimelineEvent::Sync {
+            what: what.into(),
+            us: t,
+        });
     }
 
     fn body(&mut self, b: &HBody) -> EResult<Vec<HVal>> {
@@ -346,8 +594,7 @@ impl<'a> Executor<'a> {
                             for ((p, _), v) in params.iter().zip(&merge) {
                                 self.env.insert(p.name.clone(), v.clone());
                             }
-                            self.env
-                                .insert(var.clone(), HVal::Scalar(Scalar::I64(i)));
+                            self.env.insert(var.clone(), HVal::Scalar(Scalar::I64(i)));
                             merge = self.body(body)?;
                         }
                     }
@@ -358,11 +605,7 @@ impl<'a> Executor<'a> {
                         let cv = self.body(cond)?;
                         let c = match cv.first() {
                             Some(HVal::Scalar(Scalar::Bool(b))) => *b,
-                            _ => {
-                                return Err(ExecError::Plan(
-                                    "while condition not boolean".into(),
-                                ))
-                            }
+                            _ => return Err(ExecError::Plan("while condition not boolean".into())),
                         };
                         if !c {
                             break;
@@ -449,7 +692,7 @@ impl<'a> Executor<'a> {
             Exp::Iota(n) => {
                 let n = self.usize_of(n)?;
                 let buf = self.mem.upload(Buffer::I64((0..n as i64).collect()));
-                self.device_op((n * 8) as f64);
+                self.device_op("iota", (n * 8) as f64);
                 bind1(
                     self,
                     &stm.pat,
@@ -467,10 +710,8 @@ impl<'a> Executor<'a> {
                 match self.hval(v)? {
                     HVal::Scalar(s) => {
                         let t = s.scalar_type();
-                        let buf = self
-                            .mem
-                            .upload(Buffer::from_scalars(t, (0..n).map(|_| s)));
-                        self.device_op((n * t.byte_size()) as f64);
+                        let buf = self.mem.upload(Buffer::from_scalars(t, (0..n).map(|_| s)));
+                        self.device_op("replicate", (n * t.byte_size()) as f64);
                         bind1(
                             self,
                             &stm.pat,
@@ -492,7 +733,7 @@ impl<'a> Executor<'a> {
                             data.copy_from(i * row.data.len(), &row.data, 0, row.data.len());
                         }
                         let buf = self.mem.upload(data);
-                        self.device_op((total * row.elem_type().byte_size()) as f64);
+                        self.device_op("replicate", (total * row.elem_type().byte_size()) as f64);
                         bind1(
                             self,
                             &stm.pat,
@@ -511,12 +752,8 @@ impl<'a> Executor<'a> {
                 let d = self.array(a)?;
                 let data = self.mem.download(d.buf).clone();
                 let buf = self.mem.upload(data);
-                self.device_op(2.0 * d.bytes() as f64);
-                bind1(
-                    self,
-                    &stm.pat,
-                    HVal::Array(DArr { buf, ..d.clone() }),
-                );
+                self.device_op("copy", 2.0 * d.bytes() as f64);
+                bind1(self, &stm.pat, HVal::Array(DArr { buf, ..d.clone() }));
                 Ok(())
             }
             Exp::Rearrange { perm, array } => {
@@ -580,7 +817,7 @@ impl<'a> Executor<'a> {
                 let shape = joined.shape.clone();
                 let elem = joined.elem_type();
                 let buf = self.mem.upload(joined.data);
-                self.device_op(2.0 * bytes as f64);
+                self.device_op("concat", 2.0 * bytes as f64);
                 bind1(
                     self,
                     &stm.pat,
@@ -611,7 +848,7 @@ impl<'a> Executor<'a> {
                         })
                     })?;
                     // A device→host read.
-                    self.report.total_us += self.device.sync_overhead_us;
+                    self.sync_point("host_read");
                     bind1(self, &stm.pat, HVal::Scalar(v));
                 } else {
                     let slice = arr.index_slice(&idx).ok_or_else(|| {
@@ -623,7 +860,7 @@ impl<'a> Executor<'a> {
                     let shape = slice.shape.clone();
                     let elem = slice.elem_type();
                     let buf = self.mem.upload(slice.data);
-                    self.device_op(2.0 * bytes as f64);
+                    self.device_op("slice", 2.0 * bytes as f64);
                     bind1(
                         self,
                         &stm.pat,
@@ -654,8 +891,7 @@ impl<'a> Executor<'a> {
                             .ok_or_else(|| ExecError::Plan("bad index".into()))
                     })
                     .collect::<EResult<_>>()?;
-                let mut arr =
-                    ArrayVal::new(d.shape.clone(), self.mem.download(buf).clone());
+                let mut arr = ArrayVal::new(d.shape.clone(), self.mem.download(buf).clone());
                 let ok = match self.hval(value)? {
                     HVal::Scalar(s) => arr.update_scalar(&idx, s),
                     HVal::Array(vd) => {
@@ -669,7 +905,7 @@ impl<'a> Executor<'a> {
                     }));
                 }
                 let nbuf = self.mem.upload(arr.data);
-                self.report.total_us += self.device.sync_overhead_us;
+                self.sync_point("host_update");
                 bind1(
                     self,
                     &stm.pat,
@@ -693,8 +929,7 @@ impl<'a> Executor<'a> {
                     if let Some(hv) = self.env.get(&v).cloned() {
                         let val = self.download_value(&hv);
                         if let Value::Array(a) = &val {
-                            transfer_bytes +=
-                                (a.data.len() * a.elem_type().byte_size()) as f64;
+                            transfer_bytes += (a.data.len() * a.elem_type().byte_size()) as f64;
                         }
                         bindings.insert(v, val);
                     }
@@ -708,6 +943,11 @@ impl<'a> Executor<'a> {
                     + work as f64 * HOST_US_PER_OP;
                 self.report.fallback_us += t;
                 self.report.total_us += t;
+                self.report.timeline.push(TimelineEvent::Fallback {
+                    what: exp_tag(other).into(),
+                    work,
+                    us: t,
+                });
                 for (pe, v) in stm.pat.iter().zip(vals) {
                     let hv = self.upload_value(&v);
                     self.env.insert(pe.name.clone(), hv);
@@ -773,7 +1013,7 @@ impl<'a> Executor<'a> {
                     let d = self.array(src)?;
                     let b = self.materialise(&d, &[])?;
                     let data = self.mem.download(b).clone();
-                    self.device_op(2.0 * d.bytes() as f64);
+                    self.device_op("init_copy", 2.0 * d.bytes() as f64);
                     self.mem.upload(data)
                 }
                 None => self.mem.alloc(o.elem, total),
@@ -812,25 +1052,19 @@ impl<'a> Executor<'a> {
             .or_insert((0, 0.0, KernelStats::default()));
         entry.0 += 1;
         entry.1 += t;
-        let merged = &mut entry.2;
-        merged.threads += stats.threads;
-        merged.warp_instructions += stats.warp_instructions;
-        merged.global_transactions += stats.global_transactions;
-        merged.bus_bytes += stats.bus_bytes;
-        merged.useful_bytes += stats.useful_bytes;
-        merged.local_accesses += stats.local_accesses;
-        merged.barriers += stats.barriers;
-        self.report.stats = {
-            let mut s = self.report.stats;
-            s.threads += stats.threads;
-            s.warp_instructions += stats.warp_instructions;
-            s.global_transactions += stats.global_transactions;
-            s.bus_bytes += stats.bus_bytes;
-            s.useful_bytes += stats.useful_bytes;
-            s.local_accesses += stats.local_accesses;
-            s.barriers += stats.barriers;
-            s
-        };
+        entry.2.merge(&stats);
+        self.report.stats.merge(&stats);
+        let group_size = self.device.group_size as u64;
+        self.report
+            .timeline
+            .push(TimelineEvent::Launch(LaunchRecord {
+                kernel: kernel.name.clone(),
+                num_groups: num_threads.div_ceil(group_size),
+                group_size,
+                num_threads,
+                stats,
+                us: t,
+            }));
         for (pe, d) in pat.iter().zip(out_darrs) {
             self.env.insert(pe.name.clone(), HVal::Array(d));
         }
@@ -889,6 +1123,11 @@ impl<'a> Executor<'a> {
             + self.device.sync_overhead_us;
         self.report.device_op_us += t;
         self.report.total_us += t;
+        self.report.timeline.push(TimelineEvent::DeviceOp {
+            what: "combine".into(),
+            bytes: bytes as u64,
+            us: t,
+        });
         for (pe, v) in pat.iter().zip(acc) {
             let hv = self.upload_value(&v);
             self.env.insert(pe.name.clone(), hv);

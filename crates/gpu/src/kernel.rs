@@ -57,6 +57,7 @@ impl KExp {
     /// `self + other`, folding the `x + 0` identities so generated index
     /// arithmetic stays canonical (the tiling pattern matcher relies on
     /// `A[j]` lowering to a bare `Var(j)` index).
+    #[allow(clippy::should_implement_trait)] // inherent, so call sites need no trait import
     pub fn add(self, other: KExp) -> KExp {
         if matches!(other, KExp::Const(Scalar::I64(0))) {
             return self;
@@ -71,6 +72,7 @@ impl KExp {
     }
 
     /// `self * other`, folding `x * 1` and `x * 0`.
+    #[allow(clippy::should_implement_trait)] // inherent, so call sites need no trait import
     pub fn mul(self, other: KExp) -> KExp {
         if matches!(other, KExp::Const(Scalar::I64(1))) {
             return self;
@@ -90,11 +92,13 @@ impl KExp {
     }
 
     /// `self / other`.
+    #[allow(clippy::should_implement_trait)] // inherent, so call sites need no trait import
     pub fn div(self, other: KExp) -> KExp {
         KExp::BinOp(BinOp::Div, Box::new(self), Box::new(other))
     }
 
     /// `self % other`.
+    #[allow(clippy::should_implement_trait)] // inherent, so call sites need no trait import
     pub fn rem(self, other: KExp) -> KExp {
         KExp::BinOp(BinOp::Rem, Box::new(self), Box::new(other))
     }

@@ -14,6 +14,10 @@
 //!   pays the full segment even for 4 useful bytes);
 //! - local-memory accesses and barriers.
 
+// Lane loops index several parallel per-lane arrays (mask, offsets,
+// registers) by the same lane id; iterator rewrites obscure that.
+#![allow(clippy::needless_range_loop)]
+
 use crate::device::DeviceProfile;
 use crate::kernel::{KExp, KStm, Kernel};
 use futhark_core::{Buffer, Scalar, ScalarType};
@@ -105,7 +109,9 @@ impl KernelStats {
         }
     }
 
-    fn merge(&mut self, o: &KernelStats) {
+    /// Adds the counters of another launch into this one (used for
+    /// per-kernel and whole-run aggregation).
+    pub fn merge(&mut self, o: &KernelStats) {
         self.threads += o.threads;
         self.warp_instructions += o.warp_instructions;
         self.global_transactions += o.global_transactions;
@@ -113,6 +119,33 @@ impl KernelStats {
         self.useful_bytes += o.useful_bytes;
         self.local_accesses += o.local_accesses;
         self.barriers += o.barriers;
+    }
+
+    /// Serialises to JSON (for trace archives).
+    pub fn to_json(&self) -> futhark_trace::Json {
+        use futhark_trace::Json;
+        Json::obj(vec![
+            ("threads", Json::U64(self.threads)),
+            ("warp_instructions", Json::U64(self.warp_instructions)),
+            ("global_transactions", Json::U64(self.global_transactions)),
+            ("bus_bytes", Json::U64(self.bus_bytes)),
+            ("useful_bytes", Json::U64(self.useful_bytes)),
+            ("local_accesses", Json::U64(self.local_accesses)),
+            ("barriers", Json::U64(self.barriers)),
+        ])
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &futhark_trace::Json) -> Option<KernelStats> {
+        Some(KernelStats {
+            threads: j.get("threads")?.as_u64()?,
+            warp_instructions: j.get("warp_instructions")?.as_u64()?,
+            global_transactions: j.get("global_transactions")?.as_u64()?,
+            bus_bytes: j.get("bus_bytes")?.as_u64()?,
+            useful_bytes: j.get("useful_bytes")?.as_u64()?,
+            local_accesses: j.get("local_accesses")?.as_u64()?,
+            barriers: j.get("barriers")?.as_u64()?,
+        })
     }
 }
 
@@ -247,9 +280,9 @@ impl<'a> GroupCtx<'a> {
     /// buffer sizes): uses lane 0 semantics without lane state.
     fn eval_uniform(&self, e: &KExp) -> SResult<i64> {
         match e {
-            KExp::Const(k) => k.as_i64().ok_or_else(|| {
-                SimError::Scalar("non-integer uniform expression".into())
-            }),
+            KExp::Const(k) => k
+                .as_i64()
+                .ok_or_else(|| SimError::Scalar("non-integer uniform expression".into())),
             KExp::GroupSize => Ok(self.group_size as i64),
             KExp::ScalarArg(i) => self.scalars[*i]
                 .and_then(|s| s.as_i64())
@@ -272,9 +305,7 @@ impl<'a> GroupCtx<'a> {
         Ok(match e {
             KExp::Const(k) => *k,
             KExp::Var(r) => self.lanes[lane].regs[*r as usize],
-            KExp::GlobalId => {
-                Scalar::I64((self.group_id * self.group_size + lane as u64) as i64)
-            }
+            KExp::GlobalId => Scalar::I64((self.group_id * self.group_size + lane as u64) as i64),
             KExp::GroupId => Scalar::I64(self.group_id as i64),
             KExp::LocalId => Scalar::I64(lane as i64),
             KExp::GroupSize => Scalar::I64(self.group_size as i64),
@@ -311,9 +342,7 @@ impl<'a> GroupCtx<'a> {
     fn buffer_id(&self, arg: usize) -> SResult<BufId> {
         match &self.args[arg] {
             Arg::Buffer(b) => Ok(*b),
-            Arg::Scalar(_) => Err(SimError::Scalar(format!(
-                "argument {arg} is not a buffer"
-            ))),
+            Arg::Scalar(_) => Err(SimError::Scalar(format!("argument {arg} is not a buffer"))),
         }
     }
 
@@ -419,7 +448,11 @@ impl<'a> GroupCtx<'a> {
                     }
                     self.memory_access(mask, &offsets, elem.byte_size() as u64, stats);
                 }
-                KStm::LocalRead { var, mem: lm, index } => {
+                KStm::LocalRead {
+                    var,
+                    mem: lm,
+                    index,
+                } => {
                     self.issue(mask, index.op_count(), stats);
                     for lane in 0..mask.len() {
                         if mask[lane] {
@@ -437,7 +470,11 @@ impl<'a> GroupCtx<'a> {
                         }
                     }
                 }
-                KStm::LocalWrite { mem: lm, index, value } => {
+                KStm::LocalWrite {
+                    mem: lm,
+                    index,
+                    value,
+                } => {
                     self.issue(mask, index.op_count() + value.op_count(), stats);
                     for lane in 0..mask.len() {
                         if mask[lane] {
@@ -504,8 +541,7 @@ impl<'a> GroupCtx<'a> {
                     for lane in 0..mask.len() {
                         if mask[lane] {
                             let n = self.eval_index(len, lane)?.max(0) as usize;
-                            let v: Vec<Scalar> =
-                                self.lanes[lane].privs[*src][..n].to_vec();
+                            let v: Vec<Scalar> = self.lanes[lane].privs[*src][..n].to_vec();
                             self.lanes[lane].privs[*dst] = v;
                         }
                     }
@@ -564,7 +600,11 @@ impl<'a> GroupCtx<'a> {
                         }
                     }
                 }
-                KStm::If { cond, then_s, else_s } => {
+                KStm::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
                     self.issue(mask, cond.op_count(), stats);
                     let mut then_mask = vec![false; mask.len()];
                     let mut else_mask = vec![false; mask.len()];
@@ -717,9 +757,7 @@ mod tests {
                 KStm::Barrier,
                 KStm::Assign {
                     var: 0,
-                    exp: KExp::LocalId
-                        .add(KExp::i64(1))
-                        .rem(KExp::GroupSize),
+                    exp: KExp::LocalId.add(KExp::i64(1)).rem(KExp::GroupSize),
                 },
                 KStm::LocalRead {
                     var: 1,
@@ -737,7 +775,9 @@ mod tests {
         let n = 512usize;
         let out = mem.alloc(ScalarType::I64, n);
         let stats = launch(&dev, &k, n as u64, &[Arg::Buffer(out)], &mut mem).unwrap();
-        let Buffer::I64(v) = mem.download(out) else { panic!() };
+        let Buffer::I64(v) = mem.download(out) else {
+            panic!()
+        };
         assert_eq!(v[0], 1);
         assert_eq!(v[255], 0); // wraps within the first group of 256
         assert_eq!(v[256], 257);
@@ -776,7 +816,9 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let out = mem.alloc(ScalarType::I64, 64);
         launch(&dev, &k, 64, &[Arg::Buffer(out)], &mut mem).unwrap();
-        let Buffer::I64(v) = mem.download(out) else { panic!() };
+        let Buffer::I64(v) = mem.download(out) else {
+            panic!()
+        };
         assert_eq!(v[0], 1);
         assert_eq!(v[1], 2);
         assert_eq!(v[63], 2);
@@ -815,7 +857,9 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let out = mem.alloc(ScalarType::I64, 16);
         launch(&dev, &k, 16, &[Arg::Buffer(out)], &mut mem).unwrap();
-        let Buffer::I64(v) = mem.download(out) else { panic!() };
+        let Buffer::I64(v) = mem.download(out) else {
+            panic!()
+        };
         assert_eq!(v[0], 0);
         assert_eq!(v[5], 10);
         assert_eq!(v[15], 105);
@@ -837,6 +881,98 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(e, SimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn kernel_stats_invariants_hold_for_real_launches() {
+        // Whatever the access pattern, the bus never moves fewer bytes
+        // than the threads asked for, and efficiency stays in (0, 1].
+        let dev = DeviceProfile::gtx780();
+        for stride in [1i64, 7, 32] {
+            let n = 256usize;
+            let total = n * stride as usize;
+            let mut mem = DeviceMemory::new();
+            let a = mem.upload(Buffer::F32(vec![2.0; total]));
+            let b = mem.upload(Buffer::F32(vec![3.0; total]));
+            let c = mem.alloc(ScalarType::F32, total);
+            let stats = launch(
+                &dev,
+                &vecadd_kernel(stride),
+                n as u64,
+                &[Arg::Buffer(a), Arg::Buffer(b), Arg::Buffer(c)],
+                &mut mem,
+            )
+            .unwrap();
+            assert!(
+                stats.useful_bytes <= stats.bus_bytes,
+                "stride {stride}: useful {} > bus {}",
+                stats.useful_bytes,
+                stats.bus_bytes
+            );
+            let eff = stats.coalescing_efficiency();
+            assert!(
+                eff > 0.0 && eff <= 1.0,
+                "stride {stride}: efficiency {eff} outside (0, 1]"
+            );
+        }
+        // No memory traffic counts as perfectly coalesced.
+        assert_eq!(KernelStats::default().coalescing_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn kernel_stats_merge_sums_every_field() {
+        let a = KernelStats {
+            threads: 100,
+            warp_instructions: 40,
+            global_transactions: 9,
+            bus_bytes: 9 * 128,
+            useful_bytes: 800,
+            local_accesses: 12,
+            barriers: 2,
+        };
+        let b = KernelStats {
+            threads: 33,
+            warp_instructions: 7,
+            global_transactions: 4,
+            bus_bytes: 4 * 128,
+            useful_bytes: 300,
+            local_accesses: 5,
+            barriers: 1,
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.threads, a.threads + b.threads);
+        assert_eq!(
+            m.warp_instructions,
+            a.warp_instructions + b.warp_instructions
+        );
+        assert_eq!(
+            m.global_transactions,
+            a.global_transactions + b.global_transactions
+        );
+        assert_eq!(m.bus_bytes, a.bus_bytes + b.bus_bytes);
+        assert_eq!(m.useful_bytes, a.useful_bytes + b.useful_bytes);
+        assert_eq!(m.local_accesses, a.local_accesses + b.local_accesses);
+        assert_eq!(m.barriers, a.barriers + b.barriers);
+        // Merging the identity changes nothing.
+        let mut id = a;
+        id.merge(&KernelStats::default());
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn kernel_stats_round_trip_through_json() {
+        let s = KernelStats {
+            threads: 1024,
+            warp_instructions: 96,
+            global_transactions: 96,
+            bus_bytes: 96 * 128,
+            useful_bytes: 12288,
+            local_accesses: 7,
+            barriers: 3,
+        };
+        let back = KernelStats::from_json(&s.to_json()).expect("decodes");
+        assert_eq!(back, s);
     }
 
     #[test]

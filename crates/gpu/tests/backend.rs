@@ -151,7 +151,10 @@ fn tiling_rewrites_invariant_array_loops() {
         })
     }
     assert!(has_barrier(&tiled.kernels[0].body), "tiled kernel barriers");
-    assert!(!tiled.kernels[0].locals.is_empty(), "tiled kernel local mem");
+    assert!(
+        !tiled.kernels[0].locals.is_empty(),
+        "tiled kernel local mem"
+    );
     assert!(!has_barrier(&untiled.kernels[0].body));
     assert!(untiled.kernels[0].locals.is_empty());
 }
@@ -177,7 +180,9 @@ fn scatter_launch_initialises_output_from_destination() {
     );
     assert_eq!(
         out,
-        vec![Value::Array(ArrayVal::from_i64s(vec![9, 100, 9, 9, 200, 9]))]
+        vec![Value::Array(ArrayVal::from_i64s(vec![
+            9, 100, 9, 9, 200, 9
+        ]))]
     );
 }
 
@@ -216,7 +221,9 @@ fn stream_thread_count_balances_accumulator_footprint() {
         &[
             Value::i64(n as i64),
             Value::i64(128),
-            Value::Array(ArrayVal::from_i64s((0..n as i64).map(|i| i % 128).collect())),
+            Value::Array(ArrayVal::from_i64s(
+                (0..n as i64).map(|i| i % 128).collect(),
+            )),
         ],
     );
     assert!(
@@ -249,7 +256,10 @@ fn device_profiles_order_bandwidth_bound_kernels() {
         .1;
     let nv_pure = nv.kernel_us - DeviceProfile::gtx780().launch_overhead_us;
     let amd_pure = amd.kernel_us - DeviceProfile::w8100().launch_overhead_us;
-    assert!(nv_pure <= amd_pure, "nv {nv_pure:.2}us vs amd {amd_pure:.2}us");
+    assert!(
+        nv_pure <= amd_pure,
+        "nv {nv_pure:.2}us vs amd {amd_pure:.2}us"
+    );
 }
 
 #[test]

@@ -797,18 +797,18 @@ impl<'a> Interpreter<'a> {
                         continue; // out-of-bounds scatter writes are ignored
                     }
                     if vs.rank() == 1 {
-                        let v =
-                            vs.index_scalar(&[i])
-                                .ok_or_else(|| InterpError::OutOfBounds {
-                                    what: format!("scatter value {i}"),
-                                })?;
+                        let v = vs
+                            .index_scalar(&[i])
+                            .ok_or_else(|| InterpError::OutOfBounds {
+                                what: format!("scatter value {i}"),
+                            })?;
                         d.update_scalar(&[ix], v);
                     } else {
-                        let v = vs.index_slice(&[i]).ok_or_else(|| {
-                            InterpError::OutOfBounds {
+                        let v = vs
+                            .index_slice(&[i])
+                            .ok_or_else(|| InterpError::OutOfBounds {
                                 what: format!("scatter value {i}"),
-                            }
-                        })?;
+                            })?;
                         d.update_slice(&[ix], &v);
                     }
                 }

@@ -180,10 +180,7 @@ pub fn eval_unop(op: UnOp, a: Scalar) -> SResult {
         (Cos, F64(x)) => Ok(F64(x.cos())),
         (Tanh, F32(x)) => Ok(F32(x.tanh())),
         (Tanh, F64(x)) => Ok(F64(x.tanh())),
-        (op, a) => Err(type_err(format!(
-            "unary {op:?} on {:?}",
-            a.scalar_type()
-        ))),
+        (op, a) => Err(type_err(format!("unary {op:?} on {:?}", a.scalar_type()))),
     }
 }
 
@@ -265,7 +262,10 @@ mod tests {
 
     #[test]
     fn unary_ops() {
-        assert_eq!(eval_unop(UnOp::Neg, Scalar::I64(5)).unwrap(), Scalar::I64(-5));
+        assert_eq!(
+            eval_unop(UnOp::Neg, Scalar::I64(5)).unwrap(),
+            Scalar::I64(-5)
+        );
         assert_eq!(
             eval_unop(UnOp::Sqrt, Scalar::F64(9.0)).unwrap(),
             Scalar::F64(3.0)

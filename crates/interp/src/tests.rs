@@ -37,10 +37,7 @@ fn reduce_sum_and_scan() {
         ],
     );
     assert_eq!(out[0], Value::i64(10));
-    assert_eq!(
-        out[1],
-        Value::Array(ArrayVal::from_i64s(vec![1, 3, 6, 10]))
-    );
+    assert_eq!(out[1], Value::Array(ArrayVal::from_i64s(vec![1, 3, 6, 10])));
 }
 
 #[test]
@@ -63,10 +60,7 @@ fn nested_map_reduce_row_sums() {
         rows.data,
         futhark_core::Buffer::F32(vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
     );
-    assert_eq!(
-        out[1],
-        Value::Array(ArrayVal::from_f32s(vec![6.0, 15.0]))
-    );
+    assert_eq!(out[1], Value::Array(ArrayVal::from_f32s(vec![6.0, 15.0])));
 }
 
 /// The three K-means counts formulations of Figure 4 must agree.
@@ -238,15 +232,10 @@ fn scatter_ignores_out_of_bounds() {
 
 #[test]
 fn out_of_bounds_index_is_an_error() {
-    let (prog, _) = parse_program(
-        "fun main (n: i64) (xs: [n]i64): i64 =\n  let v = xs[n]\n  in v",
-    )
-    .unwrap();
+    let (prog, _) =
+        parse_program("fun main (n: i64) (xs: [n]i64): i64 =\n  let v = xs[n]\n  in v").unwrap();
     let e = Interpreter::new(&prog)
-        .run_main(&[
-            Value::i64(2),
-            Value::Array(ArrayVal::from_i64s(vec![1, 2])),
-        ])
+        .run_main(&[Value::i64(2), Value::Array(ArrayVal::from_i64s(vec![1, 2]))])
         .unwrap_err();
     assert!(matches!(e, InterpError::OutOfBounds { .. }));
 }
@@ -308,7 +297,10 @@ fn iota_replicate_concat() {
          let a = iota n\n  in a",
         &[Value::i64(4)],
     );
-    assert_eq!(out, vec![Value::Array(ArrayVal::from_i64s(vec![0, 1, 2, 3]))]);
+    assert_eq!(
+        out,
+        vec![Value::Array(ArrayVal::from_i64s(vec![0, 1, 2, 3]))]
+    );
 
     let out = run(
         "fun main (n: i64) (m: i64): i64 =\n\
@@ -319,7 +311,7 @@ fn iota_replicate_concat() {
          in s",
         &[Value::i64(3), Value::i64(2)],
     );
-    assert_eq!(out, vec![Value::i64(0 + 1 + 2 + 0 + 1)]);
+    assert_eq!(out, vec![Value::i64(4)]); // 0+1+2 + 0+1
 }
 
 #[test]
@@ -335,10 +327,9 @@ fn empty_map_produces_empty_arrays() {
 
 #[test]
 fn size_postcondition_checked() {
-    let (prog, _) = parse_program(
-        "fun main (n: i64) (xs: [n]i64): i64 =\n  let s = reduce (+) 0 xs\n  in s",
-    )
-    .unwrap();
+    let (prog, _) =
+        parse_program("fun main (n: i64) (xs: [n]i64): i64 =\n  let s = reduce (+) 0 xs\n  in s")
+            .unwrap();
     // Passing n=5 with a 3-element array must fail the dynamic size check.
     let e = Interpreter::new(&prog)
         .run_main(&[
@@ -352,6 +343,8 @@ fn size_postcondition_checked() {
 #[test]
 fn division_by_zero_reported() {
     let (prog, _) = parse_program("fun main (x: i64): i64 = let y = x / 0 in y").unwrap();
-    let e = Interpreter::new(&prog).run_main(&[Value::i64(1)]).unwrap_err();
+    let e = Interpreter::new(&prog)
+        .run_main(&[Value::i64(1)])
+        .unwrap_err();
     assert_eq!(e, InterpError::DivisionByZero);
 }

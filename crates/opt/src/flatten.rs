@@ -26,8 +26,8 @@
 use crate::fusion::chain_to_loop;
 use futhark_core::traverse::{free_in_body, free_in_exp, Subst};
 use futhark_core::{
-    ArrayType, Body, Exp, Lambda, LoopForm, Name, NameSource, Param, PatElem, Program,
-    ScalarType, Size, Soac, Stm, SubExp, Type,
+    ArrayType, Body, Exp, Lambda, LoopForm, Name, NameSource, Param, PatElem, Program, ScalarType,
+    Size, Soac, Stm, SubExp, Type,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -91,6 +91,7 @@ impl<'a> Flattener<'a> {
                 }
                 Exp::Soac(Soac::Reduce { .. }) if self.try_g5(&stm, &[]).is_some() => {
                     let stms = self.try_g5(&stm, &[]).expect("checked");
+                    futhark_trace::event("flatten.g5_segmented_reductions");
                     out.extend(stms);
                 }
                 Exp::Loop {
@@ -149,6 +150,7 @@ impl<'a> Flattener<'a> {
         arrs: Vec<Name>,
         out_pat: Vec<PatElem>,
     ) -> Vec<Stm> {
+        futhark_trace::event("flatten.g2_maps_distributed");
         let mut widths = ctx.to_vec();
         widths.push(width);
         let depth = widths.len();
@@ -222,10 +224,9 @@ impl<'a> Flattener<'a> {
                 }
                 // G5: reduce with a vectorised operator → transpose +
                 // segmented (map-of-reduce) form.
-                Exp::Soac(Soac::Reduce { .. })
-                    if self.try_g5(stm, widths).is_some() =>
-                {
+                Exp::Soac(Soac::Reduce { .. }) if self.try_g5(stm, widths).is_some() => {
                     let stms2 = self.try_g5(stm, widths).expect("checked");
+                    futhark_trace::event("flatten.g5_segmented_reductions");
                     out.extend(stms2);
                     i += 1;
                 }
@@ -235,7 +236,11 @@ impl<'a> Flattener<'a> {
                 | Exp::Soac(Soac::Scan { width: w, lam, .. })
                     if self.is_invariant(w) && lam.ret.iter().all(Type::is_scalar) =>
                 {
-                    let res = stm.pat.iter().map(|pe| SubExp::Var(pe.name.clone())).collect();
+                    let res = stm
+                        .pat
+                        .iter()
+                        .map(|pe| SubExp::Var(pe.name.clone()))
+                        .collect();
                     let group = Body::new(vec![stm.clone()], res);
                     out.extend(self.manifest(widths, group, stm.pat.clone()));
                     i += 1;
@@ -243,7 +248,11 @@ impl<'a> Flattener<'a> {
                 Exp::Soac(Soac::Redomap {
                     width: w, red_lam, ..
                 }) if self.is_invariant(w) && red_lam.ret.iter().all(Type::is_scalar) => {
-                    let res = stm.pat.iter().map(|pe| SubExp::Var(pe.name.clone())).collect();
+                    let res = stm
+                        .pat
+                        .iter()
+                        .map(|pe| SubExp::Var(pe.name.clone()))
+                        .collect();
                     let group = Body::new(vec![stm.clone()], res);
                     out.extend(self.manifest(widths, group, stm.pat.clone()));
                     i += 1;
@@ -263,8 +272,7 @@ impl<'a> Flattener<'a> {
                     let new_top = self.ns.fresh("rearr");
                     let new_ty = match &top_ty {
                         Type::Array(at) => {
-                            let dims =
-                                perm2.iter().map(|&p| at.dims[p].clone()).collect();
+                            let dims = perm2.iter().map(|&p| at.dims[p].clone()).collect();
                             Type::array_of(at.elem, dims)
                         }
                         t => t.clone(),
@@ -285,6 +293,7 @@ impl<'a> Flattener<'a> {
                             top: new_top,
                         },
                     );
+                    futhark_trace::event("flatten.g6_rearranges");
                     i += 1;
                 }
                 // G7: map–loop interchange when the loop body has inner
@@ -319,9 +328,7 @@ impl<'a> Flattener<'a> {
                     }
                     loop {
                         let outputs = self.group_outputs(&group, &stms[j..], &body.result);
-                        let irregular = outputs.iter().any(|pe| {
-                            !self.type_is_invariant(&pe.ty)
-                        });
+                        let irregular = outputs.iter().any(|pe| !self.type_is_invariant(&pe.ty));
                         if !irregular || j >= stms.len() {
                             break;
                         }
@@ -407,12 +414,7 @@ impl<'a> Flattener<'a> {
     }
 
     /// Outputs of a statement group: names it binds that later code needs.
-    fn group_outputs(
-        &self,
-        group: &[Stm],
-        rest: &[Stm],
-        result: &[SubExp],
-    ) -> Vec<PatElem> {
+    fn group_outputs(&self, group: &[Stm], rest: &[Stm], result: &[SubExp]) -> Vec<PatElem> {
         let mut needed: HashSet<Name> = HashSet::new();
         for s in rest {
             needed.extend(free_in_exp(&s.exp));
@@ -450,9 +452,9 @@ impl<'a> Flattener<'a> {
                         )
                     })
             }
-            Exp::Soac(Soac::Redomap {
-                width, red_lam, ..
-            }) => self.is_invariant(width) && red_lam.ret.iter().all(Type::is_scalar),
+            Exp::Soac(Soac::Redomap { width, red_lam, .. }) => {
+                self.is_invariant(width) && red_lam.ret.iter().all(Type::is_scalar)
+            }
             Exp::Rearrange { array, .. } => self.env.contains_key(array),
             Exp::Loop {
                 form: LoopForm::For { bound, .. },
@@ -485,12 +487,8 @@ impl<'a> Flattener<'a> {
     /// G1/G3: manifest the map-nest context around `body`, producing one
     /// perfect nest. `out` are the depth-local pattern elements; their
     /// lifted top arrays get fresh names and lift entries are registered.
-    fn manifest(
-        &mut self,
-        widths: &[SubExp],
-        body: Body,
-        out: Vec<PatElem>,
-    ) -> Vec<Stm> {
+    fn manifest(&mut self, widths: &[SubExp], body: Body, out: Vec<PatElem>) -> Vec<Stm> {
+        futhark_trace::event("flatten.nests_manifested");
         let depth = widths.len();
         // Needed lift entries.
         let mut free = free_in_body(&body);
@@ -514,11 +512,7 @@ impl<'a> Flattener<'a> {
         }
         let mut chains: Vec<Chain> = Vec::new();
         for (orig, e) in entries {
-            let names = e
-                .path
-                .iter()
-                .map(|_| self.ns.fresh_from(&orig))
-                .collect();
+            let names = e.path.iter().map(|_| self.ns.fresh_from(&orig)).collect();
             chains.push(Chain {
                 top_ty: self.ty_of(&e.top),
                 orig,
@@ -581,8 +575,7 @@ impl<'a> Flattener<'a> {
         let stm = inner_body.stms.into_iter().next().expect("one stm");
         // Register entries for the group outputs and record types.
         for (pe, top_pe) in out.iter().zip(&stm.pat) {
-            self.types
-                .insert(top_pe.name.clone(), top_pe.ty.clone());
+            self.types.insert(top_pe.name.clone(), top_pe.ty.clone());
             self.types.insert(pe.name.clone(), pe.ty.clone());
             self.env.insert(
                 pe.name.clone(),
@@ -753,7 +746,12 @@ impl<'a> Flattener<'a> {
         };
         // Distribute the segmented map in the current context (it becomes
         // a map^{d+1}(reduce) nest — a segmented reduction kernel).
-        let Soac::Map { width: sw, lam: sl, arrs: sa } = seg_map else {
+        let Soac::Map {
+            width: sw,
+            lam: sl,
+            arrs: sa,
+        } = seg_map
+        else {
             unreachable!()
         };
         let stms2 = self.distribute_map(widths, sw, sl, sa, stm.pat.clone());
@@ -771,6 +769,7 @@ impl<'a> Flattener<'a> {
         lbody: Body,
         out_pat: Vec<PatElem>,
     ) -> Vec<Stm> {
+        futhark_trace::event("flatten.g7_loop_interchanges");
         let depth = widths.len();
         let mut out = Vec::new();
         // Lifted merge parameters.
@@ -888,8 +887,7 @@ impl<'a> Flattener<'a> {
         out.push(Stm::new(top_pat.clone(), lifted_loop));
         for (pe, top_pe) in out_pat.iter().zip(&top_pat) {
             self.types.insert(pe.name.clone(), pe.ty.clone());
-            self.types
-                .insert(top_pe.name.clone(), top_pe.ty.clone());
+            self.types.insert(top_pe.name.clone(), top_pe.ty.clone());
             if depth == 0 {
                 unreachable!("interchange only fires under a map context");
             }
@@ -1034,7 +1032,10 @@ mod tests {
             .run_main(args)
             .unwrap_or_else(|e| panic!("flattened program failed: {e}\n{flat}"));
         for (a, b) in r1.iter().zip(&r2) {
-            assert!(a.approx_eq(b, 1e-5), "flattening changed semantics:\n{flat}");
+            assert!(
+                a.approx_eq(b, 1e-5),
+                "flattening changed semantics:\n{flat}"
+            );
         }
     }
 
@@ -1059,10 +1060,7 @@ mod tests {
             .count();
         assert!(top_soacs >= 2, "{f}");
         let m = ArrayVal::new(vec![2, 3], Buffer::F32(vec![1., 2., 3., 4., 5., 6.]));
-        run_both(
-            src,
-            &[Value::i64(2), Value::i64(3), Value::Array(m)],
-        );
+        run_both(src, &[Value::i64(2), Value::i64(3), Value::Array(m)]);
     }
 
     #[test]
@@ -1156,15 +1154,13 @@ mod tests {
         // The inner transpose becomes a host-level rearrange with an
         // expanded permutation (0,2,1).
         assert!(s.contains("rearrange (0, 2, 1)"), "{s}");
-        let x = ArrayVal::new(vec![2, 2, 3], Buffer::F32((0..12).map(|i| i as f32).collect()));
+        let x = ArrayVal::new(
+            vec![2, 2, 3],
+            Buffer::F32((0..12).map(|i| i as f32).collect()),
+        );
         run_both(
             src,
-            &[
-                Value::i64(2),
-                Value::i64(2),
-                Value::i64(3),
-                Value::Array(x),
-            ],
+            &[Value::i64(2), Value::i64(2), Value::i64(3), Value::Array(x)],
         );
     }
 

@@ -20,8 +20,8 @@
 
 use futhark_core::traverse::{alpha_rename_lambda, free_in_exp, free_in_lambda, Subst};
 use futhark_core::{
-    Body, Exp, Lambda, LoopForm, Name, NameSource, Param, PatElem, Program, ScalarType, Soac,
-    Stm, SubExp, Type,
+    Body, Exp, Lambda, LoopForm, Name, NameSource, Param, PatElem, Program, ScalarType, Soac, Stm,
+    SubExp, Type,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -190,6 +190,10 @@ fn try_vertical_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
             continue;
         }
         if let Some(fused) = fuse_pair(&body.stms[j], &body.stms[k], ns) {
+            if matches!(fused.exp, Exp::Soac(Soac::Redomap { .. })) {
+                futhark_trace::event("fusion.redomap");
+            }
+            futhark_trace::event("fusion.vertical");
             body.stms[k] = fused;
             body.stms.remove(j);
             return true;
@@ -245,8 +249,7 @@ fn fuse_pair(pstm: &Stm, cstm: &Stm, ns: &mut NameSource) -> Option<Stm> {
                 return None;
             }
             // map f ∘ reduce ⊕ => redomap ⊕ f (Section 4's redomap).
-            let (map_lam, arrs) =
-                passthrough_map_lambda(plam, parrs, carrs, &produced, ns)?;
+            let (map_lam, arrs) = passthrough_map_lambda(plam, parrs, carrs, &produced, ns)?;
             Some(Stm::new(
                 cstm.pat.clone(),
                 Exp::Soac(Soac::Redomap {
@@ -387,15 +390,11 @@ fn passthrough_map_lambda(
 
 fn try_horizontal_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
     for j in 0..body.stms.len() {
-        let Some(Soac::Map {
-            width: wj, ..
-        }) = soac_of(&body.stms[j])
-        else {
+        let Some(Soac::Map { width: wj, .. }) = soac_of(&body.stms[j]) else {
             continue;
         };
         let wj = wj.clone();
-        let j_outputs: HashSet<Name> =
-            body.stms[j].pat.iter().map(|pe| pe.name.clone()).collect();
+        let j_outputs: HashSet<Name> = body.stms[j].pat.iter().map(|pe| pe.name.clone()).collect();
         for k in j + 1..body.stms.len() {
             let Some(Soac::Map { width: wk, .. }) = soac_of(&body.stms[k]) else {
                 continue;
@@ -421,15 +420,18 @@ fn try_horizontal_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
                 continue;
             }
             // Merge k into j.
-            let (Exp::Soac(Soac::Map {
-                lam: jlam,
-                arrs: jarrs,
-                ..
-            }), Exp::Soac(Soac::Map {
-                lam: klam,
-                arrs: karrs,
-                ..
-            })) = (&body.stms[j].exp, &body.stms[k].exp)
+            let (
+                Exp::Soac(Soac::Map {
+                    lam: jlam,
+                    arrs: jarrs,
+                    ..
+                }),
+                Exp::Soac(Soac::Map {
+                    lam: klam,
+                    arrs: karrs,
+                    ..
+                }),
+            ) = (&body.stms[j].exp, &body.stms[k].exp)
             else {
                 unreachable!()
             };
@@ -459,6 +461,7 @@ fn try_horizontal_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
                     arrs,
                 }),
             );
+            futhark_trace::event("fusion.horizontal");
             body.stms[j] = fused;
             body.stms.remove(k);
             return true;
@@ -502,15 +505,16 @@ fn try_stream_reduce_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
         {
             continue;
         }
-        let (Exp::Soac(Soac::StreamMap {
-            width,
-            lam: slam,
-            arrs,
-        }), Exp::Soac(Soac::Reduce {
-            lam: rlam,
-            neutral,
-            ..
-        })) = (&body.stms[j].exp, &body.stms[k].exp)
+        let (
+            Exp::Soac(Soac::StreamMap {
+                width,
+                lam: slam,
+                arrs,
+            }),
+            Exp::Soac(Soac::Reduce {
+                lam: rlam, neutral, ..
+            }),
+        ) = (&body.stms[j].exp, &body.stms[k].exp)
         else {
             unreachable!()
         };
@@ -575,6 +579,7 @@ fn try_stream_reduce_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
                 arrs: arrs.clone(),
             }),
         );
+        futhark_trace::event("fusion.stream_red");
         body.stms[k] = new;
         body.stms.remove(j);
         return true;
@@ -615,12 +620,11 @@ pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
         let mut chain: Vec<usize> = vec![k];
         let mut cur_input = arrs[0].clone();
         let width = width.clone();
-        loop {
-            let Some(j) = body.stms.iter().position(|s| {
-                s.pat.len() == 1 && s.pat[0].name == cur_input
-            }) else {
-                break;
-            };
+        while let Some(j) = body
+            .stms
+            .iter()
+            .position(|s| s.pat.len() == 1 && s.pat[0].name == cur_input)
+        {
             match soac_of(&body.stms[j]) {
                 Some(Soac::Map {
                     width: w, arrs: a, ..
@@ -630,10 +634,7 @@ pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
                 }) if *w == width
                     && a.len() == 1
                     && counts.get(&cur_input) == Some(&1)
-                    && !body
-                        .result
-                        .iter()
-                        .any(|se| se.as_var() == Some(&cur_input)) =>
+                    && !body.result.iter().any(|se| se.as_var() == Some(&cur_input)) =>
                 {
                     chain.push(j);
                     cur_input = a[0].clone();
@@ -645,8 +646,8 @@ pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
             continue;
         }
         chain.reverse(); // now source-first
-        // Ensure the chain is contiguous enough to collapse: no statement
-        // between members defines or consumes anything the members use.
+                         // Ensure the chain is contiguous enough to collapse: no statement
+                         // between members defines or consumes anything the members use.
         let lo = *chain.first().unwrap();
         let hi = *chain.last().unwrap();
         if body.stms[lo..=hi]
@@ -699,10 +700,7 @@ pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
                     s.apply_body(&mut l.body);
                     loop_stms.extend(l.body.stms);
                     cur_val = l.body.result[0].clone();
-                    merge.push((
-                        Param::new(carry, cty),
-                        neutral[0].clone(),
-                    ));
+                    merge.push((Param::new(carry, cty), neutral[0].clone()));
                     final_results.push(cur_val.clone());
                 }
                 Exp::Soac(Soac::Reduce { lam, neutral, .. }) => {
@@ -759,6 +757,7 @@ pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
             }
         }
         // Replace: remove chain members except k, substitute statement k.
+        futhark_trace::event("fusion.chain_to_loop");
         let mut to_remove: Vec<usize> = chain[..chain.len() - 1].to_vec();
         body.stms[k] = new_stm;
         to_remove.sort_unstable_by(|a, b| b.cmp(a));

@@ -111,6 +111,7 @@ fn inline_in_body(body: &mut Body, prog: &Program, ns: &mut NameSource) -> bool 
                             Exp::SubExp(res.clone()),
                         ));
                     }
+                    futhark_trace::event("simplify.calls_inlined");
                     changed = true;
                     continue;
                 }
@@ -135,6 +136,7 @@ pub fn copy_propagate_body(body: &mut Body) {
         }
         if stm.pat.len() == 1 {
             if let Exp::SubExp(se) = &stm.exp {
+                futhark_trace::event("simplify.copies_propagated");
                 subst.bind(stm.pat[0].name.clone(), se.clone());
                 continue;
             }
@@ -165,6 +167,7 @@ pub fn constant_fold_body(body: &mut Body) {
             constant_fold_body(ib);
         }
         if let Some(folded) = fold_exp(&stm.exp) {
+            futhark_trace::event("simplify.constants_folded");
             stm.exp = folded;
         }
         // `if` with constant condition: splice the chosen branch.
@@ -175,7 +178,12 @@ pub fn constant_fold_body(body: &mut Body) {
             ..
         } = &stm.exp
         {
-            let chosen = if *b { then_body.clone() } else { else_body.clone() };
+            futhark_trace::event("simplify.branches_resolved");
+            let chosen = if *b {
+                then_body.clone()
+            } else {
+                else_body.clone()
+            };
             new_stms.extend(chosen.stms);
             for (pe, res) in stm.pat.iter().zip(&chosen.result) {
                 let mut e = Exp::SubExp(res.clone());
@@ -231,36 +239,33 @@ fn fold_exp(e: &Exp) -> Option<Exp> {
             .ok()
             .map(|k| Exp::SubExp(SubExp::Const(k))),
         // Algebraic identities (x+0, 0+x, x*1, 1*x, x*0, x-0, x/1).
-        Exp::BinOp(BinOp::Add, x, SubExp::Const(k)) | Exp::BinOp(BinOp::Add, SubExp::Const(k), x)
+        Exp::BinOp(BinOp::Add, x, SubExp::Const(k))
+        | Exp::BinOp(BinOp::Add, SubExp::Const(k), x)
             if is_zero(k) =>
         {
             Some(Exp::SubExp(x.clone()))
         }
-        Exp::BinOp(BinOp::Sub, x, SubExp::Const(k)) if is_zero(k) => {
-            Some(Exp::SubExp(x.clone()))
-        }
-        Exp::BinOp(BinOp::Mul, x, SubExp::Const(k)) | Exp::BinOp(BinOp::Mul, SubExp::Const(k), x)
+        Exp::BinOp(BinOp::Sub, x, SubExp::Const(k)) if is_zero(k) => Some(Exp::SubExp(x.clone())),
+        Exp::BinOp(BinOp::Mul, x, SubExp::Const(k))
+        | Exp::BinOp(BinOp::Mul, SubExp::Const(k), x)
             if is_one(k) =>
         {
             Some(Exp::SubExp(x.clone()))
         }
-        Exp::BinOp(BinOp::Mul, _, SubExp::Const(k)) | Exp::BinOp(BinOp::Mul, SubExp::Const(k), _)
+        Exp::BinOp(BinOp::Mul, _, SubExp::Const(k))
+        | Exp::BinOp(BinOp::Mul, SubExp::Const(k), _)
             if is_zero(k) && k.scalar_type().is_integral() =>
         {
             Some(Exp::SubExp(SubExp::Const(*k)))
         }
-        Exp::BinOp(BinOp::Div, x, SubExp::Const(k)) if is_one(k) => {
-            Some(Exp::SubExp(x.clone()))
-        }
+        Exp::BinOp(BinOp::Div, x, SubExp::Const(k)) if is_one(k) => Some(Exp::SubExp(x.clone())),
         _ => None,
     }
 }
 
 fn is_zero(k: &Scalar) -> bool {
-    matches!(
-        k,
-        Scalar::I32(0) | Scalar::I64(0)
-    ) || matches!(k, Scalar::F32(x) if *x == 0.0)
+    matches!(k, Scalar::I32(0) | Scalar::I64(0))
+        || matches!(k, Scalar::F32(x) if *x == 0.0)
         || matches!(k, Scalar::F64(x) if *x == 0.0)
 }
 
@@ -284,12 +289,12 @@ pub fn cse_body(body: &mut Body, seen: &mut HashMap<String, Name>) {
             let mut inner = seen.clone();
             cse_body(ib, &mut inner);
         }
-        let cse_able = stm.exp.is_scalar_cheap()
-            && !matches!(stm.exp, Exp::SubExp(_))
-            && stm.pat.len() == 1;
+        let cse_able =
+            stm.exp.is_scalar_cheap() && !matches!(stm.exp, Exp::SubExp(_)) && stm.pat.len() == 1;
         if cse_able {
             let key = format!("{}", stm.exp);
             if let Some(prev) = seen.get(&key) {
+                futhark_trace::event("simplify.cse_hits");
                 subst.bind(stm.pat[0].name.clone(), SubExp::Var(prev.clone()));
             } else {
                 seen.insert(key, stm.pat[0].name.clone());
@@ -436,6 +441,7 @@ fn hoist_from_exp(e: &mut Exp, outside: &HashSet<Name>) -> Vec<Stm> {
                 && !matches!(stm.exp, Exp::Index { .. })
                 && free_in_exp(&stm.exp).iter().all(|v| outside.contains(v));
             if invariant {
+                futhark_trace::event("simplify.hoisted");
                 out.push(stm);
             } else {
                 kept.push(stm);
@@ -467,11 +473,13 @@ pub fn dead_code_body(body: &mut Body, live_out: &HashSet<Name>) {
         }
     }
     let mut i = 0;
+    let before = body.stms.len();
     body.stms.retain(|_| {
         let k = keep[i];
         i += 1;
         k
     });
+    futhark_trace::event_n("simplify.dead_removed", (before - body.stms.len()) as u64);
     // Recurse: clean inner bodies too.
     for stm in &mut body.stms {
         let exp = &mut stm.exp;

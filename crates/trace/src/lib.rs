@@ -1,0 +1,380 @@
+//! `futhark-trace` — the observability backbone of futhark-rs.
+//!
+//! The paper's evaluation (Section 6, Table 1, Figure 13) attributes
+//! performance to individual optimisations: fusion, coalescing by
+//! transposition, tiling, in-place updates. That attribution needs
+//! *evidence*, so every pipeline phase records a [`PassSpan`] — wall-clock
+//! duration, IR size before/after, and [`Counters`] of the rewrite events
+//! that fired — collected into a [`CompileReport`]. The execution side
+//! (the simulated-GPU timeline) lives in `futhark-gpu`; both halves
+//! serialise through the in-tree [`json`] layer so whole traces can be
+//! archived next to benchmark output.
+//!
+//! The crate is dependency-free and IR-agnostic: compilers hand it
+//! pre-computed sizes and counter bumps, nothing more.
+
+pub mod json;
+
+pub use json::{Json, JsonError};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Named monotone event counters for one pass (fusion rules fired,
+/// transposes inserted, statements removed, …). Keys are ordered, so the
+/// rendering and the serialised form are deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters(BTreeMap<String, u64>);
+
+impl Counters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `key` by one.
+    pub fn bump(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increments `key` by `n` (a no-op for `n == 0`, so passes can report
+    /// "how many" unconditionally without creating empty entries).
+    pub fn add(&mut self, key: &str, n: u64) {
+        if n > 0 {
+            *self.0.entry(key.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// The current value of `key` (0 when never bumped).
+    pub fn get(&self, key: &str) -> u64 {
+        self.0.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether no event fired.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates counters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.0.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> Json {
+        json::map_to_json(&self.0)
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &Json) -> Option<Counters> {
+        json::map_from_json(j).map(Counters)
+    }
+}
+
+// ---- The scoped event sink ----
+//
+// Passes report rewrite events by key (`fusion.vertical`,
+// `codegen.fallback_sites`, …) without threading a counter handle through
+// every helper: [`event`] bumps the innermost active [`collect`] scope.
+// With no scope installed, events vanish at the cost of one thread-local
+// read, so untraced compilation stays effectively free.
+
+thread_local! {
+    static SINK: RefCell<Vec<Counters>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records one occurrence of `key` in the innermost active [`collect`]
+/// scope (a no-op outside any scope).
+pub fn event(key: &str) {
+    event_n(key, 1);
+}
+
+/// Records `n` occurrences of `key` (no-op for `n == 0` or outside a
+/// [`collect`] scope).
+pub fn event_n(key: &str, n: u64) {
+    if n == 0 {
+        return;
+    }
+    SINK.with(|s| {
+        if let Some(top) = s.borrow_mut().last_mut() {
+            top.add(key, n);
+        }
+    });
+}
+
+/// Runs `f` with a fresh event scope, returning its result together with
+/// every event recorded inside. Scopes nest: an inner scope's counters are
+/// also merged into the enclosing one when it closes, so outer totals stay
+/// consistent.
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Counters) {
+    SINK.with(|s| s.borrow_mut().push(Counters::new()));
+    let r = f();
+    let c = SINK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let c = stack.pop().expect("scope pushed above");
+        if let Some(parent) = stack.last_mut() {
+            parent.merge(&c);
+        }
+        c
+    });
+    (r, c)
+}
+
+/// IR size at a pipeline boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IrSize {
+    /// Number of statements (recursively, through nested bodies).
+    pub statements: u64,
+    /// Number of extracted kernels (0 before code generation).
+    pub kernels: u64,
+}
+
+impl IrSize {
+    /// A size with statements only.
+    pub fn stms(statements: u64) -> IrSize {
+        IrSize {
+            statements,
+            kernels: 0,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("statements", Json::U64(self.statements)),
+            ("kernels", Json::U64(self.kernels)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<IrSize> {
+        Some(IrSize {
+            statements: j.get("statements")?.as_u64()?,
+            kernels: j.get("kernels")?.as_u64()?,
+        })
+    }
+}
+
+/// One instrumented pipeline phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PassSpan {
+    /// Phase name (`parse`, `check`, `simplify`, `fusion`, `flatten`,
+    /// `codegen`, …).
+    pub name: String,
+    /// Wall-clock duration in microseconds.
+    pub wall_us: f64,
+    /// IR size entering the phase.
+    pub before: IrSize,
+    /// IR size leaving the phase.
+    pub after: IrSize,
+    /// Rewrite events that fired during the phase.
+    pub counters: Counters,
+}
+
+impl PassSpan {
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("wall_us", Json::F64(self.wall_us)),
+            ("before", self.before.to_json()),
+            ("after", self.after.to_json()),
+            ("counters", self.counters.to_json()),
+        ])
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &Json) -> Option<PassSpan> {
+        Some(PassSpan {
+            name: j.get("name")?.as_str()?.to_string(),
+            wall_us: j.get("wall_us")?.as_f64()?,
+            before: IrSize::from_json(j.get("before")?)?,
+            after: IrSize::from_json(j.get("after")?)?,
+            counters: Counters::from_json(j.get("counters")?)?,
+        })
+    }
+}
+
+/// An in-flight [`PassSpan`]: started before the phase runs, finished
+/// after, accumulating counters in between.
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: String,
+    start: Instant,
+    before: IrSize,
+    /// Counters for the running phase (pass a `&mut` into the pass).
+    pub counters: Counters,
+}
+
+impl SpanTimer {
+    /// Starts timing a phase.
+    pub fn start(name: &str, before: IrSize) -> SpanTimer {
+        SpanTimer {
+            name: name.to_string(),
+            start: Instant::now(),
+            before,
+            counters: Counters::new(),
+        }
+    }
+
+    /// Stops the clock and produces the span.
+    pub fn finish(self, after: IrSize) -> PassSpan {
+        PassSpan {
+            name: self.name,
+            wall_us: self.start.elapsed().as_secs_f64() * 1e6,
+            before: self.before,
+            after,
+            counters: self.counters,
+        }
+    }
+}
+
+/// The compile-side half of a trace: one span per pipeline phase, in
+/// execution order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompileReport {
+    /// The spans, in the order the phases ran.
+    pub passes: Vec<PassSpan>,
+}
+
+impl CompileReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a finished span.
+    pub fn push(&mut self, span: PassSpan) {
+        self.passes.push(span);
+    }
+
+    /// The first span with the given phase name.
+    pub fn pass(&self, name: &str) -> Option<&PassSpan> {
+        self.passes.iter().find(|p| p.name == name)
+    }
+
+    /// Total wall-clock time across phases, microseconds.
+    pub fn total_wall_us(&self) -> f64 {
+        self.passes.iter().map(|p| p.wall_us).sum()
+    }
+
+    /// A counter summed across all phases (e.g. `fusion.vertical`).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.passes.iter().map(|p| p.counters.get(key)).sum()
+    }
+
+    /// All counters of all phases merged (for "rewrites fired" overviews).
+    pub fn all_counters(&self) -> Counters {
+        let mut c = Counters::new();
+        for p in &self.passes {
+            c.merge(&p.counters);
+        }
+        c
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "passes",
+            Json::Arr(self.passes.iter().map(PassSpan::to_json).collect()),
+        )])
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &Json) -> Option<CompileReport> {
+        let passes = j
+            .get("passes")?
+            .as_arr()?
+            .iter()
+            .map(PassSpan::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(CompileReport { passes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CompileReport {
+        let mut r = CompileReport::new();
+        let mut t = SpanTimer::start("fusion", IrSize::stms(40));
+        t.counters.bump("fusion.vertical");
+        t.counters.add("fusion.vertical", 2);
+        t.counters.bump("fusion.horizontal");
+        r.push(t.finish(IrSize::stms(31)));
+        let mut t = SpanTimer::start("codegen", IrSize::stms(31));
+        t.counters.add("codegen.transposed_inputs", 4);
+        r.push(t.finish(IrSize {
+            statements: 31,
+            kernels: 3,
+        }));
+        r
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Counters::new();
+        a.bump("x");
+        a.add("x", 4);
+        a.add("zero", 0);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("zero"), 0);
+        assert_eq!(a.iter().count(), 1, "zero adds create no entries");
+        let mut b = Counters::new();
+        b.add("x", 10);
+        b.bump("y");
+        b.merge(&a);
+        assert_eq!(b.get("x"), 15);
+        assert_eq!(b.get("y"), 1);
+    }
+
+    #[test]
+    fn span_timer_records_sizes_and_counters() {
+        let r = sample_report();
+        let fusion = r.pass("fusion").expect("span exists");
+        assert_eq!(fusion.before.statements, 40);
+        assert_eq!(fusion.after.statements, 31);
+        assert_eq!(fusion.counters.get("fusion.vertical"), 3);
+        assert!(fusion.wall_us >= 0.0);
+        assert_eq!(r.counter("fusion.vertical"), 3);
+        assert_eq!(r.pass("codegen").unwrap().after.kernels, 3);
+        assert_eq!(r.all_counters().get("codegen.transposed_inputs"), 4);
+    }
+
+    #[test]
+    fn event_sink_scopes_and_nests() {
+        event("ignored.outside.any.scope");
+        let ((inner_r, inner_c), outer_c) = collect(|| {
+            event("outer.only");
+            collect(|| {
+                event("shared");
+                event_n("shared", 2);
+                event_n("zero", 0);
+                42
+            })
+        });
+        assert_eq!(inner_r, 42);
+        assert_eq!(inner_c.get("shared"), 3);
+        assert!(inner_c.iter().count() == 1);
+        assert_eq!(outer_c.get("outer.only"), 1);
+        assert_eq!(outer_c.get("shared"), 3, "inner scopes merge into outer");
+        let ((), after) = collect(|| {});
+        assert!(after.is_empty(), "scopes do not leak");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let rendered = r.to_json().render_pretty();
+        let back =
+            CompileReport::from_json(&Json::parse(&rendered).expect("parses")).expect("decodes");
+        assert_eq!(back, r);
+    }
+}

@@ -27,11 +27,10 @@ fun main (h: i64) (w: i64) (limit: i64): [h][w]i64 =
 fn main() -> Result<(), futhark::Error> {
     let (h, w, limit) = (24i64, 64i64, 64i64);
     let compiled = Compiler::new().compile(SRC)?;
-    let (out, perf) = compiled.run(Device::Gtx780, &[
-        Value::i64(h),
-        Value::i64(w),
-        Value::i64(limit),
-    ])?;
+    let (out, perf) = compiled.run(
+        Device::Gtx780,
+        &[Value::i64(h), Value::i64(w), Value::i64(limit)],
+    )?;
     let img = out[0].as_array().expect("image");
     let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     for r in 0..h {
@@ -46,6 +45,6 @@ fn main() -> Result<(), futhark::Error> {
         }
         println!("{line}");
     }
-    println!("{:.3} simulated ms on {}", perf.total_ms(), "GTX 780 Ti");
+    println!("{:.3} simulated ms on GTX 780 Ti", perf.total_ms());
     Ok(())
 }

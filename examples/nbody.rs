@@ -25,9 +25,15 @@ fun main (n: i64) (xs: [n]f32) (ys: [n]f32) (ms: [n]f32): ([n]f32, [n]f32) =
 
 fn main() -> Result<(), futhark::Error> {
     let n = 2048usize;
-    let xs: Vec<f32> = (0..n).map(|i| ((i * 37) % 100) as f32 / 50.0 - 1.0).collect();
-    let ys: Vec<f32> = (0..n).map(|i| ((i * 61) % 100) as f32 / 50.0 - 1.0).collect();
-    let ms: Vec<f32> = (0..n).map(|i| 0.1 + ((i * 13) % 10) as f32 / 10.0).collect();
+    let xs: Vec<f32> = (0..n)
+        .map(|i| ((i * 37) % 100) as f32 / 50.0 - 1.0)
+        .collect();
+    let ys: Vec<f32> = (0..n)
+        .map(|i| ((i * 61) % 100) as f32 / 50.0 - 1.0)
+        .collect();
+    let ms: Vec<f32> = (0..n)
+        .map(|i| 0.1 + ((i * 13) % 10) as f32 / 10.0)
+        .collect();
     let args = vec![
         Value::i64(n as i64),
         Value::Array(ArrayVal::from_f32s(xs)),

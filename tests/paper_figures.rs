@@ -64,7 +64,12 @@ fn figure4_work_complexity_and_agreement() {
         works[1]
     );
     // 4c stays within a small constant of 4a.
-    assert!(works[2] < works[0] * 8, "4c work {} vs 4a {}", works[2], works[0]);
+    assert!(
+        works[2] < works[0] * 8,
+        "4c work {} vs 4a {}",
+        works[2],
+        works[0]
+    );
 }
 
 /// Figure 10's fusion pipeline: stream_map consumed by a reduce becomes a
@@ -119,7 +124,10 @@ fn figure11_interchange_to_top_level() {
     futhark_opt::flatten::flatten_program(&mut prog, &mut ns);
     let main = prog.main().unwrap();
     assert!(
-        main.body.stms.iter().any(|s| matches!(s.exp, Exp::Loop { .. })),
+        main.body
+            .stms
+            .iter()
+            .any(|s| matches!(s.exp, Exp::Loop { .. })),
         "loop should be interchanged to the top level:\n{main}"
     );
     // And the whole thing still computes correctly on the GPU.
@@ -177,7 +185,11 @@ fn table1_shape_pins() {
         let b = get(name);
         let fut = b.run_futhark(Device::Gtx780).unwrap().total_ms();
         let rf = b.run_reference(Device::Gtx780).unwrap();
-        assert!(rf / fut > 1.2, "{name}: expected a Futhark win, got {:.2}x", rf / fut);
+        assert!(
+            rf / fut > 1.2,
+            "{name}: expected a Futhark win, got {:.2}x",
+            rf / fut
+        );
     }
     // Futhark loses on CFD, HotSpot, LavaMD, LocVolCalib on NVIDIA — the
     // paper's "4 out of 12" slower set.
@@ -185,7 +197,11 @@ fn table1_shape_pins() {
         let b = get(name);
         let fut = b.run_futhark(Device::Gtx780).unwrap().total_ms();
         let rf = b.run_reference(Device::Gtx780).unwrap();
-        assert!(rf / fut < 1.0, "{name}: expected a Futhark loss, got {:.2}x", rf / fut);
+        assert!(
+            rf / fut < 1.0,
+            "{name}: expected a Futhark loss, got {:.2}x",
+            rf / fut
+        );
     }
     // NN's speedup is smaller on AMD than NVIDIA (launch overheads).
     let nn = get("NN");

@@ -95,10 +95,7 @@ fn ablations_preserve_semantics() {
                 let compiled = Compiler::with_options(opts).compile(src).unwrap();
                 let (out, _) = compiled.run(Device::Gtx780, &args).unwrap();
                 for (a, b) in out.iter().zip(&baseline) {
-                    assert!(
-                        a.approx_eq(b, 1e-3),
-                        "options {opts:?} changed semantics"
-                    );
+                    assert!(a.approx_eq(b, 1e-3), "options {opts:?} changed semantics");
                 }
             }
         }
@@ -165,7 +162,10 @@ fn tiling_uses_local_memory_and_cuts_traffic() {
     for (a, b) in r1.iter().zip(&r2) {
         assert!(a.approx_eq(b, 1e-3));
     }
-    assert!(p1.stats.local_accesses > 0, "tiling should stage via local memory");
+    assert!(
+        p1.stats.local_accesses > 0,
+        "tiling should stage via local memory"
+    );
     assert_eq!(p2.stats.local_accesses, 0);
     assert!(
         p1.stats.bus_bytes < p2.stats.bus_bytes,

@@ -1,4 +1,7 @@
-//! Property-based tests (proptest) on the compiler's core invariants:
+//! Property-based tests on the compiler's core invariants, driven by the
+//! in-tree deterministic PRNG (the external proptest crate is not
+//! available offline; the properties and case counts match the original
+//! proptest suite):
 //!
 //! - every optimisation pass preserves interpreter semantics on randomly
 //!   generated programs from a structured family;
@@ -8,9 +11,11 @@
 //! - transformed programs still pass type and uniqueness checking.
 
 use futhark::{Compiler, Device, PipelineOptions};
+use futhark_bench::suite::Rng64;
 use futhark_core::{ArrayVal, Value};
 use futhark_interp::Interpreter;
-use proptest::prelude::*;
+
+const CASES: u64 = 24;
 
 /// A small expression language over one input array, rendered to Futhark
 /// source. Generates chains of maps/scans plus a reduction, which exercises
@@ -23,13 +28,23 @@ enum Stage {
     Scan,
 }
 
-fn stage_strategy() -> impl Strategy<Value = Stage> {
-    prop_oneof![
-        (-5i64..6).prop_map(Stage::MapAdd),
-        (1i64..4).prop_map(Stage::MapMul),
-        Just(Stage::MapSquareish),
-        Just(Stage::Scan),
-    ]
+fn gen_stage(rng: &mut Rng64) -> Stage {
+    match rng.gen_i64(0, 4) {
+        0 => Stage::MapAdd(rng.gen_i64(-5, 6)),
+        1 => Stage::MapMul(rng.gen_i64(1, 4)),
+        2 => Stage::MapSquareish,
+        _ => Stage::Scan,
+    }
+}
+
+fn gen_stages(rng: &mut Rng64, min: usize, max: usize) -> Vec<Stage> {
+    let n = rng.gen_i64(min as i64, max as i64) as usize;
+    (0..n).map(|_| gen_stage(rng)).collect()
+}
+
+fn gen_data(rng: &mut Rng64, lo: i64, hi: i64, max_len: usize) -> Vec<i64> {
+    let n = rng.gen_i64(1, max_len as i64) as usize;
+    (0..n).map(|_| rng.gen_i64(lo, hi)).collect()
 }
 
 fn render(stages: &[Stage], reduce_at_end: bool) -> String {
@@ -53,44 +68,44 @@ fn render(stages: &[Stage], reduce_at_end: bool) -> String {
         cur = next;
     }
     if reduce_at_end {
-        format!(
-            "fun main (n: i64) (xs: [n]i64): i64 =\n{body}  let r = reduce (+) 0 {cur}\n  in r"
-        )
+        format!("fun main (n: i64) (xs: [n]i64): i64 =\n{body}  let r = reduce (+) 0 {cur}\n  in r")
     } else {
         format!("fun main (n: i64) (xs: [n]i64): [n]i64 =\n{body}  in {cur}")
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn compiled_pipeline_matches_interpreter(
-        stages in proptest::collection::vec(stage_strategy(), 1..5),
-        reduce_at_end in any::<bool>(),
-        data in proptest::collection::vec(-100i64..100, 1..40),
-    ) {
+#[test]
+fn compiled_pipeline_matches_interpreter() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x1000 + case);
+        let stages = gen_stages(&mut rng, 1, 5);
+        let reduce_at_end = rng.gen_i64(0, 2) == 1;
+        let data = gen_data(&mut rng, -100, 100, 40);
         let src = render(&stages, reduce_at_end);
         let args = vec![
             Value::i64(data.len() as i64),
             Value::Array(ArrayVal::from_i64s(data)),
         ];
         let interp = futhark::interpret(&src, &args).expect("interpreter");
-        let compiled = Compiler::new().compile(&src)
+        let compiled = Compiler::new()
+            .compile(&src)
             .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
-        let (gpu, _) = compiled.run(Device::Gtx780, &args)
+        let (gpu, _) = compiled
+            .run(Device::Gtx780, &args)
             .unwrap_or_else(|e| panic!("gpu failed: {e}\n{src}"));
-        prop_assert_eq!(gpu.len(), interp.len());
+        assert_eq!(gpu.len(), interp.len());
         for (a, b) in gpu.iter().zip(&interp) {
-            prop_assert!(a.approx_eq(b, 1e-9), "{} != {} for\n{}", a, b, src);
+            assert!(a.approx_eq(b, 1e-9), "{a} != {b} for\n{src}");
         }
     }
+}
 
-    #[test]
-    fn each_pass_preserves_semantics(
-        stages in proptest::collection::vec(stage_strategy(), 1..5),
-        data in proptest::collection::vec(-50i64..50, 1..30),
-    ) {
+#[test]
+fn each_pass_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x2000 + case);
+        let stages = gen_stages(&mut rng, 1, 5);
+        let data = gen_data(&mut rng, -50, 50, 30);
         let src = render(&stages, true);
         let (prog, mut ns) = futhark_frontend::parse_program(&src).expect("parses");
         let args = vec![
@@ -101,45 +116,47 @@ proptest! {
 
         let mut p1 = prog.clone();
         futhark_opt::simplify::simplify_program(&mut p1, &mut ns);
-        prop_assert_eq!(
-            &Interpreter::new(&p1).run_main(&args).expect("simplified"),
-            &baseline
+        assert_eq!(
+            Interpreter::new(&p1).run_main(&args).expect("simplified"),
+            baseline
         );
         futhark_check::check_program(&p1).expect("simplified program checks");
 
         let mut p2 = p1.clone();
         futhark_opt::fusion::fuse_program(&mut p2, &mut ns);
-        prop_assert_eq!(
-            &Interpreter::new(&p2).run_main(&args).expect("fused"),
-            &baseline
+        assert_eq!(
+            Interpreter::new(&p2).run_main(&args).expect("fused"),
+            baseline
         );
         futhark_check::check_program(&p2).expect("fused program checks");
 
         let mut p3 = p2.clone();
         futhark_opt::flatten::flatten_program(&mut p3, &mut ns);
-        prop_assert_eq!(
-            &Interpreter::new(&p3).run_main(&args).expect("flattened"),
-            &baseline
+        assert_eq!(
+            Interpreter::new(&p3).run_main(&args).expect("flattened"),
+            baseline
         );
     }
+}
 
-    #[test]
-    fn stream_red_is_chunk_invariant(
-        data in proptest::collection::vec(0i64..8, 1..50),
-        chunk in 1usize..16,
-    ) {
-        // Figure 4c's histogram: any partitioning yields the same counts.
-        let src = "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
-                   let zeros = replicate k 0\n\
-                   let counts = stream_red (\\(x: [k]i64) (y: [k]i64) -> map (+) x y)\n\
-                     (\\(chunk: i64) (acc: [k]i64) (cs: [chunk]i64) ->\n\
-                       loop (a = acc) for i < chunk do (\n\
-                         let c = cs[i]\n\
-                         let old = a[c]\n\
-                         in a with [c] <- old + 1))\n\
-                     zeros membership\n\
-                   in counts";
-        let (prog, _) = futhark_frontend::parse_program(src).expect("parses");
+#[test]
+fn stream_red_is_chunk_invariant() {
+    // Figure 4c's histogram: any partitioning yields the same counts.
+    let src = "fun main (n: i64) (k: i64) (membership: [n]i64): [k]i64 =\n\
+               let zeros = replicate k 0\n\
+               let counts = stream_red (\\(x: [k]i64) (y: [k]i64) -> map (+) x y)\n\
+                 (\\(chunk: i64) (acc: [k]i64) (cs: [chunk]i64) ->\n\
+                   loop (a = acc) for i < chunk do (\n\
+                     let c = cs[i]\n\
+                     let old = a[c]\n\
+                     in a with [c] <- old + 1))\n\
+                 zeros membership\n\
+               in counts";
+    let (prog, _) = futhark_frontend::parse_program(src).expect("parses");
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x3000 + case);
+        let data = gen_data(&mut rng, 0, 8, 50);
+        let chunk = rng.gen_i64(1, 16) as usize;
         let args = vec![
             Value::i64(data.len() as i64),
             Value::i64(8),
@@ -149,32 +166,41 @@ proptest! {
         let mut chunked_interp = Interpreter::new(&prog);
         chunked_interp.set_chunk_size(chunk);
         let chunked = chunked_interp.run_main(&args).expect("chunked");
-        prop_assert_eq!(&whole, &chunked);
+        assert_eq!(whole, chunked);
         // And the GPU's own (thread-count dependent) partitioning agrees.
         let compiled = Compiler::new().compile(src).expect("compiles");
         let (gpu, _) = compiled.run(Device::Gtx780, &args).expect("runs");
-        prop_assert_eq!(&gpu, &whole);
+        assert_eq!(gpu, whole);
     }
+}
 
-    #[test]
-    fn ablation_switches_never_change_results(
-        stages in proptest::collection::vec(stage_strategy(), 1..4),
-        data in proptest::collection::vec(-20i64..20, 1..25),
-        fusion in any::<bool>(),
-        coalescing in any::<bool>(),
-        tiling in any::<bool>(),
-    ) {
+#[test]
+fn ablation_switches_never_change_results() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x4000 + case);
+        let stages = gen_stages(&mut rng, 1, 4);
+        let data = gen_data(&mut rng, -20, 20, 25);
+        let fusion = rng.gen_i64(0, 2) == 1;
+        let coalescing = rng.gen_i64(0, 2) == 1;
+        let tiling = rng.gen_i64(0, 2) == 1;
         let src = render(&stages, false);
         let args = vec![
             Value::i64(data.len() as i64),
             Value::Array(ArrayVal::from_i64s(data)),
         ];
         let interp = futhark::interpret(&src, &args).expect("interp");
-        let opts = PipelineOptions { fusion, coalescing, tiling, ..PipelineOptions::default() };
-        let compiled = Compiler::with_options(opts).compile(&src).expect("compiles");
+        let opts = PipelineOptions {
+            fusion,
+            coalescing,
+            tiling,
+            ..PipelineOptions::default()
+        };
+        let compiled = Compiler::with_options(opts)
+            .compile(&src)
+            .expect("compiles");
         let (gpu, _) = compiled.run(Device::Gtx780, &args).expect("runs");
         for (a, b) in gpu.iter().zip(&interp) {
-            prop_assert!(a.approx_eq(b, 1e-9), "{:?}", opts);
+            assert!(a.approx_eq(b, 1e-9), "{opts:?}");
         }
     }
 }
