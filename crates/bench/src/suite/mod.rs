@@ -7,53 +7,10 @@ pub mod rodinia;
 
 use futhark_core::{ArrayVal, Buffer, Value};
 
-/// A small deterministic PRNG (xorshift64* core seeded through splitmix64)
-/// for reproducible benchmark datasets. In-tree so the workspace builds
-/// without network access to crates.io.
-#[derive(Debug, Clone)]
-pub struct Rng64 {
-    state: u64,
-}
-
-impl Rng64 {
-    /// Seeds the generator; equal seeds give equal streams.
-    pub fn seed_from_u64(seed: u64) -> Rng64 {
-        // One splitmix64 round de-correlates small consecutive seeds.
-        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        Rng64 {
-            state: (z ^ (z >> 31)) | 1,
-        }
-    }
-
-    /// The next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    /// A uniform f64 in `[0, 1)`.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// A uniform f32 in `[lo, hi)`.
-    pub fn gen_f32(&mut self, lo: f32, hi: f32) -> f32 {
-        lo + (self.next_f64() as f32) * (hi - lo)
-    }
-
-    /// A uniform i64 in `[lo, hi)`.
-    pub fn gen_i64(&mut self, lo: i64, hi: i64) -> i64 {
-        debug_assert!(lo < hi);
-        let span = (hi - lo) as u64;
-        lo + (self.next_u64() % span) as i64
-    }
-}
+// The deterministic PRNG now lives in `futhark-core` so the differential
+// fuzzer shares one stream implementation; re-exported here for the
+// benchmark definitions and existing callers.
+pub use futhark_core::rng::Rng64;
 
 /// Deterministic RNG per benchmark (reproducible datasets).
 pub fn rng(seed: u64) -> Rng64 {

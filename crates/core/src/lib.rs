@@ -32,6 +32,7 @@ pub mod builder;
 pub mod ir;
 pub mod name;
 pub mod pretty;
+pub mod rng;
 pub mod traverse;
 pub mod types;
 pub mod value;
@@ -41,5 +42,6 @@ pub use ir::{
     SubExp, UnOp,
 };
 pub use name::{Name, NameSource};
+pub use rng::Rng64;
 pub use types::{ArrayType, DeclType, ScalarType, Size, Type};
 pub use value::{ArrayVal, Buffer, Value};

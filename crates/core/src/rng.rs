@@ -1,0 +1,100 @@
+//! A small deterministic PRNG (xorshift64* core seeded through splitmix64)
+//! shared by the benchmark datasets and the differential fuzzer. In-tree so
+//! the workspace builds without network access to crates.io; equal seeds
+//! give equal streams on every platform, which makes every fuzz failure
+//! reproducible from its seed alone.
+
+/// A deterministic xorshift64* generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Seeds the generator; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Rng64 {
+        // One splitmix64 round de-correlates small consecutive seeds.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Rng64 {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform f32 in `[lo, hi)`.
+    pub fn gen_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (self.next_f64() as f32) * (hi - lo)
+    }
+
+    /// A uniform i64 in `[lo, hi)`.
+    pub fn gen_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// A uniform usize in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "pick from empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A Bernoulli draw: true with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        debug_assert!(den > 0);
+        self.next_u64() % den < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Rng64;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = Rng64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let k = r.gen_i64(-5, 6);
+            assert!((-5..6).contains(&k));
+            let p = r.pick(3);
+            assert!(p < 3);
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let a = Rng64::seed_from_u64(1).next_u64();
+        let b = Rng64::seed_from_u64(2).next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -444,6 +444,47 @@ impl Value {
         }
     }
 
+    /// Exact bitwise equality: shapes, element types, and every element
+    /// identical, with floats compared by bit pattern (so `NaN == NaN` and
+    /// `0.0 != -0.0`). This is the differential-fuzzing oracle's notion of
+    /// agreement: any optimisation configuration that changes even one bit
+    /// of output is a bug by construction.
+    pub fn bit_eq(&self, other: &Value) -> bool {
+        fn scalar_bits(a: &Scalar, b: &Scalar) -> bool {
+            match (a, b) {
+                (Scalar::Bool(x), Scalar::Bool(y)) => x == y,
+                (Scalar::I32(x), Scalar::I32(y)) => x == y,
+                (Scalar::I64(x), Scalar::I64(y)) => x == y,
+                (Scalar::F32(x), Scalar::F32(y)) => x.to_bits() == y.to_bits(),
+                (Scalar::F64(x), Scalar::F64(y)) => x.to_bits() == y.to_bits(),
+                _ => false,
+            }
+        }
+        match (self, other) {
+            (Value::Scalar(a), Value::Scalar(b)) => scalar_bits(a, b),
+            (Value::Array(a), Value::Array(b)) => {
+                a.shape == b.shape
+                    && a.elem_type() == b.elem_type()
+                    && (0..a.data.len()).all(|i| scalar_bits(&a.data.get(i), &b.data.get(i)))
+            }
+            _ => false,
+        }
+    }
+
+    /// The first element position (row-major) where two values differ under
+    /// [`Value::bit_eq`], for diagnostics; `None` when equal or when the
+    /// difference is structural (shape or type).
+    pub fn first_mismatch(&self, other: &Value) -> Option<usize> {
+        if let (Value::Array(a), Value::Array(b)) = (self, other) {
+            if a.shape == b.shape && a.elem_type() == b.elem_type() {
+                return (0..a.data.len()).find(|&i| {
+                    !Value::Scalar(a.data.get(i)).bit_eq(&Value::Scalar(b.data.get(i)))
+                });
+            }
+        }
+        None
+    }
+
     /// Approximate equality: arrays/scalars equal up to a relative float
     /// tolerance. Used to compare interpreter and simulator outputs.
     pub fn approx_eq(&self, other: &Value, tol: f64) -> bool {
@@ -603,6 +644,28 @@ mod tests {
         let c = ArrayVal::concat(&[&a, &b]);
         assert_eq!(c.shape, vec![3]);
         assert_eq!(c.data, Buffer::I64(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn bit_eq_is_exact() {
+        let a = Value::Array(ArrayVal::from_i64s(vec![1, 2, 3]));
+        let b = Value::Array(ArrayVal::from_i64s(vec![1, 2, 3]));
+        let c = Value::Array(ArrayVal::from_i64s(vec![1, 2, 4]));
+        assert!(a.bit_eq(&b));
+        assert!(!a.bit_eq(&c));
+        assert_eq!(a.first_mismatch(&c), Some(2));
+        // NaNs agree bitwise; signed zeros do not.
+        let n1 = Value::Array(ArrayVal::from_f32s(vec![f32::NAN]));
+        let n2 = Value::Array(ArrayVal::from_f32s(vec![f32::NAN]));
+        assert!(n1.bit_eq(&n2));
+        let z1 = Value::f32(0.0);
+        let z2 = Value::f32(-0.0);
+        assert!(!z1.bit_eq(&z2));
+        // Shape mismatches are structural, not positional.
+        let flat = Value::Array(ArrayVal::from_i64s(vec![1, 2, 3, 4]));
+        let mat = Value::Array(ArrayVal::new(vec![2, 2], Buffer::I64(vec![1, 2, 3, 4])));
+        assert!(!flat.bit_eq(&mat));
+        assert_eq!(flat.first_mismatch(&mat), None);
     }
 
     #[test]

@@ -191,6 +191,16 @@ pub enum USoac {
         /// The input arrays.
         arrs: Vec<UExp>,
     },
+    /// `filter p xs`: keep the elements satisfying `p`, in order. Desugared
+    /// by the elaborator into flags + scan + scatter (there is no core
+    /// `filter` node), so the result's outer size is a dynamically computed
+    /// binding.
+    Filter {
+        /// The predicate (lambda or section), of type `t -> bool`.
+        op: Box<UExp>,
+        /// The input array.
+        arr: Box<UExp>,
+    },
     /// `scatter dest is vs`
     Scatter {
         /// Destination (consumed).

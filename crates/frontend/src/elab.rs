@@ -1104,6 +1104,165 @@ impl Elab {
                     rtys,
                 ))
             }
+            USoac::Filter { op, arr } => {
+                // There is no core `filter` node; desugar into SOACs the
+                // rest of the pipeline already understands:
+                //
+                //   flags = map (\x -> if p x then 1 else 0) xs
+                //   offs  = scan (+) 0 flags
+                //   count = reduce (+) 0 flags
+                //   dest  = replicate count 0
+                //   is    = map (\f o -> if f == 1 then o - 1 else -1) flags offs
+                //   res   = scatter dest is xs
+                //
+                // The result has the dynamically computed outer size `count`.
+                let (names, width, row_tys) =
+                    self.elab_arrays(env, stms, std::slice::from_ref(arr.as_ref()))?;
+                let xs = names[0].clone();
+                let Type::Scalar(elem) = row_tys[0] else {
+                    return err("filter requires a rank-1 array of scalars");
+                };
+                let pred = self.operator(
+                    env,
+                    stms,
+                    op,
+                    &row_tys,
+                    Some(&[Type::Scalar(ScalarType::Bool)]),
+                )?;
+                if pred.ret != [Type::Scalar(ScalarType::Bool)] {
+                    return err("filter predicate must return bool");
+                }
+                let i64t = Type::Scalar(ScalarType::I64);
+                let one = SubExp::Const(Scalar::I64(1));
+                let zero = SubExp::Const(Scalar::I64(0));
+
+                // Flags: run the predicate body, then select 1/0.
+                let fname = self.ns.fresh("flag");
+                let mut fstms = pred.body.stms.clone();
+                fstms.push(Stm::single(
+                    fname.clone(),
+                    i64t.clone(),
+                    Exp::If {
+                        cond: pred.body.result[0].clone(),
+                        then_body: Body::new(vec![], vec![one.clone()]),
+                        else_body: Body::new(vec![], vec![zero.clone()]),
+                        ret: vec![i64t.clone()],
+                    },
+                ));
+                let flags_lam = Lambda {
+                    params: pred.params.clone(),
+                    body: Body::new(fstms, vec![SubExp::Var(fname)]),
+                    ret: vec![i64t.clone()],
+                };
+                let outer = subexp_to_size(&width)?;
+                let flags_ty = Type::array_of(ScalarType::I64, vec![outer]);
+                let flags = self.ns.fresh("flags");
+                stms.push(Stm::single(
+                    flags.clone(),
+                    flags_ty.clone(),
+                    Exp::Soac(Soac::Map {
+                        width: width.clone(),
+                        lam: flags_lam,
+                        arrs: vec![xs.clone()],
+                    }),
+                ));
+
+                // Exclusive positions via inclusive scan, and the kept count.
+                let offs = self.ns.fresh("offs");
+                stms.push(Stm::single(
+                    offs.clone(),
+                    flags_ty.clone(),
+                    Exp::Soac(Soac::Scan {
+                        width: width.clone(),
+                        lam: self.plus_i64(),
+                        neutral: vec![zero.clone()],
+                        arrs: vec![flags.clone()],
+                    }),
+                ));
+                let count = self.ns.fresh("count");
+                stms.push(Stm::single(
+                    count.clone(),
+                    i64t.clone(),
+                    Exp::Soac(Soac::Reduce {
+                        width: width.clone(),
+                        lam: self.plus_i64(),
+                        neutral: vec![zero],
+                        arrs: vec![flags.clone()],
+                        comm: true,
+                    }),
+                ));
+                let dest = self.ns.fresh("dest");
+                let res_ty = Type::array_of(elem, vec![Size::Var(count.clone())]);
+                stms.push(Stm::single(
+                    dest.clone(),
+                    res_ty.clone(),
+                    Exp::Replicate(SubExp::Var(count), SubExp::Const(Scalar::zero(elem))),
+                ));
+
+                // Kept elements scatter to position-1; dropped ones to -1,
+                // which scatter ignores as out of bounds.
+                let fpar = self.ns.fresh("f");
+                let opar = self.ns.fresh("o");
+                let keep = self.ns.fresh("keep");
+                let idx = self.ns.fresh("idx");
+                let res_i = self.ns.fresh("i");
+                let then_body = Body::new(
+                    vec![Stm::single(
+                        idx.clone(),
+                        i64t.clone(),
+                        Exp::BinOp(BinOp::Sub, SubExp::Var(opar.clone()), one.clone()),
+                    )],
+                    vec![SubExp::Var(idx)],
+                );
+                let else_body = Body::new(vec![], vec![SubExp::Const(Scalar::I64(-1))]);
+                let is_lam = Lambda {
+                    params: vec![
+                        Param::new(fpar.clone(), i64t.clone()),
+                        Param::new(opar, i64t.clone()),
+                    ],
+                    body: Body::new(
+                        vec![
+                            Stm::single(
+                                keep.clone(),
+                                Type::Scalar(ScalarType::Bool),
+                                Exp::Cmp(CmpOp::Eq, SubExp::Var(fpar), one),
+                            ),
+                            Stm::single(
+                                res_i.clone(),
+                                i64t.clone(),
+                                Exp::If {
+                                    cond: SubExp::Var(keep),
+                                    then_body,
+                                    else_body,
+                                    ret: vec![i64t.clone()],
+                                },
+                            ),
+                        ],
+                        vec![SubExp::Var(res_i)],
+                    ),
+                    ret: vec![i64t],
+                };
+                let is = self.ns.fresh("is");
+                stms.push(Stm::single(
+                    is.clone(),
+                    flags_ty,
+                    Exp::Soac(Soac::Map {
+                        width: width.clone(),
+                        lam: is_lam,
+                        arrs: vec![flags, offs],
+                    }),
+                ));
+
+                Ok((
+                    Exp::Soac(Soac::Scatter {
+                        width,
+                        dest,
+                        indices: is,
+                        values: xs,
+                    }),
+                    vec![res_ty],
+                ))
+            }
             USoac::Scatter {
                 dest,
                 indices,
@@ -1266,6 +1425,29 @@ impl Elab {
             other => err(format!(
                 "expected a lambda or operator section, found {other:?}"
             )),
+        }
+    }
+
+    /// A fresh `\a b -> a + b` lambda on i64, used by the filter desugar.
+    fn plus_i64(&mut self) -> Lambda {
+        let a = self.ns.fresh("a");
+        let b = self.ns.fresh("b");
+        let r = self.ns.fresh("r");
+        let t = Type::Scalar(ScalarType::I64);
+        Lambda {
+            params: vec![
+                Param::new(a.clone(), t.clone()),
+                Param::new(b.clone(), t.clone()),
+            ],
+            body: Body::new(
+                vec![Stm::single(
+                    r.clone(),
+                    t.clone(),
+                    Exp::BinOp(BinOp::Add, SubExp::Var(a), SubExp::Var(b)),
+                )],
+                vec![SubExp::Var(r)],
+            ),
+            ret: vec![t],
         }
     }
 
@@ -1557,6 +1739,50 @@ mod tests {
             fold_lam.params[1].unique,
             "accumulator should be consumable"
         );
+    }
+
+    #[test]
+    fn filter_desugars_to_flags_scan_scatter() {
+        let (prog, _) = elab_src(
+            "fun main (n: i64) (xs: [n]i64): [n]i64 =\n  let r = filter (\\x -> x > 0) xs\n  in r",
+        );
+        let f = prog.main().unwrap();
+        // flags map, offsets scan, count reduce, replicate dest, index map,
+        // then the scatter producing the result.
+        let kinds: Vec<&str> = f
+            .body
+            .stms
+            .iter()
+            .map(|s| match &s.exp {
+                Exp::Soac(Soac::Map { .. }) => "map",
+                Exp::Soac(Soac::Scan { .. }) => "scan",
+                Exp::Soac(Soac::Reduce { .. }) => "reduce",
+                Exp::Soac(Soac::Scatter { .. }) => "scatter",
+                Exp::Replicate(..) => "replicate",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            ["map", "scan", "reduce", "replicate", "map", "scatter"]
+        );
+        // The result's outer size is the dynamically computed count.
+        let count = &f.body.stms[2].pat[0].name;
+        let res = f.body.stms.last().unwrap();
+        assert_eq!(
+            res.pat[0].ty,
+            Type::array_of(ScalarType::I64, vec![Size::Var(count.clone())])
+        );
+    }
+
+    #[test]
+    fn filter_rejects_non_bool_predicate() {
+        let up = parse(
+            "fun main (n: i64) (xs: [n]i64): [n]i64 =\n  let r = filter (\\x -> x + 1) xs\n  in r",
+        )
+        .unwrap();
+        let e = elaborate(&up).unwrap_err();
+        assert!(e.message.contains("bool"), "{e}");
     }
 
     #[test]

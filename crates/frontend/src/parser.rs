@@ -72,6 +72,7 @@ const SOAC_KEYWORDS: &[&str] = &[
     "stream_map",
     "stream_red",
     "stream_seq",
+    "filter",
     "scatter",
 ];
 
@@ -718,13 +719,14 @@ impl Parser {
             atoms.push(a);
         }
         // Drop an explicit width: recognised as a bare variable or integer
-        // in the first (operator) position. For scatter, a width is
-        // recognised only when 4 atoms are present.
+        // in the first (operator) position. For scatter and filter, whose
+        // leading argument is never a bare variable, a width is recognised
+        // purely by arity.
         let looks_like_width = |e: &UExp| matches!(e, UExp::Var(_) | UExp::IntLit(..));
-        let has_width = if kw == "scatter" {
-            atoms.len() == 4
-        } else {
-            !atoms.is_empty() && looks_like_width(&atoms[0])
+        let has_width = match kw {
+            "scatter" => atoms.len() == 4,
+            "filter" => atoms.len() == 3,
+            _ => !atoms.is_empty() && looks_like_width(&atoms[0]),
         };
         let mut it = atoms.into_iter();
         if has_width {
@@ -802,6 +804,11 @@ impl Parser {
                 let arrs: Vec<UExp> = it.collect();
                 USoac::StreamSeq { fold, accs, arrs }
             }
+            "filter" => {
+                let op = Box::new(need("predicate")?);
+                let arr = Box::new(need("input array")?);
+                USoac::Filter { op, arr }
+            }
             "scatter" => {
                 let dest = Box::new(need("destination")?);
                 let indices = Box::new(need("indices")?);
@@ -869,6 +876,22 @@ mod tests {
             },
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_filter() {
+        let e = parse_exp("filter (\\x -> x > 0) xs").unwrap();
+        match e {
+            UExp::Soac(USoac::Filter { op, arr }) => {
+                assert!(matches!(*op, UExp::Lambda(_)));
+                assert_eq!(*arr, UExp::Var("xs".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Three atoms means a leading width, which is discarded.
+        let with_width = parse_exp("filter n (\\x -> x > 0) xs").unwrap();
+        let without = parse_exp("filter (\\x -> x > 0) xs").unwrap();
+        assert_eq!(with_width, without);
     }
 
     #[test]

@@ -93,6 +93,68 @@ impl Default for PipelineOptions {
     }
 }
 
+impl PipelineOptions {
+    /// A short label naming the enabled optimisations, e.g.
+    /// `"simplify+fusion"` or `"none"` (checking is not an optimisation
+    /// and is not named).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.simplify {
+            parts.push("simplify");
+        }
+        if self.fusion {
+            parts.push("fusion");
+        }
+        if self.coalescing {
+            parts.push("coalescing");
+        }
+        if self.tiling {
+            parts.push("tiling");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// The ablation matrix used by the differential fuzzer and the Section
+    /// 6.1.1-style impact experiments: everything-on, everything-off, and
+    /// each optimisation switched off on its own. Checking stays on in
+    /// every configuration. Every member must produce bit-identical
+    /// results on every program the frontend accepts; the fuzzer treats
+    /// any difference as a bug.
+    pub fn ablation_matrix() -> Vec<PipelineOptions> {
+        let all = PipelineOptions::default();
+        vec![
+            all,
+            PipelineOptions {
+                simplify: false,
+                fusion: false,
+                coalescing: false,
+                tiling: false,
+                ..all
+            },
+            PipelineOptions {
+                simplify: false,
+                ..all
+            },
+            PipelineOptions {
+                fusion: false,
+                ..all
+            },
+            PipelineOptions {
+                coalescing: false,
+                ..all
+            },
+            PipelineOptions {
+                tiling: false,
+                ..all
+            },
+        ]
+    }
+}
+
 /// A pipeline error.
 #[derive(Debug)]
 pub enum Error {

@@ -1,0 +1,176 @@
+//! Corpus fixtures: self-contained minimal reproducers.
+//!
+//! A fixture is a single `.fut` file whose header comments carry the
+//! program inputs, one `-- input:` line per argument, followed by the
+//! program source. Because the lexer discards `--` comments, the whole
+//! file *is* the program — the replay harness parses the header for the
+//! arguments and feeds the unmodified file text to both executors.
+//!
+//! ```text
+//! -- futhark-fuzz fixture (seed 1, case 37)
+//! -- divergence: [fusion off on gtx780] mismatch: ...
+//! -- input: 3
+//! -- input: 2
+//! -- input: [1, 2, 3]
+//! -- input: [4, 5, 6]
+//! -- input: [[1, 2], [3, 4], [5, 6]]
+//! fun main (n: i64) ... = ...
+//! ```
+//!
+//! Supported input forms: `i64` scalars, 1-D `[a, b, c]` arrays, and 2-D
+//! `[[a, b], [c, d]]` row-major arrays (all i64).
+
+use futhark_core::{ArrayVal, Buffer, Scalar, Value};
+
+/// Renders one argument value as a fixture `-- input:` payload.
+pub fn render_value(v: &Value) -> String {
+    match v {
+        Value::Scalar(Scalar::I64(k)) => k.to_string(),
+        Value::Scalar(other) => panic!("fixture scalars must be i64, got {other:?}"),
+        Value::Array(a) => match a.shape.len() {
+            1 => {
+                let xs: Vec<String> = i64s(a).iter().map(|x| x.to_string()).collect();
+                format!("[{}]", xs.join(", "))
+            }
+            2 => {
+                let (rows, cols) = (a.shape[0], a.shape[1]);
+                let data = i64s(a);
+                let rs: Vec<String> = (0..rows)
+                    .map(|r| {
+                        let xs: Vec<String> = data[r * cols..(r + 1) * cols]
+                            .iter()
+                            .map(|x| x.to_string())
+                            .collect();
+                        format!("[{}]", xs.join(", "))
+                    })
+                    .collect();
+                format!("[{}]", rs.join(", "))
+            }
+            d => panic!("unsupported fixture rank {d}"),
+        },
+    }
+}
+
+fn i64s(a: &ArrayVal) -> Vec<i64> {
+    match &a.data {
+        Buffer::I64(v) => v.clone(),
+        other => panic!("fixture arrays must be i64, got {other:?}"),
+    }
+}
+
+/// Parses one `-- input:` payload back into a [`Value`].
+pub fn parse_value(text: &str) -> Result<Value, String> {
+    let text = text.trim();
+    if let Some(body) = text.strip_prefix("[[") {
+        let body = body
+            .strip_suffix("]]")
+            .ok_or_else(|| format!("unterminated 2-D array: {text}"))?;
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        for row in body.split("], [") {
+            rows.push(parse_i64_list(row)?);
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(format!("ragged 2-D array: {text}"));
+        }
+        let shape = vec![rows.len(), cols];
+        let flat: Vec<i64> = rows.into_iter().flatten().collect();
+        Ok(Value::Array(ArrayVal::new(shape, Buffer::I64(flat))))
+    } else if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array: {text}"))?;
+        Ok(Value::Array(ArrayVal::from_i64s(parse_i64_list(body)?)))
+    } else {
+        text.parse::<i64>()
+            .map(Value::i64)
+            .map_err(|e| format!("bad scalar {text:?}: {e}"))
+    }
+}
+
+fn parse_i64_list(body: &str) -> Result<Vec<i64>, String> {
+    let body = body.trim();
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<i64>()
+                .map_err(|e| format!("bad element {t:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Builds the full fixture text for a failing case.
+pub fn render_fixture(header: &[String], args: &[Value], source: &str) -> String {
+    let mut out = String::new();
+    for line in header {
+        out.push_str("-- ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for a in args {
+        out.push_str("-- input: ");
+        out.push_str(&render_value(a));
+        out.push('\n');
+    }
+    out.push_str(source);
+    if !source.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts the arguments from a fixture's header. The returned source is
+/// the *whole* fixture text: the header lines are comments the lexer
+/// skips, so the file replays as-is.
+pub fn parse_fixture(text: &str) -> Result<Vec<Value>, String> {
+    let mut args = Vec::new();
+    for line in text.lines() {
+        if let Some(payload) = line.trim().strip_prefix("-- input:") {
+            args.push(parse_value(payload)?);
+        }
+    }
+    if args.is_empty() {
+        return Err("fixture has no `-- input:` lines".to_string());
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let vals = vec![
+            Value::i64(-17),
+            Value::Array(ArrayVal::from_i64s(vec![1, -2, 3])),
+            Value::Array(ArrayVal::new(
+                vec![2, 3],
+                Buffer::I64(vec![1, 2, 3, 4, 5, 6]),
+            )),
+            Value::Array(ArrayVal::from_i64s(Vec::new())),
+        ];
+        for v in &vals {
+            let back = parse_value(&render_value(v)).unwrap();
+            assert!(v.bit_eq(&back), "{v:?} vs {back:?}");
+        }
+    }
+
+    #[test]
+    fn fixture_round_trips_and_is_valid_source() {
+        let args = vec![Value::i64(2), Value::Array(ArrayVal::from_i64s(vec![3, 4]))];
+        let src = "fun main (n: i64) (xs: [n]i64): [n]i64 =\n  let r = map (+ 1) xs\n  in r";
+        let text = render_fixture(&["futhark-fuzz fixture (test)".to_string()], &args, src);
+        let parsed = parse_fixture(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].bit_eq(&args[0]));
+        assert!(parsed[1].bit_eq(&args[1]));
+        // The whole fixture (comments included) runs through the
+        // interpreter unmodified.
+        let out = futhark::interpret(&text, &parsed).unwrap();
+        assert!(out[0].bit_eq(&Value::Array(ArrayVal::from_i64s(vec![4, 5]))));
+    }
+}

@@ -1,0 +1,1133 @@
+//! Type-directed random program generation.
+//!
+//! A generated program is a straight-line list of [`Stage`]s over a fixed
+//! entry-point signature:
+//!
+//! ```text
+//! fun main (n: i64) (m: i64) (xs0: [n]i64) (xs1: [n]i64) (mat: [n][m]i64): [n]i64
+//! ```
+//!
+//! Each stage binds one new value (a scalar, a rank-1 array, or a 2-D
+//! array) computed from earlier bindings, so the meta-program is a DAG of
+//! slot references — easy to generate type-correctly and easy to shrink by
+//! deleting stages and re-resolving references (`crate::shrink`). A final
+//! *observation block* folds every live binding into the `[n]i64` result so
+//! that any difference anywhere in the program is visible in the output.
+//!
+//! Programs are restricted to `i64` and `bool` values: integer arithmetic
+//! is exact (two's-complement wrapping on both the interpreter and the
+//! simulator), so the differential oracle can demand **bit-identical**
+//! results across devices and optimisation configurations. Division and
+//! remainder only ever appear with non-zero constant divisors, and all
+//! explicit indexing is rendered modulo the statically known array length,
+//! so generated programs cannot fault; `scatter` indices are deliberately
+//! left wild (negative, out of bounds, duplicated) because scatter ignores
+//! out-of-bounds writes by definition.
+
+use futhark_core::{ArrayVal, Buffer, Rng64, Value};
+use std::fmt::Write as _;
+
+/// Slots `0..INITIAL_SLOTS` are the entry point's parameters:
+/// `n`, `m`, `xs0`, `xs1`, `mat`. Stage `i` binds slot `INITIAL_SLOTS + i`.
+pub const INITIAL_SLOTS: usize = 5;
+
+/// The statically known length class of a rank-1 array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LenClass {
+    /// Length `n` (the first size parameter); never empty.
+    N,
+    /// Length `m` (the second size parameter); never empty.
+    M,
+    /// The dynamically computed length of the filter at stage `id`
+    /// (and of everything mapped from its output); possibly empty.
+    Dyn(u32),
+}
+
+/// Orientation of a 2-D array slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orient {
+    /// `[n][m]i64`.
+    Nm,
+    /// `[m][n]i64` (after a transposition).
+    Mn,
+}
+
+/// The type of a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// An `i64` scalar.
+    Scalar,
+    /// A rank-1 `i64` array of the given length class.
+    Arr(LenClass),
+    /// A 2-D `i64` array.
+    Mat(Orient),
+}
+
+/// A comparison operator (used in predicates and `if` conditions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum COp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl COp {
+    /// Surface syntax.
+    pub fn sym(self) -> &'static str {
+        match self {
+            COp::Eq => "==",
+            COp::Ne => "!=",
+            COp::Lt => "<",
+            COp::Le => "<=",
+            COp::Gt => ">",
+            COp::Ge => ">=",
+        }
+    }
+}
+
+/// An associative operator for `reduce`/`scan`, with its true identity
+/// element (a non-identity "neutral" would be applied a config-dependent
+/// number of times by chunked execution and break the oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AOp {
+    /// Wrapping addition, identity 0.
+    Add,
+    /// Wrapping multiplication, identity 1.
+    Mul,
+    /// Minimum, identity `i64::MAX`.
+    Min,
+    /// Maximum, identity `i64::MIN`.
+    Max,
+}
+
+impl AOp {
+    /// The operator atom in SOAC position.
+    pub fn op_str(self) -> &'static str {
+        match self {
+            AOp::Add => "(+)",
+            AOp::Mul => "(*)",
+            AOp::Min => "min",
+            AOp::Max => "max",
+        }
+    }
+
+    /// The identity element as a parseable atom (`i64::MIN` has no literal
+    /// form, so it is spelled as an expression).
+    pub fn neutral_str(self) -> &'static str {
+        match self {
+            AOp::Add => "0",
+            AOp::Mul => "1",
+            AOp::Min => "9223372036854775807",
+            AOp::Max => "(-9223372036854775807 - 1)",
+        }
+    }
+}
+
+/// A scalar expression over at most two variables, rendered fully
+/// parenthesised. `B` is only meaningful in binary contexts (second map
+/// input, loop counter); unary contexts never generate it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExp {
+    /// The first variable.
+    A,
+    /// The second variable.
+    B,
+    /// A constant.
+    C(i64),
+    /// Wrapping addition.
+    Add(Box<SExp>, Box<SExp>),
+    /// Wrapping subtraction.
+    Sub(Box<SExp>, Box<SExp>),
+    /// Wrapping multiplication.
+    Mul(Box<SExp>, Box<SExp>),
+    /// Division by a non-zero constant.
+    DivC(Box<SExp>, i64),
+    /// Remainder by a non-zero constant.
+    RemC(Box<SExp>, i64),
+    /// `if l < r then t else e`.
+    IfLt(Box<SExp>, Box<SExp>, Box<SExp>, Box<SExp>),
+}
+
+impl SExp {
+    /// Renders with the given variable names.
+    pub fn render(&self, a: &str, b: &str) -> String {
+        match self {
+            SExp::A => a.to_string(),
+            SExp::B => b.to_string(),
+            SExp::C(v) => format!("({v})"),
+            SExp::Add(l, r) => format!("({} + {})", l.render(a, b), r.render(a, b)),
+            SExp::Sub(l, r) => format!("({} - {})", l.render(a, b), r.render(a, b)),
+            SExp::Mul(l, r) => format!("({} * {})", l.render(a, b), r.render(a, b)),
+            SExp::DivC(l, c) => format!("({} / ({c}))", l.render(a, b)),
+            SExp::RemC(l, c) => format!("({} % ({c}))", l.render(a, b)),
+            SExp::IfLt(l, r, t, e) => format!(
+                "(if {} < {} then {} else {})",
+                l.render(a, b),
+                r.render(a, b),
+                t.render(a, b),
+                e.render(a, b)
+            ),
+        }
+    }
+
+    /// Node count (used to order shrinking candidates).
+    pub fn size(&self) -> usize {
+        match self {
+            SExp::A | SExp::B | SExp::C(_) => 1,
+            SExp::Add(l, r) | SExp::Sub(l, r) | SExp::Mul(l, r) => 1 + l.size() + r.size(),
+            SExp::DivC(l, _) | SExp::RemC(l, _) => 1 + l.size(),
+            SExp::IfLt(l, r, t, e) => 1 + l.size() + r.size() + t.size() + e.size(),
+        }
+    }
+}
+
+/// A boolean predicate over one variable: `lhs <op> rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pred {
+    /// The comparison.
+    pub op: COp,
+    /// Left operand.
+    pub lhs: SExp,
+    /// Right operand.
+    pub rhs: SExp,
+}
+
+impl Pred {
+    /// Renders with the given variable name.
+    pub fn render(&self, a: &str) -> String {
+        format!(
+            "({} {} {})",
+            self.lhs.render(a, a),
+            self.op.sym(),
+            self.rhs.render(a, a)
+        )
+    }
+}
+
+/// One generated binding. Fields named `src`/`a`/`b`/… are slot indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// `map (\x -> f x) src` over any array.
+    MapUnary {
+        /// Input array slot.
+        src: usize,
+        /// Elementwise function.
+        f: SExp,
+    },
+    /// `map (\x y -> f x y) a b`; both arrays share a length class.
+    MapBinary {
+        /// First input.
+        a: usize,
+        /// Second input (same [`LenClass`]).
+        b: usize,
+        /// Elementwise function.
+        f: SExp,
+    },
+    /// `scan op neutral src`.
+    Scan {
+        /// Input array slot.
+        src: usize,
+        /// Associative operator.
+        op: AOp,
+    },
+    /// `reduce op neutral src` (produces a scalar).
+    Reduce {
+        /// Input array slot.
+        src: usize,
+        /// Associative operator.
+        op: AOp,
+    },
+    /// `filter (\x -> pred) src`; output length is dynamic.
+    Filter {
+        /// Input array slot.
+        src: usize,
+        /// Keep-predicate.
+        pred: Pred,
+    },
+    /// The observed length of an array: `reduce (+) 0 (map (\_ -> 1) src)`.
+    Count {
+        /// Input array slot.
+        src: usize,
+    },
+    /// `scatter (replicate n init) (map idx_f idx) vals`; indices may be
+    /// out of bounds or duplicated on purpose.
+    Scatter {
+        /// Array the indices are computed from.
+        idx: usize,
+        /// Index function (arbitrary, so indices go wild).
+        idx_f: SExp,
+        /// Values array (same length class as `idx`).
+        vals: usize,
+        /// Fill value of the destination.
+        init: i64,
+    },
+    /// `src[at mod len]` (length class `N` or `M` only, so the bound is
+    /// statically known).
+    Index {
+        /// Input array slot.
+        src: usize,
+        /// Raw index; reduced modulo the length at render time.
+        at: u64,
+    },
+    /// In-place update of a copy: `let c = copy src in c with [at] <- val`.
+    Update {
+        /// Input array slot (class `N` or `M`).
+        src: usize,
+        /// Raw index; reduced modulo the length at render time.
+        at: u64,
+        /// Scalar slot written into the array.
+        val: usize,
+    },
+    /// `loop (a = init) for i < bound do f a i` (scalar accumulator).
+    ForScalar {
+        /// Initial-value scalar slot.
+        init: usize,
+        /// Trip count.
+        bound: u8,
+        /// Body over `(a, i)`.
+        f: SExp,
+    },
+    /// `loop (a = copy init) for i < bound do map (\x -> f x i) a`.
+    ForArray {
+        /// Initial-value array slot.
+        init: usize,
+        /// Trip count.
+        bound: u8,
+        /// Elementwise body over `(x, i)`.
+        f: SExp,
+    },
+    /// `loop (i = 0, v = init) while i < bound do (i + 1, f v i)` — a
+    /// while-loop with a tuple of merge parameters.
+    WhileScalar {
+        /// Initial-value scalar slot.
+        init: usize,
+        /// Guard bound (trip count).
+        bound: u8,
+        /// Body over `(v, i)`.
+        f: SExp,
+    },
+    /// `if ca <cmp> cb then t else e` over scalars.
+    IfScalar {
+        /// Condition left scalar slot.
+        ca: usize,
+        /// Condition right scalar slot.
+        cb: usize,
+        /// Comparison.
+        cmp: COp,
+        /// Then-branch scalar slot.
+        t: usize,
+        /// Else-branch scalar slot.
+        e: usize,
+    },
+    /// `if ca <cmp> cb then t else e` over arrays of one length class.
+    IfArray {
+        /// Condition left scalar slot.
+        ca: usize,
+        /// Condition right scalar slot.
+        cb: usize,
+        /// Comparison.
+        cmp: COp,
+        /// Then-branch array slot.
+        t: usize,
+        /// Else-branch array slot (same [`LenClass`] as `t`).
+        e: usize,
+    },
+    /// `map (\row -> reduce op neutral row) src` — nested parallelism,
+    /// reduced rank.
+    RowReduce {
+        /// Input 2-D slot.
+        src: usize,
+        /// Associative operator.
+        op: AOp,
+    },
+    /// `map (\row -> scan op neutral row) src` — nested parallelism,
+    /// preserved rank.
+    RowScan {
+        /// Input 2-D slot.
+        src: usize,
+        /// Associative operator.
+        op: AOp,
+    },
+    /// `map (\row -> map (\x -> f x) row) src`.
+    MatMap {
+        /// Input 2-D slot.
+        src: usize,
+        /// Elementwise function.
+        f: SExp,
+    },
+    /// `rearrange (1, 0) src`.
+    Transpose {
+        /// Input 2-D slot.
+        src: usize,
+    },
+    /// `stream_seq` summation over chunks (chunk-size invariant because
+    /// addition is associative).
+    StreamSum {
+        /// Input array slot (class `N` or `M`).
+        src: usize,
+    },
+    /// A straight-line scalar computation over two scalar slots.
+    ScalarBin {
+        /// First scalar slot.
+        a: usize,
+        /// Second scalar slot.
+        b: usize,
+        /// The combining function over `(a, b)`.
+        f: SExp,
+    },
+}
+
+impl Stage {
+    /// The slots this stage reads, as mutable references (used by the
+    /// shrinker to re-resolve references after a deletion).
+    pub fn refs_mut(&mut self) -> Vec<&mut usize> {
+        match self {
+            Stage::MapUnary { src, .. }
+            | Stage::Scan { src, .. }
+            | Stage::Reduce { src, .. }
+            | Stage::Filter { src, .. }
+            | Stage::Count { src }
+            | Stage::Index { src, .. }
+            | Stage::RowReduce { src, .. }
+            | Stage::RowScan { src, .. }
+            | Stage::MatMap { src, .. }
+            | Stage::Transpose { src }
+            | Stage::StreamSum { src } => vec![src],
+            Stage::MapBinary { a, b, .. } | Stage::ScalarBin { a, b, .. } => vec![a, b],
+            Stage::Scatter { idx, vals, .. } => vec![idx, vals],
+            Stage::Update { src, val, .. } => vec![src, val],
+            Stage::ForScalar { init, .. }
+            | Stage::ForArray { init, .. }
+            | Stage::WhileScalar { init, .. } => vec![init],
+            Stage::IfScalar { ca, cb, t, e, .. } | Stage::IfArray { ca, cb, t, e, .. } => {
+                vec![ca, cb, t, e]
+            }
+        }
+    }
+
+    /// The slots this stage reads.
+    pub fn refs(&self) -> Vec<usize> {
+        let mut me = self.clone();
+        me.refs_mut().into_iter().map(|r| *r).collect()
+    }
+
+    /// The kind of the slot this stage binds, given the kinds of all
+    /// earlier slots. `index` is the stage's position (used to mint fresh
+    /// [`LenClass::Dyn`] identities for filters).
+    pub fn result_kind(&self, index: usize, kinds: &[Kind]) -> Kind {
+        let arr_class = |s: usize| match kinds[s] {
+            Kind::Arr(l) => l,
+            k => panic!("expected array slot, found {k:?}"),
+        };
+        let mat_orient = |s: usize| match kinds[s] {
+            Kind::Mat(o) => o,
+            k => panic!("expected 2-D slot, found {k:?}"),
+        };
+        match self {
+            Stage::MapUnary { src, .. } | Stage::Scan { src, .. } => Kind::Arr(arr_class(*src)),
+            Stage::MapBinary { a, .. } => Kind::Arr(arr_class(*a)),
+            Stage::Reduce { .. }
+            | Stage::Count { .. }
+            | Stage::Index { .. }
+            | Stage::ForScalar { .. }
+            | Stage::WhileScalar { .. }
+            | Stage::IfScalar { .. }
+            | Stage::StreamSum { .. }
+            | Stage::ScalarBin { .. } => Kind::Scalar,
+            Stage::Filter { .. } => Kind::Arr(LenClass::Dyn(index as u32)),
+            Stage::Scatter { .. } => Kind::Arr(LenClass::N),
+            Stage::Update { src, .. } | Stage::ForArray { init: src, .. } => {
+                Kind::Arr(arr_class(*src))
+            }
+            Stage::IfArray { t, .. } => Kind::Arr(arr_class(*t)),
+            Stage::RowReduce { src, .. } => Kind::Arr(match mat_orient(*src) {
+                Orient::Nm => LenClass::N,
+                Orient::Mn => LenClass::M,
+            }),
+            Stage::RowScan { src, .. } | Stage::MatMap { src, .. } => Kind::Mat(mat_orient(*src)),
+            Stage::Transpose { src } => Kind::Mat(match mat_orient(*src) {
+                Orient::Nm => Orient::Mn,
+                Orient::Mn => Orient::Nm,
+            }),
+        }
+    }
+}
+
+/// The slot kinds of a stage list: the five parameters followed by one
+/// slot per stage.
+pub fn slot_kinds(stages: &[Stage]) -> Vec<Kind> {
+    let mut kinds = vec![
+        Kind::Scalar,
+        Kind::Scalar,
+        Kind::Arr(LenClass::N),
+        Kind::Arr(LenClass::N),
+        Kind::Mat(Orient::Nm),
+    ];
+    for (i, s) in stages.iter().enumerate() {
+        let k = s.result_kind(i, &kinds);
+        kinds.push(k);
+    }
+    kinds
+}
+
+/// A complete generated test case: the meta-program plus concrete inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestCase {
+    /// The seed this case was generated from (0 for hand-built cases).
+    pub seed: u64,
+    /// Outer size (≥ 1).
+    pub n: usize,
+    /// Inner size (≥ 1).
+    pub m: usize,
+    /// First input vector, length `n`.
+    pub xs0: Vec<i64>,
+    /// Second input vector, length `n`.
+    pub xs1: Vec<i64>,
+    /// Input matrix, row-major `n × m`.
+    pub mat: Vec<i64>,
+    /// The staged meta-program.
+    pub stages: Vec<Stage>,
+}
+
+impl TestCase {
+    /// The runtime arguments matching [`TestCase::source`].
+    pub fn args(&self) -> Vec<Value> {
+        vec![
+            Value::i64(self.n as i64),
+            Value::i64(self.m as i64),
+            Value::Array(ArrayVal::from_i64s(self.xs0.clone())),
+            Value::Array(ArrayVal::from_i64s(self.xs1.clone())),
+            Value::Array(ArrayVal::new(
+                vec![self.n, self.m],
+                Buffer::I64(self.mat.clone()),
+            )),
+        ]
+    }
+
+    /// The statically known length of an array length class, if any.
+    fn class_len(&self, l: LenClass) -> Option<usize> {
+        match l {
+            LenClass::N => Some(self.n),
+            LenClass::M => Some(self.m),
+            LenClass::Dyn(_) => None,
+        }
+    }
+
+    /// Renders the program source.
+    pub fn source(&self) -> String {
+        let kinds = slot_kinds(&self.stages);
+        let names: Vec<String> = (0..kinds.len())
+            .map(|s| match s {
+                0 => "n".to_string(),
+                1 => "m".to_string(),
+                2 => "xs0".to_string(),
+                3 => "xs1".to_string(),
+                4 => "mat".to_string(),
+                _ => format!("t{s}"),
+            })
+            .collect();
+        let mut out = String::from(
+            "fun main (n: i64) (m: i64) (xs0: [n]i64) (xs1: [n]i64) (mat: [n][m]i64): [n]i64 =\n",
+        );
+        for (i, stage) in self.stages.iter().enumerate() {
+            self.render_stage(&mut out, i, stage, &kinds, &names);
+        }
+        self.render_observation(&mut out, &kinds, &names);
+        out.push_str("  in out\n");
+        out
+    }
+
+    fn render_stage(
+        &self,
+        out: &mut String,
+        i: usize,
+        stage: &Stage,
+        kinds: &[Kind],
+        names: &[String],
+    ) {
+        let slot = INITIAL_SLOTS + i;
+        let t = &names[slot];
+        let nm = |s: usize| names[s].as_str();
+        match stage {
+            Stage::MapUnary { src, f } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = map (\\x -> {}) {}",
+                    f.render("x", "x"),
+                    nm(*src)
+                );
+            }
+            Stage::MapBinary { a, b, f } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = map (\\x y -> {}) {} {}",
+                    f.render("x", "y"),
+                    nm(*a),
+                    nm(*b)
+                );
+            }
+            Stage::Scan { src, op } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = scan {} {} {}",
+                    op.op_str(),
+                    op.neutral_str(),
+                    nm(*src)
+                );
+            }
+            Stage::Reduce { src, op } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = reduce {} {} {}",
+                    op.op_str(),
+                    op.neutral_str(),
+                    nm(*src)
+                );
+            }
+            Stage::Filter { src, pred } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = filter (\\x -> {}) {}",
+                    pred.render("x"),
+                    nm(*src)
+                );
+            }
+            Stage::Count { src } => {
+                let _ = writeln!(out, "  let {t}_f = map (\\x -> 1) {}", nm(*src));
+                let _ = writeln!(out, "  let {t} = reduce (+) 0 {t}_f");
+            }
+            Stage::Scatter {
+                idx,
+                idx_f,
+                vals,
+                init,
+            } => {
+                let _ = writeln!(out, "  let {t}_d = replicate n ({init})");
+                let _ = writeln!(
+                    out,
+                    "  let {t}_i = map (\\x -> {}) {}",
+                    idx_f.render("x", "x"),
+                    nm(*idx)
+                );
+                let _ = writeln!(out, "  let {t} = scatter {t}_d {t}_i {}", nm(*vals));
+            }
+            Stage::Index { src, at } => {
+                let len = self
+                    .class_len(class_of(kinds[*src]))
+                    .expect("indexable class");
+                let _ = writeln!(out, "  let {t} = {}[{}]", nm(*src), *at as usize % len);
+            }
+            Stage::Update { src, at, val } => {
+                let len = self
+                    .class_len(class_of(kinds[*src]))
+                    .expect("updatable class");
+                let _ = writeln!(out, "  let {t}_c = copy {}", nm(*src));
+                let _ = writeln!(
+                    out,
+                    "  let {t} = {t}_c with [{}] <- {}",
+                    *at as usize % len,
+                    nm(*val)
+                );
+            }
+            Stage::ForScalar { init, bound, f } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = loop (a = {}) for i < {bound} do {}",
+                    nm(*init),
+                    f.render("a", "i")
+                );
+            }
+            Stage::ForArray { init, bound, f } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = loop (a = copy {}) for i < {bound} do map (\\x -> {}) a",
+                    nm(*init),
+                    f.render("x", "i")
+                );
+            }
+            Stage::WhileScalar { init, bound, f } => {
+                let _ = writeln!(
+                    out,
+                    "  let ({t}_i, {t}) = loop (i = 0, v = {}) while i < {bound} do (i + 1, {})",
+                    nm(*init),
+                    f.render("v", "i")
+                );
+            }
+            Stage::IfScalar {
+                ca,
+                cb,
+                cmp,
+                t: bt,
+                e,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = if {} {} {} then {} else {}",
+                    nm(*ca),
+                    cmp.sym(),
+                    nm(*cb),
+                    nm(*bt),
+                    nm(*e)
+                );
+            }
+            Stage::IfArray {
+                ca,
+                cb,
+                cmp,
+                t: bt,
+                e,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = if {} {} {} then {} else {}",
+                    nm(*ca),
+                    cmp.sym(),
+                    nm(*cb),
+                    nm(*bt),
+                    nm(*e)
+                );
+            }
+            Stage::RowReduce { src, op } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = map (\\row -> (let s = reduce {} {} row in s)) {}",
+                    op.op_str(),
+                    op.neutral_str(),
+                    nm(*src)
+                );
+            }
+            Stage::RowScan { src, op } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = map (\\row -> scan {} {} row) {}",
+                    op.op_str(),
+                    op.neutral_str(),
+                    nm(*src)
+                );
+            }
+            Stage::MatMap { src, f } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = map (\\row -> map (\\x -> {}) row) {}",
+                    f.render("x", "x"),
+                    nm(*src)
+                );
+            }
+            Stage::Transpose { src } => {
+                let _ = writeln!(out, "  let {t} = rearrange (1, 0) {}", nm(*src));
+            }
+            Stage::StreamSum { src } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = stream_seq (\\(chunk: i64) (acc: i64) (cs: [chunk]i64) -> \
+                     (let s = reduce (+) 0 cs in acc + s)) 0 {}",
+                    nm(*src)
+                );
+            }
+            Stage::ScalarBin { a, b, f } => {
+                let _ = writeln!(out, "  let {t} = {}", f.render(nm(*a), nm(*b)));
+            }
+        }
+    }
+
+    /// Folds every live binding into the `[n]i64` result: scalars (and the
+    /// full reduction of every non-`N` array, plus the observed length of
+    /// every dynamic array) accumulate into one scalar, `N`-class arrays
+    /// and `[n][m]` row sums combine elementwise, and the final map adds
+    /// the scalar to every element.
+    fn render_observation(&self, out: &mut String, kinds: &[Kind], names: &[String]) {
+        let mut ob = 0usize;
+        let mut scalar = "0".to_string();
+        let mut arr = "xs0".to_string();
+        let mut push_scalar = |out: &mut String, e: String| {
+            let name = format!("ob{ob}");
+            let _ = writeln!(out, "  let {name} = {scalar} + {e}");
+            scalar = name;
+            ob += 1;
+        };
+        for (s, k) in kinds.iter().enumerate() {
+            let name = &names[s];
+            match k {
+                Kind::Scalar => push_scalar(out, name.clone()),
+                Kind::Arr(LenClass::N) => {}
+                Kind::Arr(l) => {
+                    let _ = writeln!(out, "  let {name}_r = reduce (+) 0 {name}");
+                    push_scalar(out, format!("{name}_r"));
+                    if matches!(l, LenClass::Dyn(_)) {
+                        let _ = writeln!(out, "  let {name}_o = map (\\x -> 1) {name}");
+                        let _ = writeln!(out, "  let {name}_c = reduce (+) 0 {name}_o");
+                        push_scalar(out, format!("{name}_c"));
+                    }
+                }
+                Kind::Mat(o) => {
+                    let _ = writeln!(
+                        out,
+                        "  let {name}_s = map (\\row -> (let s = reduce (+) 0 row in s)) {name}"
+                    );
+                    match o {
+                        Orient::Nm => {}
+                        Orient::Mn => {
+                            let _ = writeln!(out, "  let {name}_z = reduce (+) 0 {name}_s");
+                            push_scalar(out, format!("{name}_z"));
+                        }
+                    }
+                }
+            }
+        }
+        // Combine all length-n vectors (stage outputs and matrix row sums).
+        let mut aidx = 0usize;
+        for (s, k) in kinds.iter().enumerate() {
+            let name = &names[s];
+            let vec_name = match k {
+                Kind::Arr(LenClass::N) if name != "xs0" => name.clone(),
+                Kind::Mat(Orient::Nm) => format!("{name}_s"),
+                _ => continue,
+            };
+            let an = format!("oa{aidx}");
+            let _ = writeln!(out, "  let {an} = map (+) {arr} {vec_name}");
+            arr = an;
+            aidx += 1;
+        }
+        let _ = writeln!(out, "  let out = map (+ {scalar}) {arr}");
+    }
+}
+
+fn class_of(k: Kind) -> LenClass {
+    match k {
+        Kind::Arr(l) => l,
+        other => panic!("expected array kind, found {other:?}"),
+    }
+}
+
+/// Which stage families the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The whole stage menu.
+    Full,
+    /// Straight chains of unary maps and scans over the input vectors —
+    /// the structured family the old property tests used.
+    Chains,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum outer size `n` (minimum is 1).
+    pub max_size: usize,
+    /// Maximum number of stages.
+    pub max_stages: usize,
+    /// The stage menu.
+    pub strategy: Strategy,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_size: 12,
+            max_stages: 14,
+            strategy: Strategy::Full,
+        }
+    }
+}
+
+fn gen_const(rng: &mut Rng64) -> i64 {
+    if rng.chance(1, 8) {
+        rng.gen_i64(-999, 1000)
+    } else {
+        rng.gen_i64(-9, 10)
+    }
+}
+
+fn gen_divisor(rng: &mut Rng64) -> i64 {
+    let d = rng.gen_i64(1, 10);
+    if rng.chance(1, 3) {
+        -d
+    } else {
+        d
+    }
+}
+
+fn gen_sexp(rng: &mut Rng64, depth: usize, binary: bool) -> SExp {
+    if depth == 0 || rng.chance(1, 3) {
+        return match rng.pick(if binary { 4 } else { 3 }) {
+            0 | 3 => SExp::A,
+            1 => SExp::C(gen_const(rng)),
+            _ if binary => SExp::B,
+            _ => SExp::A,
+        };
+    }
+    let l = Box::new(gen_sexp(rng, depth - 1, binary));
+    match rng.pick(6) {
+        0 => SExp::Add(l, Box::new(gen_sexp(rng, depth - 1, binary))),
+        1 => SExp::Sub(l, Box::new(gen_sexp(rng, depth - 1, binary))),
+        2 => SExp::Mul(l, Box::new(gen_sexp(rng, depth - 1, binary))),
+        3 => SExp::DivC(l, gen_divisor(rng)),
+        4 => SExp::RemC(l, gen_divisor(rng)),
+        _ => SExp::IfLt(
+            l,
+            Box::new(gen_sexp(rng, depth - 1, binary)),
+            Box::new(gen_sexp(rng, depth - 1, binary)),
+            Box::new(gen_sexp(rng, depth - 1, binary)),
+        ),
+    }
+}
+
+fn gen_cop(rng: &mut Rng64) -> COp {
+    [COp::Eq, COp::Ne, COp::Lt, COp::Le, COp::Gt, COp::Ge][rng.pick(6)]
+}
+
+fn gen_aop(rng: &mut Rng64) -> AOp {
+    // Weighted towards addition, the most fusion-friendly operator.
+    [AOp::Add, AOp::Add, AOp::Mul, AOp::Min, AOp::Max][rng.pick(5)]
+}
+
+fn gen_pred(rng: &mut Rng64) -> Pred {
+    Pred {
+        op: gen_cop(rng),
+        lhs: gen_sexp(rng, 1, false),
+        rhs: SExp::C(gen_const(rng)),
+    }
+}
+
+/// Generates one test case from a seed.
+pub fn generate(seed: u64, cfg: &GenConfig) -> TestCase {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let n = 1 + rng.pick(cfg.max_size.max(1));
+    let m = 1 + rng.pick(cfg.max_size.clamp(1, 6));
+    let val = |rng: &mut Rng64| {
+        if rng.chance(1, 16) {
+            rng.next_u64() as i64
+        } else {
+            rng.gen_i64(-999, 1000)
+        }
+    };
+    let xs0: Vec<i64> = (0..n).map(|_| val(&mut rng)).collect();
+    let xs1: Vec<i64> = (0..n).map(|_| val(&mut rng)).collect();
+    let mat: Vec<i64> = (0..n * m).map(|_| val(&mut rng)).collect();
+    let want = 3 + rng.pick(cfg.max_stages.saturating_sub(2).max(1));
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut kinds = slot_kinds(&stages);
+    while stages.len() < want {
+        let stage = gen_stage(&mut rng, &kinds, cfg.strategy);
+        let k = stage.result_kind(stages.len(), &kinds);
+        kinds.push(k);
+        stages.push(stage);
+    }
+    TestCase {
+        seed,
+        n,
+        m,
+        xs0,
+        xs1,
+        mat,
+        stages,
+    }
+}
+
+fn slots_where(kinds: &[Kind], pred: impl Fn(Kind) -> bool) -> Vec<usize> {
+    kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| pred(**k))
+        .map(|(s, _)| s)
+        .collect()
+}
+
+fn gen_stage(rng: &mut Rng64, kinds: &[Kind], strategy: Strategy) -> Stage {
+    let scalars = slots_where(kinds, |k| k == Kind::Scalar);
+    let arrs = slots_where(kinds, |k| matches!(k, Kind::Arr(_)));
+    let sized = slots_where(kinds, |k| {
+        matches!(k, Kind::Arr(LenClass::N) | Kind::Arr(LenClass::M))
+    });
+    let mats = slots_where(kinds, |k| matches!(k, Kind::Mat(_)));
+    let pick = |rng: &mut Rng64, v: &[usize]| v[rng.pick(v.len())];
+    // A weighted menu of applicable stage constructors.
+    let menu: &[u8] = match strategy {
+        Strategy::Chains => &[0, 0, 2],
+        Strategy::Full => &[
+            0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 6, 6, 7, 8, 8, 9, 10, 11, 12, 13, 14, 14, 15, 16,
+            17, 18, 19,
+        ],
+    };
+    match menu[rng.pick(menu.len())] {
+        0 => Stage::MapUnary {
+            src: pick(rng, &arrs),
+            f: gen_sexp(rng, 3, false),
+        },
+        1 => {
+            let a = pick(rng, &arrs);
+            let class = class_of(kinds[a]);
+            let same = slots_where(kinds, |k| k == Kind::Arr(class));
+            Stage::MapBinary {
+                a,
+                b: pick(rng, &same),
+                f: gen_sexp(rng, 2, true),
+            }
+        }
+        2 => Stage::Scan {
+            src: pick(rng, &arrs),
+            op: gen_aop(rng),
+        },
+        3 => Stage::Reduce {
+            src: pick(rng, &arrs),
+            op: gen_aop(rng),
+        },
+        4 => Stage::Filter {
+            src: pick(rng, &arrs),
+            pred: gen_pred(rng),
+        },
+        5 => Stage::Count {
+            src: pick(rng, &arrs),
+        },
+        6 => {
+            let idx = pick(rng, &arrs);
+            let class = class_of(kinds[idx]);
+            let same = slots_where(kinds, |k| k == Kind::Arr(class));
+            Stage::Scatter {
+                idx,
+                idx_f: gen_sexp(rng, 2, false),
+                vals: pick(rng, &same),
+                init: gen_const(rng),
+            }
+        }
+        7 => Stage::Index {
+            src: pick(rng, &sized),
+            at: rng.next_u64(),
+        },
+        8 => Stage::Update {
+            src: pick(rng, &sized),
+            at: rng.next_u64(),
+            val: pick(rng, &scalars),
+        },
+        9 => Stage::ForScalar {
+            init: pick(rng, &scalars),
+            bound: 1 + rng.pick(6) as u8,
+            f: gen_sexp(rng, 2, true),
+        },
+        10 => Stage::ForArray {
+            init: pick(rng, &arrs),
+            bound: 1 + rng.pick(4) as u8,
+            f: gen_sexp(rng, 2, true),
+        },
+        11 => Stage::WhileScalar {
+            init: pick(rng, &scalars),
+            bound: 1 + rng.pick(6) as u8,
+            f: gen_sexp(rng, 2, true),
+        },
+        12 => Stage::IfScalar {
+            ca: pick(rng, &scalars),
+            cb: pick(rng, &scalars),
+            cmp: gen_cop(rng),
+            t: pick(rng, &scalars),
+            e: pick(rng, &scalars),
+        },
+        13 => {
+            let t = pick(rng, &arrs);
+            let class = class_of(kinds[t]);
+            let same = slots_where(kinds, |k| k == Kind::Arr(class));
+            Stage::IfArray {
+                ca: pick(rng, &scalars),
+                cb: pick(rng, &scalars),
+                cmp: gen_cop(rng),
+                t,
+                e: pick(rng, &same),
+            }
+        }
+        14 => Stage::RowReduce {
+            src: pick(rng, &mats),
+            op: gen_aop(rng),
+        },
+        15 => Stage::RowScan {
+            src: pick(rng, &mats),
+            op: gen_aop(rng),
+        },
+        16 => Stage::MatMap {
+            src: pick(rng, &mats),
+            f: gen_sexp(rng, 2, false),
+        },
+        17 => Stage::Transpose {
+            src: pick(rng, &mats),
+        },
+        18 => Stage::StreamSum {
+            src: pick(rng, &sized),
+        },
+        _ => Stage::ScalarBin {
+            a: pick(rng, &scalars),
+            b: pick(rng, &scalars),
+            f: gen_sexp(rng, 2, true),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate(99, &cfg);
+        let b = generate(99, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.source(), b.source());
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_programs() {
+        let cfg = GenConfig::default();
+        let a = generate(1, &cfg);
+        let b = generate(2, &cfg);
+        assert_ne!(a.source(), b.source());
+    }
+
+    #[test]
+    fn chains_strategy_is_maps_and_scans_only() {
+        let cfg = GenConfig {
+            strategy: Strategy::Chains,
+            ..GenConfig::default()
+        };
+        for seed in 0..20 {
+            let case = generate(seed, &cfg);
+            for s in &case.stages {
+                assert!(
+                    matches!(s, Stage::MapUnary { .. } | Stage::Scan { .. }),
+                    "unexpected stage {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slot_kinds_track_stages() {
+        let stages = vec![
+            Stage::Filter {
+                src: 2,
+                pred: Pred {
+                    op: COp::Gt,
+                    lhs: SExp::A,
+                    rhs: SExp::C(0),
+                },
+            },
+            Stage::MapUnary { src: 5, f: SExp::A },
+            Stage::Transpose { src: 4 },
+            Stage::RowReduce {
+                src: 7,
+                op: AOp::Add,
+            },
+        ];
+        let kinds = slot_kinds(&stages);
+        assert_eq!(kinds[5], Kind::Arr(LenClass::Dyn(0)));
+        assert_eq!(kinds[6], Kind::Arr(LenClass::Dyn(0)));
+        assert_eq!(kinds[7], Kind::Mat(Orient::Mn));
+        assert_eq!(kinds[8], Kind::Arr(LenClass::M));
+    }
+}

@@ -1,0 +1,191 @@
+//! The differential oracle: run a program through the reference
+//! interpreter and through the compiled simulator on every device profile
+//! under every ablation configuration, and demand bit-identical results.
+//!
+//! Because every configuration must compute the same function, *any*
+//! difference — a compile error in one configuration, a runtime fault, or
+//! a single differing bit in an output — is a bug by construction, either
+//! in an optimisation pass, in the code generator, or in the semantics the
+//! interpreter and simulator are supposed to share.
+
+use futhark::{interpret, Compiler, Device, PipelineOptions};
+use futhark_core::Value;
+
+/// The two simulated devices, with stable labels for reports.
+pub fn devices() -> [(Device, &'static str); 2] {
+    [(Device::Gtx780, "gtx780"), (Device::W8100, "w8100")]
+}
+
+/// How a configuration disagreed with the reference interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The pipeline rejected a program the interpreter executes.
+    CompileError,
+    /// The simulator faulted at runtime.
+    RunError,
+    /// The simulator produced different output values.
+    Mismatch,
+}
+
+/// One observed disagreement.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The [`PipelineOptions::label`] of the failing configuration.
+    pub config: String,
+    /// The device label, when execution got that far.
+    pub device: Option<String>,
+    /// The failure class.
+    pub kind: DivergenceKind,
+    /// Human-readable detail (error text, or expected/actual values with
+    /// the first differing flat index).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            DivergenceKind::CompileError => "compile error",
+            DivergenceKind::RunError => "run error",
+            DivergenceKind::Mismatch => "mismatch",
+        };
+        write!(f, "[{}", self.config)?;
+        if let Some(d) = &self.device {
+            write!(f, " on {d}")?;
+        }
+        write!(f, "] {kind}: {}", self.detail)
+    }
+}
+
+/// The oracle's verdict on one program.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Every configuration and device matched the interpreter bit for bit.
+    Clean,
+    /// The reference interpreter itself failed — a generator bug or an
+    /// interpreter bug; never expected, always reported.
+    InterpError(String),
+    /// At least one configuration disagreed (first disagreement reported).
+    Diverged(Divergence),
+}
+
+impl Outcome {
+    /// Whether the outcome is a failure of any class.
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, Outcome::Clean)
+    }
+
+    /// A short description of the failure, if any.
+    pub fn describe(&self) -> Option<String> {
+        match self {
+            Outcome::Clean => None,
+            Outcome::InterpError(e) => Some(format!("interpreter error: {e}")),
+            Outcome::Diverged(d) => Some(d.to_string()),
+        }
+    }
+}
+
+fn truncated(v: &Value) -> String {
+    let s = format!("{v:?}");
+    if s.len() > 160 {
+        format!("{}…", &s[..160])
+    } else {
+        s
+    }
+}
+
+fn compare(reference: &[Value], got: &[Value]) -> Option<String> {
+    if reference.len() != got.len() {
+        return Some(format!(
+            "result arity {} vs interpreter's {}",
+            got.len(),
+            reference.len()
+        ));
+    }
+    for (i, (r, g)) in reference.iter().zip(got).enumerate() {
+        if !r.bit_eq(g) {
+            let at = r
+                .first_mismatch(g)
+                .map(|k| format!(" (first differing flat index {k})"))
+                .unwrap_or_default();
+            return Some(format!(
+                "result {i}{at}: interpreter {} vs simulator {}",
+                truncated(r),
+                truncated(g)
+            ));
+        }
+    }
+    None
+}
+
+/// Runs the full differential check on one program.
+pub fn check_source(src: &str, args: &[Value]) -> Outcome {
+    let reference = match interpret(src, args) {
+        Ok(v) => v,
+        Err(e) => return Outcome::InterpError(e.to_string()),
+    };
+    for opts in PipelineOptions::ablation_matrix() {
+        let compiled = match Compiler::with_options(opts).compile(src) {
+            Ok(c) => c,
+            Err(e) => {
+                return Outcome::Diverged(Divergence {
+                    config: opts.label(),
+                    device: None,
+                    kind: DivergenceKind::CompileError,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        for (device, dlabel) in devices() {
+            match compiled.run(device, args) {
+                Ok((got, _)) => {
+                    if let Some(detail) = compare(&reference, &got) {
+                        return Outcome::Diverged(Divergence {
+                            config: opts.label(),
+                            device: Some(dlabel.to_string()),
+                            kind: DivergenceKind::Mismatch,
+                            detail,
+                        });
+                    }
+                }
+                Err(e) => {
+                    return Outcome::Diverged(Divergence {
+                        config: opts.label(),
+                        device: Some(dlabel.to_string()),
+                        kind: DivergenceKind::RunError,
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+    Outcome::Clean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futhark_core::ArrayVal;
+
+    const DOUBLE: &str = "fun main (n: i64) (xs: [n]i64): [n]i64 =\n  \
+                          let r = map (\\x -> x * 2) xs\n  in r";
+
+    fn args() -> Vec<Value> {
+        vec![
+            Value::i64(3),
+            Value::Array(ArrayVal::from_i64s(vec![1, -2, 3])),
+        ]
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        assert!(matches!(check_source(DOUBLE, &args()), Outcome::Clean));
+    }
+
+    #[test]
+    fn unparseable_program_reports_interp_error() {
+        match check_source("fun main (): i64 = oops", &args()) {
+            Outcome::InterpError(_) => {}
+            other => panic!("expected InterpError, got {other:?}"),
+        }
+    }
+}

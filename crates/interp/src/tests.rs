@@ -348,3 +348,116 @@ fn division_by_zero_reported() {
         .unwrap_err();
     assert_eq!(e, InterpError::DivisionByZero);
 }
+
+// --- scatter/filter edge-case semantics -------------------------------
+//
+// These tests document the semantics the differential fuzzer relies on
+// (`futhark-fuzz` deliberately generates wild scatter indices and empty
+// filter results): scatter *ignores* every out-of-bounds index — negative
+// or >= the destination length — rather than faulting; duplicate indices
+// resolve deterministically to the textually last write; and filter
+// preserves input order, producing an empty (but well-typed) array when
+// nothing matches. The compiled simulator must implement the same rules,
+// which the corpus fixtures in `tests/corpus/` pin end to end.
+
+#[test]
+fn scatter_on_empty_input_is_identity() {
+    let out = run(
+        "fun main (k: i64) (n: i64) (dest: *[k]i64) (is: [n]i64) (vs: [n]i64): [k]i64 =\n\
+         let r = scatter dest is vs\n\
+         in r",
+        &[
+            Value::i64(3),
+            Value::i64(0),
+            Value::Array(ArrayVal::from_i64s(vec![7, 8, 9])),
+            Value::Array(ArrayVal::from_i64s(vec![])),
+            Value::Array(ArrayVal::from_i64s(vec![])),
+        ],
+    );
+    assert_eq!(out, vec![Value::Array(ArrayVal::from_i64s(vec![7, 8, 9]))]);
+}
+
+#[test]
+fn scatter_ignores_negative_and_huge_indices() {
+    let out = run(
+        "fun main (k: i64) (n: i64) (dest: *[k]i64) (is: [n]i64) (vs: [n]i64): [k]i64 =\n\
+         let r = scatter dest is vs\n\
+         in r",
+        &[
+            Value::i64(4),
+            Value::i64(4),
+            Value::Array(ArrayVal::from_i64s(vec![0, 0, 0, 0])),
+            Value::Array(ArrayVal::from_i64s(vec![-1, i64::MIN, i64::MAX, 2])),
+            Value::Array(ArrayVal::from_i64s(vec![10, 20, 30, 40])),
+        ],
+    );
+    assert_eq!(
+        out,
+        vec![Value::Array(ArrayVal::from_i64s(vec![0, 0, 40, 0]))]
+    );
+}
+
+#[test]
+fn scatter_duplicate_indices_last_write_wins() {
+    let out = run(
+        "fun main (k: i64) (n: i64) (dest: *[k]i64) (is: [n]i64) (vs: [n]i64): [k]i64 =\n\
+         let r = scatter dest is vs\n\
+         in r",
+        &[
+            Value::i64(3),
+            Value::i64(4),
+            Value::Array(ArrayVal::from_i64s(vec![0, 0, 0])),
+            Value::Array(ArrayVal::from_i64s(vec![1, 1, 1, 0])),
+            Value::Array(ArrayVal::from_i64s(vec![10, 20, 30, 40])),
+        ],
+    );
+    assert_eq!(
+        out,
+        vec![Value::Array(ArrayVal::from_i64s(vec![40, 30, 0]))]
+    );
+}
+
+#[test]
+fn filter_of_empty_input_is_empty() {
+    let out = run(
+        "fun main (n: i64) (xs: [n]i64): i64 =\n\
+         let ys = filter (\\x -> x > 0) xs\n\
+         let c = reduce (+) 0 (map (\\x -> 1) ys)\n\
+         in c",
+        &[Value::i64(0), Value::Array(ArrayVal::from_i64s(vec![]))],
+    );
+    assert_eq!(out, vec![Value::i64(0)]);
+}
+
+#[test]
+fn filter_keeping_nothing_is_empty_but_well_typed() {
+    let out = run(
+        "fun main (n: i64) (xs: [n]i64): (i64, i64) =\n\
+         let ys = filter (\\x -> x < 0) xs\n\
+         let s = reduce (+) 0 ys\n\
+         let c = reduce (+) 0 (map (\\x -> 1) ys)\n\
+         in (s, c)",
+        &[
+            Value::i64(3),
+            Value::Array(ArrayVal::from_i64s(vec![1, 2, 3])),
+        ],
+    );
+    assert_eq!(out, vec![Value::i64(0), Value::i64(0)]);
+}
+
+#[test]
+fn filter_preserves_order_and_duplicates() {
+    let out = run(
+        "fun main (n: i64) (xs: [n]i64): i64 =\n\
+         let ys = filter (\\x -> x % 2 == 0) xs\n\
+         let w = scan (\\a b -> a * 10 + b) 0 ys\n\
+         let r = reduce max 0 w\n\
+         in r",
+        &[
+            Value::i64(6),
+            Value::Array(ArrayVal::from_i64s(vec![4, 1, 2, 2, 3, 8])),
+        ],
+    );
+    // Kept in order: [4, 2, 2, 8] -> digits 4228.
+    assert_eq!(out, vec![Value::i64(4228)]);
+}

@@ -1,0 +1,12 @@
+-- corpus anchor: a filter that keeps nothing produces an empty array
+-- whose reductions and scans must still agree between the interpreter
+-- and every compiled configuration (empty-segment handling).
+-- input: 4
+-- input: [3, 1, 4, 1]
+fun main (n: i64) (xs: [n]i64): [n]i64 =
+  let ys = filter (\x -> x < 0) xs
+  let s = reduce (+) 0 ys
+  let t = scan (+) 0 ys
+  let c = reduce (+) 0 (map (\x -> 1) t)
+  let sc = s + c
+  in map (+ sc) xs

@@ -1,0 +1,16 @@
+-- futhark-fuzz reproducer: campaign seed 1, case 0 (case seed 10451216379200822465)
+-- shrunk from 11 stages to 0
+-- divergence: [simplify+fusion+coalescing+tiling on gtx780] run error: type error at runtime: expected scalar
+-- input: 1
+-- input: 1
+-- input: [0]
+-- input: [0]
+-- input: [[0]]
+fun main (n: i64) (m: i64) (xs0: [n]i64) (xs1: [n]i64) (mat: [n][m]i64): [n]i64 =
+  let ob0 = 0 + n
+  let ob1 = ob0 + m
+  let mat_s = map (\row -> (let s = reduce (+) 0 row in s)) mat
+  let oa0 = map (+) xs0 xs1
+  let oa1 = map (+) oa0 mat_s
+  let out = map (+ ob1) oa1
+  in out

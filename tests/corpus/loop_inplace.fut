@@ -1,0 +1,11 @@
+-- corpus anchor: in-place updates inside a sequential loop (the paper's
+-- Section 3 motivation). The copy makes the merge parameter consumable;
+-- every configuration must produce the same doubled array.
+-- input: 5
+-- input: [1, 2, 3, 4, 5]
+fun main (n: i64) (xs: [n]i64): [n]i64 =
+  let ys = copy xs
+  let r = loop (a = ys) for i < n do (
+    let old = a[i]
+    in a with [i] <- old * 2)
+  in r

@@ -1,0 +1,11 @@
+-- corpus anchor: scatter drops out-of-bounds (negative or >= n) indices
+-- and resolves duplicate indices deterministically to the last write, in
+-- the interpreter and on both simulated devices alike.
+-- input: 6
+-- input: [0, 5, -3, 12, 12, 700]
+fun main (n: i64) (xs: [n]i64): [n]i64 =
+  let dest = replicate n 0
+  let is = map (\x -> x % 7) xs
+  let vs = map (\x -> x * 3) xs
+  let r = scatter dest is vs
+  in map (+) r xs

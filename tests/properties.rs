@@ -1,124 +1,87 @@
 //! Property-based tests on the compiler's core invariants, driven by the
-//! in-tree deterministic PRNG (the external proptest crate is not
-//! available offline; the properties and case counts match the original
-//! proptest suite):
+//! `futhark-fuzz` type-directed program generator (the external proptest
+//! crate is not available offline; the in-tree generator covers a much
+//! larger language surface than the original structured family, which
+//! survives as [`Strategy::Chains`]):
 //!
-//! - every optimisation pass preserves interpreter semantics on randomly
-//!   generated programs from a structured family;
-//! - compiled GPU execution matches the interpreter on random data;
+//! - compiled GPU execution matches the reference interpreter bit for bit
+//!   on random full-language programs, on both device profiles, under the
+//!   whole ablation matrix (the differential oracle);
+//! - every optimisation pass individually preserves interpreter semantics
+//!   and leaves the program well-typed;
 //! - streaming SOACs are invariant to the chunk size (the `sFold`
 //!   well-definedness argument of Section 2.1);
-//! - transformed programs still pass type and uniqueness checking.
+//! - the ablation matrix itself is well formed;
+//! - the shrinker only ever produces smaller cases that still satisfy the
+//!   failure predicate.
 
 use futhark::{Compiler, Device, PipelineOptions};
-use futhark_bench::suite::Rng64;
-use futhark_core::{ArrayVal, Value};
+use futhark_core::{ArrayVal, Rng64, Value};
+use futhark_fuzz::{check_case, generate, shrink, GenConfig, Outcome, Strategy, TestCase};
 use futhark_interp::Interpreter;
 
 const CASES: u64 = 24;
 
-/// A small expression language over one input array, rendered to Futhark
-/// source. Generates chains of maps/scans plus a reduction, which exercises
-/// fusion (vertical + redomap), flattening, and the GPU backend.
-#[derive(Debug, Clone)]
-enum Stage {
-    MapAdd(i64),
-    MapMul(i64),
-    MapSquareish,
-    Scan,
-}
-
-fn gen_stage(rng: &mut Rng64) -> Stage {
-    match rng.gen_i64(0, 4) {
-        0 => Stage::MapAdd(rng.gen_i64(-5, 6)),
-        1 => Stage::MapMul(rng.gen_i64(1, 4)),
-        2 => Stage::MapSquareish,
-        _ => Stage::Scan,
+fn chains_cfg() -> GenConfig {
+    GenConfig {
+        strategy: Strategy::Chains,
+        ..GenConfig::default()
     }
 }
 
-fn gen_stages(rng: &mut Rng64, min: usize, max: usize) -> Vec<Stage> {
-    let n = rng.gen_i64(min as i64, max as i64) as usize;
-    (0..n).map(|_| gen_stage(rng)).collect()
-}
-
-fn gen_data(rng: &mut Rng64, lo: i64, hi: i64, max_len: usize) -> Vec<i64> {
-    let n = rng.gen_i64(1, max_len as i64) as usize;
-    (0..n).map(|_| rng.gen_i64(lo, hi)).collect()
-}
-
-fn render(stages: &[Stage], reduce_at_end: bool) -> String {
-    let mut body = String::new();
-    let mut cur = "xs".to_string();
-    for (i, s) in stages.iter().enumerate() {
-        let next = format!("t{i}");
-        let line = match s {
-            Stage::MapAdd(k) => {
-                format!("  let {next} = map (\\v -> v + {k}) {cur}\n")
-            }
-            Stage::MapMul(k) => {
-                format!("  let {next} = map (\\v -> v * {k}) {cur}\n")
-            }
-            Stage::MapSquareish => {
-                format!("  let {next} = map (\\v -> v * v % 1000003) {cur}\n")
-            }
-            Stage::Scan => format!("  let {next} = scan (+) 0 {cur}\n"),
-        };
-        body.push_str(&line);
-        cur = next;
-    }
-    if reduce_at_end {
-        format!("fun main (n: i64) (xs: [n]i64): i64 =\n{body}  let r = reduce (+) 0 {cur}\n  in r")
-    } else {
-        format!("fun main (n: i64) (xs: [n]i64): [n]i64 =\n{body}  in {cur}")
+fn full_cfg() -> GenConfig {
+    GenConfig {
+        strategy: Strategy::Full,
+        ..GenConfig::default()
     }
 }
 
+fn assert_clean(case: &TestCase) {
+    if let Some(failure) = check_case(case).describe() {
+        panic!(
+            "seed {} diverged: {failure}\n--- program ---\n{}",
+            case.seed,
+            case.source()
+        );
+    }
+}
+
+/// The old structured family (map/scan chains) still passes the full
+/// differential oracle: interpreter vs simulator, 6 configs x 2 devices.
 #[test]
-fn compiled_pipeline_matches_interpreter() {
-    for case in 0..CASES {
-        let mut rng = Rng64::seed_from_u64(0x1000 + case);
-        let stages = gen_stages(&mut rng, 1, 5);
-        let reduce_at_end = rng.gen_i64(0, 2) == 1;
-        let data = gen_data(&mut rng, -100, 100, 40);
-        let src = render(&stages, reduce_at_end);
-        let args = vec![
-            Value::i64(data.len() as i64),
-            Value::Array(ArrayVal::from_i64s(data)),
-        ];
-        let interp = futhark::interpret(&src, &args).expect("interpreter");
-        let compiled = Compiler::new()
-            .compile(&src)
-            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
-        let (gpu, _) = compiled
-            .run(Device::Gtx780, &args)
-            .unwrap_or_else(|e| panic!("gpu failed: {e}\n{src}"));
-        assert_eq!(gpu.len(), interp.len());
-        for (a, b) in gpu.iter().zip(&interp) {
-            assert!(a.approx_eq(b, 1e-9), "{a} != {b} for\n{src}");
-        }
+fn map_scan_chains_match_interpreter_everywhere() {
+    for seed in 0..CASES {
+        assert_clean(&generate(0x1000 + seed, &chains_cfg()));
     }
 }
 
+/// Full-language programs (all SOACs, loops, branches, 2-D arrays,
+/// in-place updates, filter/scatter) pass the differential oracle.
+#[test]
+fn full_language_programs_match_interpreter_everywhere() {
+    for seed in 0..CASES {
+        assert_clean(&generate(0x2000 + seed, &full_cfg()));
+    }
+}
+
+/// Each optimisation pass, applied in pipeline order, preserves the
+/// interpreter's results and keeps the program well-typed.
 #[test]
 fn each_pass_preserves_semantics() {
-    for case in 0..CASES {
-        let mut rng = Rng64::seed_from_u64(0x2000 + case);
-        let stages = gen_stages(&mut rng, 1, 5);
-        let data = gen_data(&mut rng, -50, 50, 30);
-        let src = render(&stages, true);
-        let (prog, mut ns) = futhark_frontend::parse_program(&src).expect("parses");
-        let args = vec![
-            Value::i64(data.len() as i64),
-            Value::Array(ArrayVal::from_i64s(data)),
-        ];
+    for seed in 0..CASES {
+        let case = generate(0x3000 + seed, &full_cfg());
+        let src = case.source();
+        let args = case.args();
+        let (prog, mut ns) = futhark_frontend::parse_program(&src)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
         let baseline = Interpreter::new(&prog).run_main(&args).expect("base");
 
         let mut p1 = prog.clone();
         futhark_opt::simplify::simplify_program(&mut p1, &mut ns);
         assert_eq!(
             Interpreter::new(&p1).run_main(&args).expect("simplified"),
-            baseline
+            baseline,
+            "simplify changed semantics for\n{src}"
         );
         futhark_check::check_program(&p1).expect("simplified program checks");
 
@@ -126,7 +89,8 @@ fn each_pass_preserves_semantics() {
         futhark_opt::fusion::fuse_program(&mut p2, &mut ns);
         assert_eq!(
             Interpreter::new(&p2).run_main(&args).expect("fused"),
-            baseline
+            baseline,
+            "fusion changed semantics for\n{src}"
         );
         futhark_check::check_program(&p2).expect("fused program checks");
 
@@ -134,7 +98,8 @@ fn each_pass_preserves_semantics() {
         futhark_opt::flatten::flatten_program(&mut p3, &mut ns);
         assert_eq!(
             Interpreter::new(&p3).run_main(&args).expect("flattened"),
-            baseline
+            baseline,
+            "flattening changed semantics for\n{src}"
         );
     }
 }
@@ -154,8 +119,9 @@ fn stream_red_is_chunk_invariant() {
                in counts";
     let (prog, _) = futhark_frontend::parse_program(src).expect("parses");
     for case in 0..CASES {
-        let mut rng = Rng64::seed_from_u64(0x3000 + case);
-        let data = gen_data(&mut rng, 0, 8, 50);
+        let mut rng = Rng64::seed_from_u64(0x4000 + case);
+        let len = rng.gen_i64(1, 50) as usize;
+        let data: Vec<i64> = (0..len).map(|_| rng.gen_i64(0, 8)).collect();
         let chunk = rng.gen_i64(1, 16) as usize;
         let args = vec![
             Value::i64(data.len() as i64),
@@ -174,33 +140,51 @@ fn stream_red_is_chunk_invariant() {
     }
 }
 
+/// The ablation matrix the oracle iterates is well formed: six
+/// configurations with distinct labels, the first being the fully
+/// optimised default, and the checker enabled throughout (disabling
+/// verification is never part of an ablation).
 #[test]
-fn ablation_switches_never_change_results() {
-    for case in 0..CASES {
-        let mut rng = Rng64::seed_from_u64(0x4000 + case);
-        let stages = gen_stages(&mut rng, 1, 4);
-        let data = gen_data(&mut rng, -20, 20, 25);
-        let fusion = rng.gen_i64(0, 2) == 1;
-        let coalescing = rng.gen_i64(0, 2) == 1;
-        let tiling = rng.gen_i64(0, 2) == 1;
-        let src = render(&stages, false);
-        let args = vec![
-            Value::i64(data.len() as i64),
-            Value::Array(ArrayVal::from_i64s(data)),
-        ];
-        let interp = futhark::interpret(&src, &args).expect("interp");
-        let opts = PipelineOptions {
-            fusion,
-            coalescing,
-            tiling,
-            ..PipelineOptions::default()
-        };
-        let compiled = Compiler::with_options(opts)
-            .compile(&src)
-            .expect("compiles");
-        let (gpu, _) = compiled.run(Device::Gtx780, &args).expect("runs");
-        for (a, b) in gpu.iter().zip(&interp) {
-            assert!(a.approx_eq(b, 1e-9), "{opts:?}");
-        }
+fn ablation_matrix_is_well_formed() {
+    let matrix = PipelineOptions::ablation_matrix();
+    assert_eq!(matrix.len(), 6);
+    let labels: Vec<String> = matrix.iter().map(|o| o.label()).collect();
+    for (i, l) in labels.iter().enumerate() {
+        assert!(
+            !labels[..i].contains(l),
+            "duplicate ablation label {l:?} in {labels:?}"
+        );
     }
+    assert_eq!(matrix[0].label(), PipelineOptions::default().label());
+    for opts in &matrix {
+        assert!(opts.check, "ablations must keep the checker on");
+    }
+}
+
+/// Shrinking never grows a case and always lands on one that still
+/// satisfies the failure predicate (here synthetic, so the test does not
+/// depend on a real compiler bug existing).
+#[test]
+fn shrinking_is_sound_and_monotone() {
+    let mut exercised = 0;
+    for seed in 0..CASES {
+        let case = generate(0x5000 + seed, &full_cfg());
+        let pred = |c: &TestCase| c.source().contains("scatter");
+        if !pred(&case) {
+            continue;
+        }
+        exercised += 1;
+        let (small, stats) = shrink(&case, &mut |c| pred(c), 2000);
+        assert!(pred(&small), "shrink lost the predicate");
+        assert!(small.stages.len() <= case.stages.len());
+        assert!(small.n <= case.n && small.m <= case.m);
+        assert!(stats.attempts >= stats.accepted);
+        // The shrunk program is still a valid, runnable program.
+        assert!(
+            !matches!(check_case(&small), Outcome::InterpError(_)),
+            "shrunk program no longer runs:\n{}",
+            small.source()
+        );
+    }
+    assert!(exercised >= 3, "too few scatter-bearing seeds: {exercised}");
 }
