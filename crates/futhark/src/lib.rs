@@ -396,6 +396,27 @@ impl Compiled {
         Ok((vals, report))
     }
 
+    /// Runs the program with an explicit host worker-thread count for the
+    /// simulator's parallel work-group execution (`1` forces sequential
+    /// execution). Results and the [`PerfReport`] are bit-identical across
+    /// thread counts by construction; this entry point exists so tests can
+    /// verify that.
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiled::run`].
+    pub fn run_with_threads(
+        &self,
+        device: Device,
+        args: &[Value],
+        threads: usize,
+    ) -> Result<(Vec<Value>, PerfReport), Error> {
+        let profile = device.profile();
+        let (vals, report) =
+            exec::run_with_threads(&self.plan, &self.prog, &profile, args, threads)?;
+        Ok((vals, report))
+    }
+
     /// Runs the program on a custom device profile.
     ///
     /// # Errors

@@ -132,6 +132,17 @@ impl AOp {
     }
 }
 
+/// Renders an `i64` constant as a parseable atom. `i64::MIN` has no
+/// literal form (the grammar parses `-` as negation of a positive
+/// literal, which overflows), so it is spelled as an expression.
+fn i64_lit(v: i64) -> String {
+    if v == i64::MIN {
+        "(-9223372036854775807 - 1)".to_string()
+    } else {
+        format!("({v})")
+    }
+}
+
 /// A scalar expression over at most two variables, rendered fully
 /// parenthesised. `B` is only meaningful in binary contexts (second map
 /// input, loop counter); unary contexts never generate it.
@@ -163,12 +174,12 @@ impl SExp {
         match self {
             SExp::A => a.to_string(),
             SExp::B => b.to_string(),
-            SExp::C(v) => format!("({v})"),
+            SExp::C(v) => i64_lit(*v),
             SExp::Add(l, r) => format!("({} + {})", l.render(a, b), r.render(a, b)),
             SExp::Sub(l, r) => format!("({} - {})", l.render(a, b), r.render(a, b)),
             SExp::Mul(l, r) => format!("({} * {})", l.render(a, b), r.render(a, b)),
-            SExp::DivC(l, c) => format!("({} / ({c}))", l.render(a, b)),
-            SExp::RemC(l, c) => format!("({} % ({c}))", l.render(a, b)),
+            SExp::DivC(l, c) => format!("({} / {})", l.render(a, b), i64_lit(*c)),
+            SExp::RemC(l, c) => format!("({} % {})", l.render(a, b), i64_lit(*c)),
             SExp::IfLt(l, r, t, e) => format!(
                 "(if {} < {} then {} else {})",
                 l.render(a, b),
@@ -611,7 +622,7 @@ impl TestCase {
                 vals,
                 init,
             } => {
-                let _ = writeln!(out, "  let {t}_d = replicate n ({init})");
+                let _ = writeln!(out, "  let {t}_d = replicate n {}", i64_lit(*init));
                 let _ = writeln!(
                     out,
                     "  let {t}_i = map (\\x -> {}) {}",
@@ -840,7 +851,12 @@ impl Default for GenConfig {
 }
 
 fn gen_const(rng: &mut Rng64) -> i64 {
-    if rng.chance(1, 8) {
+    // A slice of extreme values keeps div/rem and conversion semantics
+    // covered at the edges (floored division differs from truncation
+    // exactly on negative operands; `i64::MIN / -1` wraps).
+    if rng.chance(1, 12) {
+        [i64::MIN, i64::MAX, -1][rng.pick(3)]
+    } else if rng.chance(1, 8) {
         rng.gen_i64(-999, 1000)
     } else {
         rng.gen_i64(-9, 10)
@@ -904,7 +920,9 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> TestCase {
     let n = 1 + rng.pick(cfg.max_size.max(1));
     let m = 1 + rng.pick(cfg.max_size.clamp(1, 6));
     let val = |rng: &mut Rng64| {
-        if rng.chance(1, 16) {
+        if rng.chance(1, 24) {
+            [i64::MIN, i64::MAX, -1][rng.pick(3)]
+        } else if rng.chance(1, 16) {
             rng.next_u64() as i64
         } else {
             rng.gen_i64(-999, 1000)

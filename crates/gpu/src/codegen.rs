@@ -267,7 +267,7 @@ impl Codegen {
         // Thread indices.
         let width_args: Vec<KExp> = widths
             .iter()
-            .map(|w| kb.scalar_subexp(w))
+            .map(|w| kb.scalar_subexp(w, ScalarType::I64))
             .collect::<CResult<_>>()?;
         let mut body_stms: Vec<KStm> = Vec::new();
         let idx_regs = kb.grid_indices(&width_args, &mut body_stms);
@@ -354,7 +354,7 @@ impl Codegen {
             let dims: Vec<KExp> = at
                 .dims
                 .iter()
-                .map(|d| kb.scalar_subexp(&SubExp::from(d)))
+                .map(|d| kb.scalar_subexp(&SubExp::from(d), ScalarType::I64))
                 .collect::<CResult<_>>()?;
             out_refs.push(GRef::new(arg, at.elem, dims, &perm));
             outs.push(OutSpec {
@@ -407,7 +407,7 @@ impl Codegen {
         map_lam: Option<&Lambda>,
     ) -> CResult<Vec<HStm>> {
         let mut kb = KBuild::new(self.kernel_name("redstage1"));
-        let n = kb.scalar_subexp(width)?;
+        let n = kb.scalar_subexp(width, ScalarType::I64)?;
         let mut body_stms = Vec::new();
         let (lo, len) = kb.stream_chunk(&n, &mut body_stms);
         let mut lower = Lower {
@@ -537,7 +537,7 @@ impl Codegen {
             return cerr("stream_red with chunk array outputs not kernelised");
         }
         let mut kb = KBuild::new(self.kernel_name("streamred"));
-        let n = kb.scalar_subexp(width)?;
+        let n = kb.scalar_subexp(width, ScalarType::I64)?;
         let mut body_stms = Vec::new();
         let (lo, len) = kb.stream_chunk(&n, &mut body_stms);
         let mut lower = Lower {
@@ -600,7 +600,7 @@ impl Codegen {
                     let arg = lower.kb.out_arg(j, at.elem);
                     let mut dim_exprs = Vec::new();
                     for d in &at.dims {
-                        dim_exprs.push(lower.kb.scalar_subexp(&SubExp::from(d))?);
+                        dim_exprs.push(lower.kb.scalar_subexp(&SubExp::from(d), ScalarType::I64)?);
                     }
                     let rowlen = dim_exprs
                         .iter()
@@ -704,7 +704,7 @@ impl Codegen {
         let iref = kb.array_ref(indices, &ity, Vec::new())?;
         let vref = kb.array_ref(values, &vty, Vec::new())?;
         let out_arg = kb.out_arg(0, dat.elem);
-        let dlen = kb.scalar_subexp(&SubExp::from(&dat.dims[0]))?;
+        let dlen = kb.scalar_subexp(&SubExp::from(&dat.dims[0]), ScalarType::I64)?;
         let (TVal::GArr(ig), TVal::GArr(vg)) = (&iref, &vref) else {
             return cerr("scatter inputs must be global");
         };
@@ -833,13 +833,15 @@ impl KBuild {
         self.privs - 1
     }
 
-    /// A scalar argument (or constant) as a kernel expression.
-    fn scalar_subexp(&mut self, se: &SubExp) -> CResult<KExp> {
+    /// A scalar argument (or constant) as a kernel expression. `t` is the
+    /// scalar's type, declared on the kernel parameter so the simulator can
+    /// give the argument a correctly-typed register.
+    fn scalar_subexp(&mut self, se: &SubExp, t: ScalarType) -> CResult<KExp> {
         Ok(match se {
             SubExp::Const(k) => KExp::Const(*k),
             SubExp::Var(v) => {
                 let idx = *self.scalar_cache.entry(v.clone()).or_insert_with(|| {
-                    self.params.push(KParam::Scalar(ScalarType::I64));
+                    self.params.push(KParam::Scalar(t));
                     self.launch_args.push(ArgSpec::ScalarVar(v.clone()));
                     self.params.len() - 1
                 });
@@ -870,7 +872,7 @@ impl KBuild {
         let dims: Vec<KExp> = at
             .dims
             .iter()
-            .map(|d| self.scalar_subexp(&SubExp::from(d)))
+            .map(|d| self.scalar_subexp(&SubExp::from(d), ScalarType::I64))
             .collect::<CResult<_>>()?;
         Ok(TVal::GArr(GRef::new(arg, at.elem, dims, &perm)))
     }
@@ -1128,7 +1130,13 @@ impl<'a> Lower<'a> {
                 Some(_) => cerr(format!("{v} is an array, not a scalar")),
                 None => {
                     let _ = out;
-                    self.kb.scalar_subexp(se)
+                    // A free host scalar: declare the kernel param with the
+                    // variable's real type (the simulator type-checks args).
+                    let t = match self.cg_types.get(v) {
+                        Some(ty) => scalar_of(ty)?,
+                        None => ScalarType::I64,
+                    };
+                    self.kb.scalar_subexp(se, t)
                 }
             },
         }
@@ -1343,10 +1351,11 @@ impl<'a> Lower<'a> {
                 }
                 SubExp::Var(v) => Ok(vec![self.env.get(v).cloned().ok_or(()).or_else(|_| {
                     if matches!(self.cg_types.get(v), Some(Type::Scalar(_))) {
-                        let e = self.kb.scalar_subexp(se)?;
+                        let t = scalar_of(&self.cg_types[v])?;
+                        let e = self.kb.scalar_subexp(se, t)?;
                         let r = self.kb.reg();
                         out.push(KStm::Assign { var: r, exp: e });
-                        Ok(TVal::Reg(r, scalar_of(&self.cg_types[v])?))
+                        Ok(TVal::Reg(r, t))
                     } else {
                         self.lookup_array(v)
                     }
@@ -1486,7 +1495,6 @@ impl<'a> Lower<'a> {
                             Ok(vec![TVal::Priv(pr)])
                         }
                         None => {
-                            let e = self.kb.scalar_subexp(v)?;
                             let t = scalar_of(
                                 &self
                                     .cg_types
@@ -1494,6 +1502,7 @@ impl<'a> Lower<'a> {
                                     .cloned()
                                     .unwrap_or(Type::Scalar(ScalarType::I64)),
                             )?;
+                            let e = self.kb.scalar_subexp(v, t)?;
                             Ok(vec![TVal::VirtRepl {
                                 value: e,
                                 elem: t,
@@ -1817,7 +1826,7 @@ impl<'a> Lower<'a> {
                     let mut dims = vec![w.clone()];
                     if let Type::Array(at) = t {
                         for d in &at.dims {
-                            dims.push(self.kb.scalar_subexp(&SubExp::from(d))?);
+                            dims.push(self.kb.scalar_subexp(&SubExp::from(d), ScalarType::I64)?);
                         }
                     }
                     let elem = t.elem();

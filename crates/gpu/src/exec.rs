@@ -12,6 +12,7 @@
 use crate::device::DeviceProfile;
 use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec};
 use crate::sim::{self, Arg, BufId, DeviceMemory, KernelStats, SimError};
+use crate::tape::{host_threads, DecodedKernel};
 use futhark_core::traverse::{free_in_exp, free_in_lambda};
 use futhark_core::{
     ArrayVal, Buffer, Exp, Name, PatElem, Program, Scalar, ScalarType, Size, SubExp, Type, Value,
@@ -370,6 +371,23 @@ pub fn run(
     device: &DeviceProfile,
     args: &[Value],
 ) -> EResult<(Vec<Value>, PerfReport)> {
+    run_with_threads(plan, prog, device, args, host_threads())
+}
+
+/// Like [`run`], with an explicit host worker-thread count for parallel
+/// work-group execution (`1` forces sequential execution). Results and the
+/// [`PerfReport`] are bit-identical across thread counts by construction.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with_threads(
+    plan: &GpuPlan,
+    prog: &Program,
+    device: &DeviceProfile,
+    args: &[Value],
+    threads: usize,
+) -> EResult<(Vec<Value>, PerfReport)> {
     let mut ex = Executor {
         plan,
         prog,
@@ -378,6 +396,8 @@ pub fn run(
         env: HashMap::new(),
         report: PerfReport::default(),
         layout_cache: HashMap::new(),
+        decoded: vec![None; plan.kernels.len()],
+        threads: threads.max(1),
     };
     if args.len() != plan.params.len() {
         return Err(ExecError::Plan(format!(
@@ -418,6 +438,11 @@ struct Executor<'a> {
     env: HashMap<Name, HVal>,
     report: PerfReport,
     layout_cache: HashMap<(BufId, Vec<usize>), BufId>,
+    /// Kernels pre-decoded to flat opcode tapes, lazily, once per plan
+    /// kernel — host loops re-launching the same kernel skip the decode.
+    decoded: Vec<Option<DecodedKernel>>,
+    /// Host worker threads used for parallel group execution.
+    threads: usize,
 }
 
 impl<'a> Executor<'a> {
@@ -1040,7 +1065,18 @@ impl<'a> Executor<'a> {
                 ArgSpec::Out(i) => Arg::Buffer(out_bufs[*i]),
             });
         }
-        let stats = sim::launch(self.device, kernel, num_threads, &args, &mut self.mem)?;
+        if self.decoded[spec.kernel].is_none() {
+            self.decoded[spec.kernel] = Some(DecodedKernel::decode(kernel)?);
+        }
+        let dk = self.decoded[spec.kernel].as_ref().expect("just decoded");
+        let stats = crate::tape::launch_decoded(
+            self.device,
+            dk,
+            num_threads,
+            &args,
+            &mut self.mem,
+            self.threads,
+        )?;
         let t = sim::kernel_time_us(self.device, &stats);
         self.report.total_us += t;
         self.report.kernel_us += t;

@@ -9,6 +9,8 @@ pub mod exec;
 pub mod kernel;
 pub mod plan;
 pub mod sim;
+pub mod tape;
 
 pub use device::DeviceProfile;
 pub use sim::{kernel_time_us, Arg, BufId, DeviceMemory, KernelStats, SimError};
+pub use tape::{host_threads, launch_decoded, DecodedKernel};

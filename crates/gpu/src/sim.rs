@@ -14,15 +14,10 @@
 //!   pays the full segment even for 4 useful bytes);
 //! - local-memory accesses and barriers.
 
-// Lane loops index several parallel per-lane arrays (mask, offsets,
-// registers) by the same lane id; iterator rewrites obscure that.
-#![allow(clippy::needless_range_loop)]
-
 use crate::device::DeviceProfile;
-use crate::kernel::{KExp, KStm, Kernel};
+use crate::kernel::Kernel;
+use crate::tape::{host_threads, launch_decoded, DecodedKernel};
 use futhark_core::{Buffer, Scalar, ScalarType};
-use futhark_interp::scalar::{eval_binop, eval_cmp, eval_convert, eval_unop};
-use std::collections::HashSet;
 use std::fmt;
 
 /// A device buffer handle.
@@ -171,6 +166,14 @@ pub enum SimError {
         /// Which kernel.
         kernel: String,
     },
+    /// A local-memory buffer was sized with a negative element count
+    /// (formerly clamped silently to zero).
+    NegativeLocalSize {
+        /// Which kernel.
+        kernel: String,
+        /// The requested element count.
+        requested: i64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -186,6 +189,12 @@ impl fmt::Display for SimError {
             SimError::RunawayLoop { kernel } => {
                 write!(f, "runaway while-loop in kernel `{kernel}`")
             }
+            SimError::NegativeLocalSize { kernel, requested } => {
+                write!(
+                    f,
+                    "negative local-memory size {requested} in kernel `{kernel}`"
+                )
+            }
         }
     }
 }
@@ -194,31 +203,19 @@ impl std::error::Error for SimError {}
 
 type SResult<T> = Result<T, SimError>;
 
-struct Lane {
-    regs: Vec<Scalar>,
-    privs: Vec<Vec<Scalar>>,
-}
-
-struct GroupCtx<'a> {
-    kernel: &'a Kernel,
-    args: &'a [Arg],
-    scalars: Vec<Option<Scalar>>,
-    group_id: u64,
-    group_size: u64,
-    num_threads: u64,
-    warp_size: usize,
-    transaction_bytes: u64,
-    lanes: Vec<Lane>,
-    locals: Vec<Buffer>,
-}
-
 /// Launches a kernel over `num_threads` threads and returns the accumulated
 /// stats. Buffers are read and written in `mem`.
+///
+/// Decodes the kernel on the fly and executes its work-groups on
+/// [`host_threads`] host threads (set `FUTHARK_SIM_THREADS` to override).
+/// Callers that launch the same kernel repeatedly should decode once with
+/// [`DecodedKernel::decode`] and call [`launch_decoded`] directly, as the
+/// plan executor does.
 ///
 /// # Errors
 ///
 /// Returns a [`SimError`] on faults (bounds, divergent barriers, runaway
-/// loops).
+/// loops, negative local-memory sizes).
 pub fn launch(
     device: &DeviceProfile,
     kernel: &Kernel,
@@ -226,414 +223,8 @@ pub fn launch(
     args: &[Arg],
     mem: &mut DeviceMemory,
 ) -> SResult<KernelStats> {
-    let group_size = device.group_size as u64;
-    let num_groups = num_threads.div_ceil(group_size).max(1);
-    let mut stats = KernelStats {
-        threads: num_threads,
-        ..KernelStats::default()
-    };
-    // Pre-extract scalar args for local sizing.
-    let scalars: Vec<Option<Scalar>> = args
-        .iter()
-        .map(|a| match a {
-            Arg::Scalar(s) => Some(*s),
-            Arg::Buffer(_) => None,
-        })
-        .collect();
-    for g in 0..num_groups {
-        let lanes_in_group = group_size.min(num_threads.saturating_sub(g * group_size));
-        if lanes_in_group == 0 {
-            continue;
-        }
-        let mut ctx = GroupCtx {
-            kernel,
-            args,
-            scalars: scalars.clone(),
-            group_id: g,
-            group_size,
-            num_threads,
-            warp_size: device.warp_size as usize,
-            transaction_bytes: device.transaction_bytes,
-            lanes: (0..lanes_in_group)
-                .map(|_| Lane {
-                    regs: vec![Scalar::I64(0); kernel.num_regs as usize],
-                    privs: vec![Vec::new(); kernel.num_priv],
-                })
-                .collect(),
-            locals: Vec::new(),
-        };
-        // Size local buffers.
-        for (t, size) in &kernel.locals {
-            let n = ctx.eval_uniform(size)?;
-            ctx.locals.push(Buffer::zeros(*t, n.max(0) as usize));
-        }
-        let mask: Vec<bool> = vec![true; lanes_in_group as usize];
-        let mut gstats = KernelStats::default();
-        ctx.exec(&kernel.body, &mask, mem, &mut gstats)?;
-        stats.merge(&gstats);
-    }
-    Ok(stats)
-}
-
-impl<'a> GroupCtx<'a> {
-    /// Evaluates an expression that must be uniform across the group (local
-    /// buffer sizes): uses lane 0 semantics without lane state.
-    fn eval_uniform(&self, e: &KExp) -> SResult<i64> {
-        match e {
-            KExp::Const(k) => k
-                .as_i64()
-                .ok_or_else(|| SimError::Scalar("non-integer uniform expression".into())),
-            KExp::GroupSize => Ok(self.group_size as i64),
-            KExp::ScalarArg(i) => self.scalars[*i]
-                .and_then(|s| s.as_i64())
-                .ok_or_else(|| SimError::Scalar("bad scalar argument".into())),
-            KExp::BinOp(op, a, b) => {
-                let x = self.eval_uniform(a)?;
-                let y = self.eval_uniform(b)?;
-                eval_binop(*op, Scalar::I64(x), Scalar::I64(y))
-                    .map_err(|e| SimError::Scalar(e.to_string()))?
-                    .as_i64()
-                    .ok_or_else(|| SimError::Scalar("non-integer uniform".into()))
-            }
-            _ => Err(SimError::Scalar(
-                "local size must be built from constants and scalar args".into(),
-            )),
-        }
-    }
-
-    fn eval(&self, e: &KExp, lane: usize) -> SResult<Scalar> {
-        Ok(match e {
-            KExp::Const(k) => *k,
-            KExp::Var(r) => self.lanes[lane].regs[*r as usize],
-            KExp::GlobalId => Scalar::I64((self.group_id * self.group_size + lane as u64) as i64),
-            KExp::GroupId => Scalar::I64(self.group_id as i64),
-            KExp::LocalId => Scalar::I64(lane as i64),
-            KExp::GroupSize => Scalar::I64(self.group_size as i64),
-            KExp::NumThreads => Scalar::I64(self.num_threads as i64),
-            KExp::ScalarArg(i) => self.scalars[*i]
-                .ok_or_else(|| SimError::Scalar(format!("argument {i} is not a scalar")))?,
-            KExp::BinOp(op, a, b) => {
-                let x = self.eval(a, lane)?;
-                let y = self.eval(b, lane)?;
-                eval_binop(*op, x, y).map_err(|e| SimError::Scalar(e.to_string()))?
-            }
-            KExp::Cmp(op, a, b) => {
-                let x = self.eval(a, lane)?;
-                let y = self.eval(b, lane)?;
-                eval_cmp(*op, x, y).map_err(|e| SimError::Scalar(e.to_string()))?
-            }
-            KExp::UnOp(op, a) => {
-                let x = self.eval(a, lane)?;
-                eval_unop(*op, x).map_err(|e| SimError::Scalar(e.to_string()))?
-            }
-            KExp::Convert(t, a) => {
-                let x = self.eval(a, lane)?;
-                eval_convert(*t, x).map_err(|e| SimError::Scalar(e.to_string()))?
-            }
-        })
-    }
-
-    fn eval_index(&self, e: &KExp, lane: usize) -> SResult<i64> {
-        self.eval(e, lane)?
-            .as_i64()
-            .ok_or_else(|| SimError::Scalar("non-integer index".into()))
-    }
-
-    fn buffer_id(&self, arg: usize) -> SResult<BufId> {
-        match &self.args[arg] {
-            Arg::Buffer(b) => Ok(*b),
-            Arg::Scalar(_) => Err(SimError::Scalar(format!("argument {arg} is not a buffer"))),
-        }
-    }
-
-    /// Counts the warp issue cost for one statement over a mask.
-    fn issue(&self, mask: &[bool], ops: u64, stats: &mut KernelStats) {
-        let mut warps = 0u64;
-        for chunk in mask.chunks(self.warp_size) {
-            if chunk.iter().any(|&b| b) {
-                warps += 1;
-            }
-        }
-        stats.warp_instructions += warps * (1 + ops);
-    }
-
-    /// Counts memory transactions for a warp-grouped global access.
-    fn memory_access(
-        &self,
-        mask: &[bool],
-        offsets: &[Option<i64>],
-        elem_bytes: u64,
-        stats: &mut KernelStats,
-    ) {
-        for (w, chunk) in mask.chunks(self.warp_size).enumerate() {
-            let mut segments: HashSet<i64> = HashSet::new();
-            let mut useful = 0u64;
-            for (l, &on) in chunk.iter().enumerate() {
-                if !on {
-                    continue;
-                }
-                if let Some(off) = offsets[w * self.warp_size + l] {
-                    segments.insert((off * elem_bytes as i64) / self.transaction_bytes as i64);
-                    useful += elem_bytes;
-                }
-            }
-            stats.global_transactions += segments.len() as u64;
-            stats.bus_bytes += segments.len() as u64 * self.transaction_bytes;
-            stats.useful_bytes += useful;
-        }
-    }
-
-    fn exec(
-        &mut self,
-        stms: &[KStm],
-        mask: &[bool],
-        mem: &mut DeviceMemory,
-        stats: &mut KernelStats,
-    ) -> SResult<()> {
-        if !mask.iter().any(|&b| b) {
-            return Ok(());
-        }
-        for stm in stms {
-            match stm {
-                KStm::Assign { var, exp } => {
-                    self.issue(mask, exp.op_count(), stats);
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let v = self.eval(exp, lane)?;
-                            self.lanes[lane].regs[*var as usize] = v;
-                        }
-                    }
-                }
-                KStm::GlobalRead { var, buf, index } => {
-                    self.issue(mask, index.op_count(), stats);
-                    let bid = self.buffer_id(*buf)?;
-                    let len = mem.download(bid).len() as i64;
-                    let elem = mem.download(bid).elem_type();
-                    let mut offsets = vec![None; mask.len()];
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let i = self.eval_index(index, lane)?;
-                            if i < 0 || i >= len {
-                                return Err(SimError::OutOfBounds {
-                                    kernel: self.kernel.name.clone(),
-                                    what: format!("read {i} of buffer len {len}"),
-                                });
-                            }
-                            offsets[lane] = Some(i);
-                            let v = mem.download(bid).get(i as usize);
-                            self.lanes[lane].regs[*var as usize] = v;
-                        }
-                    }
-                    self.memory_access(mask, &offsets, elem.byte_size() as u64, stats);
-                }
-                KStm::GlobalWrite { buf, index, value } => {
-                    self.issue(mask, index.op_count() + value.op_count(), stats);
-                    let bid = self.buffer_id(*buf)?;
-                    let len = mem.download(bid).len() as i64;
-                    let elem = mem.download(bid).elem_type();
-                    let mut offsets = vec![None; mask.len()];
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let i = self.eval_index(index, lane)?;
-                            if i < 0 || i >= len {
-                                return Err(SimError::OutOfBounds {
-                                    kernel: self.kernel.name.clone(),
-                                    what: format!("write {i} of buffer len {len}"),
-                                });
-                            }
-                            let v = self.eval(value, lane)?;
-                            offsets[lane] = Some(i);
-                            mem.buffer_mut(bid).set(i as usize, v);
-                        }
-                    }
-                    self.memory_access(mask, &offsets, elem.byte_size() as u64, stats);
-                }
-                KStm::LocalRead {
-                    var,
-                    mem: lm,
-                    index,
-                } => {
-                    self.issue(mask, index.op_count(), stats);
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let i = self.eval_index(index, lane)?;
-                            let buf = &self.locals[*lm];
-                            if i < 0 || i as usize >= buf.len() {
-                                return Err(SimError::OutOfBounds {
-                                    kernel: self.kernel.name.clone(),
-                                    what: format!("local read {i} of len {}", buf.len()),
-                                });
-                            }
-                            let v = buf.get(i as usize);
-                            self.lanes[lane].regs[*var as usize] = v;
-                            stats.local_accesses += 1;
-                        }
-                    }
-                }
-                KStm::LocalWrite {
-                    mem: lm,
-                    index,
-                    value,
-                } => {
-                    self.issue(mask, index.op_count() + value.op_count(), stats);
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let i = self.eval_index(index, lane)?;
-                            let v = self.eval(value, lane)?;
-                            let buf = &mut self.locals[*lm];
-                            if i < 0 || i as usize >= buf.len() {
-                                return Err(SimError::OutOfBounds {
-                                    kernel: self.kernel.name.clone(),
-                                    what: format!("local write {i} of len {}", buf.len()),
-                                });
-                            }
-                            buf.set(i as usize, v);
-                            stats.local_accesses += 1;
-                        }
-                    }
-                }
-                KStm::PrivAlloc { arr, elem, size } => {
-                    self.issue(mask, size.op_count(), stats);
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let n = self.eval_index(size, lane)?.max(0) as usize;
-                            let init = Scalar::zero(*elem);
-                            self.lanes[lane].privs[*arr] = vec![init; n];
-                        }
-                    }
-                }
-                KStm::PrivRead { var, arr, index } => {
-                    self.issue(mask, index.op_count(), stats);
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let i = self.eval_index(index, lane)?;
-                            let p = &self.lanes[lane].privs[*arr];
-                            if i < 0 || i as usize >= p.len() {
-                                return Err(SimError::OutOfBounds {
-                                    kernel: self.kernel.name.clone(),
-                                    what: format!("private read {i} of len {}", p.len()),
-                                });
-                            }
-                            let v = p[i as usize];
-                            self.lanes[lane].regs[*var as usize] = v;
-                        }
-                    }
-                }
-                KStm::PrivWrite { arr, index, value } => {
-                    self.issue(mask, index.op_count() + value.op_count(), stats);
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let i = self.eval_index(index, lane)?;
-                            let v = self.eval(value, lane)?;
-                            let p = &mut self.lanes[lane].privs[*arr];
-                            if i < 0 || i as usize >= p.len() {
-                                return Err(SimError::OutOfBounds {
-                                    kernel: self.kernel.name.clone(),
-                                    what: format!("private write {i} of len {}", p.len()),
-                                });
-                            }
-                            p[i as usize] = v;
-                        }
-                    }
-                }
-                KStm::PrivCopy { dst, src, len } => {
-                    self.issue(mask, len.op_count(), stats);
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let n = self.eval_index(len, lane)?.max(0) as usize;
-                            let v: Vec<Scalar> = self.lanes[lane].privs[*src][..n].to_vec();
-                            self.lanes[lane].privs[*dst] = v;
-                        }
-                    }
-                }
-                KStm::For { var, bound, body } => {
-                    self.issue(mask, bound.op_count(), stats);
-                    let bounds: Vec<i64> = (0..mask.len())
-                        .map(|lane| {
-                            if mask[lane] {
-                                self.eval_index(bound, lane)
-                            } else {
-                                Ok(0)
-                            }
-                        })
-                        .collect::<SResult<_>>()?;
-                    let max_bound = bounds.iter().copied().max().unwrap_or(0);
-                    for t in 0..max_bound {
-                        let sub: Vec<bool> = mask
-                            .iter()
-                            .zip(&bounds)
-                            .map(|(&m, &b)| m && t < b)
-                            .collect();
-                        if !sub.iter().any(|&b| b) {
-                            break;
-                        }
-                        for lane in 0..mask.len() {
-                            if sub[lane] {
-                                self.lanes[lane].regs[*var as usize] = Scalar::I64(t);
-                            }
-                        }
-                        self.exec(body, &sub, mem, stats)?;
-                    }
-                }
-                KStm::While { cond, body } => {
-                    let mut live = mask.to_vec();
-                    let mut iterations = 0u64;
-                    loop {
-                        self.issue(&live, cond.op_count(), stats);
-                        for lane in 0..live.len() {
-                            if live[lane] {
-                                let c = self.eval(cond, lane)?.as_bool().ok_or_else(|| {
-                                    SimError::Scalar("non-boolean while condition".into())
-                                })?;
-                                live[lane] = c;
-                            }
-                        }
-                        if !live.iter().any(|&b| b) {
-                            break;
-                        }
-                        self.exec(body, &live, mem, stats)?;
-                        iterations += 1;
-                        if iterations > 100_000_000 {
-                            return Err(SimError::RunawayLoop {
-                                kernel: self.kernel.name.clone(),
-                            });
-                        }
-                    }
-                }
-                KStm::If {
-                    cond,
-                    then_s,
-                    else_s,
-                } => {
-                    self.issue(mask, cond.op_count(), stats);
-                    let mut then_mask = vec![false; mask.len()];
-                    let mut else_mask = vec![false; mask.len()];
-                    for lane in 0..mask.len() {
-                        if mask[lane] {
-                            let c = self.eval(cond, lane)?.as_bool().ok_or_else(|| {
-                                SimError::Scalar("non-boolean if condition".into())
-                            })?;
-                            then_mask[lane] = c;
-                            else_mask[lane] = !c;
-                        }
-                    }
-                    self.exec(then_s, &then_mask, mem, stats)?;
-                    self.exec(else_s, &else_mask, mem, stats)?;
-                }
-                KStm::Barrier => {
-                    // All in-bounds lanes of the group must participate.
-                    if mask.iter().any(|&b| !b) {
-                        return Err(SimError::DivergentBarrier {
-                            kernel: self.kernel.name.clone(),
-                        });
-                    }
-                    stats.barriers += 1;
-                    self.issue(mask, 0, stats);
-                }
-            }
-        }
-        Ok(())
-    }
+    let dk = DecodedKernel::decode(kernel)?;
+    launch_decoded(device, &dk, num_threads, args, mem, host_threads())
 }
 
 /// Timing model: microseconds for one launch with the given stats.

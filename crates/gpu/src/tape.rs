@@ -1,0 +1,1843 @@
+//! Pre-decoded kernel execution: flat opcode tapes, typed register files,
+//! and deterministic parallel work-group execution.
+//!
+//! The tree-walking simulator paid for every scalar operation twice: once
+//! chasing `Box`ed [`KExp`] nodes, and once boxing/unboxing [`Scalar`]
+//! enum values in `Vec<Scalar>` register files. [`DecodedKernel::decode`]
+//! removes both costs ahead of time:
+//!
+//! - every expression becomes a flat postfix [`Tape`] of [`EOp`]s evaluated
+//!   on a small `u64` bit-stack — no recursion, no allocation per lane;
+//! - every virtual register gets a *statically inferred* scalar class and a
+//!   slot in a typed, unboxed register file (separate `Vec<i64>`,
+//!   `Vec<i32>`, `Vec<f32>`, `Vec<f64>`, `Vec<bool>` in structure-of-arrays
+//!   layout, `file[slot * lanes + lane]`) instead of a `Vec<Scalar>` per
+//!   lane.
+//!
+//! Scalar *semantics* are unchanged: integer arithmetic wraps, `/` and `%`
+//! are floored ([`futhark_interp::scalar::floor_div_i64`] and friends), and
+//! the rare ops with delicate float behaviour (`UnOp`, `Convert`) reuse the
+//! interpreter's own helpers on reconstructed [`Scalar`]s so the simulator
+//! cannot drift from the reference semantics.
+//!
+//! # Parallel work-group execution and the launch memory model
+//!
+//! Work-groups of one launch are independent by construction: this module
+//! *defines* a launch as every group reading the device memory snapshot
+//! taken at launch time plus its **own** writes (a per-group write log
+//! overlays the snapshot), with the logs applied to device memory in
+//! ascending group order once all groups finish. Sequential and parallel
+//! execution both implement exactly this definition, so they are
+//! bit-identical — in output values *and* in every [`KernelStats`] counter
+//! — no matter how groups are scheduled across host threads.
+//!
+//! Data-race freedom: worker threads share only immutable state (the
+//! decoded kernel, the launch arguments, and the `&DeviceMemory` snapshot);
+//! each group accumulates its writes and stats privately. Conflicting
+//! writes to the same element from *different* groups are resolved
+//! deterministically by the ordered log application (highest group id
+//! wins, matching what sequential group-at-a-time execution produced);
+//! within a group, later lanes/statements win, as on real hardware's
+//! in-order warp retirement. The only behaviour this model cannot express
+//! is a group *reading* another group's write from the same launch — that
+//! is a data race on a real GPU (no inter-group synchronisation exists
+//! short of kernel exit), the code generator never emits it, and under
+//! this model such a read deterministically sees the pre-launch value.
+//!
+//! Errors are deterministic too: if any group faults, the error of the
+//! lowest-numbered faulting group is reported (what sequential execution
+//! would have hit first), after applying the write logs of the groups
+//! before it.
+
+// Lane loops index several parallel per-lane arrays (mask, offsets,
+// registers) by the same lane id; iterator rewrites obscure that.
+#![allow(clippy::needless_range_loop)]
+
+use crate::device::DeviceProfile;
+use crate::kernel::{KExp, KParam, KStm, Kernel};
+use crate::sim::{Arg, BufId, DeviceMemory, KernelStats, SimError};
+use futhark_core::{BinOp, Buffer, CmpOp, Scalar, ScalarType, UnOp};
+use futhark_interp::scalar::{
+    eval_binop, eval_convert, eval_unop, floor_div_i32, floor_div_i64, floor_mod_i32, floor_mod_i64,
+};
+use std::collections::HashMap;
+
+type SResult<T> = Result<T, SimError>;
+
+// ---------------------------------------------------------------------------
+// Bit encoding
+// ---------------------------------------------------------------------------
+//
+// All runtime values travel as raw `u64` bit patterns; the statically known
+// class says how to interpret them. Encoding: i64 as-is; i32 zero-extended
+// from its 32-bit two's-complement pattern; floats via `to_bits` (f32 in the
+// low 32 bits); bool as 0/1. Round-tripping is exact, including NaN
+// payloads.
+
+#[inline]
+fn enc(s: Scalar) -> u64 {
+    match s {
+        Scalar::Bool(b) => b as u64,
+        Scalar::I32(v) => v as u32 as u64,
+        Scalar::I64(v) => v as u64,
+        Scalar::F32(v) => v.to_bits() as u64,
+        Scalar::F64(v) => v.to_bits(),
+    }
+}
+
+#[inline]
+fn dec(t: ScalarType, bits: u64) -> Scalar {
+    match t {
+        ScalarType::Bool => Scalar::Bool(bits != 0),
+        ScalarType::I32 => Scalar::I32(bits as u32 as i32),
+        ScalarType::I64 => Scalar::I64(bits as i64),
+        ScalarType::F32 => Scalar::F32(f32::from_bits(bits as u32)),
+        ScalarType::F64 => Scalar::F64(f64::from_bits(bits)),
+    }
+}
+
+#[inline]
+fn buf_get_bits(b: &Buffer, i: usize) -> u64 {
+    match b {
+        Buffer::Bool(v) => v[i] as u64,
+        Buffer::I32(v) => v[i] as u32 as u64,
+        Buffer::I64(v) => v[i] as u64,
+        Buffer::F32(v) => v[i].to_bits() as u64,
+        Buffer::F64(v) => v[i].to_bits(),
+    }
+}
+
+#[inline]
+fn buf_set_bits(b: &mut Buffer, i: usize, bits: u64) {
+    match b {
+        Buffer::Bool(v) => v[i] = bits != 0,
+        Buffer::I32(v) => v[i] = bits as u32 as i32,
+        Buffer::I64(v) => v[i] = bits as i64,
+        Buffer::F32(v) => v[i] = f32::from_bits(bits as u32),
+        Buffer::F64(v) => v[i] = f64::from_bits(bits),
+    }
+}
+
+/// Interprets index bits of the given class as an `i64` element index.
+#[inline]
+fn index_i64(t: ScalarType, bits: u64) -> SResult<i64> {
+    match t {
+        ScalarType::I64 => Ok(bits as i64),
+        ScalarType::I32 => Ok(bits as u32 as i32 as i64),
+        _ => Err(SimError::Scalar("non-integer index".into())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The opcode tape
+// ---------------------------------------------------------------------------
+
+/// One postfix opcode. Operand classes are baked in at decode time, so
+/// execution never inspects a value tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EOp {
+    /// Push pre-encoded constant bits.
+    Const(u64),
+    /// Push a register (class + slot in that class's file).
+    Load(ScalarType, u32),
+    /// Push the linear global thread id (i64).
+    GlobalId,
+    /// Push the work-group id (i64).
+    GroupId,
+    /// Push the intra-group thread id (i64).
+    LocalId,
+    /// Push the work-group size (i64).
+    GroupSize,
+    /// Push the launch thread count (i64).
+    NumThreads,
+    /// Push a pre-encoded scalar launch argument.
+    ScalarArg(u32),
+    /// Apply a binary op to the top two stack slots (operand class baked).
+    Bin(BinOp, ScalarType),
+    /// Apply a comparison (pushes a bool).
+    Cmp(CmpOp, ScalarType),
+    /// Apply a unary op.
+    Un(UnOp, ScalarType),
+    /// Convert from one class to another.
+    Conv(ScalarType, ScalarType),
+}
+
+/// A flat postfix expression: evaluate the ops left to right on a bit
+/// stack; the result is the single remaining slot. `cost` is the original
+/// tree's [`KExp::op_count`] so warp-issue accounting is unchanged;
+/// `class` is the statically known class of the result bits.
+#[derive(Debug, Clone)]
+struct Tape {
+    ops: Vec<EOp>,
+    cost: u64,
+    class: ScalarType,
+}
+
+/// A decoded statement: the same shapes as [`KStm`], with expressions as
+/// tapes and destinations as (class, slot) pairs resolved at decode time.
+#[derive(Debug, Clone)]
+enum DStm {
+    Assign {
+        class: ScalarType,
+        slot: u32,
+        exp: Tape,
+    },
+    GlobalRead {
+        class: ScalarType,
+        slot: u32,
+        buf: usize,
+        index: Tape,
+    },
+    GlobalWrite {
+        buf: usize,
+        index: Tape,
+        value: Tape,
+    },
+    LocalRead {
+        class: ScalarType,
+        slot: u32,
+        mem: usize,
+        index: Tape,
+    },
+    LocalWrite {
+        mem: usize,
+        index: Tape,
+        value: Tape,
+    },
+    PrivAlloc {
+        arr: usize,
+        size: Tape,
+    },
+    PrivRead {
+        class: ScalarType,
+        slot: u32,
+        arr: usize,
+        index: Tape,
+    },
+    PrivWrite {
+        arr: usize,
+        index: Tape,
+        value: Tape,
+    },
+    PrivCopy {
+        dst: usize,
+        src: usize,
+        len: Tape,
+    },
+    For {
+        /// Slot of the (i64) loop counter.
+        slot: u32,
+        bound: Tape,
+        body: Vec<DStm>,
+    },
+    While {
+        cond: Tape,
+        body: Vec<DStm>,
+    },
+    If {
+        cond: Tape,
+        then_s: Vec<DStm>,
+        else_s: Vec<DStm>,
+    },
+    Barrier,
+}
+
+/// Index of a scalar class in per-class tables.
+#[inline]
+fn ci(t: ScalarType) -> usize {
+    match t {
+        ScalarType::Bool => 0,
+        ScalarType::I32 => 1,
+        ScalarType::I64 => 2,
+        ScalarType::F32 => 3,
+        ScalarType::F64 => 4,
+    }
+}
+
+/// A kernel pre-decoded for execution: register classes inferred, slots
+/// assigned, expressions flattened to tapes.
+#[derive(Debug, Clone)]
+pub struct DecodedKernel {
+    /// Diagnostic name (same as the source kernel's).
+    pub name: String,
+    params: Vec<KParam>,
+    /// Local buffer element types and (uniform) size expressions, kept in
+    /// tree form: they are evaluated once per launch, not per lane.
+    locals: Vec<(ScalarType, KExp)>,
+    /// Per original register: its class and slot within the class file.
+    reg_slot: Vec<(ScalarType, u32)>,
+    /// Slots used per class (indexed by [`ci`]).
+    file_len: [u32; 5],
+    /// Element class of each private array.
+    priv_class: Vec<ScalarType>,
+    body: Vec<DStm>,
+}
+
+// ---------------------------------------------------------------------------
+// Decode: register class inference + tape compilation
+// ---------------------------------------------------------------------------
+
+struct Decoder<'k> {
+    kernel: &'k Kernel,
+    /// Inferred class per register (`None` = never written; defaults to
+    /// i64, matching the old simulator's `Scalar::I64(0)` register init).
+    regs: Vec<Option<ScalarType>>,
+    privs: Vec<Option<ScalarType>>,
+    changed: bool,
+}
+
+impl<'k> Decoder<'k> {
+    fn scalar_err(msg: impl Into<String>) -> SimError {
+        SimError::Scalar(msg.into())
+    }
+
+    fn param_scalar(&self, i: usize) -> SResult<ScalarType> {
+        match self.kernel.params.get(i) {
+            Some(KParam::Scalar(t)) => Ok(*t),
+            _ => Err(Self::scalar_err(format!("argument {i} is not a scalar"))),
+        }
+    }
+
+    fn param_buffer(&self, i: usize) -> SResult<ScalarType> {
+        match self.kernel.params.get(i) {
+            Some(KParam::Buffer(t)) => Ok(*t),
+            _ => Err(Self::scalar_err(format!("argument {i} is not a buffer"))),
+        }
+    }
+
+    /// The class of an expression, if enough register classes are known.
+    fn exp_class(&self, e: &KExp) -> SResult<Option<ScalarType>> {
+        Ok(match e {
+            KExp::Const(s) => Some(s.scalar_type()),
+            KExp::Var(r) => self.regs[*r as usize],
+            KExp::GlobalId | KExp::GroupId | KExp::LocalId | KExp::GroupSize | KExp::NumThreads => {
+                Some(ScalarType::I64)
+            }
+            KExp::ScalarArg(i) => Some(self.param_scalar(*i)?),
+            KExp::BinOp(_, a, b) => match self.exp_class(a)? {
+                Some(t) => Some(t),
+                None => self.exp_class(b)?,
+            },
+            KExp::Cmp(..) => Some(ScalarType::Bool),
+            KExp::UnOp(_, a) => self.exp_class(a)?,
+            KExp::Convert(t, _) => Some(*t),
+        })
+    }
+
+    fn set_reg(&mut self, r: u32, t: ScalarType) -> SResult<()> {
+        match self.regs[r as usize] {
+            None => {
+                self.regs[r as usize] = Some(t);
+                self.changed = true;
+                Ok(())
+            }
+            Some(old) if old == t => Ok(()),
+            Some(old) => Err(Self::scalar_err(format!(
+                "register {r} used at both {old:?} and {t:?}"
+            ))),
+        }
+    }
+
+    fn set_priv(&mut self, p: usize, t: ScalarType) -> SResult<()> {
+        match self.privs[p] {
+            None => {
+                self.privs[p] = Some(t);
+                self.changed = true;
+                Ok(())
+            }
+            Some(old) if old == t => Ok(()),
+            Some(old) => Err(Self::scalar_err(format!(
+                "private array {p} used at both {old:?} and {t:?}"
+            ))),
+        }
+    }
+
+    fn infer_stms(&mut self, stms: &[KStm]) -> SResult<()> {
+        for stm in stms {
+            match stm {
+                KStm::Assign { var, exp } => {
+                    if let Some(t) = self.exp_class(exp)? {
+                        self.set_reg(*var, t)?;
+                    }
+                }
+                KStm::GlobalRead { var, buf, .. } => {
+                    let t = self.param_buffer(*buf)?;
+                    self.set_reg(*var, t)?;
+                }
+                KStm::LocalRead { var, mem, .. } => {
+                    let t = self.kernel.locals[*mem].0;
+                    self.set_reg(*var, t)?;
+                }
+                KStm::PrivAlloc { arr, elem, .. } => self.set_priv(*arr, *elem)?,
+                KStm::PrivRead { var, arr, .. } => {
+                    if let Some(t) = self.privs[*arr] {
+                        self.set_reg(*var, t)?;
+                    }
+                }
+                KStm::PrivCopy { dst, src, .. } => {
+                    if let Some(t) = self.privs[*src] {
+                        self.set_priv(*dst, t)?;
+                    }
+                }
+                KStm::For { var, body, .. } => {
+                    self.set_reg(*var, ScalarType::I64)?;
+                    self.infer_stms(body)?;
+                }
+                KStm::While { body, .. } => self.infer_stms(body)?,
+                KStm::If { then_s, else_s, .. } => {
+                    self.infer_stms(then_s)?;
+                    self.infer_stms(else_s)?;
+                }
+                KStm::GlobalWrite { .. }
+                | KStm::LocalWrite { .. }
+                | KStm::PrivWrite { .. }
+                | KStm::Barrier => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Compiler<'k> {
+    kernel: &'k Kernel,
+    reg_slot: Vec<(ScalarType, u32)>,
+    priv_class: Vec<ScalarType>,
+}
+
+impl<'k> Compiler<'k> {
+    /// Compiles an expression to postfix, returning its class.
+    fn exp(&self, e: &KExp, out: &mut Vec<EOp>) -> SResult<ScalarType> {
+        Ok(match e {
+            KExp::Const(s) => {
+                out.push(EOp::Const(enc(*s)));
+                s.scalar_type()
+            }
+            KExp::Var(r) => {
+                let (t, slot) = self.reg_slot[*r as usize];
+                out.push(EOp::Load(t, slot));
+                t
+            }
+            KExp::GlobalId => {
+                out.push(EOp::GlobalId);
+                ScalarType::I64
+            }
+            KExp::GroupId => {
+                out.push(EOp::GroupId);
+                ScalarType::I64
+            }
+            KExp::LocalId => {
+                out.push(EOp::LocalId);
+                ScalarType::I64
+            }
+            KExp::GroupSize => {
+                out.push(EOp::GroupSize);
+                ScalarType::I64
+            }
+            KExp::NumThreads => {
+                out.push(EOp::NumThreads);
+                ScalarType::I64
+            }
+            KExp::ScalarArg(i) => {
+                let t = match self.kernel.params.get(*i) {
+                    Some(KParam::Scalar(t)) => *t,
+                    _ => {
+                        return Err(SimError::Scalar(format!("argument {i} is not a scalar")));
+                    }
+                };
+                out.push(EOp::ScalarArg(*i as u32));
+                t
+            }
+            KExp::BinOp(op, a, b) => {
+                let ta = self.exp(a, out)?;
+                let tb = self.exp(b, out)?;
+                if ta != tb {
+                    return Err(SimError::Scalar(format!(
+                        "operand type mismatch: {ta:?} vs {tb:?}"
+                    )));
+                }
+                out.push(EOp::Bin(*op, ta));
+                ta
+            }
+            KExp::Cmp(op, a, b) => {
+                let ta = self.exp(a, out)?;
+                let tb = self.exp(b, out)?;
+                if ta != tb {
+                    return Err(SimError::Scalar(format!(
+                        "comparison type mismatch: {ta:?} vs {tb:?}"
+                    )));
+                }
+                out.push(EOp::Cmp(*op, ta));
+                ScalarType::Bool
+            }
+            KExp::UnOp(op, a) => {
+                let ta = self.exp(a, out)?;
+                out.push(EOp::Un(*op, ta));
+                ta
+            }
+            KExp::Convert(t, a) => {
+                let ta = self.exp(a, out)?;
+                out.push(EOp::Conv(ta, *t));
+                *t
+            }
+        })
+    }
+
+    fn tape(&self, e: &KExp) -> SResult<Tape> {
+        let mut ops = Vec::new();
+        let class = self.exp(e, &mut ops)?;
+        Ok(Tape {
+            ops,
+            cost: e.op_count(),
+            class,
+        })
+    }
+
+    /// A tape whose result will be used as an element index (i32 or i64).
+    fn index_tape(&self, e: &KExp) -> SResult<Tape> {
+        let tape = self.tape(e)?;
+        if !matches!(tape.class, ScalarType::I32 | ScalarType::I64) {
+            return Err(SimError::Scalar("non-integer index".into()));
+        }
+        Ok(tape)
+    }
+
+    /// A tape whose result must be a boolean condition.
+    fn cond_tape(&self, e: &KExp, what: &str) -> SResult<Tape> {
+        let tape = self.tape(e)?;
+        if tape.class != ScalarType::Bool {
+            return Err(SimError::Scalar(format!("non-boolean {what} condition")));
+        }
+        Ok(tape)
+    }
+
+    /// A tape whose result is stored into something of class `want`.
+    fn value_tape(&self, e: &KExp, want: ScalarType, what: &str) -> SResult<Tape> {
+        let tape = self.tape(e)?;
+        if tape.class != want {
+            return Err(SimError::Scalar(format!(
+                "{what} of class {:?} stored into {want:?}",
+                tape.class
+            )));
+        }
+        Ok(tape)
+    }
+
+    fn reg(&self, r: u32) -> (ScalarType, u32) {
+        self.reg_slot[r as usize]
+    }
+
+    fn stms(&self, stms: &[KStm]) -> SResult<Vec<DStm>> {
+        stms.iter().map(|s| self.stm(s)).collect()
+    }
+
+    fn stm(&self, stm: &KStm) -> SResult<DStm> {
+        Ok(match stm {
+            KStm::Assign { var, exp } => {
+                let (class, slot) = self.reg(*var);
+                DStm::Assign {
+                    class,
+                    slot,
+                    exp: self.value_tape(exp, class, "assignment")?,
+                }
+            }
+            KStm::GlobalRead { var, buf, index } => {
+                let (class, slot) = self.reg(*var);
+                DStm::GlobalRead {
+                    class,
+                    slot,
+                    buf: *buf,
+                    index: self.index_tape(index)?,
+                }
+            }
+            KStm::GlobalWrite { buf, index, value } => {
+                let elem = match self.kernel.params.get(*buf) {
+                    Some(KParam::Buffer(t)) => *t,
+                    _ => {
+                        return Err(SimError::Scalar(format!("argument {buf} is not a buffer")));
+                    }
+                };
+                DStm::GlobalWrite {
+                    buf: *buf,
+                    index: self.index_tape(index)?,
+                    value: self.value_tape(value, elem, "global write")?,
+                }
+            }
+            KStm::LocalRead { var, mem, index } => {
+                let (class, slot) = self.reg(*var);
+                DStm::LocalRead {
+                    class,
+                    slot,
+                    mem: *mem,
+                    index: self.index_tape(index)?,
+                }
+            }
+            KStm::LocalWrite { mem, index, value } => DStm::LocalWrite {
+                mem: *mem,
+                index: self.index_tape(index)?,
+                value: self.value_tape(value, self.kernel.locals[*mem].0, "local write")?,
+            },
+            KStm::PrivAlloc { arr, size, .. } => DStm::PrivAlloc {
+                arr: *arr,
+                size: self.index_tape(size)?,
+            },
+            KStm::PrivRead { var, arr, index } => {
+                let (class, slot) = self.reg(*var);
+                DStm::PrivRead {
+                    class,
+                    slot,
+                    arr: *arr,
+                    index: self.index_tape(index)?,
+                }
+            }
+            KStm::PrivWrite { arr, index, value } => DStm::PrivWrite {
+                arr: *arr,
+                index: self.index_tape(index)?,
+                value: self.value_tape(value, self.priv_class[*arr], "private write")?,
+            },
+            KStm::PrivCopy { dst, src, len } => DStm::PrivCopy {
+                dst: *dst,
+                src: *src,
+                len: self.index_tape(len)?,
+            },
+            KStm::For { var, bound, body } => {
+                let (class, slot) = self.reg(*var);
+                debug_assert_eq!(class, ScalarType::I64);
+                DStm::For {
+                    slot,
+                    bound: self.index_tape(bound)?,
+                    body: self.stms(body)?,
+                }
+            }
+            KStm::While { cond, body } => DStm::While {
+                cond: self.cond_tape(cond, "while")?,
+                body: self.stms(body)?,
+            },
+            KStm::If {
+                cond,
+                then_s,
+                else_s,
+            } => DStm::If {
+                cond: self.cond_tape(cond, "if")?,
+                then_s: self.stms(then_s)?,
+                else_s: self.stms(else_s)?,
+            },
+            KStm::Barrier => DStm::Barrier,
+        })
+    }
+}
+
+impl DecodedKernel {
+    /// Pre-decodes a kernel: infers a scalar class for every register and
+    /// private array (fixpoint over the body; registers that are never
+    /// written default to i64, matching the old `Scalar::I64(0)` register
+    /// initialisation), assigns each register a slot in its class's file,
+    /// and flattens every expression into a postfix [`Tape`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Scalar`] for kernels the static model rejects:
+    /// a register or private array used at two different classes, operand
+    /// class mismatches, or argument kind confusion (these were dynamic
+    /// faults in the tree-walking simulator; well-typed codegen output
+    /// never triggers them).
+    pub fn decode(kernel: &Kernel) -> SResult<DecodedKernel> {
+        let mut inf = Decoder {
+            kernel,
+            regs: vec![None; kernel.num_regs as usize],
+            privs: vec![None; kernel.num_priv],
+            changed: true,
+        };
+        // Fixpoint: classes only ever go from unknown to known, so this
+        // terminates after at most `num_regs + num_priv + 1` sweeps.
+        while inf.changed {
+            inf.changed = false;
+            inf.infer_stms(&kernel.body)?;
+        }
+        let mut file_len = [0u32; 5];
+        let reg_slot: Vec<(ScalarType, u32)> = inf
+            .regs
+            .iter()
+            .map(|c| {
+                let t = c.unwrap_or(ScalarType::I64);
+                let slot = file_len[ci(t)];
+                file_len[ci(t)] += 1;
+                (t, slot)
+            })
+            .collect();
+        let priv_class: Vec<ScalarType> = inf
+            .privs
+            .iter()
+            .map(|c| c.unwrap_or(ScalarType::I64))
+            .collect();
+        let comp = Compiler {
+            kernel,
+            reg_slot,
+            priv_class,
+        };
+        let body = comp.stms(&kernel.body).map_err(|e| match e {
+            SimError::Scalar(m) => {
+                SimError::Scalar(format!("decoding kernel `{}`: {m}", kernel.name))
+            }
+            other => other,
+        })?;
+        Ok(DecodedKernel {
+            name: kernel.name.clone(),
+            params: kernel.params.clone(),
+            locals: kernel.locals.clone(),
+            reg_slot: comp.reg_slot,
+            file_len,
+            priv_class: comp.priv_class,
+            body,
+        })
+    }
+
+    /// The inferred scalar class of each original register, in register
+    /// order (diagnostics and tests).
+    pub fn reg_classes(&self) -> impl Iterator<Item = ScalarType> + '_ {
+        self.reg_slot.iter().map(|&(t, _)| t)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level operator implementations
+// ---------------------------------------------------------------------------
+//
+// Integer and float arithmetic are implemented directly on the bit
+// representation with *exactly* the expressions `eval_binop`/`eval_cmp`
+// use (including the shared floored-division helpers), so results are
+// bit-identical to the interpreter. `UnOp` and `Convert` reconstruct
+// `Scalar`s and call the interpreter's helpers outright: they are rare in
+// kernel inner loops and have the most delicate float edge cases
+// (double rounding in i64→f32, NaN/±inf/out-of-range in float→int).
+
+fn div_by_zero() -> SimError {
+    // Matches `InterpError::DivisionByZero`'s display, which the old
+    // tree-walking evaluator surfaced through `eval_binop`.
+    SimError::Scalar("division by zero".into())
+}
+
+#[inline]
+fn bin_bits(op: BinOp, t: ScalarType, a: u64, b: u64) -> SResult<u64> {
+    use BinOp::*;
+    let type_err = |what: &str| SimError::Scalar(format!("type error at runtime: {what}"));
+    Ok(match t {
+        ScalarType::I64 => {
+            let (x, y) = (a as i64, b as i64);
+            (match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        return Err(div_by_zero());
+                    }
+                    floor_div_i64(x, y)
+                }
+                Rem => {
+                    if y == 0 {
+                        return Err(div_by_zero());
+                    }
+                    floor_mod_i64(x, y)
+                }
+                Min => x.min(y),
+                Max => x.max(y),
+                Pow | Atan2 => return Err(type_err("pow/atan2 on integers")),
+                And | Or => return Err(type_err("logical op on integers")),
+            }) as u64
+        }
+        ScalarType::I32 => {
+            let (x, y) = (a as u32 as i32, b as u32 as i32);
+            (match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        return Err(div_by_zero());
+                    }
+                    floor_div_i32(x, y)
+                }
+                Rem => {
+                    if y == 0 {
+                        return Err(div_by_zero());
+                    }
+                    floor_mod_i32(x, y)
+                }
+                Min => x.min(y),
+                Max => x.max(y),
+                Pow | Atan2 => return Err(type_err("pow/atan2 on integers")),
+                And | Or => return Err(type_err("logical op on integers")),
+            }) as u32 as u64
+        }
+        ScalarType::F32 => {
+            let (x, y) = (f32::from_bits(a as u32), f32::from_bits(b as u32));
+            (match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Rem => x % y,
+                Min => x.min(y),
+                Max => x.max(y),
+                Pow => x.powf(y),
+                Atan2 => x.atan2(y),
+                And | Or => return Err(type_err("logical op on floats")),
+            })
+            .to_bits() as u64
+        }
+        ScalarType::F64 => {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            (match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Rem => x % y,
+                Min => x.min(y),
+                Max => x.max(y),
+                Pow => x.powf(y),
+                Atan2 => x.atan2(y),
+                And | Or => return Err(type_err("logical op on floats")),
+            })
+            .to_bits()
+        }
+        ScalarType::Bool => match op {
+            And => a & b,
+            Or => a | b,
+            _ => return Err(type_err("arithmetic on booleans")),
+        },
+    })
+}
+
+#[inline]
+fn cmp_bits(op: CmpOp, t: ScalarType, a: u64, b: u64) -> u64 {
+    #[inline]
+    fn cmp<T: PartialOrd>(op: CmpOp, x: T, y: T) -> bool {
+        match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        }
+    }
+    (match t {
+        ScalarType::I64 => cmp(op, a as i64, b as i64),
+        ScalarType::I32 => cmp(op, a as u32 as i32, b as u32 as i32),
+        ScalarType::F32 => cmp(op, f32::from_bits(a as u32), f32::from_bits(b as u32)),
+        ScalarType::F64 => cmp(op, f64::from_bits(a), f64::from_bits(b)),
+        ScalarType::Bool => cmp(op, a != 0, b != 0),
+    }) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Typed register files
+// ---------------------------------------------------------------------------
+
+/// Unboxed per-class register files in structure-of-arrays layout: register
+/// slot `s` of lane `l` lives at `file[s * lanes + l]`, so a statement
+/// sweeping the lanes for one register walks memory contiguously.
+struct RegFiles {
+    lanes: usize,
+    i64s: Vec<i64>,
+    i32s: Vec<i32>,
+    f32s: Vec<f32>,
+    f64s: Vec<f64>,
+    bools: Vec<bool>,
+}
+
+impl RegFiles {
+    fn new(file_len: &[u32; 5], lanes: usize) -> RegFiles {
+        RegFiles {
+            lanes,
+            bools: vec![false; file_len[0] as usize * lanes],
+            i32s: vec![0; file_len[1] as usize * lanes],
+            i64s: vec![0; file_len[2] as usize * lanes],
+            f32s: vec![0.0; file_len[3] as usize * lanes],
+            f64s: vec![0.0; file_len[4] as usize * lanes],
+        }
+    }
+
+    #[inline]
+    fn get(&self, class: ScalarType, slot: u32, lane: usize) -> u64 {
+        let i = slot as usize * self.lanes + lane;
+        match class {
+            ScalarType::Bool => self.bools[i] as u64,
+            ScalarType::I32 => self.i32s[i] as u32 as u64,
+            ScalarType::I64 => self.i64s[i] as u64,
+            ScalarType::F32 => self.f32s[i].to_bits() as u64,
+            ScalarType::F64 => self.f64s[i].to_bits(),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, class: ScalarType, slot: u32, lane: usize, bits: u64) {
+        let i = slot as usize * self.lanes + lane;
+        match class {
+            ScalarType::Bool => self.bools[i] = bits != 0,
+            ScalarType::I32 => self.i32s[i] = bits as u32 as i32,
+            ScalarType::I64 => self.i64s[i] = bits as i64,
+            ScalarType::F32 => self.f32s[i] = f32::from_bits(bits as u32),
+            ScalarType::F64 => self.f64s[i] = f64::from_bits(bits),
+        }
+    }
+
+    #[inline]
+    fn set_i64(&mut self, slot: u32, lane: usize, v: i64) {
+        self.i64s[slot as usize * self.lanes + lane] = v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group execution
+// ---------------------------------------------------------------------------
+
+/// What one group's execution produces: its counters and its write log
+/// (final value per written element — within-group ordering is already
+/// resolved, last write wins).
+struct GroupOut {
+    stats: KernelStats,
+    writes: HashMap<BufId, HashMap<usize, u64>>,
+}
+
+struct GroupRun<'a> {
+    dk: &'a DecodedKernel,
+    base: &'a DeviceMemory,
+    buf_ids: &'a [Option<BufId>],
+    scalar_bits: &'a [Option<u64>],
+    group_id: u64,
+    group_size: u64,
+    num_threads: u64,
+    lanes: usize,
+    warp_size: usize,
+    transaction_bytes: u64,
+    files: RegFiles,
+    /// Per-lane private arrays as bits: `privs[arr * lanes + lane]`.
+    privs: Vec<Vec<u64>>,
+    /// Per-group local buffers as bits.
+    locals: Vec<Vec<u64>>,
+    /// This group's global-memory overlay: reads consult it before the
+    /// base snapshot, and it doubles as the ordered-by-index write log.
+    writes: HashMap<BufId, HashMap<usize, u64>>,
+    stack: Vec<u64>,
+    /// Scratch: per-lane element offsets of the current global access.
+    offsets: Vec<Option<i64>>,
+    /// Scratch: segment ids for transaction counting.
+    segs: Vec<i64>,
+    stats: KernelStats,
+}
+
+impl<'a> GroupRun<'a> {
+    fn oob(&self, what: String) -> SimError {
+        SimError::OutOfBounds {
+            kernel: self.dk.name.clone(),
+            what,
+        }
+    }
+
+    fn buffer(&self, arg: usize) -> SResult<BufId> {
+        self.buf_ids
+            .get(arg)
+            .copied()
+            .flatten()
+            .ok_or_else(|| SimError::Scalar(format!("argument {arg} is not a buffer")))
+    }
+
+    /// Evaluates a tape for one lane on the bit stack.
+    fn eval(&mut self, tape: &Tape, lane: usize) -> SResult<u64> {
+        self.stack.clear();
+        for op in &tape.ops {
+            match *op {
+                EOp::Const(bits) => self.stack.push(bits),
+                EOp::Load(class, slot) => self.stack.push(self.files.get(class, slot, lane)),
+                EOp::GlobalId => self
+                    .stack
+                    .push((self.group_id * self.group_size + lane as u64) as i64 as u64),
+                EOp::GroupId => self.stack.push(self.group_id as i64 as u64),
+                EOp::LocalId => self.stack.push(lane as i64 as u64),
+                EOp::GroupSize => self.stack.push(self.group_size as i64 as u64),
+                EOp::NumThreads => self.stack.push(self.num_threads as i64 as u64),
+                EOp::ScalarArg(i) => {
+                    let bits = self.scalar_bits[i as usize]
+                        .ok_or_else(|| SimError::Scalar(format!("argument {i} is not a scalar")))?;
+                    self.stack.push(bits);
+                }
+                EOp::Bin(op, t) => {
+                    let b = self.stack.pop().expect("tape underflow");
+                    let a = self.stack.pop().expect("tape underflow");
+                    self.stack.push(bin_bits(op, t, a, b)?);
+                }
+                EOp::Cmp(op, t) => {
+                    let b = self.stack.pop().expect("tape underflow");
+                    let a = self.stack.pop().expect("tape underflow");
+                    self.stack.push(cmp_bits(op, t, a, b));
+                }
+                EOp::Un(op, t) => {
+                    let a = self.stack.pop().expect("tape underflow");
+                    let r =
+                        eval_unop(op, dec(t, a)).map_err(|e| SimError::Scalar(e.to_string()))?;
+                    self.stack.push(enc(r));
+                }
+                EOp::Conv(from, to) => {
+                    let a = self.stack.pop().expect("tape underflow");
+                    let r = eval_convert(to, dec(from, a))
+                        .map_err(|e| SimError::Scalar(e.to_string()))?;
+                    self.stack.push(enc(r));
+                }
+            }
+        }
+        Ok(self.stack.pop().expect("empty tape"))
+    }
+
+    fn eval_index(&mut self, tape: &Tape, lane: usize) -> SResult<i64> {
+        let bits = self.eval(tape, lane)?;
+        index_i64(tape.class, bits)
+    }
+
+    /// Counts the warp issue cost for one statement over a mask.
+    fn issue(&mut self, mask: &[bool], ops: u64) {
+        let mut warps = 0u64;
+        for chunk in mask.chunks(self.warp_size) {
+            if chunk.iter().any(|&b| b) {
+                warps += 1;
+            }
+        }
+        self.stats.warp_instructions += warps * (1 + ops);
+    }
+
+    /// Counts memory transactions for a warp-grouped global access using
+    /// the per-lane offsets left in `self.offsets`. A warp's transaction
+    /// count is the number of distinct aligned segments its active lanes
+    /// touch (sort + dedup on a reused scratch vector: deterministic and
+    /// allocation-free, unlike the old per-warp `HashSet`).
+    fn memory_access(&mut self, mask: &[bool], elem_bytes: u64) {
+        for (w, chunk) in mask.chunks(self.warp_size).enumerate() {
+            self.segs.clear();
+            let mut useful = 0u64;
+            for (l, &on) in chunk.iter().enumerate() {
+                if !on {
+                    continue;
+                }
+                if let Some(off) = self.offsets[w * self.warp_size + l] {
+                    self.segs
+                        .push((off * elem_bytes as i64) / self.transaction_bytes as i64);
+                    useful += elem_bytes;
+                }
+            }
+            self.segs.sort_unstable();
+            self.segs.dedup();
+            self.stats.global_transactions += self.segs.len() as u64;
+            self.stats.bus_bytes += self.segs.len() as u64 * self.transaction_bytes;
+            self.stats.useful_bytes += useful;
+        }
+    }
+
+    fn exec(&mut self, stms: &[DStm], mask: &[bool]) -> SResult<()> {
+        if !mask.iter().any(|&b| b) {
+            return Ok(());
+        }
+        for stm in stms {
+            match stm {
+                DStm::Assign { class, slot, exp } => {
+                    self.issue(mask, exp.cost);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let bits = self.eval(exp, lane)?;
+                            self.files.set(*class, *slot, lane, bits);
+                        }
+                    }
+                }
+                DStm::GlobalRead {
+                    class,
+                    slot,
+                    buf,
+                    index,
+                } => {
+                    self.issue(mask, index.cost);
+                    let bid = self.buffer(*buf)?;
+                    let base_buf = self.base.download(bid);
+                    let len = base_buf.len() as i64;
+                    let elem_bytes = base_buf.elem_type().byte_size() as u64;
+                    for lane in 0..mask.len() {
+                        self.offsets[lane] = None;
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            if i < 0 || i >= len {
+                                return Err(self.oob(format!("read {i} of buffer len {len}")));
+                            }
+                            self.offsets[lane] = Some(i);
+                            // Overlay first: the group sees its own writes.
+                            let bits =
+                                match self.writes.get(&bid).and_then(|m| m.get(&(i as usize))) {
+                                    Some(&b) => b,
+                                    None => buf_get_bits(self.base.download(bid), i as usize),
+                                };
+                            self.files.set(*class, *slot, lane, bits);
+                        }
+                    }
+                    self.memory_access(mask, elem_bytes);
+                }
+                DStm::GlobalWrite { buf, index, value } => {
+                    self.issue(mask, index.cost + value.cost);
+                    let bid = self.buffer(*buf)?;
+                    let len = self.base.download(bid).len() as i64;
+                    let elem_bytes = self.base.download(bid).elem_type().byte_size() as u64;
+                    for lane in 0..mask.len() {
+                        self.offsets[lane] = None;
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            if i < 0 || i >= len {
+                                return Err(self.oob(format!("write {i} of buffer len {len}")));
+                            }
+                            let bits = self.eval(value, lane)?;
+                            self.offsets[lane] = Some(i);
+                            self.writes.entry(bid).or_default().insert(i as usize, bits);
+                        }
+                    }
+                    self.memory_access(mask, elem_bytes);
+                }
+                DStm::LocalRead {
+                    class,
+                    slot,
+                    mem,
+                    index,
+                } => {
+                    self.issue(mask, index.cost);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            let len = self.locals[*mem].len();
+                            if i < 0 || i as usize >= len {
+                                return Err(self.oob(format!("local read {i} of len {len}")));
+                            }
+                            let bits = self.locals[*mem][i as usize];
+                            self.files.set(*class, *slot, lane, bits);
+                            self.stats.local_accesses += 1;
+                        }
+                    }
+                }
+                DStm::LocalWrite { mem, index, value } => {
+                    self.issue(mask, index.cost + value.cost);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            let bits = self.eval(value, lane)?;
+                            let len = self.locals[*mem].len();
+                            if i < 0 || i as usize >= len {
+                                return Err(self.oob(format!("local write {i} of len {len}")));
+                            }
+                            self.locals[*mem][i as usize] = bits;
+                            self.stats.local_accesses += 1;
+                        }
+                    }
+                }
+                DStm::PrivAlloc { arr, size } => {
+                    self.issue(mask, size.cost);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let n = self.eval_index(size, lane)?.max(0) as usize;
+                            self.privs[*arr * self.lanes + lane] = vec![0u64; n];
+                        }
+                    }
+                }
+                DStm::PrivRead {
+                    class,
+                    slot,
+                    arr,
+                    index,
+                } => {
+                    self.issue(mask, index.cost);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            let p = &self.privs[*arr * self.lanes + lane];
+                            if i < 0 || i as usize >= p.len() {
+                                return Err(
+                                    self.oob(format!("private read {i} of len {}", p.len()))
+                                );
+                            }
+                            let bits = p[i as usize];
+                            self.files.set(*class, *slot, lane, bits);
+                        }
+                    }
+                }
+                DStm::PrivWrite { arr, index, value } => {
+                    self.issue(mask, index.cost + value.cost);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let i = self.eval_index(index, lane)?;
+                            let bits = self.eval(value, lane)?;
+                            let p = &mut self.privs[*arr * self.lanes + lane];
+                            if i < 0 || i as usize >= p.len() {
+                                return Err(SimError::OutOfBounds {
+                                    kernel: self.dk.name.clone(),
+                                    what: format!("private write {i} of len {}", p.len()),
+                                });
+                            }
+                            p[i as usize] = bits;
+                        }
+                    }
+                }
+                DStm::PrivCopy { dst, src, len } => {
+                    self.issue(mask, len.cost);
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let n = self.eval_index(len, lane)?.max(0) as usize;
+                            let s = &self.privs[*src * self.lanes + lane];
+                            if n > s.len() {
+                                return Err(
+                                    self.oob(format!("private copy {n} of len {}", s.len()))
+                                );
+                            }
+                            let v = s[..n].to_vec();
+                            self.privs[*dst * self.lanes + lane] = v;
+                        }
+                    }
+                }
+                DStm::For { slot, bound, body } => {
+                    self.issue(mask, bound.cost);
+                    let mut bounds = vec![0i64; mask.len()];
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            bounds[lane] = self.eval_index(bound, lane)?;
+                        }
+                    }
+                    let max_bound = bounds.iter().copied().max().unwrap_or(0);
+                    for t in 0..max_bound {
+                        let sub: Vec<bool> = mask
+                            .iter()
+                            .zip(&bounds)
+                            .map(|(&m, &b)| m && t < b)
+                            .collect();
+                        if !sub.iter().any(|&b| b) {
+                            break;
+                        }
+                        for lane in 0..mask.len() {
+                            if sub[lane] {
+                                self.files.set_i64(*slot, lane, t);
+                            }
+                        }
+                        self.exec(body, &sub)?;
+                    }
+                }
+                DStm::While { cond, body } => {
+                    let mut live = mask.to_vec();
+                    let mut iterations = 0u64;
+                    loop {
+                        self.issue(&live, cond.cost);
+                        for lane in 0..live.len() {
+                            if live[lane] {
+                                live[lane] = self.eval(cond, lane)? != 0;
+                            }
+                        }
+                        if !live.iter().any(|&b| b) {
+                            break;
+                        }
+                        self.exec(body, &live)?;
+                        iterations += 1;
+                        if iterations > 100_000_000 {
+                            return Err(SimError::RunawayLoop {
+                                kernel: self.dk.name.clone(),
+                            });
+                        }
+                    }
+                }
+                DStm::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
+                    self.issue(mask, cond.cost);
+                    let mut then_mask = vec![false; mask.len()];
+                    let mut else_mask = vec![false; mask.len()];
+                    for lane in 0..mask.len() {
+                        if mask[lane] {
+                            let c = self.eval(cond, lane)? != 0;
+                            then_mask[lane] = c;
+                            else_mask[lane] = !c;
+                        }
+                    }
+                    self.exec(then_s, &then_mask)?;
+                    self.exec(else_s, &else_mask)?;
+                }
+                DStm::Barrier => {
+                    // All in-bounds lanes of the group must participate.
+                    if mask.iter().any(|&b| !b) {
+                        return Err(SimError::DivergentBarrier {
+                            kernel: self.dk.name.clone(),
+                        });
+                    }
+                    self.stats.barriers += 1;
+                    self.issue(mask, 0);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs one work-group against the shared memory snapshot and returns its
+/// stats and write log.
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    dk: &DecodedKernel,
+    device: &DeviceProfile,
+    base: &DeviceMemory,
+    buf_ids: &[Option<BufId>],
+    scalar_bits: &[Option<u64>],
+    local_sizes: &[(ScalarType, usize)],
+    group_id: u64,
+    lanes: usize,
+    num_threads: u64,
+) -> SResult<GroupOut> {
+    let mut run = GroupRun {
+        dk,
+        base,
+        buf_ids,
+        scalar_bits,
+        group_id,
+        group_size: device.group_size as u64,
+        num_threads,
+        lanes,
+        warp_size: device.warp_size as usize,
+        transaction_bytes: device.transaction_bytes,
+        files: RegFiles::new(&dk.file_len, lanes),
+        privs: vec![Vec::new(); dk.priv_class.len() * lanes],
+        locals: local_sizes.iter().map(|&(_, n)| vec![0u64; n]).collect(),
+        writes: HashMap::new(),
+        stack: Vec::with_capacity(16),
+        offsets: vec![None; lanes],
+        segs: Vec::with_capacity(device.warp_size as usize),
+        stats: KernelStats::default(),
+    };
+    let mask = vec![true; lanes];
+    run.exec(&dk.body, &mask)?;
+    Ok(GroupOut {
+        stats: run.stats,
+        writes: run.writes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Launch
+// ---------------------------------------------------------------------------
+
+/// Evaluates a local-buffer size expression, which must be uniform across
+/// the group: built from constants, `GroupSize`, scalar arguments, and
+/// binary operators (all at i64, as in the tree-walking simulator).
+fn eval_uniform(e: &KExp, group_size: u64, scalars: &[Option<Scalar>]) -> SResult<i64> {
+    match e {
+        KExp::Const(k) => k
+            .as_i64()
+            .ok_or_else(|| SimError::Scalar("non-integer uniform expression".into())),
+        KExp::GroupSize => Ok(group_size as i64),
+        KExp::ScalarArg(i) => scalars
+            .get(*i)
+            .copied()
+            .flatten()
+            .and_then(|s| s.as_i64())
+            .ok_or_else(|| SimError::Scalar("bad scalar argument".into())),
+        KExp::BinOp(op, a, b) => {
+            let x = eval_uniform(a, group_size, scalars)?;
+            let y = eval_uniform(b, group_size, scalars)?;
+            eval_binop(*op, Scalar::I64(x), Scalar::I64(y))
+                .map_err(|e| SimError::Scalar(e.to_string()))?
+                .as_i64()
+                .ok_or_else(|| SimError::Scalar("non-integer uniform".into()))
+        }
+        _ => Err(SimError::Scalar(
+            "local size must be built from constants and scalar args".into(),
+        )),
+    }
+}
+
+/// The number of host threads to use for group execution: the
+/// `FUTHARK_SIM_THREADS` environment variable if set (minimum 1), else the
+/// machine's available parallelism. Cached after the first call.
+pub fn host_threads() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| match std::env::var("FUTHARK_SIM_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    })
+}
+
+/// Minimum group count before spawning worker threads: below this the
+/// per-thread setup costs more than the parallelism recovers.
+const PAR_MIN_GROUPS: u64 = 2;
+
+/// Launches a pre-decoded kernel over `num_threads` threads, executing
+/// independent work-groups on up to `threads` host threads. Results —
+/// device memory, the returned [`KernelStats`], and any error — are
+/// bit-identical for every value of `threads` (see the module docs for the
+/// memory model that guarantees this).
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on faults (bounds, divergent barriers, runaway
+/// loops, negative local-memory sizes). When several groups fault, the
+/// lowest-numbered group's error is reported, after committing the writes
+/// of the groups before it — exactly what sequential execution observed.
+pub fn launch_decoded(
+    device: &DeviceProfile,
+    dk: &DecodedKernel,
+    num_threads: u64,
+    args: &[Arg],
+    mem: &mut DeviceMemory,
+    threads: usize,
+) -> SResult<KernelStats> {
+    let group_size = device.group_size as u64;
+    let num_groups = num_threads.div_ceil(group_size).max(1);
+    // Resolve launch arguments once.
+    let mut buf_ids: Vec<Option<BufId>> = vec![None; args.len()];
+    let mut scalar_bits: Vec<Option<u64>> = vec![None; args.len()];
+    let mut scalars: Vec<Option<Scalar>> = vec![None; args.len()];
+    for (i, a) in args.iter().enumerate() {
+        match a {
+            Arg::Buffer(b) => buf_ids[i] = Some(*b),
+            Arg::Scalar(s) => {
+                scalar_bits[i] = Some(enc(*s));
+                scalars[i] = Some(*s);
+            }
+        }
+    }
+    // Buffer arguments must carry the element type the kernel declared:
+    // registers are statically classed from the declaration, so a mismatch
+    // would silently reinterpret bits.
+    for (i, p) in dk.params.iter().enumerate() {
+        if let (KParam::Buffer(want), Some(Some(bid))) = (p, buf_ids.get(i)) {
+            let got = mem.download(*bid).elem_type();
+            if got != *want {
+                return Err(SimError::Scalar(format!(
+                    "buffer argument {i} has element type {got:?}, kernel `{}` expects {want:?}",
+                    dk.name
+                )));
+            }
+        }
+        if let (KParam::Scalar(want), Some(Some(s))) = (p, scalars.get(i)) {
+            let got = s.scalar_type();
+            if got != *want {
+                return Err(SimError::Scalar(format!(
+                    "scalar argument {i} has type {got:?}, kernel `{}` expects {want:?}",
+                    dk.name
+                )));
+            }
+        }
+    }
+    // Size local buffers once per launch (they are uniform by
+    // construction). A negative requested size is a fault, not an empty
+    // buffer.
+    let mut local_sizes: Vec<(ScalarType, usize)> = Vec::with_capacity(dk.locals.len());
+    for (t, size) in &dk.locals {
+        let n = eval_uniform(size, group_size, &scalars)?;
+        if n < 0 {
+            return Err(SimError::NegativeLocalSize {
+                kernel: dk.name.clone(),
+                requested: n,
+            });
+        }
+        local_sizes.push((*t, n as usize));
+    }
+
+    let lanes_of = |g: u64| group_size.min(num_threads.saturating_sub(g * group_size)) as usize;
+    let run_one = |g: u64, base: &DeviceMemory| -> Option<SResult<GroupOut>> {
+        let lanes = lanes_of(g);
+        if lanes == 0 {
+            return None;
+        }
+        Some(run_group(
+            dk,
+            device,
+            base,
+            &buf_ids,
+            &scalar_bits,
+            &local_sizes,
+            g,
+            lanes,
+            num_threads,
+        ))
+    };
+
+    let workers = threads.min(num_groups as usize).max(1);
+    let mut outs: Vec<Option<SResult<GroupOut>>> = Vec::with_capacity(num_groups as usize);
+    if workers <= 1 || num_groups < PAR_MIN_GROUPS {
+        let base: &DeviceMemory = mem;
+        for g in 0..num_groups {
+            outs.push(run_one(g, base));
+        }
+    } else {
+        outs.resize_with(num_groups as usize, || None);
+        let base: &DeviceMemory = mem;
+        let slots: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let run_one = &run_one;
+                    s.spawn(move || {
+                        // Strided group assignment balances uneven groups.
+                        let mut mine = Vec::new();
+                        let mut g = w as u64;
+                        while g < num_groups {
+                            mine.push((g, run_one(g, base)));
+                            g += workers as u64;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("simulator worker panicked"))
+                .collect()
+        });
+        for (g, out) in slots {
+            outs[g as usize] = out;
+        }
+    }
+
+    // Commit in ascending group order: write logs are applied and counters
+    // merged deterministically, and the lowest faulting group's error wins
+    // with exactly its predecessors' writes committed.
+    let mut stats = KernelStats {
+        threads: num_threads,
+        ..KernelStats::default()
+    };
+    for out in outs.into_iter().flatten() {
+        let out = out?;
+        for (bid, writes) in out.writes {
+            let buf = mem.buffer_mut(bid);
+            for (i, bits) in writes {
+                buf_set_bits(buf, i, bits);
+            }
+        }
+        stats.merge(&out.stats);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{KParam, KStm};
+
+    fn square_kernel() -> Kernel {
+        // out[i] = in[i] * in[i]
+        Kernel {
+            name: "square".into(),
+            params: vec![
+                KParam::Buffer(ScalarType::I64),
+                KParam::Buffer(ScalarType::I64),
+            ],
+            locals: vec![],
+            num_regs: 1,
+            num_priv: 0,
+            body: vec![
+                KStm::GlobalRead {
+                    var: 0,
+                    buf: 0,
+                    index: KExp::GlobalId,
+                },
+                KStm::GlobalWrite {
+                    buf: 1,
+                    index: KExp::GlobalId,
+                    value: KExp::Var(0).mul(KExp::Var(0)),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn decode_infers_register_classes() {
+        let k = Kernel {
+            name: "mixed".into(),
+            params: vec![
+                KParam::Buffer(ScalarType::F64),
+                KParam::Scalar(ScalarType::I64),
+            ],
+            locals: vec![],
+            num_regs: 3,
+            num_priv: 0,
+            body: vec![
+                KStm::GlobalRead {
+                    var: 0,
+                    buf: 0,
+                    index: KExp::GlobalId,
+                },
+                KStm::Assign {
+                    var: 1,
+                    exp: KExp::ScalarArg(1),
+                },
+                KStm::Assign {
+                    var: 2,
+                    exp: KExp::Cmp(
+                        futhark_core::CmpOp::Lt,
+                        Box::new(KExp::Var(1)),
+                        Box::new(KExp::i64(3)),
+                    ),
+                },
+            ],
+        };
+        let dk = DecodedKernel::decode(&k).unwrap();
+        assert_eq!(dk.reg_slot[0].0, ScalarType::F64);
+        assert_eq!(dk.reg_slot[1].0, ScalarType::I64);
+        assert_eq!(dk.reg_slot[2].0, ScalarType::Bool);
+        // One slot per class used.
+        assert_eq!(dk.file_len[ci(ScalarType::F64)], 1);
+        assert_eq!(dk.file_len[ci(ScalarType::I64)], 1);
+        assert_eq!(dk.file_len[ci(ScalarType::Bool)], 1);
+        assert_eq!(dk.file_len[ci(ScalarType::F32)], 0);
+    }
+
+    #[test]
+    fn decode_rejects_register_class_conflicts() {
+        let k = Kernel {
+            name: "conflict".into(),
+            params: vec![KParam::Scalar(ScalarType::I64)],
+            locals: vec![],
+            num_regs: 1,
+            num_priv: 0,
+            body: vec![
+                KStm::Assign {
+                    var: 0,
+                    exp: KExp::i64(1),
+                },
+                KStm::Assign {
+                    var: 0,
+                    exp: KExp::Const(Scalar::F64(1.0)),
+                },
+            ],
+        };
+        assert!(DecodedKernel::decode(&k).is_err());
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_sequential() {
+        let dev = DeviceProfile::gtx780();
+        let dk = DecodedKernel::decode(&square_kernel()).unwrap();
+        let n = 10_000usize;
+        let run = |threads: usize| {
+            let mut mem = DeviceMemory::new();
+            let a = mem.upload(Buffer::I64((0..n as i64).map(|i| i - 5000).collect()));
+            let out = mem.alloc(ScalarType::I64, n);
+            let stats = launch_decoded(
+                &dev,
+                &dk,
+                n as u64,
+                &[Arg::Buffer(a), Arg::Buffer(out)],
+                &mut mem,
+                threads,
+            )
+            .unwrap();
+            (stats, mem.download(out).clone())
+        };
+        let (seq_stats, seq_out) = run(1);
+        for threads in [2, 3, 8] {
+            let (par_stats, par_out) = run(threads);
+            assert_eq!(seq_stats, par_stats, "stats differ at {threads} threads");
+            assert_eq!(seq_out, par_out, "outputs differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn cross_group_scatter_conflicts_resolve_in_group_order() {
+        // Every thread writes its group id to out[0]: the last group wins,
+        // deterministically, at any host-thread count.
+        let dev = DeviceProfile::gtx780();
+        let k = Kernel {
+            name: "conflict".into(),
+            params: vec![KParam::Buffer(ScalarType::I64)],
+            locals: vec![],
+            num_regs: 0,
+            num_priv: 0,
+            body: vec![KStm::GlobalWrite {
+                buf: 0,
+                index: KExp::i64(0),
+                value: KExp::GroupId,
+            }],
+        };
+        let dk = DecodedKernel::decode(&k).unwrap();
+        let n = 4 * dev.group_size as u64; // four full groups
+        for threads in [1, 2, 4] {
+            let mut mem = DeviceMemory::new();
+            let out = mem.alloc(ScalarType::I64, 1);
+            launch_decoded(&dev, &dk, n, &[Arg::Buffer(out)], &mut mem, threads).unwrap();
+            let Buffer::I64(v) = mem.download(out) else {
+                panic!()
+            };
+            assert_eq!(v[0], 3, "at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn lowest_faulting_group_wins_and_predecessors_commit() {
+        // Group 0 writes out[0] = 7; group 1 reads out of bounds. The
+        // error must be group 1's, and group 0's write must be visible.
+        let dev = DeviceProfile::gtx780();
+        let gs = dev.group_size as i64;
+        let k = Kernel {
+            name: "fault".into(),
+            params: vec![KParam::Buffer(ScalarType::I64)],
+            locals: vec![],
+            num_regs: 1,
+            num_priv: 0,
+            body: vec![KStm::If {
+                cond: KExp::Cmp(
+                    futhark_core::CmpOp::Eq,
+                    Box::new(KExp::GroupId),
+                    Box::new(KExp::i64(0)),
+                ),
+                then_s: vec![KStm::GlobalWrite {
+                    buf: 0,
+                    index: KExp::LocalId.rem(KExp::i64(2)),
+                    value: KExp::i64(7),
+                }],
+                else_s: vec![KStm::GlobalRead {
+                    var: 0,
+                    buf: 0,
+                    index: KExp::i64(1_000_000),
+                }],
+            }],
+        };
+        let dk = DecodedKernel::decode(&k).unwrap();
+        for threads in [1, 4] {
+            let mut mem = DeviceMemory::new();
+            let out = mem.alloc(ScalarType::I64, 2);
+            let e = launch_decoded(
+                &dev,
+                &dk,
+                2 * gs as u64,
+                &[Arg::Buffer(out)],
+                &mut mem,
+                threads,
+            )
+            .unwrap_err();
+            assert!(matches!(e, SimError::OutOfBounds { .. }), "at {threads}");
+            let Buffer::I64(v) = mem.download(out) else {
+                panic!()
+            };
+            assert_eq!(&v[..], &[7, 7], "group 0's writes must be committed");
+        }
+    }
+
+    #[test]
+    fn floored_division_in_decoded_kernels() {
+        // out[i] = (i - 8) / 3 over the tape engine must match the
+        // interpreter's floored semantics.
+        let dev = DeviceProfile::gtx780();
+        let k = Kernel {
+            name: "floordiv".into(),
+            params: vec![
+                KParam::Buffer(ScalarType::I64),
+                KParam::Buffer(ScalarType::I64),
+            ],
+            locals: vec![],
+            num_regs: 1,
+            num_priv: 0,
+            body: vec![
+                KStm::GlobalRead {
+                    var: 0,
+                    buf: 0,
+                    index: KExp::GlobalId,
+                },
+                KStm::GlobalWrite {
+                    buf: 1,
+                    index: KExp::GlobalId,
+                    value: KExp::Var(0).div(KExp::i64(3)),
+                },
+            ],
+        };
+        let dk = DecodedKernel::decode(&k).unwrap();
+        let mut mem = DeviceMemory::new();
+        let xs: Vec<i64> = (0..16).map(|i| i - 8).collect();
+        let a = mem.upload(Buffer::I64(xs.clone()));
+        let out = mem.alloc(ScalarType::I64, 16);
+        launch_decoded(
+            &dev,
+            &dk,
+            16,
+            &[Arg::Buffer(a), Arg::Buffer(out)],
+            &mut mem,
+            1,
+        )
+        .unwrap();
+        let Buffer::I64(v) = mem.download(out) else {
+            panic!()
+        };
+        for (x, got) in xs.iter().zip(v) {
+            assert_eq!(*got, floor_div_i64(*x, 3), "{x} / 3");
+        }
+        assert_eq!(v[0], -3); // -8/3 floors to -3, not -2
+    }
+
+    #[test]
+    fn negative_local_size_is_an_error() {
+        let dev = DeviceProfile::gtx780();
+        let k = Kernel {
+            name: "neglocal".into(),
+            params: vec![KParam::Scalar(ScalarType::I64)],
+            locals: vec![(ScalarType::I64, KExp::ScalarArg(0))],
+            num_regs: 0,
+            num_priv: 0,
+            body: vec![],
+        };
+        let dk = DecodedKernel::decode(&k).unwrap();
+        let mut mem = DeviceMemory::new();
+        let e =
+            launch_decoded(&dev, &dk, 8, &[Arg::Scalar(Scalar::I64(-5))], &mut mem, 1).unwrap_err();
+        assert!(
+            matches!(e, SimError::NegativeLocalSize { requested: -5, .. }),
+            "got {e:?}"
+        );
+    }
+
+    #[test]
+    fn group_reads_its_own_writes_through_the_overlay() {
+        // Write out[id] = id, then read it back and double it, all in one
+        // launch: reads must see the group's own earlier writes.
+        let dev = DeviceProfile::gtx780();
+        let k = Kernel {
+            name: "rmw".into(),
+            params: vec![KParam::Buffer(ScalarType::I64)],
+            locals: vec![],
+            num_regs: 1,
+            num_priv: 0,
+            body: vec![
+                KStm::GlobalWrite {
+                    buf: 0,
+                    index: KExp::GlobalId,
+                    value: KExp::GlobalId,
+                },
+                KStm::GlobalRead {
+                    var: 0,
+                    buf: 0,
+                    index: KExp::GlobalId,
+                },
+                KStm::GlobalWrite {
+                    buf: 0,
+                    index: KExp::GlobalId,
+                    value: KExp::Var(0).mul(KExp::i64(2)),
+                },
+            ],
+        };
+        let dk = DecodedKernel::decode(&k).unwrap();
+        for threads in [1, 4] {
+            let mut mem = DeviceMemory::new();
+            let out = mem.alloc(ScalarType::I64, 600);
+            launch_decoded(&dev, &dk, 600, &[Arg::Buffer(out)], &mut mem, threads).unwrap();
+            let Buffer::I64(v) = mem.download(out) else {
+                panic!()
+            };
+            assert_eq!(v[0], 0);
+            assert_eq!(v[299], 598);
+            assert_eq!(v[599], 1198);
+        }
+    }
+}

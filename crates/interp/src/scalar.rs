@@ -10,6 +10,108 @@ fn type_err(msg: impl Into<String>) -> InterpError {
     InterpError::Type(msg.into())
 }
 
+// Futhark's `/` and `%` on integers are *floored* division and modulo
+// (rounding toward negative infinity, remainder taking the sign of the
+// divisor), not Rust's truncating `/`/`%`.  The helpers below are the single
+// definition of that semantics: the interpreter, the GPU simulator's decoded
+// tape, and the simplifier's constant folder all call them, so the three
+// evaluators cannot drift apart.  (That sharing is also why the differential
+// fuzzer never caught the original truncation bug — both sides of the oracle
+// computed the same wrong answer.)
+//
+// `i64::MIN / -1` (and the i32 analogue) overflows; consistent with every
+// other arithmetic op here it wraps: `wrapping_div` yields `MIN` with
+// remainder 0, which the floored adjustment leaves untouched.
+
+/// Floored division on `i64`. The divisor must be non-zero.
+#[inline]
+pub fn floor_div_i64(x: i64, y: i64) -> i64 {
+    let q = x.wrapping_div(y);
+    let r = x.wrapping_rem(y);
+    if r != 0 && (r < 0) != (y < 0) {
+        q.wrapping_sub(1)
+    } else {
+        q
+    }
+}
+
+/// Floored modulo on `i64` (result has the divisor's sign). The divisor must
+/// be non-zero.
+#[inline]
+pub fn floor_mod_i64(x: i64, y: i64) -> i64 {
+    let r = x.wrapping_rem(y);
+    if r != 0 && (r < 0) != (y < 0) {
+        r.wrapping_add(y)
+    } else {
+        r
+    }
+}
+
+/// Floored division on `i32`. The divisor must be non-zero.
+#[inline]
+pub fn floor_div_i32(x: i32, y: i32) -> i32 {
+    let q = x.wrapping_div(y);
+    let r = x.wrapping_rem(y);
+    if r != 0 && (r < 0) != (y < 0) {
+        q.wrapping_sub(1)
+    } else {
+        q
+    }
+}
+
+/// Floored modulo on `i32` (result has the divisor's sign). The divisor must
+/// be non-zero.
+#[inline]
+pub fn floor_mod_i32(x: i32, y: i32) -> i32 {
+    let r = x.wrapping_rem(y);
+    if r != 0 && (r < 0) != (y < 0) {
+        r.wrapping_add(y)
+    } else {
+        r
+    }
+}
+
+// Float→int conversion edge cases are defined explicitly rather than
+// inherited from whatever `as` does: NaN converts to 0, and values outside
+// the target range (including ±inf) saturate to the target's MIN/MAX.  Both
+// the interpreter ([`eval_convert`]) and the simulator's decoded-tape
+// `Convert` op route through these two functions.
+
+/// Converts an `f64` to `i32` with explicit edge-case semantics: NaN → 0,
+/// out-of-range (including ±inf) saturates.
+#[inline]
+pub fn f64_to_i32(x: f64) -> i32 {
+    if x.is_nan() {
+        0
+    } else if x >= i32::MAX as f64 {
+        i32::MAX
+    } else if x <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        x as i32
+    }
+}
+
+/// Converts an `f64` to `i64` with explicit edge-case semantics: NaN → 0,
+/// out-of-range (including ±inf) saturates.
+///
+/// The upper bound uses `>=` because `i64::MAX as f64` rounds *up* to
+/// 2^63, which is the first double no longer representable in `i64`.
+#[inline]
+pub fn f64_to_i64(x: f64) -> i64 {
+    if x.is_nan() {
+        0
+    } else if x >= i64::MAX as f64 {
+        i64::MAX
+    } else if x <= i64::MIN as f64 {
+        // `i64::MIN as f64` is exactly -2^63, which *is* representable, so
+        // `<=` keeps it (and everything below saturates to it).
+        i64::MIN
+    } else {
+        x as i64
+    }
+}
+
 /// Evaluates a binary operator on two scalars of the same type.
 ///
 /// # Errors
@@ -28,13 +130,13 @@ pub fn eval_binop(op: BinOp, a: Scalar, b: Scalar) -> SResult {
                 if y == 0 {
                     return Err(InterpError::DivisionByZero);
                 }
-                x.wrapping_div(y)
+                floor_div_i32(x, y)
             }
             Rem => {
                 if y == 0 {
                     return Err(InterpError::DivisionByZero);
                 }
-                x.wrapping_rem(y)
+                floor_mod_i32(x, y)
             }
             Min => x.min(y),
             Max => x.max(y),
@@ -49,13 +151,13 @@ pub fn eval_binop(op: BinOp, a: Scalar, b: Scalar) -> SResult {
                 if y == 0 {
                     return Err(InterpError::DivisionByZero);
                 }
-                x.wrapping_div(y)
+                floor_div_i64(x, y)
             }
             Rem => {
                 if y == 0 {
                     return Err(InterpError::DivisionByZero);
                 }
-                x.wrapping_rem(y)
+                floor_mod_i64(x, y)
             }
             Min => x.min(y),
             Max => x.max(y),
@@ -202,12 +304,12 @@ pub fn eval_convert(t: ScalarType, a: Scalar) -> SResult {
         ScalarType::I32 => I32(match a {
             I64(v) => v as i32,
             I32(v) => v,
-            _ => x as i32,
+            _ => f64_to_i32(x),
         }),
         ScalarType::I64 => I64(match a {
             I32(v) => v as i64,
             I64(v) => v,
-            _ => x as i64,
+            _ => f64_to_i64(x),
         }),
         ScalarType::F32 => F32(x as f32),
         ScalarType::F64 => F64(x),
@@ -233,6 +335,103 @@ mod tests {
             eval_binop(BinOp::Div, Scalar::I64(1), Scalar::I64(0)),
             Err(InterpError::DivisionByZero)
         ));
+    }
+
+    #[test]
+    fn floored_division_and_modulo() {
+        // Quotient rounds toward -inf; remainder takes the divisor's sign.
+        for &(x, y, q, r) in &[
+            (7i64, 2i64, 3i64, 1i64),
+            (-7, 2, -4, 1),
+            (7, -2, -4, -1),
+            (-7, -2, 3, -1),
+            (6, 3, 2, 0),
+            (-6, 3, -2, 0),
+            (i64::MIN, -1, i64::MIN, 0), // wraps, like every other op
+            (i64::MIN, 2, i64::MIN / 2, 0),
+            (i64::MAX, -1, -i64::MAX, 0),
+        ] {
+            assert_eq!(
+                eval_binop(BinOp::Div, Scalar::I64(x), Scalar::I64(y)).unwrap(),
+                Scalar::I64(q),
+                "{x} / {y}"
+            );
+            assert_eq!(
+                eval_binop(BinOp::Rem, Scalar::I64(x), Scalar::I64(y)).unwrap(),
+                Scalar::I64(r),
+                "{x} % {y}"
+            );
+            // The defining identity: x == (x / y) * y + (x % y), wrapping.
+            assert_eq!(q.wrapping_mul(y).wrapping_add(r), x);
+        }
+        for &(x, y, q, r) in &[
+            (-7i32, 2i32, -4i32, 1i32),
+            (7, -2, -4, -1),
+            (i32::MIN, -1, i32::MIN, 0),
+        ] {
+            assert_eq!(
+                eval_binop(BinOp::Div, Scalar::I32(x), Scalar::I32(y)).unwrap(),
+                Scalar::I32(q)
+            );
+            assert_eq!(
+                eval_binop(BinOp::Rem, Scalar::I32(x), Scalar::I32(y)).unwrap(),
+                Scalar::I32(r)
+            );
+        }
+        assert!(matches!(
+            eval_binop(BinOp::Rem, Scalar::I32(5), Scalar::I32(0)),
+            Err(InterpError::DivisionByZero)
+        ));
+    }
+
+    #[test]
+    fn float_to_int_edge_cases() {
+        // NaN → 0; ±inf and out-of-range saturate — explicitly, not as a
+        // side effect of Rust's `as`.
+        for t in [ScalarType::I32, ScalarType::I64] {
+            assert_eq!(
+                eval_convert(t, Scalar::F64(f64::NAN)).unwrap(),
+                eval_convert(t, Scalar::F64(0.0)).unwrap()
+            );
+        }
+        assert_eq!(
+            eval_convert(ScalarType::I32, Scalar::F64(f64::INFINITY)).unwrap(),
+            Scalar::I32(i32::MAX)
+        );
+        assert_eq!(
+            eval_convert(ScalarType::I32, Scalar::F64(f64::NEG_INFINITY)).unwrap(),
+            Scalar::I32(i32::MIN)
+        );
+        assert_eq!(
+            eval_convert(ScalarType::I32, Scalar::F64(1e12)).unwrap(),
+            Scalar::I32(i32::MAX)
+        );
+        assert_eq!(
+            eval_convert(ScalarType::I32, Scalar::F64(-1e12)).unwrap(),
+            Scalar::I32(i32::MIN)
+        );
+        assert_eq!(
+            eval_convert(ScalarType::I64, Scalar::F64(1e300)).unwrap(),
+            Scalar::I64(i64::MAX)
+        );
+        assert_eq!(
+            eval_convert(ScalarType::I64, Scalar::F64(-1e300)).unwrap(),
+            Scalar::I64(i64::MIN)
+        );
+        // -2^63 is exactly representable and must convert exactly.
+        assert_eq!(
+            eval_convert(ScalarType::I64, Scalar::F64(i64::MIN as f64)).unwrap(),
+            Scalar::I64(i64::MIN)
+        );
+        // 2^63 (what `i64::MAX as f64` rounds to) is out of range → MAX.
+        assert_eq!(
+            eval_convert(ScalarType::I64, Scalar::F64(i64::MAX as f64)).unwrap(),
+            Scalar::I64(i64::MAX)
+        );
+        assert_eq!(
+            eval_convert(ScalarType::I32, Scalar::F32(-3.9)).unwrap(),
+            Scalar::I32(-3)
+        );
     }
 
     #[test]

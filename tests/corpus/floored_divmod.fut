@@ -1,0 +1,17 @@
+-- hand-written regression anchor: floored division and modulo.
+-- Futhark's `/` rounds toward negative infinity and `%` takes the sign of
+-- the divisor (truncation gives -7/2 = -3, floored gives -4 with -7%2 = 1).
+-- Extremes included: i64::MIN / -1 wraps, and x % -1 == 0 for all x.
+-- Note the differential oracle alone cannot distinguish floored from
+-- truncating semantics (both executors share the scalar evaluator), so the
+-- concrete results are additionally pinned by `floored_divmod_pins` in
+-- tests/pipeline.rs; this fixture keeps the extreme operands crash-free
+-- and in agreement under the whole ablation matrix.
+-- input: 8
+-- input: [-7, 7, -7, 7, -9223372036854775808, -9223372036854775808, -1, 5]
+-- input: [2, -2, -2, 2, -1, 3, 5, -3]
+fun main (n: i64) (xs0: [n]i64) (xs1: [n]i64): [n]i64 =
+  let q = map (\(x: i64) (y: i64) -> x / y) xs0 xs1
+  let r = map (\(x: i64) (y: i64) -> x % y) xs0 xs1
+  let chk = map (\(a: i64) (b: i64) -> a * 10 + b) q r
+  in chk

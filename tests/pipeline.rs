@@ -211,3 +211,73 @@ fn amd_launch_overhead_shows_in_launch_heavy_programs() {
         nv.total_us
     );
 }
+
+#[test]
+fn floored_divmod_pins() {
+    // `/` is floored division (round toward negative infinity) and `%` is
+    // the matching modulo (result takes the divisor's sign) — NOT Rust's
+    // truncating `wrapping_div`/`wrapping_rem`. The differential fuzzer
+    // cannot catch a truncating implementation because the interpreter and
+    // the simulator share the scalar evaluator, so the concrete results
+    // are pinned here in both executors.
+    let src = "fun main (n: i64) (xs: [n]i64) (ys: [n]i64): ([n]i64, [n]i64) =\n\
+               let q = map (\\(x: i64) (y: i64) -> x / y) xs ys\n\
+               let r = map (\\(x: i64) (y: i64) -> x % y) xs ys\n\
+               in (q, r)";
+    let xs = vec![-7, 7, -7, 7, i64::MIN, i64::MIN, -1, 5];
+    let ys = vec![2, -2, -2, 2, -1, 3, 5, -3];
+    // Floored quotients and remainders (identity q*y + r == x, wrapping).
+    let want_q = vec![-4, -4, 3, 3, i64::MIN, -3074457345618258603, -1, -2];
+    let want_r = vec![1, -1, -1, 1, 0, 1, 4, -1];
+    let args = vec![
+        Value::i64(xs.len() as i64),
+        Value::Array(ArrayVal::from_i64s(xs)),
+        Value::Array(ArrayVal::from_i64s(ys)),
+    ];
+    let expect = vec![
+        Value::Array(ArrayVal::from_i64s(want_q)),
+        Value::Array(ArrayVal::from_i64s(want_r)),
+    ];
+    let interp = futhark::interpret(src, &args).expect("interprets");
+    assert_eq!(
+        interp, expect,
+        "interpreter disagrees with floored semantics"
+    );
+    let compiled = Compiler::new().compile(src).expect("compiles");
+    for device in [Device::Gtx780, Device::W8100] {
+        let (gpu, _) = compiled.run(device, &args).expect("runs");
+        assert_eq!(gpu, expect, "{device:?} disagrees with floored semantics");
+    }
+}
+
+#[test]
+fn float_to_int_conversion_edge_cases_pin() {
+    // NaN converts to 0; ±inf and out-of-range values saturate to the
+    // integer type's bounds — identically in interpreter and simulator.
+    let src = "fun main (n: i64) (xs: [n]f64): [n]i64 =\n\
+               let out = map (\\x -> i64 x) xs\n\
+               in out";
+    let xs = vec![
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        1e300,
+        -1e300,
+        2.9,
+        -2.9,
+        -9223372036854775808.0,
+    ];
+    let want = vec![0, i64::MAX, i64::MIN, i64::MAX, i64::MIN, 2, -2, i64::MIN];
+    let args = vec![
+        Value::i64(xs.len() as i64),
+        Value::Array(ArrayVal::new(vec![8], Buffer::F64(xs))),
+    ];
+    let expect = vec![Value::Array(ArrayVal::from_i64s(want))];
+    let interp = futhark::interpret(src, &args).expect("interprets");
+    assert_eq!(interp, expect, "interpreter conversion edge cases");
+    let compiled = Compiler::new().compile(src).expect("compiles");
+    for device in [Device::Gtx780, Device::W8100] {
+        let (gpu, _) = compiled.run(device, &args).expect("runs");
+        assert_eq!(gpu, expect, "{device:?} conversion edge cases");
+    }
+}
