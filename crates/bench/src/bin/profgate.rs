@@ -1,0 +1,267 @@
+//! `profgate` — the profile-regression gate.
+//!
+//! Replays every benchmark (verification-sized datasets, GTX 780 Ti
+//! profile) with tracing and profiling on, snapshots the **deterministic**
+//! execution shape — kernel launches, transpositions, per-kernel cost
+//! counters, compile-side rewrite counters — and compares it against the
+//! committed baseline (`prof-baseline.json` at the workspace root).
+//! Wall-clock and modelled time are deliberately excluded: everything in
+//! the snapshot must reproduce bit-for-bit on any machine, so any
+//! difference is a real pipeline change, not noise.
+//!
+//! Usage: profgate check [--baseline FILE]     compare; non-zero on drift
+//!        profgate refresh [--baseline FILE]   rewrite the baseline
+
+use futhark::{Compiler, Counters, Json, PipelineOptions};
+use futhark_bench::all_benchmarks;
+use futhark_gpu::KernelStats;
+use std::collections::BTreeMap;
+
+const DEFAULT_BASELINE: &str = "prof-baseline.json";
+
+/// The deterministic execution shape of one benchmark.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Snapshot {
+    launches: u64,
+    transposes: u64,
+    per_kernel: BTreeMap<String, (u64, KernelStats)>,
+    rewrites: Counters,
+}
+
+impl Snapshot {
+    fn to_json(&self) -> Json {
+        let kernels: Vec<Json> = self
+            .per_kernel
+            .iter()
+            .map(|(name, (launches, stats))| {
+                Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("launches", Json::U64(*launches)),
+                    ("stats", stats.to_json()),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("launches", Json::U64(self.launches)),
+            ("transposes", Json::U64(self.transposes)),
+            ("per_kernel", Json::Arr(kernels)),
+            ("rewrites", self.rewrites.to_json()),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Snapshot> {
+        let mut per_kernel = BTreeMap::new();
+        for k in j.get("per_kernel")?.as_arr()? {
+            per_kernel.insert(
+                k.get("name")?.as_str()?.to_string(),
+                (
+                    k.get("launches")?.as_u64()?,
+                    KernelStats::from_json(k.get("stats")?)?,
+                ),
+            );
+        }
+        Some(Snapshot {
+            launches: j.get("launches")?.as_u64()?,
+            transposes: j.get("transposes")?.as_u64()?,
+            per_kernel,
+            rewrites: Counters::from_json(j.get("rewrites")?)?,
+        })
+    }
+}
+
+/// Computes the snapshot of every benchmark, in Table 1 order.
+fn measure() -> Result<BTreeMap<String, Snapshot>, String> {
+    let mut out = BTreeMap::new();
+    for b in all_benchmarks() {
+        let compiled = Compiler::with_options(PipelineOptions::default())
+            .with_trace()
+            .compile(&b.source)
+            .map_err(|e| format!("{}: compile failed: {e}", b.name))?;
+        let (_, perf) = compiled
+            .run(futhark::Device::Gtx780, &b.small_args)
+            .map_err(|e| format!("{}: run failed: {e}", b.name))?;
+        let snap = Snapshot {
+            launches: perf.launches,
+            transposes: perf.transposes,
+            per_kernel: perf
+                .per_kernel
+                .iter()
+                .map(|(k, (l, _us, s))| (k.clone(), (*l, *s)))
+                .collect(),
+            rewrites: compiled
+                .report()
+                .map(futhark::CompileReport::all_counters)
+                .unwrap_or_default(),
+        };
+        out.insert(b.name.to_string(), snap);
+    }
+    Ok(out)
+}
+
+fn baseline_json(snaps: &BTreeMap<String, Snapshot>) -> Json {
+    Json::obj(vec![
+        ("device", Json::Str("gtx780".to_string())),
+        ("dataset", Json::Str("small".to_string())),
+        (
+            "benchmarks",
+            Json::Obj(
+                snaps
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn load_baseline(path: &str) -> Result<BTreeMap<String, Snapshot>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!("reading {path}: {e} (run `profgate refresh` to create the baseline)")
+    })?;
+    let j = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    let benches = j
+        .get("benchmarks")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| format!("{path}: missing \"benchmarks\" object"))?;
+    for (name, snap) in benches {
+        let s = Snapshot::from_json(snap)
+            .ok_or_else(|| format!("{path}: malformed snapshot for {name}"))?;
+        out.insert(name.clone(), s);
+    }
+    Ok(out)
+}
+
+/// Prints what changed between a baseline snapshot and the current one,
+/// per kernel, and returns whether they differ.
+fn report_drift(name: &str, old: &Snapshot, new: &Snapshot) -> bool {
+    if old == new {
+        return false;
+    }
+    println!("DRIFT {name}:");
+    if old.launches != new.launches {
+        println!("  launches: {} -> {}", old.launches, new.launches);
+    }
+    if old.transposes != new.transposes {
+        println!("  transposes: {} -> {}", old.transposes, new.transposes);
+    }
+    let keys: std::collections::BTreeSet<&String> =
+        old.per_kernel.keys().chain(new.per_kernel.keys()).collect();
+    for k in keys {
+        match (old.per_kernel.get(k), new.per_kernel.get(k)) {
+            (Some(a), Some(b)) if a == b => {}
+            (Some((al, a)), Some((bl, b))) => println!(
+                "  kernel {k}: launches {al} -> {bl}, gmem transactions {} -> {}, \
+                 warp instructions {} -> {}, barriers {} -> {}",
+                a.global_transactions,
+                b.global_transactions,
+                a.warp_instructions,
+                b.warp_instructions,
+                a.barriers,
+                b.barriers
+            ),
+            (Some(_), None) => println!("  kernel {k}: removed"),
+            (None, Some(_)) => println!("  kernel {k}: added"),
+            (None, None) => unreachable!(),
+        }
+    }
+    if old.rewrites != new.rewrites {
+        let keys: std::collections::BTreeSet<&str> = old
+            .rewrites
+            .iter()
+            .map(|(k, _)| k)
+            .chain(new.rewrites.iter().map(|(k, _)| k))
+            .collect();
+        for k in keys {
+            let (a, b) = (old.rewrites.get(k), new.rewrites.get(k));
+            if a != b {
+                println!("  rewrite {k}: {a} -> {b}");
+            }
+        }
+    }
+    true
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_default();
+    let mut baseline = DEFAULT_BASELINE.to_string();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline = p,
+                None => {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(2)
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2)
+            }
+        }
+    }
+    match cmd.as_str() {
+        "refresh" => {
+            let snaps = measure().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1)
+            });
+            let doc = baseline_json(&snaps).render_pretty();
+            if let Err(e) = std::fs::write(&baseline, doc) {
+                eprintln!("writing {baseline}: {e}");
+                std::process::exit(1)
+            }
+            println!(
+                "baseline for {} benchmarks written to {baseline}",
+                snaps.len()
+            );
+        }
+        "check" => {
+            let old = load_baseline(&baseline).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1)
+            });
+            let new = measure().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1)
+            });
+            let mut drifted = 0usize;
+            let keys: std::collections::BTreeSet<&String> = old.keys().chain(new.keys()).collect();
+            for name in keys {
+                match (old.get(name), new.get(name)) {
+                    (Some(a), Some(b)) => {
+                        if report_drift(name, a, b) {
+                            drifted += 1;
+                        }
+                    }
+                    (Some(_), None) => {
+                        println!("DRIFT {name}: benchmark removed");
+                        drifted += 1;
+                    }
+                    (None, Some(_)) => {
+                        println!("DRIFT {name}: benchmark not in baseline");
+                        drifted += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            if drifted > 0 {
+                eprintln!(
+                    "\nprofile gate FAILED: {drifted} benchmark(s) drifted from {baseline}.\n\
+                     If the change is intentional, refresh with:\n  \
+                     cargo run --release -p futhark-bench --bin profgate -- refresh"
+                );
+                std::process::exit(1)
+            }
+            println!(
+                "profile gate OK: {} benchmarks match {baseline} bit-for-bit",
+                new.len()
+            );
+        }
+        _ => {
+            eprintln!("usage: profgate check|refresh [--baseline FILE]");
+            std::process::exit(2)
+        }
+    }
+}

@@ -3,41 +3,65 @@
 //! profile — per-kernel time table, pass-time breakdown, rewrite
 //! counters — optionally archiving the whole trace as JSON.
 //!
-//! Usage: profile [options] <benchmark>
+//! Usage: profile [options] <benchmark> | --all | --diff OLD NEW
 //!
 //!   --list              list benchmark names and exit
+//!   --all               profile every benchmark; exit non-zero if any fails
+//!   --diff OLD NEW      compare two archived trace JSONs and exit
 //!   --device <name>     gtx780 (default) or w8100
 //!   --small             run the verification-sized dataset
+//!   --annotate          profile per source line and print the annotated listing
 //!   --json <file>       also write the full trace as JSON
+//!   --chrome <file>     also write a Chrome trace-event file (Perfetto)
 //!   --no-simplify / --no-fusion / --no-coalescing / --no-tiling
 //!                       disable individual optimisations
 
-use futhark::{prof, Compiler, Device, PipelineOptions};
-use futhark_bench::{all_benchmarks, benchmark};
+use futhark::{prof, Compiler, Device, Json, PipelineOptions};
+use futhark_bench::{all_benchmarks, benchmark, Benchmark};
 
 struct Config {
     name: Option<String>,
+    all: bool,
     device: Device,
     small: bool,
+    annotate: bool,
     json: Option<String>,
+    chrome: Option<String>,
     opts: PipelineOptions,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: profile [--list] [--device gtx780|w8100] [--small] \
-         [--json FILE] [--no-simplify] [--no-fusion] [--no-coalescing] \
+        "usage: profile [--list] [--all] [--diff OLD NEW] \
+         [--device gtx780|w8100] [--small] [--annotate] [--json FILE] \
+         [--chrome FILE] [--no-simplify] [--no-fusion] [--no-coalescing] \
          [--no-tiling] <benchmark>"
     );
     std::process::exit(2)
 }
 
+fn read_trace(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn run_diff(old: &str, new: &str) -> Result<(), String> {
+    let (old_j, new_j) = (read_trace(old)?, read_trace(new)?);
+    let d = prof::diff_traces(&old_j, &new_j)
+        .ok_or_else(|| "traces do not look like futhark-prof output".to_string())?;
+    print!("{}", prof::render_diff(&d));
+    Ok(())
+}
+
 fn parse_args() -> Config {
     let mut cfg = Config {
         name: None,
+        all: false,
         device: Device::Gtx780,
         small: false,
+        annotate: false,
         json: None,
+        chrome: None,
         opts: PipelineOptions::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -49,6 +73,19 @@ fn parse_args() -> Config {
                 }
                 std::process::exit(0)
             }
+            "--all" => cfg.all = true,
+            "--diff" => {
+                let (Some(old), Some(new)) = (args.next(), args.next()) else {
+                    usage()
+                };
+                match run_diff(&old, &new) {
+                    Ok(()) => std::process::exit(0),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1)
+                    }
+                }
+            }
             "--device" => {
                 cfg.device = match args.next().as_deref() {
                     Some("gtx780") => Device::Gtx780,
@@ -57,7 +94,9 @@ fn parse_args() -> Config {
                 }
             }
             "--small" => cfg.small = true,
+            "--annotate" => cfg.annotate = true,
             "--json" => cfg.json = Some(args.next().unwrap_or_else(|| usage())),
+            "--chrome" => cfg.chrome = Some(args.next().unwrap_or_else(|| usage())),
             "--no-simplify" => cfg.opts.simplify = false,
             "--no-fusion" => cfg.opts.fusion = false,
             "--no-coalescing" => cfg.opts.coalescing = false,
@@ -70,30 +109,22 @@ fn parse_args() -> Config {
     cfg
 }
 
-fn main() {
-    let cfg = parse_args();
-    let Some(name) = &cfg.name else { usage() };
-    let Some(b) = benchmark(name) else {
-        eprintln!("unknown benchmark {name:?}; try --list");
-        std::process::exit(2)
-    };
-    let compiled = match Compiler::with_options(cfg.opts)
+fn profile_one(b: &Benchmark, cfg: &Config) -> Result<(), String> {
+    let compiled = Compiler::with_options(cfg.opts)
         .with_trace()
         .compile(&b.source)
-    {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("{}: compile failed: {e}", b.name);
-            std::process::exit(1)
-        }
-    };
+        .map_err(|e| format!("{}: compile failed: {e}", b.name))?;
     let args = if cfg.small { &b.small_args } else { &b.args };
-    let (_, perf) = match compiled.run(cfg.device, args) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{}: run failed: {e}", b.name);
-            std::process::exit(1)
-        }
+    let perf = if cfg.annotate {
+        let (_, perf) = compiled
+            .run_profiled(cfg.device, args)
+            .map_err(|e| format!("{}: run failed: {e}", b.name))?;
+        perf
+    } else {
+        let (_, perf) = compiled
+            .run(cfg.device, args)
+            .map_err(|e| format!("{}: run failed: {e}", b.name))?;
+        perf
     };
     println!(
         "{} ({}) on {:?}, {} dataset",
@@ -103,12 +134,50 @@ fn main() {
         if cfg.small { "small" } else { "timed" }
     );
     print!("{}", prof::render(compiled.report(), &perf));
+    if cfg.annotate {
+        println!();
+        print!("{}", prof::render_annotated(&b.source, &perf));
+    }
     if let Some(path) = &cfg.json {
         let doc = prof::trace_json(compiled.report(), &perf).render_pretty();
-        if let Err(e) = std::fs::write(path, doc) {
-            eprintln!("writing {path}: {e}");
-            std::process::exit(1)
-        }
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
         println!("\ntrace written to {path}");
+    }
+    if let Some(path) = &cfg.chrome {
+        let doc = prof::chrome_trace(compiled.report(), &perf).render();
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("chrome trace written to {path} (load in ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
+fn main() {
+    let cfg = parse_args();
+    let targets: Vec<Benchmark> = if cfg.all {
+        if cfg.name.is_some() || cfg.json.is_some() || cfg.chrome.is_some() {
+            usage()
+        }
+        all_benchmarks()
+    } else {
+        let Some(name) = &cfg.name else { usage() };
+        let Some(b) = benchmark(name) else {
+            eprintln!("unknown benchmark {name:?}; try --list");
+            std::process::exit(2)
+        };
+        vec![b]
+    };
+    let mut failed = 0usize;
+    for (i, b) in targets.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        if let Err(e) = profile_one(b, &cfg) {
+            eprintln!("{e}");
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("\n{failed} of {} benchmarks failed", targets.len());
+        std::process::exit(1)
     }
 }

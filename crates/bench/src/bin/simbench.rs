@@ -40,6 +40,7 @@ fn vecadd() -> Kernel {
         locals: vec![],
         num_regs: 2,
         num_priv: 0,
+        prov_table: vec![],
         body: vec![KStm::If {
             cond: lt(KExp::GlobalId, KExp::ScalarArg(3)),
             then_s: vec![
@@ -78,6 +79,7 @@ fn vecadd_strided() -> Kernel {
         locals: vec![],
         num_regs: 2,
         num_priv: 0,
+        prov_table: vec![],
         body: vec![KStm::If {
             cond: lt(KExp::GlobalId, KExp::ScalarArg(3)),
             then_s: vec![
@@ -115,6 +117,7 @@ fn local_rotate() -> Kernel {
         locals: vec![(ScalarType::F64, KExp::GroupSize)],
         num_regs: 2,
         num_priv: 0,
+        prov_table: vec![],
         body: vec![
             KStm::If {
                 cond: lt(KExp::GlobalId, KExp::ScalarArg(2)),
@@ -175,6 +178,7 @@ fn divergent() -> Kernel {
         locals: vec![],
         num_regs: 2,
         num_priv: 0,
+        prov_table: vec![],
         body: vec![KStm::If {
             cond: lt(KExp::GlobalId, KExp::ScalarArg(1)),
             then_s: vec![
@@ -215,6 +219,7 @@ fn seq_loop() -> Kernel {
         locals: vec![],
         num_regs: 4,
         num_priv: 0,
+        prov_table: vec![],
         body: vec![KStm::If {
             cond: lt(KExp::GlobalId, KExp::ScalarArg(2)),
             then_s: vec![

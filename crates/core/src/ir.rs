@@ -7,6 +7,7 @@
 //! arrays-of-tuples to tuples-of-arrays at an early stage, per Section 2.2).
 
 use crate::name::Name;
+use crate::prov::Prov;
 use crate::types::{DeclType, ScalarType, Size, Type};
 use std::fmt;
 
@@ -770,12 +771,19 @@ pub struct Stm {
     pub pat: Vec<PatElem>,
     /// The right-hand side.
     pub exp: Exp,
+    /// Source provenance: which source lines this binding descends from.
+    /// Empty for compiler-synthesised scaffolding until the fill pass runs.
+    pub prov: Prov,
 }
 
 impl Stm {
-    /// Convenience constructor.
+    /// Convenience constructor (no provenance; see [`Stm::with_prov`]).
     pub fn new(pat: Vec<PatElem>, exp: Exp) -> Self {
-        Stm { pat, exp }
+        Stm {
+            pat,
+            exp,
+            prov: Prov::none(),
+        }
     }
 
     /// A single-binding statement.
@@ -783,7 +791,14 @@ impl Stm {
         Stm {
             pat: vec![PatElem::new(name, ty)],
             exp,
+            prov: Prov::none(),
         }
+    }
+
+    /// Attaches source provenance (builder style).
+    pub fn with_prov(mut self, prov: Prov) -> Self {
+        self.prov = prov;
+        self
     }
 }
 

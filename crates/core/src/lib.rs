@@ -32,6 +32,7 @@ pub mod builder;
 pub mod ir;
 pub mod name;
 pub mod pretty;
+pub mod prov;
 pub mod rng;
 pub mod traverse;
 pub mod types;
@@ -42,6 +43,7 @@ pub use ir::{
     SubExp, UnOp,
 };
 pub use name::{Name, NameSource};
+pub use prov::Prov;
 pub use rng::Rng64;
 pub use types::{ArrayType, DeclType, ScalarType, Size, Type};
 pub use value::{ArrayVal, Buffer, Value};

@@ -442,6 +442,7 @@ mod tests {
             body: Body::new(
                 vec![Stm {
                     pat: vec![PatElem::new(ys.clone(), arr_t)],
+                    prov: crate::prov::Prov::none(),
                     exp: Exp::Soac(Soac::Map {
                         width: SubExp::Var(n.clone()),
                         lam: Lambda {

@@ -1,0 +1,163 @@
+//! Source provenance: which source lines a piece of IR came from.
+//!
+//! A [`Prov`] is a small sorted set of 1-based source line numbers. Every
+//! [`Stm`](crate::ir::Stm) carries one; transformation passes *merge* rather
+//! than drop provenance when they combine statements (fusion attributes a
+//! fused kernel to all contributing sites), so the profiler can bucket
+//! simulator counters by source line all the way from the decoded tape back
+//! to the program text.
+
+use std::fmt;
+
+/// A set of 1-based source line numbers, kept sorted and deduplicated.
+///
+/// The empty set means "no known origin" (compiler-synthesised scaffolding);
+/// the provenance fill pass replaces such gaps by inheritance before codegen.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Prov {
+    lines: Vec<u32>,
+}
+
+impl Prov {
+    /// The empty provenance (no known source origin).
+    pub fn none() -> Prov {
+        Prov::default()
+    }
+
+    /// Provenance of a single source line.
+    pub fn line(line: u32) -> Prov {
+        Prov { lines: vec![line] }
+    }
+
+    /// Provenance from an explicit set of lines (sorted + deduplicated).
+    pub fn from_lines(mut lines: Vec<u32>) -> Prov {
+        lines.sort_unstable();
+        lines.dedup();
+        Prov { lines }
+    }
+
+    /// The union of two provenance sets.
+    pub fn union(&self, other: &Prov) -> Prov {
+        if self.lines.is_empty() {
+            return other.clone();
+        }
+        if other.lines.is_empty() {
+            return self.clone();
+        }
+        let mut lines = Vec::with_capacity(self.lines.len() + other.lines.len());
+        lines.extend_from_slice(&self.lines);
+        lines.extend_from_slice(&other.lines);
+        Prov::from_lines(lines)
+    }
+
+    /// Unions `other` into `self` in place.
+    pub fn merge(&mut self, other: &Prov) {
+        if other.lines.is_empty() {
+            return;
+        }
+        *self = self.union(other);
+    }
+
+    /// The sorted line numbers.
+    pub fn lines(&self) -> &[u32] {
+        &self.lines
+    }
+
+    /// Whether no origin is known.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The canonical textual key used by profiling reports: comma-separated
+    /// sorted line numbers (`"4"` or `"4,7"`), or `"?"` when empty.
+    pub fn key(&self) -> String {
+        if self.lines.is_empty() {
+            return "?".to_string();
+        }
+        let mut s = String::new();
+        for (i, l) in self.lines.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&l.to_string());
+        }
+        s
+    }
+}
+
+/// Fills empty provenance by inheritance: a statement with no recorded
+/// origin inherits the nearest preceding statement's provenance in its
+/// body, or the enclosing statement's provenance for nested bodies. After
+/// this pass every statement of a source-derived program carries a
+/// non-empty provenance (assuming at least one stamped statement exists),
+/// which codegen relies on when stamping kernel opcodes.
+pub fn fill_program(prog: &mut crate::ir::Program) {
+    for f in &mut prog.functions {
+        fill_body(&mut f.body, &Prov::none());
+    }
+}
+
+fn fill_body(body: &mut crate::ir::Body, enclosing: &Prov) {
+    // Forward: inherit from the nearest preceding stamped statement (or the
+    // enclosing statement).
+    let mut last = enclosing.clone();
+    for stm in &mut body.stms {
+        if stm.prov.is_empty() {
+            stm.prov = last.clone();
+        } else {
+            last = stm.prov.clone();
+        }
+    }
+    // Backward: leading scaffolding (before the first stamped statement)
+    // inherits from the nearest following stamped statement.
+    let mut next = Prov::none();
+    for stm in body.stms.iter_mut().rev() {
+        if stm.prov.is_empty() {
+            stm.prov = next.clone();
+        } else {
+            next = stm.prov.clone();
+        }
+    }
+    for stm in &mut body.stms {
+        let here = stm.prov.clone();
+        for b in stm.exp.inner_bodies_mut() {
+            fill_body(b, &here);
+        }
+    }
+}
+
+impl fmt::Display for Prov {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_sorts_and_dedups() {
+        let a = Prov::from_lines(vec![7, 4]);
+        let b = Prov::from_lines(vec![4, 9]);
+        assert_eq!(a.union(&b).lines(), &[4, 7, 9]);
+        assert_eq!(a.union(&Prov::none()), a);
+        assert_eq!(Prov::none().union(&b), b);
+    }
+
+    #[test]
+    fn key_rendering() {
+        assert_eq!(Prov::none().key(), "?");
+        assert_eq!(Prov::line(4).key(), "4");
+        assert_eq!(Prov::from_lines(vec![7, 4]).key(), "4,7");
+        assert_eq!(Prov::line(3).to_string(), "3");
+    }
+
+    #[test]
+    fn merge_in_place() {
+        let mut p = Prov::line(2);
+        p.merge(&Prov::line(5));
+        p.merge(&Prov::none());
+        assert_eq!(p.lines(), &[2, 5]);
+    }
+}

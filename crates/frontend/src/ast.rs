@@ -283,6 +283,10 @@ pub enum UExp {
     Rearrange(Vec<usize>, Box<UExp>),
     /// `reshape (d…) a`.
     Reshape(Vec<UExp>, Box<UExp>),
+    /// A source-position marker: the wrapped expression starts on the given
+    /// 1-based line. Inserted by the parser at binding sites (function
+    /// bodies, `let`s, lambda bodies); semantically transparent.
+    At(u32, Box<UExp>),
 }
 
 /// A surface function definition.

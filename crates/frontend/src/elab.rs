@@ -13,7 +13,7 @@
 use crate::ast::*;
 use futhark_core::{
     BinOp, Body, CmpOp, DeclType, Exp, FunDef, Lambda, LoopForm, Name, NameSource, Param, PatElem,
-    Program, Scalar, ScalarType, Size, Soac, Stm, SubExp, Type, UnOp,
+    Program, Prov, Scalar, ScalarType, Size, Soac, Stm, SubExp, Type, UnOp,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -99,7 +99,11 @@ pub fn elaborate(uprog: &UProgram) -> EResult<(Program, NameSource)> {
         param_envs.insert(f.name.clone(), env);
     }
 
-    let mut elab = Elab { ns, sigs };
+    let mut elab = Elab {
+        ns,
+        sigs,
+        cur_line: 0,
+    };
     let mut functions = Vec::new();
     for f in &uprog.functions {
         let env = param_envs[&f.name].clone();
@@ -233,9 +237,30 @@ type Sig = (Vec<Param>, Vec<DeclType>, Vec<bool>);
 struct Elab {
     ns: NameSource,
     sigs: HashMap<String, Sig>,
+    /// The 1-based source line of the innermost enclosing `At` marker;
+    /// 0 before the first marker. Statements emitted during elaboration
+    /// are stamped with this as their provenance.
+    cur_line: u32,
 }
 
 impl Elab {
+    /// Provenance for statements emitted at the current source position.
+    fn prov(&self) -> Prov {
+        if self.cur_line > 0 {
+            Prov::line(self.cur_line)
+        } else {
+            Prov::none()
+        }
+    }
+
+    /// Provenance for an explicitly captured line.
+    fn prov_at(line: u32) -> Prov {
+        if line > 0 {
+            Prov::line(line)
+        } else {
+            Prov::none()
+        }
+    }
     /// Elaborates an expression as a full body with its own statement list.
     fn body(&mut self, env: &Env, e: &UExp, hints: Option<&[Type]>) -> EResult<Body> {
         let mut stms = Vec::new();
@@ -256,6 +281,10 @@ impl Elab {
         hints: Option<&[Type]>,
     ) -> EResult<Vec<(SubExp, Type)>> {
         match e {
+            UExp::At(line, inner) => {
+                self.cur_line = *line;
+                self.exp_multi(env, stms, inner, hints)
+            }
             UExp::Tuple(parts) => {
                 let mut out = Vec::new();
                 for (i, p) in parts.iter().enumerate() {
@@ -289,6 +318,9 @@ impl Elab {
                 self.exp_multi(env, stms, &desugared, hints)
             }
             _ => {
+                // Capture the position before elaborating: nested `At`
+                // markers inside `e` move `cur_line` as they elaborate.
+                let line = self.cur_line;
                 let (exp, tys) = self.elab_exp(env, stms, e, hints)?;
                 if let Exp::SubExp(se) = &exp {
                     if tys.len() == 1 {
@@ -304,7 +336,7 @@ impl Elab {
                     .zip(&tys)
                     .map(|(pe, t)| (SubExp::Var(pe.name.clone()), t.clone()))
                     .collect();
-                stms.push(Stm::new(pat, exp));
+                stms.push(Stm::new(pat, exp).with_prov(Self::prov_at(line)));
                 Ok(out)
             }
         }
@@ -318,6 +350,7 @@ impl Elab {
         pat: &[UPatElem],
         rhs: &UExp,
     ) -> EResult<Env> {
+        let line = self.cur_line;
         let hint_tys: Vec<Option<Type>> = pat
             .iter()
             .map(|pe| pe.ty.as_ref().map(|t| elab_type(env, t)).transpose())
@@ -348,7 +381,7 @@ impl Elab {
             env2.bind(&pe.name, name.clone(), ty.clone());
             pes.push(PatElem::new(name, ty));
         }
-        stms.push(Stm::new(pes, exp));
+        stms.push(Stm::new(pes, exp).with_prov(Self::prov_at(line)));
         Ok(env2)
     }
 
@@ -361,6 +394,7 @@ impl Elab {
         e: &UExp,
         hint: Option<&Type>,
     ) -> EResult<(SubExp, Type)> {
+        let line = self.cur_line;
         let hints_buf;
         let hints = match hint {
             Some(h) => {
@@ -380,7 +414,7 @@ impl Elab {
             return Ok((se, tys[0].clone()));
         }
         let name = self.ns.fresh("e");
-        stms.push(Stm::single(name.clone(), tys[0].clone(), exp));
+        stms.push(Stm::single(name.clone(), tys[0].clone(), exp).with_prov(Self::prov_at(line)));
         Ok((SubExp::Var(name), tys[0].clone()))
     }
 
@@ -394,6 +428,10 @@ impl Elab {
     ) -> EResult<(Exp, Vec<Type>)> {
         let hint1 = hints.and_then(|h| if h.len() == 1 { Some(&h[0]) } else { None });
         match e {
+            UExp::At(line, inner) => {
+                self.cur_line = *line;
+                self.elab_exp(env, stms, inner, hints)
+            }
             UExp::Var(s) => {
                 let (name, ty) = env.lookup(s)?;
                 Ok((Exp::SubExp(SubExp::Var(name)), vec![ty]))
@@ -778,11 +816,14 @@ impl Elab {
                     for t in &tys[1..] {
                         let d = size_to_subexp(t.outer_dim().expect("array has outer dim"));
                         let name = self.ns.fresh("cl");
-                        stms.push(Stm::single(
-                            name.clone(),
-                            Type::Scalar(ScalarType::I64),
-                            Exp::BinOp(BinOp::Add, acc, d),
-                        ));
+                        stms.push(
+                            Stm::single(
+                                name.clone(),
+                                Type::Scalar(ScalarType::I64),
+                                Exp::BinOp(BinOp::Add, acc, d),
+                            )
+                            .with_prov(self.prov()),
+                        );
                         acc = SubExp::Var(name);
                     }
                     outer = subexp_to_size(&acc)?;
@@ -1139,16 +1180,19 @@ impl Elab {
                 // Flags: run the predicate body, then select 1/0.
                 let fname = self.ns.fresh("flag");
                 let mut fstms = pred.body.stms.clone();
-                fstms.push(Stm::single(
-                    fname.clone(),
-                    i64t.clone(),
-                    Exp::If {
-                        cond: pred.body.result[0].clone(),
-                        then_body: Body::new(vec![], vec![one.clone()]),
-                        else_body: Body::new(vec![], vec![zero.clone()]),
-                        ret: vec![i64t.clone()],
-                    },
-                ));
+                fstms.push(
+                    Stm::single(
+                        fname.clone(),
+                        i64t.clone(),
+                        Exp::If {
+                            cond: pred.body.result[0].clone(),
+                            then_body: Body::new(vec![], vec![one.clone()]),
+                            else_body: Body::new(vec![], vec![zero.clone()]),
+                            ret: vec![i64t.clone()],
+                        },
+                    )
+                    .with_prov(self.prov()),
+                );
                 let flags_lam = Lambda {
                     params: pred.params.clone(),
                     body: Body::new(fstms, vec![SubExp::Var(fname)]),
@@ -1157,47 +1201,59 @@ impl Elab {
                 let outer = subexp_to_size(&width)?;
                 let flags_ty = Type::array_of(ScalarType::I64, vec![outer]);
                 let flags = self.ns.fresh("flags");
-                stms.push(Stm::single(
-                    flags.clone(),
-                    flags_ty.clone(),
-                    Exp::Soac(Soac::Map {
-                        width: width.clone(),
-                        lam: flags_lam,
-                        arrs: vec![xs.clone()],
-                    }),
-                ));
+                stms.push(
+                    Stm::single(
+                        flags.clone(),
+                        flags_ty.clone(),
+                        Exp::Soac(Soac::Map {
+                            width: width.clone(),
+                            lam: flags_lam,
+                            arrs: vec![xs.clone()],
+                        }),
+                    )
+                    .with_prov(self.prov()),
+                );
 
                 // Exclusive positions via inclusive scan, and the kept count.
                 let offs = self.ns.fresh("offs");
-                stms.push(Stm::single(
-                    offs.clone(),
-                    flags_ty.clone(),
-                    Exp::Soac(Soac::Scan {
-                        width: width.clone(),
-                        lam: self.plus_i64(),
-                        neutral: vec![zero.clone()],
-                        arrs: vec![flags.clone()],
-                    }),
-                ));
+                stms.push(
+                    Stm::single(
+                        offs.clone(),
+                        flags_ty.clone(),
+                        Exp::Soac(Soac::Scan {
+                            width: width.clone(),
+                            lam: self.plus_i64(),
+                            neutral: vec![zero.clone()],
+                            arrs: vec![flags.clone()],
+                        }),
+                    )
+                    .with_prov(self.prov()),
+                );
                 let count = self.ns.fresh("count");
-                stms.push(Stm::single(
-                    count.clone(),
-                    i64t.clone(),
-                    Exp::Soac(Soac::Reduce {
-                        width: width.clone(),
-                        lam: self.plus_i64(),
-                        neutral: vec![zero],
-                        arrs: vec![flags.clone()],
-                        comm: true,
-                    }),
-                ));
+                stms.push(
+                    Stm::single(
+                        count.clone(),
+                        i64t.clone(),
+                        Exp::Soac(Soac::Reduce {
+                            width: width.clone(),
+                            lam: self.plus_i64(),
+                            neutral: vec![zero],
+                            arrs: vec![flags.clone()],
+                            comm: true,
+                        }),
+                    )
+                    .with_prov(self.prov()),
+                );
                 let dest = self.ns.fresh("dest");
                 let res_ty = Type::array_of(elem, vec![Size::Var(count.clone())]);
-                stms.push(Stm::single(
-                    dest.clone(),
-                    res_ty.clone(),
-                    Exp::Replicate(SubExp::Var(count), SubExp::Const(Scalar::zero(elem))),
-                ));
+                stms.push(
+                    Stm::single(
+                        dest.clone(),
+                        res_ty.clone(),
+                        Exp::Replicate(SubExp::Var(count), SubExp::Const(Scalar::zero(elem))),
+                    )
+                    .with_prov(self.prov()),
+                );
 
                 // Kept elements scatter to position-1; dropped ones to -1,
                 // which scatter ignores as out of bounds.
@@ -1243,15 +1299,18 @@ impl Elab {
                     ret: vec![i64t],
                 };
                 let is = self.ns.fresh("is");
-                stms.push(Stm::single(
-                    is.clone(),
-                    flags_ty,
-                    Exp::Soac(Soac::Map {
-                        width: width.clone(),
-                        lam: is_lam,
-                        arrs: vec![flags, offs],
-                    }),
-                ));
+                stms.push(
+                    Stm::single(
+                        is.clone(),
+                        flags_ty,
+                        Exp::Soac(Soac::Map {
+                            width: width.clone(),
+                            lam: is_lam,
+                            arrs: vec![flags, offs],
+                        }),
+                    )
+                    .with_prov(self.prov()),
+                );
 
                 Ok((
                     Exp::Soac(Soac::Scatter {

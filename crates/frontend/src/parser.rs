@@ -172,7 +172,8 @@ impl Parser {
         self.expect(&Token::Colon)?;
         let ret = self.ret_types()?;
         self.expect(&Token::Equals)?;
-        let body = self.exp()?;
+        let body_line = self.line();
+        let body = UExp::At(body_line, Box::new(self.exp()?));
         Ok(UFunDef {
             name,
             params,
@@ -272,6 +273,12 @@ impl Parser {
     }
 
     fn let_exp(&mut self) -> Result<UExp, ParseError> {
+        let line = self.line();
+        let e = self.let_exp_inner()?;
+        Ok(UExp::At(line, Box::new(e)))
+    }
+
+    fn let_exp_inner(&mut self) -> Result<UExp, ParseError> {
         self.expect(&Token::Let)?;
         // `let x[i…] = v` update sugar.
         if let (Some(Token::Ident(_)), Some(Token::LBracket)) = (self.peek(), self.peek2()) {
@@ -415,7 +422,8 @@ impl Parser {
             None
         };
         self.expect(&Token::Arrow)?;
-        let body = Box::new(self.exp()?);
+        let body_line = self.line();
+        let body = Box::new(UExp::At(body_line, Box::new(self.exp()?)));
         Ok(ULambda { params, ret, body })
     }
 
@@ -841,6 +849,14 @@ pub fn scalar_type_name(s: &str) -> Option<ScalarType> {
 mod tests {
     use super::*;
 
+    /// Strips the parser's `At` line markers for structural assertions.
+    fn peel(e: UExp) -> UExp {
+        match e {
+            UExp::At(_, inner) => peel(*inner),
+            other => other,
+        }
+    }
+
     #[test]
     fn parses_simple_function() {
         let p = parse(
@@ -904,9 +920,9 @@ mod tests {
     #[test]
     fn parses_let_chain_without_in() {
         let e = parse_exp("let a = 1 let b = a + 2 in b").unwrap();
-        match e {
+        match peel(e) {
             UExp::Let { body, .. } => {
-                assert!(matches!(*body, UExp::Let { .. }));
+                assert!(matches!(peel(*body), UExp::Let { .. }));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -938,7 +954,7 @@ mod tests {
         let e = parse_exp("counts with [c] <- x + 1").unwrap();
         assert!(matches!(e, UExp::With { .. }));
         let e2 = parse_exp("let a[0] = 5 in a").unwrap();
-        assert!(matches!(e2, UExp::LetUpdate { .. }));
+        assert!(matches!(peel(e2), UExp::LetUpdate { .. }));
     }
 
     #[test]
@@ -996,7 +1012,7 @@ mod tests {
     #[test]
     fn parses_multi_pattern_let() {
         let e = parse_exp("let (a: i64, b) = f(x) in a + b").unwrap();
-        match e {
+        match peel(e) {
             UExp::Let { pat, .. } => {
                 assert_eq!(pat.len(), 2);
                 assert!(pat[0].ty.is_some());

@@ -42,7 +42,8 @@ use std::fmt;
 
 pub mod prof;
 
-pub use futhark_gpu::exec::{ExecError, LaunchRecord, PerfReport, TimelineEvent};
+pub use futhark_gpu::exec::{ExecError, LaunchRecord, PerfReport, RunOptions, TimelineEvent};
+pub use futhark_gpu::sim::SiteStats;
 pub use futhark_trace::{CompileReport, Counters, IrSize, Json, PassSpan};
 
 /// The two simulated devices of the paper's evaluation.
@@ -328,6 +329,10 @@ impl Compiler {
         mut ns: NameSource,
         mut report: Option<CompileReport>,
     ) -> Result<Compiled, Error> {
+        // Provenance fill #1: give compiler-synthesised scaffolding from
+        // elaboration a source line by inheritance, so the optimisation
+        // passes have non-empty provenance to merge.
+        futhark_core::prov::fill_program(&mut prog);
         // Inlining always runs (kernels cannot call functions).
         spanned(&mut report, "inline", program_size(&prog), || {
             futhark_opt::simplify::inline_functions(&mut prog, &mut ns);
@@ -359,6 +364,9 @@ impl Compiler {
             coalescing: self.opts.coalescing,
             tiling: self.opts.tiling,
         };
+        // Provenance fill #2: statements introduced by the optimisation
+        // passes inherit provenance before codegen stamps kernel tapes.
+        futhark_core::prov::fill_program(&mut prog);
         let plan = spanned(&mut report, "codegen", program_size(&prog), || {
             let res = codegen::compile(&prog, opts);
             let mut after = program_size(&prog);
@@ -414,6 +422,34 @@ impl Compiled {
         let profile = device.profile();
         let (vals, report) =
             exec::run_with_threads(&self.plan, &self.prog, &profile, args, threads)?;
+        Ok((vals, report))
+    }
+
+    /// Runs the program in profiled execution mode: the returned
+    /// [`PerfReport`] additionally carries per-source-site counters
+    /// ([`PerfReport::per_site`], keyed by source line sets). Result
+    /// values and every aggregate counter are bit-identical to an
+    /// unprofiled [`Compiled::run`] — profiling only adds observability.
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiled::run`].
+    pub fn run_profiled(
+        &self,
+        device: Device,
+        args: &[Value],
+    ) -> Result<(Vec<Value>, PerfReport), Error> {
+        let profile = device.profile();
+        let (vals, report) = exec::run_with_opts(
+            &self.plan,
+            &self.prog,
+            &profile,
+            args,
+            exec::RunOptions {
+                profile: true,
+                ..exec::RunOptions::default()
+            },
+        )?;
         Ok((vals, report))
     }
 

@@ -7,7 +7,9 @@
 //! document for archival next to benchmark output.
 
 use futhark_gpu::exec::{PerfReport, TimelineEvent};
-use futhark_trace::{CompileReport, Json};
+use futhark_gpu::sim::{KernelStats, SiteStats};
+use futhark_trace::{ChromeTrace, CompileReport, Json};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One-line execution summary: modelled time split by category.
@@ -123,6 +125,327 @@ pub fn render(compile: Option<&CompileReport>, run: &PerfReport) -> String {
         }
     }
     out
+}
+
+/// Parses a [`futhark_core::Prov`] key (`"4"`, `"4,7"`) into 1-based
+/// source-line numbers. The unattributed key `"?"` yields an empty list.
+fn site_lines(key: &str) -> Vec<usize> {
+    key.split(',').filter_map(|p| p.parse().ok()).collect()
+}
+
+/// Annotated source listing: each line of `source` prefixed with its
+/// share of the run's global-memory transactions and warp-instruction
+/// issues, plus divergence waste, from [`PerfReport::per_site`].
+///
+/// A site spanning several lines (a fused statement with key `"4,7"`)
+/// contributes its **full** counters to *each* member line — attribution
+/// answers "which lines were involved", so fused work is shown at every
+/// contributing site rather than split by an arbitrary ratio. Shares are
+/// therefore computed against the per-site total (each site counted
+/// once) and line shares can sum past 100% in heavily fused programs.
+///
+/// Requires a profiled run ([`crate::Compiled::run_profiled`]); with an
+/// empty `per_site` the listing carries a note instead of numbers.
+pub fn render_annotated(source: &str, run: &PerfReport) -> String {
+    let mut out = String::from("== annotated source ==\n");
+    if run.per_site.is_empty() {
+        out.push_str("(no per-site counters: run with profiling enabled)\n");
+        for (i, line) in source.lines().enumerate() {
+            let _ = writeln!(out, "{:>4} | {line}", i + 1);
+        }
+        return out;
+    }
+    // Per-line accumulation; totals count each site once.
+    let mut per_line: BTreeMap<usize, SiteStats> = BTreeMap::new();
+    let mut unattributed = SiteStats::default();
+    let mut total = SiteStats::default();
+    for (key, stats) in &run.per_site {
+        total.merge(stats);
+        let lines = site_lines(key);
+        if lines.is_empty() {
+            unattributed.merge(stats);
+        } else {
+            for l in lines {
+                per_line.entry(l).or_default().merge(stats);
+            }
+        }
+    }
+    let share = |part: u64, whole: u64| {
+        if whole == 0 {
+            0.0
+        } else {
+            part as f64 / whole as f64 * 100.0
+        }
+    };
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>7}  {:>7}  {:>7} | source",
+        "line", "gmem%", "winst%", "diverg%"
+    );
+    for (i, line) in source.lines().enumerate() {
+        let n = i + 1;
+        match per_line.get(&n) {
+            Some(s) if !s.is_zero() => {
+                let _ = writeln!(
+                    out,
+                    "{n:>4}  {:>6.1}%  {:>6.1}%  {:>6.1}% | {line}",
+                    share(s.global_transactions, total.global_transactions),
+                    share(s.warp_instructions, total.warp_instructions),
+                    share(s.inactive_lane_instructions, total.warp_instructions),
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "{n:>4}  {:>7}  {:>7}  {:>7} | {line}", "", "", "");
+            }
+        }
+    }
+    if !unattributed.is_zero() {
+        let _ = writeln!(
+            out,
+            "   ?  {:>6.1}%  {:>6.1}%  {:>6.1}% | (unattributed)",
+            share(unattributed.global_transactions, total.global_transactions),
+            share(unattributed.warp_instructions, total.warp_instructions),
+            share(
+                unattributed.inactive_lane_instructions,
+                total.warp_instructions
+            ),
+        );
+    }
+    out
+}
+
+/// One old/new pair in a [`TraceDiff`]; `None` on a side means the entry
+/// is absent from that trace.
+pub type DiffPair<T> = (Option<T>, Option<T>);
+
+/// Structured comparison of two runs: whole-run totals, per-kernel
+/// launches/time/counters, and per-site (per-source-line) counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceDiff {
+    /// Modelled total time, old vs new (microseconds).
+    pub total_us: (f64, f64),
+    /// Kernel launches, old vs new.
+    pub launches: (u64, u64),
+    /// Transpositions materialised, old vs new.
+    pub transposes: (u64, u64),
+    /// Kernels whose launches/time/counters differ (or that exist on one
+    /// side only), keyed by kernel name.
+    pub per_kernel: BTreeMap<String, DiffPair<(u64, f64, KernelStats)>>,
+    /// Source sites whose counters differ (or that exist on one side
+    /// only), keyed by [`futhark_core::Prov`] key.
+    pub per_site: BTreeMap<String, DiffPair<SiteStats>>,
+}
+
+impl TraceDiff {
+    /// Whether the deterministic execution shape is identical: same
+    /// launches, transposes, per-kernel counters, and per-site counters.
+    /// Modelled time is *not* consulted (it is derived from the same
+    /// counters and would add float-comparison noise).
+    pub fn is_clean(&self) -> bool {
+        self.launches.0 == self.launches.1
+            && self.transposes.0 == self.transposes.1
+            && self.per_kernel.is_empty()
+            && self.per_site.is_empty()
+    }
+}
+
+/// Compares two runs. Kernels and sites equal on both sides are dropped;
+/// what remains is the difference (plus the always-present totals).
+pub fn diff_runs(old: &PerfReport, new: &PerfReport) -> TraceDiff {
+    let mut d = TraceDiff {
+        total_us: (old.total_us, new.total_us),
+        launches: (old.launches, new.launches),
+        transposes: (old.transposes, new.transposes),
+        ..TraceDiff::default()
+    };
+    let keys: std::collections::BTreeSet<&String> =
+        old.per_kernel.keys().chain(new.per_kernel.keys()).collect();
+    for k in keys {
+        let o = old.per_kernel.get(k);
+        let n = new.per_kernel.get(k);
+        let differs = match (o, n) {
+            (Some(a), Some(b)) => a.0 != b.0 || a.2 != b.2,
+            _ => true,
+        };
+        if differs {
+            d.per_kernel.insert(k.clone(), (o.cloned(), n.cloned()));
+        }
+    }
+    let keys: std::collections::BTreeSet<&String> =
+        old.per_site.keys().chain(new.per_site.keys()).collect();
+    for k in keys {
+        let o = old.per_site.get(k);
+        let n = new.per_site.get(k);
+        if o != n {
+            d.per_site.insert(k.clone(), (o.copied(), n.copied()));
+        }
+    }
+    d
+}
+
+/// Compares two [`trace_json`] documents (run halves only). `None` when
+/// either document does not parse.
+pub fn diff_traces(old: &Json, new: &Json) -> Option<TraceDiff> {
+    let (_, old_run) = trace_from_json(old)?;
+    let (_, new_run) = trace_from_json(new)?;
+    Some(diff_runs(&old_run, &new_run))
+}
+
+/// Renders a [`TraceDiff`] as a table: totals first, then per-kernel and
+/// per-site deltas ("-" marks a side where the entry is absent).
+pub fn render_diff(d: &TraceDiff) -> String {
+    let mut out = String::from("== trace diff (old -> new) ==\n");
+    let _ = writeln!(
+        out,
+        "total {:.1} -> {:.1} us | launches {} -> {} | transposes {} -> {}",
+        d.total_us.0, d.total_us.1, d.launches.0, d.launches.1, d.transposes.0, d.transposes.1
+    );
+    if d.is_clean() {
+        out.push_str("no per-kernel or per-site differences\n");
+        return out;
+    }
+    if !d.per_kernel.is_empty() {
+        let nw = d
+            .per_kernel
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("kernel".len());
+        let _ = writeln!(
+            out,
+            "\n{:<nw$}  {:>16}  {:>24}  {:>22}",
+            "kernel", "launches", "time (us)", "gmem transactions"
+        );
+        for (name, (o, n)) in &d.per_kernel {
+            let fmt_l = |v: &Option<(u64, f64, KernelStats)>| {
+                v.map_or("-".to_string(), |(l, _, _)| l.to_string())
+            };
+            let fmt_us = |v: &Option<(u64, f64, KernelStats)>| {
+                v.map_or("-".to_string(), |(_, us, _)| format!("{us:.1}"))
+            };
+            let fmt_tx = |v: &Option<(u64, f64, KernelStats)>| {
+                v.map_or("-".to_string(), |(_, _, s)| {
+                    s.global_transactions.to_string()
+                })
+            };
+            let _ = writeln!(
+                out,
+                "{name:<nw$}  {:>7} -> {:<6}  {:>11} -> {:<10}  {:>10} -> {:<9}",
+                fmt_l(o),
+                fmt_l(n),
+                fmt_us(o),
+                fmt_us(n),
+                fmt_tx(o),
+                fmt_tx(n)
+            );
+        }
+    }
+    if !d.per_site.is_empty() {
+        let nw = d
+            .per_site
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("line".len());
+        let _ = writeln!(
+            out,
+            "\n{:<nw$}  {:>22}  {:>24}",
+            "line", "gmem transactions", "warp instructions"
+        );
+        for (key, (o, n)) in &d.per_site {
+            let fmt = |v: &Option<SiteStats>, f: fn(&SiteStats) -> u64| {
+                v.as_ref().map_or("-".to_string(), |s| f(s).to_string())
+            };
+            let _ = writeln!(
+                out,
+                "{key:<nw$}  {:>10} -> {:<9}  {:>11} -> {:<10}",
+                fmt(o, |s| s.global_transactions),
+                fmt(n, |s| s.global_transactions),
+                fmt(o, |s| s.warp_instructions),
+                fmt(n, |s| s.warp_instructions)
+            );
+        }
+    }
+    out
+}
+
+/// Assembles a Chrome trace-event document (loadable in Perfetto or
+/// `chrome://tracing`) from the two trace halves: compile passes on one
+/// track (wall-clock), the execution timeline on another (modelled
+/// time). The tracks use separate process lanes because the two clocks
+/// are unrelated; each starts at timestamp 0.
+pub fn chrome_trace(compile: Option<&CompileReport>, run: &PerfReport) -> Json {
+    let mut t = ChromeTrace::new();
+    if let Some(rep) = compile {
+        t.name_lane(1, 1, "compile passes (wall clock)");
+        let mut ts = 0.0;
+        for p in &rep.passes {
+            let rewrites: u64 = p.counters.iter().map(|(_, v)| v).sum();
+            t.complete(
+                &p.name,
+                "pass",
+                1,
+                1,
+                ts,
+                p.wall_us,
+                vec![
+                    ("statements_before", Json::U64(p.before.statements)),
+                    ("statements_after", Json::U64(p.after.statements)),
+                    ("kernels_after", Json::U64(p.after.kernels)),
+                    ("rewrites", Json::U64(rewrites)),
+                ],
+            );
+            ts += p.wall_us;
+        }
+    }
+    t.name_lane(2, 1, "device timeline (modelled)");
+    let mut ts = 0.0;
+    for e in &run.timeline {
+        match e {
+            TimelineEvent::Launch(l) => t.complete(
+                &l.kernel,
+                "kernel",
+                2,
+                1,
+                ts,
+                l.us,
+                vec![
+                    ("num_groups", Json::U64(l.num_groups)),
+                    ("group_size", Json::U64(l.group_size)),
+                    ("threads", Json::U64(l.num_threads)),
+                    (
+                        "global_transactions",
+                        Json::U64(l.stats.global_transactions),
+                    ),
+                    ("warp_instructions", Json::U64(l.stats.warp_instructions)),
+                    ("barriers", Json::U64(l.stats.barriers)),
+                ],
+            ),
+            TimelineEvent::DeviceOp { what, bytes, us } => t.complete(
+                what,
+                "device_op",
+                2,
+                1,
+                ts,
+                *us,
+                vec![("bytes", Json::U64(*bytes))],
+            ),
+            TimelineEvent::Fallback { what, work, us } => t.complete(
+                what,
+                "fallback",
+                2,
+                1,
+                ts,
+                *us,
+                vec![("work", Json::U64(*work))],
+            ),
+            TimelineEvent::Sync { what, us } => t.complete(what, "sync", 2, 1, ts, *us, vec![]),
+        }
+        ts += e.us();
+    }
+    t.to_json()
 }
 
 /// The whole trace as one JSON document: `{"compile": ..., "run": ...}`

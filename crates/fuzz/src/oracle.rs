@@ -25,6 +25,9 @@ pub enum DivergenceKind {
     RunError,
     /// The simulator produced different output values.
     Mismatch,
+    /// Profiled execution perturbed the run: different output values or
+    /// different aggregate cost counters than the unprofiled run.
+    ProfilePerturbation,
 }
 
 /// One observed disagreement.
@@ -47,6 +50,7 @@ impl std::fmt::Display for Divergence {
             DivergenceKind::CompileError => "compile error",
             DivergenceKind::RunError => "run error",
             DivergenceKind::Mismatch => "mismatch",
+            DivergenceKind::ProfilePerturbation => "profile perturbation",
         };
         write!(f, "[{}", self.config)?;
         if let Some(d) = &self.device {
@@ -117,6 +121,53 @@ fn compare(reference: &[Value], got: &[Value]) -> Option<String> {
     None
 }
 
+/// Compares a profiled re-run against the unprofiled run: the outputs
+/// must be bit-identical and the aggregate [`futhark::PerfReport`]
+/// counters (launches, transposes, whole-run kernel stats) unchanged —
+/// profiling is an observer, never a participant.
+fn check_profiled_run(
+    compiled: &futhark::Compiled,
+    device: Device,
+    dlabel: &str,
+    args: &[Value],
+    unprofiled: &[Value],
+    perf: &futhark::PerfReport,
+    opts: PipelineOptions,
+) -> Option<Divergence> {
+    let diverge = |detail: String| {
+        Some(Divergence {
+            config: format!("{}+profile", opts.label()),
+            device: Some(dlabel.to_string()),
+            kind: DivergenceKind::ProfilePerturbation,
+            detail,
+        })
+    };
+    match compiled.run_profiled(device, args) {
+        Ok((got, pperf)) => {
+            if let Some(detail) = compare(unprofiled, &got) {
+                return diverge(detail);
+            }
+            if pperf.stats != perf.stats
+                || pperf.launches != perf.launches
+                || pperf.transposes != perf.transposes
+            {
+                return diverge(format!(
+                    "aggregate counters changed under profiling: \
+                     launches {} vs {}, transposes {} vs {}, stats {:?} vs {:?}",
+                    perf.launches,
+                    pperf.launches,
+                    perf.transposes,
+                    pperf.transposes,
+                    perf.stats,
+                    pperf.stats
+                ));
+            }
+            None
+        }
+        Err(e) => diverge(format!("profiled run failed: {e}")),
+    }
+}
+
 /// Runs the full differential check on one program.
 pub fn check_source(src: &str, args: &[Value]) -> Outcome {
     let reference = match interpret(src, args) {
@@ -137,7 +188,7 @@ pub fn check_source(src: &str, args: &[Value]) -> Outcome {
         };
         for (device, dlabel) in devices() {
             match compiled.run(device, args) {
-                Ok((got, _)) => {
+                Ok((got, perf)) => {
                     if let Some(detail) = compare(&reference, &got) {
                         return Outcome::Diverged(Divergence {
                             config: opts.label(),
@@ -145,6 +196,17 @@ pub fn check_source(src: &str, args: &[Value]) -> Outcome {
                             kind: DivergenceKind::Mismatch,
                             detail,
                         });
+                    }
+                    // Profiled execution must be a pure observer: on the
+                    // default configuration, re-run with per-site
+                    // profiling on and demand bit-identical outputs and
+                    // identical aggregate cost counters.
+                    if opts == PipelineOptions::default() {
+                        if let Some(d) =
+                            check_profiled_run(&compiled, device, dlabel, args, &got, &perf, opts)
+                        {
+                            return Outcome::Diverged(d);
+                        }
                     }
                 }
                 Err(e) => {

@@ -23,8 +23,8 @@
 use crate::kernel::{KExp, KParam, KStm, Kernel, PrivId, Reg};
 use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec, OutSpec};
 use futhark_core::{
-    BinOp, Body, Exp, Lambda, LoopForm, Name, Param, PatElem, Program, ScalarType, Size, Soac, Stm,
-    SubExp, Type,
+    BinOp, Body, Exp, Lambda, LoopForm, Name, Param, PatElem, Program, Prov, ScalarType, Size,
+    Soac, Stm, SubExp, Type,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -262,7 +262,7 @@ impl Codegen {
             }
             break;
         }
-        let mut kb = KBuild::new(self.kernel_name("segmap"));
+        let mut kb = KBuild::new(self.kernel_name("segmap"), stm.prov.clone());
         let depth = widths.len();
         // Thread indices.
         let width_args: Vec<KExp> = widths
@@ -406,7 +406,7 @@ impl Codegen {
         red_lam: &Lambda,
         map_lam: Option<&Lambda>,
     ) -> CResult<Vec<HStm>> {
-        let mut kb = KBuild::new(self.kernel_name("redstage1"));
+        let mut kb = KBuild::new(self.kernel_name("redstage1"), stm.prov.clone());
         let n = kb.scalar_subexp(width, ScalarType::I64)?;
         let mut body_stms = Vec::new();
         let (lo, len) = kb.stream_chunk(&n, &mut body_stms);
@@ -536,7 +536,7 @@ impl Codegen {
         if fold_lam.ret.len() != accs.len() {
             return cerr("stream_red with chunk array outputs not kernelised");
         }
-        let mut kb = KBuild::new(self.kernel_name("streamred"));
+        let mut kb = KBuild::new(self.kernel_name("streamred"), stm.prov.clone());
         let n = kb.scalar_subexp(width, ScalarType::I64)?;
         let mut body_stms = Vec::new();
         let (lo, len) = kb.stream_chunk(&n, &mut body_stms);
@@ -685,7 +685,7 @@ impl Codegen {
         if dat.rank() != 1 {
             return cerr("only rank-1 scatter kernels supported");
         }
-        let mut kb = KBuild::new(self.kernel_name("scatter"));
+        let mut kb = KBuild::new(self.kernel_name("scatter"), stm.prov.clone());
         let mut body = Vec::new();
         let ity = self
             .types
@@ -807,10 +807,17 @@ struct KBuild {
     locals: Vec<(ScalarType, KExp)>,
     regs: u32,
     privs: usize,
+    /// Provenance table under construction (deduplicated).
+    provs: Vec<Prov>,
+    prov_cache: HashMap<Prov, u32>,
+    /// Provenance of the host statement this kernel implements; wraps the
+    /// whole body so scaffolding (index math, output writes) is attributed
+    /// to the originating site rather than left unattributed.
+    root_prov: Prov,
 }
 
 impl KBuild {
-    fn new(name: String) -> Self {
+    fn new(name: String, root_prov: Prov) -> Self {
         KBuild {
             name,
             params: Vec::new(),
@@ -820,7 +827,21 @@ impl KBuild {
             locals: Vec::new(),
             regs: 0,
             privs: 0,
+            provs: Vec::new(),
+            prov_cache: HashMap::new(),
+            root_prov,
         }
+    }
+
+    /// Interns a provenance set, returning its table index.
+    fn prov_idx(&mut self, p: &Prov) -> u32 {
+        if let Some(&i) = self.prov_cache.get(p) {
+            return i;
+        }
+        let i = self.provs.len() as u32;
+        self.provs.push(p.clone());
+        self.prov_cache.insert(p.clone(), i);
+        i
     }
 
     fn reg(&mut self) -> Reg {
@@ -952,7 +973,16 @@ impl KBuild {
         (lo, len)
     }
 
-    fn finish(&self, body: Vec<KStm>) -> Kernel {
+    fn finish(&mut self, body: Vec<KStm>) -> Kernel {
+        // Root provenance marker: inner At markers (stamped per core
+        // statement during lowering) refine it, so only scaffolding with no
+        // closer origin falls back to the root site.
+        let body = if self.root_prov.is_empty() {
+            body
+        } else {
+            let prov = self.prov_idx(&self.root_prov.clone());
+            vec![KStm::At { prov, body }]
+        };
         Kernel {
             name: self.name.clone(),
             params: self.params.clone(),
@@ -960,6 +990,7 @@ impl KBuild {
             num_regs: self.regs,
             num_priv: self.privs,
             body,
+            prov_table: self.provs.clone(),
         }
     }
 }
@@ -1312,7 +1343,16 @@ impl<'a> Lower<'a> {
 
     fn body(&mut self, body: &Body, out: &mut Vec<KStm>) -> CResult<Vec<TVal>> {
         for stm in &body.stms {
+            // Everything emitted for this core statement is attributed to
+            // its source site (inner statements re-wrap with their own,
+            // finer provenance as lowering recurses).
+            let start = out.len();
             let vals = self.exp(&stm.exp, &stm.pat, out)?;
+            if !stm.prov.is_empty() && out.len() > start {
+                let prov = self.kb.prov_idx(&stm.prov);
+                let inner: Vec<KStm> = out.drain(start..).collect();
+                out.push(KStm::At { prov, body: inner });
+            }
             for (pe, v) in stm.pat.iter().zip(vals) {
                 self.env.insert(pe.name.clone(), v);
             }
@@ -2085,30 +2125,56 @@ enum CopyDst {
 /// the N-body pattern. Only applied at the outermost statement level so
 /// barriers stay convergent.
 pub fn tile_1d(kernel: &mut Kernel) -> bool {
-    let mut new_body = Vec::new();
     let mut locals = kernel.locals.clone();
     let mut next_reg = kernel.num_regs;
     let mut tiled = false;
-    for stm in std::mem::take(&mut kernel.body) {
+    let body = std::mem::take(&mut kernel.body);
+    kernel.body = tile_stms(body, &kernel.params, &mut locals, &mut next_reg, &mut tiled);
+    kernel.locals = locals;
+    kernel.num_regs = next_reg;
+    tiled
+}
+
+/// Collects buffers read as `A[var]` among `stms`, looking through
+/// provenance markers (which are transparent statement grouping).
+fn qualifying_reads(stms: &[KStm], var: Reg) -> Vec<usize> {
+    let mut bufs = Vec::new();
+    for s in stms {
+        match s {
+            KStm::GlobalRead { buf, index, .. } if *index == KExp::Var(var) => bufs.push(*buf),
+            KStm::At { body, .. } => bufs.extend(qualifying_reads(body, var)),
+            _ => {}
+        }
+    }
+    bufs
+}
+
+fn tile_stms(
+    stms: Vec<KStm>,
+    params: &[KParam],
+    locals: &mut Vec<(ScalarType, KExp)>,
+    next_reg: &mut u32,
+    tiled: &mut bool,
+) -> Vec<KStm> {
+    let mut new_body = Vec::new();
+    for stm in stms {
         match stm {
+            // Provenance markers are transparent: a loop directly inside
+            // one is still at the outermost (convergent) statement level.
+            KStm::At { prov, body } => new_body.push(KStm::At {
+                prov,
+                body: tile_stms(body, params, locals, next_reg, tiled),
+            }),
             KStm::For { var, bound, body } if is_uniform(&bound) => {
                 // Qualifying reads: GlobalRead { index: Var(var) }.
-                let bufs: Vec<usize> = body
-                    .iter()
-                    .filter_map(|s| match s {
-                        KStm::GlobalRead { buf, index, .. } if *index == KExp::Var(var) => {
-                            Some(*buf)
-                        }
-                        _ => None,
-                    })
-                    .collect();
+                let bufs = qualifying_reads(&body, var);
                 if bufs.is_empty() || contains_barrier(&body) {
                     new_body.push(KStm::For { var, bound, body });
                     continue;
                 }
                 // Allocate one local buffer per distinct qualifying array.
                 let mut local_of: HashMap<usize, usize> = HashMap::new();
-                for (i, p) in kernel.params.iter().enumerate() {
+                for (i, p) in params.iter().enumerate() {
                     if bufs.contains(&i) {
                         if let KParam::Buffer(t) = p {
                             local_of.entry(i).or_insert_with(|| {
@@ -2121,13 +2187,13 @@ pub fn tile_1d(kernel: &mut Kernel) -> bool {
                 // The tile size is the number of live lanes in this group
                 // (the last group may be partial):
                 //   lanes = min(GroupSize, NumThreads - GroupId*GroupSize).
-                let lanes = next_reg;
-                let to = next_reg + 1;
-                let base = next_reg + 2;
-                let ji = next_reg + 3;
-                let lim = next_reg + 4;
-                let ld = next_reg + 5;
-                next_reg += 6;
+                let lanes = *next_reg;
+                let to = *next_reg + 1;
+                let base = *next_reg + 2;
+                let ji = *next_reg + 3;
+                let lim = *next_reg + 4;
+                let ld = *next_reg + 5;
+                *next_reg += 6;
                 new_body.push(KStm::Assign {
                     var: lanes,
                     exp: KExp::BinOp(
@@ -2158,8 +2224,8 @@ pub fn tile_1d(kernel: &mut Kernel) -> bool {
                     ),
                 });
                 for (&buf, &lmem) in &local_of {
-                    let tmp = next_reg;
-                    next_reg += 1;
+                    let tmp = *next_reg;
+                    *next_reg += 1;
                     tile_body.push(KStm::GlobalRead {
                         var: tmp,
                         buf,
@@ -2200,15 +2266,12 @@ pub fn tile_1d(kernel: &mut Kernel) -> bool {
                     bound: ntiles,
                     body: tile_body,
                 });
-                tiled = true;
+                *tiled = true;
             }
             other => new_body.push(other),
         }
     }
-    kernel.body = new_body;
-    kernel.locals = locals;
-    kernel.num_regs = next_reg;
-    tiled
+    new_body
 }
 
 fn is_uniform(e: &KExp) -> bool {
@@ -2223,7 +2286,9 @@ fn is_uniform(e: &KExp) -> bool {
 fn contains_barrier(stms: &[KStm]) -> bool {
     stms.iter().any(|s| match s {
         KStm::Barrier => true,
-        KStm::For { body, .. } | KStm::While { body, .. } => contains_barrier(body),
+        KStm::For { body, .. } | KStm::While { body, .. } | KStm::At { body, .. } => {
+            contains_barrier(body)
+        }
         KStm::If { then_s, else_s, .. } => contains_barrier(then_s) || contains_barrier(else_s),
         _ => false,
     })
@@ -2250,6 +2315,13 @@ fn rewrite_reads(stm: KStm, local_of: &HashMap<usize, usize>, j: Reg, ji: Reg) -
         },
         KStm::While { cond, body } => KStm::While {
             cond,
+            body: body
+                .into_iter()
+                .map(|s| rewrite_reads(s, local_of, j, ji))
+                .collect(),
+        },
+        KStm::At { prov, body } => KStm::At {
+            prov,
             body: body
                 .into_iter()
                 .map(|s| rewrite_reads(s, local_of, j, ji))

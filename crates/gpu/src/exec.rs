@@ -11,7 +11,7 @@
 
 use crate::device::DeviceProfile;
 use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec};
-use crate::sim::{self, Arg, BufId, DeviceMemory, KernelStats, SimError};
+use crate::sim::{self, Arg, BufId, DeviceMemory, KernelStats, SimError, SiteStats};
 use crate::tape::{host_threads, DecodedKernel};
 use futhark_core::traverse::{free_in_exp, free_in_lambda};
 use futhark_core::{
@@ -232,6 +232,11 @@ pub struct PerfReport {
     /// The ordered execution timeline (one event per modelled-time
     /// increment; event durations sum to `total_us`).
     pub timeline: Vec<TimelineEvent>,
+    /// Per-source-site counters, keyed by the site's line set (e.g. `"4"`,
+    /// `"4,7"`, or `"?"` for unattributed work). Populated only by profiled
+    /// runs ([`RunOptions::profile`]); empty otherwise and omitted from the
+    /// JSON form when empty.
+    pub per_site: BTreeMap<String, SiteStats>,
 }
 
 impl PerfReport {
@@ -254,7 +259,7 @@ impl PerfReport {
 
     /// Serialises to JSON.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut j = Json::obj(vec![
             ("total_us", Json::F64(self.total_us)),
             ("kernel_us", Json::F64(self.kernel_us)),
             ("device_op_us", Json::F64(self.device_op_us)),
@@ -284,7 +289,21 @@ impl PerfReport {
                 "timeline",
                 Json::Arr(self.timeline.iter().map(TimelineEvent::to_json).collect()),
             ),
-        ])
+        ]);
+        if !self.per_site.is_empty() {
+            if let Json::Obj(fields) = &mut j {
+                fields.push((
+                    "per_site".to_string(),
+                    Json::Obj(
+                        self.per_site
+                            .iter()
+                            .map(|(k, s)| (k.clone(), s.to_json()))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        j
     }
 
     /// Deserialises from JSON.
@@ -306,6 +325,14 @@ impl PerfReport {
             .iter()
             .map(TimelineEvent::from_json)
             .collect::<Option<Vec<_>>>()?;
+        // `per_site` is optional: unprofiled traces (and traces from before
+        // profiling existed) simply lack it.
+        let mut per_site = BTreeMap::new();
+        if let Some(ps) = j.get("per_site") {
+            for (k, s) in ps.as_obj()? {
+                per_site.insert(k.clone(), SiteStats::from_json(s)?);
+            }
+        }
         Some(PerfReport {
             total_us: j.get("total_us")?.as_f64()?,
             kernel_us: j.get("kernel_us")?.as_f64()?,
@@ -316,6 +343,7 @@ impl PerfReport {
             stats: KernelStats::from_json(j.get("stats")?)?,
             per_kernel,
             timeline,
+            per_site,
         })
     }
 }
@@ -388,6 +416,52 @@ pub fn run_with_threads(
     args: &[Value],
     threads: usize,
 ) -> EResult<(Vec<Value>, PerfReport)> {
+    run_with_opts(
+        plan,
+        prog,
+        device,
+        args,
+        RunOptions {
+            threads,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Execution-time options for [`run_with_opts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Host worker threads for parallel group execution (`1` = sequential).
+    pub threads: usize,
+    /// Collect per-source-site counters into [`PerfReport::per_site`].
+    /// Off by default; the aggregate report is bit-identical either way
+    /// (per-site counters are accumulated separately and never feed back
+    /// into execution or the [`KernelStats`] totals).
+    pub profile: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            threads: host_threads(),
+            profile: false,
+        }
+    }
+}
+
+/// Like [`run`], with full control over execution options (worker threads,
+/// source-site profiling).
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with_opts(
+    plan: &GpuPlan,
+    prog: &Program,
+    device: &DeviceProfile,
+    args: &[Value],
+    opts: RunOptions,
+) -> EResult<(Vec<Value>, PerfReport)> {
     let mut ex = Executor {
         plan,
         prog,
@@ -397,7 +471,8 @@ pub fn run_with_threads(
         report: PerfReport::default(),
         layout_cache: HashMap::new(),
         decoded: vec![None; plan.kernels.len()],
-        threads: threads.max(1),
+        threads: opts.threads.max(1),
+        profile: opts.profile,
     };
     if args.len() != plan.params.len() {
         return Err(ExecError::Plan(format!(
@@ -443,6 +518,8 @@ struct Executor<'a> {
     decoded: Vec<Option<DecodedKernel>>,
     /// Host worker threads used for parallel group execution.
     threads: usize,
+    /// Whether launches collect per-source-site counters.
+    profile: bool,
 }
 
 impl<'a> Executor<'a> {
@@ -1069,14 +1146,38 @@ impl<'a> Executor<'a> {
             self.decoded[spec.kernel] = Some(DecodedKernel::decode(kernel)?);
         }
         let dk = self.decoded[spec.kernel].as_ref().expect("just decoded");
-        let stats = crate::tape::launch_decoded(
-            self.device,
-            dk,
-            num_threads,
-            &args,
-            &mut self.mem,
-            self.threads,
-        )?;
+        let stats = if self.profile {
+            let (stats, sites) = crate::tape::launch_decoded_profiled(
+                self.device,
+                dk,
+                num_threads,
+                &args,
+                &mut self.mem,
+                self.threads,
+            )?;
+            // Bucket by source-line key; the slot past the provenance table
+            // is the unattributed remainder (`Prov::none().key()` = "?").
+            for (i, s) in sites.iter().enumerate() {
+                if s.is_zero() {
+                    continue;
+                }
+                let key = match dk.prov_table.get(i) {
+                    Some(p) => p.key(),
+                    None => futhark_core::Prov::none().key(),
+                };
+                self.report.per_site.entry(key).or_default().merge(s);
+            }
+            stats
+        } else {
+            crate::tape::launch_decoded(
+                self.device,
+                dk,
+                num_threads,
+                &args,
+                &mut self.mem,
+                self.threads,
+            )?
+        };
         let t = sim::kernel_time_us(self.device, &stats);
         self.report.total_us += t;
         self.report.kernel_us += t;

@@ -8,7 +8,7 @@
 //! thread additionally has *private* arrays (registers / spilled private
 //! memory) for sequentialised inner SOACs.
 
-use futhark_core::{BinOp, CmpOp, Scalar, ScalarType, UnOp};
+use futhark_core::{BinOp, CmpOp, Prov, Scalar, ScalarType, UnOp};
 
 /// A virtual register index within a kernel.
 pub type Reg = u32;
@@ -229,6 +229,15 @@ pub enum KStm {
     },
     /// Work-group barrier. All threads of the group must reach it.
     Barrier,
+    /// Provenance marker: `body` descends from source site `prov` (an index
+    /// into [`Kernel::prov_table`]). Semantically transparent; nested
+    /// markers refine outer ones (the innermost marker wins).
+    At {
+        /// Index into the kernel's provenance table.
+        prov: u32,
+        /// The attributed statements.
+        body: Vec<KStm>,
+    },
 }
 
 /// Kernel parameter kinds.
@@ -257,6 +266,8 @@ pub struct Kernel {
     pub num_priv: usize,
     /// The thread body.
     pub body: Vec<KStm>,
+    /// Source provenance sets referenced by [`KStm::At`] markers.
+    pub prov_table: Vec<Prov>,
 }
 
 impl Kernel {
@@ -267,6 +278,7 @@ impl Kernel {
                 .map(|s| match s {
                     KStm::For { body, .. } | KStm::While { body, .. } => 1 + count(body),
                     KStm::If { then_s, else_s, .. } => 1 + count(then_s) + count(else_s),
+                    KStm::At { body, .. } => count(body),
                     _ => 1,
                 })
                 .sum()
@@ -298,6 +310,7 @@ mod tests {
                 bound: KExp::i64(4),
                 body: vec![KStm::Barrier, KStm::Barrier],
             }],
+            prov_table: vec![],
         };
         assert_eq!(k.stm_count(), 3);
     }

@@ -12,5 +12,5 @@ pub mod sim;
 pub mod tape;
 
 pub use device::DeviceProfile;
-pub use sim::{kernel_time_us, Arg, BufId, DeviceMemory, KernelStats, SimError};
-pub use tape::{host_threads, launch_decoded, DecodedKernel};
+pub use sim::{kernel_time_us, Arg, BufId, DeviceMemory, KernelStats, SimError, SiteStats};
+pub use tape::{host_threads, launch_decoded, launch_decoded_profiled, DecodedKernel};

@@ -144,6 +144,80 @@ impl KernelStats {
     }
 }
 
+/// Cost counters for one *source site* (a [`Prov`](futhark_core::Prov) set
+/// from a kernel's provenance table), collected only in profiled execution
+/// mode. Mirrors [`KernelStats`] minus `threads`, plus the inactive-lane
+/// issue slots lost to divergence — tracked here and not in the aggregate
+/// counters, so enabling profiling cannot perturb [`KernelStats`] by
+/// construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Warp instruction issues attributed to this site.
+    pub warp_instructions: u64,
+    /// Issue slots executed by masked-off lanes of otherwise-active warps
+    /// (SIMT divergence waste), scaled by instruction cost like
+    /// `warp_instructions`.
+    pub inactive_lane_instructions: u64,
+    /// Global-memory transactions.
+    pub global_transactions: u64,
+    /// Bytes moved over the bus.
+    pub bus_bytes: u64,
+    /// Bytes actually requested by threads.
+    pub useful_bytes: u64,
+    /// Local-memory accesses.
+    pub local_accesses: u64,
+    /// Barriers executed (per group).
+    pub barriers: u64,
+}
+
+impl SiteStats {
+    /// Whether every counter is zero (such sites are omitted from reports).
+    pub fn is_zero(&self) -> bool {
+        *self == SiteStats::default()
+    }
+
+    /// Adds another site's counters into this one.
+    pub fn merge(&mut self, o: &SiteStats) {
+        self.warp_instructions += o.warp_instructions;
+        self.inactive_lane_instructions += o.inactive_lane_instructions;
+        self.global_transactions += o.global_transactions;
+        self.bus_bytes += o.bus_bytes;
+        self.useful_bytes += o.useful_bytes;
+        self.local_accesses += o.local_accesses;
+        self.barriers += o.barriers;
+    }
+
+    /// Serialises to JSON (for trace archives).
+    pub fn to_json(&self) -> futhark_trace::Json {
+        use futhark_trace::Json;
+        Json::obj(vec![
+            ("warp_instructions", Json::U64(self.warp_instructions)),
+            (
+                "inactive_lane_instructions",
+                Json::U64(self.inactive_lane_instructions),
+            ),
+            ("global_transactions", Json::U64(self.global_transactions)),
+            ("bus_bytes", Json::U64(self.bus_bytes)),
+            ("useful_bytes", Json::U64(self.useful_bytes)),
+            ("local_accesses", Json::U64(self.local_accesses)),
+            ("barriers", Json::U64(self.barriers)),
+        ])
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &futhark_trace::Json) -> Option<SiteStats> {
+        Some(SiteStats {
+            warp_instructions: j.get("warp_instructions")?.as_u64()?,
+            inactive_lane_instructions: j.get("inactive_lane_instructions")?.as_u64()?,
+            global_transactions: j.get("global_transactions")?.as_u64()?,
+            bus_bytes: j.get("bus_bytes")?.as_u64()?,
+            useful_bytes: j.get("useful_bytes")?.as_u64()?,
+            local_accesses: j.get("local_accesses")?.as_u64()?,
+            barriers: j.get("barriers")?.as_u64()?,
+        })
+    }
+}
+
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
@@ -254,6 +328,7 @@ mod tests {
             locals: vec![],
             num_regs: 2,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![
                 KStm::GlobalRead {
                     var: 0,
@@ -339,6 +414,7 @@ mod tests {
             locals: vec![(ScalarType::I64, KExp::GroupSize)],
             num_regs: 2,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![
                 KStm::LocalWrite {
                     mem: 0,
@@ -386,6 +462,7 @@ mod tests {
             locals: vec![],
             num_regs: 1,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![KStm::If {
                 cond: KExp::Cmp(
                     futhark_core::CmpOp::Eq,
@@ -425,6 +502,7 @@ mod tests {
             locals: vec![],
             num_regs: 2,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![
                 KStm::Assign {
                     var: 1,

@@ -55,8 +55,8 @@
 
 use crate::device::DeviceProfile;
 use crate::kernel::{KExp, KParam, KStm, Kernel};
-use crate::sim::{Arg, BufId, DeviceMemory, KernelStats, SimError};
-use futhark_core::{BinOp, Buffer, CmpOp, Scalar, ScalarType, UnOp};
+use crate::sim::{Arg, BufId, DeviceMemory, KernelStats, SimError, SiteStats};
+use futhark_core::{BinOp, Buffer, CmpOp, Prov, Scalar, ScalarType, UnOp};
 use futhark_interp::scalar::{
     eval_binop, eval_convert, eval_unop, floor_div_i32, floor_div_i64, floor_mod_i32, floor_mod_i64,
 };
@@ -240,6 +240,13 @@ enum DStm {
         else_s: Vec<DStm>,
     },
     Barrier,
+    /// Provenance marker: while executing `body`, profiled runs attribute
+    /// counters to site `prov` (an index into the decoded kernel's
+    /// provenance table). Free in unprofiled runs beyond the recursion.
+    At {
+        prov: u32,
+        body: Vec<DStm>,
+    },
 }
 
 /// Index of a scalar class in per-class tables.
@@ -271,6 +278,10 @@ pub struct DecodedKernel {
     /// Element class of each private array.
     priv_class: Vec<ScalarType>,
     body: Vec<DStm>,
+    /// Source provenance sets referenced by the tape's `At` markers
+    /// (copied from the kernel). Site index `prov_table.len()` is the
+    /// implicit "unattributed" bucket in profiled runs.
+    pub prov_table: Vec<Prov>,
 }
 
 // ---------------------------------------------------------------------------
@@ -383,7 +394,7 @@ impl<'k> Decoder<'k> {
                     self.set_reg(*var, ScalarType::I64)?;
                     self.infer_stms(body)?;
                 }
-                KStm::While { body, .. } => self.infer_stms(body)?,
+                KStm::While { body, .. } | KStm::At { body, .. } => self.infer_stms(body)?,
                 KStm::If { then_s, else_s, .. } => {
                     self.infer_stms(then_s)?;
                     self.infer_stms(else_s)?;
@@ -622,6 +633,10 @@ impl<'k> Compiler<'k> {
                 else_s: self.stms(else_s)?,
             },
             KStm::Barrier => DStm::Barrier,
+            KStm::At { prov, body } => DStm::At {
+                prov: *prov,
+                body: self.stms(body)?,
+            },
         })
     }
 }
@@ -688,6 +703,7 @@ impl DecodedKernel {
             file_len,
             priv_class: comp.priv_class,
             body,
+            prov_table: kernel.prov_table.clone(),
         })
     }
 
@@ -899,6 +915,9 @@ impl RegFiles {
 struct GroupOut {
     stats: KernelStats,
     writes: HashMap<BufId, HashMap<usize, u64>>,
+    /// Per-site counters (profiled runs only); length is
+    /// `prov_table.len() + 1`, the last slot being the unattributed bucket.
+    sites: Option<Vec<SiteStats>>,
 }
 
 struct GroupRun<'a> {
@@ -926,6 +945,11 @@ struct GroupRun<'a> {
     /// Scratch: segment ids for transaction counting.
     segs: Vec<i64>,
     stats: KernelStats,
+    /// Per-site counters, allocated only in profiled runs.
+    sites: Option<Vec<SiteStats>>,
+    /// The site currently executing (maintained by `DStm::At`); starts at
+    /// the unattributed bucket.
+    cur_site: usize,
 }
 
 impl<'a> GroupRun<'a> {
@@ -995,6 +1019,13 @@ impl<'a> GroupRun<'a> {
         index_i64(tape.class, bits)
     }
 
+    /// The current site's counters, if this is a profiled run.
+    #[inline]
+    fn site(&mut self) -> Option<&mut SiteStats> {
+        let i = self.cur_site;
+        self.sites.as_mut().map(|s| &mut s[i])
+    }
+
     /// Counts the warp issue cost for one statement over a mask.
     fn issue(&mut self, mask: &[bool], ops: u64) {
         let mut warps = 0u64;
@@ -1004,6 +1035,21 @@ impl<'a> GroupRun<'a> {
             }
         }
         self.stats.warp_instructions += warps * (1 + ops);
+        if self.sites.is_some() {
+            // Inactive-lane slots: lanes masked off in warps that still
+            // issue — the divergence waste. Counted per site only, so the
+            // aggregate stats are identical with and without profiling.
+            let mut inactive = 0u64;
+            for chunk in mask.chunks(self.warp_size) {
+                let active = chunk.iter().filter(|&&b| b).count() as u64;
+                if active > 0 {
+                    inactive += chunk.len() as u64 - active;
+                }
+            }
+            let s = self.site().expect("profiled run");
+            s.warp_instructions += warps * (1 + ops);
+            s.inactive_lane_instructions += inactive * (1 + ops);
+        }
     }
 
     /// Counts memory transactions for a warp-grouped global access using
@@ -1027,9 +1073,16 @@ impl<'a> GroupRun<'a> {
             }
             self.segs.sort_unstable();
             self.segs.dedup();
-            self.stats.global_transactions += self.segs.len() as u64;
-            self.stats.bus_bytes += self.segs.len() as u64 * self.transaction_bytes;
+            let tx = self.segs.len() as u64;
+            self.stats.global_transactions += tx;
+            self.stats.bus_bytes += tx * self.transaction_bytes;
             self.stats.useful_bytes += useful;
+            let bus = tx * self.transaction_bytes;
+            if let Some(s) = self.site() {
+                s.global_transactions += tx;
+                s.bus_bytes += bus;
+                s.useful_bytes += useful;
+            }
         }
     }
 
@@ -1104,6 +1157,7 @@ impl<'a> GroupRun<'a> {
                     index,
                 } => {
                     self.issue(mask, index.cost);
+                    let mut n = 0u64;
                     for lane in 0..mask.len() {
                         if mask[lane] {
                             let i = self.eval_index(index, lane)?;
@@ -1113,12 +1167,17 @@ impl<'a> GroupRun<'a> {
                             }
                             let bits = self.locals[*mem][i as usize];
                             self.files.set(*class, *slot, lane, bits);
-                            self.stats.local_accesses += 1;
+                            n += 1;
                         }
+                    }
+                    self.stats.local_accesses += n;
+                    if let Some(s) = self.site() {
+                        s.local_accesses += n;
                     }
                 }
                 DStm::LocalWrite { mem, index, value } => {
                     self.issue(mask, index.cost + value.cost);
+                    let mut n = 0u64;
                     for lane in 0..mask.len() {
                         if mask[lane] {
                             let i = self.eval_index(index, lane)?;
@@ -1128,8 +1187,12 @@ impl<'a> GroupRun<'a> {
                                 return Err(self.oob(format!("local write {i} of len {len}")));
                             }
                             self.locals[*mem][i as usize] = bits;
-                            self.stats.local_accesses += 1;
+                            n += 1;
                         }
+                    }
+                    self.stats.local_accesses += n;
+                    if let Some(s) = self.site() {
+                        s.local_accesses += n;
                     }
                 }
                 DStm::PrivAlloc { arr, size } => {
@@ -1269,7 +1332,22 @@ impl<'a> GroupRun<'a> {
                         });
                     }
                     self.stats.barriers += 1;
+                    if let Some(s) = self.site() {
+                        s.barriers += 1;
+                    }
                     self.issue(mask, 0);
+                }
+                DStm::At { prov, body } => {
+                    // Transparent for execution; in profiled runs the body's
+                    // counters go to this site (restored on the way out, so
+                    // siblings keep the enclosing attribution).
+                    let saved = self.cur_site;
+                    if self.sites.is_some() {
+                        self.cur_site = *prov as usize;
+                    }
+                    let r = self.exec(body, mask);
+                    self.cur_site = saved;
+                    r?;
                 }
             }
         }
@@ -1290,7 +1368,9 @@ fn run_group(
     group_id: u64,
     lanes: usize,
     num_threads: u64,
+    profile: bool,
 ) -> SResult<GroupOut> {
+    let n_sites = dk.prov_table.len() + 1;
     let mut run = GroupRun {
         dk,
         base,
@@ -1310,12 +1390,15 @@ fn run_group(
         offsets: vec![None; lanes],
         segs: Vec::with_capacity(device.warp_size as usize),
         stats: KernelStats::default(),
+        sites: profile.then(|| vec![SiteStats::default(); n_sites]),
+        cur_site: n_sites - 1,
     };
     let mask = vec![true; lanes];
     run.exec(&dk.body, &mask)?;
     Ok(GroupOut {
         stats: run.stats,
         writes: run.writes,
+        sites: run.sites,
     })
 }
 
@@ -1395,6 +1478,40 @@ pub fn launch_decoded(
     mem: &mut DeviceMemory,
     threads: usize,
 ) -> SResult<KernelStats> {
+    launch_decoded_impl(device, dk, num_threads, args, mem, threads, false).map(|(s, _)| s)
+}
+
+/// Like [`launch_decoded`], but additionally buckets counters by source
+/// site (the decoded kernel's provenance table; the extra final slot is
+/// the unattributed bucket). The returned [`KernelStats`] are bit-identical
+/// to an unprofiled launch of the same kernel: the per-site counters are
+/// accumulated separately and never feed back into execution.
+///
+/// # Errors
+///
+/// Exactly as [`launch_decoded`].
+pub fn launch_decoded_profiled(
+    device: &DeviceProfile,
+    dk: &DecodedKernel,
+    num_threads: u64,
+    args: &[Arg],
+    mem: &mut DeviceMemory,
+    threads: usize,
+) -> SResult<(KernelStats, Vec<SiteStats>)> {
+    launch_decoded_impl(device, dk, num_threads, args, mem, threads, true)
+        .map(|(s, sites)| (s, sites.expect("profiled launch returns sites")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn launch_decoded_impl(
+    device: &DeviceProfile,
+    dk: &DecodedKernel,
+    num_threads: u64,
+    args: &[Arg],
+    mem: &mut DeviceMemory,
+    threads: usize,
+    profile: bool,
+) -> SResult<(KernelStats, Option<Vec<SiteStats>>)> {
     let group_size = device.group_size as u64;
     let num_groups = num_threads.div_ceil(group_size).max(1);
     // Resolve launch arguments once.
@@ -1464,6 +1581,7 @@ pub fn launch_decoded(
             g,
             lanes,
             num_threads,
+            profile,
         ))
     };
 
@@ -1510,6 +1628,7 @@ pub fn launch_decoded(
         threads: num_threads,
         ..KernelStats::default()
     };
+    let mut sites = profile.then(|| vec![SiteStats::default(); dk.prov_table.len() + 1]);
     for out in outs.into_iter().flatten() {
         let out = out?;
         for (bid, writes) in out.writes {
@@ -1519,8 +1638,13 @@ pub fn launch_decoded(
             }
         }
         stats.merge(&out.stats);
+        if let (Some(total), Some(group)) = (&mut sites, &out.sites) {
+            for (t, g) in total.iter_mut().zip(group) {
+                t.merge(g);
+            }
+        }
     }
-    Ok(stats)
+    Ok((stats, sites))
 }
 
 #[cfg(test)]
@@ -1539,6 +1663,7 @@ mod tests {
             locals: vec![],
             num_regs: 1,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![
                 KStm::GlobalRead {
                     var: 0,
@@ -1565,6 +1690,7 @@ mod tests {
             locals: vec![],
             num_regs: 3,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![
                 KStm::GlobalRead {
                     var: 0,
@@ -1604,6 +1730,7 @@ mod tests {
             locals: vec![],
             num_regs: 1,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![
                 KStm::Assign {
                     var: 0,
@@ -1657,6 +1784,7 @@ mod tests {
             locals: vec![],
             num_regs: 0,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![KStm::GlobalWrite {
                 buf: 0,
                 index: KExp::i64(0),
@@ -1688,6 +1816,7 @@ mod tests {
             locals: vec![],
             num_regs: 1,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![KStm::If {
                 cond: KExp::Cmp(
                     futhark_core::CmpOp::Eq,
@@ -1741,6 +1870,7 @@ mod tests {
             locals: vec![],
             num_regs: 1,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![
                 KStm::GlobalRead {
                     var: 0,
@@ -1786,6 +1916,7 @@ mod tests {
             locals: vec![(ScalarType::I64, KExp::ScalarArg(0))],
             num_regs: 0,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![],
         };
         let dk = DecodedKernel::decode(&k).unwrap();
@@ -1809,6 +1940,7 @@ mod tests {
             locals: vec![],
             num_regs: 1,
             num_priv: 0,
+            prov_table: vec![],
             body: vec![
                 KStm::GlobalWrite {
                     buf: 0,

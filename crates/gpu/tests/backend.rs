@@ -145,7 +145,9 @@ fn tiling_rewrites_invariant_array_loops() {
     fn has_barrier(stms: &[KStm]) -> bool {
         stms.iter().any(|s| match s {
             KStm::Barrier => true,
-            KStm::For { body, .. } | KStm::While { body, .. } => has_barrier(body),
+            KStm::For { body, .. } | KStm::While { body, .. } | KStm::At { body, .. } => {
+                has_barrier(body)
+            }
             KStm::If { then_s, else_s, .. } => has_barrier(then_s) || has_barrier(else_s),
             _ => false,
         })

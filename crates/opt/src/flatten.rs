@@ -26,8 +26,8 @@
 use crate::fusion::chain_to_loop;
 use futhark_core::traverse::{free_in_body, free_in_exp, Subst};
 use futhark_core::{
-    ArrayType, Body, Exp, Lambda, LoopForm, Name, NameSource, Param, PatElem, Program, ScalarType,
-    Size, Soac, Stm, SubExp, Type,
+    ArrayType, Body, Exp, Lambda, LoopForm, Name, NameSource, Param, PatElem, Program, Prov,
+    ScalarType, Size, Soac, Stm, SubExp, Type,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -107,14 +107,17 @@ impl<'a> Flattener<'a> {
                         LoopForm::While(c) => LoopForm::While(self.host_body(c)),
                         f => f,
                     };
-                    out.push(Stm::new(
-                        stm.pat,
-                        Exp::Loop {
-                            params,
-                            form,
-                            body: lbody,
-                        },
-                    ));
+                    out.push(
+                        Stm::new(
+                            stm.pat,
+                            Exp::Loop {
+                                params,
+                                form,
+                                body: lbody,
+                            },
+                        )
+                        .with_prov(stm.prov),
+                    );
                 }
                 Exp::If {
                     cond,
@@ -124,17 +127,20 @@ impl<'a> Flattener<'a> {
                 } => {
                     let then_body = self.host_body(then_body);
                     let else_body = self.host_body(else_body);
-                    out.push(Stm::new(
-                        stm.pat,
-                        Exp::If {
-                            cond,
-                            then_body,
-                            else_body,
-                            ret,
-                        },
-                    ));
+                    out.push(
+                        Stm::new(
+                            stm.pat,
+                            Exp::If {
+                                cond,
+                                then_body,
+                                else_body,
+                                ret,
+                            },
+                        )
+                        .with_prov(stm.prov),
+                    );
                 }
-                e => out.push(Stm::new(stm.pat, e)),
+                e => out.push(Stm::new(stm.pat, e).with_prov(stm.prov)),
             }
         }
         Body::new(out, body.result)
@@ -278,14 +284,17 @@ impl<'a> Flattener<'a> {
                         t => t.clone(),
                     };
                     self.types.insert(new_top.clone(), new_ty.clone());
-                    out.push(Stm::single(
-                        new_top.clone(),
-                        new_ty,
-                        Exp::Rearrange {
-                            perm: perm2,
-                            array: e.top.clone(),
-                        },
-                    ));
+                    out.push(
+                        Stm::single(
+                            new_top.clone(),
+                            new_ty,
+                            Exp::Rearrange {
+                                perm: perm2,
+                                array: e.top.clone(),
+                            },
+                        )
+                        .with_prov(stm.prov.clone()),
+                    );
                     self.env.insert(
                         stm.pat[0].name.clone(),
                         Entry {
@@ -310,6 +319,7 @@ impl<'a> Flattener<'a> {
                         bound.clone(),
                         lbody.clone(),
                         stm.pat.clone(),
+                        stm.prov.clone(),
                     );
                     out.extend(stms2);
                     i += 1;
@@ -490,6 +500,11 @@ impl<'a> Flattener<'a> {
     fn manifest(&mut self, widths: &[SubExp], body: Body, out: Vec<PatElem>) -> Vec<Stm> {
         futhark_trace::event("flatten.nests_manifested");
         let depth = widths.len();
+        // The manifested nest descends from every statement in the group.
+        let mut nest_prov = Prov::none();
+        for s in &body.stms {
+            nest_prov.merge(&s.prov);
+        }
         // Needed lift entries.
         let mut free = free_in_body(&body);
         for se in &body.result {
@@ -569,7 +584,10 @@ impl<'a> Flattener<'a> {
                 .map(|(pe, t)| PatElem::new(self.ns.fresh_from(&pe.name), t.clone()))
                 .collect();
             let res = pat.iter().map(|pe| SubExp::Var(pe.name.clone())).collect();
-            inner_body = Body::new(vec![Stm::new(pat, Exp::Soac(map))], res);
+            inner_body = Body::new(
+                vec![Stm::new(pat, Exp::Soac(map)).with_prov(nest_prov.clone())],
+                res,
+            );
         }
         // The outermost body is one statement binding the lifted arrays.
         let stm = inner_body.stms.into_iter().next().expect("one stm");
@@ -637,14 +655,17 @@ impl<'a> Flattener<'a> {
         if self.env.contains_key(&ne_var) {
             return None;
         }
-        out.push(Stm::single(
-            ne_scalar.clone(),
-            ne_ty.clone(),
-            Exp::Index {
-                array: ne_var,
-                indices: vec![SubExp::i64(0)],
-            },
-        ));
+        out.push(
+            Stm::single(
+                ne_scalar.clone(),
+                ne_ty.clone(),
+                Exp::Index {
+                    array: ne_var,
+                    indices: vec![SubExp::i64(0)],
+                },
+            )
+            .with_prov(stm.prov.clone()),
+        );
         // Transpose z (context-aware, reusing the G6 logic): z has lifted
         // entry path [1..depth]; its top is [w₁…w_d][n][k]τ and we need the
         // [k] dimension before [n].
@@ -666,14 +687,17 @@ impl<'a> Flattener<'a> {
                 let new_ty = Type::array_of(at.elem, dims);
                 let new_top = self.ns.fresh("zt");
                 self.types.insert(new_top.clone(), new_ty.clone());
-                out.push(Stm::single(
-                    new_top.clone(),
-                    new_ty,
-                    Exp::Rearrange {
-                        perm,
-                        array: e.top.clone(),
-                    },
-                ));
+                out.push(
+                    Stm::single(
+                        new_top.clone(),
+                        new_ty,
+                        Exp::Rearrange {
+                            perm,
+                            array: e.top.clone(),
+                        },
+                    )
+                    .with_prov(stm.prov.clone()),
+                );
                 let local = self.ns.fresh("ztrow");
                 self.env.insert(
                     local.clone(),
@@ -702,11 +726,10 @@ impl<'a> Flattener<'a> {
                 let tty = Type::array_of(at.elem, dims);
                 let zt = self.ns.fresh("zt");
                 self.types.insert(zt.clone(), tty.clone());
-                out.push(Stm::single(
-                    zt.clone(),
-                    tty.clone(),
-                    Exp::Rearrange { perm, array: z },
-                ));
+                out.push(
+                    Stm::single(zt.clone(), tty.clone(), Exp::Rearrange { perm, array: z })
+                        .with_prov(stm.prov.clone()),
+                );
                 (zt, tty)
             }
             _ => return None,
@@ -734,7 +757,8 @@ impl<'a> Flattener<'a> {
                         arrs: vec![col],
                         comm,
                     }),
-                )],
+                )
+                .with_prov(stm.prov.clone())],
                 vec![SubExp::Var(red)],
             ),
             ret: vec![red_ty],
@@ -760,6 +784,7 @@ impl<'a> Flattener<'a> {
     }
 
     /// G7: map^d(loop) → loop(map^d).
+    #[allow(clippy::too_many_arguments)]
     fn interchange_loop(
         &mut self,
         widths: &[SubExp],
@@ -768,6 +793,7 @@ impl<'a> Flattener<'a> {
         bound: SubExp,
         lbody: Body,
         out_pat: Vec<PatElem>,
+        prov: Prov,
     ) -> Vec<Stm> {
         futhark_trace::event("flatten.g7_loop_interchanges");
         let depth = widths.len();
@@ -800,11 +826,10 @@ impl<'a> Flattener<'a> {
                         cur_ty = lift(&cur_ty, size_of(w));
                         let r = self.ns.fresh("repl");
                         self.types.insert(r.clone(), cur_ty.clone());
-                        out.push(Stm::single(
-                            r.clone(),
-                            cur_ty.clone(),
-                            Exp::Replicate(w.clone(), cur),
-                        ));
+                        out.push(
+                            Stm::single(r.clone(), cur_ty.clone(), Exp::Replicate(w.clone(), cur))
+                                .with_prov(prov.clone()),
+                        );
                         cur = SubExp::Var(r);
                     }
                     cur
@@ -884,7 +909,7 @@ impl<'a> Flattener<'a> {
             .zip(&lifted_params)
             .map(|(pe, (lp, _))| PatElem::new(self.ns.fresh_from(&pe.name), lp.ty.clone()))
             .collect();
-        out.push(Stm::new(top_pat.clone(), lifted_loop));
+        out.push(Stm::new(top_pat.clone(), lifted_loop).with_prov(prov));
         for (pe, top_pe) in out_pat.iter().zip(&top_pat) {
             self.types.insert(pe.name.clone(), pe.ty.clone());
             self.types.insert(top_pe.name.clone(), top_pe.ty.clone());

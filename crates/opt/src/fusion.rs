@@ -229,14 +229,18 @@ fn fuse_pair(pstm: &Stm, cstm: &Stm, ns: &mut NameSource) -> Option<Stm> {
                 return None;
             }
             let (lam, arrs) = compose_map_lambdas(plam, parrs, clam, carrs, &produced, ns);
-            Some(Stm::new(
-                cstm.pat.clone(),
-                Exp::Soac(Soac::Map {
-                    width: cw.clone(),
-                    lam,
-                    arrs,
-                }),
-            ))
+            // The fused statement descends from both source sites.
+            Some(
+                Stm::new(
+                    cstm.pat.clone(),
+                    Exp::Soac(Soac::Map {
+                        width: cw.clone(),
+                        lam,
+                        arrs,
+                    }),
+                )
+                .with_prov(pstm.prov.union(&cstm.prov)),
+            )
         }
         Exp::Soac(Soac::Reduce {
             width: cw,
@@ -250,17 +254,20 @@ fn fuse_pair(pstm: &Stm, cstm: &Stm, ns: &mut NameSource) -> Option<Stm> {
             }
             // map f ∘ reduce ⊕ => redomap ⊕ f (Section 4's redomap).
             let (map_lam, arrs) = passthrough_map_lambda(plam, parrs, carrs, &produced, ns)?;
-            Some(Stm::new(
-                cstm.pat.clone(),
-                Exp::Soac(Soac::Redomap {
-                    width: cw.clone(),
-                    red_lam: rlam.clone(),
-                    map_lam,
-                    neutral: neutral.clone(),
-                    arrs,
-                    comm: *comm,
-                }),
-            ))
+            Some(
+                Stm::new(
+                    cstm.pat.clone(),
+                    Exp::Soac(Soac::Redomap {
+                        width: cw.clone(),
+                        red_lam: rlam.clone(),
+                        map_lam,
+                        neutral: neutral.clone(),
+                        arrs,
+                        comm: *comm,
+                    }),
+                )
+                .with_prov(pstm.prov.union(&cstm.prov)),
+            )
         }
         Exp::Soac(Soac::Redomap {
             width: cw,
@@ -274,17 +281,20 @@ fn fuse_pair(pstm: &Stm, cstm: &Stm, ns: &mut NameSource) -> Option<Stm> {
                 return None;
             }
             let (lam, arrs) = compose_map_lambdas(plam, parrs, map_lam, carrs, &produced, ns);
-            Some(Stm::new(
-                cstm.pat.clone(),
-                Exp::Soac(Soac::Redomap {
-                    width: cw.clone(),
-                    red_lam: red_lam.clone(),
-                    map_lam: lam,
-                    neutral: neutral.clone(),
-                    arrs,
-                    comm: *comm,
-                }),
-            ))
+            Some(
+                Stm::new(
+                    cstm.pat.clone(),
+                    Exp::Soac(Soac::Redomap {
+                        width: cw.clone(),
+                        red_lam: red_lam.clone(),
+                        map_lam: lam,
+                        neutral: neutral.clone(),
+                        arrs,
+                        comm: *comm,
+                    }),
+                )
+                .with_prov(pstm.prov.union(&cstm.prov)),
+            )
         }
         _ => None,
     }
@@ -460,7 +470,8 @@ fn try_horizontal_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
                     },
                     arrs,
                 }),
-            );
+            )
+            .with_prov(body.stms[j].prov.union(&body.stms[k].prov));
             futhark_trace::event("fusion.horizontal");
             body.stms[j] = fused;
             body.stms.remove(k);
@@ -578,7 +589,8 @@ fn try_stream_reduce_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
                 accs: neutral.clone(),
                 arrs: arrs.clone(),
             }),
-        );
+        )
+        .with_prov(body.stms[j].prov.union(&body.stms[k].prov));
         futhark_trace::event("fusion.stream_red");
         body.stms[k] = new;
         body.stms.remove(j);
@@ -734,8 +746,13 @@ pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
             },
             body: loop_body,
         };
+        // The collapsed loop descends from every chain member's site.
+        let mut chain_prov = futhark_core::Prov::none();
+        for &idx in &chain {
+            chain_prov.merge(&body.stms[idx].prov);
+        }
         let new_stm = if n_merge == 1 {
-            Stm::new(reduce_pat, loop_exp)
+            Stm::new(reduce_pat, loop_exp).with_prov(chain_prov)
         } else {
             // Bind all merge results; the reduce output is the last.
             let mut pat = Vec::new();
@@ -747,7 +764,7 @@ pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
                 let _ = m;
             }
             pat.push(reduce_pat[0].clone());
-            Stm::new(pat, loop_exp)
+            Stm::new(pat, loop_exp).with_prov(chain_prov)
         };
         // Fix placeholder types from the loop params.
         let mut new_stm = new_stm;

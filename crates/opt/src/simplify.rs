@@ -105,11 +105,10 @@ fn inline_in_body(body: &mut Body, prog: &Program, ns: &mut NameSource) -> bool 
                     new_stms.extend(inlined.stms);
                     // Bind the pattern to the inlined results.
                     for (pe, res) in stm.pat.iter().zip(&inlined.result) {
-                        new_stms.push(Stm::single(
-                            pe.name.clone(),
-                            pe.ty.clone(),
-                            Exp::SubExp(res.clone()),
-                        ));
+                        new_stms.push(
+                            Stm::single(pe.name.clone(), pe.ty.clone(), Exp::SubExp(res.clone()))
+                                .with_prov(stm.prov.clone()),
+                        );
                     }
                     futhark_trace::event("simplify.calls_inlined");
                     changed = true;
@@ -188,7 +187,9 @@ pub fn constant_fold_body(body: &mut Body) {
             for (pe, res) in stm.pat.iter().zip(&chosen.result) {
                 let mut e = Exp::SubExp(res.clone());
                 substitute_consts(&mut e, &consts);
-                new_stms.push(Stm::single(pe.name.clone(), pe.ty.clone(), e));
+                new_stms.push(
+                    Stm::single(pe.name.clone(), pe.ty.clone(), e).with_prov(stm.prov.clone()),
+                );
             }
             continue;
         }

@@ -1,0 +1,152 @@
+//! Chrome trace-event exporter: turns trace data into the JSON format
+//! consumed by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! Only "X" (complete) events are emitted — each has a name, category,
+//! process/thread lane, start timestamp, and duration, all in
+//! microseconds, which is exactly the granularity of [`crate::PassSpan`]
+//! and of the simulated-GPU timeline. The output is a single JSON object
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}` that both viewers
+//! load directly.
+
+use crate::json::Json;
+
+/// A builder for a Chrome trace-event document.
+///
+/// Events are kept in insertion order; viewers sort by timestamp
+/// themselves, so callers may append lanes independently.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+    /// Optional human-readable names for (pid, tid) lanes, emitted as
+    /// metadata events.
+    lane_names: Vec<(u64, u64, String)>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// Names the thread lane `(pid, tid)` — shown by viewers as the track
+    /// title (emitted as a `thread_name` metadata event).
+    pub fn name_lane(&mut self, pid: u64, tid: u64, name: &str) {
+        self.lane_names.push((pid, tid, name.to_string()));
+    }
+
+    /// Appends one complete ("X") event: `name` in category `cat`, on
+    /// lane `(pid, tid)`, starting at `ts_us` microseconds and lasting
+    /// `dur_us` microseconds. `args` become the event's `args` object
+    /// (shown in the viewer's detail pane); pass an empty slice for none.
+    #[allow(clippy::too_many_arguments)] // mirrors the trace-event field set
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(&str, Json)>,
+    ) {
+        let mut fields = vec![
+            ("name".to_string(), Json::Str(name.to_string())),
+            ("cat".to_string(), Json::Str(cat.to_string())),
+            ("ph".to_string(), Json::Str("X".to_string())),
+            ("pid".to_string(), Json::U64(pid)),
+            ("tid".to_string(), Json::U64(tid)),
+            ("ts".to_string(), Json::F64(ts_us)),
+            ("dur".to_string(), Json::F64(dur_us)),
+        ];
+        if !args.is_empty() {
+            fields.push(("args".to_string(), Json::obj(args)));
+        }
+        self.events.push(Json::Obj(fields));
+    }
+
+    /// Number of events appended so far (metadata lanes not included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the finished document:
+    /// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+    pub fn to_json(&self) -> Json {
+        let mut events: Vec<Json> = Vec::with_capacity(self.lane_names.len() + self.events.len());
+        for (pid, tid, name) in &self.lane_names {
+            events.push(Json::obj(vec![
+                ("name", Json::Str("thread_name".to_string())),
+                ("ph", Json::Str("M".to_string())),
+                ("pid", Json::U64(*pid)),
+                ("tid", Json::U64(*tid)),
+                ("args", Json::obj(vec![("name", Json::Str(name.clone()))])),
+            ]));
+        }
+        events.extend(self.events.iter().cloned());
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::Str("ms".to_string())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_events_have_required_fields() {
+        let mut t = ChromeTrace::new();
+        t.name_lane(1, 1, "compile");
+        t.complete(
+            "fusion",
+            "pass",
+            1,
+            1,
+            10.0,
+            250.5,
+            vec![("rewrites", Json::U64(3))],
+        );
+        t.complete("launch k0", "kernel", 1, 2, 300.0, 42.0, vec![]);
+        assert_eq!(t.len(), 2);
+        let j = t.to_json();
+        assert_eq!(j.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+        let events = j.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3, "metadata + two complete events");
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("compile")
+        );
+        let fusion = &events[1];
+        assert_eq!(fusion.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(fusion.get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(fusion.get("dur").unwrap().as_f64(), Some(250.5));
+        assert_eq!(
+            fusion
+                .get("args")
+                .unwrap()
+                .get("rewrites")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        let launch = &events[2];
+        assert!(launch.get("args").is_none(), "empty args omitted");
+    }
+
+    #[test]
+    fn rendered_document_parses_back() {
+        let mut t = ChromeTrace::new();
+        t.complete("a", "c", 0, 0, 0.0, 1.0, vec![]);
+        let text = t.to_json().render();
+        let back = Json::parse(&text).expect("valid JSON");
+        assert_eq!(back, t.to_json());
+    }
+}

@@ -13,8 +13,10 @@
 //! The crate is dependency-free and IR-agnostic: compilers hand it
 //! pre-computed sizes and counter bumps, nothing more.
 
+pub mod chrome;
 pub mod json;
 
+pub use chrome::ChromeTrace;
 pub use json::{Json, JsonError};
 
 use std::cell::RefCell;
