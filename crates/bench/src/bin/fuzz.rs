@@ -55,7 +55,7 @@ fn main() {
     if !json {
         println!(
             "fuzzing: seed {}, {} cases, max size {} (interpreter vs simulator, \
-             6 configs x 2 devices)",
+             7 configs x 2 devices)",
             cfg.seed, cfg.cases, cfg.gen.max_size
         );
     }

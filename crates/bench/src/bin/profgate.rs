@@ -12,7 +12,7 @@
 //! Usage: profgate check [--baseline FILE]     compare; non-zero on drift
 //!        profgate refresh [--baseline FILE]   rewrite the baseline
 
-use futhark::{Compiler, Counters, Json, PipelineOptions};
+use futhark::{Compiler, Counters, Json, MemStats, PipelineOptions};
 use futhark_bench::all_benchmarks;
 use futhark_gpu::KernelStats;
 use std::collections::BTreeMap;
@@ -24,6 +24,7 @@ const DEFAULT_BASELINE: &str = "prof-baseline.json";
 struct Snapshot {
     launches: u64,
     transposes: u64,
+    mem: MemStats,
     per_kernel: BTreeMap<String, (u64, KernelStats)>,
     rewrites: Counters,
 }
@@ -44,6 +45,7 @@ impl Snapshot {
         Json::obj(vec![
             ("launches", Json::U64(self.launches)),
             ("transposes", Json::U64(self.transposes)),
+            ("mem", self.mem.to_json()),
             ("per_kernel", Json::Arr(kernels)),
             ("rewrites", self.rewrites.to_json()),
         ])
@@ -63,6 +65,7 @@ impl Snapshot {
         Some(Snapshot {
             launches: j.get("launches")?.as_u64()?,
             transposes: j.get("transposes")?.as_u64()?,
+            mem: MemStats::from_json(j.get("mem")?)?,
             per_kernel,
             rewrites: Counters::from_json(j.get("rewrites")?)?,
         })
@@ -83,6 +86,7 @@ fn measure() -> Result<BTreeMap<String, Snapshot>, String> {
         let snap = Snapshot {
             launches: perf.launches,
             transposes: perf.transposes,
+            mem: perf.mem,
             per_kernel: perf
                 .per_kernel
                 .iter()
@@ -144,6 +148,22 @@ fn report_drift(name: &str, old: &Snapshot, new: &Snapshot) -> bool {
     }
     if old.transposes != new.transposes {
         println!("  transposes: {} -> {}", old.transposes, new.transposes);
+    }
+    if old.mem != new.mem {
+        println!(
+            "  memory: peak {} -> {} bytes, allocs {} -> {}, frees {} -> {}, \
+             reuses {} -> {}, hoisted {} -> {}",
+            old.mem.peak_bytes,
+            new.mem.peak_bytes,
+            old.mem.allocs,
+            new.mem.allocs,
+            old.mem.frees,
+            new.mem.frees,
+            old.mem.reuses,
+            new.mem.reuses,
+            old.mem.hoisted,
+            new.mem.hoisted
+        );
     }
     let keys: std::collections::BTreeSet<&String> =
         old.per_kernel.keys().chain(new.per_kernel.keys()).collect();

@@ -13,8 +13,8 @@
 //!   --annotate          profile per source line and print the annotated listing
 //!   --json <file>       also write the full trace as JSON
 //!   --chrome <file>     also write a Chrome trace-event file (Perfetto)
-//!   --no-simplify / --no-fusion / --no-coalescing / --no-tiling
-//!                       disable individual optimisations
+//!   --no-simplify / --no-fusion / --no-coalescing / --no-tiling /
+//!   --no-memplan        disable individual optimisations
 
 use futhark::{prof, Compiler, Device, Json, PipelineOptions};
 use futhark_bench::{all_benchmarks, benchmark, Benchmark};
@@ -35,7 +35,7 @@ fn usage() -> ! {
         "usage: profile [--list] [--all] [--diff OLD NEW] \
          [--device gtx780|w8100] [--small] [--annotate] [--json FILE] \
          [--chrome FILE] [--no-simplify] [--no-fusion] [--no-coalescing] \
-         [--no-tiling] <benchmark>"
+         [--no-tiling] [--no-memplan] <benchmark>"
     );
     std::process::exit(2)
 }
@@ -101,6 +101,7 @@ fn parse_args() -> Config {
             "--no-fusion" => cfg.opts.fusion = false,
             "--no-coalescing" => cfg.opts.coalescing = false,
             "--no-tiling" => cfg.opts.tiling = false,
+            "--no-memplan" => cfg.opts.memplan = false,
             _ if a.starts_with('-') => usage(),
             _ if cfg.name.is_none() => cfg.name = Some(a),
             _ => usage(),

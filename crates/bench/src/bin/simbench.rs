@@ -259,11 +259,17 @@ struct Case {
 }
 
 fn f64_buf(mem: &mut DeviceMemory, n: usize) -> Arg {
-    Arg::Buffer(mem.upload(Buffer::F64((0..n).map(|i| i as f64 * 0.5).collect())))
+    Arg::Buffer(
+        mem.upload(Buffer::F64((0..n).map(|i| i as f64 * 0.5).collect()))
+            .expect("in capacity"),
+    )
 }
 
 fn i64_buf(mem: &mut DeviceMemory, n: usize) -> Arg {
-    Arg::Buffer(mem.upload(Buffer::I64((0..n as i64).collect())))
+    Arg::Buffer(
+        mem.upload(Buffer::I64((0..n as i64).collect()))
+            .expect("in capacity"),
+    )
 }
 
 fn cases() -> Vec<Case> {
@@ -274,7 +280,7 @@ fn cases() -> Vec<Case> {
                 vec![
                     f64_buf(mem, n),
                     f64_buf(mem, n),
-                    Arg::Buffer(mem.alloc(ScalarType::F64, n)),
+                    Arg::Buffer(mem.alloc(ScalarType::F64, n).expect("in capacity")),
                     Arg::Scalar(Scalar::I64(n as i64)),
                 ]
             },
@@ -285,7 +291,7 @@ fn cases() -> Vec<Case> {
                 vec![
                     f64_buf(mem, n),
                     f64_buf(mem, n),
-                    Arg::Buffer(mem.alloc(ScalarType::F64, n)),
+                    Arg::Buffer(mem.alloc(ScalarType::F64, n).expect("in capacity")),
                     Arg::Scalar(Scalar::I64(n as i64)),
                 ]
             },
@@ -295,7 +301,7 @@ fn cases() -> Vec<Case> {
             setup: |mem, n| {
                 vec![
                     f64_buf(mem, n),
-                    Arg::Buffer(mem.alloc(ScalarType::F64, n)),
+                    Arg::Buffer(mem.alloc(ScalarType::F64, n).expect("in capacity")),
                     Arg::Scalar(Scalar::I64(n as i64)),
                 ]
             },
@@ -304,7 +310,7 @@ fn cases() -> Vec<Case> {
             kernel: divergent(),
             setup: |mem, n| {
                 vec![
-                    Arg::Buffer(mem.alloc(ScalarType::I64, n)),
+                    Arg::Buffer(mem.alloc(ScalarType::I64, n).expect("in capacity")),
                     Arg::Scalar(Scalar::I64(n as i64)),
                 ]
             },
@@ -314,7 +320,7 @@ fn cases() -> Vec<Case> {
             setup: |mem, n| {
                 vec![
                     i64_buf(mem, n),
-                    Arg::Buffer(mem.alloc(ScalarType::I64, n)),
+                    Arg::Buffer(mem.alloc(ScalarType::I64, n).expect("in capacity")),
                     Arg::Scalar(Scalar::I64(n as i64)),
                 ]
             },
@@ -409,6 +415,7 @@ fn main() {
             ("seq_lanes_per_sec", Json::F64(seq_lps * n as f64)),
             ("par_lanes_per_sec", Json::F64(par_lps * n as f64)),
             ("speedup", Json::F64(speedup)),
+            ("peak_bytes", Json::U64(mem.peak_bytes())),
         ]));
     }
     println!("{:-<78}", "");

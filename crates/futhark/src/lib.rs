@@ -43,7 +43,7 @@ use std::fmt;
 pub mod prof;
 
 pub use futhark_gpu::exec::{ExecError, LaunchRecord, PerfReport, RunOptions, TimelineEvent};
-pub use futhark_gpu::sim::SiteStats;
+pub use futhark_gpu::sim::{MemStats, SimError, SiteStats};
 pub use futhark_trace::{CompileReport, Counters, IrSize, Json, PassSpan};
 
 /// The two simulated devices of the paper's evaluation.
@@ -77,6 +77,10 @@ pub struct PipelineOptions {
     pub coalescing: bool,
     /// Apply 1-D block tiling in local memory (Section 5.2).
     pub tiling: bool,
+    /// Run the memory planner over the GPU plan (liveness-driven frees,
+    /// copy elision, buffer steals, allocation hoisting; the paper's
+    /// in-place story made explicit).
+    pub memplan: bool,
     /// Reject programs that fail uniqueness checking (on by default; the
     /// checker is the paper's Section 3 type system).
     pub check: bool,
@@ -89,6 +93,7 @@ impl Default for PipelineOptions {
             fusion: true,
             coalescing: true,
             tiling: true,
+            memplan: true,
             check: true,
         }
     }
@@ -112,6 +117,9 @@ impl PipelineOptions {
         if self.tiling {
             parts.push("tiling");
         }
+        if self.memplan {
+            parts.push("memplan");
+        }
         if parts.is_empty() {
             "none".to_string()
         } else {
@@ -134,6 +142,7 @@ impl PipelineOptions {
                 fusion: false,
                 coalescing: false,
                 tiling: false,
+                memplan: false,
                 ..all
             },
             PipelineOptions {
@@ -150,6 +159,10 @@ impl PipelineOptions {
             },
             PipelineOptions {
                 tiling: false,
+                ..all
+            },
+            PipelineOptions {
+                memplan: false,
                 ..all
             },
         ]
@@ -367,7 +380,7 @@ impl Compiler {
         // Provenance fill #2: statements introduced by the optimisation
         // passes inherit provenance before codegen stamps kernel tapes.
         futhark_core::prov::fill_program(&mut prog);
-        let plan = spanned(&mut report, "codegen", program_size(&prog), || {
+        let mut plan = spanned(&mut report, "codegen", program_size(&prog), || {
             let res = codegen::compile(&prog, opts);
             let mut after = program_size(&prog);
             if let Ok(plan) = &res {
@@ -375,6 +388,14 @@ impl Compiler {
             }
             (res, after)
         })?;
+        if self.opts.memplan {
+            let mut after = program_size(&prog);
+            after.kernels = plan.kernel_count() as u64;
+            spanned(&mut report, "memplan", after, || {
+                futhark_gpu::plan_memory(&mut plan, &mut ns);
+                ((), after)
+            });
+        }
         Ok(Compiled { prog, plan, report })
     }
 }

@@ -33,6 +33,22 @@ pub fn render_summary(run: &PerfReport) -> String {
     )
 }
 
+/// One-line device-memory summary: peak footprint and allocator
+/// activity (reuse hits include in-place steals by the executor).
+pub fn render_memory(run: &PerfReport) -> String {
+    let m = &run.mem;
+    format!(
+        "memory: peak {} B | allocs {} | frees {} | \
+         reuses {} ({:.1}% reuse) | hoisted {}",
+        m.peak_bytes,
+        m.allocs,
+        m.frees,
+        m.reuses,
+        m.reuse_rate() * 100.0,
+        m.hoisted,
+    )
+}
+
 /// Per-kernel table, hottest kernel first: launches, total modelled
 /// time, share of total time, and coalescing efficiency.
 pub fn render_kernels(run: &PerfReport) -> String {
@@ -110,6 +126,8 @@ pub fn render_counters(report: &CompileReport) -> String {
 pub fn render(compile: Option<&CompileReport>, run: &PerfReport) -> String {
     let mut out = String::from("== futhark-prof ==\n");
     out.push_str(&render_summary(run));
+    out.push('\n');
+    out.push_str(&render_memory(run));
     out.push('\n');
     if !run.per_kernel.is_empty() {
         out.push('\n');
@@ -211,6 +229,9 @@ pub fn render_annotated(source: &str, run: &PerfReport) -> String {
             ),
         );
     }
+    out.push_str("\n== memory ==\n");
+    out.push_str(&render_memory(run));
+    out.push('\n');
     out
 }
 
@@ -228,6 +249,10 @@ pub struct TraceDiff {
     pub launches: (u64, u64),
     /// Transpositions materialised, old vs new.
     pub transposes: (u64, u64),
+    /// Peak device-memory footprint in bytes, old vs new.
+    pub peak_bytes: (u64, u64),
+    /// Buffer reuses (free-list hits plus in-place steals), old vs new.
+    pub reuses: (u64, u64),
     /// Kernels whose launches/time/counters differ (or that exist on one
     /// side only), keyed by kernel name.
     pub per_kernel: BTreeMap<String, DiffPair<(u64, f64, KernelStats)>>,
@@ -244,6 +269,8 @@ impl TraceDiff {
     pub fn is_clean(&self) -> bool {
         self.launches.0 == self.launches.1
             && self.transposes.0 == self.transposes.1
+            && self.peak_bytes.0 == self.peak_bytes.1
+            && self.reuses.0 == self.reuses.1
             && self.per_kernel.is_empty()
             && self.per_site.is_empty()
     }
@@ -256,6 +283,8 @@ pub fn diff_runs(old: &PerfReport, new: &PerfReport) -> TraceDiff {
         total_us: (old.total_us, new.total_us),
         launches: (old.launches, new.launches),
         transposes: (old.transposes, new.transposes),
+        peak_bytes: (old.mem.peak_bytes, new.mem.peak_bytes),
+        reuses: (old.mem.reuses, new.mem.reuses),
         ..TraceDiff::default()
     };
     let keys: std::collections::BTreeSet<&String> =
@@ -299,6 +328,11 @@ pub fn render_diff(d: &TraceDiff) -> String {
         out,
         "total {:.1} -> {:.1} us | launches {} -> {} | transposes {} -> {}",
         d.total_us.0, d.total_us.1, d.launches.0, d.launches.1, d.transposes.0, d.transposes.1
+    );
+    let _ = writeln!(
+        out,
+        "peak {} -> {} bytes | reuses {} -> {}",
+        d.peak_bytes.0, d.peak_bytes.1, d.reuses.0, d.reuses.1
     );
     if d.is_clean() {
         out.push_str("no per-kernel or per-site differences\n");

@@ -96,6 +96,7 @@ pub fn compile(prog: &Program, opts: CodegenOptions) -> Result<GpuPlan, CodegenE
         params: main.params.clone(),
         kernels: cg.kernels,
         body,
+        mem_planned: false,
     })
 }
 
@@ -362,6 +363,8 @@ impl Codegen {
                 shape: at.dims.iter().map(SubExp::from).collect(),
                 perm,
                 init_from: None,
+                steal: None,
+                write_into: None,
             });
         }
         // Lower the thread body.
@@ -487,6 +490,8 @@ impl Codegen {
                 shape: vec![SubExp::i64(-1)],
                 perm: Vec::new(),
                 init_from: None,
+                steal: None,
+                write_into: None,
             });
         }
         let kernel = kb.finish(body_stms);
@@ -594,6 +599,8 @@ impl Codegen {
                         shape: vec![SubExp::i64(-1)],
                         perm: Vec::new(),
                         init_from: None,
+                        steal: None,
+                        write_into: None,
                     });
                 }
                 Type::Array(at) => {
@@ -627,6 +634,8 @@ impl Codegen {
                         shape,
                         perm: Vec::new(),
                         init_from: None,
+                        steal: None,
+                        write_into: None,
                     });
                 }
             }
@@ -753,6 +762,8 @@ impl Codegen {
                 shape: dat.dims.iter().map(SubExp::from).collect(),
                 perm: Vec::new(),
                 init_from: Some(dest.clone()),
+                steal: None,
+                write_into: None,
             }],
         };
         Ok(vec![HStm::Launch {

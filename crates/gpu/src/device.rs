@@ -45,6 +45,9 @@ pub struct DeviceProfile {
     pub launch_overhead_us: f64,
     /// Host-device round trip (used for host-side fallbacks), microseconds.
     pub sync_overhead_us: f64,
+    /// Global-memory capacity in bytes. Allocating past this is a
+    /// structured `SimError::OutOfMemory`, never unbounded host growth.
+    pub global_mem_bytes: u64,
 }
 
 impl DeviceProfile {
@@ -62,6 +65,7 @@ impl DeviceProfile {
             local_per_cycle: 32.0,
             launch_overhead_us: 5.0,
             sync_overhead_us: 8.0,
+            global_mem_bytes: 3 << 30, // 3 GiB GDDR5
         }
     }
 
@@ -84,6 +88,7 @@ impl DeviceProfile {
             local_per_cycle: 64.0,
             launch_overhead_us: 25.0,
             sync_overhead_us: 40.0,
+            global_mem_bytes: 8 << 30, // 8 GiB GDDR5
         }
     }
 

@@ -10,8 +10,8 @@
 //! inside host loops.
 
 use crate::device::DeviceProfile;
-use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec};
-use crate::sim::{self, Arg, BufId, DeviceMemory, KernelStats, SimError, SiteStats};
+use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec, StealKind};
+use crate::sim::{self, Arg, BufId, DeviceMemory, KernelStats, MemStats, SimError, SiteStats};
 use crate::tape::{host_threads, DecodedKernel};
 use futhark_core::traverse::{free_in_exp, free_in_lambda};
 use futhark_core::{
@@ -26,6 +26,19 @@ use std::fmt;
 /// sequential core for interpreter fallbacks, PCIe-class transfers).
 const HOST_US_PER_OP: f64 = 0.002;
 const PCIE_GBPS: f64 = 12.0;
+
+/// The distinct buffers backing a merge-value vector.
+fn merge_bufs(merge: &[HVal]) -> Vec<BufId> {
+    let mut out = Vec::new();
+    for v in merge {
+        if let HVal::Array(d) = v {
+            if !out.contains(&d.buf) {
+                out.push(d.buf);
+            }
+        }
+    }
+    out
+}
 
 /// A short tag naming the construct an interpreter fallback executed (for
 /// timeline attribution).
@@ -237,6 +250,9 @@ pub struct PerfReport {
     /// runs ([`RunOptions::profile`]); empty otherwise and omitted from the
     /// JSON form when empty.
     pub per_site: BTreeMap<String, SiteStats>,
+    /// Device-memory counters for the run: allocations, frees, slot and
+    /// in-place reuses, hoisted writes, and the live/peak byte footprint.
+    pub mem: MemStats,
 }
 
 impl PerfReport {
@@ -289,6 +305,7 @@ impl PerfReport {
                 "timeline",
                 Json::Arr(self.timeline.iter().map(TimelineEvent::to_json).collect()),
             ),
+            ("mem", self.mem.to_json()),
         ]);
         if !self.per_site.is_empty() {
             if let Json::Obj(fields) = &mut j {
@@ -333,6 +350,12 @@ impl PerfReport {
                 per_site.insert(k.clone(), SiteStats::from_json(s)?);
             }
         }
+        // `mem` is optional for the same reason: traces predating the
+        // memory planner lack it.
+        let mem = j
+            .get("mem")
+            .and_then(MemStats::from_json)
+            .unwrap_or_default();
         Some(PerfReport {
             total_us: j.get("total_us")?.as_f64()?,
             kernel_us: j.get("kernel_us")?.as_f64()?,
@@ -344,6 +367,7 @@ impl PerfReport {
             per_kernel,
             timeline,
             per_site,
+            mem,
         })
     }
 }
@@ -466,13 +490,16 @@ pub fn run_with_opts(
         plan,
         prog,
         device,
-        mem: DeviceMemory::new(),
+        mem: DeviceMemory::from_profile(device),
         env: HashMap::new(),
         report: PerfReport::default(),
         layout_cache: HashMap::new(),
         decoded: vec![None; plan.kernels.len()],
         threads: opts.threads.max(1),
         profile: opts.profile,
+        hoisted: 0,
+        steals: 0,
+        loop_watermarks: Vec::new(),
     };
     if args.len() != plan.params.len() {
         return Err(ExecError::Plan(format!(
@@ -483,7 +510,7 @@ pub fn run_with_opts(
     }
     // Bind parameters (and implicit sizes, like the interpreter).
     for (p, a) in plan.params.iter().zip(args) {
-        let hv = ex.upload_value(a);
+        let hv = ex.upload_value(a)?;
         ex.env.insert(p.name.clone(), hv);
     }
     for (p, a) in plan.params.iter().zip(args) {
@@ -501,7 +528,14 @@ pub fn run_with_opts(
     let values = results
         .into_iter()
         .map(|hv| ex.download_value(&hv))
-        .collect();
+        .collect::<EResult<Vec<_>>>()?;
+    let mut mem = ex.mem.stats();
+    // A steal is an in-place reuse of the consumed buffer; a hoisted write
+    // reuses the pre-allocated destination. Both are executor-side events
+    // the arena cannot see.
+    mem.reuses += ex.steals;
+    mem.hoisted = ex.hoisted;
+    ex.report.mem = mem;
     Ok((values, ex.report))
 }
 
@@ -520,14 +554,23 @@ struct Executor<'a> {
     threads: usize,
     /// Whether launches collect per-source-site counters.
     profile: bool,
+    /// Hoisted-destination writes performed (planner `write_into` hits).
+    hoisted: u64,
+    /// In-place buffer steals performed (planner `steal` verdicts that
+    /// passed their runtime guards).
+    steals: u64,
+    /// Allocation-epoch watermarks of the active loop nest, pushed at
+    /// loop entry: double-buffer rotation (and `LoopRotate` steals) only
+    /// ever touch buffers allocated inside the current loop.
+    loop_watermarks: Vec<u64>,
 }
 
 impl<'a> Executor<'a> {
-    fn upload_value(&mut self, v: &Value) -> HVal {
-        match v {
+    fn upload_value(&mut self, v: &Value) -> EResult<HVal> {
+        Ok(match v {
             Value::Scalar(s) => HVal::Scalar(*s),
             Value::Array(a) => {
-                let buf = self.mem.upload(a.data.clone());
+                let buf = self.mem.upload(a.data.clone())?;
                 HVal::Array(DArr {
                     buf,
                     shape: a.shape.clone(),
@@ -535,19 +578,19 @@ impl<'a> Executor<'a> {
                     perm: Vec::new(),
                 })
             }
-        }
+        })
     }
 
-    fn download_value(&mut self, hv: &HVal) -> Value {
-        match hv {
+    fn download_value(&mut self, hv: &HVal) -> EResult<Value> {
+        Ok(match hv {
             HVal::Scalar(s) => Value::Scalar(*s),
-            HVal::Array(d) => Value::Array(self.download_arr(d)),
-        }
+            HVal::Array(d) => Value::Array(self.download_arr(d)?),
+        })
     }
 
-    fn download_arr(&mut self, d: &DArr) -> ArrayVal {
-        let data = self.mem.download(d.buf).clone();
-        if d.is_row_major() {
+    fn download_arr(&mut self, d: &DArr) -> EResult<ArrayVal> {
+        let data = self.mem.download(d.buf)?.clone();
+        Ok(if d.is_row_major() {
             ArrayVal::new(d.shape.clone(), data)
         } else {
             // The buffer is stored permuted; undo it.
@@ -560,7 +603,7 @@ impl<'a> Executor<'a> {
                 inv[l] = p;
             }
             phys.rearrange(&inv)
-        }
+        })
     }
 
     fn scalar(&self, se: &SubExp) -> EResult<Scalar> {
@@ -611,9 +654,9 @@ impl<'a> Executor<'a> {
             return Ok(cached);
         }
         // Physical rearrangement: download logical, upload permuted.
-        let logical = self.download_arr(d);
+        let logical = self.download_arr(d)?;
         let permuted = logical.rearrange(&wanted_full);
-        let new_buf = self.mem.upload(permuted.data);
+        let new_buf = self.mem.upload(permuted.data)?;
         self.layout_cache.insert((d.buf, wanted_full), new_buf);
         // Cost: one round over memory in, one out, plus a launch.
         let t = self.device.launch_overhead_us + self.device.memory_us(2.0 * d.bytes() as f64);
@@ -626,6 +669,61 @@ impl<'a> Executor<'a> {
             us: t,
         });
         Ok(new_buf)
+    }
+
+    /// Frees `buf` together with every cached layout derived from it
+    /// (recursively), dropping layout-cache entries in both directions so
+    /// a recycled id can never be resurrected through the cache.
+    fn free_buf(&mut self, buf: BufId) {
+        let mut work = vec![buf];
+        while let Some(b) = work.pop() {
+            let derived: Vec<BufId> = self
+                .layout_cache
+                .iter()
+                .filter(|((k, _), _)| *k == b)
+                .map(|(_, &v)| v)
+                .collect();
+            self.layout_cache.retain(|(k, _), v| *k != b && *v != b);
+            work.extend(derived);
+            self.mem.free(b);
+        }
+    }
+
+    /// Frees old-merge buffers that were allocated inside the current
+    /// loop (stamp at or past the entry watermark) and did not survive
+    /// into the new merge — the double-buffer swap's reclamation half.
+    fn rotate_merge(&mut self, old: &[BufId], merge: &[HVal]) {
+        let Some(&wm) = self.loop_watermarks.last() else {
+            return;
+        };
+        for &b in old {
+            if merge
+                .iter()
+                .any(|v| matches!(v, HVal::Array(d) if d.buf == b))
+            {
+                continue;
+            }
+            if self.mem.stamp(b).is_some_and(|s| s >= wm) {
+                self.free_buf(b);
+            }
+        }
+    }
+
+    /// Invalidates every layout-cache entry touching `buf` without
+    /// freeing it: the buffer is about to change contents or owner (a
+    /// steal or a hoisted write), so cached materialisations of it are
+    /// stale and entries deriving it from another buffer no longer hold.
+    fn invalidate_buf(&mut self, buf: BufId) {
+        let derived: Vec<BufId> = self
+            .layout_cache
+            .iter()
+            .filter(|((k, _), _)| *k == buf)
+            .map(|(_, &v)| v)
+            .collect();
+        self.layout_cache.retain(|(k, _), v| *k != buf && *v != buf);
+        for d in derived {
+            self.free_buf(d);
+        }
     }
 
     fn device_op(&mut self, what: &str, bytes: f64) {
@@ -686,6 +784,23 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|(_, init)| self.hval(init))
                     .collect::<EResult<_>>()?;
+                // Double-buffer rotation (planned programs only): after
+                // each iteration, merge buffers that were allocated inside
+                // this loop and did not survive into the next iteration
+                // are dead — free them so two buffers swap instead of one
+                // accumulating per round.
+                let rotate = self.plan.mem_planned;
+                if rotate {
+                    self.loop_watermarks.push(self.mem.epoch());
+                }
+                let step = |ex: &mut Self, merge: &mut Vec<HVal>| -> EResult<()> {
+                    let old = merge_bufs(merge);
+                    *merge = ex.body(body)?;
+                    if rotate {
+                        ex.rotate_merge(&old, merge);
+                    }
+                    Ok(())
+                };
                 match (while_cond, for_var) {
                     (None, Some((var, bound))) => {
                         let n = self
@@ -697,7 +812,7 @@ impl<'a> Executor<'a> {
                                 self.env.insert(p.name.clone(), v.clone());
                             }
                             self.env.insert(var.clone(), HVal::Scalar(Scalar::I64(i)));
-                            merge = self.body(body)?;
+                            step(self, &mut merge)?;
                         }
                     }
                     (Some(cond), _) => loop {
@@ -712,9 +827,12 @@ impl<'a> Executor<'a> {
                         if !c {
                             break;
                         }
-                        merge = self.body(body)?;
+                        step(self, &mut merge)?;
                     },
                     _ => return Err(ExecError::Plan("malformed loop".into())),
+                }
+                if rotate {
+                    self.loop_watermarks.pop();
                 }
                 for (pe, v) in pat.iter().zip(merge) {
                     self.env.insert(pe.name.clone(), v);
@@ -739,6 +857,41 @@ impl<'a> Executor<'a> {
                 for (pe, v) in pat.iter().zip(vals) {
                     self.env.insert(pe.name.clone(), v);
                 }
+                Ok(())
+            }
+            HStm::Free { names } => {
+                // A planner free names a whole alias class; several names
+                // may share one buffer, and scalars or not-yet-bound names
+                // simply don't participate.
+                let mut bufs: Vec<BufId> = Vec::new();
+                for n in names {
+                    if let Some(HVal::Array(d)) = self.env.get(n) {
+                        if self.mem.is_live(d.buf) && !bufs.contains(&d.buf) {
+                            bufs.push(d.buf);
+                        }
+                    }
+                }
+                for b in bufs {
+                    self.free_buf(b);
+                }
+                Ok(())
+            }
+            HStm::Alloc { name, elem, shape } => {
+                let shape: Vec<usize> = shape
+                    .iter()
+                    .map(|s| self.usize_of(s))
+                    .collect::<EResult<_>>()?;
+                let total = shape.iter().product();
+                let buf = self.mem.alloc(*elem, total)?;
+                self.env.insert(
+                    name.clone(),
+                    HVal::Array(DArr {
+                        buf,
+                        shape,
+                        elem: *elem,
+                        perm: Vec::new(),
+                    }),
+                );
                 Ok(())
             }
         }
@@ -793,7 +946,7 @@ impl<'a> Executor<'a> {
             }
             Exp::Iota(n) => {
                 let n = self.usize_of(n)?;
-                let buf = self.mem.upload(Buffer::I64((0..n as i64).collect()));
+                let buf = self.mem.upload(Buffer::I64((0..n as i64).collect()))?;
                 self.device_op("iota", (n * 8) as f64);
                 bind1(
                     self,
@@ -812,7 +965,9 @@ impl<'a> Executor<'a> {
                 match self.hval(v)? {
                     HVal::Scalar(s) => {
                         let t = s.scalar_type();
-                        let buf = self.mem.upload(Buffer::from_scalars(t, (0..n).map(|_| s)));
+                        let buf = self
+                            .mem
+                            .upload(Buffer::from_scalars(t, (0..n).map(|_| s)))?;
                         self.device_op("replicate", (n * t.byte_size()) as f64);
                         bind1(
                             self,
@@ -826,7 +981,7 @@ impl<'a> Executor<'a> {
                         );
                     }
                     HVal::Array(d) => {
-                        let row = self.download_arr(&d);
+                        let row = self.download_arr(&d)?;
                         let mut shape = vec![n];
                         shape.extend(&row.shape);
                         let total = n * row.data.len();
@@ -834,7 +989,7 @@ impl<'a> Executor<'a> {
                         for i in 0..n {
                             data.copy_from(i * row.data.len(), &row.data, 0, row.data.len());
                         }
-                        let buf = self.mem.upload(data);
+                        let buf = self.mem.upload(data)?;
                         self.device_op("replicate", (total * row.elem_type().byte_size()) as f64);
                         bind1(
                             self,
@@ -852,8 +1007,8 @@ impl<'a> Executor<'a> {
             }
             Exp::Copy(a) => {
                 let d = self.array(a)?;
-                let data = self.mem.download(d.buf).clone();
-                let buf = self.mem.upload(data);
+                let data = self.mem.download(d.buf)?.clone();
+                let buf = self.mem.upload(data)?;
                 self.device_op("copy", 2.0 * d.bytes() as f64);
                 bind1(self, &stm.pat, HVal::Array(DArr { buf, ..d.clone() }));
                 Ok(())
@@ -910,7 +1065,7 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|a| {
                         let d = self.array(a)?;
-                        Ok(self.download_arr(&d))
+                        self.download_arr(&d)
                     })
                     .collect::<EResult<_>>()?;
                 let refs: Vec<&ArrayVal> = parts.iter().collect();
@@ -918,7 +1073,7 @@ impl<'a> Executor<'a> {
                 let bytes = joined.data.len() * joined.elem_type().byte_size();
                 let shape = joined.shape.clone();
                 let elem = joined.elem_type();
-                let buf = self.mem.upload(joined.data);
+                let buf = self.mem.upload(joined.data)?;
                 self.device_op("concat", 2.0 * bytes as f64);
                 bind1(
                     self,
@@ -942,7 +1097,7 @@ impl<'a> Executor<'a> {
                             .ok_or_else(|| ExecError::Plan("bad index".into()))
                     })
                     .collect::<EResult<_>>()?;
-                let arr = self.download_arr(&d);
+                let arr = self.download_arr(&d)?;
                 if idx.len() == arr.rank() {
                     let v = arr.index_scalar(&idx).ok_or_else(|| {
                         ExecError::Interp(InterpError::OutOfBounds {
@@ -961,7 +1116,7 @@ impl<'a> Executor<'a> {
                     let bytes = slice.data.len() * slice.elem_type().byte_size();
                     let shape = slice.shape.clone();
                     let elem = slice.elem_type();
-                    let buf = self.mem.upload(slice.data);
+                    let buf = self.mem.upload(slice.data)?;
                     self.device_op("slice", 2.0 * bytes as f64);
                     bind1(
                         self,
@@ -993,11 +1148,11 @@ impl<'a> Executor<'a> {
                             .ok_or_else(|| ExecError::Plan("bad index".into()))
                     })
                     .collect::<EResult<_>>()?;
-                let mut arr = ArrayVal::new(d.shape.clone(), self.mem.download(buf).clone());
+                let mut arr = ArrayVal::new(d.shape.clone(), self.mem.download(buf)?.clone());
                 let ok = match self.hval(value)? {
                     HVal::Scalar(s) => arr.update_scalar(&idx, s),
                     HVal::Array(vd) => {
-                        let v = self.download_arr(&vd);
+                        let v = self.download_arr(&vd)?;
                         arr.update_slice(&idx, &v)
                     }
                 };
@@ -1006,7 +1161,7 @@ impl<'a> Executor<'a> {
                         what: format!("host update {array}{idx:?}"),
                     }));
                 }
-                let nbuf = self.mem.upload(arr.data);
+                let nbuf = self.mem.upload(arr.data)?;
                 self.sync_point("host_update");
                 bind1(
                     self,
@@ -1029,7 +1184,7 @@ impl<'a> Executor<'a> {
                 let mut transfer_bytes = 0f64;
                 for v in free {
                     if let Some(hv) = self.env.get(&v).cloned() {
-                        let val = self.download_value(&hv);
+                        let val = self.download_value(&hv)?;
                         if let Value::Array(a) = &val {
                             transfer_bytes += (a.data.len() * a.elem_type().byte_size()) as f64;
                         }
@@ -1051,7 +1206,7 @@ impl<'a> Executor<'a> {
                     us: t,
                 });
                 for (pe, v) in stm.pat.iter().zip(vals) {
-                    let hv = self.upload_value(&v);
+                    let hv = self.upload_value(&v)?;
                     self.env.insert(pe.name.clone(), hv);
                 }
                 Ok(())
@@ -1110,15 +1265,65 @@ impl<'a> Executor<'a> {
                 })
                 .collect::<EResult<_>>()?;
             let total: usize = shape.iter().product();
-            let buf = match &o.init_from {
-                Some(src) => {
-                    let d = self.array(src)?;
-                    let b = self.materialise(&d, &[])?;
-                    let data = self.mem.download(b).clone();
-                    self.device_op("init_copy", 2.0 * d.bytes() as f64);
-                    self.mem.upload(data)
+            let buf = if let Some(h) = &o.write_into {
+                // Planner-hoisted destination: write into the buffer
+                // pre-allocated before the loop, re-zeroed so each
+                // iteration observes fresh-allocation semantics. Guards
+                // re-check shape/type/liveness; on mismatch, allocate as
+                // if unplanned.
+                let hd = self.array(h)?;
+                if self.plan.mem_planned
+                    && hd.shape == shape
+                    && hd.elem == o.elem
+                    && hd.is_row_major()
+                    && self.mem.is_live(hd.buf)
+                {
+                    self.invalidate_buf(hd.buf);
+                    *self.mem.buffer_mut(hd.buf)? = Buffer::zeros(o.elem, total);
+                    self.hoisted += 1;
+                    hd.buf
+                } else {
+                    self.mem.alloc(o.elem, total)?
                 }
-                None => self.mem.alloc(o.elem, total),
+            } else {
+                match &o.init_from {
+                    Some(src) => {
+                        let d = self.array(src)?;
+                        // Planner verdict: consume the source buffer in
+                        // place (the paper's uniqueness story). Runtime
+                        // guards re-check everything cheap — layout,
+                        // size, liveness, and for the double-buffer
+                        // rotation that the incoming buffer was born
+                        // inside this loop (stamp past the watermark) —
+                        // and otherwise degrade to the copy.
+                        let stealable = self.plan.mem_planned
+                            && d.is_row_major()
+                            && o.perm.is_empty()
+                            && d.elems() == total
+                            && d.elem == o.elem
+                            && self.mem.is_live(d.buf)
+                            && match o.steal {
+                                Some(StealKind::Always) => true,
+                                Some(StealKind::LoopRotate) => self
+                                    .loop_watermarks
+                                    .last()
+                                    .zip(self.mem.stamp(d.buf))
+                                    .is_some_and(|(&wm, s)| s >= wm),
+                                None => false,
+                            };
+                        if stealable {
+                            self.invalidate_buf(d.buf);
+                            self.steals += 1;
+                            d.buf
+                        } else {
+                            let b = self.materialise(&d, &[])?;
+                            let data = self.mem.download(b)?.clone();
+                            self.device_op("init_copy", 2.0 * d.bytes() as f64);
+                            self.mem.upload(data)?
+                        }
+                    }
+                    None => self.mem.alloc(o.elem, total)?,
+                }
             };
             out_bufs.push(buf);
             out_darrs.push(DArr {
@@ -1220,20 +1425,20 @@ impl<'a> Executor<'a> {
             .iter()
             .map(|p| {
                 let d = self.array(p)?;
-                Ok(self.download_arr(&d))
+                self.download_arr(&d)
             })
             .collect::<EResult<_>>()?;
         let t_count = parts[0].shape[0];
         let mut acc: Vec<Value> = init
             .iter()
-            .map(|se| Ok(self.download_value(&self.hval(se)?.clone())))
+            .map(|se| self.download_value(&self.hval(se)?.clone()))
             .collect::<EResult<_>>()?;
         // The operator may reference free host variables (e.g. widths of a
         // vectorised combine); bind them.
         let mut bindings: HashMap<Name, Value> = HashMap::new();
         for v in free_in_lambda(red_lam) {
             if let Some(hv) = self.env.get(&v).cloned() {
-                let val = self.download_value(&hv);
+                let val = self.download_value(&hv)?;
                 bindings.insert(v, val);
             }
         }
@@ -1266,7 +1471,7 @@ impl<'a> Executor<'a> {
             us: t,
         });
         for (pe, v) in pat.iter().zip(acc) {
-            let hv = self.upload_value(&v);
+            let hv = self.upload_value(&v)?;
             self.env.insert(pe.name.clone(), hv);
         }
         Ok(())

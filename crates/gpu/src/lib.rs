@@ -7,10 +7,14 @@ pub mod codegen;
 pub mod device;
 pub mod exec;
 pub mod kernel;
+pub mod memplan;
 pub mod plan;
 pub mod sim;
 pub mod tape;
 
 pub use device::DeviceProfile;
-pub use sim::{kernel_time_us, Arg, BufId, DeviceMemory, KernelStats, SimError, SiteStats};
+pub use memplan::plan_memory;
+pub use sim::{
+    kernel_time_us, Arg, BufId, DeviceMemory, KernelStats, MemStats, SimError, SiteStats,
+};
 pub use tape::{host_threads, launch_decoded, launch_decoded_profiled, DecodedKernel};

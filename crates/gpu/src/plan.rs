@@ -46,6 +46,21 @@ pub enum ArgSpec {
     Out(usize),
 }
 
+/// When an `init_from` output may *steal* the source buffer instead of
+/// copying it — the memory planner's in-place story (Section 4 of the
+/// paper: uniqueness types exist so consumption can update, not copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealKind {
+    /// The source's alias class is dead after this statement: always
+    /// steal (subject to the executor's runtime layout/size guards).
+    Always,
+    /// The source is a loop-carried merge parameter whose only body use
+    /// is this statement: steal from iteration 2 on, once the incoming
+    /// buffer was allocated inside the loop (stamp ≥ the loop-entry
+    /// watermark) — the double-buffer rotation.
+    LoopRotate,
+}
+
 /// An output buffer of a launch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutSpec {
@@ -61,6 +76,13 @@ pub struct OutSpec {
     /// If set, the output buffer starts as a copy of this array (used by
     /// `scatter`, whose kernel only writes the scattered positions).
     pub init_from: Option<Name>,
+    /// Planner verdict: `init_from` may take the source's buffer in place
+    /// of copying (guarded again at runtime; `None` = always copy).
+    pub steal: Option<StealKind>,
+    /// Planner-hoisted destination: write into this pre-allocated host
+    /// binding (an [`HStm::Alloc`] outside the loop) instead of
+    /// allocating a fresh buffer per iteration.
+    pub write_into: Option<Name>,
 }
 
 /// A kernel launch.
@@ -131,6 +153,24 @@ pub enum HStm {
         /// Else branch.
         else_b: HBody,
     },
+    /// Planner-inserted: free the device buffers of these names (a whole
+    /// alias class — the executor dedups by buffer and skips names that
+    /// are scalars or already dead, so the statement is idempotent).
+    Free {
+        /// The names whose buffers are dead past this point.
+        names: Vec<Name>,
+    },
+    /// Planner-inserted: pre-allocate a zeroed device buffer (the hoisted
+    /// destination of a loop-invariant launch output; see
+    /// [`OutSpec::write_into`]).
+    Alloc {
+        /// Host binding for the buffer.
+        name: Name,
+        /// Element type.
+        elem: ScalarType,
+        /// Shape (host-evaluable outside the loop).
+        shape: Vec<SubExp>,
+    },
 }
 
 /// A sequence of host statements with results.
@@ -151,6 +191,10 @@ pub struct GpuPlan {
     pub kernels: Vec<Kernel>,
     /// The host program.
     pub body: HBody,
+    /// Whether the memory planner ran (the executor only trusts
+    /// planner-dependent paths — steals, rotation, hoisted writes — on a
+    /// planned program).
+    pub mem_planned: bool,
 }
 
 impl GpuPlan {

@@ -18,51 +18,289 @@ use crate::device::DeviceProfile;
 use crate::kernel::Kernel;
 use crate::tape::{host_threads, launch_decoded, DecodedKernel};
 use futhark_core::{Buffer, Scalar, ScalarType};
+use std::collections::HashMap;
 use std::fmt;
 
-/// A device buffer handle.
+/// A device buffer handle. Ids are recycled through the free lists, so
+/// identity over time is the allocation *stamp* (see
+/// [`DeviceMemory::stamp`]), never the id.
 pub type BufId = usize;
 
-/// Device global memory: a growable arena of typed buffers.
+/// Deterministic memory counters for one run: allocation traffic, reuse
+/// hits, hoisted allocations, and the live/peak footprint in bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Buffers allocated or uploaded (including reuse hits).
+    pub allocs: u64,
+    /// Buffers explicitly freed (poisoned).
+    pub frees: u64,
+    /// Allocations serviced from a dead buffer of compatible type and
+    /// size — the free-list hits, plus in-place steals by the executor.
+    pub reuses: u64,
+    /// Loop-invariant allocations hoisted out of loop bodies (counted per
+    /// iteration that wrote into a hoisted buffer).
+    pub hoisted: u64,
+    /// Bytes live at the end of the run.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes over the run.
+    pub peak_bytes: u64,
+}
+
+impl MemStats {
+    /// Reuse rate: reuses / allocs (0.0 when nothing was allocated).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.allocs == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / self.allocs as f64
+        }
+    }
+
+    /// Serialises to JSON (for trace archives and baselines).
+    pub fn to_json(&self) -> futhark_trace::Json {
+        use futhark_trace::Json;
+        Json::obj(vec![
+            ("allocs", Json::U64(self.allocs)),
+            ("frees", Json::U64(self.frees)),
+            ("reuses", Json::U64(self.reuses)),
+            ("hoisted", Json::U64(self.hoisted)),
+            ("live_bytes", Json::U64(self.live_bytes)),
+            ("peak_bytes", Json::U64(self.peak_bytes)),
+        ])
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &futhark_trace::Json) -> Option<MemStats> {
+        Some(MemStats {
+            allocs: j.get("allocs")?.as_u64()?,
+            frees: j.get("frees")?.as_u64()?,
+            reuses: j.get("reuses")?.as_u64()?,
+            hoisted: j.get("hoisted")?.as_u64()?,
+            live_bytes: j.get("live_bytes")?.as_u64()?,
+            peak_bytes: j.get("peak_bytes")?.as_u64()?,
+        })
+    }
+}
+
+/// One slot of the device-memory arena.
+#[derive(Debug)]
+enum Slot {
+    /// A live buffer; `stamp` is the monotone allocation epoch that
+    /// distinguishes successive occupants of a recycled id.
+    Live { buf: Buffer, stamp: u64 },
+    /// A freed slot: the data is *dropped* (poisoned), only the shape is
+    /// kept so the slot can be recycled by a compatible allocation.
+    Freed { t: ScalarType, len: usize },
+}
+
+/// Device global memory: a typed-buffer arena with free lists, poisoned
+/// freed slots, live/peak byte tracking and an optional capacity taken
+/// from the [`DeviceProfile`].
+///
+/// Freed slots keep no data — any access through a stale [`BufId`] is a
+/// structured [`SimError::UseAfterFree`], and reuse re-creates the buffer
+/// zero-initialised, so recycling is observationally identical to a fresh
+/// allocation.
 #[derive(Debug, Default)]
 pub struct DeviceMemory {
-    buffers: Vec<Buffer>,
+    slots: Vec<Slot>,
+    /// Dead slots by (element type, length), LIFO.
+    free_lists: HashMap<(ScalarType, usize), Vec<BufId>>,
+    next_stamp: u64,
+    capacity: Option<u64>,
+    live_bytes: u64,
+    peak_bytes: u64,
+    allocs: u64,
+    frees: u64,
+    reuses: u64,
 }
 
 impl DeviceMemory {
-    /// Creates empty device memory.
+    /// Creates empty device memory with unlimited capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Allocates a zero-initialised buffer.
-    pub fn alloc(&mut self, t: ScalarType, len: usize) -> BufId {
-        self.buffers.push(Buffer::zeros(t, len));
-        self.buffers.len() - 1
+    /// Creates empty device memory with an explicit capacity in bytes.
+    pub fn with_capacity(capacity: u64) -> Self {
+        DeviceMemory {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
     }
 
-    /// Uploads host data.
-    pub fn upload(&mut self, data: Buffer) -> BufId {
-        self.buffers.push(data);
-        self.buffers.len() - 1
+    /// Creates empty device memory sized from a device profile.
+    pub fn from_profile(device: &DeviceProfile) -> Self {
+        Self::with_capacity(device.global_mem_bytes)
+    }
+
+    fn charge(&mut self, t: ScalarType, len: usize) -> SResult<u64> {
+        let bytes = (len * t.byte_size()) as u64;
+        if let Some(cap) = self.capacity {
+            if self.live_bytes + bytes > cap {
+                return Err(SimError::OutOfMemory {
+                    requested: bytes,
+                    live: self.live_bytes,
+                    capacity: cap,
+                });
+            }
+        }
+        self.live_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.allocs += 1;
+        Ok(bytes)
+    }
+
+    fn place(&mut self, t: ScalarType, len: usize, buf: Buffer) -> BufId {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        match self.free_lists.get_mut(&(t, len)).and_then(|l| l.pop()) {
+            Some(id) => {
+                debug_assert!(
+                    matches!(self.slots[id], Slot::Freed { t: ft, len: fl } if ft == t && fl == len),
+                    "free-list entry {id} does not match its (type, length) class"
+                );
+                self.reuses += 1;
+                self.slots[id] = Slot::Live { buf, stamp };
+                id
+            }
+            None => {
+                self.slots.push(Slot::Live { buf, stamp });
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Allocates a zero-initialised buffer, recycling a dead slot of the
+    /// same element type and length when one exists.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfMemory`] when the allocation would push the live
+    /// footprint past the device capacity.
+    pub fn alloc(&mut self, t: ScalarType, len: usize) -> SResult<BufId> {
+        self.charge(t, len)?;
+        Ok(self.place(t, len, Buffer::zeros(t, len)))
+    }
+
+    /// Uploads host data, recycling a dead slot when one fits.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfMemory`] when over capacity.
+    pub fn upload(&mut self, data: Buffer) -> SResult<BufId> {
+        let (t, len) = (data.elem_type(), data.len());
+        self.charge(t, len)?;
+        Ok(self.place(t, len, data))
+    }
+
+    /// Frees a buffer: the data is dropped (poisoning any stale handle)
+    /// and the slot joins the free list for its (type, length) class.
+    /// Freeing an already-dead id is a no-op, so plan-inserted frees over
+    /// alias classes are idempotent.
+    pub fn free(&mut self, id: BufId) {
+        let Some(slot) = self.slots.get_mut(id) else {
+            return;
+        };
+        if let Slot::Live { buf, .. } = slot {
+            let (t, len) = (buf.elem_type(), buf.len());
+            self.live_bytes -= (len * t.byte_size()) as u64;
+            self.frees += 1;
+            *slot = Slot::Freed { t, len };
+            self.free_lists.entry((t, len)).or_default().push(id);
+        }
+    }
+
+    /// Whether `id` currently names a live buffer.
+    pub fn is_live(&self, id: BufId) -> bool {
+        matches!(self.slots.get(id), Some(Slot::Live { .. }))
+    }
+
+    /// The allocation stamp of a live buffer (monotone across the run;
+    /// unlike ids, never recycled).
+    pub fn stamp(&self, id: BufId) -> Option<u64> {
+        match self.slots.get(id) {
+            Some(Slot::Live { stamp, .. }) => Some(*stamp),
+            _ => None,
+        }
+    }
+
+    /// The next allocation stamp: every buffer allocated from now on has
+    /// `stamp >= epoch()`. The executor snapshots this at loop entry as
+    /// the double-buffer rotation watermark.
+    pub fn epoch(&self) -> u64 {
+        self.next_stamp
     }
 
     /// Reads a buffer back.
-    pub fn download(&self, id: BufId) -> &Buffer {
-        &self.buffers[id]
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UseAfterFree`] if the id was freed (or never existed).
+    pub fn download(&self, id: BufId) -> SResult<&Buffer> {
+        match self.slots.get(id) {
+            Some(Slot::Live { buf, .. }) => Ok(buf),
+            _ => Err(SimError::UseAfterFree {
+                buf: id,
+                what: "download".into(),
+            }),
+        }
     }
 
     /// Mutable access.
-    pub fn buffer_mut(&mut self, id: BufId) -> &mut Buffer {
-        &mut self.buffers[id]
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UseAfterFree`] if the id was freed (or never existed).
+    pub fn buffer_mut(&mut self, id: BufId) -> SResult<&mut Buffer> {
+        match self.slots.get_mut(id) {
+            Some(Slot::Live { buf, .. }) => Ok(buf),
+            _ => Err(SimError::UseAfterFree {
+                buf: id,
+                what: "mutable access".into(),
+            }),
+        }
     }
 
-    /// Total allocated bytes.
-    pub fn allocated_bytes(&self) -> u64 {
-        self.buffers
-            .iter()
-            .map(|b| (b.len() * b.elem_type().byte_size()) as u64)
-            .sum()
+    /// Infallible access for the kernel hot path: callers must have
+    /// validated liveness at launch entry (as `launch_decoded` does for
+    /// every buffer argument).
+    pub(crate) fn raw(&self, id: BufId) -> &Buffer {
+        match &self.slots[id] {
+            Slot::Live { buf, .. } => buf,
+            Slot::Freed { .. } => panic!("raw access to freed buffer {id} (unvalidated launch)"),
+        }
+    }
+
+    /// Infallible mutable access for the validated kernel commit path.
+    pub(crate) fn raw_mut(&mut self, id: BufId) -> &mut Buffer {
+        match &mut self.slots[id] {
+            Slot::Live { buf, .. } => buf,
+            Slot::Freed { .. } => panic!("raw access to freed buffer {id} (unvalidated launch)"),
+        }
+    }
+
+    /// Bytes currently live (allocated and not freed).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of [`Self::live_bytes`] over the arena's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// The memory counters so far (`hoisted` is an executor-side event and
+    /// stays zero here).
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            allocs: self.allocs,
+            frees: self.frees,
+            reuses: self.reuses,
+            hoisted: 0,
+            live_bytes: self.live_bytes,
+            peak_bytes: self.peak_bytes,
+        }
     }
 }
 
@@ -248,6 +486,23 @@ pub enum SimError {
         /// The requested element count.
         requested: i64,
     },
+    /// Access through a [`BufId`] whose buffer was freed (the slot is
+    /// poisoned, so the stale data cannot be read silently).
+    UseAfterFree {
+        /// The offending buffer id.
+        buf: BufId,
+        /// What kind of access hit it.
+        what: String,
+    },
+    /// An allocation would exceed the device's global-memory capacity.
+    OutOfMemory {
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// Bytes live at the time.
+        live: u64,
+        /// The device capacity.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -269,6 +524,18 @@ impl fmt::Display for SimError {
                     "negative local-memory size {requested} in kernel `{kernel}`"
                 )
             }
+            SimError::UseAfterFree { buf, what } => {
+                write!(f, "use after free of device buffer {buf} ({what})")
+            }
+            SimError::OutOfMemory {
+                requested,
+                live,
+                capacity,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes with \
+                 {live} live of {capacity} capacity"
+            ),
         }
     }
 }
@@ -358,9 +625,11 @@ mod tests {
         let dev = DeviceProfile::gtx780();
         let mut mem = DeviceMemory::new();
         let n = 1024usize;
-        let a = mem.upload(Buffer::F32((0..n).map(|i| i as f32).collect()));
-        let b = mem.upload(Buffer::F32(vec![1.0; n]));
-        let c = mem.alloc(ScalarType::F32, n);
+        let a = mem
+            .upload(Buffer::F32((0..n).map(|i| i as f32).collect()))
+            .unwrap();
+        let b = mem.upload(Buffer::F32(vec![1.0; n])).unwrap();
+        let c = mem.alloc(ScalarType::F32, n).unwrap();
         let stats = launch(
             &dev,
             &vecadd_kernel(1),
@@ -369,7 +638,7 @@ mod tests {
             &mut mem,
         )
         .unwrap();
-        let Buffer::F32(out) = mem.download(c) else {
+        let Buffer::F32(out) = mem.download(c).unwrap() else {
             panic!()
         };
         assert_eq!(out[10], 11.0);
@@ -387,9 +656,9 @@ mod tests {
         let n = 1024usize;
         let total = n * stride as usize;
         let mut mem = DeviceMemory::new();
-        let a = mem.upload(Buffer::F32(vec![2.0; total]));
-        let b = mem.upload(Buffer::F32(vec![3.0; total]));
-        let c = mem.alloc(ScalarType::F32, total);
+        let a = mem.upload(Buffer::F32(vec![2.0; total])).unwrap();
+        let b = mem.upload(Buffer::F32(vec![3.0; total])).unwrap();
+        let c = mem.alloc(ScalarType::F32, total).unwrap();
         let stats = launch(
             &dev,
             &vecadd_kernel(stride),
@@ -440,9 +709,9 @@ mod tests {
         };
         let mut mem = DeviceMemory::new();
         let n = 512usize;
-        let out = mem.alloc(ScalarType::I64, n);
+        let out = mem.alloc(ScalarType::I64, n).unwrap();
         let stats = launch(&dev, &k, n as u64, &[Arg::Buffer(out)], &mut mem).unwrap();
-        let Buffer::I64(v) = mem.download(out) else {
+        let Buffer::I64(v) = mem.download(out).unwrap() else {
             panic!()
         };
         assert_eq!(v[0], 1);
@@ -482,9 +751,9 @@ mod tests {
             }],
         };
         let mut mem = DeviceMemory::new();
-        let out = mem.alloc(ScalarType::I64, 64);
+        let out = mem.alloc(ScalarType::I64, 64).unwrap();
         launch(&dev, &k, 64, &[Arg::Buffer(out)], &mut mem).unwrap();
-        let Buffer::I64(v) = mem.download(out) else {
+        let Buffer::I64(v) = mem.download(out).unwrap() else {
             panic!()
         };
         assert_eq!(v[0], 1);
@@ -524,9 +793,9 @@ mod tests {
             ],
         };
         let mut mem = DeviceMemory::new();
-        let out = mem.alloc(ScalarType::I64, 16);
+        let out = mem.alloc(ScalarType::I64, 16).unwrap();
         launch(&dev, &k, 16, &[Arg::Buffer(out)], &mut mem).unwrap();
-        let Buffer::I64(v) = mem.download(out) else {
+        let Buffer::I64(v) = mem.download(out).unwrap() else {
             panic!()
         };
         assert_eq!(v[0], 0);
@@ -538,9 +807,9 @@ mod tests {
     fn oob_is_reported() {
         let dev = DeviceProfile::gtx780();
         let mut mem = DeviceMemory::new();
-        let small = mem.alloc(ScalarType::F32, 4);
-        let b = mem.alloc(ScalarType::F32, 4);
-        let c = mem.alloc(ScalarType::F32, 4);
+        let small = mem.alloc(ScalarType::F32, 4).unwrap();
+        let b = mem.alloc(ScalarType::F32, 4).unwrap();
+        let c = mem.alloc(ScalarType::F32, 4).unwrap();
         let e = launch(
             &dev,
             &vecadd_kernel(1),
@@ -561,9 +830,9 @@ mod tests {
             let n = 256usize;
             let total = n * stride as usize;
             let mut mem = DeviceMemory::new();
-            let a = mem.upload(Buffer::F32(vec![2.0; total]));
-            let b = mem.upload(Buffer::F32(vec![3.0; total]));
-            let c = mem.alloc(ScalarType::F32, total);
+            let a = mem.upload(Buffer::F32(vec![2.0; total])).unwrap();
+            let b = mem.upload(Buffer::F32(vec![3.0; total])).unwrap();
+            let c = mem.alloc(ScalarType::F32, total).unwrap();
             let stats = launch(
                 &dev,
                 &vecadd_kernel(stride),
@@ -660,5 +929,87 @@ mod tests {
         b.global_transactions = 3200;
         b.bus_bytes = 3200 * 128;
         assert!(kernel_time_us(&dev, &b) > kernel_time_us(&dev, &a));
+    }
+
+    #[test]
+    fn freed_buffer_is_poisoned_not_silently_readable() {
+        let mut mem = DeviceMemory::new();
+        let id = mem.upload(Buffer::I64(vec![1, 2, 3])).unwrap();
+        mem.free(id);
+        match mem.download(id) {
+            Err(SimError::UseAfterFree { buf, .. }) => assert_eq!(buf, id),
+            other => panic!("expected UseAfterFree, got {other:?}"),
+        }
+        match mem.buffer_mut(id) {
+            Err(SimError::UseAfterFree { buf, .. }) => assert_eq!(buf, id),
+            other => panic!("expected UseAfterFree, got {other:?}"),
+        }
+        // And a never-allocated id reports the same structured error.
+        assert!(matches!(
+            mem.download(999),
+            Err(SimError::UseAfterFree { buf: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn reuse_recycles_the_slot_and_zeroes_the_data() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.upload(Buffer::I64(vec![7, 8, 9])).unwrap();
+        let a_stamp = mem.stamp(a).unwrap();
+        mem.free(a);
+        // Incompatible shape: no reuse.
+        let b = mem.alloc(ScalarType::I64, 4).unwrap();
+        assert_ne!(b, a);
+        // Compatible shape: the dead slot is recycled, with fresh zeroes
+        // (never the poisoned old data) and a fresh stamp.
+        let c = mem.alloc(ScalarType::I64, 3).unwrap();
+        assert_eq!(c, a);
+        assert_eq!(mem.download(c).unwrap(), &Buffer::zeros(ScalarType::I64, 3));
+        assert!(mem.stamp(c).unwrap() > a_stamp);
+        let s = mem.stats();
+        assert_eq!((s.allocs, s.frees, s.reuses), (3, 1, 1));
+    }
+
+    #[test]
+    fn live_and_peak_bytes_track_the_footprint() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(ScalarType::I64, 100).unwrap(); // 800 bytes
+        let _b = mem.alloc(ScalarType::F32, 50).unwrap(); // 200 bytes
+        assert_eq!(mem.live_bytes(), 1000);
+        assert_eq!(mem.peak_bytes(), 1000);
+        mem.free(a);
+        assert_eq!(mem.live_bytes(), 200);
+        assert_eq!(mem.peak_bytes(), 1000);
+        // Double free is a no-op, not double counting.
+        mem.free(a);
+        assert_eq!(mem.live_bytes(), 200);
+        assert_eq!(mem.stats().frees, 1);
+        // Reuse re-charges the live footprint.
+        let _c = mem.alloc(ScalarType::I64, 100).unwrap();
+        assert_eq!(mem.live_bytes(), 1000);
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_a_structured_error() {
+        let mut mem = DeviceMemory::with_capacity(1024);
+        let a = mem.alloc(ScalarType::I64, 100).unwrap(); // 800 of 1024
+        let e = mem.alloc(ScalarType::I64, 100).unwrap_err();
+        match e {
+            SimError::OutOfMemory {
+                requested,
+                live,
+                capacity,
+            } => {
+                assert_eq!((requested, live, capacity), (800, 800, 1024));
+            }
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+        // Freeing makes room again.
+        mem.free(a);
+        assert!(mem.alloc(ScalarType::I64, 128).is_ok());
+        // The profile constructor wires the device capacity through.
+        let dev = DeviceProfile::gtx780();
+        let mem = DeviceMemory::from_profile(&dev);
+        assert_eq!(mem.capacity, Some(dev.global_mem_bytes));
     }
 }

@@ -1109,7 +1109,7 @@ impl<'a> GroupRun<'a> {
                 } => {
                     self.issue(mask, index.cost);
                     let bid = self.buffer(*buf)?;
-                    let base_buf = self.base.download(bid);
+                    let base_buf = self.base.raw(bid);
                     let len = base_buf.len() as i64;
                     let elem_bytes = base_buf.elem_type().byte_size() as u64;
                     for lane in 0..mask.len() {
@@ -1124,7 +1124,7 @@ impl<'a> GroupRun<'a> {
                             let bits =
                                 match self.writes.get(&bid).and_then(|m| m.get(&(i as usize))) {
                                     Some(&b) => b,
-                                    None => buf_get_bits(self.base.download(bid), i as usize),
+                                    None => buf_get_bits(self.base.raw(bid), i as usize),
                                 };
                             self.files.set(*class, *slot, lane, bits);
                         }
@@ -1134,8 +1134,8 @@ impl<'a> GroupRun<'a> {
                 DStm::GlobalWrite { buf, index, value } => {
                     self.issue(mask, index.cost + value.cost);
                     let bid = self.buffer(*buf)?;
-                    let len = self.base.download(bid).len() as i64;
-                    let elem_bytes = self.base.download(bid).elem_type().byte_size() as u64;
+                    let len = self.base.raw(bid).len() as i64;
+                    let elem_bytes = self.base.raw(bid).elem_type().byte_size() as u64;
                     for lane in 0..mask.len() {
                         self.offsets[lane] = None;
                         if mask[lane] {
@@ -1532,7 +1532,13 @@ fn launch_decoded_impl(
     // would silently reinterpret bits.
     for (i, p) in dk.params.iter().enumerate() {
         if let (KParam::Buffer(want), Some(Some(bid))) = (p, buf_ids.get(i)) {
-            let got = mem.download(*bid).elem_type();
+            let got = mem
+                .download(*bid)
+                .map_err(|_| SimError::UseAfterFree {
+                    buf: *bid,
+                    what: format!("buffer argument {i} of kernel `{}`", dk.name),
+                })?
+                .elem_type();
             if got != *want {
                 return Err(SimError::Scalar(format!(
                     "buffer argument {i} has element type {got:?}, kernel `{}` expects {want:?}",
@@ -1632,7 +1638,7 @@ fn launch_decoded_impl(
     for out in outs.into_iter().flatten() {
         let out = out?;
         for (bid, writes) in out.writes {
-            let buf = mem.buffer_mut(bid);
+            let buf = mem.raw_mut(bid);
             for (i, bits) in writes {
                 buf_set_bits(buf, i, bits);
             }
@@ -1752,8 +1758,10 @@ mod tests {
         let n = 10_000usize;
         let run = |threads: usize| {
             let mut mem = DeviceMemory::new();
-            let a = mem.upload(Buffer::I64((0..n as i64).map(|i| i - 5000).collect()));
-            let out = mem.alloc(ScalarType::I64, n);
+            let a = mem
+                .upload(Buffer::I64((0..n as i64).map(|i| i - 5000).collect()))
+                .unwrap();
+            let out = mem.alloc(ScalarType::I64, n).unwrap();
             let stats = launch_decoded(
                 &dev,
                 &dk,
@@ -1763,7 +1771,7 @@ mod tests {
                 threads,
             )
             .unwrap();
-            (stats, mem.download(out).clone())
+            (stats, mem.download(out).unwrap().clone())
         };
         let (seq_stats, seq_out) = run(1);
         for threads in [2, 3, 8] {
@@ -1795,9 +1803,9 @@ mod tests {
         let n = 4 * dev.group_size as u64; // four full groups
         for threads in [1, 2, 4] {
             let mut mem = DeviceMemory::new();
-            let out = mem.alloc(ScalarType::I64, 1);
+            let out = mem.alloc(ScalarType::I64, 1).unwrap();
             launch_decoded(&dev, &dk, n, &[Arg::Buffer(out)], &mut mem, threads).unwrap();
-            let Buffer::I64(v) = mem.download(out) else {
+            let Buffer::I64(v) = mem.download(out).unwrap() else {
                 panic!()
             };
             assert_eq!(v[0], 3, "at {threads} threads");
@@ -1838,7 +1846,7 @@ mod tests {
         let dk = DecodedKernel::decode(&k).unwrap();
         for threads in [1, 4] {
             let mut mem = DeviceMemory::new();
-            let out = mem.alloc(ScalarType::I64, 2);
+            let out = mem.alloc(ScalarType::I64, 2).unwrap();
             let e = launch_decoded(
                 &dev,
                 &dk,
@@ -1849,7 +1857,7 @@ mod tests {
             )
             .unwrap_err();
             assert!(matches!(e, SimError::OutOfBounds { .. }), "at {threads}");
-            let Buffer::I64(v) = mem.download(out) else {
+            let Buffer::I64(v) = mem.download(out).unwrap() else {
                 panic!()
             };
             assert_eq!(&v[..], &[7, 7], "group 0's writes must be committed");
@@ -1887,8 +1895,8 @@ mod tests {
         let dk = DecodedKernel::decode(&k).unwrap();
         let mut mem = DeviceMemory::new();
         let xs: Vec<i64> = (0..16).map(|i| i - 8).collect();
-        let a = mem.upload(Buffer::I64(xs.clone()));
-        let out = mem.alloc(ScalarType::I64, 16);
+        let a = mem.upload(Buffer::I64(xs.clone())).unwrap();
+        let out = mem.alloc(ScalarType::I64, 16).unwrap();
         launch_decoded(
             &dev,
             &dk,
@@ -1898,7 +1906,7 @@ mod tests {
             1,
         )
         .unwrap();
-        let Buffer::I64(v) = mem.download(out) else {
+        let Buffer::I64(v) = mem.download(out).unwrap() else {
             panic!()
         };
         for (x, got) in xs.iter().zip(v) {
@@ -1962,9 +1970,9 @@ mod tests {
         let dk = DecodedKernel::decode(&k).unwrap();
         for threads in [1, 4] {
             let mut mem = DeviceMemory::new();
-            let out = mem.alloc(ScalarType::I64, 600);
+            let out = mem.alloc(ScalarType::I64, 600).unwrap();
             launch_decoded(&dev, &dk, 600, &[Arg::Buffer(out)], &mut mem, threads).unwrap();
-            let Buffer::I64(v) = mem.download(out) else {
+            let Buffer::I64(v) = mem.download(out).unwrap() else {
                 panic!()
             };
             assert_eq!(v[0], 0);

@@ -1,0 +1,16 @@
+-- corpus anchor: the double-buffering pattern of Section 6 — a loop
+-- carries an array, each iteration copies the carry and scatters into
+-- the copy. The memory planner must elide the copy and rotate the two
+-- buffers across iterations without changing a single bit relative to
+-- the unplanned pipeline and the interpreter.
+-- input: 6
+-- input: 5
+-- input: [3, 1, 4, 1, 5, 9]
+fun main (n: i64) (iters: i64) (xs: [n]i64): [n]i64 =
+  let r = loop (cur = xs) for i < iters do (
+    let buf = copy cur
+    let is = map (\x -> (x + i) % n) cur
+    let vs = map (\x -> x + 1) cur
+    let next = scatter buf is vs
+    in next)
+  in r

@@ -40,7 +40,8 @@ fn trace_covers_enabled_phases_with_nonzero_sizes() {
             "fusion",
             "flatten",
             "simplify-post",
-            "codegen"
+            "codegen",
+            "memplan"
         ]
     );
     for p in &report.passes {

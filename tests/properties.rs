@@ -47,7 +47,7 @@ fn assert_clean(case: &TestCase) {
 }
 
 /// The old structured family (map/scan chains) still passes the full
-/// differential oracle: interpreter vs simulator, 6 configs x 2 devices.
+/// differential oracle: interpreter vs simulator, 7 configs x 2 devices.
 #[test]
 fn map_scan_chains_match_interpreter_everywhere() {
     for seed in 0..CASES {
@@ -140,14 +140,14 @@ fn stream_red_is_chunk_invariant() {
     }
 }
 
-/// The ablation matrix the oracle iterates is well formed: six
+/// The ablation matrix the oracle iterates is well formed: seven
 /// configurations with distinct labels, the first being the fully
 /// optimised default, and the checker enabled throughout (disabling
 /// verification is never part of an ablation).
 #[test]
 fn ablation_matrix_is_well_formed() {
     let matrix = PipelineOptions::ablation_matrix();
-    assert_eq!(matrix.len(), 6);
+    assert_eq!(matrix.len(), 7);
     let labels: Vec<String> = matrix.iter().map(|o| o.label()).collect();
     for (i, l) in labels.iter().enumerate() {
         assert!(
