@@ -12,20 +12,27 @@
 //! Usage: profgate check [--baseline FILE]     compare; non-zero on drift
 //!        profgate refresh [--baseline FILE]   rewrite the baseline
 
-use futhark::{Compiler, Counters, Json, MemStats, PipelineOptions};
+use futhark::{Compiler, Counters, Json, MemStats, PipelineOptions, TimeBreakdown};
 use futhark_bench::all_benchmarks;
 use futhark_gpu::KernelStats;
 use std::collections::BTreeMap;
 
 const DEFAULT_BASELINE: &str = "prof-baseline.json";
 
-/// The deterministic execution shape of one benchmark.
+/// The deterministic execution shape of one benchmark. The per-kernel
+/// time decompositions are IEEE f64 but derived from integer counters by
+/// fixed-order arithmetic, so they too reproduce bit-for-bit (and the
+/// JSON renderer prints f64 exactly).
 #[derive(Debug, Clone, Default, PartialEq)]
 struct Snapshot {
     launches: u64,
     transposes: u64,
     mem: MemStats,
-    per_kernel: BTreeMap<String, (u64, KernelStats)>,
+    /// Source site owning the peak footprint (from the memory timeline).
+    peak_site: Option<String>,
+    /// Per kernel: launches, merged counters, and the summed per-launch
+    /// time decomposition (whose JSON carries the limiter class).
+    per_kernel: BTreeMap<String, (u64, KernelStats, TimeBreakdown)>,
     rewrites: Counters,
 }
 
@@ -34,11 +41,12 @@ impl Snapshot {
         let kernels: Vec<Json> = self
             .per_kernel
             .iter()
-            .map(|(name, (launches, stats))| {
+            .map(|(name, (launches, stats, breakdown))| {
                 Json::obj(vec![
                     ("name", Json::Str(name.clone())),
                     ("launches", Json::U64(*launches)),
                     ("stats", stats.to_json()),
+                    ("breakdown", breakdown.to_json()),
                 ])
             })
             .collect();
@@ -46,6 +54,12 @@ impl Snapshot {
             ("launches", Json::U64(self.launches)),
             ("transposes", Json::U64(self.transposes)),
             ("mem", self.mem.to_json()),
+            (
+                "peak_site",
+                self.peak_site
+                    .as_ref()
+                    .map_or(Json::Null, |s| Json::Str(s.clone())),
+            ),
             ("per_kernel", Json::Arr(kernels)),
             ("rewrites", self.rewrites.to_json()),
         ])
@@ -59,13 +73,19 @@ impl Snapshot {
                 (
                     k.get("launches")?.as_u64()?,
                     KernelStats::from_json(k.get("stats")?)?,
+                    TimeBreakdown::from_json(k.get("breakdown")?)?,
                 ),
             );
         }
+        let peak_site = match j.get("peak_site")? {
+            Json::Null => None,
+            s => Some(s.as_str()?.to_string()),
+        };
         Some(Snapshot {
             launches: j.get("launches")?.as_u64()?,
             transposes: j.get("transposes")?.as_u64()?,
             mem: MemStats::from_json(j.get("mem")?)?,
+            peak_site,
             per_kernel,
             rewrites: Counters::from_json(j.get("rewrites")?)?,
         })
@@ -83,15 +103,22 @@ fn measure() -> Result<BTreeMap<String, Snapshot>, String> {
         let (_, perf) = compiled
             .run(futhark::Device::Gtx780, &b.small_args)
             .map_err(|e| format!("{}: run failed: {e}", b.name))?;
+        let breakdowns = perf.kernel_breakdowns();
         let snap = Snapshot {
             launches: perf.launches,
             transposes: perf.transposes,
-            mem: perf.mem,
+            peak_site: perf.peak_site().map(|(s, _)| s.to_string()),
             per_kernel: perf
                 .per_kernel
                 .iter()
-                .map(|(k, (l, _us, s))| (k.clone(), (*l, *s)))
+                .map(|(k, (l, _us, s))| {
+                    (
+                        k.clone(),
+                        (*l, *s, breakdowns.get(k).copied().unwrap_or_default()),
+                    )
+                })
                 .collect(),
+            mem: perf.mem,
             rewrites: compiled
                 .report()
                 .map(futhark::CompileReport::all_counters)
@@ -165,20 +192,33 @@ fn report_drift(name: &str, old: &Snapshot, new: &Snapshot) -> bool {
             new.mem.hoisted
         );
     }
+    if old.peak_site != new.peak_site {
+        let f = |s: &Option<String>| s.clone().unwrap_or_else(|| "n/a".to_string());
+        println!(
+            "  peak site: {} -> {}",
+            f(&old.peak_site),
+            f(&new.peak_site)
+        );
+    }
     let keys: std::collections::BTreeSet<&String> =
         old.per_kernel.keys().chain(new.per_kernel.keys()).collect();
     for k in keys {
         match (old.per_kernel.get(k), new.per_kernel.get(k)) {
             (Some(a), Some(b)) if a == b => {}
-            (Some((al, a)), Some((bl, b))) => println!(
+            (Some((al, a, abd)), Some((bl, b, bbd))) => println!(
                 "  kernel {k}: launches {al} -> {bl}, gmem transactions {} -> {}, \
-                 warp instructions {} -> {}, barriers {} -> {}",
+                 warp instructions {} -> {}, barriers {} -> {}, \
+                 limiter {} -> {}, busy {:?} -> {:?} us",
                 a.global_transactions,
                 b.global_transactions,
                 a.warp_instructions,
                 b.warp_instructions,
                 a.barriers,
-                b.barriers
+                b.barriers,
+                abd.limiter(),
+                bbd.limiter(),
+                abd.total_us() - abd.overhead_us,
+                bbd.total_us() - bbd.overhead_us,
             ),
             (Some(_), None) => println!("  kernel {k}: removed"),
             (None, Some(_)) => println!("  kernel {k}: added"),

@@ -11,6 +11,9 @@
 //!   --device <name>     gtx780 (default) or w8100
 //!   --small             run the verification-sized dataset
 //!   --annotate          profile per source line and print the annotated listing
+//!   --analyze           print the bottleneck analysis (limiter table,
+//!                       findings, memory timeline)
+//!   --roofline          print the per-kernel roofline placement
 //!   --json <file>       also write the full trace as JSON
 //!   --chrome <file>     also write a Chrome trace-event file (Perfetto)
 //!   --no-simplify / --no-fusion / --no-coalescing / --no-tiling /
@@ -25,6 +28,8 @@ struct Config {
     device: Device,
     small: bool,
     annotate: bool,
+    analyze: bool,
+    roofline: bool,
     json: Option<String>,
     chrome: Option<String>,
     opts: PipelineOptions,
@@ -33,9 +38,10 @@ struct Config {
 fn usage() -> ! {
     eprintln!(
         "usage: profile [--list] [--all] [--diff OLD NEW] \
-         [--device gtx780|w8100] [--small] [--annotate] [--json FILE] \
-         [--chrome FILE] [--no-simplify] [--no-fusion] [--no-coalescing] \
-         [--no-tiling] [--no-memplan] <benchmark>"
+         [--device gtx780|w8100] [--small] [--annotate] [--analyze] \
+         [--roofline] [--json FILE] [--chrome FILE] [--no-simplify] \
+         [--no-fusion] [--no-coalescing] [--no-tiling] [--no-memplan] \
+         <benchmark>"
     );
     std::process::exit(2)
 }
@@ -60,6 +66,8 @@ fn parse_args() -> Config {
         device: Device::Gtx780,
         small: false,
         annotate: false,
+        analyze: false,
+        roofline: false,
         json: None,
         chrome: None,
         opts: PipelineOptions::default(),
@@ -95,6 +103,8 @@ fn parse_args() -> Config {
             }
             "--small" => cfg.small = true,
             "--annotate" => cfg.annotate = true,
+            "--analyze" => cfg.analyze = true,
+            "--roofline" => cfg.roofline = true,
             "--json" => cfg.json = Some(args.next().unwrap_or_else(|| usage())),
             "--chrome" => cfg.chrome = Some(args.next().unwrap_or_else(|| usage())),
             "--no-simplify" => cfg.opts.simplify = false,
@@ -116,7 +126,9 @@ fn profile_one(b: &Benchmark, cfg: &Config) -> Result<(), String> {
         .compile(&b.source)
         .map_err(|e| format!("{}: compile failed: {e}", b.name))?;
     let args = if cfg.small { &b.small_args } else { &b.args };
-    let perf = if cfg.annotate {
+    let perf = if cfg.annotate || cfg.analyze {
+        // Profiled run: per-site counters feed the annotated listing and
+        // the analysis findings (divergence waste is per-site).
         let (_, perf) = compiled
             .run_profiled(cfg.device, args)
             .map_err(|e| format!("{}: run failed: {e}", b.name))?;
@@ -138,6 +150,19 @@ fn profile_one(b: &Benchmark, cfg: &Config) -> Result<(), String> {
     if cfg.annotate {
         println!();
         print!("{}", prof::render_annotated(&b.source, &perf));
+    }
+    if cfg.analyze || cfg.roofline {
+        let analysis = futhark::analyze::analyze(&perf, &cfg.device.profile());
+        if cfg.analyze {
+            println!();
+            print!("{}", prof::render_analysis(&analysis));
+            println!();
+            print!("{}", prof::render_mem_timeline(&perf));
+        }
+        if cfg.roofline {
+            println!();
+            print!("{}", prof::render_roofline(&analysis));
+        }
     }
     if let Some(path) = &cfg.json {
         let doc = prof::trace_json(compiled.report(), &perf).render_pretty();

@@ -8,16 +8,26 @@
 //! `BENCH_sim.json` so the simulator's own performance trajectory is
 //! tracked alongside the modelled-device numbers.
 //!
+//! Each row also carries the *modelled* device-side cost of its kernel —
+//! the time decomposition (overhead/compute/memory/local µs) and the
+//! binding limiter — so the zoo doubles as a fixture for the bottleneck
+//! analysis engine: the coalesced add is memory-limited, the strided
+//! variant more so, the local rotate stresses local throughput, and the
+//! sequential loop is compute-limited.
+//!
 //! Usage: simbench [--quick] [--launches N] [--threads N] [--out FILE]
+//!        simbench --check-schema FILE
 //!
 //!   --quick       small workload (CI smoke): fewer threads and launches
 //!   --launches N  launches per kernel per configuration (default 40)
 //!   --threads N   worker threads for the parallel runs (default: all cores)
 //!   --out FILE    output path (default BENCH_sim.json)
+//!   --check-schema FILE  compare FILE's JSON schema (recursive key set)
+//!                 against what simbench writes today; exit 1 on drift
 
 use futhark_core::{BinOp, Buffer, CmpOp, Scalar, ScalarType};
 use futhark_gpu::kernel::{KExp, KParam, KStm, Kernel};
-use futhark_gpu::sim::{Arg, DeviceMemory, KernelStats};
+use futhark_gpu::sim::{kernel_time_breakdown, Arg, DeviceMemory, KernelStats};
 use futhark_gpu::{host_threads, launch_decoded, DecodedKernel, DeviceProfile};
 use futhark_trace::Json;
 use std::time::Instant;
@@ -348,6 +358,67 @@ fn run_config(
     (t0.elapsed().as_secs_f64(), last)
 }
 
+/// Collects every key path of a JSON document (objects recurse by key,
+/// arrays contribute one `[]` step per distinct element shape) — the
+/// document's *schema*, independent of its values.
+fn schema_paths(j: &Json, prefix: &str, out: &mut std::collections::BTreeSet<String>) {
+    match j {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                out.insert(p.clone());
+                schema_paths(v, &p, out);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items {
+                schema_paths(v, &format!("{prefix}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares the committed results file's schema against the document
+/// simbench writes today. Exits 0 when the key sets match, 1 on drift
+/// (listing the paths present on only one side).
+fn check_schema(path: &str, current: &Json) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        std::process::exit(1)
+    });
+    let committed = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("parsing {path}: {e}");
+        std::process::exit(1)
+    });
+    let mut want = std::collections::BTreeSet::new();
+    let mut have = std::collections::BTreeSet::new();
+    schema_paths(current, "", &mut want);
+    schema_paths(&committed, "", &mut have);
+    if want == have {
+        println!(
+            "schema OK: {path} matches the current simbench output ({} key paths)",
+            want.len()
+        );
+        std::process::exit(0)
+    }
+    for missing in want.difference(&have) {
+        println!("schema drift: {path} is missing {missing:?}");
+    }
+    for extra in have.difference(&want) {
+        println!("schema drift: {path} has stale key {extra:?}");
+    }
+    eprintln!(
+        "schema of {path} drifted; regenerate with:\n  \
+         cargo run --release -p futhark-bench --bin simbench"
+    );
+    std::process::exit(1)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let flag = |name: &str| argv.iter().any(|a| a == name);
@@ -356,7 +427,7 @@ fn main() {
             .position(|a| a == name)
             .and_then(|i| argv.get(i + 1).cloned())
     };
-    let quick = flag("--quick");
+    let quick = flag("--quick") || opt("--check-schema").is_some();
     let n: usize = if quick { 1 << 12 } else { 1 << 16 };
     let launches: u32 = opt("--launches")
         .map(|s| s.parse().expect("--launches N"))
@@ -373,8 +444,8 @@ fn main() {
     );
     println!("{:-<78}", "");
     println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>8}",
-        "kernel", "seq l/s", "par l/s", "seq Ml/s", "par Ml/s", "speedup"
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>8}  {:>7}",
+        "kernel", "seq l/s", "par l/s", "seq Ml/s", "par Ml/s", "speedup", "limiter"
     );
     println!("{:-<78}", "");
 
@@ -400,9 +471,18 @@ fn main() {
         let par_mlanes = par_lps * n as f64 / 1e6;
         let speedup = seq_s / par_s;
         worst_speedup = worst_speedup.min(speedup);
+        // Modelled device-side cost of one launch: deterministic, so it
+        // belongs in the committed results alongside the host timings.
+        let bd = kernel_time_breakdown(&device, &seq_stats);
         println!(
-            "{:<16} {:>12.1} {:>12.1} {:>12.2} {:>12.2} {:>7.2}x",
-            case.kernel.name, seq_lps, par_lps, seq_mlanes, par_mlanes, speedup
+            "{:<16} {:>12.1} {:>12.1} {:>12.2} {:>12.2} {:>7.2}x  {:>7}",
+            case.kernel.name,
+            seq_lps,
+            par_lps,
+            seq_mlanes,
+            par_mlanes,
+            speedup,
+            bd.limiter(),
         );
         rows.push(Json::obj(vec![
             ("kernel", Json::Str(case.kernel.name.clone())),
@@ -416,6 +496,9 @@ fn main() {
             ("par_lanes_per_sec", Json::F64(par_lps * n as f64)),
             ("speedup", Json::F64(speedup)),
             ("peak_bytes", Json::U64(mem.peak_bytes())),
+            ("modelled_us", Json::F64(bd.total_us())),
+            ("modelled_breakdown", bd.to_json()),
+            ("limiter", Json::Str(bd.limiter().to_string())),
         ]));
     }
     println!("{:-<78}", "");
@@ -430,6 +513,9 @@ fn main() {
         ("kernels", Json::Arr(rows)),
         ("worst_speedup", Json::F64(worst_speedup)),
     ]);
+    if let Some(path) = opt("--check-schema") {
+        check_schema(&path, &doc);
+    }
     match std::fs::write(&out_path, doc.render_pretty()) {
         Ok(()) => println!("results written to {out_path}"),
         Err(e) => {

@@ -36,14 +36,18 @@ use futhark_core::{Body, NameSource, Program, Value};
 use futhark_gpu::codegen::{self, CodegenOptions};
 use futhark_gpu::exec::{self};
 use futhark_gpu::plan::GpuPlan;
-use futhark_gpu::DeviceProfile;
+pub use futhark_gpu::DeviceProfile;
 use futhark_trace::SpanTimer;
 use std::fmt;
 
+pub mod analyze;
 pub mod prof;
 
+pub use analyze::{AnalysisReport, Finding, KernelAnalysis};
 pub use futhark_gpu::exec::{ExecError, LaunchRecord, PerfReport, RunOptions, TimelineEvent};
-pub use futhark_gpu::sim::{MemStats, SimError, SiteStats};
+pub use futhark_gpu::sim::{
+    Limiter, MemEvent, MemOp, MemStats, SimError, SiteStats, TimeBreakdown,
+};
 pub use futhark_trace::{CompileReport, Counters, IrSize, Json, PassSpan};
 
 /// The two simulated devices of the paper's evaluation.

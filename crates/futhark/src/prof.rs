@@ -6,8 +6,9 @@
 //! pass-time breakdown, rewrite counters) and one machine-readable JSON
 //! document for archival next to benchmark output.
 
+use crate::analyze::AnalysisReport;
 use futhark_gpu::exec::{PerfReport, TimelineEvent};
-use futhark_gpu::sim::{KernelStats, SiteStats};
+use futhark_gpu::sim::{KernelStats, Limiter, SiteStats};
 use futhark_trace::{ChromeTrace, CompileReport, Json};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -145,6 +146,161 @@ pub fn render(compile: Option<&CompileReport>, run: &PerfReport) -> String {
     out
 }
 
+/// The bottleneck-analysis report: whole-run decomposition, per-kernel
+/// limiter table, peak-footprint owner, and the ranked findings of
+/// [`crate::analyze::analyze`].
+pub fn render_analysis(a: &AnalysisReport) -> String {
+    let mut out = format!("== analysis ({}) ==\n", a.device);
+    let _ = writeln!(
+        out,
+        "total {:.1} us | limiter {} | overhead {:.1} | compute {:.1} | \
+         memory {:.1} | local {:.1}",
+        a.total_us,
+        a.limiter,
+        a.breakdown.overhead_us,
+        a.breakdown.compute_us,
+        a.breakdown.memory_us,
+        a.breakdown.local_us,
+    );
+    let _ = writeln!(
+        out,
+        "peak {} B owned by {}",
+        a.peak_bytes,
+        a.peak_site.as_deref().unwrap_or("n/a"),
+    );
+    if !a.kernels.is_empty() {
+        let nw = a
+            .kernels
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max("kernel".len());
+        let _ = writeln!(
+            out,
+            "\n{:<nw$}  {:>8}  {:>10}  {:>7}  {:>9}  {:>8}  {:>6}  {:>8}",
+            "kernel",
+            "launches",
+            "time (us)",
+            "limiter",
+            "AI (wi/B)",
+            "%ceiling",
+            "occup",
+            "coalesce"
+        );
+        for (name, k) in &a.kernels {
+            let _ = writeln!(
+                out,
+                "{name:<nw$}  {:>8}  {:>10.1}  {:>7}  {:>9.3}  {:>7.1}%  {:>5.2}  {:>7.1}%",
+                k.launches,
+                k.time_us,
+                k.limiter,
+                k.arithmetic_intensity,
+                k.ceiling_fraction * 100.0,
+                k.occupancy,
+                k.coalescing_efficiency * 100.0,
+            );
+        }
+    }
+    if !a.findings.is_empty() {
+        out.push_str("\nfindings:\n");
+        for (i, f) in a.findings.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>3}. [{}] {} (impact {:.1} us)",
+                i + 1,
+                f.kind,
+                f.detail,
+                f.impact_us,
+            );
+        }
+    }
+    out
+}
+
+/// Per-kernel roofline placement: arithmetic intensity, achieved issue
+/// rate against the attainable ceiling `min(peak, AI × bandwidth)`, and
+/// the binding limiter.
+pub fn render_roofline(a: &AnalysisReport) -> String {
+    let mut out = format!("== roofline ({}) ==\n", a.device);
+    let nw = a
+        .kernels
+        .keys()
+        .map(String::len)
+        .max()
+        .unwrap_or(0)
+        .max("kernel".len());
+    let _ = writeln!(
+        out,
+        "{:<nw$}  {:>9}  {:>16}  {:>18}  {:>8}  {:>7}",
+        "kernel", "AI (wi/B)", "achieved (wi/us)", "attainable (wi/us)", "%ceiling", "limiter"
+    );
+    for (name, k) in &a.kernels {
+        let _ = writeln!(
+            out,
+            "{name:<nw$}  {:>9.3}  {:>16.1}  {:>18.1}  {:>7.1}%  {:>7}",
+            k.arithmetic_intensity,
+            k.achieved_issue_per_us,
+            k.attainable_issue_per_us,
+            k.ceiling_fraction * 100.0,
+            k.limiter,
+        );
+    }
+    out
+}
+
+/// The device-memory timeline: every alloc/free/steal/rotate/hoist
+/// event with byte size, resulting live footprint, and owning source
+/// site, followed by an ASCII live-bytes curve whose maximum is the
+/// run's `peak_bytes`.
+pub fn render_mem_timeline(run: &PerfReport) -> String {
+    let mut out = String::from("== memory timeline ==\n");
+    let events: Vec<_> = run.mem_events().collect();
+    if events.is_empty() {
+        out.push_str("(no memory events in trace)\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:>5}  {:>6}  {:>5}  {:>12}  {:>12}  site",
+        "event", "op", "buf", "bytes", "live"
+    );
+    const MAX_ROWS: usize = 64;
+    for (i, m) in events.iter().take(MAX_ROWS).enumerate() {
+        let _ = writeln!(
+            out,
+            "{i:>5}  {:>6}  {:>5}  {:>12}  {:>12}  {}",
+            m.op, m.buf, m.bytes, m.live_bytes, m.site
+        );
+    }
+    if events.len() > MAX_ROWS {
+        let _ = writeln!(out, "(... {} more events)", events.len() - MAX_ROWS);
+    }
+    let peak = events.iter().map(|m| m.live_bytes).max().unwrap_or(0);
+    // Downsampled live-bytes curve: one glyph per bucket, scaled to the
+    // peak (the maximum of the curve is peak_bytes by construction).
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    const WIDTH: usize = 60;
+    let curve: String = (0..events.len().min(WIDTH))
+        .map(|b| {
+            // Bucket b covers events [b*n/w, (b+1)*n/w): take the max.
+            let w = events.len().min(WIDTH);
+            let lo = b * events.len() / w;
+            let hi = ((b + 1) * events.len() / w).max(lo + 1);
+            let v = events[lo..hi].iter().map(|m| m.live_bytes).max().unwrap();
+            let idx = (v * (GLYPHS.len() as u64 - 1))
+                .checked_div(peak)
+                .unwrap_or(0) as usize;
+            GLYPHS[idx] as char
+        })
+        .collect();
+    let _ = writeln!(out, "live bytes [{curve}] peak {peak} B");
+    if let Some((site, _)) = run.peak_site() {
+        let _ = writeln!(out, "peak owned by {site}");
+    }
+    out
+}
+
 /// Parses a [`futhark_core::Prov`] key (`"4"`, `"4,7"`) into 1-based
 /// source-line numbers. The unattributed key `"?"` yields an empty list.
 fn site_lines(key: &str) -> Vec<usize> {
@@ -253,6 +409,10 @@ pub struct TraceDiff {
     pub peak_bytes: (u64, u64),
     /// Buffer reuses (free-list hits plus in-place steals), old vs new.
     pub reuses: (u64, u64),
+    /// Whole-run binding limiter, old vs new. `None` on a side means the
+    /// trace predates the analysis layer (no per-launch breakdowns) and
+    /// is rendered as "n/a" — old traces stay readable.
+    pub limiter: (Option<Limiter>, Option<Limiter>),
     /// Kernels whose launches/time/counters differ (or that exist on one
     /// side only), keyed by kernel name.
     pub per_kernel: BTreeMap<String, DiffPair<(u64, f64, KernelStats)>>,
@@ -279,12 +439,24 @@ impl TraceDiff {
 /// Compares two runs. Kernels and sites equal on both sides are dropped;
 /// what remains is the difference (plus the always-present totals).
 pub fn diff_runs(old: &PerfReport, new: &PerfReport) -> TraceDiff {
+    // Whole-run limiter from the summed per-launch breakdowns; a trace
+    // without breakdowns (pre-analysis) yields None, rendered "n/a".
+    let run_limiter = |r: &PerfReport| {
+        let mut whole = futhark_gpu::sim::TimeBreakdown::default();
+        let mut seen = false;
+        for bd in r.kernel_breakdowns().values() {
+            whole.merge(bd);
+            seen = true;
+        }
+        seen.then(|| whole.limiter())
+    };
     let mut d = TraceDiff {
         total_us: (old.total_us, new.total_us),
         launches: (old.launches, new.launches),
         transposes: (old.transposes, new.transposes),
         peak_bytes: (old.mem.peak_bytes, new.mem.peak_bytes),
         reuses: (old.mem.reuses, new.mem.reuses),
+        limiter: (run_limiter(old), run_limiter(new)),
         ..TraceDiff::default()
     };
     let keys: std::collections::BTreeSet<&String> =
@@ -302,10 +474,16 @@ pub fn diff_runs(old: &PerfReport, new: &PerfReport) -> TraceDiff {
     }
     let keys: std::collections::BTreeSet<&String> =
         old.per_site.keys().chain(new.per_site.keys()).collect();
+    // Compare the integer counters only: modelled_us is derived time and
+    // absent from pre-analysis traces, so it would be pure diff noise.
+    let strip_time = |s: &SiteStats| SiteStats {
+        modelled_us: 0.0,
+        ..*s
+    };
     for k in keys {
         let o = old.per_site.get(k);
         let n = new.per_site.get(k);
-        if o != n {
+        if o.map(strip_time) != n.map(strip_time) {
             d.per_site.insert(k.clone(), (o.copied(), n.copied()));
         }
     }
@@ -329,10 +507,16 @@ pub fn render_diff(d: &TraceDiff) -> String {
         "total {:.1} -> {:.1} us | launches {} -> {} | transposes {} -> {}",
         d.total_us.0, d.total_us.1, d.launches.0, d.launches.1, d.transposes.0, d.transposes.1
     );
+    let fmt_lim = |l: &Option<Limiter>| l.map_or("n/a".to_string(), |l| l.to_string());
     let _ = writeln!(
         out,
-        "peak {} -> {} bytes | reuses {} -> {}",
-        d.peak_bytes.0, d.peak_bytes.1, d.reuses.0, d.reuses.1
+        "peak {} -> {} bytes | reuses {} -> {} | limiter {} -> {}",
+        d.peak_bytes.0,
+        d.peak_bytes.1,
+        d.reuses.0,
+        d.reuses.1,
+        fmt_lim(&d.limiter.0),
+        fmt_lim(&d.limiter.1),
     );
     if d.is_clean() {
         out.push_str("no per-kernel or per-site differences\n");
@@ -438,14 +622,8 @@ pub fn chrome_trace(compile: Option<&CompileReport>, run: &PerfReport) -> Json {
     let mut ts = 0.0;
     for e in &run.timeline {
         match e {
-            TimelineEvent::Launch(l) => t.complete(
-                &l.kernel,
-                "kernel",
-                2,
-                1,
-                ts,
-                l.us,
-                vec![
+            TimelineEvent::Launch(l) => {
+                let mut args = vec![
                     ("num_groups", Json::U64(l.num_groups)),
                     ("group_size", Json::U64(l.group_size)),
                     ("threads", Json::U64(l.num_threads)),
@@ -455,8 +633,15 @@ pub fn chrome_trace(compile: Option<&CompileReport>, run: &PerfReport) -> Json {
                     ),
                     ("warp_instructions", Json::U64(l.stats.warp_instructions)),
                     ("barriers", Json::U64(l.stats.barriers)),
-                ],
-            ),
+                ];
+                if let Some(b) = &l.breakdown {
+                    args.push(("limiter", Json::Str(b.limiter().to_string())));
+                    args.push(("compute_us", Json::F64(b.compute_us)));
+                    args.push(("memory_us", Json::F64(b.memory_us)));
+                    args.push(("local_us", Json::F64(b.local_us)));
+                }
+                t.complete(&l.kernel, "kernel", 2, 1, ts, l.us, args)
+            }
             TimelineEvent::DeviceOp { what, bytes, us } => t.complete(
                 what,
                 "device_op",
@@ -476,6 +661,9 @@ pub fn chrome_trace(compile: Option<&CompileReport>, run: &PerfReport) -> Json {
                 vec![("work", Json::U64(*work))],
             ),
             TimelineEvent::Sync { what, us } => t.complete(what, "sync", 2, 1, ts, *us, vec![]),
+            // Memory events are instantaneous (us() == 0): a counter
+            // sample on the live-bytes track at the current timestamp.
+            TimelineEvent::Mem(m) => t.counter("live_bytes", 2, 1, ts, m.live_bytes),
         }
         ts += e.us();
     }

@@ -304,11 +304,19 @@ fn chrome_trace_covers_the_whole_timeline() {
         .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
         .collect();
     let n_passes = c.report().map(|r| r.passes.len()).unwrap_or(0);
+    let n_mem = perf.mem_events().count();
     assert_eq!(
         complete.len(),
-        n_passes + perf.timeline.len(),
-        "one complete event per pass and per timeline entry"
+        n_passes + perf.timeline.len() - n_mem,
+        "one complete event per pass and per non-memory timeline entry"
     );
+    // Memory events become counter samples on the live-bytes track.
+    let counters: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+        .collect();
+    assert_eq!(counters.len(), n_mem, "one counter sample per memory event");
+    assert!(n_mem > 0, "the run allocates, so the track is non-empty");
     // Device-lane durations sum to the modelled total.
     let device_us: f64 = complete
         .iter()
@@ -347,6 +355,7 @@ fn stats_json_round_trips_and_rejects_malformed() {
         useful_bytes: 13,
         local_accesses: 17,
         barriers: 19,
+        modelled_us: 0.5,
     };
     let text = ss.to_json().render();
     assert_eq!(SiteStats::from_json(&Json::parse(&text).unwrap()), Some(ss));

@@ -28,6 +28,13 @@ pub enum DivergenceKind {
     /// Profiled execution perturbed the run: different output values or
     /// different aggregate cost counters than the unprofiled run.
     ProfilePerturbation,
+    /// The bottleneck analysis broke an invariant: a launch whose time
+    /// decomposition disagrees with its recorded time, limiters that
+    /// differ between the profiled and unprofiled run of the same
+    /// program, or an [`futhark::AnalysisReport`] that fails its own
+    /// JSON round-trip. Analysis is derived data — any of these means it
+    /// perturbed or misread the run.
+    AnalysisPerturbation,
 }
 
 /// One observed disagreement.
@@ -51,6 +58,7 @@ impl std::fmt::Display for Divergence {
             DivergenceKind::RunError => "run error",
             DivergenceKind::Mismatch => "mismatch",
             DivergenceKind::ProfilePerturbation => "profile perturbation",
+            DivergenceKind::AnalysisPerturbation => "analysis perturbation",
         };
         write!(f, "[{}", self.config)?;
         if let Some(d) = &self.device {
@@ -162,10 +170,97 @@ fn check_profiled_run(
                     pperf.stats
                 ));
             }
+            if let Some(detail) = check_analysis(device, perf, &pperf) {
+                return Some(Divergence {
+                    config: format!("{}+analyze", opts.label()),
+                    device: Some(dlabel.to_string()),
+                    kind: DivergenceKind::AnalysisPerturbation,
+                    detail,
+                });
+            }
             None
         }
         Err(e) => diverge(format!("profiled run failed: {e}")),
     }
+}
+
+/// Checks that the bottleneck analysis layer is a pure observer of the
+/// run it describes. Invariants, all exact (no tolerances):
+///
+/// 1. Every launch's recorded time decomposition reproduces its recorded
+///    time bit-for-bit: `breakdown.total_us() == us`.
+/// 2. The per-kernel limiters and summed decompositions of the profiled
+///    and unprofiled runs are identical — enabling per-site profiling
+///    must not move a single modelled nanosecond.
+/// 3. The peak footprint and its owning site agree between the runs.
+/// 4. The [`futhark::AnalysisReport`] survives a JSON round-trip.
+fn check_analysis(
+    device: Device,
+    perf: &futhark::PerfReport,
+    pperf: &futhark::PerfReport,
+) -> Option<String> {
+    use futhark::TimelineEvent;
+    for (label, r) in [("unprofiled", perf), ("profiled", pperf)] {
+        for e in &r.timeline {
+            if let TimelineEvent::Launch(l) = e {
+                match l.breakdown {
+                    None => {
+                        return Some(format!("{label} launch of {} has no breakdown", l.kernel))
+                    }
+                    Some(bd) if bd.total_us() != l.us => {
+                        return Some(format!(
+                            "{label} launch of {}: breakdown total {:?} != recorded {:?} us",
+                            l.kernel,
+                            bd.total_us(),
+                            l.us
+                        ))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    let profile = device.profile();
+    let a = futhark::analyze::analyze(perf, &profile);
+    let b = futhark::analyze::analyze(pperf, &profile);
+    if a.kernels.len() != b.kernels.len() {
+        return Some(format!(
+            "analysis sees {} kernels unprofiled vs {} profiled",
+            a.kernels.len(),
+            b.kernels.len()
+        ));
+    }
+    for (name, ka) in &a.kernels {
+        let Some(kb) = b.kernels.get(name) else {
+            return Some(format!("kernel {name} analysed only in the unprofiled run"));
+        };
+        if ka.limiter != kb.limiter || ka.breakdown != kb.breakdown {
+            return Some(format!(
+                "kernel {name}: limiter/breakdown changed under profiling: \
+                 {} {:?} vs {} {:?}",
+                ka.limiter, ka.breakdown, kb.limiter, kb.breakdown
+            ));
+        }
+    }
+    if a.peak_bytes != b.peak_bytes || a.peak_site != b.peak_site {
+        return Some(format!(
+            "peak attribution changed under profiling: {} B at {:?} vs {} B at {:?}",
+            a.peak_bytes, a.peak_site, b.peak_bytes, b.peak_site
+        ));
+    }
+    for (label, rep) in [("unprofiled", &a), ("profiled", &b)] {
+        let text = rep.to_json().render();
+        let parsed = futhark::Json::parse(&text).ok();
+        match parsed.as_ref().and_then(futhark::AnalysisReport::from_json) {
+            Some(back) if back == *rep => {}
+            _ => {
+                return Some(format!(
+                    "{label} analysis report failed its JSON round-trip"
+                ))
+            }
+        }
+    }
+    None
 }
 
 /// Runs the full differential check on one program.

@@ -101,6 +101,22 @@ impl DeviceProfile {
     pub fn memory_us(&self, bus_bytes: f64) -> f64 {
         bus_bytes / (self.bandwidth_gbps * 1e3)
     }
+
+    /// Microseconds for `accesses` local-memory accesses at the device's
+    /// local-memory throughput.
+    pub fn local_us(&self, accesses: f64) -> f64 {
+        accesses / (self.num_cus as f64 * self.local_per_cycle * self.clock_ghz * 1e3)
+    }
+
+    /// Peak warp-instruction issue rate, in warp instructions per µs.
+    pub fn peak_issue_per_us(&self) -> f64 {
+        self.num_cus as f64 * self.ipc * self.clock_ghz * 1e3
+    }
+
+    /// Peak memory bandwidth, in bytes per µs.
+    pub fn peak_bytes_per_us(&self) -> f64 {
+        self.bandwidth_gbps * 1e3
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,10 @@
 
 use crate::device::DeviceProfile;
 use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec, StealKind};
-use crate::sim::{self, Arg, BufId, DeviceMemory, KernelStats, MemStats, SimError, SiteStats};
+use crate::sim::{
+    self, Arg, BufId, DeviceMemory, KernelStats, Limiter, MemEvent, MemOp, MemStats, SimError,
+    SiteStats, TimeBreakdown,
+};
 use crate::tape::{host_threads, DecodedKernel};
 use futhark_core::traverse::{free_in_exp, free_in_lambda};
 use futhark_core::{
@@ -112,6 +115,10 @@ pub struct LaunchRecord {
     pub stats: KernelStats,
     /// Modelled duration, microseconds.
     pub us: f64,
+    /// Full time decomposition of this launch (`None` only for traces
+    /// recorded before the analysis layer existed; fresh runs always
+    /// record it, and `breakdown.total_us() == us` bit-for-bit).
+    pub breakdown: Option<TimeBreakdown>,
 }
 
 /// One entry of the ordered execution timeline. Every modelled-time
@@ -147,6 +154,11 @@ pub enum TimelineEvent {
         /// Modelled duration, microseconds.
         us: f64,
     },
+    /// A device-memory event (alloc/reuse/free/steal/hoist/rotate) with
+    /// byte size, live-footprint reading and owning source site. Memory
+    /// bookkeeping is instantaneous in the timing model, so these carry
+    /// no duration.
+    Mem(MemEvent),
 }
 
 impl TimelineEvent {
@@ -157,21 +169,28 @@ impl TimelineEvent {
             TimelineEvent::DeviceOp { us, .. }
             | TimelineEvent::Fallback { us, .. }
             | TimelineEvent::Sync { us, .. } => *us,
+            TimelineEvent::Mem(_) => 0.0,
         }
     }
 
     /// Serialises to JSON (tagged by a `kind` field).
     pub fn to_json(&self) -> Json {
         match self {
-            TimelineEvent::Launch(l) => Json::obj(vec![
-                ("kind", Json::Str("launch".into())),
-                ("kernel", Json::Str(l.kernel.clone())),
-                ("num_groups", Json::U64(l.num_groups)),
-                ("group_size", Json::U64(l.group_size)),
-                ("num_threads", Json::U64(l.num_threads)),
-                ("stats", l.stats.to_json()),
-                ("us", Json::F64(l.us)),
-            ]),
+            TimelineEvent::Launch(l) => {
+                let mut fields = vec![
+                    ("kind".to_string(), Json::Str("launch".into())),
+                    ("kernel".to_string(), Json::Str(l.kernel.clone())),
+                    ("num_groups".to_string(), Json::U64(l.num_groups)),
+                    ("group_size".to_string(), Json::U64(l.group_size)),
+                    ("num_threads".to_string(), Json::U64(l.num_threads)),
+                    ("stats".to_string(), l.stats.to_json()),
+                    ("us".to_string(), Json::F64(l.us)),
+                ];
+                if let Some(b) = &l.breakdown {
+                    fields.push(("breakdown".to_string(), b.to_json()));
+                }
+                Json::Obj(fields)
+            }
             TimelineEvent::DeviceOp { what, bytes, us } => Json::obj(vec![
                 ("kind", Json::Str("device_op".into())),
                 ("what", Json::Str(what.clone())),
@@ -189,10 +208,18 @@ impl TimelineEvent {
                 ("what", Json::Str(what.clone())),
                 ("us", Json::F64(*us)),
             ]),
+            TimelineEvent::Mem(m) => {
+                let mut j = m.to_json();
+                if let Json::Obj(fields) = &mut j {
+                    fields.insert(0, ("kind".to_string(), Json::Str("mem".into())));
+                }
+                j
+            }
         }
     }
 
-    /// Deserialises from JSON.
+    /// Deserialises from JSON. The launch `breakdown` is optional so
+    /// traces written before the analysis layer still load (as `None`).
     pub fn from_json(j: &Json) -> Option<TimelineEvent> {
         match j.get("kind")?.as_str()? {
             "launch" => Some(TimelineEvent::Launch(LaunchRecord {
@@ -202,6 +229,10 @@ impl TimelineEvent {
                 num_threads: j.get("num_threads")?.as_u64()?,
                 stats: KernelStats::from_json(j.get("stats")?)?,
                 us: j.get("us")?.as_f64()?,
+                breakdown: match j.get("breakdown") {
+                    Some(b) => Some(TimeBreakdown::from_json(b)?),
+                    None => None,
+                },
             })),
             "device_op" => Some(TimelineEvent::DeviceOp {
                 what: j.get("what")?.as_str()?.to_string(),
@@ -217,6 +248,7 @@ impl TimelineEvent {
                 what: j.get("what")?.as_str()?.to_string(),
                 us: j.get("us")?.as_f64()?,
             }),
+            "mem" => Some(TimelineEvent::Mem(MemEvent::from_json(j)?)),
             _ => None,
         }
     }
@@ -271,6 +303,41 @@ impl PerfReport {
             .collect();
         v.sort_by(|a, b| b.1 .1.total_cmp(&a.1 .1).then_with(|| a.0.cmp(b.0)));
         v
+    }
+
+    /// Per-kernel summed time decompositions, merged from the per-launch
+    /// breakdowns on the timeline. Launches without a recorded breakdown
+    /// (traces predating the analysis layer) contribute nothing, so the
+    /// map can be empty for old traces.
+    pub fn kernel_breakdowns(&self) -> BTreeMap<String, TimeBreakdown> {
+        let mut m: BTreeMap<String, TimeBreakdown> = BTreeMap::new();
+        for e in &self.timeline {
+            if let TimelineEvent::Launch(l) = e {
+                if let Some(b) = &l.breakdown {
+                    m.entry(l.kernel.clone()).or_default().merge(b);
+                }
+            }
+        }
+        m
+    }
+
+    /// The memory-timeline events, in execution order.
+    pub fn mem_events(&self) -> impl Iterator<Item = &MemEvent> {
+        self.timeline.iter().filter_map(|e| match e {
+            TimelineEvent::Mem(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// The source site owning the peak footprint: the site of the first
+    /// memory event whose live-bytes reading reaches the curve's maximum,
+    /// together with that maximum. `None` when no memory events were
+    /// recorded (old traces).
+    pub fn peak_site(&self) -> Option<(&str, u64)> {
+        let peak = self.mem_events().map(|m| m.live_bytes).max()?;
+        self.mem_events()
+            .find(|m| m.live_bytes == peak)
+            .map(|m| (m.site.as_str(), peak))
     }
 
     /// Serialises to JSON.
@@ -486,15 +553,22 @@ pub fn run_with_opts(
     args: &[Value],
     opts: RunOptions,
 ) -> EResult<(Vec<Value>, PerfReport)> {
+    let mut arena = DeviceMemory::from_profile(device);
+    // The memory timeline is always recorded: the bookkeeping is pure
+    // observation (no feedback into timing or results), and the events
+    // make `peak_bytes` attributable in every trace.
+    arena.enable_event_log();
     let mut ex = Executor {
         plan,
         prog,
         device,
-        mem: DeviceMemory::from_profile(device),
+        mem: arena,
         env: HashMap::new(),
         report: PerfReport::default(),
         layout_cache: HashMap::new(),
         decoded: vec![None; plan.kernels.len()],
+        kernel_sites: vec![None; plan.kernels.len()],
+        buf_sites: HashMap::new(),
         threads: opts.threads.max(1),
         profile: opts.profile,
         hoisted: 0,
@@ -524,7 +598,10 @@ pub fn run_with_opts(
             }
         }
     }
+    // Parameter uploads belong to no source line.
+    ex.flush_mem("args");
     let results = ex.body(&plan.body)?;
+    ex.flush_mem("?");
     let values = results
         .into_iter()
         .map(|hv| ex.download_value(&hv))
@@ -550,6 +627,12 @@ struct Executor<'a> {
     /// Kernels pre-decoded to flat opcode tapes, lazily, once per plan
     /// kernel — host loops re-launching the same kernel skip the decode.
     decoded: Vec<Option<DecodedKernel>>,
+    /// Per-kernel provenance union keys, computed lazily (the site that
+    /// memory events inside a launch are attributed to).
+    kernel_sites: Vec<Option<String>>,
+    /// The source site each live buffer was last allocated (or stolen)
+    /// at — frees look their attribution up here.
+    buf_sites: HashMap<BufId, String>,
     /// Host worker threads used for parallel group execution.
     threads: usize,
     /// Whether launches collect per-source-site counters.
@@ -566,6 +649,81 @@ struct Executor<'a> {
 }
 
 impl<'a> Executor<'a> {
+    /// The provenance-union key of a kernel's source sites, cached per
+    /// plan kernel.
+    fn kernel_site(&mut self, k: usize) -> String {
+        if self.kernel_sites[k].is_none() {
+            let mut p = futhark_core::Prov::none();
+            for q in &self.plan.kernels[k].prov_table {
+                p.merge(q);
+            }
+            self.kernel_sites[k] = Some(p.key());
+        }
+        self.kernel_sites[k].clone().expect("just computed")
+    }
+
+    /// The source site a statement's memory traffic is attributed to.
+    fn stm_site(&mut self, stm: &HStm) -> String {
+        match stm {
+            HStm::Direct(s) => s.prov.key(),
+            HStm::Launch { spec, .. } => self.kernel_site(spec.kernel),
+            _ => "?".to_string(),
+        }
+    }
+
+    /// Drains the arena's raw event log onto the timeline, attributing
+    /// allocations (and reuses) to `site` and frees to the site that owns
+    /// the buffer. `relabel_free` turns plain frees into another op
+    /// (rotation frees at loop step boundaries).
+    fn flush_mem_as(&mut self, site: &str, relabel_free: Option<MemOp>) {
+        for (op, buf, bytes, live_bytes) in self.mem.take_events() {
+            let (op, site) = match op {
+                MemOp::Alloc | MemOp::Reuse => {
+                    self.buf_sites.insert(buf, site.to_string());
+                    (op, site.to_string())
+                }
+                MemOp::Free => (
+                    relabel_free.unwrap_or(MemOp::Free),
+                    self.buf_sites
+                        .get(&buf)
+                        .cloned()
+                        .unwrap_or_else(|| "?".to_string()),
+                ),
+                other => (
+                    other,
+                    self.buf_sites
+                        .get(&buf)
+                        .cloned()
+                        .unwrap_or_else(|| "?".to_string()),
+                ),
+            };
+            self.report.timeline.push(TimelineEvent::Mem(MemEvent {
+                op,
+                buf,
+                bytes,
+                live_bytes,
+                site,
+            }));
+        }
+    }
+
+    fn flush_mem(&mut self, site: &str) {
+        self.flush_mem_as(site, None);
+    }
+
+    /// Records an executor-side memory event (steal or hoisted write) that
+    /// the arena cannot see; the buffer's ownership moves to `site`.
+    fn push_mem_event(&mut self, op: MemOp, buf: BufId, bytes: u64, site: String) {
+        self.buf_sites.insert(buf, site.clone());
+        self.report.timeline.push(TimelineEvent::Mem(MemEvent {
+            op,
+            buf,
+            bytes,
+            live_bytes: self.mem.live_bytes(),
+            site,
+        }));
+    }
+
     fn upload_value(&mut self, v: &Value) -> EResult<HVal> {
         Ok(match v {
             Value::Scalar(s) => HVal::Scalar(*s),
@@ -677,12 +835,16 @@ impl<'a> Executor<'a> {
     fn free_buf(&mut self, buf: BufId) {
         let mut work = vec![buf];
         while let Some(b) = work.pop() {
-            let derived: Vec<BufId> = self
+            let mut derived: Vec<BufId> = self
                 .layout_cache
                 .iter()
                 .filter(|((k, _), _)| *k == b)
                 .map(|(_, &v)| v)
                 .collect();
+            // HashMap iteration order is arbitrary; sort so the free
+            // order (and with it the memory-event timeline) is
+            // deterministic across runs.
+            derived.sort_unstable();
             self.layout_cache.retain(|(k, _), v| *k != b && *v != b);
             work.extend(derived);
             self.mem.free(b);
@@ -707,6 +869,9 @@ impl<'a> Executor<'a> {
                 self.free_buf(b);
             }
         }
+        // These frees are the double-buffer rotation's reclamation half;
+        // label them as such on the memory timeline.
+        self.flush_mem_as("?", Some(MemOp::Rotate));
     }
 
     /// Invalidates every layout-cache entry touching `buf` without
@@ -714,12 +879,13 @@ impl<'a> Executor<'a> {
     /// steal or a hoisted write), so cached materialisations of it are
     /// stale and entries deriving it from another buffer no longer hold.
     fn invalidate_buf(&mut self, buf: BufId) {
-        let derived: Vec<BufId> = self
+        let mut derived: Vec<BufId> = self
             .layout_cache
             .iter()
             .filter(|((k, _), _)| *k == buf)
             .map(|(_, &v)| v)
             .collect();
+        derived.sort_unstable();
         self.layout_cache.retain(|(k, _), v| *k != buf && *v != buf);
         for d in derived {
             self.free_buf(d);
@@ -749,6 +915,11 @@ impl<'a> Executor<'a> {
     fn body(&mut self, b: &HBody) -> EResult<Vec<HVal>> {
         for stm in &b.stms {
             self.stm(stm)?;
+            // Attribute the statement's memory traffic to its source site
+            // (nested bodies flushed their own statements already, so only
+            // this statement's events are pending).
+            let site = self.stm_site(stm);
+            self.flush_mem(&site);
         }
         b.result
             .iter()
@@ -1281,6 +1452,14 @@ impl<'a> Executor<'a> {
                     self.invalidate_buf(hd.buf);
                     *self.mem.buffer_mut(hd.buf)? = Buffer::zeros(o.elem, total);
                     self.hoisted += 1;
+                    let site = self.kernel_site(spec.kernel);
+                    self.flush_mem(&site);
+                    self.push_mem_event(
+                        MemOp::Hoist,
+                        hd.buf,
+                        (total * o.elem.byte_size()) as u64,
+                        site,
+                    );
                     hd.buf
                 } else {
                     self.mem.alloc(o.elem, total)?
@@ -1314,6 +1493,9 @@ impl<'a> Executor<'a> {
                         if stealable {
                             self.invalidate_buf(d.buf);
                             self.steals += 1;
+                            let site = self.kernel_site(spec.kernel);
+                            self.flush_mem(&site);
+                            self.push_mem_event(MemOp::Steal, d.buf, d.bytes(), site);
                             d.buf
                         } else {
                             let b = self.materialise(&d, &[])?;
@@ -1360,17 +1542,36 @@ impl<'a> Executor<'a> {
                 &mut self.mem,
                 self.threads,
             )?;
+            // Modelled-time attribution: the launch's busy time (total
+            // minus overhead) splits across sites in proportion to their
+            // share of whichever counter bound this launch.
+            let bd = sim::kernel_time_breakdown(self.device, &stats);
+            let busy = bd.total_us() - bd.overhead_us;
+            let limiting = |s: &SiteStats| match bd.limiter() {
+                Limiter::Compute => s.warp_instructions,
+                Limiter::Memory => s.bus_bytes,
+                Limiter::Local => s.local_accesses,
+            };
+            let denom = match bd.limiter() {
+                Limiter::Compute => stats.warp_instructions,
+                Limiter::Memory => stats.bus_bytes,
+                Limiter::Local => stats.local_accesses,
+            };
             // Bucket by source-line key; the slot past the provenance table
             // is the unattributed remainder (`Prov::none().key()` = "?").
             for (i, s) in sites.iter().enumerate() {
                 if s.is_zero() {
                     continue;
                 }
+                let mut s = *s;
+                if denom > 0 {
+                    s.modelled_us = busy * limiting(&s) as f64 / denom as f64;
+                }
                 let key = match dk.prov_table.get(i) {
                     Some(p) => p.key(),
                     None => futhark_core::Prov::none().key(),
                 };
-                self.report.per_site.entry(key).or_default().merge(s);
+                self.report.per_site.entry(key).or_default().merge(&s);
             }
             stats
         } else {
@@ -1383,7 +1584,8 @@ impl<'a> Executor<'a> {
                 self.threads,
             )?
         };
-        let t = sim::kernel_time_us(self.device, &stats);
+        let breakdown = sim::kernel_time_breakdown(self.device, &stats);
+        let t = breakdown.total_us();
         self.report.total_us += t;
         self.report.kernel_us += t;
         self.report.launches += 1;
@@ -1406,6 +1608,7 @@ impl<'a> Executor<'a> {
                 num_threads,
                 stats,
                 us: t,
+                breakdown: Some(breakdown),
             }));
         for (pe, d) in pat.iter().zip(out_darrs) {
             self.env.insert(pe.name.clone(), HVal::Array(d));

@@ -15,6 +15,7 @@ pub mod tape;
 pub use device::DeviceProfile;
 pub use memplan::plan_memory;
 pub use sim::{
-    kernel_time_us, Arg, BufId, DeviceMemory, KernelStats, MemStats, SimError, SiteStats,
+    kernel_time_breakdown, kernel_time_us, Arg, BufId, DeviceMemory, KernelStats, Limiter,
+    MemEvent, MemOp, MemStats, SimError, SiteStats, TimeBreakdown,
 };
 pub use tape::{host_threads, launch_decoded, launch_decoded_profiled, DecodedKernel};

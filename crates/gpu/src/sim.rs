@@ -82,6 +82,217 @@ impl MemStats {
     }
 }
 
+/// What bound a launch's modelled time: the component that won the `max`
+/// in the timing model (ties resolve compute ≥ memory ≥ local, matching
+/// the `.max()` chain in [`kernel_time_us`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Limiter {
+    /// Warp-instruction issue throughput bound the launch.
+    Compute,
+    /// Global-memory bandwidth bound the launch.
+    Memory,
+    /// Local-memory throughput bound the launch.
+    Local,
+}
+
+impl Limiter {
+    /// The stable string form used in JSON and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Limiter::Compute => "compute",
+            Limiter::Memory => "memory",
+            Limiter::Local => "local",
+        }
+    }
+
+    /// Parses the stable string form back.
+    pub fn parse(s: &str) -> Option<Limiter> {
+        match s {
+            "compute" => Some(Limiter::Compute),
+            "memory" => Some(Limiter::Memory),
+            "local" => Some(Limiter::Local),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Limiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The full time decomposition of one (or several merged) launches:
+/// the fixed overhead plus the three overlapping throughput components
+/// of which only the slowest is paid.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Fixed launch overhead, microseconds.
+    pub overhead_us: f64,
+    /// Warp-instruction issue time, microseconds.
+    pub compute_us: f64,
+    /// Global-memory bus time, microseconds.
+    pub memory_us: f64,
+    /// Local-memory access time, microseconds.
+    pub local_us: f64,
+}
+
+impl TimeBreakdown {
+    /// The modelled launch time: `overhead + max(compute, memory, local)`
+    /// — bit-identical to [`kernel_time_us`] for a per-launch breakdown.
+    pub fn total_us(&self) -> f64 {
+        self.overhead_us + self.compute_us.max(self.memory_us).max(self.local_us)
+    }
+
+    /// The binding component. Ties resolve compute ≥ memory ≥ local,
+    /// consistent with [`Self::total_us`]'s `max` chain.
+    pub fn limiter(&self) -> Limiter {
+        if self.compute_us >= self.memory_us && self.compute_us >= self.local_us {
+            Limiter::Compute
+        } else if self.memory_us >= self.local_us {
+            Limiter::Memory
+        } else {
+            Limiter::Local
+        }
+    }
+
+    /// Adds another breakdown component-wise (overheads sum too, so a
+    /// merged breakdown's `total_us` is a lower bound on the summed
+    /// per-launch totals, not equal to them: max-of-sums ≤ sum-of-maxes).
+    pub fn merge(&mut self, o: &TimeBreakdown) {
+        self.overhead_us += o.overhead_us;
+        self.compute_us += o.compute_us;
+        self.memory_us += o.memory_us;
+        self.local_us += o.local_us;
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> futhark_trace::Json {
+        use futhark_trace::Json;
+        Json::obj(vec![
+            ("overhead_us", Json::F64(self.overhead_us)),
+            ("compute_us", Json::F64(self.compute_us)),
+            ("memory_us", Json::F64(self.memory_us)),
+            ("local_us", Json::F64(self.local_us)),
+            ("limiter", Json::Str(self.limiter().as_str().to_string())),
+        ])
+    }
+
+    /// Deserialises from JSON (the redundant `limiter` field is checked,
+    /// not trusted).
+    pub fn from_json(j: &futhark_trace::Json) -> Option<TimeBreakdown> {
+        let b = TimeBreakdown {
+            overhead_us: j.get("overhead_us")?.as_f64()?,
+            compute_us: j.get("compute_us")?.as_f64()?,
+            memory_us: j.get("memory_us")?.as_f64()?,
+            local_us: j.get("local_us")?.as_f64()?,
+        };
+        let lim = Limiter::parse(j.get("limiter")?.as_str()?)?;
+        if lim != b.limiter() {
+            return None;
+        }
+        Some(b)
+    }
+}
+
+/// The kind of a device-memory timeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemOp {
+    /// A fresh allocation (or upload) that created a new slot.
+    Alloc,
+    /// An allocation serviced from the free list (a dead slot recycled).
+    Reuse,
+    /// An explicit free: the slot's data dropped and poisoned.
+    Free,
+    /// An in-place steal by the executor: a kernel output took over its
+    /// input's buffer instead of allocating.
+    Steal,
+    /// A loop-hoisted allocation written in place per iteration.
+    Hoist,
+    /// A double-buffer rotation free at a loop step boundary.
+    Rotate,
+}
+
+impl MemOp {
+    /// The stable string form used in JSON and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MemOp::Alloc => "alloc",
+            MemOp::Reuse => "reuse",
+            MemOp::Free => "free",
+            MemOp::Steal => "steal",
+            MemOp::Hoist => "hoist",
+            MemOp::Rotate => "rotate",
+        }
+    }
+
+    /// Parses the stable string form back.
+    pub fn parse(s: &str) -> Option<MemOp> {
+        match s {
+            "alloc" => Some(MemOp::Alloc),
+            "reuse" => Some(MemOp::Reuse),
+            "free" => Some(MemOp::Free),
+            "steal" => Some(MemOp::Steal),
+            "hoist" => Some(MemOp::Hoist),
+            "rotate" => Some(MemOp::Rotate),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One device-memory timeline event: what happened to which buffer, how
+/// many bytes it covered, the live footprint right after, and the source
+/// site (provenance key) the executor attributed it to ("?" when unknown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemEvent {
+    /// What happened.
+    pub op: MemOp,
+    /// The buffer id involved (ids recycle; identity over time is the
+    /// event order).
+    pub buf: BufId,
+    /// Bytes the buffer covers.
+    pub bytes: u64,
+    /// Live bytes immediately after the event.
+    pub live_bytes: u64,
+    /// Provenance key of the owning source site ("?" when unattributed).
+    pub site: String,
+}
+
+impl MemEvent {
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> futhark_trace::Json {
+        use futhark_trace::Json;
+        Json::obj(vec![
+            ("op", Json::Str(self.op.as_str().to_string())),
+            ("buf", Json::U64(self.buf as u64)),
+            ("bytes", Json::U64(self.bytes)),
+            ("live_bytes", Json::U64(self.live_bytes)),
+            ("site", Json::Str(self.site.clone())),
+        ])
+    }
+
+    /// Deserialises from JSON.
+    pub fn from_json(j: &futhark_trace::Json) -> Option<MemEvent> {
+        Some(MemEvent {
+            op: MemOp::parse(j.get("op")?.as_str()?)?,
+            buf: usize::try_from(j.get("buf")?.as_u64()?).ok()?,
+            bytes: j.get("bytes")?.as_u64()?,
+            live_bytes: j.get("live_bytes")?.as_u64()?,
+            site: j.get("site")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// A raw, site-less memory event recorded inside [`DeviceMemory`]; the
+/// executor attributes sites when draining the log.
+pub type RawMemEvent = (MemOp, BufId, u64, u64);
+
 /// One slot of the device-memory arena.
 #[derive(Debug)]
 enum Slot {
@@ -113,6 +324,9 @@ pub struct DeviceMemory {
     allocs: u64,
     frees: u64,
     reuses: u64,
+    /// Raw timeline events, recorded only when the log was enabled (the
+    /// executor enables it; bare simulator use stays log-free).
+    event_log: Option<Vec<RawMemEvent>>,
 }
 
 impl DeviceMemory {
@@ -154,7 +368,8 @@ impl DeviceMemory {
     fn place(&mut self, t: ScalarType, len: usize, buf: Buffer) -> BufId {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        match self.free_lists.get_mut(&(t, len)).and_then(|l| l.pop()) {
+        let bytes = (len * t.byte_size()) as u64;
+        let (id, op) = match self.free_lists.get_mut(&(t, len)).and_then(|l| l.pop()) {
             Some(id) => {
                 debug_assert!(
                     matches!(self.slots[id], Slot::Freed { t: ft, len: fl } if ft == t && fl == len),
@@ -162,12 +377,34 @@ impl DeviceMemory {
                 );
                 self.reuses += 1;
                 self.slots[id] = Slot::Live { buf, stamp };
-                id
+                (id, MemOp::Reuse)
             }
             None => {
                 self.slots.push(Slot::Live { buf, stamp });
-                self.slots.len() - 1
+                (self.slots.len() - 1, MemOp::Alloc)
             }
+        };
+        if let Some(log) = &mut self.event_log {
+            log.push((op, id, bytes, self.live_bytes));
+        }
+        id
+    }
+
+    /// Turns on the raw event log; every alloc/reuse/free from here on is
+    /// recorded for [`Self::take_events`]. Off by default so bare
+    /// simulator use (unit tests, simbench) pays nothing.
+    pub fn enable_event_log(&mut self) {
+        if self.event_log.is_none() {
+            self.event_log = Some(Vec::new());
+        }
+    }
+
+    /// Drains the raw events recorded since the last call (empty when the
+    /// log was never enabled).
+    pub fn take_events(&mut self) -> Vec<RawMemEvent> {
+        match &mut self.event_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 
@@ -204,10 +441,14 @@ impl DeviceMemory {
         };
         if let Slot::Live { buf, .. } = slot {
             let (t, len) = (buf.elem_type(), buf.len());
-            self.live_bytes -= (len * t.byte_size()) as u64;
+            let bytes = (len * t.byte_size()) as u64;
+            self.live_bytes -= bytes;
             self.frees += 1;
             *slot = Slot::Freed { t, len };
             self.free_lists.entry((t, len)).or_default().push(id);
+            if let Some(log) = &mut self.event_log {
+                log.push((MemOp::Free, id, bytes, self.live_bytes));
+            }
         }
     }
 
@@ -388,7 +629,7 @@ impl KernelStats {
 /// issue slots lost to divergence — tracked here and not in the aggregate
 /// counters, so enabling profiling cannot perturb [`KernelStats`] by
 /// construction.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SiteStats {
     /// Warp instruction issues attributed to this site.
     pub warp_instructions: u64,
@@ -406,6 +647,10 @@ pub struct SiteStats {
     pub local_accesses: u64,
     /// Barriers executed (per group).
     pub barriers: u64,
+    /// Modelled microseconds attributed to this site: each launch's busy
+    /// time (total minus overhead) split across sites in proportion to
+    /// their share of the launch's *limiting* counter.
+    pub modelled_us: f64,
 }
 
 impl SiteStats {
@@ -423,6 +668,7 @@ impl SiteStats {
         self.useful_bytes += o.useful_bytes;
         self.local_accesses += o.local_accesses;
         self.barriers += o.barriers;
+        self.modelled_us += o.modelled_us;
     }
 
     /// Serialises to JSON (for trace archives).
@@ -439,10 +685,12 @@ impl SiteStats {
             ("useful_bytes", Json::U64(self.useful_bytes)),
             ("local_accesses", Json::U64(self.local_accesses)),
             ("barriers", Json::U64(self.barriers)),
+            ("modelled_us", Json::F64(self.modelled_us)),
         ])
     }
 
-    /// Deserialises from JSON.
+    /// Deserialises from JSON. `modelled_us` is optional (0.0 when
+    /// absent) so traces written before the analysis layer still load.
     pub fn from_json(j: &futhark_trace::Json) -> Option<SiteStats> {
         Some(SiteStats {
             warp_instructions: j.get("warp_instructions")?.as_u64()?,
@@ -452,6 +700,10 @@ impl SiteStats {
             useful_bytes: j.get("useful_bytes")?.as_u64()?,
             local_accesses: j.get("local_accesses")?.as_u64()?,
             barriers: j.get("barriers")?.as_u64()?,
+            modelled_us: match j.get("modelled_us") {
+                Some(v) => v.as_f64()?,
+                None => 0.0,
+            },
         })
     }
 }
@@ -568,13 +820,22 @@ pub fn launch(
     launch_decoded(device, &dk, num_threads, args, mem, host_threads())
 }
 
-/// Timing model: microseconds for one launch with the given stats.
+/// Timing model decomposition: the overhead and the three throughput
+/// components for one launch with the given stats. The modelled launch
+/// time is [`TimeBreakdown::total_us`].
+pub fn kernel_time_breakdown(device: &DeviceProfile, stats: &KernelStats) -> TimeBreakdown {
+    TimeBreakdown {
+        overhead_us: device.launch_overhead_us,
+        compute_us: device.compute_us(stats.warp_instructions as f64),
+        memory_us: device.memory_us(stats.bus_bytes as f64),
+        local_us: device.local_us(stats.local_accesses as f64),
+    }
+}
+
+/// Timing model: microseconds for one launch with the given stats
+/// (`overhead + max(compute, memory, local)`).
 pub fn kernel_time_us(device: &DeviceProfile, stats: &KernelStats) -> f64 {
-    let compute = device.compute_us(stats.warp_instructions as f64);
-    let memory = device.memory_us(stats.bus_bytes as f64);
-    let local = stats.local_accesses as f64
-        / (device.num_cus as f64 * device.local_per_cycle * device.clock_ghz * 1e3);
-    device.launch_overhead_us + compute.max(memory).max(local)
+    kernel_time_breakdown(device, stats).total_us()
 }
 
 #[cfg(test)]

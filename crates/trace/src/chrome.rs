@@ -1,10 +1,12 @@
 //! Chrome trace-event exporter: turns trace data into the JSON format
 //! consumed by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
 //!
-//! Only "X" (complete) events are emitted — each has a name, category,
-//! process/thread lane, start timestamp, and duration, all in
+//! Two event phases are emitted: "X" (complete) events — each has a name,
+//! category, process/thread lane, start timestamp, and duration, all in
 //! microseconds, which is exactly the granularity of [`crate::PassSpan`]
-//! and of the simulated-GPU timeline. The output is a single JSON object
+//! and of the simulated-GPU timeline — and "C" (counter) events, which
+//! viewers render as a value-over-time track (the device live-bytes
+//! curve). The output is a single JSON object
 //! `{"traceEvents": [...], "displayTimeUnit": "ms"}` that both viewers
 //! load directly.
 
@@ -62,6 +64,20 @@ impl ChromeTrace {
             fields.push(("args".to_string(), Json::obj(args)));
         }
         self.events.push(Json::Obj(fields));
+    }
+
+    /// Appends one counter ("C") event: viewers render a counter track
+    /// named `name` on lane `(pid, tid)` whose value at `ts_us` becomes
+    /// `value` — the building block of the live-bytes memory curve.
+    pub fn counter(&mut self, name: &str, pid: u64, tid: u64, ts_us: f64, value: u64) {
+        self.events.push(Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("ph", Json::Str("C".to_string())),
+            ("pid", Json::U64(pid)),
+            ("tid", Json::U64(tid)),
+            ("ts", Json::F64(ts_us)),
+            ("args", Json::obj(vec![(name, Json::U64(value))])),
+        ]));
     }
 
     /// Number of events appended so far (metadata lanes not included).
@@ -139,6 +155,21 @@ mod tests {
         );
         let launch = &events[2];
         assert!(launch.get("args").is_none(), "empty args omitted");
+    }
+
+    #[test]
+    fn counter_events_carry_their_value() {
+        let mut t = ChromeTrace::new();
+        t.counter("live_bytes", 2, 9, 12.5, 4096);
+        assert_eq!(t.len(), 1);
+        let j = t.to_json();
+        let e = &j.get("traceEvents").unwrap().as_arr().unwrap()[0];
+        assert_eq!(e.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(e.get("ts").unwrap().as_f64(), Some(12.5));
+        assert_eq!(
+            e.get("args").unwrap().get("live_bytes").unwrap().as_u64(),
+            Some(4096)
+        );
     }
 
     #[test]

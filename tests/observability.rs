@@ -199,6 +199,9 @@ fn timeline_aggregates_to_perf_report_totals() {
             }
             TimelineEvent::Fallback { us, .. } => fallback_us += us,
             TimelineEvent::Sync { .. } => {}
+            TimelineEvent::Mem(_) => {
+                assert_eq!(e.us(), 0.0, "memory events are instantaneous");
+            }
         }
     }
     assert!((kernel_us - perf.kernel_us).abs() <= 1e-9 * perf.kernel_us.max(1.0));
