@@ -3,18 +3,27 @@
 //! profiles under the ablation matrix, and report any divergence as a
 //! shrunk reproducer.
 //!
-//! Usage: fuzz [--seed N] [--cases N] [--max-size N] [--corpus DIR] [--json]
+//! Usage: fuzz [--seed N] [--cases N] [--max-size N] [--strategy S]
+//!             [--corpus DIR] [--json]
+//!
+//! `--strategy` picks the generator's stage menu: `full` (default, the
+//! whole surface), `chains` (unary map/scan chains), or `divergent`
+//! (control-flow-heavy programs — nested parity branches and loops with
+//! data-dependent trip counts — stressing the warp execution engine).
 //!
 //! Exits 0 when every case is clean, 1 when any case diverged (or the
 //! reference interpreter itself failed). Shrunk reproducers are written
 //! to the corpus directory (default `tests/corpus/` when it exists) as
 //! self-contained fixtures that `cargo test` replays.
 
-use futhark_fuzz::{CampaignConfig, Outcome};
+use futhark_fuzz::{CampaignConfig, Outcome, Strategy};
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: fuzz [--seed N] [--cases N] [--max-size N] [--corpus DIR] [--json]");
+    eprintln!(
+        "usage: fuzz [--seed N] [--cases N] [--max-size N] \
+         [--strategy full|chains|divergent] [--corpus DIR] [--json]"
+    );
     std::process::exit(2)
 }
 
@@ -38,6 +47,17 @@ fn main() {
             "--seed" => cfg.seed = num("--seed"),
             "--cases" => cfg.cases = num("--cases"),
             "--max-size" => cfg.gen.max_size = num("--max-size").max(1) as usize,
+            "--strategy" => {
+                cfg.gen.strategy = match args.next().as_deref() {
+                    Some("full") => Strategy::Full,
+                    Some("chains") => Strategy::Chains,
+                    Some("divergent") => Strategy::Divergent,
+                    other => {
+                        eprintln!("fuzz: unknown strategy {other:?}");
+                        usage()
+                    }
+                }
+            }
             "--corpus" => corpus = args.next().map(PathBuf::from),
             "--json" => json = true,
             "--help" | "-h" => usage(),

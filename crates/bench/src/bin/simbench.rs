@@ -1,12 +1,16 @@
 //! simbench — virtual-GPU throughput benchmark.
 //!
 //! Measures how fast the *simulator itself* runs on the host (launches/sec
-//! and lanes/sec), sequentially and with parallel work-group execution, on
-//! a small zoo of representative kernels: a coalesced vector add, a
-//! strided (uncoalesced) variant, a local-memory rotate with a barrier, a
-//! divergent branch, and a sequential per-thread loop. Results go to
-//! `BENCH_sim.json` so the simulator's own performance trajectory is
-//! tracked alongside the modelled-device numbers.
+//! and lanes/sec), on a small zoo of representative kernels: a coalesced
+//! vector add, a strided (uncoalesced) variant, a local-memory rotate with
+//! a barrier, a divergent branch, and a sequential per-thread loop. Each
+//! kernel runs three configurations: the per-lane reference engine
+//! (sequential), the warp engine (sequential), and the warp engine with
+//! parallel work-group execution — and all three must produce bit-identical
+//! [`KernelStats`], so every simbench run doubles as a warp-vs-lane
+//! differential check. Results go to `BENCH_sim.json` so the simulator's
+//! own performance trajectory is tracked alongside the modelled-device
+//! numbers.
 //!
 //! Each row also carries the *modelled* device-side cost of its kernel —
 //! the time decomposition (overhead/compute/memory/local µs) and the
@@ -28,7 +32,9 @@
 use futhark_core::{BinOp, Buffer, CmpOp, Scalar, ScalarType};
 use futhark_gpu::kernel::{KExp, KParam, KStm, Kernel};
 use futhark_gpu::sim::{kernel_time_breakdown, Arg, DeviceMemory, KernelStats};
-use futhark_gpu::{host_threads, launch_decoded, DecodedKernel, DeviceProfile};
+use futhark_gpu::{
+    host_threads, launch_decoded_with, DecodedKernel, DeviceProfile, LaunchOpts, SimEngine,
+};
 use futhark_trace::Json;
 use std::time::Instant;
 
@@ -339,7 +345,8 @@ fn cases() -> Vec<Case> {
 }
 
 /// Runs `launches` back-to-back launches with the given worker count and
-/// returns (wall seconds, stats of the last launch).
+/// engine and returns (wall seconds, stats of the last launch).
+#[allow(clippy::too_many_arguments)]
 fn run_config(
     device: &DeviceProfile,
     dk: &DecodedKernel,
@@ -348,12 +355,19 @@ fn run_config(
     mem: &mut DeviceMemory,
     launches: u32,
     threads: usize,
+    engine: SimEngine,
 ) -> (f64, KernelStats) {
+    let opts = LaunchOpts {
+        threads,
+        profile: false,
+        engine,
+    };
     let t0 = Instant::now();
     let mut last = KernelStats::default();
     for _ in 0..launches {
-        last = launch_decoded(device, dk, n as u64, args, mem, threads)
-            .expect("simbench kernel faulted");
+        last = launch_decoded_with(device, dk, n as u64, args, mem, opts)
+            .expect("simbench kernel faulted")
+            .0;
     }
     (t0.elapsed().as_secs_f64(), last)
 }
@@ -442,45 +456,95 @@ fn main() {
     println!(
         "simbench: {n} lanes x {launches} launches per kernel, parallel = {par_threads} threads"
     );
-    println!("{:-<78}", "");
+    println!("{:-<90}", "");
     println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>8}  {:>7}",
-        "kernel", "seq l/s", "par l/s", "seq Ml/s", "par Ml/s", "speedup", "limiter"
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}  {:>7}",
+        "kernel",
+        "lane l/s",
+        "seq l/s",
+        "par l/s",
+        "lane Ml/s",
+        "seq Ml/s",
+        "warp",
+        "par",
+        "limiter"
     );
-    println!("{:-<78}", "");
+    println!("{:-<90}", "");
 
     let mut rows = Vec::new();
     let mut worst_speedup = f64::INFINITY;
+    let mut worst_warp_speedup = f64::INFINITY;
     for case in cases() {
         let dk = DecodedKernel::decode(&case.kernel).expect("decode");
         let mut mem = DeviceMemory::new();
         let args = (case.setup)(&mut mem, n);
         // Warm-up (page in buffers, fill caches).
-        let _ = launch_decoded(&device, &dk, n as u64, &args, &mut mem, 1).expect("warm-up");
-        let (seq_s, seq_stats) = run_config(&device, &dk, n, &args, &mut mem, launches, 1);
-        let (par_s, par_stats) =
-            run_config(&device, &dk, n, &args, &mut mem, launches, par_threads);
+        let _ = run_config(&device, &dk, n, &args, &mut mem, 1, 1, SimEngine::Warp);
+        // The per-lane reference engine, sequential: the "before" of the
+        // warp rebuild, re-measured in this very build.
+        let (lane_s, lane_stats) = run_config(
+            &device,
+            &dk,
+            n,
+            &args,
+            &mut mem,
+            launches,
+            1,
+            SimEngine::Lane,
+        );
+        let (seq_s, seq_stats) = run_config(
+            &device,
+            &dk,
+            n,
+            &args,
+            &mut mem,
+            launches,
+            1,
+            SimEngine::Warp,
+        );
+        let (par_s, par_stats) = run_config(
+            &device,
+            &dk,
+            n,
+            &args,
+            &mut mem,
+            launches,
+            par_threads,
+            SimEngine::Warp,
+        );
+        // The warp-vs-lane differential: one decode driving all lanes must
+        // count exactly what per-lane dispatch counted.
+        assert_eq!(
+            lane_stats, seq_stats,
+            "warp stats diverged from the per-lane engine on {}",
+            case.kernel.name
+        );
         assert_eq!(
             seq_stats, par_stats,
             "parallel stats diverged from sequential on {}",
             case.kernel.name
         );
+        let lane_lps = launches as f64 / lane_s;
         let seq_lps = launches as f64 / seq_s;
         let par_lps = launches as f64 / par_s;
+        let lane_mlanes = lane_lps * n as f64 / 1e6;
         let seq_mlanes = seq_lps * n as f64 / 1e6;
-        let par_mlanes = par_lps * n as f64 / 1e6;
         let speedup = seq_s / par_s;
+        let warp_speedup = lane_s / seq_s;
         worst_speedup = worst_speedup.min(speedup);
+        worst_warp_speedup = worst_warp_speedup.min(warp_speedup);
         // Modelled device-side cost of one launch: deterministic, so it
         // belongs in the committed results alongside the host timings.
         let bd = kernel_time_breakdown(&device, &seq_stats);
         println!(
-            "{:<16} {:>12.1} {:>12.1} {:>12.2} {:>12.2} {:>7.2}x  {:>7}",
+            "{:<16} {:>10.1} {:>10.1} {:>10.1} {:>10.2} {:>10.2} {:>7.2}x {:>7.2}x  {:>7}",
             case.kernel.name,
+            lane_lps,
             seq_lps,
             par_lps,
+            lane_mlanes,
             seq_mlanes,
-            par_mlanes,
+            warp_speedup,
             speedup,
             bd.limiter(),
         );
@@ -488,12 +552,16 @@ fn main() {
             ("kernel", Json::Str(case.kernel.name.clone())),
             ("lanes", Json::U64(n as u64)),
             ("launches", Json::U64(launches as u64)),
+            ("lane_seconds", Json::F64(lane_s)),
             ("seq_seconds", Json::F64(seq_s)),
             ("par_seconds", Json::F64(par_s)),
+            ("lane_launches_per_sec", Json::F64(lane_lps)),
             ("seq_launches_per_sec", Json::F64(seq_lps)),
             ("par_launches_per_sec", Json::F64(par_lps)),
+            ("lane_lanes_per_sec", Json::F64(lane_lps * n as f64)),
             ("seq_lanes_per_sec", Json::F64(seq_lps * n as f64)),
             ("par_lanes_per_sec", Json::F64(par_lps * n as f64)),
+            ("warp_speedup", Json::F64(warp_speedup)),
             ("speedup", Json::F64(speedup)),
             ("peak_bytes", Json::U64(mem.peak_bytes())),
             ("modelled_us", Json::F64(bd.total_us())),
@@ -501,8 +569,11 @@ fn main() {
             ("limiter", Json::Str(bd.limiter().to_string())),
         ]));
     }
-    println!("{:-<78}", "");
-    println!("worst parallel speedup: {worst_speedup:.2}x");
+    println!("{:-<90}", "");
+    println!(
+        "worst warp-vs-lane speedup: {worst_warp_speedup:.2}x, \
+         worst parallel speedup: {worst_speedup:.2}x"
+    );
 
     let doc = Json::obj(vec![
         ("bench", Json::Str("simbench".into())),
@@ -511,6 +582,7 @@ fn main() {
         ("par_threads", Json::U64(par_threads as u64)),
         ("quick", Json::Str(quick.to_string())),
         ("kernels", Json::Arr(rows)),
+        ("worst_warp_speedup", Json::F64(worst_warp_speedup)),
         ("worst_speedup", Json::F64(worst_speedup)),
     ]);
     if let Some(path) = opt("--check-schema") {

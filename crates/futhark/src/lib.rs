@@ -48,6 +48,7 @@ pub use futhark_gpu::exec::{ExecError, LaunchRecord, PerfReport, RunOptions, Tim
 pub use futhark_gpu::sim::{
     Limiter, MemEvent, MemOp, MemStats, SimError, SiteStats, TimeBreakdown,
 };
+pub use futhark_gpu::{sim_engine, warp_uniform_counters, warp_uniform_reset, SimEngine};
 pub use futhark_trace::{CompileReport, Counters, IrSize, Json, PassSpan};
 
 /// The two simulated devices of the paper's evaluation.
@@ -475,6 +476,26 @@ impl Compiled {
                 ..exec::RunOptions::default()
             },
         )?;
+        Ok((vals, report))
+    }
+
+    /// Runs the program with explicit [`RunOptions`] — thread count,
+    /// profiled mode, and the group-execution engine ([`SimEngine`]).
+    /// Outputs and the [`PerfReport`] are bit-identical across every
+    /// option combination; this entry point exists so differential tests
+    /// can pin the warp engine against the per-lane reference engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiled::run`].
+    pub fn run_with_opts(
+        &self,
+        device: Device,
+        args: &[Value],
+        opts: RunOptions,
+    ) -> Result<(Vec<Value>, PerfReport), Error> {
+        let profile = device.profile();
+        let (vals, report) = exec::run_with_opts(&self.plan, &self.prog, &profile, args, opts)?;
         Ok((vals, report))
     }
 

@@ -395,6 +395,21 @@ pub enum Stage {
         /// The combining function over `(a, b)`.
         f: SExp,
     },
+    /// `map (\x -> loop (a = x) for i < ((x % k) + c) do f a i) src` — a
+    /// sequential loop whose trip count depends on the element value, so
+    /// adjacent lanes of a warp run different numbers of iterations
+    /// (divergence stress for the warp execution engine). `k` is positive
+    /// and `%` is floored, so the trip count is in `[c, c + k)`.
+    MapLoop {
+        /// Input array slot.
+        src: usize,
+        /// Trip-count modulus (≥ 1).
+        k: u8,
+        /// Base trip count.
+        c: u8,
+        /// Loop body over `(a, i)`.
+        f: SExp,
+    },
 }
 
 impl Stage {
@@ -412,7 +427,8 @@ impl Stage {
             | Stage::RowScan { src, .. }
             | Stage::MatMap { src, .. }
             | Stage::Transpose { src }
-            | Stage::StreamSum { src } => vec![src],
+            | Stage::StreamSum { src }
+            | Stage::MapLoop { src, .. } => vec![src],
             Stage::MapBinary { a, b, .. } | Stage::ScalarBin { a, b, .. } => vec![a, b],
             Stage::Scatter { idx, vals, .. } => vec![idx, vals],
             Stage::Update { src, val, .. } => vec![src, val],
@@ -444,7 +460,9 @@ impl Stage {
             k => panic!("expected 2-D slot, found {k:?}"),
         };
         match self {
-            Stage::MapUnary { src, .. } | Stage::Scan { src, .. } => Kind::Arr(arr_class(*src)),
+            Stage::MapUnary { src, .. } | Stage::Scan { src, .. } | Stage::MapLoop { src, .. } => {
+                Kind::Arr(arr_class(*src))
+            }
             Stage::MapBinary { a, .. } => Kind::Arr(arr_class(*a)),
             Stage::Reduce { .. }
             | Stage::Count { .. }
@@ -747,6 +765,14 @@ impl TestCase {
             Stage::ScalarBin { a, b, f } => {
                 let _ = writeln!(out, "  let {t} = {}", f.render(nm(*a), nm(*b)));
             }
+            Stage::MapLoop { src, k, c, f } => {
+                let _ = writeln!(
+                    out,
+                    "  let {t} = map (\\x -> (loop (a = x) for i < ((x % {k}) + {c}) do {})) {}",
+                    f.render("a", "i"),
+                    nm(*src)
+                );
+            }
         }
     }
 
@@ -827,6 +853,10 @@ pub enum Strategy {
     /// Straight chains of unary maps and scans over the input vectors —
     /// the structured family the old property tests used.
     Chains,
+    /// Divergence-heavy mix for the warp execution engine: deeply nested
+    /// branches keyed on element parity (adjacent lanes take opposite
+    /// sides) and loops whose trip counts depend on the element value.
+    Divergent,
 }
 
 /// Generator configuration.
@@ -895,6 +925,24 @@ fn gen_sexp(rng: &mut Rng64, depth: usize, binary: bool) -> SExp {
             Box::new(gen_sexp(rng, depth - 1, binary)),
         ),
     }
+}
+
+/// A branch tree keyed on small residues of the variable, so adjacent
+/// lanes of a warp take different sides at every level: each node is
+/// `if (a % k) < t then … else …` with `k` in `2..=4`, nested `depth`
+/// levels deep with ordinary arithmetic at the leaves.
+fn gen_parity_sexp(rng: &mut Rng64, depth: usize, binary: bool) -> SExp {
+    if depth == 0 {
+        return gen_sexp(rng, 1, binary);
+    }
+    let k = 2 + rng.pick(3) as i64;
+    let t = 1 + rng.pick(k as usize - 1) as i64;
+    SExp::IfLt(
+        Box::new(SExp::RemC(Box::new(SExp::A), k)),
+        Box::new(SExp::C(t)),
+        Box::new(gen_parity_sexp(rng, depth - 1, binary)),
+        Box::new(gen_parity_sexp(rng, depth - 1, binary)),
+    )
 }
 
 fn gen_cop(rng: &mut Rng64) -> COp {
@@ -973,8 +1021,12 @@ fn gen_stage(rng: &mut Rng64, kinds: &[Kind], strategy: Strategy) -> Stage {
         Strategy::Chains => &[0, 0, 2],
         Strategy::Full => &[
             0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 6, 6, 7, 8, 8, 9, 10, 11, 12, 13, 14, 14, 15, 16,
-            17, 18, 19,
+            17, 18, 19, 20,
         ],
+        // Heavily weighted towards per-lane control flow: data-dependent
+        // trip counts (20), parity-branch maps (21), scalar/array loops
+        // and conditionals, and filters whose predicates split warps.
+        Strategy::Divergent => &[20, 20, 20, 21, 21, 21, 21, 4, 9, 10, 10, 11, 12, 13, 2],
     };
     match menu[rng.pick(menu.len())] {
         0 => Stage::MapUnary {
@@ -1078,11 +1130,27 @@ fn gen_stage(rng: &mut Rng64, kinds: &[Kind], strategy: Strategy) -> Stage {
         18 => Stage::StreamSum {
             src: pick(rng, &sized),
         },
-        _ => Stage::ScalarBin {
+        19 => Stage::ScalarBin {
             a: pick(rng, &scalars),
             b: pick(rng, &scalars),
             f: gen_sexp(rng, 2, true),
         },
+        20 => {
+            let depth = 1 + rng.pick(2);
+            Stage::MapLoop {
+                src: pick(rng, &arrs),
+                k: 2 + rng.pick(7) as u8,
+                c: rng.pick(4) as u8,
+                f: gen_parity_sexp(rng, depth, true),
+            }
+        }
+        _ => {
+            let depth = 2 + rng.pick(3);
+            Stage::MapUnary {
+                src: pick(rng, &arrs),
+                f: gen_parity_sexp(rng, depth, false),
+            }
+        }
     }
 }
 
@@ -1122,6 +1190,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn divergent_strategy_is_control_flow_heavy() {
+        let cfg = GenConfig {
+            strategy: Strategy::Divergent,
+            ..GenConfig::default()
+        };
+        let mut map_loops = 0usize;
+        let mut branches = 0usize;
+        for seed in 0..50 {
+            let case = generate(seed, &cfg);
+            for s in &case.stages {
+                match s {
+                    Stage::MapLoop { .. } => map_loops += 1,
+                    Stage::MapUnary { f, .. } => {
+                        if matches!(f, SExp::IfLt(..)) {
+                            branches += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Every generated program must still render.
+            let _ = case.source();
+        }
+        assert!(
+            map_loops > 20,
+            "only {map_loops} MapLoop stages in 50 cases"
+        );
+        assert!(branches > 20, "only {branches} parity branches in 50 cases");
+    }
+
+    #[test]
+    fn map_loop_renders_a_data_dependent_loop() {
+        let case = TestCase {
+            seed: 0,
+            n: 4,
+            m: 2,
+            xs0: vec![1, 2, 3, 4],
+            xs1: vec![0; 4],
+            mat: vec![0; 8],
+            stages: vec![Stage::MapLoop {
+                src: 2,
+                k: 3,
+                c: 1,
+                f: SExp::Add(Box::new(SExp::A), Box::new(SExp::B)),
+            }],
+        };
+        let src = case.source();
+        assert!(
+            src.contains("loop (a = x) for i < ((x % 3) + 1) do (a + i)"),
+            "unexpected rendering:\n{src}"
+        );
     }
 
     #[test]

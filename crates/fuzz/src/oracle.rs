@@ -8,7 +8,7 @@
 //! in an optimisation pass, in the code generator, or in the semantics the
 //! interpreter and simulator are supposed to share.
 
-use futhark::{interpret, Compiler, Device, PipelineOptions};
+use futhark::{interpret, sim_engine, Compiler, Device, PipelineOptions, RunOptions, SimEngine};
 use futhark_core::Value;
 
 /// The two simulated devices, with stable labels for reports.
@@ -35,6 +35,11 @@ pub enum DivergenceKind {
     /// JSON round-trip. Analysis is derived data — any of these means it
     /// perturbed or misread the run.
     AnalysisPerturbation,
+    /// The warp execution engine disagreed with the per-lane reference
+    /// engine: different output values, a different error, or different
+    /// aggregate cost counters. The two engines implement the same SIMT
+    /// semantics and must be observationally indistinguishable.
+    WarpExecution,
 }
 
 /// One observed disagreement.
@@ -59,6 +64,7 @@ impl std::fmt::Display for Divergence {
             DivergenceKind::Mismatch => "mismatch",
             DivergenceKind::ProfilePerturbation => "profile perturbation",
             DivergenceKind::AnalysisPerturbation => "analysis perturbation",
+            DivergenceKind::WarpExecution => "warp execution",
         };
         write!(f, "[{}", self.config)?;
         if let Some(d) = &self.device {
@@ -184,6 +190,74 @@ fn check_profiled_run(
     }
 }
 
+/// Re-runs the program on the *other* group-execution engine (per-lane
+/// when the session default is warp, and vice versa) and demands
+/// bit-identical outputs — or the identical error — and identical
+/// aggregate [`futhark::PerfReport`] counters. The warp engine is a pure
+/// execution-strategy change; any observable difference is a bug in its
+/// masking, fault ordering, or counter accounting.
+fn check_warp_vs_lane(
+    compiled: &futhark::Compiled,
+    device: Device,
+    dlabel: &str,
+    args: &[Value],
+    default_run: &Result<(Vec<Value>, futhark::PerfReport), String>,
+    opts: PipelineOptions,
+) -> Option<Divergence> {
+    let (this, other) = match sim_engine() {
+        SimEngine::Warp => ("warp", SimEngine::Lane),
+        SimEngine::Lane => ("lane", SimEngine::Warp),
+    };
+    let diverge = |detail: String| {
+        Some(Divergence {
+            config: format!("{}+engine", opts.label()),
+            device: Some(dlabel.to_string()),
+            kind: DivergenceKind::WarpExecution,
+            detail,
+        })
+    };
+    let ropts = RunOptions {
+        engine: other,
+        ..RunOptions::default()
+    };
+    let other_run = compiled
+        .run_with_opts(device, args, ropts)
+        .map_err(|e| e.to_string());
+    match (default_run, &other_run) {
+        (Ok((vals, perf)), Ok((ovals, operf))) => {
+            if let Some(detail) = compare(vals, ovals) {
+                return diverge(format!("{other:?} engine vs {this}: {detail}"));
+            }
+            if operf.stats != perf.stats
+                || operf.launches != perf.launches
+                || operf.transposes != perf.transposes
+            {
+                return diverge(format!(
+                    "{other:?} engine changed aggregate counters vs {this}: \
+                     launches {} vs {}, transposes {} vs {}, stats {:?} vs {:?}",
+                    perf.launches,
+                    operf.launches,
+                    perf.transposes,
+                    operf.transposes,
+                    perf.stats,
+                    operf.stats
+                ));
+            }
+            None
+        }
+        (Err(e), Err(oe)) => {
+            if e != oe {
+                return diverge(format!(
+                    "engines fault differently: {this} {e:?} vs {other:?} {oe:?}"
+                ));
+            }
+            None
+        }
+        (Ok(_), Err(oe)) => diverge(format!("{other:?} engine faulted, {this} did not: {oe}")),
+        (Err(e), Ok(_)) => diverge(format!("{this} engine faulted, {other:?} did not: {e}")),
+    }
+}
+
 /// Checks that the bottleneck analysis layer is a pure observer of the
 /// run it describes. Invariants, all exact (no tolerances):
 ///
@@ -282,7 +356,17 @@ pub fn check_source(src: &str, args: &[Value]) -> Outcome {
             }
         };
         for (device, dlabel) in devices() {
-            match compiled.run(device, args) {
+            let run = compiled.run(device, args).map_err(|e| e.to_string());
+            // The warp and per-lane engines must be observationally
+            // indistinguishable: on the default configuration, re-run on
+            // the other engine and demand identical outputs (or the
+            // identical fault) and identical aggregate counters.
+            if opts == PipelineOptions::default() {
+                if let Some(d) = check_warp_vs_lane(&compiled, device, dlabel, args, &run, opts) {
+                    return Outcome::Diverged(d);
+                }
+            }
+            match run {
                 Ok((got, perf)) => {
                     if let Some(detail) = compare(&reference, &got) {
                         return Outcome::Diverged(Divergence {
@@ -309,7 +393,7 @@ pub fn check_source(src: &str, args: &[Value]) -> Outcome {
                         config: opts.label(),
                         device: Some(dlabel.to_string()),
                         kind: DivergenceKind::RunError,
-                        detail: e.to_string(),
+                        detail: e,
                     })
                 }
             }

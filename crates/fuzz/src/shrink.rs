@@ -261,6 +261,22 @@ fn simpler_stages(stage: &Stage) -> Vec<Stage> {
                 out.push(Stage::ScalarBin { a: *a, b: *b, f });
             }
         }
+        Stage::MapLoop { src, k, c, f } => {
+            let (src, k, c) = (*src, *k, *c);
+            // Shrink towards the minimal divergent loop: trip counts 0/1
+            // (`k = 2`, `c = 0`) with an identity body.
+            if k > 2 || c > 0 {
+                out.push(Stage::MapLoop {
+                    src,
+                    k: 2,
+                    c: 0,
+                    f: f.clone(),
+                });
+            }
+            if let Some(f) = simpler_f(f) {
+                out.push(Stage::MapLoop { src, k, c, f });
+            }
+        }
         _ => {}
     }
     out

@@ -15,7 +15,7 @@ use crate::sim::{
     self, Arg, BufId, DeviceMemory, KernelStats, Limiter, MemEvent, MemOp, MemStats, SimError,
     SiteStats, TimeBreakdown,
 };
-use crate::tape::{host_threads, DecodedKernel};
+use crate::tape::{host_threads, sim_engine, DecodedKernel, LaunchOpts, SimEngine};
 use futhark_core::traverse::{free_in_exp, free_in_lambda};
 use futhark_core::{
     ArrayVal, Buffer, Exp, Name, PatElem, Program, Scalar, ScalarType, Size, SubExp, Type, Value,
@@ -520,6 +520,11 @@ pub fn run_with_threads(
 }
 
 /// Execution-time options for [`run_with_opts`].
+///
+/// The default snapshots the environment-derived settings
+/// ([`host_threads`], [`sim_engine`]) through process-wide caches, so a
+/// mid-run environment change can never desynchronize two executions that
+/// are being compared differentially.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// Host worker threads for parallel group execution (`1` = sequential).
@@ -529,6 +534,11 @@ pub struct RunOptions {
     /// (per-site counters are accumulated separately and never feed back
     /// into execution or the [`KernelStats`] totals).
     pub profile: bool,
+    /// Which group-execution engine runs kernel launches. Outputs, errors,
+    /// and every counter are bit-identical across engines; the warp engine
+    /// is the fast default, the per-lane engine the independent reference
+    /// for differential testing.
+    pub engine: SimEngine,
 }
 
 impl Default for RunOptions {
@@ -536,6 +546,7 @@ impl Default for RunOptions {
         RunOptions {
             threads: host_threads(),
             profile: false,
+            engine: sim_engine(),
         }
     }
 }
@@ -571,6 +582,7 @@ pub fn run_with_opts(
         buf_sites: HashMap::new(),
         threads: opts.threads.max(1),
         profile: opts.profile,
+        engine: opts.engine,
         hoisted: 0,
         steals: 0,
         loop_watermarks: Vec::new(),
@@ -637,6 +649,8 @@ struct Executor<'a> {
     threads: usize,
     /// Whether launches collect per-source-site counters.
     profile: bool,
+    /// The group-execution engine for kernel launches.
+    engine: SimEngine,
     /// Hoisted-destination writes performed (planner `write_into` hits).
     hoisted: u64,
     /// In-place buffer steals performed (planner `steal` verdicts that
@@ -1533,15 +1547,21 @@ impl<'a> Executor<'a> {
             self.decoded[spec.kernel] = Some(DecodedKernel::decode(kernel)?);
         }
         let dk = self.decoded[spec.kernel].as_ref().expect("just decoded");
+        let opts = LaunchOpts {
+            threads: self.threads,
+            profile: self.profile,
+            engine: self.engine,
+        };
         let stats = if self.profile {
-            let (stats, sites) = crate::tape::launch_decoded_profiled(
+            let (stats, sites) = crate::tape::launch_decoded_with(
                 self.device,
                 dk,
                 num_threads,
                 &args,
                 &mut self.mem,
-                self.threads,
+                opts,
             )?;
+            let sites = sites.expect("profiled launch returns sites");
             // Modelled-time attribution: the launch's busy time (total
             // minus overhead) splits across sites in proportion to their
             // share of whichever counter bound this launch.
@@ -1575,14 +1595,15 @@ impl<'a> Executor<'a> {
             }
             stats
         } else {
-            crate::tape::launch_decoded(
+            crate::tape::launch_decoded_with(
                 self.device,
                 dk,
                 num_threads,
                 &args,
                 &mut self.mem,
-                self.threads,
+                opts,
             )?
+            .0
         };
         let breakdown = sim::kernel_time_breakdown(self.device, &stats);
         let t = breakdown.total_us();

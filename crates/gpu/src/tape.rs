@@ -166,11 +166,208 @@ enum EOp {
 /// stack; the result is the single remaining slot. `cost` is the original
 /// tree's [`KExp::op_count`] so warp-issue accounting is unchanged;
 /// `class` is the statically known class of the result bits.
+///
+/// Alongside the postfix form, every tape carries a register form
+/// (`winstrs`): the same ops with explicit scratch-register operands,
+/// produced by [`reg_compile`] at decode time. The warp engine executes
+/// the register form one *instruction* at a time across all lanes (each
+/// scratch register is a column of `lanes` bit-slots), instead of one
+/// *lane* at a time over the postfix form.
 #[derive(Debug, Clone)]
 struct Tape {
     ops: Vec<EOp>,
+    /// Register-form instructions for warp-column execution.
+    winstrs: Vec<WInstr>,
+    /// Scratch registers the register form needs (high-water mark of the
+    /// decode-time allocator).
+    n_regs: u32,
+    /// Scratch register holding the tape's result.
+    result: u32,
     cost: u64,
     class: ScalarType,
+}
+
+/// The scratch-register budget the warp engine preallocates per group.
+/// Tapes whose register form needs more ([`Tape::spills`]) grow the
+/// scratch arena on first use — the simulator's analogue of spilling.
+const WREG_FILE: u32 = 16;
+
+impl Tape {
+    /// Registers beyond the preallocated file ([`WREG_FILE`]): how far
+    /// this tape spills.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn spills(&self) -> u32 {
+        self.n_regs.saturating_sub(WREG_FILE)
+    }
+}
+
+/// One register-form instruction: the [`EOp`] payload plus explicit
+/// scratch-register operands assigned by [`reg_compile`]. Registers hold
+/// the same raw `u64` bit patterns as the postfix stack did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WInstr {
+    Const {
+        dst: u32,
+        bits: u64,
+    },
+    Load {
+        dst: u32,
+        class: ScalarType,
+        slot: u32,
+    },
+    GlobalId {
+        dst: u32,
+    },
+    GroupId {
+        dst: u32,
+    },
+    LocalId {
+        dst: u32,
+    },
+    GroupSize {
+        dst: u32,
+    },
+    NumThreads {
+        dst: u32,
+    },
+    ScalarArg {
+        dst: u32,
+        arg: u32,
+    },
+    Bin {
+        op: BinOp,
+        t: ScalarType,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Cmp {
+        op: CmpOp,
+        t: ScalarType,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    Un {
+        op: UnOp,
+        t: ScalarType,
+        dst: u32,
+        a: u32,
+    },
+    Conv {
+        from: ScalarType,
+        to: ScalarType,
+        dst: u32,
+        a: u32,
+    },
+}
+
+/// Deterministic linear-scan register allocation over a postfix tape: a
+/// stack of register ids mirrors the evaluation stack, and a LIFO free
+/// list recycles the registers an operator consumes, so a binary op's
+/// destination reuses its left operand's register (safe: every lane reads
+/// both operands before writing the destination). Same tape, same
+/// assignment — always; nothing here depends on runtime state, which is
+/// what keeps profiled counters and the profgate baseline bit-for-bit.
+fn reg_compile(ops: &[EOp]) -> (Vec<WInstr>, u32, u32) {
+    struct Alloc {
+        free: Vec<u32>,
+        next: u32,
+    }
+    impl Alloc {
+        fn get(&mut self) -> u32 {
+            self.free.pop().unwrap_or_else(|| {
+                let r = self.next;
+                self.next += 1;
+                r
+            })
+        }
+    }
+    let mut alloc = Alloc {
+        free: Vec::new(),
+        next: 0,
+    };
+    let mut stack: Vec<u32> = Vec::new();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match *op {
+            EOp::Const(bits) => {
+                let dst = alloc.get();
+                out.push(WInstr::Const { dst, bits });
+                stack.push(dst);
+            }
+            EOp::Load(class, slot) => {
+                let dst = alloc.get();
+                out.push(WInstr::Load { dst, class, slot });
+                stack.push(dst);
+            }
+            EOp::GlobalId => {
+                let dst = alloc.get();
+                out.push(WInstr::GlobalId { dst });
+                stack.push(dst);
+            }
+            EOp::GroupId => {
+                let dst = alloc.get();
+                out.push(WInstr::GroupId { dst });
+                stack.push(dst);
+            }
+            EOp::LocalId => {
+                let dst = alloc.get();
+                out.push(WInstr::LocalId { dst });
+                stack.push(dst);
+            }
+            EOp::GroupSize => {
+                let dst = alloc.get();
+                out.push(WInstr::GroupSize { dst });
+                stack.push(dst);
+            }
+            EOp::NumThreads => {
+                let dst = alloc.get();
+                out.push(WInstr::NumThreads { dst });
+                stack.push(dst);
+            }
+            EOp::ScalarArg(arg) => {
+                let dst = alloc.get();
+                out.push(WInstr::ScalarArg { dst, arg });
+                stack.push(dst);
+            }
+            EOp::Bin(op, t) => {
+                let b = stack.pop().expect("tape underflow");
+                let a = stack.pop().expect("tape underflow");
+                alloc.free.push(b);
+                alloc.free.push(a);
+                let dst = alloc.get();
+                out.push(WInstr::Bin { op, t, dst, a, b });
+                stack.push(dst);
+            }
+            EOp::Cmp(op, t) => {
+                let b = stack.pop().expect("tape underflow");
+                let a = stack.pop().expect("tape underflow");
+                alloc.free.push(b);
+                alloc.free.push(a);
+                let dst = alloc.get();
+                out.push(WInstr::Cmp { op, t, dst, a, b });
+                stack.push(dst);
+            }
+            EOp::Un(op, t) => {
+                let a = stack.pop().expect("tape underflow");
+                alloc.free.push(a);
+                let dst = alloc.get();
+                out.push(WInstr::Un { op, t, dst, a });
+                stack.push(dst);
+            }
+            EOp::Conv(from, to) => {
+                let a = stack.pop().expect("tape underflow");
+                alloc.free.push(a);
+                let dst = alloc.get();
+                out.push(WInstr::Conv { from, to, dst, a });
+                stack.push(dst);
+            }
+        }
+    }
+    let result = stack.pop().expect("empty tape");
+    debug_assert!(stack.is_empty(), "unbalanced tape");
+    (out, alloc.next, result)
 }
 
 /// A decoded statement: the same shapes as [`KStm`], with expressions as
@@ -496,8 +693,12 @@ impl<'k> Compiler<'k> {
     fn tape(&self, e: &KExp) -> SResult<Tape> {
         let mut ops = Vec::new();
         let class = self.exp(e, &mut ops)?;
+        let (winstrs, n_regs, result) = reg_compile(&ops);
         Ok(Tape {
             ops,
+            winstrs,
+            n_regs,
+            result,
             cost: e.op_count(),
             class,
         })
@@ -944,12 +1145,127 @@ struct GroupRun<'a> {
     offsets: Vec<Option<i64>>,
     /// Scratch: segment ids for transaction counting.
     segs: Vec<i64>,
+    /// Warp engine: the scratch-register arena, `n_regs` columns of
+    /// `lanes` bit-slots each (`scratch[reg * lanes + lane]`).
+    /// Preallocated at [`WREG_FILE`] columns; spilling tapes grow it.
+    scratch: Vec<u64>,
+    /// Warp engine: per-lane element indices of a two-tape statement,
+    /// saved between the index tape and the value tape (whose register
+    /// columns would otherwise collide).
+    icol: Vec<i64>,
+    /// Warp engine: recycled mask storage for divergent control flow.
+    mask_pool: Vec<Vec<bool>>,
+    /// Warp engine: control-flow decisions that took the uniform fast
+    /// path / fell back to per-lane masking (flushed to process-wide
+    /// counters at group exit; never part of [`KernelStats`]).
+    u_hits: u64,
+    u_misses: u64,
     stats: KernelStats,
     /// Per-site counters, allocated only in profiled runs.
     sites: Option<Vec<SiteStats>>,
     /// The site currently executing (maintained by `DStm::At`); starts at
     /// the unattributed bucket.
     cur_site: usize,
+}
+
+/// An execution mask with its warp bookkeeping precomputed: which lanes
+/// are on, whether any/all are, how many warps have at least one active
+/// lane, and how many lane-slots idle inside those warps. Computing this
+/// once per mask makes [`GroupRun::issue_w`] O(1) instead of a scan per
+/// statement.
+struct WMask {
+    on: Vec<bool>,
+    any: bool,
+    all: bool,
+    warps: u64,
+    inactive: u64,
+}
+
+impl WMask {
+    fn new(on: Vec<bool>, warp_size: usize) -> WMask {
+        let mut m = WMask {
+            on,
+            any: false,
+            all: false,
+            warps: 0,
+            inactive: 0,
+        };
+        m.recompute(warp_size);
+        m
+    }
+
+    /// Recomputes the cached bookkeeping after `on` changed in place.
+    fn recompute(&mut self, warp_size: usize) {
+        let mut warps = 0u64;
+        let mut inactive = 0u64;
+        let mut active_total = 0usize;
+        for chunk in self.on.chunks(warp_size) {
+            let active = chunk.iter().filter(|&&b| b).count();
+            if active > 0 {
+                warps += 1;
+                inactive += (chunk.len() - active) as u64;
+            }
+            active_total += active;
+        }
+        self.any = active_total > 0;
+        self.all = active_total == self.on.len();
+        self.warps = warps;
+        self.inactive = inactive;
+    }
+}
+
+/// Per-lane faults recorded while evaluating one tape across the warp:
+/// `None` in the (overwhelmingly common) fault-free case, else one
+/// optional error per lane — a lane's *first* fault, after which it is
+/// masked out of subsequent fallible instructions of the same tape.
+struct TapeFaults(Option<Box<[Option<SimError>]>>);
+
+impl TapeFaults {
+    /// Takes lane's fault, if any — callers walk lanes in ascending
+    /// order, so each fault is inspected at most once.
+    #[inline]
+    fn take(&mut self, lane: usize) -> Option<SimError> {
+        self.0.as_mut().and_then(|f| f[lane].take())
+    }
+
+    /// The lowest faulting lane and its error — what lane-ascending
+    /// per-lane evaluation would have reported first.
+    fn into_first(self) -> Option<(usize, SimError)> {
+        self.0.and_then(|f| {
+            f.into_vec()
+                .into_iter()
+                .enumerate()
+                .find_map(|(l, e)| e.map(|e| (l, e)))
+        })
+    }
+}
+
+#[inline]
+fn lane_faulted(faults: &Option<Box<[Option<SimError>]>>, lane: usize) -> bool {
+    faults.as_ref().is_some_and(|f| f[lane].is_some())
+}
+
+#[inline]
+fn record_fault(
+    faults: &mut Option<Box<[Option<SimError>]>>,
+    lanes: usize,
+    lane: usize,
+    e: SimError,
+) {
+    let f = faults.get_or_insert_with(|| vec![None; lanes].into_boxed_slice());
+    if f[lane].is_none() {
+        f[lane] = Some(e);
+    }
+}
+
+/// Interprets index bits whose class is statically integer (`index_tape`
+/// guarantees i32 or i64) as an `i64` element index.
+#[inline]
+fn conv_index(t: ScalarType, bits: u64) -> i64 {
+    match t {
+        ScalarType::I32 => bits as u32 as i32 as i64,
+        _ => bits as i64,
+    }
 }
 
 impl<'a> GroupRun<'a> {
@@ -1353,6 +1669,897 @@ impl<'a> GroupRun<'a> {
         }
         Ok(())
     }
+
+    // -----------------------------------------------------------------
+    // The warp engine
+    // -----------------------------------------------------------------
+
+    /// O(1) warp-issue accounting from the mask's precomputed meta;
+    /// counter-identical to [`GroupRun::issue`] over `mask.on`.
+    fn issue_w(&mut self, mask: &WMask, ops: u64) {
+        self.stats.warp_instructions += mask.warps * (1 + ops);
+        if self.sites.is_some() {
+            let (warps, inactive) = (mask.warps, mask.inactive);
+            let s = self.site().expect("profiled run");
+            s.warp_instructions += warps * (1 + ops);
+            s.inactive_lane_instructions += inactive * (1 + ops);
+        }
+    }
+
+    /// A recycled lane-sized mask buffer (all false).
+    fn take_bits(&mut self) -> Vec<bool> {
+        match self.mask_pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(self.lanes, false);
+                v
+            }
+            None => vec![false; self.lanes],
+        }
+    }
+
+    fn put_bits(&mut self, v: Vec<bool>) {
+        self.mask_pool.push(v);
+    }
+
+    /// Stores a scratch column into the typed register file for the
+    /// mask's active lanes; masked-off lanes keep their register values.
+    fn store_column(&mut self, class: ScalarType, slot: u32, reg: u32, mask: &WMask) {
+        let lanes = self.lanes;
+        let r = reg as usize * lanes;
+        let s = &self.scratch;
+        let base = slot as usize * lanes;
+        let on = &mask.on;
+        macro_rules! store {
+            ($file:expr, |$b:ident| $e:expr) => {{
+                let src = &s[r..r + lanes];
+                let dc = &mut $file[base..base + lanes];
+                if mask.all {
+                    for (o, &$b) in dc.iter_mut().zip(src) {
+                        *o = $e;
+                    }
+                } else {
+                    for ((o, &$b), &m) in dc.iter_mut().zip(src).zip(on.iter()) {
+                        if m {
+                            *o = $e;
+                        }
+                    }
+                }
+            }};
+        }
+        match class {
+            ScalarType::Bool => store!(&mut self.files.bools, |b| b != 0),
+            ScalarType::I32 => store!(&mut self.files.i32s, |b| b as u32 as i32),
+            ScalarType::I64 => store!(&mut self.files.i64s, |b| b as i64),
+            ScalarType::F32 => store!(&mut self.files.f32s, |b| f32::from_bits(b as u32)),
+            ScalarType::F64 => store!(&mut self.files.f64s, |b| f64::from_bits(b)),
+        }
+    }
+
+    /// Evaluates a tape's register form across every lane of the group in
+    /// one instruction-major sweep: each instruction is a single dispatch
+    /// followed by a per-opcode loop over the lanes.
+    ///
+    /// Infallible instructions run *unmasked* at full width — a masked-off
+    /// (or already-faulted) lane's column values are garbage that nothing
+    /// downstream may observe (register stores, memory traffic, counters,
+    /// and fault checks are all mask-predicated by the caller), so
+    /// computing them costs nothing semantically and buys check-free,
+    /// autovectorizable loops even under heavy divergence. Only fallible
+    /// instructions (integer div/rem, unops, conversions) consult the mask,
+    /// because a dead lane must not fault.
+    ///
+    /// The result is left in scratch column `tape.result`. Faults are
+    /// recorded per lane — a faulted lane is masked out of subsequent
+    /// fallible instructions of the same tape — and returned for the
+    /// caller to interleave with its own per-lane checks in lane-ascending
+    /// order, reproducing exactly the error the per-lane engine would
+    /// pick.
+    fn weval(&mut self, tape: &Tape, mask: &WMask) -> SResult<TapeFaults> {
+        let lanes = self.lanes;
+        let need = tape.n_regs as usize * lanes;
+        if self.scratch.len() < need {
+            // Spill: this tape needs more columns than the preallocated
+            // register file; the arena grows and stays grown.
+            self.scratch.resize(need, 0);
+        }
+        let (group_id, group_size, num_threads) =
+            (self.group_id, self.group_size, self.num_threads);
+        let scalar_bits = self.scalar_bits;
+        let files = &self.files;
+        let s: &mut [u64] = &mut self.scratch;
+        let on: &[bool] = &mask.on;
+        let mut faults: Option<Box<[Option<SimError>]>> = None;
+
+        macro_rules! fill1 {
+            ($dst:expr, |$l:ident| $e:expr) => {{
+                let d = $dst as usize * lanes;
+                // One up-front bounds proof so the per-lane loop carries
+                // no checks and the compiler can vectorize it.
+                assert!(d + lanes <= s.len());
+                for $l in 0..lanes {
+                    s[d + $l] = $e;
+                }
+            }};
+        }
+        macro_rules! wloop {
+            ($dst:expr, $a:expr, $b:expr, |$x:ident, $y:ident| $e:expr) => {{
+                let (d, ax, bx) = (
+                    $dst as usize * lanes,
+                    $a as usize * lanes,
+                    $b as usize * lanes,
+                );
+                // Columns may alias (the allocator reuses an operand's
+                // register as the destination), so prove bounds up front
+                // rather than splitting the arena into subslices.
+                assert!(d + lanes <= s.len() && ax + lanes <= s.len() && bx + lanes <= s.len());
+                for l in 0..lanes {
+                    let ($x, $y) = (s[ax + l], s[bx + l]);
+                    s[d + l] = $e;
+                }
+            }};
+        }
+
+        for ins in &tape.winstrs {
+            match *ins {
+                WInstr::Const { dst, bits } => fill1!(dst, |_l| bits),
+                WInstr::Load { dst, class, slot } => {
+                    // Exact subslices of the register file and the scratch
+                    // column: check-free, vectorizable copies.
+                    macro_rules! load {
+                        ($file:expr, |$v:ident| $e:expr) => {{
+                            let base = slot as usize * lanes;
+                            let src = &$file[base..base + lanes];
+                            let d = dst as usize * lanes;
+                            let dc = &mut s[d..d + lanes];
+                            for (o, &$v) in dc.iter_mut().zip(src) {
+                                *o = $e;
+                            }
+                        }};
+                    }
+                    match class {
+                        ScalarType::Bool => load!(files.bools, |v| v as u64),
+                        ScalarType::I32 => load!(files.i32s, |v| v as u32 as u64),
+                        ScalarType::I64 => load!(files.i64s, |v| v as u64),
+                        ScalarType::F32 => load!(files.f32s, |v| v.to_bits() as u64),
+                        ScalarType::F64 => load!(files.f64s, |v| v.to_bits()),
+                    }
+                }
+                WInstr::GlobalId { dst } => {
+                    fill1!(dst, |l| (group_id * group_size + l as u64) as i64 as u64)
+                }
+                WInstr::GroupId { dst } => fill1!(dst, |_l| group_id as i64 as u64),
+                WInstr::LocalId { dst } => fill1!(dst, |l| l as i64 as u64),
+                WInstr::GroupSize { dst } => fill1!(dst, |_l| group_size as i64 as u64),
+                WInstr::NumThreads { dst } => fill1!(dst, |_l| num_threads as i64 as u64),
+                WInstr::ScalarArg { dst, arg } => {
+                    // A missing scalar argument faults every lane alike;
+                    // the per-lane engine reported it at the first active
+                    // lane, before any other lane's checks could run.
+                    let bits = scalar_bits[arg as usize].ok_or_else(|| {
+                        SimError::Scalar(format!("argument {arg} is not a scalar"))
+                    })?;
+                    fill1!(dst, |_l| bits)
+                }
+                WInstr::Bin { op, t, dst, a, b } => {
+                    use BinOp::*;
+                    use ScalarType::*;
+                    match (t, op) {
+                        (I64, Add) => {
+                            wloop!(dst, a, b, |x, y| (x as i64).wrapping_add(y as i64) as u64)
+                        }
+                        (I64, Sub) => {
+                            wloop!(dst, a, b, |x, y| (x as i64).wrapping_sub(y as i64) as u64)
+                        }
+                        (I64, Mul) => {
+                            wloop!(dst, a, b, |x, y| (x as i64).wrapping_mul(y as i64) as u64)
+                        }
+                        (I64, Min) => wloop!(dst, a, b, |x, y| (x as i64).min(y as i64) as u64),
+                        (I64, Max) => wloop!(dst, a, b, |x, y| (x as i64).max(y as i64) as u64),
+                        (I32, Add) => wloop!(dst, a, b, |x, y| (x as u32 as i32)
+                            .wrapping_add(y as u32 as i32)
+                            as u32
+                            as u64),
+                        (I32, Sub) => wloop!(dst, a, b, |x, y| (x as u32 as i32)
+                            .wrapping_sub(y as u32 as i32)
+                            as u32
+                            as u64),
+                        (I32, Mul) => wloop!(dst, a, b, |x, y| (x as u32 as i32)
+                            .wrapping_mul(y as u32 as i32)
+                            as u32
+                            as u64),
+                        (I32, Min) => wloop!(dst, a, b, |x, y| (x as u32 as i32)
+                            .min(y as u32 as i32)
+                            as u32
+                            as u64),
+                        (I32, Max) => wloop!(dst, a, b, |x, y| (x as u32 as i32)
+                            .max(y as u32 as i32)
+                            as u32
+                            as u64),
+                        (F64, Add) => wloop!(dst, a, b, |x, y| (f64::from_bits(x)
+                            + f64::from_bits(y))
+                        .to_bits()),
+                        (F64, Sub) => wloop!(dst, a, b, |x, y| (f64::from_bits(x)
+                            - f64::from_bits(y))
+                        .to_bits()),
+                        (F64, Mul) => wloop!(dst, a, b, |x, y| (f64::from_bits(x)
+                            * f64::from_bits(y))
+                        .to_bits()),
+                        (F64, Div) => wloop!(dst, a, b, |x, y| (f64::from_bits(x)
+                            / f64::from_bits(y))
+                        .to_bits()),
+                        (F64, Rem) => wloop!(dst, a, b, |x, y| (f64::from_bits(x)
+                            % f64::from_bits(y))
+                        .to_bits()),
+                        (F64, Min) => wloop!(dst, a, b, |x, y| f64::from_bits(x)
+                            .min(f64::from_bits(y))
+                            .to_bits()),
+                        (F64, Max) => wloop!(dst, a, b, |x, y| f64::from_bits(x)
+                            .max(f64::from_bits(y))
+                            .to_bits()),
+                        (F64, Pow) => wloop!(dst, a, b, |x, y| f64::from_bits(x)
+                            .powf(f64::from_bits(y))
+                            .to_bits()),
+                        (F64, Atan2) => wloop!(dst, a, b, |x, y| f64::from_bits(x)
+                            .atan2(f64::from_bits(y))
+                            .to_bits()),
+                        (F32, Add) => wloop!(dst, a, b, |x, y| (f32::from_bits(x as u32)
+                            + f32::from_bits(y as u32))
+                        .to_bits()
+                            as u64),
+                        (F32, Sub) => wloop!(dst, a, b, |x, y| (f32::from_bits(x as u32)
+                            - f32::from_bits(y as u32))
+                        .to_bits()
+                            as u64),
+                        (F32, Mul) => wloop!(dst, a, b, |x, y| (f32::from_bits(x as u32)
+                            * f32::from_bits(y as u32))
+                        .to_bits()
+                            as u64),
+                        (F32, Div) => wloop!(dst, a, b, |x, y| (f32::from_bits(x as u32)
+                            / f32::from_bits(y as u32))
+                        .to_bits()
+                            as u64),
+                        (F32, Rem) => wloop!(dst, a, b, |x, y| (f32::from_bits(x as u32)
+                            % f32::from_bits(y as u32))
+                        .to_bits()
+                            as u64),
+                        (F32, Min) => wloop!(dst, a, b, |x, y| f32::from_bits(x as u32)
+                            .min(f32::from_bits(y as u32))
+                            .to_bits()
+                            as u64),
+                        (F32, Max) => wloop!(dst, a, b, |x, y| f32::from_bits(x as u32)
+                            .max(f32::from_bits(y as u32))
+                            .to_bits()
+                            as u64),
+                        (F32, Pow) => wloop!(dst, a, b, |x, y| f32::from_bits(x as u32)
+                            .powf(f32::from_bits(y as u32))
+                            .to_bits()
+                            as u64),
+                        (F32, Atan2) => wloop!(dst, a, b, |x, y| f32::from_bits(x as u32)
+                            .atan2(f32::from_bits(y as u32))
+                            .to_bits()
+                            as u64),
+                        (Bool, And) => wloop!(dst, a, b, |x, y| x & y),
+                        (Bool, Or) => wloop!(dst, a, b, |x, y| x | y),
+                        (I64, Div) | (I64, Rem) => {
+                            let (di, ai, bi) =
+                                (dst as usize * lanes, a as usize * lanes, b as usize * lanes);
+                            // Prescan every lane, masked or not: the fast
+                            // path divides unmasked, so even a dead lane's
+                            // garbage divisor must be nonzero to take it.
+                            let mut any_zero = false;
+                            for l in 0..lanes {
+                                any_zero |= s[bi + l] as i64 == 0;
+                            }
+                            let div = op == Div;
+                            if !any_zero {
+                                if div {
+                                    wloop!(dst, a, b, |x, y| floor_div_i64(x as i64, y as i64)
+                                        as u64)
+                                } else {
+                                    wloop!(dst, a, b, |x, y| floor_mod_i64(x as i64, y as i64)
+                                        as u64)
+                                }
+                            } else {
+                                for l in 0..lanes {
+                                    if on[l] && !lane_faulted(&faults, l) {
+                                        let y = s[bi + l] as i64;
+                                        if y == 0 {
+                                            record_fault(&mut faults, lanes, l, div_by_zero());
+                                        } else {
+                                            let x = s[ai + l] as i64;
+                                            s[di + l] = if div {
+                                                floor_div_i64(x, y)
+                                            } else {
+                                                floor_mod_i64(x, y)
+                                            }
+                                                as u64;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        (I32, Div) | (I32, Rem) => {
+                            let (di, ai, bi) =
+                                (dst as usize * lanes, a as usize * lanes, b as usize * lanes);
+                            let mut any_zero = false;
+                            for l in 0..lanes {
+                                any_zero |= s[bi + l] as u32 as i32 == 0;
+                            }
+                            let div = op == Div;
+                            if !any_zero {
+                                if div {
+                                    wloop!(dst, a, b, |x, y| floor_div_i32(
+                                        x as u32 as i32,
+                                        y as u32 as i32
+                                    )
+                                        as u32
+                                        as u64)
+                                } else {
+                                    wloop!(dst, a, b, |x, y| floor_mod_i32(
+                                        x as u32 as i32,
+                                        y as u32 as i32
+                                    )
+                                        as u32
+                                        as u64)
+                                }
+                            } else {
+                                for l in 0..lanes {
+                                    if on[l] && !lane_faulted(&faults, l) {
+                                        let y = s[bi + l] as u32 as i32;
+                                        if y == 0 {
+                                            record_fault(&mut faults, lanes, l, div_by_zero());
+                                        } else {
+                                            let x = s[ai + l] as u32 as i32;
+                                            s[di + l] = if div {
+                                                floor_div_i32(x, y)
+                                            } else {
+                                                floor_mod_i32(x, y)
+                                            }
+                                                as u32
+                                                as u64;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        _ => {
+                            // Op/class mismatches (`pow` on integers,
+                            // arithmetic on booleans, …): per-lane through
+                            // `bin_bits`, whose error text the per-lane
+                            // engine surfaced.
+                            let (di, ai, bi) =
+                                (dst as usize * lanes, a as usize * lanes, b as usize * lanes);
+                            for l in 0..lanes {
+                                if on[l] && !lane_faulted(&faults, l) {
+                                    match bin_bits(op, t, s[ai + l], s[bi + l]) {
+                                        Ok(v) => s[di + l] = v,
+                                        Err(e) => record_fault(&mut faults, lanes, l, e),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                WInstr::Cmp { op, t, dst, a, b } => {
+                    macro_rules! cmps {
+                        ($conv:expr) => {{
+                            let c = $conv;
+                            match op {
+                                CmpOp::Eq => wloop!(dst, a, b, |x, y| (c(x) == c(y)) as u64),
+                                CmpOp::Ne => wloop!(dst, a, b, |x, y| (c(x) != c(y)) as u64),
+                                CmpOp::Lt => wloop!(dst, a, b, |x, y| (c(x) < c(y)) as u64),
+                                CmpOp::Le => wloop!(dst, a, b, |x, y| (c(x) <= c(y)) as u64),
+                                CmpOp::Gt => wloop!(dst, a, b, |x, y| (c(x) > c(y)) as u64),
+                                CmpOp::Ge => wloop!(dst, a, b, |x, y| (c(x) >= c(y)) as u64),
+                            }
+                        }};
+                    }
+                    match t {
+                        ScalarType::I64 => cmps!(|v: u64| v as i64),
+                        ScalarType::I32 => cmps!(|v: u64| v as u32 as i32),
+                        ScalarType::F32 => cmps!(|v: u64| f32::from_bits(v as u32)),
+                        ScalarType::F64 => cmps!(f64::from_bits),
+                        ScalarType::Bool => cmps!(|v: u64| v != 0),
+                    }
+                }
+                WInstr::Un { op, t, dst, a } => {
+                    // Rare ops with delicate float edge cases: per lane
+                    // through the interpreter's helper, as before.
+                    let (di, ai) = (dst as usize * lanes, a as usize * lanes);
+                    for l in 0..lanes {
+                        if on[l] && !lane_faulted(&faults, l) {
+                            match eval_unop(op, dec(t, s[ai + l])) {
+                                Ok(r) => s[di + l] = enc(r),
+                                Err(e) => record_fault(
+                                    &mut faults,
+                                    lanes,
+                                    l,
+                                    SimError::Scalar(e.to_string()),
+                                ),
+                            }
+                        }
+                    }
+                }
+                WInstr::Conv { from, to, dst, a } => {
+                    let (di, ai) = (dst as usize * lanes, a as usize * lanes);
+                    for l in 0..lanes {
+                        if on[l] && !lane_faulted(&faults, l) {
+                            match eval_convert(to, dec(from, s[ai + l])) {
+                                Ok(r) => s[di + l] = enc(r),
+                                Err(e) => record_fault(
+                                    &mut faults,
+                                    lanes,
+                                    l,
+                                    SimError::Scalar(e.to_string()),
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(TapeFaults(faults))
+    }
+
+    /// The warp execution engine: statement-major like [`GroupRun::exec`]
+    /// (so error precedence and every counter stay bit-identical), but
+    /// each statement's expressions evaluate via [`GroupRun::weval`] — one
+    /// opcode dispatch driving every lane — and control flow takes a
+    /// uniform fast path when all active lanes agree, skipping per-lane
+    /// mask rebuilds entirely.
+    fn wexec(&mut self, stms: &[DStm], mask: &WMask) -> SResult<()> {
+        if !mask.any {
+            return Ok(());
+        }
+        let lanes = self.lanes;
+        for stm in stms {
+            match stm {
+                DStm::Assign { class, slot, exp } => {
+                    self.issue_w(mask, exp.cost);
+                    let tf = self.weval(exp, mask)?;
+                    if let Some((_, e)) = tf.into_first() {
+                        return Err(e);
+                    }
+                    self.store_column(*class, *slot, exp.result, mask);
+                }
+                DStm::GlobalRead {
+                    class,
+                    slot,
+                    buf,
+                    index,
+                } => {
+                    self.issue_w(mask, index.cost);
+                    let bid = self.buffer(*buf)?;
+                    let len = self.base.raw(bid).len() as i64;
+                    let elem_bytes = self.base.raw(bid).elem_type().byte_size() as u64;
+                    let mut tf = self.weval(index, mask)?;
+                    let (r, icls) = (index.result as usize * lanes, index.class);
+                    // Lane-ascending checks: a lane's own tape fault
+                    // precedes its bounds check, exactly as per-lane
+                    // evaluation ordered them.
+                    for l in 0..lanes {
+                        self.offsets[l] = None;
+                        if mask.on[l] {
+                            if let Some(e) = tf.take(l) {
+                                return Err(e);
+                            }
+                            let i = conv_index(icls, self.scratch[r + l]);
+                            if i < 0 || i >= len {
+                                return Err(self.oob(format!("read {i} of buffer len {len}")));
+                            }
+                            self.offsets[l] = Some(i);
+                        }
+                    }
+                    // Data movement: no faults possible past this point.
+                    // One overlay lookup per buffer, not per lane.
+                    let ov = self.writes.get(&bid);
+                    let base_buf = self.base.raw(bid);
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            let i = self.offsets[l].expect("checked above") as usize;
+                            let bits = match ov.and_then(|m| m.get(&i)) {
+                                Some(&b) => b,
+                                None => buf_get_bits(base_buf, i),
+                            };
+                            self.files.set(*class, *slot, l, bits);
+                        }
+                    }
+                    self.memory_access(&mask.on, elem_bytes);
+                }
+                DStm::GlobalWrite { buf, index, value } => {
+                    self.issue_w(mask, index.cost + value.cost);
+                    let bid = self.buffer(*buf)?;
+                    let len = self.base.raw(bid).len() as i64;
+                    let elem_bytes = self.base.raw(bid).elem_type().byte_size() as u64;
+                    let mut tfi = self.weval(index, mask)?;
+                    // Save the index column before the value tape reuses
+                    // the same scratch registers.
+                    let (r, icls) = (index.result as usize * lanes, index.class);
+                    for l in 0..lanes {
+                        self.icol[l] = conv_index(icls, self.scratch[r + l]);
+                    }
+                    let mut tfv = self.weval(value, mask)?;
+                    // Lane-ascending: index fault, then bounds, then value
+                    // fault — the per-lane engine's exact order.
+                    for l in 0..lanes {
+                        self.offsets[l] = None;
+                        if mask.on[l] {
+                            if let Some(e) = tfi.take(l) {
+                                return Err(e);
+                            }
+                            let i = self.icol[l];
+                            if i < 0 || i >= len {
+                                return Err(self.oob(format!("write {i} of buffer len {len}")));
+                            }
+                            if let Some(e) = tfv.take(l) {
+                                return Err(e);
+                            }
+                            self.offsets[l] = Some(i);
+                        }
+                    }
+                    let rv = value.result as usize * lanes;
+                    let map = self.writes.entry(bid).or_default();
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            map.insert(self.icol[l] as usize, self.scratch[rv + l]);
+                        }
+                    }
+                    self.memory_access(&mask.on, elem_bytes);
+                }
+                DStm::LocalRead {
+                    class,
+                    slot,
+                    mem,
+                    index,
+                } => {
+                    self.issue_w(mask, index.cost);
+                    let mut tf = self.weval(index, mask)?;
+                    let (r, icls) = (index.result as usize * lanes, index.class);
+                    let len = self.locals[*mem].len();
+                    let mut n = 0u64;
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            if let Some(e) = tf.take(l) {
+                                return Err(e);
+                            }
+                            let i = conv_index(icls, self.scratch[r + l]);
+                            if i < 0 || i as usize >= len {
+                                return Err(self.oob(format!("local read {i} of len {len}")));
+                            }
+                            let bits = self.locals[*mem][i as usize];
+                            self.files.set(*class, *slot, l, bits);
+                            n += 1;
+                        }
+                    }
+                    self.stats.local_accesses += n;
+                    if let Some(s) = self.site() {
+                        s.local_accesses += n;
+                    }
+                }
+                DStm::LocalWrite { mem, index, value } => {
+                    self.issue_w(mask, index.cost + value.cost);
+                    let mut tfi = self.weval(index, mask)?;
+                    let (r, icls) = (index.result as usize * lanes, index.class);
+                    for l in 0..lanes {
+                        self.icol[l] = conv_index(icls, self.scratch[r + l]);
+                    }
+                    let mut tfv = self.weval(value, mask)?;
+                    let rv = value.result as usize * lanes;
+                    let len = self.locals[*mem].len();
+                    let mut n = 0u64;
+                    // Per-lane order: index fault, value fault, *then*
+                    // bounds — the per-lane engine checked bounds after
+                    // evaluating the value.
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            if let Some(e) = tfi.take(l) {
+                                return Err(e);
+                            }
+                            if let Some(e) = tfv.take(l) {
+                                return Err(e);
+                            }
+                            let i = self.icol[l];
+                            if i < 0 || i as usize >= len {
+                                return Err(self.oob(format!("local write {i} of len {len}")));
+                            }
+                            self.locals[*mem][i as usize] = self.scratch[rv + l];
+                            n += 1;
+                        }
+                    }
+                    self.stats.local_accesses += n;
+                    if let Some(s) = self.site() {
+                        s.local_accesses += n;
+                    }
+                }
+                DStm::PrivAlloc { arr, size } => {
+                    self.issue_w(mask, size.cost);
+                    let tf = self.weval(size, mask)?;
+                    if let Some((_, e)) = tf.into_first() {
+                        return Err(e);
+                    }
+                    let (r, icls) = (size.result as usize * lanes, size.class);
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            let n = conv_index(icls, self.scratch[r + l]).max(0) as usize;
+                            self.privs[*arr * lanes + l] = vec![0u64; n];
+                        }
+                    }
+                }
+                DStm::PrivRead {
+                    class,
+                    slot,
+                    arr,
+                    index,
+                } => {
+                    self.issue_w(mask, index.cost);
+                    let mut tf = self.weval(index, mask)?;
+                    let (r, icls) = (index.result as usize * lanes, index.class);
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            if let Some(e) = tf.take(l) {
+                                return Err(e);
+                            }
+                            let i = conv_index(icls, self.scratch[r + l]);
+                            let p = &self.privs[*arr * lanes + l];
+                            if i < 0 || i as usize >= p.len() {
+                                return Err(
+                                    self.oob(format!("private read {i} of len {}", p.len()))
+                                );
+                            }
+                            let bits = p[i as usize];
+                            self.files.set(*class, *slot, l, bits);
+                        }
+                    }
+                }
+                DStm::PrivWrite { arr, index, value } => {
+                    self.issue_w(mask, index.cost + value.cost);
+                    let mut tfi = self.weval(index, mask)?;
+                    let (r, icls) = (index.result as usize * lanes, index.class);
+                    for l in 0..lanes {
+                        self.icol[l] = conv_index(icls, self.scratch[r + l]);
+                    }
+                    let mut tfv = self.weval(value, mask)?;
+                    let rv = value.result as usize * lanes;
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            if let Some(e) = tfi.take(l) {
+                                return Err(e);
+                            }
+                            if let Some(e) = tfv.take(l) {
+                                return Err(e);
+                            }
+                            let i = self.icol[l];
+                            let p = &mut self.privs[*arr * lanes + l];
+                            if i < 0 || i as usize >= p.len() {
+                                return Err(SimError::OutOfBounds {
+                                    kernel: self.dk.name.clone(),
+                                    what: format!("private write {i} of len {}", p.len()),
+                                });
+                            }
+                            p[i as usize] = self.scratch[rv + l];
+                        }
+                    }
+                }
+                DStm::PrivCopy { dst, src, len } => {
+                    self.issue_w(mask, len.cost);
+                    let mut tf = self.weval(len, mask)?;
+                    let (r, icls) = (len.result as usize * lanes, len.class);
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            if let Some(e) = tf.take(l) {
+                                return Err(e);
+                            }
+                            let n = conv_index(icls, self.scratch[r + l]).max(0) as usize;
+                            let sp = &self.privs[*src * lanes + l];
+                            if n > sp.len() {
+                                return Err(
+                                    self.oob(format!("private copy {n} of len {}", sp.len()))
+                                );
+                            }
+                            let v = sp[..n].to_vec();
+                            self.privs[*dst * lanes + l] = v;
+                        }
+                    }
+                }
+                DStm::For { slot, bound, body } => {
+                    self.issue_w(mask, bound.cost);
+                    let tf = self.weval(bound, mask)?;
+                    if let Some((_, e)) = tf.into_first() {
+                        return Err(e);
+                    }
+                    let (r, icls) = (bound.result as usize * lanes, bound.class);
+                    // Owned per-For bounds: the body recurses through the
+                    // shared scratch arena.
+                    let mut bounds = vec![0i64; lanes];
+                    let mut uniform = true;
+                    let mut first: Option<i64> = None;
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            let b = conv_index(icls, self.scratch[r + l]);
+                            bounds[l] = b;
+                            match first {
+                                None => first = Some(b),
+                                Some(f) if f != b => uniform = false,
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                    if uniform {
+                        // Uniform fast path: every active lane runs the
+                        // same trip count, so the per-iteration sub-mask
+                        // is the loop mask itself — never rebuilt.
+                        self.u_hits += 1;
+                        let b = first.unwrap_or(0);
+                        for t in 0..b {
+                            if mask.all {
+                                let base = *slot as usize * lanes;
+                                for l in 0..lanes {
+                                    self.files.i64s[base + l] = t;
+                                }
+                            } else {
+                                for l in 0..lanes {
+                                    if mask.on[l] {
+                                        self.files.set_i64(*slot, l, t);
+                                    }
+                                }
+                            }
+                            self.wexec(body, mask)?;
+                        }
+                    } else {
+                        self.u_misses += 1;
+                        let max_bound = (0..lanes)
+                            .filter(|&l| mask.on[l])
+                            .map(|l| bounds[l])
+                            .max()
+                            .unwrap_or(0);
+                        let ws = self.warp_size;
+                        let mut sub = WMask::new(self.take_bits(), ws);
+                        for t in 0..max_bound {
+                            for l in 0..lanes {
+                                sub.on[l] = mask.on[l] && t < bounds[l];
+                            }
+                            sub.recompute(ws);
+                            if !sub.any {
+                                break;
+                            }
+                            for l in 0..lanes {
+                                if sub.on[l] {
+                                    self.files.set_i64(*slot, l, t);
+                                }
+                            }
+                            self.wexec(body, &sub)?;
+                        }
+                        let bits = sub.on;
+                        self.put_bits(bits);
+                    }
+                }
+                DStm::While { cond, body } => {
+                    let ws = self.warp_size;
+                    let mut live = {
+                        let mut v = self.take_bits();
+                        v.copy_from_slice(&mask.on);
+                        WMask::new(v, ws)
+                    };
+                    let mut iterations = 0u64;
+                    loop {
+                        self.issue_w(&live, cond.cost);
+                        let tf = self.weval(cond, &live)?;
+                        if let Some((_, e)) = tf.into_first() {
+                            return Err(e);
+                        }
+                        let r = cond.result as usize * lanes;
+                        let mut dropped = false;
+                        for l in 0..lanes {
+                            if live.on[l] && self.scratch[r + l] == 0 {
+                                live.on[l] = false;
+                                dropped = true;
+                            }
+                        }
+                        if dropped {
+                            live.recompute(ws);
+                            if live.any {
+                                // Divergent exit: some lanes left, some
+                                // loop on under a narrowed mask.
+                                self.u_misses += 1;
+                            } else {
+                                self.u_hits += 1;
+                            }
+                        } else {
+                            // Uniformly true: the mask is unchanged.
+                            self.u_hits += 1;
+                        }
+                        if !live.any {
+                            break;
+                        }
+                        self.wexec(body, &live)?;
+                        iterations += 1;
+                        if iterations > 100_000_000 {
+                            return Err(SimError::RunawayLoop {
+                                kernel: self.dk.name.clone(),
+                            });
+                        }
+                    }
+                    let bits = live.on;
+                    self.put_bits(bits);
+                }
+                DStm::If {
+                    cond,
+                    then_s,
+                    else_s,
+                } => {
+                    self.issue_w(mask, cond.cost);
+                    let tf = self.weval(cond, mask)?;
+                    if let Some((_, e)) = tf.into_first() {
+                        return Err(e);
+                    }
+                    let r = cond.result as usize * lanes;
+                    let (mut any_t, mut any_f) = (false, false);
+                    for l in 0..lanes {
+                        if mask.on[l] {
+                            if self.scratch[r + l] != 0 {
+                                any_t = true;
+                            } else {
+                                any_f = true;
+                            }
+                        }
+                    }
+                    if any_t && any_f {
+                        // Divergent: split the mask and run both arms.
+                        self.u_misses += 1;
+                        let ws = self.warp_size;
+                        let mut tb = self.take_bits();
+                        let mut eb = self.take_bits();
+                        for l in 0..lanes {
+                            if mask.on[l] {
+                                let c = self.scratch[r + l] != 0;
+                                tb[l] = c;
+                                eb[l] = !c;
+                            }
+                        }
+                        let tm = WMask::new(tb, ws);
+                        let em = WMask::new(eb, ws);
+                        self.wexec(then_s, &tm)?;
+                        self.wexec(else_s, &em)?;
+                        self.put_bits(tm.on);
+                        self.put_bits(em.on);
+                    } else {
+                        // Uniform: all active lanes agree. The untaken
+                        // branch would run under an all-false mask — a
+                        // no-op with zero counters — so skip it outright.
+                        self.u_hits += 1;
+                        if any_t {
+                            self.wexec(then_s, mask)?;
+                        } else {
+                            self.wexec(else_s, mask)?;
+                        }
+                    }
+                }
+                DStm::Barrier => {
+                    if !mask.all {
+                        return Err(SimError::DivergentBarrier {
+                            kernel: self.dk.name.clone(),
+                        });
+                    }
+                    self.stats.barriers += 1;
+                    if let Some(s) = self.site() {
+                        s.barriers += 1;
+                    }
+                    self.issue_w(mask, 0);
+                }
+                DStm::At { prov, body } => {
+                    let saved = self.cur_site;
+                    if self.sites.is_some() {
+                        self.cur_site = *prov as usize;
+                    }
+                    let r = self.wexec(body, mask);
+                    self.cur_site = saved;
+                    r?;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Runs one work-group against the shared memory snapshot and returns its
@@ -1369,8 +2576,10 @@ fn run_group(
     lanes: usize,
     num_threads: u64,
     profile: bool,
+    engine: SimEngine,
 ) -> SResult<GroupOut> {
     let n_sites = dk.prov_table.len() + 1;
+    let warp = engine == SimEngine::Warp;
     let mut run = GroupRun {
         dk,
         base,
@@ -1389,12 +2598,38 @@ fn run_group(
         stack: Vec::with_capacity(16),
         offsets: vec![None; lanes],
         segs: Vec::with_capacity(device.warp_size as usize),
+        scratch: if warp {
+            vec![0u64; WREG_FILE as usize * lanes]
+        } else {
+            Vec::new()
+        },
+        icol: if warp { vec![0i64; lanes] } else { Vec::new() },
+        mask_pool: Vec::new(),
+        u_hits: 0,
+        u_misses: 0,
         stats: KernelStats::default(),
         sites: profile.then(|| vec![SiteStats::default(); n_sites]),
         cur_site: n_sites - 1,
     };
-    let mask = vec![true; lanes];
-    run.exec(&dk.body, &mask)?;
+    match engine {
+        SimEngine::Lane => {
+            let mask = vec![true; lanes];
+            run.exec(&dk.body, &mask)?;
+        }
+        SimEngine::Warp => {
+            let mask = WMask::new(vec![true; lanes], run.warp_size);
+            let r = run.wexec(&dk.body, &mask);
+            // Flush uniform-path tallies even when the group faulted.
+            use std::sync::atomic::Ordering;
+            if run.u_hits > 0 {
+                UNIFORM_HITS.fetch_add(run.u_hits, Ordering::Relaxed);
+            }
+            if run.u_misses > 0 {
+                UNIFORM_MISSES.fetch_add(run.u_misses, Ordering::Relaxed);
+            }
+            r?;
+        }
+    }
     Ok(GroupOut {
         stats: run.stats,
         writes: run.writes,
@@ -1454,6 +2689,80 @@ pub fn host_threads() -> usize {
     })
 }
 
+/// Which execution engine runs a group's statement list. Both compute the
+/// same function with bit-identical outputs, errors, and counters; the
+/// warp engine is the fast default, the per-lane engine the independent
+/// reference kept for differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// One opcode dispatch drives every lane: register-form tapes over
+    /// column-major scratch, mask-predicated per-opcode loops, uniform
+    /// control-flow fast path.
+    #[default]
+    Warp,
+    /// The original engine: each lane evaluates postfix tapes on its own
+    /// bit-stack.
+    Lane,
+}
+
+/// The engine selected by the `FUTHARK_SIM_ENGINE` environment variable
+/// (`lane` for the per-lane reference engine, anything else — including
+/// unset — for the warp engine). Cached after the first call, so a
+/// mid-run environment change cannot flip engines between launches.
+pub fn sim_engine() -> SimEngine {
+    use std::sync::OnceLock;
+    static ENGINE: OnceLock<SimEngine> = OnceLock::new();
+    *ENGINE.get_or_init(|| match std::env::var("FUTHARK_SIM_ENGINE") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("lane") => SimEngine::Lane,
+        _ => SimEngine::Warp,
+    })
+}
+
+/// Per-launch options for [`launch_decoded_with`]. The default snapshots
+/// the environment-derived settings ([`host_threads`], [`sim_engine`])
+/// once per process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchOpts {
+    /// Host threads executing independent work-groups.
+    pub threads: usize,
+    /// Whether to bucket counters by source site.
+    pub profile: bool,
+    /// Which execution engine to use.
+    pub engine: SimEngine,
+}
+
+impl Default for LaunchOpts {
+    fn default() -> Self {
+        LaunchOpts {
+            threads: host_threads(),
+            profile: false,
+            engine: sim_engine(),
+        }
+    }
+}
+
+/// Process-wide tallies of control-flow decisions in the warp engine:
+/// how many branch/loop steps took the uniform fast path vs fell back to
+/// per-lane masking. Diagnostic only — deliberately *not* part of
+/// [`KernelStats`], so engine choice cannot perturb profiled counters.
+static UNIFORM_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static UNIFORM_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Returns `(uniform_hits, divergent_misses)` accumulated by the warp
+/// engine since the last [`warp_uniform_reset`].
+pub fn warp_uniform_counters() -> (u64, u64) {
+    (
+        UNIFORM_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        UNIFORM_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+/// Zeroes the process-wide uniform-path counters.
+pub fn warp_uniform_reset() {
+    UNIFORM_HITS.store(0, std::sync::atomic::Ordering::Relaxed);
+    UNIFORM_MISSES.store(0, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Minimum group count before spawning worker threads: below this the
 /// per-thread setup costs more than the parallelism recovers.
 const PAR_MIN_GROUPS: u64 = 2;
@@ -1478,7 +2787,45 @@ pub fn launch_decoded(
     mem: &mut DeviceMemory,
     threads: usize,
 ) -> SResult<KernelStats> {
-    launch_decoded_impl(device, dk, num_threads, args, mem, threads, false).map(|(s, _)| s)
+    launch_decoded_impl(
+        device,
+        dk,
+        num_threads,
+        args,
+        mem,
+        threads,
+        false,
+        sim_engine(),
+    )
+    .map(|(s, _)| s)
+}
+
+/// Launches a pre-decoded kernel with explicit [`LaunchOpts`] — the one
+/// entry point that exposes engine selection programmatically. Outputs,
+/// errors, and counters are bit-identical across engines, thread counts,
+/// and profiling.
+///
+/// # Errors
+///
+/// Exactly as [`launch_decoded`].
+pub fn launch_decoded_with(
+    device: &DeviceProfile,
+    dk: &DecodedKernel,
+    num_threads: u64,
+    args: &[Arg],
+    mem: &mut DeviceMemory,
+    opts: LaunchOpts,
+) -> SResult<(KernelStats, Option<Vec<SiteStats>>)> {
+    launch_decoded_impl(
+        device,
+        dk,
+        num_threads,
+        args,
+        mem,
+        opts.threads,
+        opts.profile,
+        opts.engine,
+    )
 }
 
 /// Like [`launch_decoded`], but additionally buckets counters by source
@@ -1498,8 +2845,17 @@ pub fn launch_decoded_profiled(
     mem: &mut DeviceMemory,
     threads: usize,
 ) -> SResult<(KernelStats, Vec<SiteStats>)> {
-    launch_decoded_impl(device, dk, num_threads, args, mem, threads, true)
-        .map(|(s, sites)| (s, sites.expect("profiled launch returns sites")))
+    launch_decoded_impl(
+        device,
+        dk,
+        num_threads,
+        args,
+        mem,
+        threads,
+        true,
+        sim_engine(),
+    )
+    .map(|(s, sites)| (s, sites.expect("profiled launch returns sites")))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1511,6 +2867,7 @@ fn launch_decoded_impl(
     mem: &mut DeviceMemory,
     threads: usize,
     profile: bool,
+    engine: SimEngine,
 ) -> SResult<(KernelStats, Option<Vec<SiteStats>>)> {
     let group_size = device.group_size as u64;
     let num_groups = num_threads.div_ceil(group_size).max(1);
@@ -1588,6 +2945,7 @@ fn launch_decoded_impl(
             lanes,
             num_threads,
             profile,
+            engine,
         ))
     };
 
@@ -1978,6 +3336,214 @@ mod tests {
             assert_eq!(v[0], 0);
             assert_eq!(v[299], 598);
             assert_eq!(v[599], 1198);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Register allocator (reg_compile): determinism, spills, type classes
+    // -----------------------------------------------------------------------
+
+    /// `out[i] = c1 + (c2 + (… + (c_depth + i)))`, built without the
+    /// constant-folding helpers so the postfix stack reaches `depth + 1`
+    /// live slots — past the warp register file for `depth >= 16`.
+    fn deep_sum_kernel(depth: usize) -> Kernel {
+        let mut e = KExp::GlobalId;
+        for i in (1..=depth).rev() {
+            e = KExp::BinOp(BinOp::Add, Box::new(KExp::i64(i as i64)), Box::new(e));
+        }
+        Kernel {
+            name: "deep_sum".into(),
+            params: vec![KParam::Buffer(ScalarType::I64)],
+            locals: vec![],
+            num_regs: 0,
+            num_priv: 0,
+            prov_table: vec![],
+            body: vec![KStm::GlobalWrite {
+                buf: 0,
+                index: KExp::GlobalId,
+                value: e,
+            }],
+        }
+    }
+
+    /// The value tape of a kernel whose single statement is a GlobalWrite.
+    fn write_value_tape(dk: &DecodedKernel) -> &Tape {
+        match &dk.body[..] {
+            [DStm::GlobalWrite { value, .. }] => value,
+            other => panic!("expected a single GlobalWrite, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_allocation_is_deterministic() {
+        // Same tape, same assignment — decode twice and demand identical
+        // register-form instructions (profgate's bit-for-bit baseline
+        // depends on this).
+        let k = deep_sum_kernel(20);
+        let a = DecodedKernel::decode(&k).unwrap();
+        let b = DecodedKernel::decode(&k).unwrap();
+        let (ta, tb) = (write_value_tape(&a), write_value_tape(&b));
+        assert_eq!(ta.winstrs, tb.winstrs);
+        assert_eq!(ta.n_regs, tb.n_regs);
+        assert_eq!(ta.result, tb.result);
+        // And directly on the allocator, with every leaf opcode kind.
+        let ops = vec![
+            EOp::GlobalId,
+            EOp::Const(7),
+            EOp::Bin(BinOp::Add, ScalarType::I64),
+            EOp::LocalId,
+            EOp::Bin(BinOp::Mul, ScalarType::I64),
+        ];
+        assert_eq!(reg_compile(&ops), reg_compile(&ops));
+    }
+
+    #[test]
+    fn binary_ops_reuse_the_left_operand_register() {
+        // The LIFO free list hands a binary op's destination its left
+        // operand's register, so a left-leaning chain runs in two
+        // registers flat.
+        let ops = vec![
+            EOp::Const(1),
+            EOp::Const(2),
+            EOp::Bin(BinOp::Add, ScalarType::I64),
+            EOp::Const(3),
+            EOp::Bin(BinOp::Add, ScalarType::I64),
+        ];
+        let (winstrs, n_regs, result) = reg_compile(&ops);
+        assert_eq!(n_regs, 2);
+        assert_eq!(result, 0);
+        for w in &winstrs {
+            if let WInstr::Bin { dst, a, .. } = w {
+                assert_eq!(dst, a, "destination must reuse the left operand");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_tapes_spill_past_the_register_file_and_still_evaluate() {
+        let depth = 24usize;
+        let dk = DecodedKernel::decode(&deep_sum_kernel(depth)).unwrap();
+        let tape = write_value_tape(&dk);
+        assert!(
+            tape.n_regs > WREG_FILE,
+            "depth {depth} should exceed the {WREG_FILE}-register file, used {}",
+            tape.n_regs
+        );
+        assert_eq!(tape.spills(), tape.n_regs - WREG_FILE);
+        // The spilling tape must still evaluate correctly on both engines.
+        let dev = DeviceProfile::gtx780();
+        let n = 300usize;
+        let base: i64 = (1..=depth as i64).sum();
+        let run = |engine: SimEngine| {
+            let mut mem = DeviceMemory::new();
+            let out = mem.alloc(ScalarType::I64, n).unwrap();
+            let opts = LaunchOpts {
+                threads: 1,
+                profile: false,
+                engine,
+            };
+            let (stats, _) =
+                launch_decoded_with(&dev, &dk, n as u64, &[Arg::Buffer(out)], &mut mem, opts)
+                    .unwrap();
+            (stats, mem.download(out).unwrap().clone())
+        };
+        let (wstats, wout) = run(SimEngine::Warp);
+        let (lstats, lout) = run(SimEngine::Lane);
+        assert_eq!(wstats, lstats);
+        assert_eq!(wout, lout);
+        let Buffer::I64(v) = wout else { panic!() };
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, base + i as i64);
+        }
+    }
+
+    #[test]
+    fn mixed_class_tapes_carry_inferred_types() {
+        // i64 lane id → f64, scaled — the register form must carry the
+        // conversion endpoints and the f64 operand class, and the tape's
+        // own class must be the converted one.
+        let k = Kernel {
+            name: "mixed_tape".into(),
+            params: vec![KParam::Buffer(ScalarType::F64)],
+            locals: vec![],
+            num_regs: 0,
+            num_priv: 0,
+            prov_table: vec![],
+            body: vec![KStm::GlobalWrite {
+                buf: 0,
+                index: KExp::GlobalId,
+                value: KExp::BinOp(
+                    BinOp::Mul,
+                    Box::new(KExp::Convert(ScalarType::F64, Box::new(KExp::GlobalId))),
+                    Box::new(KExp::Const(Scalar::F64(0.5))),
+                ),
+            }],
+        };
+        let dk = DecodedKernel::decode(&k).unwrap();
+        let tape = write_value_tape(&dk);
+        assert_eq!(tape.class, ScalarType::F64);
+        assert!(
+            tape.winstrs.iter().any(|w| matches!(
+                w,
+                WInstr::Conv {
+                    from: ScalarType::I64,
+                    to: ScalarType::F64,
+                    ..
+                }
+            )),
+            "conversion endpoints missing: {:?}",
+            tape.winstrs
+        );
+        assert!(
+            tape.winstrs.iter().any(|w| matches!(
+                w,
+                WInstr::Bin {
+                    op: BinOp::Mul,
+                    t: ScalarType::F64,
+                    ..
+                }
+            )),
+            "f64 operand class missing: {:?}",
+            tape.winstrs
+        );
+        // Booleans join through comparisons: the cond tape of an If over
+        // an i64 comparison is a Bool tape whose Cmp carries the i64
+        // operand class.
+        let kb = Kernel {
+            name: "bool_tape".into(),
+            params: vec![KParam::Buffer(ScalarType::I64)],
+            locals: vec![],
+            num_regs: 0,
+            num_priv: 0,
+            prov_table: vec![],
+            body: vec![KStm::If {
+                cond: KExp::Cmp(CmpOp::Lt, Box::new(KExp::GlobalId), Box::new(KExp::i64(4))),
+                then_s: vec![KStm::GlobalWrite {
+                    buf: 0,
+                    index: KExp::GlobalId,
+                    value: KExp::GlobalId,
+                }],
+                else_s: vec![],
+            }],
+        };
+        let dkb = DecodedKernel::decode(&kb).unwrap();
+        match &dkb.body[..] {
+            [DStm::If { cond, .. }] => {
+                assert_eq!(cond.class, ScalarType::Bool);
+                assert!(
+                    cond.winstrs.iter().any(|w| matches!(
+                        w,
+                        WInstr::Cmp {
+                            op: CmpOp::Lt,
+                            t: ScalarType::I64,
+                            ..
+                        }
+                    )),
+                    "i64 comparison class missing: {:?}",
+                    cond.winstrs
+                );
+            }
+            other => panic!("expected a single If, found {other:?}"),
         }
     }
 }
