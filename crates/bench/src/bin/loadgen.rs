@@ -1,0 +1,404 @@
+//! loadgen — replay a mixed workload against an in-process `futharkd`.
+//!
+//! The workload mixes the sixteen paper benchmarks (small datasets) with
+//! fuzz-generated programs, shuffled per client, and drives them through
+//! [`futhark_serve::Daemon`] at one or more concurrency levels. Each
+//! level runs two phases against a fresh daemon:
+//!
+//! - **cold** — first pass; every artifact compiles (all cache misses);
+//! - **warm** — the same workload twice more; every job must hit the
+//!   artifact cache (warm hit rate ≈ 1.0).
+//!
+//! Each phase reports p50/p99 latency, jobs/sec, and the phase's cache
+//! hit rate. The run also submits a deliberately over-capacity job
+//! (an 8 GiB `replicate` against a 3 GiB device) and demands an
+//! *admission* rejection carrying the predicted footprint — and it scans
+//! every response to assert that no job ever died of a mid-flight
+//! `OutOfMemory`: under admission control, jobs that cannot fit are
+//! rejected up front.
+//!
+//! Usage: loadgen [--quick] [--clients N] [--sweep] [--fuzz N] [--out FILE]
+//!        loadgen --check-schema FILE
+//!
+//!   --quick       CI smoke: fewer fuzz programs and warm repeats
+//!   --clients N   client threads (default 4; ignored with --sweep)
+//!   --sweep       run the 1/4/16-client ladder (the EXPERIMENTS table)
+//!   --fuzz N      fuzz-generated programs in the mix (default 8)
+//!   --out FILE    output path (default BENCH_serve.json)
+//!   --check-schema FILE  compare FILE's JSON schema (recursive key set)
+//!                 against what loadgen writes today; exit 1 on drift
+
+use futhark::DeviceProfile;
+use futhark_bench::all_benchmarks;
+use futhark_serve::proto::value_to_json;
+use futhark_serve::{Daemon, DaemonConfig};
+use futhark_trace::Json;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One job of the workload: a ready-to-send request line.
+#[derive(Clone)]
+struct Job {
+    name: String,
+    line: String,
+}
+
+fn run_line(id: &str, source: &str, args: &[futhark_core::Value]) -> String {
+    Json::obj(vec![
+        ("op", Json::Str("run".into())),
+        ("id", Json::Str(id.into())),
+        ("source", Json::Str(source.into())),
+        ("args", Json::Arr(args.iter().map(value_to_json).collect())),
+    ])
+    .render()
+}
+
+/// The benchmark + fuzz workload. Fuzz cases are pre-filtered: only
+/// programs that compile and run cleanly join the mix (loadgen measures
+/// the server, not the generator's failure modes).
+fn build_workload(fuzz_count: usize) -> Vec<Job> {
+    let mut jobs: Vec<Job> = all_benchmarks()
+        .into_iter()
+        .map(|b| Job {
+            name: b.name.to_string(),
+            line: run_line(b.name, &b.source, &b.small_args),
+        })
+        .collect();
+    let mut seed = 0u64;
+    let cfg = futhark_fuzz::GenConfig::default();
+    while jobs.len() < 16 + fuzz_count {
+        let case = futhark_fuzz::generate(futhark_fuzz::case_seed(0x10ad, seed), &cfg);
+        seed += 1;
+        let source = case.source();
+        let args = case.args();
+        let ok = futhark::Compiler::new()
+            .compile(&source)
+            .ok()
+            .and_then(|c| c.run(futhark::Device::Gtx780, &args).ok())
+            .is_some();
+        if ok {
+            let name = format!("fuzz-{seed}");
+            jobs.push(Job {
+                line: run_line(&name, &source, &args),
+                name,
+            });
+        }
+    }
+    jobs
+}
+
+struct PhaseOut {
+    latencies_ms: Vec<f64>,
+    wall_s: f64,
+    hit_rate: f64,
+    oom: u64,
+    errors: Vec<String>,
+}
+
+/// Runs `passes` passes over the workload on `clients` threads pulling
+/// from a shared queue, rotating each client's starting offset so the
+/// tenants interleave.
+fn run_phase(daemon: &Daemon, jobs: &[Job], clients: usize, passes: usize) -> PhaseOut {
+    let before = daemon.stats().cache;
+    let queue: VecDeque<Job> = (0..passes).flat_map(|_| jobs.iter().cloned()).collect();
+    let queue = Mutex::new(queue);
+    let lat = Mutex::new(Vec::new());
+    let oom = Mutex::new(0u64);
+    let errors = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let daemon = daemon.clone();
+            let queue = &queue;
+            let lat = &lat;
+            let oom = &oom;
+            let errors = &errors;
+            scope.spawn(move || loop {
+                let job = match queue.lock().expect("queue lock").pop_front() {
+                    Some(j) => j,
+                    None => break,
+                };
+                let t = Instant::now();
+                let resp = daemon.handle_line(&job.line);
+                lat.lock()
+                    .expect("lat lock")
+                    .push(t.elapsed().as_secs_f64() * 1e3);
+                let j = Json::parse(&resp).expect("response is JSON");
+                if j.get("status").and_then(Json::as_str) != Some("ok") {
+                    let msg = j
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    if msg.contains("out of device memory") {
+                        *oom.lock().expect("oom lock") += 1;
+                    }
+                    errors
+                        .lock()
+                        .expect("errors lock")
+                        .push(format!("{}: {msg}", job.name));
+                }
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let after = daemon.stats().cache;
+    let lookups = (after.hits + after.misses) - (before.hits + before.misses);
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        (after.hits - before.hits) as f64 / lookups as f64
+    };
+    let mut latencies_ms = lat.into_inner().expect("lat lock");
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    PhaseOut {
+        latencies_ms,
+        wall_s,
+        hit_rate,
+        oom: oom.into_inner().expect("oom lock"),
+        errors: errors.into_inner().expect("errors lock"),
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+fn phase_json(p: &PhaseOut) -> Json {
+    Json::obj(vec![
+        ("jobs", Json::U64(p.latencies_ms.len() as u64)),
+        ("p50_ms", Json::F64(percentile(&p.latencies_ms, 50.0))),
+        ("p99_ms", Json::F64(percentile(&p.latencies_ms, 99.0))),
+        (
+            "jobs_per_sec",
+            Json::F64(p.latencies_ms.len() as f64 / p.wall_s.max(1e-9)),
+        ),
+        ("cache_hit_rate", Json::F64(p.hit_rate)),
+    ])
+}
+
+fn main() {
+    let mut quick = false;
+    let mut clients = 4usize;
+    let mut sweep = false;
+    let mut fuzz_count = 8usize;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut schema: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().expect("flag value");
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--clients" => clients = val().parse().expect("--clients N"),
+            "--sweep" => sweep = true,
+            "--fuzz" => fuzz_count = val().parse().expect("--fuzz N"),
+            "--out" => out = val(),
+            "--check-schema" => schema = Some(val()),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2)
+            }
+        }
+    }
+    if quick {
+        fuzz_count = fuzz_count.min(4);
+    }
+    let warm_passes = if quick { 1 } else { 2 };
+
+    eprintln!("loadgen: building workload (16 benchmarks + {fuzz_count} fuzz programs)");
+    let jobs = build_workload(fuzz_count);
+    let levels: Vec<usize> = if sweep { vec![1, 4, 16] } else { vec![clients] };
+
+    let mut level_rows = Vec::new();
+    let mut total_oom = 0u64;
+    let mut warm_rates = Vec::new();
+    for &c in &levels {
+        // A fresh daemon per level: cold means cold.
+        let daemon = Daemon::new(DaemonConfig {
+            devices: (0..c.min(8))
+                .map(|i| {
+                    let mut d = DeviceProfile::gtx780();
+                    d.name = format!("gtx780#{i}");
+                    d
+                })
+                .collect(),
+            workers: c,
+            cache_capacity: 256,
+        });
+        eprintln!("loadgen: {c} client(s), cold pass ({} jobs)", jobs.len());
+        let cold = run_phase(&daemon, &jobs, c, 1);
+        for e in &cold.errors {
+            eprintln!("loadgen: cold-phase job failed: {e}");
+        }
+        eprintln!(
+            "loadgen: {c} client(s), warm pass ({} jobs)",
+            jobs.len() * warm_passes
+        );
+        let warm = run_phase(&daemon, &jobs, c, warm_passes);
+        for e in &warm.errors {
+            eprintln!("loadgen: warm-phase job failed: {e}");
+        }
+        if !cold.errors.is_empty() || !warm.errors.is_empty() {
+            eprintln!("loadgen: workload jobs must all succeed");
+            std::process::exit(1);
+        }
+        total_oom += cold.oom + warm.oom;
+        warm_rates.push(warm.hit_rate);
+        level_rows.push(Json::obj(vec![
+            ("clients", Json::U64(c as u64)),
+            ("cold", phase_json(&cold)),
+            ("warm", phase_json(&warm)),
+        ]));
+    }
+
+    // Admission-control probe: an 8 GiB replicate against 3 GiB devices
+    // must be rejected up front with the prediction attached.
+    let daemon = Daemon::new(DaemonConfig::default());
+    let huge = run_line(
+        "over-capacity",
+        "fun main (n: i64): [n]i64 = replicate n 7",
+        &[futhark_core::Value::i64(1i64 << 30)],
+    );
+    let resp = Json::parse(&daemon.handle_line(&huge)).expect("response is JSON");
+    let rejected = resp.get("kind").and_then(Json::as_str) == Some("admission");
+    let predicted = resp
+        .get("predicted_peak_bytes")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let capacity = resp.get("capacity").and_then(Json::as_u64).unwrap_or(0);
+
+    let doc = Json::obj(vec![
+        (
+            "workload",
+            Json::obj(vec![
+                ("benchmarks", Json::U64(16)),
+                ("fuzz_programs", Json::U64(fuzz_count as u64)),
+                ("jobs_per_pass", Json::U64(jobs.len() as u64)),
+                ("warm_passes", Json::U64(warm_passes as u64)),
+            ]),
+        ),
+        ("levels", Json::Arr(level_rows)),
+        (
+            "admission",
+            Json::obj(vec![
+                ("rejected", Json::Bool(rejected)),
+                ("predicted_peak_bytes", Json::U64(predicted)),
+                ("capacity_bytes", Json::U64(capacity)),
+            ]),
+        ),
+        ("mid_flight_oom", Json::U64(total_oom)),
+    ]);
+
+    if let Some(path) = schema {
+        check_schema(&path, &doc);
+    }
+
+    // The serve contract, asserted on every run.
+    let mut failed = false;
+    if total_oom != 0 {
+        eprintln!("loadgen: FAIL — {total_oom} mid-flight OutOfMemory job(s); admission must prevent these");
+        failed = true;
+    }
+    if !rejected || predicted <= capacity {
+        eprintln!("loadgen: FAIL — over-capacity probe was not rejected at admission (predicted {predicted}, capacity {capacity})");
+        failed = true;
+    }
+    for (c, rate) in levels.iter().zip(&warm_rates) {
+        if *rate < 0.999 {
+            eprintln!("loadgen: FAIL — warm hit rate {rate:.3} at {c} client(s); expected ~1.0");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    std::fs::write(&out, doc.render_pretty()).expect("write results");
+    println!("loadgen: wrote {out}");
+    for (c, row) in levels
+        .iter()
+        .zip(doc.get("levels").and_then(Json::as_arr).expect("levels"))
+    {
+        let g = |ph: &str, k: &str| {
+            row.get(ph)
+                .and_then(|p| p.get(k))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "  {c:>2} client(s): cold p50 {:7.2} ms  p99 {:7.2} ms  {:6.1} jobs/s | warm p50 {:7.2} ms  p99 {:7.2} ms  {:6.1} jobs/s  hit rate {:.3}",
+            g("cold", "p50_ms"),
+            g("cold", "p99_ms"),
+            g("cold", "jobs_per_sec"),
+            g("warm", "p50_ms"),
+            g("warm", "p99_ms"),
+            g("warm", "jobs_per_sec"),
+            g("warm", "cache_hit_rate"),
+        );
+    }
+}
+
+/// Collects every key path of a JSON document (objects recurse by key,
+/// arrays contribute one `[]` step per distinct element shape) — the
+/// document's *schema*, independent of its values.
+fn schema_paths(j: &Json, prefix: &str, out: &mut std::collections::BTreeSet<String>) {
+    match j {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                out.insert(p.clone());
+                schema_paths(v, &p, out);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items {
+                schema_paths(v, &format!("{prefix}[]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares the committed results file's schema against the document
+/// loadgen writes today. Exits 0 when the key sets match, 1 on drift.
+fn check_schema(path: &str, current: &Json) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        std::process::exit(1)
+    });
+    let committed = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("parsing {path}: {e}");
+        std::process::exit(1)
+    });
+    let mut want = std::collections::BTreeSet::new();
+    let mut have = std::collections::BTreeSet::new();
+    schema_paths(current, "", &mut want);
+    schema_paths(&committed, "", &mut have);
+    if want == have {
+        println!(
+            "schema OK: {path} matches the current loadgen output ({} key paths)",
+            want.len()
+        );
+        std::process::exit(0)
+    }
+    for missing in want.difference(&have) {
+        println!("schema drift: {path} is missing {missing:?}");
+    }
+    for extra in have.difference(&want) {
+        println!("schema drift: {path} has stale key {extra:?}");
+    }
+    eprintln!(
+        "schema of {path} drifted; regenerate with:\n  \
+         cargo run --release -p futhark-bench --bin loadgen -- --sweep --out {path}"
+    );
+    std::process::exit(1)
+}

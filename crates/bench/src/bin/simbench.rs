@@ -367,7 +367,7 @@ fn run_config(
     for _ in 0..launches {
         last = launch_decoded_with(device, dk, n as u64, args, mem, opts)
             .expect("simbench kernel faulted")
-            .0;
+            .stats;
     }
     (t0.elapsed().as_secs_f64(), last)
 }

@@ -4,10 +4,11 @@
 //! For each benchmark the full pipeline runs once on the per-lane
 //! reference engine and once on the warp engine (same device profile,
 //! sequential groups), timing the whole run and demanding bit-identical
-//! aggregate [`futhark::KernelStats`]. Around the warp run the
-//! process-wide uniform-control-flow counters are reset and read, giving
+//! aggregate [`futhark::KernelStats`]. The warp run's own
+//! [`PerfReport::uniform_hits`]/[`PerfReport::uniform_misses`] tallies give
 //! the fraction of divergence points (branches, loops) whose warps turned
-//! out to be uniform and took the single-sided fast path.
+//! out to be uniform and took the single-sided fast path — per-run values,
+//! unperturbed by anything else executing in the process.
 //!
 //! Output is the markdown table embedded in EXPERIMENTS.md; regenerate it
 //! with:
@@ -21,9 +22,7 @@
 //!   --markdown   emit a GitHub-flavoured markdown table (default: aligned
 //!                plain text)
 
-use futhark::{
-    warp_uniform_counters, warp_uniform_reset, Device, PerfReport, RunOptions, SimEngine,
-};
+use futhark::{Device, PerfReport, RunOptions, SimEngine};
 use std::time::Instant;
 
 /// Lanes executed per wall-clock second: every launch contributes its
@@ -65,9 +64,8 @@ fn main() {
         // Warm-up, then one timed run per engine.
         let _ = run(SimEngine::Warp);
         let (lane_s, lane_perf) = run(SimEngine::Lane);
-        warp_uniform_reset();
         let (warp_s, warp_perf) = run(SimEngine::Warp);
-        let (hits, misses) = warp_uniform_counters();
+        let (hits, misses) = (warp_perf.uniform_hits, warp_perf.uniform_misses);
         assert_eq!(
             lane_perf.stats, warp_perf.stats,
             "{}: warp stats diverged from the per-lane engine",

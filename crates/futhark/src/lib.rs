@@ -48,7 +48,7 @@ pub use futhark_gpu::exec::{ExecError, LaunchRecord, PerfReport, RunOptions, Tim
 pub use futhark_gpu::sim::{
     Limiter, MemEvent, MemOp, MemStats, SimError, SiteStats, TimeBreakdown,
 };
-pub use futhark_gpu::{sim_engine, warp_uniform_counters, warp_uniform_reset, SimEngine};
+pub use futhark_gpu::{sim_engine, SimEngine};
 pub use futhark_trace::{CompileReport, Counters, IrSize, Json, PassSpan};
 
 /// The two simulated devices of the paper's evaluation.
@@ -496,6 +496,24 @@ impl Compiled {
     ) -> Result<(Vec<Value>, PerfReport), Error> {
         let profile = device.profile();
         let (vals, report) = exec::run_with_opts(&self.plan, &self.prog, &profile, args, opts)?;
+        Ok((vals, report))
+    }
+
+    /// Runs the program on a custom device profile with explicit
+    /// [`RunOptions`] — the entry point a multi-tenant server wants:
+    /// per-request thread count and engine (never process-global state)
+    /// against a per-device capacity model.
+    ///
+    /// # Errors
+    ///
+    /// As [`Compiled::run`].
+    pub fn run_on_with_opts(
+        &self,
+        profile: &DeviceProfile,
+        args: &[Value],
+        opts: RunOptions,
+    ) -> Result<(Vec<Value>, PerfReport), Error> {
+        let (vals, report) = exec::run_with_opts(&self.plan, &self.prog, profile, args, opts)?;
         Ok((vals, report))
     }
 

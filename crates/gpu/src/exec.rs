@@ -285,6 +285,15 @@ pub struct PerfReport {
     /// Device-memory counters for the run: allocations, frees, slot and
     /// in-place reuses, hoisted writes, and the live/peak byte footprint.
     pub mem: MemStats,
+    /// Warp-engine control-flow decisions that took the uniform fast path,
+    /// summed over this run's launches. Always zero under the lane engine.
+    /// Diagnostic only: engine-dependent by design, and therefore excluded
+    /// from the differential oracle and the profgate baseline (which
+    /// compare `stats`/launch counts, never these).
+    pub uniform_hits: u64,
+    /// Warp-engine control-flow decisions that fell back to per-lane
+    /// masking, summed over this run's launches.
+    pub uniform_misses: u64,
 }
 
 impl PerfReport {
@@ -373,6 +382,8 @@ impl PerfReport {
                 Json::Arr(self.timeline.iter().map(TimelineEvent::to_json).collect()),
             ),
             ("mem", self.mem.to_json()),
+            ("uniform_hits", Json::U64(self.uniform_hits)),
+            ("uniform_misses", Json::U64(self.uniform_misses)),
         ]);
         if !self.per_site.is_empty() {
             if let Json::Obj(fields) = &mut j {
@@ -423,6 +434,9 @@ impl PerfReport {
             .get("mem")
             .and_then(MemStats::from_json)
             .unwrap_or_default();
+        // Uniform-path tallies are optional too: traces from before the
+        // counters moved off process-wide statics simply lack them.
+        let uniform = |key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
         Some(PerfReport {
             total_us: j.get("total_us")?.as_f64()?,
             kernel_us: j.get("kernel_us")?.as_f64()?,
@@ -435,6 +449,8 @@ impl PerfReport {
             timeline,
             per_site,
             mem,
+            uniform_hits: uniform("uniform_hits"),
+            uniform_misses: uniform("uniform_misses"),
         })
     }
 }
@@ -521,10 +537,12 @@ pub fn run_with_threads(
 
 /// Execution-time options for [`run_with_opts`].
 ///
-/// The default snapshots the environment-derived settings
-/// ([`host_threads`], [`sim_engine`]) through process-wide caches, so a
-/// mid-run environment change can never desynchronize two executions that
-/// are being compared differentially.
+/// The default reads the environment-derived settings ([`host_threads`],
+/// [`sim_engine`]) at construction time, as a default-only fallback:
+/// explicit fields always win, per request — nothing is latched
+/// process-wide, so a long-lived server honours each job's own engine and
+/// thread-count settings. Differential comparisons that must hold two runs
+/// to one configuration should build one `RunOptions` and reuse it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// Host worker threads for parallel group execution (`1` = sequential).
@@ -1552,16 +1570,19 @@ impl<'a> Executor<'a> {
             profile: self.profile,
             engine: self.engine,
         };
+        let out = crate::tape::launch_decoded_with(
+            self.device,
+            dk,
+            num_threads,
+            &args,
+            &mut self.mem,
+            opts,
+        )?;
+        self.report.uniform_hits += out.uniform_hits;
+        self.report.uniform_misses += out.uniform_misses;
         let stats = if self.profile {
-            let (stats, sites) = crate::tape::launch_decoded_with(
-                self.device,
-                dk,
-                num_threads,
-                &args,
-                &mut self.mem,
-                opts,
-            )?;
-            let sites = sites.expect("profiled launch returns sites");
+            let stats = out.stats;
+            let sites = out.sites.expect("profiled launch returns sites");
             // Modelled-time attribution: the launch's busy time (total
             // minus overhead) splits across sites in proportion to their
             // share of whichever counter bound this launch.
@@ -1595,15 +1616,7 @@ impl<'a> Executor<'a> {
             }
             stats
         } else {
-            crate::tape::launch_decoded_with(
-                self.device,
-                dk,
-                num_threads,
-                &args,
-                &mut self.mem,
-                opts,
-            )?
-            .0
+            out.stats
         };
         let breakdown = sim::kernel_time_breakdown(self.device, &stats);
         let t = breakdown.total_us();

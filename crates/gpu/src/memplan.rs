@@ -836,3 +836,482 @@ fn rewrite_body(body: &mut HBody, scope: usize, next_scope: &mut usize, edits: &
     }
     body.stms = out;
 }
+
+// ---------------------------------------------------------------------------
+// Static peak-memory prediction (admission control)
+// ---------------------------------------------------------------------------
+
+/// A statically predicted device-memory peak for one run of a plan on
+/// concrete arguments.
+///
+/// The prediction is a **lower bound** on the executor's measured
+/// `MemStats::peak_bytes`: every allocation the predictor cannot size
+/// (an unknown dimension, an interpreter fallback of unknown result
+/// shape) contributes zero and clears [`PeakPrediction::exact`], and
+/// loop bodies are walked once even though later iterations may allocate
+/// more. The bound is what admission control needs — a job whose *lower*
+/// bound already exceeds a device's capacity provably cannot run, so it
+/// can be rejected before any device work starts, while a job under the
+/// bound is admitted and still protected by the executor's own
+/// capacity-modelled arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeakPrediction {
+    /// Predicted peak live device bytes (a lower bound on the measured
+    /// peak).
+    pub peak_bytes: u64,
+    /// Whether every allocation was sized precisely and no loop or
+    /// unknown branch was involved. When `true` the prediction is the
+    /// exact straight-line peak; when `false` it is only a lower bound.
+    pub exact: bool,
+}
+
+/// What the predictor knows about one bound array: which abstract
+/// buffer root it aliases (the byte size lives in [`PState::live`]).
+#[derive(Clone, Copy)]
+struct PArr {
+    root: u64,
+}
+
+/// The abstract machine state: a scalar environment (sizes flow through
+/// host arithmetic), array-to-root aliasing, and the live-set byte
+/// accounting that yields the peak.
+#[derive(Clone, Default)]
+struct PState {
+    scalars: HashMap<Name, futhark_core::Scalar>,
+    arrays: HashMap<Name, PArr>,
+    /// Live abstract buffers: root id -> bytes (so a [`HStm::Free`] of a
+    /// whole alias class subtracts each buffer exactly once).
+    live: HashMap<u64, u64>,
+    next_root: u64,
+    live_bytes: u64,
+    peak_bytes: u64,
+    exact: bool,
+}
+
+impl PState {
+    fn alloc(&mut self, bytes: u64) -> PArr {
+        let root = self.next_root;
+        self.next_root += 1;
+        self.live.insert(root, bytes);
+        self.live_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        PArr { root }
+    }
+
+    fn free_root(&mut self, root: u64) {
+        if let Some(bytes) = self.live.remove(&root) {
+            self.live_bytes = self.live_bytes.saturating_sub(bytes);
+        }
+    }
+
+    fn sub(&self, se: &SubExp) -> Option<futhark_core::Scalar> {
+        match se {
+            SubExp::Const(k) => Some(*k),
+            SubExp::Var(v) => self.scalars.get(v).copied(),
+        }
+    }
+
+    fn sub_u64(&self, se: &SubExp) -> Option<u64> {
+        self.sub(se)?.as_i64().map(|k| k.max(0) as u64)
+    }
+
+    /// Element count of a shape in `SubExp`s, with `-1` standing for the
+    /// surrounding launch's thread count.
+    fn elems_of(&self, shape: &[SubExp], num_threads: Option<u64>) -> Option<u64> {
+        let mut total = 1u64;
+        for d in shape {
+            let n = if *d == SubExp::i64(-1) {
+                num_threads?
+            } else {
+                self.sub_u64(d)?
+            };
+            total = total.saturating_mul(n);
+        }
+        Some(total)
+    }
+
+    /// Byte size of an array-typed binding, from its checked type.
+    fn bytes_of_type(&self, ty: &Type) -> Option<u64> {
+        match ty {
+            Type::Scalar(_) => None,
+            Type::Array(at) => {
+                let mut total = at.elem.byte_size() as u64;
+                for d in &at.dims {
+                    let n = match d {
+                        futhark_core::Size::Const(k) => (*k).max(0) as u64,
+                        futhark_core::Size::Var(v) => self.scalars.get(v)?.as_i64()?.max(0) as u64,
+                    };
+                    total = total.saturating_mul(n);
+                }
+                Some(total)
+            }
+        }
+    }
+
+    /// Bind an array-typed pattern element to a freshly allocated buffer
+    /// sized from its type, or record imprecision if the size is unknown.
+    fn bind_fresh(&mut self, name: &Name, ty: &Type) {
+        match self.bytes_of_type(ty) {
+            Some(b) => {
+                let a = self.alloc(b);
+                self.arrays.insert(name.clone(), a);
+            }
+            None => {
+                self.exact = false;
+                self.arrays.remove(name);
+            }
+        }
+    }
+
+    /// Bind a pattern element to whatever a result operand denotes:
+    /// arrays alias, known scalars copy, unknowns clear the binding.
+    fn bind_result(&mut self, pe: &futhark_core::PatElem, se: &SubExp) {
+        match se {
+            SubExp::Const(k) => {
+                self.scalars.insert(pe.name.clone(), *k);
+            }
+            SubExp::Var(v) => {
+                if let Some(a) = self.arrays.get(v).cloned() {
+                    self.arrays.insert(pe.name.clone(), a);
+                } else if let Some(s) = self.scalars.get(v).copied() {
+                    self.scalars.insert(pe.name.clone(), s);
+                } else {
+                    self.scalars.remove(&pe.name);
+                    self.arrays.remove(&pe.name);
+                    if matches!(pe.ty, Type::Array(_)) {
+                        self.exact = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Predict the device-memory peak of running `plan` on `args` against
+/// `device`, without executing anything.
+///
+/// The walk mirrors the executor's allocation behaviour statement by
+/// statement: `iota`/`replicate`/`copy`/`concat`/slice-`index`/`update`
+/// allocate their result, `rearrange` and (row-major) `reshape` alias,
+/// launches size their outputs with the executor's Grid/Stream
+/// thread-count formulas and honour the planner's `steal`/`write_into`
+/// no-alloc verdicts, and planner `Free`s retire whole alias classes.
+/// See [`PeakPrediction`] for the lower-bound contract.
+pub fn predict_peak_bytes(
+    plan: &GpuPlan,
+    device: &crate::DeviceProfile,
+    args: &[futhark_core::Value],
+) -> PeakPrediction {
+    let mut st = PState {
+        exact: true,
+        ..PState::default()
+    };
+    if args.len() != plan.params.len() {
+        st.exact = false;
+    }
+    // Bind parameters and implicit sizes, as the executor does.
+    for (p, a) in plan.params.iter().zip(args) {
+        match a {
+            futhark_core::Value::Scalar(s) => {
+                st.scalars.insert(p.name.clone(), *s);
+            }
+            futhark_core::Value::Array(arr) => {
+                let bytes = (arr.data.len() * arr.elem_type().byte_size()) as u64;
+                let buf = st.alloc(bytes);
+                st.arrays.insert(p.name.clone(), buf);
+                if let Type::Array(at) = &p.ty {
+                    for (d, &actual) in at.dims.iter().zip(&arr.shape) {
+                        if let futhark_core::Size::Var(v) = d {
+                            st.scalars
+                                .entry(v.clone())
+                                .or_insert(futhark_core::Scalar::I64(actual as i64));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    predict_body(&mut st, plan, device, &plan.body);
+    PeakPrediction {
+        peak_bytes: st.peak_bytes,
+        exact: st.exact,
+    }
+}
+
+fn predict_body(st: &mut PState, plan: &GpuPlan, device: &crate::DeviceProfile, body: &HBody) {
+    for stm in &body.stms {
+        predict_stm(st, plan, device, stm);
+    }
+}
+
+fn predict_stm(st: &mut PState, plan: &GpuPlan, device: &crate::DeviceProfile, stm: &HStm) {
+    use futhark_interp::scalar as sc;
+    match stm {
+        HStm::Direct(d) => match &d.exp {
+            Exp::SubExp(se) => st.bind_result(&d.pat[0], se),
+            Exp::BinOp(op, a, b) => {
+                let r = st
+                    .sub(a)
+                    .zip(st.sub(b))
+                    .and_then(|(x, y)| sc::eval_binop(*op, x, y).ok());
+                match r {
+                    Some(s) => {
+                        st.scalars.insert(d.pat[0].name.clone(), s);
+                    }
+                    None => {
+                        st.scalars.remove(&d.pat[0].name);
+                    }
+                }
+            }
+            Exp::UnOp(op, a) => {
+                let r = st.sub(a).and_then(|x| sc::eval_unop(*op, x).ok());
+                match r {
+                    Some(s) => {
+                        st.scalars.insert(d.pat[0].name.clone(), s);
+                    }
+                    None => {
+                        st.scalars.remove(&d.pat[0].name);
+                    }
+                }
+            }
+            Exp::Cmp(op, a, b) => {
+                let r = st
+                    .sub(a)
+                    .zip(st.sub(b))
+                    .and_then(|(x, y)| sc::eval_cmp(*op, x, y).ok());
+                match r {
+                    Some(s) => {
+                        st.scalars.insert(d.pat[0].name.clone(), s);
+                    }
+                    None => {
+                        st.scalars.remove(&d.pat[0].name);
+                    }
+                }
+            }
+            Exp::Convert(t, a) => {
+                let r = st.sub(a).and_then(|x| sc::eval_convert(*t, x).ok());
+                match r {
+                    Some(s) => {
+                        st.scalars.insert(d.pat[0].name.clone(), s);
+                    }
+                    None => {
+                        st.scalars.remove(&d.pat[0].name);
+                    }
+                }
+            }
+            // Aliasing builtins: no device allocation.
+            Exp::Rearrange { array, .. } => match st.arrays.get(array).cloned() {
+                Some(a) => {
+                    st.arrays.insert(d.pat[0].name.clone(), a);
+                }
+                None => st.exact = false,
+            },
+            // Reshape materialises, which aliases for the (dominant)
+            // row-major case; treating it as an alias is the lower bound.
+            Exp::Reshape { array, .. } => match st.arrays.get(array).cloned() {
+                Some(a) => {
+                    st.arrays.insert(d.pat[0].name.clone(), a);
+                }
+                None => st.exact = false,
+            },
+            // Allocating builtins: the result is a fresh buffer sized by
+            // the pattern's checked type.
+            Exp::Iota(_)
+            | Exp::Replicate(..)
+            | Exp::Copy(_)
+            | Exp::Concat { .. }
+            | Exp::Update { .. } => {
+                st.bind_fresh(&d.pat[0].name, &d.pat[0].ty);
+            }
+            Exp::Index { .. } => match &d.pat[0].ty {
+                // Full-rank index is a host scalar read of unknown value.
+                Type::Scalar(_) => {
+                    st.scalars.remove(&d.pat[0].name);
+                }
+                // Partial index uploads the slice as a fresh buffer.
+                Type::Array(_) => st.bind_fresh(&d.pat[0].name, &d.pat[0].ty),
+            },
+            // Interpreter fallback: results of array type are uploaded.
+            _ => {
+                for pe in &d.pat {
+                    match &pe.ty {
+                        Type::Array(_) => st.bind_fresh(&pe.name, &pe.ty),
+                        Type::Scalar(_) => {
+                            st.scalars.remove(&pe.name);
+                        }
+                    }
+                }
+            }
+        },
+        HStm::Launch { pat, spec } => {
+            // Thread count, mirroring the executor.
+            let num_threads = match &spec.kind {
+                LaunchKind::Grid => {
+                    let mut t = Some(1u64);
+                    for w in &spec.widths {
+                        t = t.zip(st.sub_u64(w)).map(|(a, b)| a.saturating_mul(b));
+                    }
+                    t
+                }
+                LaunchKind::Stream { total } => st.sub_u64(total).map(|n| {
+                    let cap = device.num_cus as u64 * device.group_size as u64 * 4;
+                    let acc_elems: u64 = spec
+                        .outs
+                        .iter()
+                        .map(|o| {
+                            o.shape[1..]
+                                .iter()
+                                .map(|d| st.sub_u64(d).unwrap_or(1))
+                                .product::<u64>()
+                        })
+                        .sum::<u64>()
+                        .max(1);
+                    let floor = (device.num_cus * device.warp_size) as u64;
+                    let balanced = (n / acc_elems.max(1)).max(floor);
+                    n.min(cap).min(balanced).max(1)
+                }),
+            };
+            if num_threads.is_none() {
+                st.exact = false;
+            }
+            for (pe, o) in pat.iter().zip(&spec.outs) {
+                let bytes = st
+                    .elems_of(&o.shape, num_threads)
+                    .map(|e| e.saturating_mul(o.elem.byte_size() as u64));
+                let arr = if let Some(h) = &o.write_into {
+                    // Hoisted destination: writes into the pre-allocated
+                    // buffer, no new allocation.
+                    st.arrays.get(h).cloned()
+                } else if let Some(src) = &o.init_from {
+                    match (o.steal, st.arrays.get(src).cloned()) {
+                        // Steal verdict: the source buffer is consumed in
+                        // place. (`LoopRotate`'s guarded first-iteration
+                        // copy is above the lower bound, so aliasing is
+                        // safe here too.)
+                        (Some(_), Some(src_arr)) => Some(src_arr),
+                        // Copy path: a fresh buffer; the source stays
+                        // live until its `Free`.
+                        _ => bytes.map(|b| st.alloc(b)),
+                    }
+                } else {
+                    bytes.map(|b| st.alloc(b))
+                };
+                match arr {
+                    Some(a) => {
+                        st.arrays.insert(pe.name.clone(), a);
+                    }
+                    None => {
+                        st.exact = false;
+                        st.arrays.remove(&pe.name);
+                    }
+                }
+            }
+        }
+        HStm::Combine { pat, .. } => {
+            // Host-side fold; array-typed results are uploaded fresh.
+            for pe in pat {
+                match &pe.ty {
+                    Type::Array(_) => st.bind_fresh(&pe.name, &pe.ty),
+                    Type::Scalar(_) => {
+                        st.scalars.remove(&pe.name);
+                    }
+                }
+            }
+        }
+        HStm::Loop {
+            pat,
+            params,
+            while_cond,
+            for_var,
+            body,
+        } => {
+            // One symbolic iteration is a lower bound on however many the
+            // loop actually runs.
+            st.exact = false;
+            for (p, init) in params {
+                match st.sub(init) {
+                    Some(s) => {
+                        st.scalars.insert(p.name.clone(), s);
+                    }
+                    None => {
+                        if let SubExp::Var(v) = init {
+                            if let Some(a) = st.arrays.get(v).cloned() {
+                                st.arrays.insert(p.name.clone(), a);
+                                continue;
+                            }
+                        }
+                        st.scalars.remove(&p.name);
+                    }
+                }
+            }
+            if let Some((v, _bound)) = for_var {
+                st.scalars.insert(v.clone(), futhark_core::Scalar::I64(0));
+            }
+            if let Some(cond) = while_cond {
+                predict_body(st, plan, device, cond);
+            }
+            predict_body(st, plan, device, body);
+            for (pe, se) in pat.iter().zip(&body.result) {
+                st.bind_result(pe, se);
+            }
+        }
+        HStm::If {
+            pat,
+            cond,
+            then_b,
+            else_b,
+        } => {
+            let taken = st.sub(cond).map(|s| s == futhark_core::Scalar::Bool(true));
+            match taken {
+                Some(true) => {
+                    predict_body(st, plan, device, then_b);
+                    for (pe, se) in pat.iter().zip(&then_b.result) {
+                        st.bind_result(pe, se);
+                    }
+                }
+                Some(false) => {
+                    predict_body(st, plan, device, else_b);
+                    for (pe, se) in pat.iter().zip(&else_b.result) {
+                        st.bind_result(pe, se);
+                    }
+                }
+                None => {
+                    // Unknown branch: only one arm will run, so the
+                    // sound lower bound is the *min* over the arms'
+                    // peaks (each already includes the pre-branch
+                    // high-water mark). Bindings follow the then-arm
+                    // (arbitrary but deterministic), and the prediction
+                    // turns inexact.
+                    st.exact = false;
+                    let mut alt = st.clone();
+                    predict_body(st, plan, device, then_b);
+                    predict_body(&mut alt, plan, device, else_b);
+                    st.peak_bytes = st.peak_bytes.min(alt.peak_bytes);
+                    st.next_root = st.next_root.max(alt.next_root);
+                    for (pe, se) in pat.iter().zip(&then_b.result) {
+                        st.bind_result(pe, se);
+                    }
+                }
+            }
+        }
+        HStm::Free { names } => {
+            let roots: BTreeSet<u64> = names
+                .iter()
+                .filter_map(|n| st.arrays.get(n).map(|a| a.root))
+                .collect();
+            for r in roots {
+                st.free_root(r);
+            }
+        }
+        HStm::Alloc { name, elem, shape } => match st.elems_of(shape, None) {
+            Some(e) => {
+                let a = st.alloc(e.saturating_mul(elem.byte_size() as u64));
+                st.arrays.insert(name.clone(), a);
+            }
+            None => {
+                st.exact = false;
+                st.arrays.remove(name);
+            }
+        },
+    }
+}

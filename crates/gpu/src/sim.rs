@@ -755,6 +755,17 @@ pub enum SimError {
         /// The device capacity.
         capacity: u64,
     },
+    /// A structurally invalid kernel artifact: an expression tape whose
+    /// operand stack underflows or ends unbalanced. Unreachable from the
+    /// compiler pipeline (decode validates its own output), but a
+    /// hand-constructed or corrupted artifact must surface as an error a
+    /// long-lived server can return, never a panic that kills the process.
+    Malformed {
+        /// Which kernel.
+        kernel: String,
+        /// What was wrong with it.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -788,6 +799,9 @@ impl fmt::Display for SimError {
                 "out of device memory: requested {requested} bytes with \
                  {live} live of {capacity} capacity"
             ),
+            SimError::Malformed { kernel, what } => {
+                write!(f, "malformed kernel `{kernel}`: {what}")
+            }
         }
     }
 }

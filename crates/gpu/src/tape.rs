@@ -269,7 +269,13 @@ enum WInstr {
 /// both operands before writing the destination). Same tape, same
 /// assignment — always; nothing here depends on runtime state, which is
 /// what keeps profiled counters and the profgate baseline bit-for-bit.
-fn reg_compile(ops: &[EOp]) -> (Vec<WInstr>, u32, u32) {
+///
+/// A structurally invalid tape — an operator with too few operands on the
+/// stack, an empty tape, or leftover operands — is reported as an error
+/// string (the caller wraps it in [`SimError::Malformed`] with the kernel
+/// name attached): such tapes cannot come out of the decoder, but a
+/// hand-constructed artifact must not panic a long-lived process.
+fn reg_compile(ops: &[EOp]) -> Result<(Vec<WInstr>, u32, u32), String> {
     struct Alloc {
         free: Vec<u32>,
         next: u32,
@@ -289,7 +295,12 @@ fn reg_compile(ops: &[EOp]) -> (Vec<WInstr>, u32, u32) {
     };
     let mut stack: Vec<u32> = Vec::new();
     let mut out = Vec::with_capacity(ops.len());
-    for op in ops {
+    for (at, op) in ops.iter().enumerate() {
+        let pop = |stack: &mut Vec<u32>| {
+            stack
+                .pop()
+                .ok_or_else(|| format!("expression tape underflow at op {at}"))
+        };
         match *op {
             EOp::Const(bits) => {
                 let dst = alloc.get();
@@ -332,8 +343,8 @@ fn reg_compile(ops: &[EOp]) -> (Vec<WInstr>, u32, u32) {
                 stack.push(dst);
             }
             EOp::Bin(op, t) => {
-                let b = stack.pop().expect("tape underflow");
-                let a = stack.pop().expect("tape underflow");
+                let b = pop(&mut stack)?;
+                let a = pop(&mut stack)?;
                 alloc.free.push(b);
                 alloc.free.push(a);
                 let dst = alloc.get();
@@ -341,8 +352,8 @@ fn reg_compile(ops: &[EOp]) -> (Vec<WInstr>, u32, u32) {
                 stack.push(dst);
             }
             EOp::Cmp(op, t) => {
-                let b = stack.pop().expect("tape underflow");
-                let a = stack.pop().expect("tape underflow");
+                let b = pop(&mut stack)?;
+                let a = pop(&mut stack)?;
                 alloc.free.push(b);
                 alloc.free.push(a);
                 let dst = alloc.get();
@@ -350,14 +361,14 @@ fn reg_compile(ops: &[EOp]) -> (Vec<WInstr>, u32, u32) {
                 stack.push(dst);
             }
             EOp::Un(op, t) => {
-                let a = stack.pop().expect("tape underflow");
+                let a = pop(&mut stack)?;
                 alloc.free.push(a);
                 let dst = alloc.get();
                 out.push(WInstr::Un { op, t, dst, a });
                 stack.push(dst);
             }
             EOp::Conv(from, to) => {
-                let a = stack.pop().expect("tape underflow");
+                let a = pop(&mut stack)?;
                 alloc.free.push(a);
                 let dst = alloc.get();
                 out.push(WInstr::Conv { from, to, dst, a });
@@ -365,9 +376,14 @@ fn reg_compile(ops: &[EOp]) -> (Vec<WInstr>, u32, u32) {
             }
         }
     }
-    let result = stack.pop().expect("empty tape");
-    debug_assert!(stack.is_empty(), "unbalanced tape");
-    (out, alloc.next, result)
+    let result = stack.pop().ok_or("empty expression tape")?;
+    if !stack.is_empty() {
+        return Err(format!(
+            "unbalanced expression tape: {} leftover operands",
+            stack.len()
+        ));
+    }
+    Ok((out, alloc.next, result))
 }
 
 /// A decoded statement: the same shapes as [`KStm`], with expressions as
@@ -693,7 +709,10 @@ impl<'k> Compiler<'k> {
     fn tape(&self, e: &KExp) -> SResult<Tape> {
         let mut ops = Vec::new();
         let class = self.exp(e, &mut ops)?;
-        let (winstrs, n_regs, result) = reg_compile(&ops);
+        let (winstrs, n_regs, result) = reg_compile(&ops).map_err(|what| SimError::Malformed {
+            kernel: self.kernel.name.clone(),
+            what,
+        })?;
         Ok(Tape {
             ops,
             winstrs,
@@ -1119,6 +1138,12 @@ struct GroupOut {
     /// Per-site counters (profiled runs only); length is
     /// `prov_table.len() + 1`, the last slot being the unattributed bucket.
     sites: Option<Vec<SiteStats>>,
+    /// Warp-engine uniform fast-path tallies (zero under the lane engine).
+    /// Carried per group and folded into [`LaunchOut`] — never through
+    /// process-wide state, so concurrent launches cannot contaminate each
+    /// other's diagnostics.
+    u_hits: u64,
+    u_misses: u64,
 }
 
 struct GroupRun<'a> {
@@ -1156,8 +1181,9 @@ struct GroupRun<'a> {
     /// Warp engine: recycled mask storage for divergent control flow.
     mask_pool: Vec<Vec<bool>>,
     /// Warp engine: control-flow decisions that took the uniform fast
-    /// path / fell back to per-lane masking (flushed to process-wide
-    /// counters at group exit; never part of [`KernelStats`]).
+    /// path / fell back to per-lane masking (returned on [`GroupOut`] and
+    /// folded into the launch's [`LaunchOut`]; never part of
+    /// [`KernelStats`], so engine choice cannot perturb profiled counters).
     u_hits: u64,
     u_misses: u64,
     stats: KernelStats,
@@ -1284,6 +1310,16 @@ impl<'a> GroupRun<'a> {
             .ok_or_else(|| SimError::Scalar(format!("argument {arg} is not a buffer")))
     }
 
+    /// A malformed-artifact fault attributed to this kernel (tape stack
+    /// underflow and the like — unreachable from decoded kernels, but a
+    /// corrupted artifact must be an error, not a process-killing panic).
+    fn malformed(&self, what: impl Into<String>) -> SimError {
+        SimError::Malformed {
+            kernel: self.dk.name.clone(),
+            what: what.into(),
+        }
+    }
+
     /// Evaluates a tape for one lane on the bit stack.
     fn eval(&mut self, tape: &Tape, lane: usize) -> SResult<u64> {
         self.stack.clear();
@@ -1304,30 +1340,42 @@ impl<'a> GroupRun<'a> {
                     self.stack.push(bits);
                 }
                 EOp::Bin(op, t) => {
-                    let b = self.stack.pop().expect("tape underflow");
-                    let a = self.stack.pop().expect("tape underflow");
+                    let b = self.pop_operand()?;
+                    let a = self.pop_operand()?;
                     self.stack.push(bin_bits(op, t, a, b)?);
                 }
                 EOp::Cmp(op, t) => {
-                    let b = self.stack.pop().expect("tape underflow");
-                    let a = self.stack.pop().expect("tape underflow");
+                    let b = self.pop_operand()?;
+                    let a = self.pop_operand()?;
                     self.stack.push(cmp_bits(op, t, a, b));
                 }
                 EOp::Un(op, t) => {
-                    let a = self.stack.pop().expect("tape underflow");
+                    let a = self.pop_operand()?;
                     let r =
                         eval_unop(op, dec(t, a)).map_err(|e| SimError::Scalar(e.to_string()))?;
                     self.stack.push(enc(r));
                 }
                 EOp::Conv(from, to) => {
-                    let a = self.stack.pop().expect("tape underflow");
+                    let a = self.pop_operand()?;
                     let r = eval_convert(to, dec(from, a))
                         .map_err(|e| SimError::Scalar(e.to_string()))?;
                     self.stack.push(enc(r));
                 }
             }
         }
-        Ok(self.stack.pop().expect("empty tape"))
+        self.stack
+            .pop()
+            .ok_or_else(|| self.malformed("empty expression tape"))
+    }
+
+    /// Pops one operand from the lane-engine bit stack; underflow means the
+    /// tape is structurally invalid.
+    #[inline]
+    fn pop_operand(&mut self) -> SResult<u64> {
+        match self.stack.pop() {
+            Some(bits) => Ok(bits),
+            None => Err(self.malformed("expression tape underflow")),
+        }
     }
 
     fn eval_index(&mut self, tape: &Tape, lane: usize) -> SResult<i64> {
@@ -2618,22 +2666,15 @@ fn run_group(
         }
         SimEngine::Warp => {
             let mask = WMask::new(vec![true; lanes], run.warp_size);
-            let r = run.wexec(&dk.body, &mask);
-            // Flush uniform-path tallies even when the group faulted.
-            use std::sync::atomic::Ordering;
-            if run.u_hits > 0 {
-                UNIFORM_HITS.fetch_add(run.u_hits, Ordering::Relaxed);
-            }
-            if run.u_misses > 0 {
-                UNIFORM_MISSES.fetch_add(run.u_misses, Ordering::Relaxed);
-            }
-            r?;
+            run.wexec(&dk.body, &mask)?;
         }
     }
     Ok(GroupOut {
         stats: run.stats,
         writes: run.writes,
         sites: run.sites,
+        u_hits: run.u_hits,
+        u_misses: run.u_misses,
     })
 }
 
@@ -2670,13 +2711,16 @@ fn eval_uniform(e: &KExp, group_size: u64, scalars: &[Option<Scalar>]) -> SResul
     }
 }
 
-/// The number of host threads to use for group execution: the
+/// The default number of host threads for group execution: the
 /// `FUTHARK_SIM_THREADS` environment variable if set (minimum 1), else the
-/// machine's available parallelism. Cached after the first call.
+/// machine's available parallelism. Read from the environment on every
+/// call — this is a *default-only fallback*, consulted when building
+/// [`LaunchOpts`]/`RunOptions` defaults; explicit per-request overrides
+/// always win. (It used to be latched in a `OnceLock`, which pinned the
+/// first caller's snapshot for the life of the process — fatal in a
+/// long-lived daemon serving requests with differing settings.)
 pub fn host_threads() -> usize {
-    use std::sync::OnceLock;
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| match std::env::var("FUTHARK_SIM_THREADS") {
+    match std::env::var("FUTHARK_SIM_THREADS") {
         Ok(v) => v
             .trim()
             .parse::<usize>()
@@ -2686,7 +2730,7 @@ pub fn host_threads() -> usize {
         Err(_) => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
-    })
+    }
 }
 
 /// Which execution engine runs a group's statement list. Both compute the
@@ -2705,22 +2749,22 @@ pub enum SimEngine {
     Lane,
 }
 
-/// The engine selected by the `FUTHARK_SIM_ENGINE` environment variable
-/// (`lane` for the per-lane reference engine, anything else — including
-/// unset — for the warp engine). Cached after the first call, so a
-/// mid-run environment change cannot flip engines between launches.
+/// The default engine selected by the `FUTHARK_SIM_ENGINE` environment
+/// variable (`lane` for the per-lane reference engine, anything else —
+/// including unset — for the warp engine). Read from the environment on
+/// every call: a default-only fallback for [`LaunchOpts`]/`RunOptions`
+/// construction, never a latched snapshot, so per-request engine overrides
+/// in a long-lived server take effect launch by launch.
 pub fn sim_engine() -> SimEngine {
-    use std::sync::OnceLock;
-    static ENGINE: OnceLock<SimEngine> = OnceLock::new();
-    *ENGINE.get_or_init(|| match std::env::var("FUTHARK_SIM_ENGINE") {
+    match std::env::var("FUTHARK_SIM_ENGINE") {
         Ok(v) if v.trim().eq_ignore_ascii_case("lane") => SimEngine::Lane,
         _ => SimEngine::Warp,
-    })
+    }
 }
 
-/// Per-launch options for [`launch_decoded_with`]. The default snapshots
-/// the environment-derived settings ([`host_threads`], [`sim_engine`])
-/// once per process.
+/// Per-launch options for [`launch_decoded_with`]. The default reads the
+/// environment-derived settings ([`host_threads`], [`sim_engine`]) at
+/// construction time; explicit fields always override the environment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchOpts {
     /// Host threads executing independent work-groups.
@@ -2741,26 +2785,25 @@ impl Default for LaunchOpts {
     }
 }
 
-/// Process-wide tallies of control-flow decisions in the warp engine:
-/// how many branch/loop steps took the uniform fast path vs fell back to
-/// per-lane masking. Diagnostic only — deliberately *not* part of
-/// [`KernelStats`], so engine choice cannot perturb profiled counters.
-static UNIFORM_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-static UNIFORM_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-
-/// Returns `(uniform_hits, divergent_misses)` accumulated by the warp
-/// engine since the last [`warp_uniform_reset`].
-pub fn warp_uniform_counters() -> (u64, u64) {
-    (
-        UNIFORM_HITS.load(std::sync::atomic::Ordering::Relaxed),
-        UNIFORM_MISSES.load(std::sync::atomic::Ordering::Relaxed),
-    )
-}
-
-/// Zeroes the process-wide uniform-path counters.
-pub fn warp_uniform_reset() {
-    UNIFORM_HITS.store(0, std::sync::atomic::Ordering::Relaxed);
-    UNIFORM_MISSES.store(0, std::sync::atomic::Ordering::Relaxed);
+/// Everything one launch produced: the aggregate counters, per-site
+/// buckets when profiled, and the warp engine's uniform fast-path tallies.
+/// The tallies are per-launch values — there is deliberately no
+/// process-wide accumulator, so concurrent launches (a daemon's jobs,
+/// parallel tests) can never contaminate each other's diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchOut {
+    /// Aggregate execution counters (bit-identical across engines, thread
+    /// counts, and profiling).
+    pub stats: KernelStats,
+    /// Per-site counters, present only on profiled launches.
+    pub sites: Option<Vec<SiteStats>>,
+    /// Control-flow decisions that took the warp engine's uniform fast
+    /// path. Always zero under the lane engine. Diagnostic only —
+    /// deliberately *not* part of [`KernelStats`], so engine choice cannot
+    /// perturb profiled counters.
+    pub uniform_hits: u64,
+    /// Control-flow decisions that fell back to per-lane masking.
+    pub uniform_misses: u64,
 }
 
 /// Minimum group count before spawning worker threads: below this the
@@ -2797,7 +2840,7 @@ pub fn launch_decoded(
         false,
         sim_engine(),
     )
-    .map(|(s, _)| s)
+    .map(|out| out.stats)
 }
 
 /// Launches a pre-decoded kernel with explicit [`LaunchOpts`] — the one
@@ -2815,7 +2858,7 @@ pub fn launch_decoded_with(
     args: &[Arg],
     mem: &mut DeviceMemory,
     opts: LaunchOpts,
-) -> SResult<(KernelStats, Option<Vec<SiteStats>>)> {
+) -> SResult<LaunchOut> {
     launch_decoded_impl(
         device,
         dk,
@@ -2855,7 +2898,10 @@ pub fn launch_decoded_profiled(
         true,
         sim_engine(),
     )
-    .map(|(s, sites)| (s, sites.expect("profiled launch returns sites")))
+    .map(|out| {
+        let sites = out.sites.expect("profiled launch returns sites");
+        (out.stats, sites)
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -2868,7 +2914,7 @@ fn launch_decoded_impl(
     threads: usize,
     profile: bool,
     engine: SimEngine,
-) -> SResult<(KernelStats, Option<Vec<SiteStats>>)> {
+) -> SResult<LaunchOut> {
     let group_size = device.group_size as u64;
     let num_groups = num_threads.div_ceil(group_size).max(1);
     // Resolve launch arguments once.
@@ -2993,6 +3039,8 @@ fn launch_decoded_impl(
         ..KernelStats::default()
     };
     let mut sites = profile.then(|| vec![SiteStats::default(); dk.prov_table.len() + 1]);
+    let mut uniform_hits = 0u64;
+    let mut uniform_misses = 0u64;
     for out in outs.into_iter().flatten() {
         let out = out?;
         for (bid, writes) in out.writes {
@@ -3002,13 +3050,20 @@ fn launch_decoded_impl(
             }
         }
         stats.merge(&out.stats);
+        uniform_hits += out.u_hits;
+        uniform_misses += out.u_misses;
         if let (Some(total), Some(group)) = (&mut sites, &out.sites) {
             for (t, g) in total.iter_mut().zip(group) {
                 t.merge(g);
             }
         }
     }
-    Ok((stats, sites))
+    Ok(LaunchOut {
+        stats,
+        sites,
+        uniform_hits,
+        uniform_misses,
+    })
 }
 
 #[cfg(test)]
@@ -3409,13 +3464,71 @@ mod tests {
             EOp::Const(3),
             EOp::Bin(BinOp::Add, ScalarType::I64),
         ];
-        let (winstrs, n_regs, result) = reg_compile(&ops);
+        let (winstrs, n_regs, result) = reg_compile(&ops).unwrap();
         assert_eq!(n_regs, 2);
         assert_eq!(result, 0);
         for w in &winstrs {
             if let WInstr::Bin { dst, a, .. } = w {
                 assert_eq!(dst, a, "destination must reuse the left operand");
             }
+        }
+    }
+
+    #[test]
+    fn reg_compile_rejects_structurally_invalid_tapes() {
+        // A binary op with an empty stack: underflow, not a panic. These
+        // tapes cannot come out of the decoder, but a hand-constructed
+        // artifact fed to a long-lived server must be a structured error.
+        let underflow = vec![EOp::Bin(BinOp::Add, ScalarType::I64)];
+        let err = reg_compile(&underflow).unwrap_err();
+        assert!(err.contains("underflow"), "got: {err}");
+        // An empty tape has no result.
+        let err = reg_compile(&[]).unwrap_err();
+        assert!(err.contains("empty"), "got: {err}");
+        // Two pushes, no combining op: leftover operands.
+        let unbalanced = vec![EOp::Const(1), EOp::Const(2)];
+        let err = reg_compile(&unbalanced).unwrap_err();
+        assert!(err.contains("unbalanced"), "got: {err}");
+    }
+
+    #[test]
+    fn corrupted_tape_is_a_malformed_error_not_a_panic() {
+        // Decode a valid kernel, then corrupt the write-value tape so its
+        // postfix ops underflow. The lane engine (which interprets `ops`
+        // directly) must fault with SimError::Malformed — the structured
+        // error futharkd returns as a job failure — rather than panicking
+        // and killing the process.
+        let mut dk = DecodedKernel::decode(&square_kernel()).unwrap();
+        match &mut dk.body[..] {
+            [_, DStm::GlobalWrite { value, .. }] => {
+                value.ops = vec![EOp::Bin(BinOp::Mul, ScalarType::I64)];
+            }
+            other => panic!("unexpected decoded body: {other:?}"),
+        }
+        let dev = DeviceProfile::gtx780();
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc(ScalarType::I64, 8).unwrap();
+        let b = mem.alloc(ScalarType::I64, 8).unwrap();
+        let opts = LaunchOpts {
+            threads: 1,
+            profile: false,
+            engine: SimEngine::Lane,
+        };
+        let err = launch_decoded_with(
+            &dev,
+            &dk,
+            8,
+            &[Arg::Buffer(a), Arg::Buffer(b)],
+            &mut mem,
+            opts,
+        )
+        .unwrap_err();
+        match err {
+            SimError::Malformed { kernel, what } => {
+                assert_eq!(kernel, "square");
+                assert!(what.contains("underflow"), "got: {what}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
         }
     }
 
@@ -3442,10 +3555,10 @@ mod tests {
                 profile: false,
                 engine,
             };
-            let (stats, _) =
+            let out_run =
                 launch_decoded_with(&dev, &dk, n as u64, &[Arg::Buffer(out)], &mut mem, opts)
                     .unwrap();
-            (stats, mem.download(out).unwrap().clone())
+            (out_run.stats, mem.download(out).unwrap().clone())
         };
         let (wstats, wout) = run(SimEngine::Warp);
         let (lstats, lout) = run(SimEngine::Lane);

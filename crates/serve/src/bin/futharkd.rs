@@ -1,0 +1,100 @@
+//! `futharkd` — the persistent compile-and-execute daemon.
+//!
+//! ```text
+//! futharkd [--listen ADDR] [--device gtx780|w8100] [--devices N]
+//!          [--workers N] [--capacity BYTES] [--cache N]
+//! ```
+//!
+//! Without `--listen`, the daemon speaks the line-delimited JSON
+//! protocol on stdin/stdout; with `--listen 127.0.0.1:8000` it serves
+//! TCP connections. `--devices` replicates the chosen profile into a
+//! pool (one concurrent job per device); `--capacity` overrides each
+//! device's `global_mem_bytes` (useful for admission experiments).
+
+use futhark::DeviceProfile;
+use futhark_serve::daemon::{serve_lines, serve_tcp};
+use futhark_serve::{Daemon, DaemonConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: futharkd [--listen ADDR] [--device gtx780|w8100] \
+         [--devices N] [--workers N] [--capacity BYTES] [--cache N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut profile = DeviceProfile::gtx780();
+    let mut devices = 1usize;
+    let mut workers = 4usize;
+    let mut capacity: Option<u64> = None;
+    let mut cache = 128usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--listen" => listen = Some(val()),
+            "--device" => {
+                profile = match val().as_str() {
+                    "gtx780" => DeviceProfile::gtx780(),
+                    "w8100" => DeviceProfile::w8100(),
+                    other => {
+                        eprintln!("unknown device {other:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--devices" => devices = val().parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = val().parse().unwrap_or_else(|_| usage()),
+            "--capacity" => capacity = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--cache" => cache = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if let Some(c) = capacity {
+        profile.global_mem_bytes = c;
+    }
+    let pool: Vec<DeviceProfile> = (0..devices.max(1))
+        .map(|i| {
+            let mut d = profile.clone();
+            if devices > 1 {
+                d.name = format!("{}#{i}", d.name);
+            }
+            d
+        })
+        .collect();
+    let daemon = Daemon::new(DaemonConfig {
+        devices: pool,
+        workers,
+        cache_capacity: cache,
+    });
+
+    let served = match listen {
+        Some(addr) => match TcpListener::bind(&addr) {
+            Ok(l) => {
+                eprintln!("futharkd: listening on {addr}");
+                serve_tcp(&daemon, l)
+            }
+            Err(e) => {
+                eprintln!("futharkd: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let stdin = std::io::stdin();
+            serve_lines(&daemon, stdin.lock(), std::io::stdout())
+        }
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("futharkd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,554 @@
+//! The daemon: admission control, device-slot scheduling, and the
+//! blocking request handler that the stdio and TCP front-ends share.
+//!
+//! ## Job lifecycle
+//!
+//! ```text
+//! parse ──> compile (artifact cache) ──> admission ──> queue ──> execute
+//!   │             │                          │            │         │
+//!   │protocol err │compile err               │reject      │wait for │run err /
+//!   ▼             ▼                          ▼ (predicted │a device ▼ capacity err
+//!  error         error                      error  fits   │slot    error
+//!                                           no device)    ▼
+//! ```
+//!
+//! Admission compares the job's predicted peak device bytes — a learned
+//! measured peak when this artifact has run on these argument shapes
+//! before, otherwise the static lower bound
+//! [`futhark_gpu::predict_peak_bytes`] — against each device's capacity.
+//! A job that fits no device is rejected *before* any device time is
+//! spent, with the prediction in the error. Admitted jobs block until a
+//! device with sufficient capacity frees up, then execute against an
+//! **uncapped** arena clone of that device, so the simulator's
+//! `OutOfMemory` cannot fire mid-flight; if the measured peak turns out
+//! to exceed the real capacity (the static bound is a lower bound, so
+//! underprediction is possible), the job fails cleanly after the fact
+//! and the measured peak is learned — the next submission with the same
+//! artifact and shapes is rejected at admission.
+
+use crate::cache::{artifact_key, shape_signature, ArtifactCache, CacheStats};
+use crate::proto::{self, ErrorKind, Request, Response, RunRequest, Span};
+use futhark::{Compiler, DeviceProfile, RunOptions};
+use futhark_trace::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The simulated device pool; one job runs per device at a time.
+    pub devices: Vec<DeviceProfile>,
+    /// Maximum requests in flight (compiling or executing) at once.
+    pub workers: usize,
+    /// Artifact-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            devices: vec![DeviceProfile::gtx780()],
+            workers: 4,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// Lifetime counters, reported by the `stats` op.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Jobs that ran to completion within capacity.
+    pub jobs_completed: u64,
+    /// Jobs rejected at admission.
+    pub jobs_rejected: u64,
+    /// Jobs that failed in compilation, execution, or post-run capacity
+    /// accounting.
+    pub jobs_failed: u64,
+    /// Malformed request lines.
+    pub protocol_errors: u64,
+    /// Artifact-cache counters.
+    pub cache: CacheStats,
+}
+
+/// Scheduler state under the mutex: per-device busy flags and the
+/// in-flight job count the drain waits on.
+struct Sched {
+    busy: Vec<bool>,
+    inflight: u64,
+    draining: bool,
+}
+
+struct Inner {
+    cfg: DaemonConfig,
+    cache: Mutex<ArtifactCache>,
+    sched: Mutex<Sched>,
+    cond: Condvar,
+    counters: Mutex<ServeStats>,
+    /// Set once a shutdown response has been sent; front-ends exit.
+    stopped: AtomicBool,
+}
+
+/// The persistent compile-and-execute service. Cheap to clone-by-`Arc`;
+/// [`Daemon::handle`] is blocking and safe to call from many threads.
+#[derive(Clone)]
+pub struct Daemon {
+    inner: Arc<Inner>,
+}
+
+impl Daemon {
+    /// Builds a daemon over a device pool.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn new(cfg: DaemonConfig) -> Daemon {
+        assert!(!cfg.devices.is_empty(), "daemon needs at least one device");
+        let n = cfg.devices.len();
+        let cache_capacity = cfg.cache_capacity;
+        Daemon {
+            inner: Arc::new(Inner {
+                cfg,
+                cache: Mutex::new(ArtifactCache::new(cache_capacity)),
+                sched: Mutex::new(Sched {
+                    busy: vec![false; n],
+                    inflight: 0,
+                    draining: false,
+                }),
+                cond: Condvar::new(),
+                counters: Mutex::new(ServeStats::default()),
+                stopped: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// The device class admission and compilation are resolved against:
+    /// the most capacious profile in the pool (for a homogeneous pool,
+    /// simply *the* profile).
+    fn class_profile(&self) -> &DeviceProfile {
+        self.inner
+            .cfg
+            .devices
+            .iter()
+            .max_by_key(|d| d.global_mem_bytes)
+            .expect("non-empty pool")
+    }
+
+    /// Whether a shutdown has completed.
+    pub fn stopped(&self) -> bool {
+        self.inner.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Jobs currently accepted and not yet answered (queued or running).
+    pub fn inflight(&self) -> u64 {
+        self.inner.sched.lock().expect("sched lock").inflight
+    }
+
+    /// Lifetime counters (including current cache stats).
+    pub fn stats(&self) -> ServeStats {
+        let mut s = *self.inner.counters.lock().expect("counters lock");
+        s.cache = self.inner.cache.lock().expect("cache lock").stats();
+        s
+    }
+
+    /// Handles one request, blocking until the response is ready. Safe to
+    /// call concurrently; `run` jobs queue on the device pool.
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Stats { id } => Response::Stats {
+                id: id.clone(),
+                body: self.stats_json(),
+            },
+            Request::Shutdown { id } => self.shutdown(id),
+            Request::Run(r) => self.run(r),
+        }
+    }
+
+    /// Parses and handles one wire line, returning the response line.
+    pub fn handle_line(&self, line: &str) -> String {
+        match proto::parse_request(line) {
+            Ok(req) => self.handle(&req).render(),
+            Err((id, message)) => {
+                self.inner
+                    .counters
+                    .lock()
+                    .expect("counters lock")
+                    .protocol_errors += 1;
+                Response::Error {
+                    id,
+                    kind: ErrorKind::Protocol,
+                    message,
+                    predicted_peak_bytes: None,
+                    capacity: None,
+                }
+                .render()
+            }
+        }
+    }
+
+    fn stats_json(&self) -> Json {
+        let s = self.stats();
+        let sched = self.inner.sched.lock().expect("sched lock");
+        let devices: Vec<Json> = self
+            .inner
+            .cfg
+            .devices
+            .iter()
+            .zip(&sched.busy)
+            .map(|(d, &busy)| {
+                Json::obj(vec![
+                    ("name", Json::Str(d.name.clone())),
+                    ("capacity_bytes", Json::U64(d.global_mem_bytes)),
+                    ("busy", Json::Bool(busy)),
+                ])
+            })
+            .collect();
+        let artifacts = self.inner.cache.lock().expect("cache lock").len();
+        Json::obj(vec![
+            ("jobs_completed", Json::U64(s.jobs_completed)),
+            ("jobs_rejected", Json::U64(s.jobs_rejected)),
+            ("jobs_failed", Json::U64(s.jobs_failed)),
+            ("protocol_errors", Json::U64(s.protocol_errors)),
+            ("inflight", Json::U64(sched.inflight)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::U64(s.cache.hits)),
+                    ("misses", Json::U64(s.cache.misses)),
+                    ("evictions", Json::U64(s.cache.evictions)),
+                    ("hit_rate", Json::F64(s.cache.hit_rate())),
+                    ("artifacts", Json::U64(artifacts as u64)),
+                ]),
+            ),
+            ("devices", Json::Arr(devices)),
+        ])
+    }
+
+    /// Drain: refuse new work, wait for in-flight jobs, acknowledge.
+    fn shutdown(&self, id: &str) -> Response {
+        let mut sched = self.inner.sched.lock().expect("sched lock");
+        sched.draining = true;
+        self.inner.cond.notify_all();
+        while sched.inflight > 0 {
+            sched = self.inner.cond.wait(sched).expect("sched lock");
+        }
+        drop(sched);
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        Response::ShutdownOk {
+            id: id.to_string(),
+            jobs_completed: self.stats().jobs_completed,
+        }
+    }
+
+    fn run(&self, r: &RunRequest) -> Response {
+        // Register as in flight (or refuse when draining) before any
+        // work, so a shutdown drains exactly the accepted jobs.
+        {
+            let mut sched = self.inner.sched.lock().expect("sched lock");
+            if sched.draining {
+                return Response::Error {
+                    id: r.id.clone(),
+                    kind: ErrorKind::Protocol,
+                    message: "server is shutting down".into(),
+                    predicted_peak_bytes: None,
+                    capacity: None,
+                };
+            }
+            sched.inflight += 1;
+        }
+        let resp = self.run_inflight(r);
+        let mut sched = self.inner.sched.lock().expect("sched lock");
+        sched.inflight -= 1;
+        self.inner.cond.notify_all();
+        drop(sched);
+        resp
+    }
+
+    fn run_inflight(&self, r: &RunRequest) -> Response {
+        let mut spans = Vec::new();
+        let class = self.class_profile().clone();
+        let key = artifact_key(&r.source, &r.options, &class);
+
+        // Compile, or hit the artifact cache. The lock is held only for
+        // the lookup/insert, not for compilation — concurrent misses of
+        // the same key may compile twice, but both insert the same
+        // content-addressed artifact, so the race is benign.
+        let cached = self.inner.cache.lock().expect("cache lock").get(key);
+        let (artifact, cache_hit) = match cached {
+            Some(a) => (a, true),
+            None => {
+                let t0 = Instant::now();
+                let compiled = Compiler::with_options(r.options).compile(&r.source);
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                match compiled {
+                    Ok(c) => {
+                        spans.push(Span {
+                            name: "compile",
+                            us,
+                        });
+                        let a = Arc::new(c);
+                        self.inner
+                            .cache
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key, Arc::clone(&a));
+                        (a, false)
+                    }
+                    Err(e) => {
+                        self.inner
+                            .counters
+                            .lock()
+                            .expect("counters lock")
+                            .jobs_failed += 1;
+                        return Response::Error {
+                            id: r.id.clone(),
+                            kind: ErrorKind::Compile,
+                            message: e.to_string(),
+                            predicted_peak_bytes: None,
+                            capacity: None,
+                        };
+                    }
+                }
+            }
+        };
+
+        // Admission: learned measured peak (exact for these shapes) or
+        // the static lower bound.
+        let sig = shape_signature(&r.args);
+        let predicted = {
+            let cache = self.inner.cache.lock().expect("cache lock");
+            cache.learned_peak(key, &sig)
+        }
+        .unwrap_or_else(|| {
+            futhark_gpu::predict_peak_bytes(&artifact.plan, &class, &r.args).peak_bytes
+        });
+        let best_capacity = class.global_mem_bytes;
+        if !self
+            .inner
+            .cfg
+            .devices
+            .iter()
+            .any(|d| predicted <= d.global_mem_bytes)
+        {
+            self.inner
+                .counters
+                .lock()
+                .expect("counters lock")
+                .jobs_rejected += 1;
+            return Response::Error {
+                id: r.id.clone(),
+                kind: ErrorKind::Admission,
+                message: format!(
+                    "predicted peak {predicted} bytes exceeds every device \
+                     capacity (best {best_capacity} bytes)"
+                ),
+                predicted_peak_bytes: Some(predicted),
+                capacity: Some(best_capacity),
+            };
+        }
+
+        // Queue for a device whose capacity covers the prediction.
+        let tq = Instant::now();
+        let dev_idx = {
+            let mut sched = self.inner.sched.lock().expect("sched lock");
+            loop {
+                let free = (0..self.inner.cfg.devices.len()).find(|&i| {
+                    !sched.busy[i] && predicted <= self.inner.cfg.devices[i].global_mem_bytes
+                });
+                match free {
+                    Some(i) => {
+                        sched.busy[i] = true;
+                        break i;
+                    }
+                    None => sched = self.inner.cond.wait(sched).expect("sched lock"),
+                }
+            }
+        };
+        spans.push(Span {
+            name: "queue",
+            us: tq.elapsed().as_secs_f64() * 1e6,
+        });
+
+        // Execute against an uncapped arena: admission already vouched
+        // for the footprint, and removing the cap makes a mid-flight
+        // OutOfMemory structurally impossible — underprediction surfaces
+        // as a clean post-run capacity failure instead.
+        let device = &self.inner.cfg.devices[dev_idx];
+        let mut uncapped = device.clone();
+        uncapped.global_mem_bytes = u64::MAX;
+        let opts = RunOptions {
+            threads: r.threads,
+            profile: r.profile,
+            engine: r.engine,
+        };
+        let te = Instant::now();
+        let result = artifact.run_on_with_opts(&uncapped, &r.args, opts);
+        spans.push(Span {
+            name: "execute",
+            us: te.elapsed().as_secs_f64() * 1e6,
+        });
+
+        // Release the device slot.
+        {
+            let mut sched = self.inner.sched.lock().expect("sched lock");
+            sched.busy[dev_idx] = false;
+            self.inner.cond.notify_all();
+        }
+
+        match result {
+            Ok((outputs, perf)) => {
+                let measured = perf.mem.peak_bytes;
+                self.inner
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .learn_peak(key, &sig, measured);
+                if measured > device.global_mem_bytes {
+                    self.inner
+                        .counters
+                        .lock()
+                        .expect("counters lock")
+                        .jobs_failed += 1;
+                    return Response::Error {
+                        id: r.id.clone(),
+                        kind: ErrorKind::Run,
+                        message: format!(
+                            "measured peak {measured} bytes exceeds device \
+                             capacity {} (prediction was {predicted}; the \
+                             measured peak is now learned, so resubmission \
+                             is rejected at admission)",
+                            device.global_mem_bytes
+                        ),
+                        predicted_peak_bytes: Some(predicted),
+                        capacity: Some(device.global_mem_bytes),
+                    };
+                }
+                self.inner
+                    .counters
+                    .lock()
+                    .expect("counters lock")
+                    .jobs_completed += 1;
+                Response::RunOk {
+                    id: r.id.clone(),
+                    outputs,
+                    spans,
+                    cache_hit,
+                    predicted_peak_bytes: predicted,
+                    device: device.name.clone(),
+                    measured_peak_bytes: measured,
+                    total_us: perf.total_us,
+                }
+            }
+            Err(e) => {
+                self.inner
+                    .counters
+                    .lock()
+                    .expect("counters lock")
+                    .jobs_failed += 1;
+                Response::Error {
+                    id: r.id.clone(),
+                    kind: ErrorKind::Run,
+                    message: e.to_string(),
+                    predicted_peak_bytes: Some(predicted),
+                    capacity: Some(device.global_mem_bytes),
+                }
+            }
+        }
+    }
+}
+
+/// Serves line-delimited JSON over a reader/writer pair (the stdio
+/// front-end, also used over TCP streams). Requests are handled
+/// concurrently up to the configured worker count; responses are written
+/// as they complete (correlate by `id`). Returns after a `shutdown`
+/// response has been written, or at end of input (which also drains).
+pub fn serve_lines<R, W>(daemon: &Daemon, reader: R, writer: W) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let writer = Mutex::new(writer);
+    let write_line = |line: &str| -> std::io::Result<()> {
+        let mut w = writer.lock().expect("writer lock");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    };
+    let workers = daemon.inner.cfg.workers.max(1);
+    let slots = (Mutex::new(0usize), Condvar::new());
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut shutdown_line: Option<String> = None;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A shutdown drains: stop dispatching, join the scope's
+            // outstanding handlers (scope exit), then acknowledge.
+            if matches!(proto::parse_request(&line), Ok(Request::Shutdown { .. })) {
+                shutdown_line = Some(line);
+                break;
+            }
+            // Throttle to `workers` concurrent handlers.
+            {
+                let mut active = slots.0.lock().expect("slots lock");
+                while *active >= workers {
+                    active = slots.1.wait(active).expect("slots lock");
+                }
+                *active += 1;
+            }
+            let daemon = daemon.clone();
+            let write_line = &write_line;
+            let slots = &slots;
+            scope.spawn(move || {
+                let resp = daemon.handle_line(&line);
+                let _ = write_line(&resp);
+                let mut active = slots.0.lock().expect("slots lock");
+                *active -= 1;
+                slots.1.notify_one();
+            });
+        }
+        // Wait for all dispatched handlers before acknowledging the
+        // shutdown (or returning at EOF).
+        {
+            let mut active = slots.0.lock().expect("slots lock");
+            while *active > 0 {
+                active = slots.1.wait(active).expect("slots lock");
+            }
+        }
+        if let Some(line) = shutdown_line {
+            write_line(&daemon.handle_line(&line))?;
+        }
+        Ok(())
+    })
+}
+
+/// Serves connections on a TCP listener, one thread per connection, until
+/// a `shutdown` request completes on any of them.
+pub fn serve_tcp(daemon: &Daemon, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        loop {
+            if daemon.stopped() {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let daemon = daemon.clone();
+                    scope.spawn(move || {
+                        let reader = BufReader::new(match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        });
+                        let _ = serve_lines(&daemon, reader, stream);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    })
+}

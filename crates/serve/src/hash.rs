@@ -1,0 +1,69 @@
+//! Content hashing for the artifact cache: FNV-1a 64, the classic
+//! non-cryptographic byte hash. Collisions are astronomically unlikely at
+//! cache scale, and the function is dependency-free and deterministic
+//! across platforms — exactly what a content-addressed key needs.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64 hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Feeds bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a length-prefixed string — the prefix keeps concatenated
+    /// fields from aliasing (`("ab","c")` vs `("a","bc")`).
+    pub fn update_str(&mut self, s: &str) -> &mut Self {
+        self.update(&(s.len() as u64).to_le_bytes());
+        self.update(s.as_bytes())
+    }
+
+    /// The hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot hash of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::default();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_aliasing() {
+        let mut a = Fnv1a::default();
+        a.update_str("ab").update_str("c");
+        let mut b = Fnv1a::default();
+        b.update_str("a").update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,502 @@
+//! The `futharkd` wire protocol: line-delimited JSON.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line, correlated by the client-chosen `id`. Three
+//! operations exist:
+//!
+//! - `{"op":"run", "id":..., "source":..., "args":[...], ...}` —
+//!   compile (or hit the artifact cache) and execute a program.
+//! - `{"op":"stats", "id":...}` — server counters: cache hits/misses,
+//!   jobs completed/rejected/failed, per-device capacities.
+//! - `{"op":"shutdown", "id":...}` — stop accepting work, drain the
+//!   queue, reply, exit.
+//!
+//! Values cross the wire in a typed encoding: scalars as
+//! `{"i64": 42}` / `{"f32": 1.5}` / `{"bool": true}` …, arrays as
+//! `{"array": {"elem": "i64", "shape": [2,3], "data": [...]}}`.
+//!
+//! A successful `run` response carries the outputs, a span list (wall
+//! timings per stage; the `compile` span is **absent** on a cache hit),
+//! the cache verdict, the admission prediction, and a perf summary. A
+//! failed `run` carries a structured error with a `kind` of
+//! `"admission"`, `"compile"`, `"run"`, or `"protocol"`; admission
+//! errors include `predicted_peak_bytes` and the best device `capacity`
+//! the job did not fit.
+
+use futhark::{PipelineOptions, SimEngine};
+use futhark_core::{ArrayVal, Buffer, Scalar, ScalarType, Value};
+use futhark_trace::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile-and-execute.
+    Run(RunRequest),
+    /// Server counters.
+    Stats {
+        /// Correlation id.
+        id: String,
+    },
+    /// Drain and exit.
+    Shutdown {
+        /// Correlation id.
+        id: String,
+    },
+}
+
+/// A `run` request.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// Futhark source text (must define `main`).
+    pub source: String,
+    /// Entry arguments.
+    pub args: Vec<Value>,
+    /// Pipeline configuration (defaults to everything on).
+    pub options: PipelineOptions,
+    /// Host worker threads for group execution (default 1 — a server
+    /// parallelises across jobs, not within them).
+    pub threads: usize,
+    /// Group-execution engine (default warp).
+    pub engine: SimEngine,
+    /// Whether to collect per-site profile counters.
+    pub profile: bool,
+}
+
+/// One timed stage of a job's lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Stage name: `queue`, `compile`, or `execute`.
+    pub name: &'static str,
+    /// Wall-clock duration in microseconds.
+    pub us: f64,
+}
+
+/// Structured failure categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Rejected before execution: the predicted footprint fits no device.
+    Admission,
+    /// The pipeline rejected the program.
+    Compile,
+    /// Execution failed (including post-run capacity violations).
+    Run,
+    /// The request line was not a valid protocol message.
+    Protocol,
+}
+
+impl ErrorKind {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Admission => "admission",
+            ErrorKind::Compile => "compile",
+            ErrorKind::Run => "run",
+            ErrorKind::Protocol => "protocol",
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A completed `run`.
+    RunOk {
+        /// Echoed correlation id.
+        id: String,
+        /// Entry results.
+        outputs: Vec<Value>,
+        /// Timed stages; no `compile` span on a cache hit.
+        spans: Vec<Span>,
+        /// Whether the artifact cache served the compile.
+        cache_hit: bool,
+        /// The admission-time footprint prediction (bytes).
+        predicted_peak_bytes: u64,
+        /// The device the job ran on.
+        device: String,
+        /// Measured peak device bytes.
+        measured_peak_bytes: u64,
+        /// Modelled execution time in microseconds.
+        total_us: f64,
+    },
+    /// A failed request.
+    Error {
+        /// Echoed correlation id (empty if the line had none).
+        id: String,
+        /// Failure category.
+        kind: ErrorKind,
+        /// Human-readable description.
+        message: String,
+        /// For admission errors: the predicted footprint.
+        predicted_peak_bytes: Option<u64>,
+        /// For admission/run capacity errors: the largest capacity tried.
+        capacity: Option<u64>,
+    },
+    /// Server counters.
+    Stats {
+        /// Echoed correlation id.
+        id: String,
+        /// The counters object (already JSON-shaped).
+        body: Json,
+    },
+    /// Shutdown acknowledged; the queue has drained.
+    ShutdownOk {
+        /// Echoed correlation id.
+        id: String,
+        /// Jobs completed over the server's lifetime.
+        jobs_completed: u64,
+    },
+}
+
+/// Encodes a value for the wire.
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Scalar(s) => scalar_to_json(s),
+        Value::Array(a) => Json::obj(vec![(
+            "array",
+            Json::obj(vec![
+                ("elem", Json::Str(elem_name(a.elem_type()).into())),
+                (
+                    "shape",
+                    Json::Arr(a.shape.iter().map(|&d| Json::U64(d as u64)).collect()),
+                ),
+                ("data", buffer_to_json(&a.data)),
+            ]),
+        )]),
+    }
+}
+
+fn scalar_to_json(s: &Scalar) -> Json {
+    match s {
+        Scalar::Bool(b) => Json::obj(vec![("bool", Json::Bool(*b))]),
+        Scalar::I32(k) => Json::obj(vec![("i32", Json::I64(*k as i64))]),
+        Scalar::I64(k) => Json::obj(vec![("i64", Json::I64(*k))]),
+        Scalar::F32(x) => Json::obj(vec![("f32", Json::F64(*x as f64))]),
+        Scalar::F64(x) => Json::obj(vec![("f64", Json::F64(*x))]),
+    }
+}
+
+fn buffer_to_json(b: &Buffer) -> Json {
+    Json::Arr(match b {
+        Buffer::Bool(v) => v.iter().map(|&x| Json::Bool(x)).collect(),
+        Buffer::I32(v) => v.iter().map(|&x| Json::I64(x as i64)).collect(),
+        Buffer::I64(v) => v.iter().map(|&x| Json::I64(x)).collect(),
+        Buffer::F32(v) => v.iter().map(|&x| Json::F64(x as f64)).collect(),
+        Buffer::F64(v) => v.iter().map(|&x| Json::F64(x)).collect(),
+    })
+}
+
+fn elem_name(t: ScalarType) -> &'static str {
+    match t {
+        ScalarType::Bool => "bool",
+        ScalarType::I32 => "i32",
+        ScalarType::I64 => "i64",
+        ScalarType::F32 => "f32",
+        ScalarType::F64 => "f64",
+    }
+}
+
+fn elem_of_name(s: &str) -> Option<ScalarType> {
+    Some(match s {
+        "bool" => ScalarType::Bool,
+        "i32" => ScalarType::I32,
+        "i64" => ScalarType::I64,
+        "f32" => ScalarType::F32,
+        "f64" => ScalarType::F64,
+        _ => return None,
+    })
+}
+
+/// Decodes a wire value.
+pub fn value_from_json(j: &Json) -> Option<Value> {
+    if let Some(a) = j.get("array") {
+        let elem = elem_of_name(a.get("elem")?.as_str()?)?;
+        let shape: Vec<usize> = a
+            .get("shape")?
+            .as_arr()?
+            .iter()
+            .map(|d| d.as_u64().map(|d| d as usize))
+            .collect::<Option<_>>()?;
+        let data = a.get("data")?.as_arr()?;
+        if shape.iter().product::<usize>() != data.len() {
+            return None;
+        }
+        let buf = match elem {
+            ScalarType::Bool => Buffer::Bool(
+                data.iter()
+                    .map(|x| match x {
+                        Json::Bool(b) => Some(*b),
+                        _ => None,
+                    })
+                    .collect::<Option<_>>()?,
+            ),
+            ScalarType::I32 => Buffer::I32(
+                data.iter()
+                    .map(|x| as_i64(x).and_then(|k| i32::try_from(k).ok()))
+                    .collect::<Option<_>>()?,
+            ),
+            ScalarType::I64 => Buffer::I64(data.iter().map(as_i64).collect::<Option<_>>()?),
+            ScalarType::F32 => Buffer::F32(
+                data.iter()
+                    .map(|x| x.as_f64().map(|f| f as f32))
+                    .collect::<Option<_>>()?,
+            ),
+            ScalarType::F64 => Buffer::F64(data.iter().map(Json::as_f64).collect::<Option<_>>()?),
+        };
+        return Some(Value::Array(ArrayVal::new(shape, buf)));
+    }
+    let s = if let Some(b) = j.get("bool") {
+        match b {
+            Json::Bool(x) => Scalar::Bool(*x),
+            _ => return None,
+        }
+    } else if let Some(k) = j.get("i32") {
+        Scalar::I32(i32::try_from(as_i64(k)?).ok()?)
+    } else if let Some(k) = j.get("i64") {
+        Scalar::I64(as_i64(k)?)
+    } else if let Some(x) = j.get("f32") {
+        Scalar::F32(x.as_f64()? as f32)
+    } else if let Some(x) = j.get("f64") {
+        Scalar::F64(x.as_f64()?)
+    } else {
+        return None;
+    };
+    Some(Value::Scalar(s))
+}
+
+fn as_i64(j: &Json) -> Option<i64> {
+    match j {
+        Json::I64(k) => Some(*k),
+        Json::U64(k) => i64::try_from(*k).ok(),
+        _ => None,
+    }
+}
+
+/// Parses a request line. `Err` carries a protocol-error message (and the
+/// correlation id when one was recoverable).
+pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let j = Json::parse(line).map_err(|e| (String::new(), format!("invalid JSON: {e}")))?;
+    let id = j
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let op = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| (id.clone(), "missing \"op\"".to_string()))?;
+    match op {
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "run" => {
+            let source = j
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or_else(|| (id.clone(), "run: missing \"source\"".to_string()))?
+                .to_string();
+            let args = match j.get("args") {
+                Some(a) => a
+                    .as_arr()
+                    .ok_or_else(|| (id.clone(), "run: \"args\" must be an array".to_string()))?
+                    .iter()
+                    .map(value_from_json)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| (id.clone(), "run: malformed argument value".to_string()))?,
+                None => Vec::new(),
+            };
+            let options = match j.get("options") {
+                Some(o) => options_from_json(o)
+                    .ok_or_else(|| (id.clone(), "run: malformed \"options\"".to_string()))?,
+                None => PipelineOptions::default(),
+            };
+            let threads = match j.get("threads") {
+                Some(t) => t
+                    .as_u64()
+                    .filter(|&t| t >= 1)
+                    .ok_or_else(|| (id.clone(), "run: \"threads\" must be >= 1".to_string()))?
+                    as usize,
+                None => 1,
+            };
+            let engine = match j.get("engine").and_then(Json::as_str) {
+                None => SimEngine::Warp,
+                Some("warp") => SimEngine::Warp,
+                Some("lane") => SimEngine::Lane,
+                Some(other) => {
+                    return Err((id, format!("run: unknown engine {other:?}")));
+                }
+            };
+            let profile = matches!(j.get("profile"), Some(Json::Bool(true)));
+            Ok(Request::Run(RunRequest {
+                id,
+                source,
+                args,
+                options,
+                threads,
+                engine,
+                profile,
+            }))
+        }
+        other => Err((id, format!("unknown op {other:?}"))),
+    }
+}
+
+/// Partial-object pipeline options: absent switches keep their defaults.
+fn options_from_json(j: &Json) -> Option<PipelineOptions> {
+    let mut o = PipelineOptions::default();
+    for (k, v) in j.as_obj()? {
+        let b = match v {
+            Json::Bool(b) => *b,
+            _ => return None,
+        };
+        match k.as_str() {
+            "simplify" => o.simplify = b,
+            "fusion" => o.fusion = b,
+            "coalescing" => o.coalescing = b,
+            "tiling" => o.tiling = b,
+            "memplan" => o.memplan = b,
+            "check" => o.check = b,
+            _ => return None,
+        }
+    }
+    Some(o)
+}
+
+impl Response {
+    /// Renders the response as one compact JSON line (no newline).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::RunOk {
+                id,
+                outputs,
+                spans,
+                cache_hit,
+                predicted_peak_bytes,
+                device,
+                measured_peak_bytes,
+                total_us,
+            } => Json::obj(vec![
+                ("id", Json::Str(id.clone())),
+                ("status", Json::Str("ok".into())),
+                (
+                    "outputs",
+                    Json::Arr(outputs.iter().map(value_to_json).collect()),
+                ),
+                (
+                    "spans",
+                    Json::Arr(
+                        spans
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("name", Json::Str(s.name.into())),
+                                    ("us", Json::F64(s.us)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "cache",
+                    Json::Str(if *cache_hit { "hit" } else { "miss" }.into()),
+                ),
+                ("predicted_peak_bytes", Json::U64(*predicted_peak_bytes)),
+                ("device", Json::Str(device.clone())),
+                ("measured_peak_bytes", Json::U64(*measured_peak_bytes)),
+                ("total_us", Json::F64(*total_us)),
+            ]),
+            Response::Error {
+                id,
+                kind,
+                message,
+                predicted_peak_bytes,
+                capacity,
+            } => {
+                let mut pairs = vec![
+                    ("id", Json::Str(id.clone())),
+                    ("status", Json::Str("error".into())),
+                    ("kind", Json::Str(kind.as_str().into())),
+                    ("message", Json::Str(message.clone())),
+                ];
+                if let Some(p) = predicted_peak_bytes {
+                    pairs.push(("predicted_peak_bytes", Json::U64(*p)));
+                }
+                if let Some(c) = capacity {
+                    pairs.push(("capacity", Json::U64(*c)));
+                }
+                Json::obj(pairs)
+            }
+            Response::Stats { id, body } => Json::obj(vec![
+                ("id", Json::Str(id.clone())),
+                ("status", Json::Str("ok".into())),
+                ("stats", body.clone()),
+            ]),
+            Response::ShutdownOk { id, jobs_completed } => Json::obj(vec![
+                ("id", Json::Str(id.clone())),
+                ("status", Json::Str("ok".into())),
+                ("shutdown", Json::Bool(true)),
+                ("jobs_completed", Json::U64(*jobs_completed)),
+            ]),
+        }
+    }
+
+    /// Renders as a wire line.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let vals = vec![
+            Value::i64(-3),
+            Value::Scalar(Scalar::Bool(true)),
+            Value::Scalar(Scalar::F32(1.5)),
+            Value::Scalar(Scalar::F64(-0.25)),
+            Value::Scalar(Scalar::I32(7)),
+            Value::Array(ArrayVal::from_i64s(vec![1, 2, 3])),
+            Value::Array(ArrayVal::new(
+                vec![2, 2],
+                Buffer::F64(vec![0.5, 1.5, 2.5, 3.5]),
+            )),
+            Value::Array(ArrayVal::new(vec![2], Buffer::Bool(vec![true, false]))),
+        ];
+        for v in vals {
+            let j = value_to_json(&v);
+            let parsed = Json::parse(&j.render()).expect("valid JSON");
+            let back = value_from_json(&parsed).expect("decodes");
+            assert!(v.bit_eq(&back), "{v:?} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn run_request_parses_with_defaults() {
+        let line =
+            r#"{"op":"run","id":"j1","source":"fun main (x: i64): i64 = x","args":[{"i64":5}]}"#;
+        match parse_request(line).expect("parses") {
+            Request::Run(r) => {
+                assert_eq!(r.id, "j1");
+                assert_eq!(r.threads, 1);
+                assert_eq!(r.engine, SimEngine::Warp);
+                assert!(!r.profile);
+                assert_eq!(r.options, PipelineOptions::default());
+                assert_eq!(r.args, vec![Value::i64(5)]);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_protocol_errors_with_recovered_ids() {
+        assert!(parse_request("not json").is_err());
+        let (id, msg) = parse_request(r#"{"id":"x","op":"nope"}"#).unwrap_err();
+        assert_eq!(id, "x");
+        assert!(msg.contains("unknown op"));
+        let (id, _) = parse_request(r#"{"id":"y","op":"run"}"#).unwrap_err();
+        assert_eq!(id, "y");
+    }
+}

@@ -1,0 +1,381 @@
+//! Integration tests for `futharkd`: the artifact cache is observable
+//! through the span list, concurrent mixed-tenant execution is
+//! bit-identical to sequential, admission control rejects over-capacity
+//! jobs before execution with the prediction attached, shutdown drains
+//! the queue, the TCP front-end round-trips, and job failures are job
+//! errors — never daemon deaths.
+
+use futhark::DeviceProfile;
+use futhark_serve::daemon::{serve_lines, serve_tcp};
+use futhark_serve::{Daemon, DaemonConfig};
+use futhark_trace::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+const MAP_SRC: &str = "fun main (n: i64) (xs: [n]i64): [n]i64 =\n\
+                       map (\\(x: i64) -> if x % 3 == 0 then x * 2 else x - 1) xs";
+const SCAN_SRC: &str = "fun main (n: i64) (xs: [n]i64): i64 =\n\
+                        let a = map (\\x -> x * 3 + 1) xs\n\
+                        let b = scan (+) 0 a\n\
+                        in reduce (+) 0 b";
+const REPL_SRC: &str = "fun main (n: i64): [n]i64 = replicate n 7";
+
+fn daemon(devices: usize) -> Daemon {
+    Daemon::new(DaemonConfig {
+        devices: (0..devices)
+            .map(|i| {
+                let mut d = DeviceProfile::gtx780();
+                d.name = format!("gtx780#{i}");
+                d
+            })
+            .collect(),
+        workers: devices.max(2),
+        cache_capacity: 32,
+    })
+}
+
+fn run_line(id: &str, source: &str, n: i64, with_array: bool) -> String {
+    let args = if with_array {
+        let xs: Vec<String> = (0..n).map(|i| (i * 7 % 1001).to_string()).collect();
+        format!(
+            r#"[{{"i64":{n}}},{{"array":{{"elem":"i64","shape":[{n}],"data":[{}]}}}}]"#,
+            xs.join(",")
+        )
+    } else {
+        format!(r#"[{{"i64":{n}}}]"#)
+    };
+    format!(
+        r#"{{"op":"run","id":"{id}","source":{},"args":{args}}}"#,
+        quote(source)
+    )
+}
+
+fn quote(s: &str) -> String {
+    Json::Str(s.to_string()).render()
+}
+
+fn parse(resp: &str) -> Json {
+    Json::parse(resp).unwrap_or_else(|e| panic!("bad response JSON {resp:?}: {e}"))
+}
+
+fn span_names(j: &Json) -> Vec<String> {
+    j.get("spans")
+        .and_then(Json::as_arr)
+        .expect("spans array")
+        .iter()
+        .map(|s| {
+            s.get("name")
+                .and_then(Json::as_str)
+                .expect("span name")
+                .to_string()
+        })
+        .collect()
+}
+
+/// Repeat submission of the same source hits the artifact cache: the
+/// second response reports `"cache":"hit"` and its span list has no
+/// `compile` entry, while outputs stay identical.
+#[test]
+fn repeat_submission_hits_the_cache_and_skips_compile() {
+    let d = daemon(1);
+    let first = parse(&d.handle_line(&run_line("a", MAP_SRC, 64, true)));
+    let second = parse(&d.handle_line(&run_line("b", MAP_SRC, 64, true)));
+
+    assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+    assert!(span_names(&first).contains(&"compile".to_string()));
+
+    assert_eq!(second.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(second.get("cache").and_then(Json::as_str), Some("hit"));
+    assert!(
+        !span_names(&second).contains(&"compile".to_string()),
+        "cache hit must not carry a compile span, got {:?}",
+        span_names(&second)
+    );
+    assert_eq!(first.get("outputs"), second.get("outputs"));
+
+    let stats = d.stats();
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.jobs_completed, 2);
+}
+
+/// Different pipeline options are different artifacts: flipping a switch
+/// is a miss, not a stale hit.
+#[test]
+fn options_are_part_of_the_cache_key() {
+    let d = daemon(1);
+    let with_fusion = run_line("a", MAP_SRC, 32, true);
+    let without = format!(
+        r#"{{"op":"run","id":"b","source":{},"args":[{{"i64":4}},{{"array":{{"elem":"i64","shape":[4],"data":[1,2,3,4]}}}}],"options":{{"fusion":false}}}}"#,
+        quote(MAP_SRC)
+    );
+    parse(&d.handle_line(&with_fusion));
+    let second = parse(&d.handle_line(&without));
+    assert_eq!(second.get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(d.stats().cache.misses, 2);
+}
+
+/// Concurrent mixed-tenant load produces bit-identical responses to the
+/// same jobs run sequentially: no cross-request state (engine, thread
+/// count, uniform tallies, cache) bleeds between tenants.
+#[test]
+fn concurrent_mixed_tenants_match_sequential_bit_for_bit() {
+    // Tenant mix: two programs, three sizes, both engines.
+    let mut jobs = Vec::new();
+    for (p, src) in [("map", MAP_SRC), ("scan", SCAN_SRC)] {
+        for n in [16i64, 64, 256] {
+            for engine in ["warp", "lane"] {
+                let id = format!("{p}-{n}-{engine}");
+                let line = {
+                    let xs: Vec<String> = (0..n).map(|i| (i * 7 % 1001).to_string()).collect();
+                    format!(
+                        r#"{{"op":"run","id":"{id}","source":{},"args":[{{"i64":{n}}},{{"array":{{"elem":"i64","shape":[{n}],"data":[{}]}}}}],"engine":"{engine}"}}"#,
+                        quote(src),
+                        xs.join(",")
+                    )
+                };
+                jobs.push((id, line));
+            }
+        }
+    }
+
+    // Sequential reference on a fresh daemon.
+    let seq = daemon(1);
+    let mut expect = std::collections::BTreeMap::new();
+    for (id, line) in &jobs {
+        let j = parse(&seq.handle_line(line));
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"), "{id}");
+        expect.insert(id.clone(), j.get("outputs").expect("outputs").clone());
+    }
+
+    // Concurrent run on a pool of four devices.
+    let conc = daemon(4);
+    let got = std::sync::Mutex::new(std::collections::BTreeMap::new());
+    std::thread::scope(|scope| {
+        for (id, line) in &jobs {
+            let conc = conc.clone();
+            let got = &got;
+            scope.spawn(move || {
+                let j = parse(&conc.handle_line(line));
+                assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"), "{id}");
+                got.lock()
+                    .expect("results lock")
+                    .insert(id.clone(), j.get("outputs").expect("outputs").clone());
+            });
+        }
+    });
+    let got = got.into_inner().expect("results lock");
+    assert_eq!(got.len(), expect.len());
+    for (id, out) in &expect {
+        assert_eq!(
+            got.get(id),
+            Some(out),
+            "{id}: concurrent outputs differ from sequential"
+        );
+    }
+}
+
+/// A job whose predicted footprint exceeds every device's capacity is
+/// rejected at admission — before any device time — with the prediction
+/// and the capacity in the structured error.
+#[test]
+fn over_capacity_jobs_are_rejected_at_admission() {
+    let d = daemon(1);
+    let n = 1i64 << 30; // 8 GiB of i64s vs the 3 GiB GTX 780 profile
+    let resp = parse(&d.handle_line(&run_line("big", REPL_SRC, n, false)));
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(resp.get("kind").and_then(Json::as_str), Some("admission"));
+    let predicted = resp
+        .get("predicted_peak_bytes")
+        .and_then(Json::as_u64)
+        .expect("admission error carries predicted_peak_bytes");
+    let capacity = resp
+        .get("capacity")
+        .and_then(Json::as_u64)
+        .expect("admission error carries capacity");
+    assert!(predicted > capacity);
+    assert_eq!(capacity, DeviceProfile::gtx780().global_mem_bytes);
+    let stats = d.stats();
+    assert_eq!(stats.jobs_rejected, 1);
+    assert_eq!(stats.jobs_completed, 0);
+
+    // The same program at an admissible size still runs.
+    let ok = parse(&d.handle_line(&run_line("small", REPL_SRC, 64, false)));
+    assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+}
+
+/// Shutdown drains: jobs accepted before the shutdown complete and get
+/// their responses; the acknowledgement arrives only after the queue is
+/// empty; later submissions are refused.
+#[test]
+fn shutdown_drains_queued_jobs_first() {
+    // A host loop of several hundred launches: slow enough that all four
+    // jobs are still in flight (one running, three queued on the single
+    // device) when the shutdown arrives.
+    const SLOW_SRC: &str = "fun main (n: i64) (k: i64) (xs: [n]i64): [n]i64 =\n\
+                            loop (cur = xs) for i < k do map (\\x -> x * 3 + 1) cur";
+    let slow_line = |id: &str| {
+        let n = 1024;
+        let xs: Vec<String> = (0..n).map(|i| (i % 97).to_string()).collect();
+        format!(
+            r#"{{"op":"run","id":"{id}","source":{},"args":[{{"i64":{n}}},{{"i64":400}},{{"array":{{"elem":"i64","shape":[{n}],"data":[{}]}}}}]}}"#,
+            quote(SLOW_SRC),
+            xs.join(",")
+        )
+    };
+    let d = daemon(1); // one device => later jobs genuinely queue
+    let jobs = 4;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..jobs {
+            let d = d.clone();
+            let line = slow_line(&format!("j{i}"));
+            handles.push(scope.spawn(move || parse(&d.handle_line(&line))));
+        }
+        // Wait until every job is registered in flight, then shut down.
+        let t0 = Instant::now();
+        while d.inflight() < jobs && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(d.inflight(), jobs, "jobs should be queued before shutdown");
+        let ack = parse(&d.handle_line(r#"{"op":"shutdown","id":"bye"}"#));
+        assert_eq!(ack.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            ack.get("jobs_completed").and_then(Json::as_u64),
+            Some(jobs),
+            "shutdown must drain every accepted job before acknowledging"
+        );
+        for h in handles {
+            let j = h.join().expect("job thread");
+            assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"));
+        }
+    });
+    // After the drain, new work is refused.
+    let refused = parse(&d.handle_line(&run_line("late", MAP_SRC, 16, true)));
+    assert_eq!(refused.get("status").and_then(Json::as_str), Some("error"));
+    assert!(d.stopped());
+}
+
+/// The line front-end over an in-memory stream: concurrent responses,
+/// the shutdown acknowledgement last, all ids answered.
+#[test]
+fn serve_lines_answers_every_request_and_acks_shutdown_last() {
+    let d = daemon(2);
+    let mut input = String::new();
+    for i in 0..5 {
+        input.push_str(&run_line(&format!("r{i}"), MAP_SRC, 32, true));
+        input.push('\n');
+    }
+    input.push_str(r#"{"op":"stats","id":"s"}"#);
+    input.push('\n');
+    input.push_str(r#"{"op":"shutdown","id":"z"}"#);
+    input.push('\n');
+
+    let mut out: Vec<u8> = Vec::new();
+    serve_lines(&d, std::io::Cursor::new(input), &mut out).expect("serves");
+    let lines: Vec<Json> = String::from_utf8(out)
+        .expect("utf8")
+        .lines()
+        .map(parse)
+        .collect();
+    assert_eq!(lines.len(), 7);
+    let mut ids: Vec<&str> = lines
+        .iter()
+        .map(|j| j.get("id").and_then(Json::as_str).expect("id"))
+        .collect();
+    let last = ids.pop();
+    assert_eq!(last, Some("z"), "shutdown acknowledgement must come last");
+    ids.sort_unstable();
+    assert_eq!(ids, vec!["r0", "r1", "r2", "r3", "r4", "s"]);
+    for j in &lines {
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("ok"));
+    }
+}
+
+/// TCP round-trip: a client connects, runs a job twice (second is a
+/// cache hit), reads stats, shuts the server down.
+#[test]
+fn tcp_round_trip_with_cache_and_shutdown() {
+    let d = daemon(1);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = {
+        let d = d.clone();
+        std::thread::spawn(move || serve_tcp(&d, listener))
+    };
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    let mut send = |line: &str| {
+        stream.write_all(line.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write");
+    };
+    let mut recv = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        parse(&line)
+    };
+
+    send(&run_line("t1", MAP_SRC, 48, true));
+    let first = recv();
+    assert_eq!(first.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(first.get("cache").and_then(Json::as_str), Some("miss"));
+
+    send(&run_line("t2", MAP_SRC, 48, true));
+    let second = recv();
+    assert_eq!(second.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(first.get("outputs"), second.get("outputs"));
+
+    send(r#"{"op":"stats","id":"st"}"#);
+    let stats = recv();
+    let cache = stats
+        .get("stats")
+        .and_then(|s| s.get("cache"))
+        .expect("cache stats");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+
+    send(r#"{"op":"shutdown","id":"down"}"#);
+    let ack = recv();
+    assert_eq!(ack.get("id").and_then(Json::as_str), Some("down"));
+    assert_eq!(ack.get("status").and_then(Json::as_str), Some("ok"));
+    server.join().expect("server thread").expect("serve_tcp");
+}
+
+/// Failures are job-scoped: a compile error, a runtime fault, and a
+/// malformed line each produce a structured error response, and the
+/// daemon keeps serving afterwards.
+#[test]
+fn failures_are_job_errors_not_daemon_deaths() {
+    let d = daemon(1);
+
+    let bad_compile = format!(
+        r#"{{"op":"run","id":"c","source":{},"args":[]}}"#,
+        quote("fun main (x: i64): i64 = y")
+    );
+    let j = parse(&d.handle_line(&bad_compile));
+    assert_eq!(j.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(j.get("kind").and_then(Json::as_str), Some("compile"));
+
+    // Out-of-bounds host read: a runtime fault, reported as kind "run".
+    let oob = format!(
+        r#"{{"op":"run","id":"o","source":{},"args":[{{"i64":4}},{{"array":{{"elem":"i64","shape":[4],"data":[1,2,3,4]}}}}]}}"#,
+        quote("fun main (n: i64) (xs: [n]i64): i64 = xs[n]")
+    );
+    let j = parse(&d.handle_line(&oob));
+    assert_eq!(j.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(j.get("kind").and_then(Json::as_str), Some("run"));
+
+    let j = parse(&d.handle_line("this is not json"));
+    assert_eq!(j.get("kind").and_then(Json::as_str), Some("protocol"));
+
+    // Still alive and correct.
+    let ok = parse(&d.handle_line(&run_line("alive", MAP_SRC, 16, true)));
+    assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+    let stats = d.stats();
+    assert_eq!(stats.jobs_failed, 2);
+    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.jobs_completed, 1);
+}

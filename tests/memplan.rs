@@ -190,3 +190,95 @@ fn undersized_device_reports_out_of_memory() {
         .expect("fits on the real profile");
     assert_eq!(out, interp(SCAN_CHAIN, &args));
 }
+
+// ---------------------------------------------------------------------------
+// Static peak prediction (admission control)
+// ---------------------------------------------------------------------------
+
+/// `predict_peak_bytes` is a lower bound on the measured peak across all
+/// sixteen paper benchmarks: the daemon's admission control may reject a
+/// job only when even its optimistic footprint cannot fit, so the
+/// prediction must never exceed what a run actually uses — and it must
+/// be non-trivial (at least the uploaded input bytes).
+#[test]
+fn predicted_peak_is_a_nontrivial_lower_bound_on_all_benchmarks() {
+    let profile = Device::Gtx780.profile();
+    for b in futhark_bench::all_benchmarks() {
+        let compiled = b
+            .compile(PipelineOptions::default())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", b.name));
+        let (_, perf) = compiled
+            .run(Device::Gtx780, &b.small_args)
+            .unwrap_or_else(|e| panic!("{}: run failed: {e}", b.name));
+        let pred = futhark_gpu::predict_peak_bytes(&compiled.plan, &profile, &b.small_args);
+        let input_bytes: u64 = b
+            .small_args
+            .iter()
+            .map(|v| match v {
+                Value::Array(a) => (a.data.len() * a.elem_type().byte_size()) as u64,
+                _ => 0,
+            })
+            .sum();
+        assert!(
+            pred.peak_bytes <= perf.mem.peak_bytes,
+            "{}: predicted {} exceeds measured peak {} (prediction must be \
+             a lower bound)",
+            b.name,
+            pred.peak_bytes,
+            perf.mem.peak_bytes
+        );
+        assert!(
+            pred.peak_bytes >= input_bytes,
+            "{}: predicted {} below the {} input bytes the run must upload",
+            b.name,
+            pred.peak_bytes,
+            input_bytes
+        );
+    }
+}
+
+/// A straight-line program with fully known sizes predicts exactly: the
+/// abstract walk sees every allocation the executor performs, so the
+/// prediction equals the measured peak, and the `exact` flag says so.
+#[test]
+fn straight_line_prediction_is_exact() {
+    let args = i64_args(4096);
+    let compiled = Compiler::new().compile(SCAN_CHAIN).expect("compiles");
+    let (_, perf) = compiled
+        .run(Device::Gtx780, &args)
+        .expect("runs on the default profile");
+    let pred = futhark_gpu::predict_peak_bytes(&compiled.plan, &Device::Gtx780.profile(), &args);
+    assert!(
+        pred.exact,
+        "no loops or unknowns — prediction should be exact"
+    );
+    assert_eq!(
+        pred.peak_bytes, perf.mem.peak_bytes,
+        "exact prediction must equal the measured peak"
+    );
+}
+
+/// The admission-control scenario: a job whose predicted footprint alone
+/// exceeds the device's capacity is detectable *before* execution — the
+/// prediction for a huge `replicate` crosses `global_mem_bytes` while
+/// actually running it would OOM mid-flight.
+#[test]
+fn prediction_flags_over_capacity_jobs_before_execution() {
+    const HUGE: &str = "fun main (n: i64): [n]i64 = replicate n 7";
+    let compiled = Compiler::new().compile(HUGE).expect("compiles");
+    let profile = Device::Gtx780.profile();
+    let n = 1i64 << 30; // 8 GiB of i64s vs a 3 GiB device
+    let pred = futhark_gpu::predict_peak_bytes(&compiled.plan, &profile, &[Value::i64(n)]);
+    assert!(
+        pred.peak_bytes > profile.global_mem_bytes,
+        "predicted {} should exceed capacity {}",
+        pred.peak_bytes,
+        profile.global_mem_bytes
+    );
+    // And a small instance of the same program is admissible and runs.
+    let small = futhark_gpu::predict_peak_bytes(&compiled.plan, &profile, &[Value::i64(64)]);
+    assert!(small.peak_bytes <= profile.global_mem_bytes);
+    compiled
+        .run(Device::Gtx780, &[Value::i64(64)])
+        .expect("small instance runs");
+}
