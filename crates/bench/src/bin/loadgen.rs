@@ -17,7 +17,19 @@
 //! `OutOfMemory`: under admission control, jobs that cannot fit are
 //! rejected up front.
 //!
+//! With `--scrape`, each level additionally scrapes the daemon's own
+//! telemetry registry (the `metrics` protocol op) after the warm phase
+//! and **cross-checks it against the client-side measurements**: the
+//! daemon's end-to-end histogram must hold exactly one observation per
+//! submitted job, its p50/p99 estimates must agree with the client's
+//! measured percentiles within the histogram's 2× bucket bound (plus
+//! 1 ms slack; daemon latency is nested inside client latency, so the
+//! two bracket each other), and the per-device busy time must fit in
+//! the wall-clock budget the clients provided. The scraped registry is
+//! written into `BENCH_serve.json` next to the client-side numbers.
+//!
 //! Usage: loadgen [--quick] [--clients N] [--sweep] [--fuzz N] [--out FILE]
+//!                [--scrape] [--chrome FILE]
 //!        loadgen --check-schema FILE
 //!
 //!   --quick       CI smoke: fewer fuzz programs and warm repeats
@@ -25,6 +37,11 @@
 //!   --sweep       run the 1/4/16-client ladder (the EXPERIMENTS table)
 //!   --fuzz N      fuzz-generated programs in the mix (default 8)
 //!   --out FILE    output path (default BENCH_serve.json)
+//!   --scrape      scrape daemon telemetry per level, self-assert
+//!                 client/daemon agreement, embed the registry in the
+//!                 output
+//!   --chrome FILE write the last level's daemon timeline (one track
+//!                 per device plus the queue) as a Chrome/Perfetto trace
 //!   --check-schema FILE  compare FILE's JSON schema (recursive key set)
 //!                 against what loadgen writes today; exit 1 on drift
 
@@ -182,6 +199,205 @@ fn phase_json(p: &PhaseOut) -> Json {
     ])
 }
 
+/// One scraped histogram, projected to a fixed-schema summary (ms).
+fn hist_summary(h: &Json) -> Json {
+    let us = |k: &str| h.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    Json::obj(vec![
+        (
+            "count",
+            Json::U64(h.get("count").and_then(Json::as_u64).unwrap_or(0)),
+        ),
+        ("p50_ms", Json::F64(us("p50_us") / 1e3)),
+        ("p99_ms", Json::F64(us("p99_us") / 1e3)),
+        ("sum_ms", Json::F64(us("sum_us") / 1e3)),
+    ])
+}
+
+struct ScrapeCheck {
+    row: Json,
+    daemon_registry: Json,
+    failures: Vec<String>,
+}
+
+/// Scrapes the daemon's telemetry registry and cross-checks its latency
+/// histograms and job ledger against the client-side measurements of the
+/// cold+warm phases. The agreement bounds are the histogram's bucket
+/// guarantee: a quantile estimate is within 2× of the true order
+/// statistic, and daemon-side end-to-end latency is nested inside the
+/// client's measurement, so `daemon_p ≤ 2·client_p + slack` and
+/// `client_p ≤ 2·daemon_p + slack` must both hold.
+fn scrape_and_check(
+    daemon: &Daemon,
+    cold: &PhaseOut,
+    warm: &PhaseOut,
+    ndevices: usize,
+) -> ScrapeCheck {
+    let mut failures = Vec::new();
+    let resp = Json::parse(&daemon.handle_line(r#"{"op":"metrics","id":"scrape"}"#))
+        .expect("metrics response is JSON");
+    let m = resp.get("metrics").expect("metrics body").clone();
+    let counters = m.get("counters").expect("counters");
+    let c = |k: &str| counters.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let hists = m.get("histograms").expect("histograms");
+    let e2e = hists.get("e2e_us").expect("e2e_us");
+
+    // Client-side view: both phases combined.
+    let mut client: Vec<f64> = cold
+        .latencies_ms
+        .iter()
+        .chain(&warm.latencies_ms)
+        .copied()
+        .collect();
+    client.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let client_jobs = client.len() as u64;
+    let client_p50 = percentile(&client, 50.0);
+    let client_p99 = percentile(&client, 99.0);
+    let wall_s = cold.wall_s + warm.wall_s;
+    let client_jps = client_jobs as f64 / wall_s.max(1e-9);
+
+    // Daemon-side view.
+    let daemon_jobs = e2e.get("count").and_then(Json::as_u64).unwrap_or(0);
+    let daemon_p50 = e2e.get("p50_us").and_then(Json::as_f64).unwrap_or(0.0) / 1e3;
+    let daemon_p99 = e2e.get("p99_us").and_then(Json::as_f64).unwrap_or(0.0) / 1e3;
+    let daemon_jps = daemon_jobs as f64 / wall_s.max(1e-9);
+    let busy_us: u64 = m
+        .get("devices")
+        .and_then(Json::as_arr)
+        .expect("devices")
+        .iter()
+        .map(|d| d.get("busy_us").and_then(Json::as_u64).unwrap_or(0))
+        .sum();
+
+    // Ledger: every client job was admitted, executed, and observed
+    // exactly once by every latency histogram.
+    if c("jobs.admitted") != client_jobs {
+        failures.push(format!(
+            "daemon admitted {} jobs, clients submitted {client_jobs}",
+            c("jobs.admitted")
+        ));
+    }
+    for name in ["queue_wait_us", "execute_us", "e2e_us"] {
+        let n = hists
+            .get(name)
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if n != client_jobs {
+            failures.push(format!(
+                "histogram {name} holds {n} jobs, expected {client_jobs}"
+            ));
+        }
+    }
+    if c("jobs.completed") != client_jobs {
+        failures.push(format!(
+            "daemon completed {} of {client_jobs} jobs",
+            c("jobs.completed")
+        ));
+    }
+    // Percentile agreement under the 2x bucket bound (+1 ms slack for
+    // client-side overhead around handle_line).
+    const SLACK_MS: f64 = 1.0;
+    for (name, d, cl) in [
+        ("p50", daemon_p50, client_p50),
+        ("p99", daemon_p99, client_p99),
+    ] {
+        if d > 2.0 * cl + SLACK_MS {
+            failures.push(format!(
+                "daemon {name} {d:.3} ms exceeds 2x client {name} {cl:.3} ms + {SLACK_MS} ms"
+            ));
+        }
+        if cl > 2.0 * d + SLACK_MS {
+            failures.push(format!(
+                "client {name} {cl:.3} ms exceeds 2x daemon {name} {d:.3} ms + {SLACK_MS} ms"
+            ));
+        }
+    }
+    // Device busy time cannot exceed the wall-clock budget the clients
+    // provided (10% + 10 ms tolerance for timer skew).
+    let budget_us = wall_s * 1e6 * ndevices as f64 * 1.10 + 10_000.0;
+    if (busy_us as f64) > budget_us {
+        failures.push(format!(
+            "device busy time {busy_us} µs exceeds wall budget {budget_us:.0} µs"
+        ));
+    }
+    // Gauges drained back to zero: nothing in flight after the phases.
+    let gauges = m.get("gauges").expect("gauges");
+    for g in ["inflight", "queue_depth", "devices_busy"] {
+        let v = gauges.get(g).and_then(Json::as_u64).unwrap_or(u64::MAX);
+        if v != 0 {
+            failures.push(format!("gauge {g} is {v} after drain, expected 0"));
+        }
+    }
+
+    // Fixed-schema projection of the scraped registry for the output.
+    let declared: Vec<(&str, Json)> = [
+        "jobs.received",
+        "jobs.admitted",
+        "jobs.rejected",
+        "jobs.completed",
+        "jobs.failed",
+        "protocol.errors",
+        "queue.waits",
+        "cache.hits",
+        "cache.misses",
+    ]
+    .iter()
+    .map(|&k| (k, Json::U64(c(k))))
+    .collect();
+    let devices: Vec<Json> = m
+        .get("devices")
+        .and_then(Json::as_arr)
+        .expect("devices")
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                (
+                    "name",
+                    Json::Str(d.get("name").and_then(Json::as_str).unwrap_or("?").into()),
+                ),
+                (
+                    "jobs",
+                    Json::U64(d.get("jobs").and_then(Json::as_u64).unwrap_or(0)),
+                ),
+                (
+                    "busy_us",
+                    Json::U64(d.get("busy_us").and_then(Json::as_u64).unwrap_or(0)),
+                ),
+            ])
+        })
+        .collect();
+    let daemon_registry = Json::obj(vec![
+        ("counters", Json::obj(declared)),
+        (
+            "histograms",
+            Json::obj(
+                ["queue_wait_us", "compile_us", "execute_us", "e2e_us"]
+                    .iter()
+                    .map(|&n| (n, hist_summary(hists.get(n).expect("histogram"))))
+                    .collect(),
+            ),
+        ),
+        ("devices", Json::Arr(devices)),
+    ]);
+    let row = Json::obj(vec![
+        ("client_p50_ms", Json::F64(client_p50)),
+        ("client_p99_ms", Json::F64(client_p99)),
+        ("daemon_p50_ms", Json::F64(daemon_p50)),
+        ("daemon_p99_ms", Json::F64(daemon_p99)),
+        ("client_jobs", Json::U64(client_jobs)),
+        ("daemon_jobs", Json::U64(daemon_jobs)),
+        ("client_jobs_per_sec", Json::F64(client_jps)),
+        ("daemon_jobs_per_sec", Json::F64(daemon_jps)),
+        ("device_busy_us", Json::U64(busy_us)),
+        ("agreement", Json::Bool(failures.is_empty())),
+    ]);
+    ScrapeCheck {
+        row,
+        daemon_registry,
+        failures,
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut clients = 4usize;
@@ -189,6 +405,8 @@ fn main() {
     let mut fuzz_count = 8usize;
     let mut out = "BENCH_serve.json".to_string();
     let mut schema: Option<String> = None;
+    let mut scrape = false;
+    let mut chrome: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = || args.next().expect("flag value");
@@ -198,6 +416,8 @@ fn main() {
             "--sweep" => sweep = true,
             "--fuzz" => fuzz_count = val().parse().expect("--fuzz N"),
             "--out" => out = val(),
+            "--scrape" => scrape = true,
+            "--chrome" => chrome = Some(val()),
             "--check-schema" => schema = Some(val()),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -217,6 +437,9 @@ fn main() {
     let mut level_rows = Vec::new();
     let mut total_oom = 0u64;
     let mut warm_rates = Vec::new();
+    let mut scrape_failures: Vec<String> = Vec::new();
+    let mut last_registry: Option<Json> = None;
+    let mut chrome_doc: Option<Json> = None;
     for &c in &levels {
         // A fresh daemon per level: cold means cold.
         let daemon = Daemon::new(DaemonConfig {
@@ -229,6 +452,7 @@ fn main() {
                 .collect(),
             workers: c,
             cache_capacity: 256,
+            ..DaemonConfig::default()
         });
         eprintln!("loadgen: {c} client(s), cold pass ({} jobs)", jobs.len());
         let cold = run_phase(&daemon, &jobs, c, 1);
@@ -249,11 +473,28 @@ fn main() {
         }
         total_oom += cold.oom + warm.oom;
         warm_rates.push(warm.hit_rate);
-        level_rows.push(Json::obj(vec![
+        let mut row = vec![
             ("clients", Json::U64(c as u64)),
             ("cold", phase_json(&cold)),
             ("warm", phase_json(&warm)),
-        ]));
+        ];
+        if scrape {
+            let check = scrape_and_check(&daemon, &cold, &warm, c.min(8));
+            for f in &check.failures {
+                eprintln!("loadgen: scrape disagreement at {c} client(s): {f}");
+                scrape_failures.push(format!("{c} client(s): {f}"));
+            }
+            row.push(("scrape", check.row));
+            last_registry = Some(check.daemon_registry);
+            if chrome.is_some() {
+                let resp = Json::parse(
+                    &daemon.handle_line(r#"{"op":"metrics","id":"chrome","format":"chrome"}"#),
+                )
+                .expect("chrome metrics response is JSON");
+                chrome_doc = resp.get("metrics").cloned();
+            }
+        }
+        level_rows.push(Json::obj(row));
     }
 
     // Admission-control probe: an 8 GiB replicate against 3 GiB devices
@@ -272,7 +513,7 @@ fn main() {
         .unwrap_or(0);
     let capacity = resp.get("capacity").and_then(Json::as_u64).unwrap_or(0);
 
-    let doc = Json::obj(vec![
+    let mut doc_fields = vec![
         (
             "workload",
             Json::obj(vec![
@@ -292,7 +533,11 @@ fn main() {
             ]),
         ),
         ("mid_flight_oom", Json::U64(total_oom)),
-    ]);
+    ];
+    if let Some(reg) = last_registry {
+        doc_fields.push(("daemon", reg));
+    }
+    let doc = Json::obj(doc_fields);
 
     if let Some(path) = schema {
         check_schema(&path, &doc);
@@ -314,12 +559,23 @@ fn main() {
             failed = true;
         }
     }
+    if !scrape_failures.is_empty() {
+        eprintln!(
+            "loadgen: FAIL — {} client/daemon telemetry disagreement(s)",
+            scrape_failures.len()
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
 
     std::fs::write(&out, doc.render_pretty()).expect("write results");
     println!("loadgen: wrote {out}");
+    if let (Some(path), Some(trace)) = (&chrome, &chrome_doc) {
+        std::fs::write(path, trace.render_pretty()).expect("write chrome trace");
+        println!("loadgen: wrote daemon timeline {path}");
+    }
     for (c, row) in levels
         .iter()
         .zip(doc.get("levels").and_then(Json::as_arr).expect("levels"))

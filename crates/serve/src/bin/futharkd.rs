@@ -3,6 +3,7 @@
 //! ```text
 //! futharkd [--listen ADDR] [--device gtx780|w8100] [--devices N]
 //!          [--workers N] [--capacity BYTES] [--cache N]
+//!          [--accept-poll-ms MS] [--metrics FILE]
 //! ```
 //!
 //! Without `--listen`, the daemon speaks the line-delimited JSON
@@ -10,6 +11,11 @@
 //! TCP connections. `--devices` replicates the chosen profile into a
 //! pool (one concurrent job per device); `--capacity` overrides each
 //! device's `global_mem_bytes` (useful for admission experiments).
+//! `--accept-poll-ms` sets the TCP accept-loop poll interval (default
+//! 20 ms; each idle wakeup is counted in the metrics registry).
+//! `--metrics FILE` dumps the final Prometheus-style telemetry
+//! exposition to FILE (`-` for stderr) when the daemon exits; the same
+//! registry is available live through the `metrics` protocol op.
 
 use futhark::DeviceProfile;
 use futhark_serve::daemon::{serve_lines, serve_tcp};
@@ -20,7 +26,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: futharkd [--listen ADDR] [--device gtx780|w8100] \
-         [--devices N] [--workers N] [--capacity BYTES] [--cache N]"
+         [--devices N] [--workers N] [--capacity BYTES] [--cache N] \
+         [--accept-poll-ms MS] [--metrics FILE]"
     );
     std::process::exit(2)
 }
@@ -32,6 +39,8 @@ fn main() -> ExitCode {
     let mut workers = 4usize;
     let mut capacity: Option<u64> = None;
     let mut cache = 128usize;
+    let mut accept_poll_ms = DaemonConfig::default().accept_poll_ms;
+    let mut metrics_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -52,6 +61,8 @@ fn main() -> ExitCode {
             "--workers" => workers = val().parse().unwrap_or_else(|_| usage()),
             "--capacity" => capacity = Some(val().parse().unwrap_or_else(|_| usage())),
             "--cache" => cache = val().parse().unwrap_or_else(|_| usage()),
+            "--accept-poll-ms" => accept_poll_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--metrics" => metrics_out = Some(val()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -72,6 +83,8 @@ fn main() -> ExitCode {
         devices: pool,
         workers,
         cache_capacity: cache,
+        accept_poll_ms,
+        ..DaemonConfig::default()
     });
 
     let served = match listen {
@@ -90,6 +103,15 @@ fn main() -> ExitCode {
             serve_lines(&daemon, stdin.lock(), std::io::stdout())
         }
     };
+    if let Some(path) = metrics_out {
+        let text = daemon.metrics_prometheus();
+        if path == "-" {
+            eprint!("{text}");
+        } else if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("futharkd: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     match served {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

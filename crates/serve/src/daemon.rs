@@ -25,11 +25,26 @@
 //! underprediction is possible), the job fails cleanly after the fact
 //! and the measured peak is learned — the next submission with the same
 //! artifact and shapes is rejected at admission.
+//!
+//! ## Telemetry
+//!
+//! Every lifecycle edge above feeds the [`crate::metrics::Metrics`]
+//! registry (counters, latency histograms for queue-wait / compile /
+//! execute / end-to-end, per-device busy time) and the
+//! [`crate::recorder::FlightRecorder`] ring (structured per-job events).
+//! The `metrics` protocol op — and `futharkd --metrics` — surface the
+//! registry as JSON, Prometheus text, or a Chrome/Perfetto daemon
+//! timeline; `stats` is a compatibility projection of the same registry.
+//! All daemon locks recover from poison ([`crate::lock_ok`]): one
+//! panicking job thread must not wedge every future scrape.
 
 use crate::cache::{artifact_key, shape_signature, ArtifactCache, CacheStats};
-use crate::proto::{self, ErrorKind, Request, Response, RunRequest, Span};
+use crate::lock_ok;
+use crate::metrics::{registry_json, registry_prometheus, GaugeSet, Metrics};
+use crate::proto::{self, ErrorKind, MetricsFormat, Request, Response, RunRequest, Span};
+use crate::recorder::{EventKind, FlightRecorder};
 use futhark::{Compiler, DeviceProfile, RunOptions};
-use futhark_trace::Json;
+use futhark_trace::{ChromeTrace, Json};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,6 +60,12 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Artifact-cache capacity (entries).
     pub cache_capacity: usize,
+    /// TCP accept-loop poll interval, milliseconds ([`serve_tcp`] sleeps
+    /// this long when no connection is pending; each sleep counts one
+    /// `accept.wakeups`).
+    pub accept_poll_ms: u64,
+    /// Flight-recorder ring capacity (events).
+    pub recorder_capacity: usize,
 }
 
 impl Default for DaemonConfig {
@@ -53,11 +74,15 @@ impl Default for DaemonConfig {
             devices: vec![DeviceProfile::gtx780()],
             workers: 4,
             cache_capacity: 128,
+            accept_poll_ms: 20,
+            recorder_capacity: 256,
         }
     }
 }
 
-/// Lifetime counters, reported by the `stats` op.
+/// Lifetime counters, reported by the `stats` op. Since the metrics
+/// registry landed this is a *projection* of the registry, kept for
+/// backward compatibility of the `stats` protocol op and embedders.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Jobs that ran to completion within capacity.
@@ -73,11 +98,13 @@ pub struct ServeStats {
     pub cache: CacheStats,
 }
 
-/// Scheduler state under the mutex: per-device busy flags and the
-/// in-flight job count the drain waits on.
+/// Scheduler state under the mutex: per-device busy flags, the
+/// in-flight job count the drain waits on, and the device-queue depth.
 struct Sched {
     busy: Vec<bool>,
     inflight: u64,
+    /// Admitted jobs currently blocked waiting for a device slot.
+    waiting: u64,
     draining: bool,
 }
 
@@ -86,7 +113,9 @@ struct Inner {
     cache: Mutex<ArtifactCache>,
     sched: Mutex<Sched>,
     cond: Condvar,
-    counters: Mutex<ServeStats>,
+    metrics: Metrics,
+    recorder: Mutex<FlightRecorder>,
+    start: Instant,
     /// Set once a shutdown response has been sent; front-ends exit.
     stopped: AtomicBool,
 }
@@ -107,6 +136,8 @@ impl Daemon {
         assert!(!cfg.devices.is_empty(), "daemon needs at least one device");
         let n = cfg.devices.len();
         let cache_capacity = cfg.cache_capacity;
+        let recorder_capacity = cfg.recorder_capacity;
+        let device_names = cfg.devices.iter().map(|d| d.name.clone()).collect();
         Daemon {
             inner: Arc::new(Inner {
                 cfg,
@@ -114,10 +145,13 @@ impl Daemon {
                 sched: Mutex::new(Sched {
                     busy: vec![false; n],
                     inflight: 0,
+                    waiting: 0,
                     draining: false,
                 }),
                 cond: Condvar::new(),
-                counters: Mutex::new(ServeStats::default()),
+                metrics: Metrics::new(device_names),
+                recorder: Mutex::new(FlightRecorder::new(recorder_capacity)),
+                start: Instant::now(),
                 stopped: AtomicBool::new(false),
             }),
         }
@@ -142,14 +176,97 @@ impl Daemon {
 
     /// Jobs currently accepted and not yet answered (queued or running).
     pub fn inflight(&self) -> u64 {
-        self.inner.sched.lock().expect("sched lock").inflight
+        lock_ok(&self.inner.sched).inflight
     }
 
-    /// Lifetime counters (including current cache stats).
+    /// Microseconds since the daemon was built.
+    fn now_us(&self) -> f64 {
+        self.inner.start.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// The metrics registry (counters, histograms, per-device busy time).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    fn record(&self, job: &str, kind: EventKind) {
+        lock_ok(&self.inner.recorder).record(self.now_us(), job, kind);
+    }
+
+    /// Lifetime counters (a projection of the metrics registry, plus
+    /// current cache stats).
     pub fn stats(&self) -> ServeStats {
-        let mut s = *self.inner.counters.lock().expect("counters lock");
-        s.cache = self.inner.cache.lock().expect("cache lock").stats();
-        s
+        let m = &self.inner.metrics;
+        ServeStats {
+            jobs_completed: m.get("jobs.completed"),
+            jobs_rejected: m.get("jobs.rejected"),
+            jobs_failed: m.get("jobs.failed"),
+            protocol_errors: m.get("protocol.errors"),
+            cache: lock_ok(&self.inner.cache).stats(),
+        }
+    }
+
+    /// Samples the point-in-time gauges from the live scheduler state.
+    pub fn gauges(&self) -> GaugeSet {
+        let sched = lock_ok(&self.inner.sched);
+        let device_busy = sched.busy.clone();
+        let devices_busy = device_busy.iter().filter(|&&b| b).count() as u64;
+        let inflight = sched.inflight;
+        let queue_depth = sched.waiting;
+        drop(sched);
+        GaugeSet {
+            uptime_us: self.now_us(),
+            inflight,
+            queue_depth,
+            devices_busy,
+            cache_artifacts: lock_ok(&self.inner.cache).len() as u64,
+            device_busy,
+        }
+    }
+
+    /// Synchronises cache counters into the registry, then snapshots it.
+    fn scrape(&self) -> crate::metrics::MetricsSnapshot {
+        let cache = lock_ok(&self.inner.cache).stats();
+        self.inner.metrics.with(|m| {
+            // Cache counters live in the ArtifactCache; mirror them so a
+            // scrape is one self-contained document. Counters only grow,
+            // so setting by delta keeps the registry monotone.
+            let dh = cache.hits.saturating_sub(m.counters.get("cache.hits"));
+            let dm = cache.misses.saturating_sub(m.counters.get("cache.misses"));
+            m.counters.add("cache.hits", dh);
+            m.counters.add("cache.misses", dm);
+            m.clone()
+        })
+    }
+
+    /// The full registry as JSON: counters, gauges, the four latency
+    /// histograms, per-device counters, and the flight-recorder tail
+    /// (most recent `tail` events).
+    pub fn metrics_json(&self, tail: usize) -> Json {
+        let snap = self.scrape();
+        let gauges = self.gauges();
+        let recorder = lock_ok(&self.inner.recorder).to_json(tail);
+        registry_json(&snap, &gauges, recorder)
+    }
+
+    /// The registry in the Prometheus plaintext exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        let snap = self.scrape();
+        let gauges = self.gauges();
+        registry_prometheus(&snap, &gauges)
+    }
+
+    /// The daemon timeline as a Chrome/Perfetto trace: one track per
+    /// device, one for the queue, plus a queue-depth counter track.
+    pub fn metrics_chrome(&self) -> ChromeTrace {
+        let names: Vec<String> = self
+            .inner
+            .cfg
+            .devices
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        lock_ok(&self.inner.recorder).chrome_trace(&names)
     }
 
     /// Handles one request, blocking until the response is ready. Safe to
@@ -159,6 +276,16 @@ impl Daemon {
             Request::Stats { id } => Response::Stats {
                 id: id.clone(),
                 body: self.stats_json(),
+            },
+            Request::Metrics { id, format, tail } => Response::Metrics {
+                id: id.clone(),
+                body: match format {
+                    MetricsFormat::Json => self.metrics_json(*tail),
+                    MetricsFormat::Prometheus => {
+                        Json::obj(vec![("text", Json::Str(self.metrics_prometheus()))])
+                    }
+                    MetricsFormat::Chrome => self.metrics_chrome().to_json(),
+                },
             },
             Request::Shutdown { id } => self.shutdown(id),
             Request::Run(r) => self.run(r),
@@ -170,11 +297,7 @@ impl Daemon {
         match proto::parse_request(line) {
             Ok(req) => self.handle(&req).render(),
             Err((id, message)) => {
-                self.inner
-                    .counters
-                    .lock()
-                    .expect("counters lock")
-                    .protocol_errors += 1;
+                self.inner.metrics.bump("protocol.errors");
                 Response::Error {
                     id,
                     kind: ErrorKind::Protocol,
@@ -187,9 +310,12 @@ impl Daemon {
         }
     }
 
+    /// The `stats` body: unchanged key set from before the registry
+    /// landed, now derived from it.
     fn stats_json(&self) -> Json {
         let s = self.stats();
-        let sched = self.inner.sched.lock().expect("sched lock");
+        let sched = lock_ok(&self.inner.sched);
+        let inflight = sched.inflight;
         let devices: Vec<Json> = self
             .inner
             .cfg
@@ -204,13 +330,14 @@ impl Daemon {
                 ])
             })
             .collect();
-        let artifacts = self.inner.cache.lock().expect("cache lock").len();
+        drop(sched);
+        let artifacts = lock_ok(&self.inner.cache).len();
         Json::obj(vec![
             ("jobs_completed", Json::U64(s.jobs_completed)),
             ("jobs_rejected", Json::U64(s.jobs_rejected)),
             ("jobs_failed", Json::U64(s.jobs_failed)),
             ("protocol_errors", Json::U64(s.protocol_errors)),
-            ("inflight", Json::U64(sched.inflight)),
+            ("inflight", Json::U64(inflight)),
             (
                 "cache",
                 Json::obj(vec![
@@ -227,11 +354,15 @@ impl Daemon {
 
     /// Drain: refuse new work, wait for in-flight jobs, acknowledge.
     fn shutdown(&self, id: &str) -> Response {
-        let mut sched = self.inner.sched.lock().expect("sched lock");
+        let mut sched = lock_ok(&self.inner.sched);
         sched.draining = true;
         self.inner.cond.notify_all();
         while sched.inflight > 0 {
-            sched = self.inner.cond.wait(sched).expect("sched lock");
+            sched = self
+                .inner
+                .cond
+                .wait(sched)
+                .unwrap_or_else(|e| e.into_inner());
         }
         drop(sched);
         self.inner.stopped.store(true, Ordering::SeqCst);
@@ -245,7 +376,7 @@ impl Daemon {
         // Register as in flight (or refuse when draining) before any
         // work, so a shutdown drains exactly the accepted jobs.
         {
-            let mut sched = self.inner.sched.lock().expect("sched lock");
+            let mut sched = lock_ok(&self.inner.sched);
             if sched.draining {
                 return Response::Error {
                     id: r.id.clone(),
@@ -258,7 +389,7 @@ impl Daemon {
             sched.inflight += 1;
         }
         let resp = self.run_inflight(r);
-        let mut sched = self.inner.sched.lock().expect("sched lock");
+        let mut sched = lock_ok(&self.inner.sched);
         sched.inflight -= 1;
         self.inner.cond.notify_all();
         drop(sched);
@@ -266,6 +397,9 @@ impl Daemon {
     }
 
     fn run_inflight(&self, r: &RunRequest) -> Response {
+        let t_received = Instant::now();
+        self.inner.metrics.bump("jobs.received");
+        self.record(&r.id, EventKind::Received);
         let mut spans = Vec::new();
         let class = self.class_profile().clone();
         let key = artifact_key(&r.source, &r.options, &class);
@@ -274,7 +408,7 @@ impl Daemon {
         // the lookup/insert, not for compilation — concurrent misses of
         // the same key may compile twice, but both insert the same
         // content-addressed artifact, so the race is benign.
-        let cached = self.inner.cache.lock().expect("cache lock").get(key);
+        let cached = lock_ok(&self.inner.cache).get(key);
         let (artifact, cache_hit) = match cached {
             Some(a) => (a, true),
             None => {
@@ -287,20 +421,23 @@ impl Daemon {
                             name: "compile",
                             us,
                         });
+                        self.inner.metrics.with(|m| m.compile_us.observe_us(us));
                         let a = Arc::new(c);
-                        self.inner
-                            .cache
-                            .lock()
-                            .expect("cache lock")
-                            .insert(key, Arc::clone(&a));
+                        lock_ok(&self.inner.cache).insert(key, Arc::clone(&a));
                         (a, false)
                     }
                     Err(e) => {
-                        self.inner
-                            .counters
-                            .lock()
-                            .expect("counters lock")
-                            .jobs_failed += 1;
+                        self.inner.metrics.with(|m| {
+                            m.counters.bump("jobs.failed");
+                            m.counters.bump("jobs.failed.compile");
+                        });
+                        self.record(
+                            &r.id,
+                            EventKind::Failed {
+                                stage: "compile",
+                                device: None,
+                            },
+                        );
                         return Response::Error {
                             id: r.id.clone(),
                             kind: ErrorKind::Compile,
@@ -316,13 +453,10 @@ impl Daemon {
         // Admission: learned measured peak (exact for these shapes) or
         // the static lower bound.
         let sig = shape_signature(&r.args);
-        let predicted = {
-            let cache = self.inner.cache.lock().expect("cache lock");
-            cache.learned_peak(key, &sig)
-        }
-        .unwrap_or_else(|| {
-            futhark_gpu::predict_peak_bytes(&artifact.plan, &class, &r.args).peak_bytes
-        });
+        let predicted =
+            { lock_ok(&self.inner.cache).learned_peak(key, &sig) }.unwrap_or_else(|| {
+                futhark_gpu::predict_peak_bytes(&artifact.plan, &class, &r.args).peak_bytes
+            });
         let best_capacity = class.global_mem_bytes;
         if !self
             .inner
@@ -331,11 +465,14 @@ impl Daemon {
             .iter()
             .any(|d| predicted <= d.global_mem_bytes)
         {
-            self.inner
-                .counters
-                .lock()
-                .expect("counters lock")
-                .jobs_rejected += 1;
+            self.inner.metrics.bump("jobs.rejected");
+            self.record(
+                &r.id,
+                EventKind::Rejected {
+                    predicted_peak_bytes: predicted,
+                    capacity: best_capacity,
+                },
+            );
             return Response::Error {
                 id: r.id.clone(),
                 kind: ErrorKind::Admission,
@@ -349,26 +486,61 @@ impl Daemon {
         }
 
         // Queue for a device whose capacity covers the prediction.
+        // `queue_depth_at_admission` is how many admitted jobs were
+        // already waiting for a slot when this one joined the queue.
         let tq = Instant::now();
-        let dev_idx = {
-            let mut sched = self.inner.sched.lock().expect("sched lock");
-            loop {
+        let (dev_idx, queue_depth_at_admission) = {
+            let mut sched = lock_ok(&self.inner.sched);
+            let depth = sched.waiting;
+            self.inner.metrics.bump("jobs.admitted");
+            self.record(
+                &r.id,
+                EventKind::Admitted {
+                    artifact_key: key,
+                    shapes: sig.clone(),
+                    cache_hit,
+                    predicted_peak_bytes: predicted,
+                    queue_depth: depth,
+                },
+            );
+            let mut waited = false;
+            let idx = loop {
                 let free = (0..self.inner.cfg.devices.len()).find(|&i| {
                     !sched.busy[i] && predicted <= self.inner.cfg.devices[i].global_mem_bytes
                 });
                 match free {
                     Some(i) => {
                         sched.busy[i] = true;
+                        if waited {
+                            sched.waiting -= 1;
+                        }
                         break i;
                     }
-                    None => sched = self.inner.cond.wait(sched).expect("sched lock"),
+                    None => {
+                        if !waited {
+                            waited = true;
+                            sched.waiting += 1;
+                            self.inner.metrics.bump("queue.waits");
+                        }
+                        sched = self
+                            .inner
+                            .cond
+                            .wait(sched)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
                 }
-            }
+            };
+            (idx, depth)
         };
+        let queue_us = tq.elapsed().as_secs_f64() * 1e6;
         spans.push(Span {
             name: "queue",
-            us: tq.elapsed().as_secs_f64() * 1e6,
+            us: queue_us,
         });
+        self.inner
+            .metrics
+            .with(|m| m.queue_wait_us.observe_us(queue_us));
+        self.record(&r.id, EventKind::Started { device: dev_idx });
 
         // Execute against an uncapped arena: admission already vouched
         // for the footprint, and removing the cap makes a mid-flight
@@ -384,32 +556,42 @@ impl Daemon {
         };
         let te = Instant::now();
         let result = artifact.run_on_with_opts(&uncapped, &r.args, opts);
+        let execute_us = te.elapsed().as_secs_f64() * 1e6;
         spans.push(Span {
             name: "execute",
-            us: te.elapsed().as_secs_f64() * 1e6,
+            us: execute_us,
+        });
+        self.inner.metrics.with(|m| {
+            m.execute_us.observe_us(execute_us);
+            m.devices[dev_idx].jobs += 1;
+            m.devices[dev_idx].busy_us += execute_us.round() as u64;
         });
 
         // Release the device slot.
         {
-            let mut sched = self.inner.sched.lock().expect("sched lock");
+            let mut sched = lock_ok(&self.inner.sched);
             sched.busy[dev_idx] = false;
             self.inner.cond.notify_all();
         }
 
+        let e2e_us = t_received.elapsed().as_secs_f64() * 1e6;
+        self.inner.metrics.with(|m| m.e2e_us.observe_us(e2e_us));
         match result {
             Ok((outputs, perf)) => {
                 let measured = perf.mem.peak_bytes;
-                self.inner
-                    .cache
-                    .lock()
-                    .expect("cache lock")
-                    .learn_peak(key, &sig, measured);
+                lock_ok(&self.inner.cache).learn_peak(key, &sig, measured);
                 if measured > device.global_mem_bytes {
-                    self.inner
-                        .counters
-                        .lock()
-                        .expect("counters lock")
-                        .jobs_failed += 1;
+                    self.inner.metrics.with(|m| {
+                        m.counters.bump("jobs.failed");
+                        m.counters.bump("jobs.failed.run");
+                    });
+                    self.record(
+                        &r.id,
+                        EventKind::Failed {
+                            stage: "capacity",
+                            device: Some(dev_idx),
+                        },
+                    );
                     return Response::Error {
                         id: r.id.clone(),
                         kind: ErrorKind::Run,
@@ -424,11 +606,16 @@ impl Daemon {
                         capacity: Some(device.global_mem_bytes),
                     };
                 }
-                self.inner
-                    .counters
-                    .lock()
-                    .expect("counters lock")
-                    .jobs_completed += 1;
+                self.inner.metrics.bump("jobs.completed");
+                self.record(
+                    &r.id,
+                    EventKind::Finished {
+                        device: dev_idx,
+                        predicted_peak_bytes: predicted,
+                        measured_peak_bytes: measured,
+                        total_us: perf.total_us,
+                    },
+                );
                 Response::RunOk {
                     id: r.id.clone(),
                     outputs,
@@ -436,16 +623,23 @@ impl Daemon {
                     cache_hit,
                     predicted_peak_bytes: predicted,
                     device: device.name.clone(),
+                    queue_depth_at_admission,
                     measured_peak_bytes: measured,
                     total_us: perf.total_us,
                 }
             }
             Err(e) => {
-                self.inner
-                    .counters
-                    .lock()
-                    .expect("counters lock")
-                    .jobs_failed += 1;
+                self.inner.metrics.with(|m| {
+                    m.counters.bump("jobs.failed");
+                    m.counters.bump("jobs.failed.run");
+                });
+                self.record(
+                    &r.id,
+                    EventKind::Failed {
+                        stage: "run",
+                        device: Some(dev_idx),
+                    },
+                );
                 Response::Error {
                     id: r.id.clone(),
                     kind: ErrorKind::Run,
@@ -470,7 +664,7 @@ where
 {
     let writer = Mutex::new(writer);
     let write_line = |line: &str| -> std::io::Result<()> {
-        let mut w = writer.lock().expect("writer lock");
+        let mut w = lock_ok(&writer);
         w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;
         w.flush()
@@ -492,9 +686,9 @@ where
             }
             // Throttle to `workers` concurrent handlers.
             {
-                let mut active = slots.0.lock().expect("slots lock");
+                let mut active = lock_ok(&slots.0);
                 while *active >= workers {
-                    active = slots.1.wait(active).expect("slots lock");
+                    active = slots.1.wait(active).unwrap_or_else(|e| e.into_inner());
                 }
                 *active += 1;
             }
@@ -504,7 +698,7 @@ where
             scope.spawn(move || {
                 let resp = daemon.handle_line(&line);
                 let _ = write_line(&resp);
-                let mut active = slots.0.lock().expect("slots lock");
+                let mut active = lock_ok(&slots.0);
                 *active -= 1;
                 slots.1.notify_one();
             });
@@ -512,9 +706,9 @@ where
         // Wait for all dispatched handlers before acknowledging the
         // shutdown (or returning at EOF).
         {
-            let mut active = slots.0.lock().expect("slots lock");
+            let mut active = lock_ok(&slots.0);
             while *active > 0 {
-                active = slots.1.wait(active).expect("slots lock");
+                active = slots.1.wait(active).unwrap_or_else(|e| e.into_inner());
             }
         }
         if let Some(line) = shutdown_line {
@@ -525,9 +719,12 @@ where
 }
 
 /// Serves connections on a TCP listener, one thread per connection, until
-/// a `shutdown` request completes on any of them.
+/// a `shutdown` request completes on any of them. The accept loop polls
+/// at [`DaemonConfig::accept_poll_ms`]; every idle wakeup counts one
+/// `accept.wakeups` in the metrics registry.
 pub fn serve_tcp(daemon: &Daemon, listener: TcpListener) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
+    let poll = Duration::from_millis(daemon.inner.cfg.accept_poll_ms.max(1));
     std::thread::scope(|scope| -> std::io::Result<()> {
         loop {
             if daemon.stopped() {
@@ -545,7 +742,8 @@ pub fn serve_tcp(daemon: &Daemon, listener: TcpListener) -> std::io::Result<()> 
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
+                    daemon.inner.metrics.bump("accept.wakeups");
+                    std::thread::sleep(poll);
                 }
                 Err(e) => return Err(e),
             }

@@ -36,8 +36,20 @@
 pub mod cache;
 pub mod daemon;
 pub mod hash;
+pub mod metrics;
 pub mod proto;
+pub mod recorder;
 
 pub use cache::{ArtifactCache, CacheStats};
 pub use daemon::{Daemon, DaemonConfig, ServeStats};
-pub use proto::{ErrorKind, Request, Response, RunRequest, Span};
+pub use metrics::{GaugeSet, Metrics, MetricsSnapshot};
+pub use proto::{ErrorKind, MetricsFormat, Request, Response, RunRequest, Span};
+pub use recorder::{EventKind, FlightRecorder, JobEvent};
+
+/// Locks a mutex, recovering from poison: a panicking job thread must
+/// not wedge every future `stats`/`metrics` call of a long-lived daemon.
+/// The guarded data are counters and slot tables whose invariants hold
+/// between mutations, so the poisoned value is safe to keep serving.
+pub(crate) fn lock_ok<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

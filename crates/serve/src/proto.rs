@@ -8,6 +8,12 @@
 //!   compile (or hit the artifact cache) and execute a program.
 //! - `{"op":"stats", "id":...}` — server counters: cache hits/misses,
 //!   jobs completed/rejected/failed, per-device capacities.
+//! - `{"op":"metrics", "id":..., "format":..., "tail":...}` — the full
+//!   telemetry registry. `format` is `"json"` (default: counters,
+//!   gauges, latency histograms, per-device counters, and the flight
+//!   recorder's most recent `tail` events), `"prometheus"` (the
+//!   plaintext exposition under a `text` key), or `"chrome"` (the
+//!   daemon timeline as a Chrome/Perfetto trace document).
 //! - `{"op":"shutdown", "id":...}` — stop accepting work, drain the
 //!   queue, reply, exit.
 //!
@@ -37,11 +43,31 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// The telemetry registry and flight recorder.
+    Metrics {
+        /// Correlation id.
+        id: String,
+        /// Requested rendering.
+        format: MetricsFormat,
+        /// Flight-recorder tail length for the JSON format.
+        tail: usize,
+    },
     /// Drain and exit.
     Shutdown {
         /// Correlation id.
         id: String,
     },
+}
+
+/// The rendering of a `metrics` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The full registry as JSON (default).
+    Json,
+    /// Prometheus plaintext exposition (under a `text` key).
+    Prometheus,
+    /// The daemon timeline as a Chrome/Perfetto trace document.
+    Chrome,
 }
 
 /// A `run` request.
@@ -115,6 +141,10 @@ pub enum Response {
         predicted_peak_bytes: u64,
         /// The device the job ran on.
         device: String,
+        /// Admitted jobs already waiting for a device slot when this job
+        /// joined the queue — a single response explains its own
+        /// latency without a `metrics` scrape.
+        queue_depth_at_admission: u64,
         /// Measured peak device bytes.
         measured_peak_bytes: u64,
         /// Modelled execution time in microseconds.
@@ -138,6 +168,14 @@ pub enum Response {
         /// Echoed correlation id.
         id: String,
         /// The counters object (already JSON-shaped).
+        body: Json,
+    },
+    /// The telemetry registry.
+    Metrics {
+        /// Echoed correlation id.
+        id: String,
+        /// The rendered registry (shape depends on the requested
+        /// [`MetricsFormat`]).
         body: Json,
     },
     /// Shutdown acknowledged; the queue has drained.
@@ -288,6 +326,24 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         .ok_or_else(|| (id.clone(), "missing \"op\"".to_string()))?;
     match op {
         "stats" => Ok(Request::Stats { id }),
+        "metrics" => {
+            let format = match j.get("format").and_then(Json::as_str) {
+                None | Some("json") => MetricsFormat::Json,
+                Some("prometheus") => MetricsFormat::Prometheus,
+                Some("chrome") => MetricsFormat::Chrome,
+                Some(other) => {
+                    return Err((id, format!("metrics: unknown format {other:?}")));
+                }
+            };
+            let tail = match j.get("tail") {
+                Some(t) => t
+                    .as_u64()
+                    .ok_or_else(|| (id.clone(), "metrics: \"tail\" must be >= 0".to_string()))?
+                    as usize,
+                None => 64,
+            };
+            Ok(Request::Metrics { id, format, tail })
+        }
         "shutdown" => Ok(Request::Shutdown { id }),
         "run" => {
             let source = j
@@ -373,6 +429,7 @@ impl Response {
                 cache_hit,
                 predicted_peak_bytes,
                 device,
+                queue_depth_at_admission,
                 measured_peak_bytes,
                 total_us,
             } => Json::obj(vec![
@@ -402,6 +459,10 @@ impl Response {
                 ),
                 ("predicted_peak_bytes", Json::U64(*predicted_peak_bytes)),
                 ("device", Json::Str(device.clone())),
+                (
+                    "queue_depth_at_admission",
+                    Json::U64(*queue_depth_at_admission),
+                ),
                 ("measured_peak_bytes", Json::U64(*measured_peak_bytes)),
                 ("total_us", Json::F64(*total_us)),
             ]),
@@ -430,6 +491,11 @@ impl Response {
                 ("id", Json::Str(id.clone())),
                 ("status", Json::Str("ok".into())),
                 ("stats", body.clone()),
+            ]),
+            Response::Metrics { id, body } => Json::obj(vec![
+                ("id", Json::Str(id.clone())),
+                ("status", Json::Str("ok".into())),
+                ("metrics", body.clone()),
             ]),
             Response::ShutdownOk { id, jobs_completed } => Json::obj(vec![
                 ("id", Json::Str(id.clone())),
@@ -488,6 +554,34 @@ mod tests {
             }
             other => panic!("expected run, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_request_parses_formats_and_tail() {
+        match parse_request(r#"{"op":"metrics","id":"m"}"#).expect("parses") {
+            Request::Metrics { id, format, tail } => {
+                assert_eq!(id, "m");
+                assert_eq!(format, MetricsFormat::Json);
+                assert_eq!(tail, 64);
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+        match parse_request(r#"{"op":"metrics","id":"p","format":"prometheus","tail":5}"#)
+            .expect("parses")
+        {
+            Request::Metrics { format, tail, .. } => {
+                assert_eq!(format, MetricsFormat::Prometheus);
+                assert_eq!(tail, 5);
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+        match parse_request(r#"{"op":"metrics","id":"c","format":"chrome"}"#).expect("parses") {
+            Request::Metrics { format, .. } => assert_eq!(format, MetricsFormat::Chrome),
+            other => panic!("expected metrics, got {other:?}"),
+        }
+        let (id, msg) = parse_request(r#"{"op":"metrics","id":"x","format":"xml"}"#).unwrap_err();
+        assert_eq!(id, "x");
+        assert!(msg.contains("unknown format"));
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn daemon(devices: usize) -> Daemon {
             .collect(),
         workers: devices.max(2),
         cache_capacity: 32,
+        ..DaemonConfig::default()
     })
 }
 

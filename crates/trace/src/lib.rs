@@ -14,9 +14,11 @@
 //! pre-computed sizes and counter bumps, nothing more.
 
 pub mod chrome;
+pub mod histogram;
 pub mod json;
 
 pub use chrome::ChromeTrace;
+pub use histogram::{Exposition, Histogram, BUCKET_BOUNDS_US};
 pub use json::{Json, JsonError};
 
 use std::cell::RefCell;
