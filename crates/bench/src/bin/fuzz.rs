@@ -4,12 +4,15 @@
 //! shrunk reproducer.
 //!
 //! Usage: fuzz [--seed N] [--cases N] [--max-size N] [--strategy S]
-//!             [--corpus DIR] [--json]
+//!             [--schedules N] [--corpus DIR] [--json]
 //!
 //! `--strategy` picks the generator's stage menu: `full` (default, the
 //! whole surface), `chains` (unary map/scan chains), or `divergent`
 //! (control-flow-heavy programs — nested parity branches and loops with
 //! data-dependent trip counts — stressing the warp execution engine).
+//! `--schedules N` additionally compiles each case under N random valid
+//! schedules (seeded per case, so failures replay) and runs each on both
+//! devices against the interpreter; default 2, 0 disables the stage.
 //!
 //! Exits 0 when every case is clean, 1 when any case diverged (or the
 //! reference interpreter itself failed). Shrunk reproducers are written
@@ -22,7 +25,7 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--seed N] [--cases N] [--max-size N] \
-         [--strategy full|chains|divergent] [--corpus DIR] [--json]"
+         [--strategy full|chains|divergent] [--schedules N] [--corpus DIR] [--json]"
     );
     std::process::exit(2)
 }
@@ -58,6 +61,7 @@ fn main() {
                     }
                 }
             }
+            "--schedules" => cfg.schedules = num("--schedules") as u32,
             "--corpus" => corpus = args.next().map(PathBuf::from),
             "--json" => json = true,
             "--help" | "-h" => usage(),
@@ -75,8 +79,8 @@ fn main() {
     if !json {
         println!(
             "fuzzing: seed {}, {} cases, max size {} (interpreter vs simulator, \
-             7 configs x 2 devices)",
-            cfg.seed, cfg.cases, cfg.gen.max_size
+             7 configs + {} random schedules x 2 devices)",
+            cfg.seed, cfg.cases, cfg.gen.max_size, cfg.schedules
         );
     }
     let report = futhark_fuzz::run_campaign(&cfg, &mut |i, outcome| {

@@ -12,7 +12,7 @@
 //! Usage: profgate check [--baseline FILE]     compare; non-zero on drift
 //!        profgate refresh [--baseline FILE]   rewrite the baseline
 
-use futhark::{Compiler, Counters, Json, MemStats, PipelineOptions, TimeBreakdown};
+use futhark::{Compiler, Counters, Json, MemStats, PipelineOptions, Schedule, TimeBreakdown};
 use futhark_bench::all_benchmarks;
 use futhark_gpu::KernelStats;
 use std::collections::BTreeMap;
@@ -133,6 +133,10 @@ fn baseline_json(snaps: &BTreeMap<String, Snapshot>) -> Json {
     Json::obj(vec![
         ("device", Json::Str("gtx780".to_string())),
         ("dataset", Json::Str("small".to_string())),
+        // The schedule every snapshot was taken under: the default
+        // schedule's canonical label. Any change to the default choice
+        // space shows up here before it shows up as counter drift.
+        ("schedule_label", Json::Str(Schedule::default().label())),
         (
             "benchmarks",
             Json::Obj(
@@ -145,11 +149,18 @@ fn baseline_json(snaps: &BTreeMap<String, Snapshot>) -> Json {
     ])
 }
 
-fn load_baseline(path: &str) -> Result<BTreeMap<String, Snapshot>, String> {
+fn load_baseline(path: &str) -> Result<(String, BTreeMap<String, Snapshot>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| {
         format!("reading {path}: {e} (run `profgate refresh` to create the baseline)")
     })?;
     let j = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let label = j
+        .get("schedule_label")
+        .and_then(Json::as_str)
+        .ok_or_else(|| {
+            format!("{path}: missing \"schedule_label\" (run `profgate refresh` to upgrade)")
+        })?
+        .to_string();
     let mut out = BTreeMap::new();
     let benches = j
         .get("benchmarks")
@@ -160,7 +171,7 @@ fn load_baseline(path: &str) -> Result<BTreeMap<String, Snapshot>, String> {
             .ok_or_else(|| format!("{path}: malformed snapshot for {name}"))?;
         out.insert(name.clone(), s);
     }
-    Ok(out)
+    Ok((label, out))
 }
 
 /// Prints what changed between a baseline snapshot and the current one,
@@ -278,7 +289,7 @@ fn main() {
             );
         }
         "check" => {
-            let old = load_baseline(&baseline).unwrap_or_else(|e| {
+            let (old_label, old) = load_baseline(&baseline).unwrap_or_else(|e| {
                 eprintln!("{e}");
                 std::process::exit(1)
             });
@@ -287,6 +298,13 @@ fn main() {
                 std::process::exit(1)
             });
             let mut drifted = 0usize;
+            let new_label = Schedule::default().label();
+            if old_label != new_label {
+                println!(
+                    "DRIFT default schedule label:\n  baseline {old_label}\n  current  {new_label}"
+                );
+                drifted += 1;
+            }
             let keys: std::collections::BTreeSet<&String> = old.keys().chain(new.keys()).collect();
             for name in keys {
                 match (old.get(name), new.get(name)) {

@@ -34,6 +34,7 @@ pub mod name;
 pub mod pretty;
 pub mod prov;
 pub mod rng;
+pub mod schedule;
 pub mod traverse;
 pub mod types;
 pub mod value;
@@ -45,5 +46,6 @@ pub use ir::{
 pub use name::{Name, NameSource};
 pub use prov::Prov;
 pub use rng::Rng64;
+pub use schedule::{ChoiceClass, Schedule, ScheduleCursor, SimplifyToggles, SiteDecisions};
 pub use types::{ArrayType, DeclType, ScalarType, Size, Type};
 pub use value::{ArrayVal, Buffer, Value};

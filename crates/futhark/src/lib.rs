@@ -32,6 +32,9 @@
 //! # Ok::<(), futhark::Error>(())
 //! ```
 
+pub use futhark_core::schedule::{
+    ChoiceClass, LabelError, Schedule, ScheduleCursor, SimplifyToggles, SiteDecisions,
+};
 use futhark_core::{Body, NameSource, Program, Value};
 use futhark_gpu::codegen::{self, CodegenOptions};
 use futhark_gpu::exec::{self};
@@ -130,6 +133,28 @@ impl PipelineOptions {
         } else {
             parts.join("+")
         }
+    }
+
+    /// The equivalent [`Schedule`]: coarse switches map to pass switches
+    /// or class-wide site defaults. `PipelineOptions::default()` maps to
+    /// `Schedule::default()`.
+    pub fn to_schedule(&self) -> Schedule {
+        let mut s = Schedule {
+            simplify_pass: self.simplify,
+            fusion_pass: self.fusion,
+            memplan: self.memplan,
+            check: self.check,
+            ..Schedule::default()
+        };
+        if !self.coalescing {
+            s = s
+                .with_default(ChoiceClass::CoalesceInputs, false)
+                .with_default(ChoiceClass::CoalesceOutputs, false);
+        }
+        if !self.tiling {
+            s = s.with_default(ChoiceClass::Tile, false);
+        }
+        s
     }
 
     /// The ablation matrix used by the differential fuzzer and the Section
@@ -273,6 +298,7 @@ fn spanned<R>(
 #[derive(Debug, Clone, Default)]
 pub struct Compiler {
     opts: PipelineOptions,
+    sched: Option<Schedule>,
     trace: bool,
 }
 
@@ -284,7 +310,30 @@ impl Compiler {
 
     /// A compiler with explicit options.
     pub fn with_options(opts: PipelineOptions) -> Self {
-        Compiler { opts, trace: false }
+        Compiler {
+            opts,
+            sched: None,
+            trace: false,
+        }
+    }
+
+    /// A compiler driven by an explicit [`Schedule`]. The schedule
+    /// subsumes [`PipelineOptions`]: every coarse switch and every
+    /// per-site decision comes from it.
+    pub fn with_schedule(sched: Schedule) -> Self {
+        Compiler {
+            opts: PipelineOptions::default(),
+            sched: Some(sched),
+            trace: false,
+        }
+    }
+
+    /// The effective schedule: the explicit one if set, otherwise the
+    /// translation of the active [`PipelineOptions`].
+    pub fn schedule(&self) -> Schedule {
+        self.sched
+            .clone()
+            .unwrap_or_else(|| self.opts.to_schedule())
     }
 
     /// Enables pass-level tracing: compilation attaches a
@@ -322,7 +371,7 @@ impl Compiler {
                 .unwrap_or_default();
             (res, after)
         })?;
-        if self.opts.check {
+        if self.schedule().check {
             let size = program_size(&prog);
             spanned(&mut report, "check", size, || {
                 (futhark_check::check_program(&prog), size)
@@ -347,6 +396,8 @@ impl Compiler {
         mut ns: NameSource,
         mut report: Option<CompileReport>,
     ) -> Result<Compiled, Error> {
+        let sched = self.schedule();
+        let mut cur = ScheduleCursor::new(sched.clone());
         // Provenance fill #1: give compiler-synthesised scaffolding from
         // elaboration a source line by inheritance, so the optimisation
         // passes have non-empty provenance to merge.
@@ -356,44 +407,48 @@ impl Compiler {
             futhark_opt::simplify::inline_functions(&mut prog, &mut ns);
             ((), program_size(&prog))
         });
-        if self.opts.simplify {
+        if sched.simplify_pass {
             spanned(&mut report, "simplify", program_size(&prog), || {
-                futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+                futhark_opt::simplify::simplify_program_with(&mut prog, &mut ns, &sched.simplify);
                 ((), program_size(&prog))
             });
         }
-        if self.opts.fusion {
+        if sched.fusion_pass {
             spanned(&mut report, "fusion", program_size(&prog), || {
-                futhark_opt::fusion::fuse_program(&mut prog, &mut ns);
+                futhark_opt::fusion::fuse_program_with(&mut prog, &mut ns, &mut cur);
                 ((), program_size(&prog))
             });
         }
         spanned(&mut report, "flatten", program_size(&prog), || {
-            futhark_opt::flatten::flatten_program(&mut prog, &mut ns);
+            futhark_opt::flatten::flatten_program_with(&mut prog, &mut ns, &mut cur);
             ((), program_size(&prog))
         });
-        if self.opts.simplify {
+        if sched.simplify_pass {
             spanned(&mut report, "simplify-post", program_size(&prog), || {
-                futhark_opt::simplify::simplify_program(&mut prog, &mut ns);
+                futhark_opt::simplify::simplify_program_with(&mut prog, &mut ns, &sched.simplify);
                 ((), program_size(&prog))
             });
         }
+        // The codegen master switches stay on: the schedule's per-site
+        // decisions are the single source of truth, and every candidate
+        // site must be *queried* so the cursor's observed counts cover
+        // the whole choice space.
         let opts = CodegenOptions {
-            coalescing: self.opts.coalescing,
-            tiling: self.opts.tiling,
+            coalescing: true,
+            tiling: true,
         };
         // Provenance fill #2: statements introduced by the optimisation
         // passes inherit provenance before codegen stamps kernel tapes.
         futhark_core::prov::fill_program(&mut prog);
         let mut plan = spanned(&mut report, "codegen", program_size(&prog), || {
-            let res = codegen::compile(&prog, opts);
+            let res = codegen::compile_with(&prog, opts, &mut cur);
             let mut after = program_size(&prog);
             if let Ok(plan) = &res {
                 after.kernels = plan.kernel_count() as u64;
             }
             (res, after)
         })?;
-        if self.opts.memplan {
+        if sched.memplan {
             let mut after = program_size(&prog);
             after.kernels = plan.kernel_count() as u64;
             spanned(&mut report, "memplan", after, || {
@@ -401,7 +456,13 @@ impl Compiler {
                 ((), after)
             });
         }
-        Ok(Compiled { prog, plan, report })
+        Ok(Compiled {
+            prog,
+            plan,
+            report,
+            schedule: sched,
+            choice_counts: cur.observed_counts(),
+        })
     }
 }
 
@@ -416,6 +477,11 @@ pub struct Compiled {
     /// The pass-level trace, when compiled with
     /// [`Compiler::with_trace`].
     pub report: Option<CompileReport>,
+    /// The schedule the pipeline answered its choice points from.
+    pub schedule: Schedule,
+    /// How many choice sites of each class the compilation visited,
+    /// indexed by [`ChoiceClass::index`] — the autotuner's search space.
+    pub choice_counts: [u32; 9],
 }
 
 impl Compiled {
@@ -536,11 +602,43 @@ impl Compiled {
         self.plan.kernel_count()
     }
 
+    /// How many choice sites of `class` the compilation visited.
+    pub fn observed(&self, class: ChoiceClass) -> u32 {
+        self.choice_counts[class.index()]
+    }
+
     /// The pass-level trace (present when compiled with
     /// [`Compiler::with_trace`]).
     pub fn report(&self) -> Option<&CompileReport> {
         self.report.as_ref()
     }
+}
+
+/// Serialises a [`Schedule`] as JSON. The canonical `label` string is the
+/// authoritative encoding (collision-free, strict to parse); `describe`
+/// rides along for human readers and is ignored on decode.
+pub fn schedule_to_json(s: &Schedule) -> Json {
+    Json::obj(vec![
+        ("label", Json::Str(s.label())),
+        ("describe", Json::Str(s.describe())),
+    ])
+}
+
+/// Decodes a [`Schedule`] from JSON: either a bare label string or an
+/// object with a `label` field.
+///
+/// # Errors
+///
+/// Returns a description of the malformed input.
+pub fn schedule_from_json(j: &Json) -> Result<Schedule, String> {
+    let label = if let Some(s) = j.as_str() {
+        s
+    } else {
+        j.get("label").and_then(Json::as_str).ok_or_else(|| {
+            "schedule JSON must be a label string or an object with a \"label\" string".to_string()
+        })?
+    };
+    Schedule::parse_label(label).map_err(|e| e.to_string())
 }
 
 /// Convenience: run a source program on the reference interpreter.

@@ -24,7 +24,9 @@ pub mod oracle;
 pub mod shrink;
 
 pub use gen::{generate, GenConfig, Strategy, TestCase};
-pub use oracle::{check_source, Divergence, DivergenceKind, Outcome};
+pub use oracle::{
+    check_schedules, check_source, check_source_with_schedules, Divergence, DivergenceKind, Outcome,
+};
 pub use shrink::{shrink, ShrinkStats};
 
 use futhark_trace::Json;
@@ -46,6 +48,13 @@ pub fn check_case(case: &TestCase) -> Outcome {
     oracle::check_source(&case.source(), &case.args())
 }
 
+/// Runs the differential oracle plus `schedules` random-schedule
+/// configurations on one generated case. The schedule PRNG is seeded by
+/// `sched_seed` (the per-case seed in a campaign), so failures replay.
+pub fn check_case_with_schedules(case: &TestCase, sched_seed: u64, schedules: u32) -> Outcome {
+    oracle::check_source_with_schedules(&case.source(), &case.args(), sched_seed, schedules)
+}
+
 /// Campaign parameters.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -59,6 +68,9 @@ pub struct CampaignConfig {
     pub shrink_attempts: usize,
     /// Where to write shrunk reproducers; `None` disables fixtures.
     pub corpus_dir: Option<PathBuf>,
+    /// Random valid schedules checked per case (on top of the ablation
+    /// matrix), each run on both devices against the interpreter.
+    pub schedules: u32,
 }
 
 impl Default for CampaignConfig {
@@ -69,6 +81,7 @@ impl Default for CampaignConfig {
             gen: GenConfig::default(),
             shrink_attempts: 400,
             corpus_dir: None,
+            schedules: 2,
         }
     }
 }
@@ -178,18 +191,25 @@ pub fn run_campaign(
     for i in 0..cfg.cases {
         let cs = case_seed(cfg.seed, i);
         let case = generate(cs, &cfg.gen);
-        let outcome = check_case(&case);
+        let outcome = check_case_with_schedules(&case, cs, cfg.schedules);
         progress(i, &outcome);
         match &outcome {
             Outcome::Clean => report.clean += 1,
             failing => {
                 let divergence = failing.describe().unwrap_or_default();
+                // Shrink against the same schedule stage (same seed and
+                // count), so schedule-induced failures stay reproducible
+                // while shrinking.
                 let (shrunk, _) = shrink(
                     &case,
-                    &mut |c: &TestCase| check_case(c).is_failure(),
+                    &mut |c: &TestCase| {
+                        check_case_with_schedules(c, cs, cfg.schedules).is_failure()
+                    },
                     cfg.shrink_attempts,
                 );
-                let shrunk_divergence = check_case(&shrunk).describe().unwrap_or_default();
+                let shrunk_divergence = check_case_with_schedules(&shrunk, cs, cfg.schedules)
+                    .describe()
+                    .unwrap_or_default();
                 let mut failure = Failure {
                     index: i,
                     case_seed: cs,

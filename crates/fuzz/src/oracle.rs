@@ -8,8 +8,10 @@
 //! in an optimisation pass, in the code generator, or in the semantics the
 //! interpreter and simulator are supposed to share.
 
-use futhark::{interpret, sim_engine, Compiler, Device, PipelineOptions, RunOptions, SimEngine};
-use futhark_core::Value;
+use futhark::{
+    interpret, sim_engine, Compiler, Device, PipelineOptions, RunOptions, Schedule, SimEngine,
+};
+use futhark_core::{Rng64, Value};
 
 /// The two simulated devices, with stable labels for reports.
 pub fn devices() -> [(Device, &'static str); 2] {
@@ -335,6 +337,82 @@ fn check_analysis(
         }
     }
     None
+}
+
+/// The schedule-sampling stage: compiles the program under `n` random
+/// valid schedules (drawn from a [`Rng64`] seeded by `seed`) and runs
+/// each on both devices, demanding bit-identical agreement with the
+/// reference interpreter. Schedules are valid by construction — a
+/// declined choice site falls back to sequential code — so *any*
+/// disagreement is a pipeline bug, exactly as for the ablation matrix.
+pub fn check_schedules(
+    src: &str,
+    args: &[Value],
+    reference: &[Value],
+    seed: u64,
+    n: u32,
+) -> Option<Divergence> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    for _ in 0..n {
+        let sched = Schedule::sample(&mut rng);
+        let config = format!("sched:{}", sched.label());
+        let compiled = match Compiler::with_schedule(sched).compile(src) {
+            Ok(c) => c,
+            Err(e) => {
+                return Some(Divergence {
+                    config,
+                    device: None,
+                    kind: DivergenceKind::CompileError,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        for (device, dlabel) in devices() {
+            match compiled.run(device, args) {
+                Ok((got, _)) => {
+                    if let Some(detail) = compare(reference, &got) {
+                        return Some(Divergence {
+                            config: config.clone(),
+                            device: Some(dlabel.to_string()),
+                            kind: DivergenceKind::Mismatch,
+                            detail,
+                        });
+                    }
+                }
+                Err(e) => {
+                    return Some(Divergence {
+                        config: config.clone(),
+                        device: Some(dlabel.to_string()),
+                        kind: DivergenceKind::RunError,
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs the full differential check plus the schedule-sampling stage.
+pub fn check_source_with_schedules(
+    src: &str,
+    args: &[Value],
+    sched_seed: u64,
+    schedules: u32,
+) -> Outcome {
+    match check_source(src, args) {
+        Outcome::Clean if schedules > 0 => {
+            let reference = match interpret(src, args) {
+                Ok(v) => v,
+                Err(e) => return Outcome::InterpError(e.to_string()),
+            };
+            match check_schedules(src, args, &reference, sched_seed, schedules) {
+                None => Outcome::Clean,
+                Some(d) => Outcome::Diverged(d),
+            }
+        }
+        other => other,
+    }
 }
 
 /// Runs the full differential check on one program.

@@ -22,6 +22,7 @@
 
 use crate::kernel::{KExp, KParam, KStm, Kernel, PrivId, Reg};
 use crate::plan::{ArgSpec, GpuPlan, HBody, HStm, LaunchKind, LaunchSpec, OutSpec};
+use futhark_core::schedule::{ChoiceClass, Schedule, ScheduleCursor};
 use futhark_core::{
     BinOp, Body, Exp, Lambda, LoopForm, Name, Param, PatElem, Program, Prov, ScalarType, Size,
     Soac, Stm, SubExp, Type,
@@ -78,11 +79,25 @@ fn cerr<T>(m: impl Into<String>) -> CResult<T> {
 /// Returns a [`CodegenError`] only if `main` is missing; unsupported
 /// statements become interpreter fallbacks, not errors.
 pub fn compile(prog: &Program, opts: CodegenOptions) -> Result<GpuPlan, CodegenError> {
+    let mut cur = ScheduleCursor::new(Schedule::default());
+    compile_with(prog, opts, &mut cur)
+}
+
+/// As [`compile`], but the coalescing-transposition and 1-D tiling sites
+/// consult (and advance) the given schedule cursor. The `opts` flags act
+/// as coarse master switches: a disabled flag means the corresponding
+/// sites are never even queried.
+pub fn compile_with(
+    prog: &Program,
+    opts: CodegenOptions,
+    cur: &mut ScheduleCursor,
+) -> Result<GpuPlan, CodegenError> {
     let main = prog.main().ok_or_else(|| CodegenError {
         message: "program has no main function".into(),
     })?;
     let mut cg = Codegen {
         opts,
+        cur,
         kernels: Vec::new(),
         types: HashMap::new(),
         kcount: 0,
@@ -100,14 +115,16 @@ pub fn compile(prog: &Program, opts: CodegenOptions) -> Result<GpuPlan, CodegenE
     })
 }
 
-struct Codegen {
+struct Codegen<'a> {
     opts: CodegenOptions,
+    /// Choice points: per-site coalescing and per-kernel tiling decisions.
+    cur: &'a mut ScheduleCursor,
     kernels: Vec<Kernel>,
     types: HashMap<Name, Type>,
     kcount: usize,
 }
 
-impl Codegen {
+impl Codegen<'_> {
     fn host_body(&mut self, body: &Body) -> HBody {
         let mut out = Vec::new();
         for stm in &body.stms {
@@ -285,7 +302,11 @@ impl Codegen {
                         message: format!("unknown host array {a}"),
                     })?;
                     let row_rank = ty.rank().saturating_sub(depth);
-                    let perm = if self.opts.coalescing && row_rank >= 1 && ty.rank() >= 2 {
+                    let perm = if self.opts.coalescing
+                        && row_rank >= 1
+                        && ty.rank() >= 2
+                        && self.cur.decide(ChoiceClass::CoalesceInputs)
+                    {
                         // Sequential (row) dims first, context dims last.
                         let d = ty.rank() - row_rank;
                         let mut perm: Vec<usize> = (d..ty.rank()).collect();
@@ -343,7 +364,10 @@ impl Codegen {
                 return cerr("map output must be an array");
             };
             let row_rank = at.rank() - depth;
-            let perm = if self.opts.coalescing && row_rank >= 1 {
+            let perm = if self.opts.coalescing
+                && row_rank >= 1
+                && self.cur.decide(ChoiceClass::CoalesceOutputs)
+            {
                 let mut perm: Vec<usize> = (depth..at.rank()).collect();
                 perm.extend(0..depth);
                 futhark_trace::event("codegen.coalesced_outputs");
@@ -381,7 +405,11 @@ impl Codegen {
             lower.write_into(&dst, r, &mut body_stms)?;
         }
         let mut kernel = kb.finish(body_stms);
-        if self.opts.tiling && tile_1d(&mut kernel) {
+        if self.opts.tiling
+            && tile_1d_candidate(&kernel)
+            && self.cur.decide(ChoiceClass::Tile)
+            && tile_1d(&mut kernel)
+        {
             futhark_trace::event("codegen.tiled_kernels");
         }
         let spec = LaunchSpec {
@@ -2135,6 +2163,22 @@ enum CopyDst {
 /// elementwise (`A[j]`) to stage tiles through local memory with barriers —
 /// the N-body pattern. Only applied at the outermost statement level so
 /// barriers stay convergent.
+/// Pure applicability probe for [`tile_1d`]: true iff the rewrite would
+/// tile at least one loop. Used to ask the schedule's `Tile` choice point
+/// only at kernels where tiling is actually possible.
+pub fn tile_1d_candidate(kernel: &Kernel) -> bool {
+    fn scan(stms: &[KStm]) -> bool {
+        stms.iter().any(|s| match s {
+            KStm::At { body, .. } => scan(body),
+            KStm::For { var, bound, body } if is_uniform(bound) => {
+                !qualifying_reads(body, *var).is_empty() && !contains_barrier(body)
+            }
+            _ => false,
+        })
+    }
+    scan(&kernel.body)
+}
+
 pub fn tile_1d(kernel: &mut Kernel) -> bool {
     let mut locals = kernel.locals.clone();
     let mut next_reg = kernel.num_regs;

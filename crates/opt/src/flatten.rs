@@ -23,7 +23,8 @@
 //! policy), preserving the program structure that the locality
 //! optimisations of Section 5.2 need.
 
-use crate::fusion::chain_to_loop;
+use crate::fusion::chain_to_loop_with;
+use futhark_core::schedule::{ChoiceClass, Schedule, ScheduleCursor};
 use futhark_core::traverse::{free_in_body, free_in_exp, Subst};
 use futhark_core::{
     ArrayType, Body, Exp, Lambda, LoopForm, Name, NameSource, Param, PatElem, Program, Prov,
@@ -33,9 +34,19 @@ use std::collections::{HashMap, HashSet};
 
 /// Flattens all functions of a program.
 pub fn flatten_program(prog: &mut Program, ns: &mut NameSource) {
+    let mut cur = ScheduleCursor::new(Schedule::default());
+    flatten_program_with(prog, ns, &mut cur);
+}
+
+/// Flattens with the G5 (segmented reduction) and G7 (loop interchange)
+/// rules consulted as choice points. A declined site falls back to the
+/// always-valid sequentialisation path (rule G1 under a map context, a
+/// direct host statement at depth 0).
+pub fn flatten_program_with(prog: &mut Program, ns: &mut NameSource, cur: &mut ScheduleCursor) {
     for f in &mut prog.functions {
         let mut fl = Flattener {
             ns,
+            cur,
             env: HashMap::new(),
             types: HashMap::new(),
         };
@@ -58,6 +69,8 @@ struct Entry {
 
 struct Flattener<'a> {
     ns: &'a mut NameSource,
+    /// Choice points: G5 and G7 sites consult (and advance) this cursor.
+    cur: &'a mut ScheduleCursor,
     /// Context-lifted names currently in scope.
     env: HashMap<Name, Entry>,
     /// Types of every binding seen (for lifting).
@@ -89,8 +102,10 @@ impl<'a> Flattener<'a> {
                     let stms = self.distribute_map(&[], width, lam, arrs, stm.pat);
                     out.extend(stms);
                 }
-                Exp::Soac(Soac::Reduce { .. }) if self.try_g5(&stm, &[]).is_some() => {
-                    let stms = self.try_g5(&stm, &[]).expect("checked");
+                Exp::Soac(Soac::Reduce { .. })
+                    if self.g5_candidate(&stm, &[]) && self.cur.decide(ChoiceClass::FlattenG5) =>
+                {
+                    let stms = self.try_g5(&stm, &[]).expect("candidate checked");
                     futhark_trace::event("flatten.g5_segmented_reductions");
                     out.extend(stms);
                 }
@@ -230,8 +245,11 @@ impl<'a> Flattener<'a> {
                 }
                 // G5: reduce with a vectorised operator → transpose +
                 // segmented (map-of-reduce) form.
-                Exp::Soac(Soac::Reduce { .. }) if self.try_g5(stm, widths).is_some() => {
-                    let stms2 = self.try_g5(stm, widths).expect("checked");
+                Exp::Soac(Soac::Reduce { .. })
+                    if self.g5_candidate(stm, widths)
+                        && self.cur.decide(ChoiceClass::FlattenG5) =>
+                {
+                    let stms2 = self.try_g5(stm, widths).expect("candidate checked");
                     futhark_trace::event("flatten.g5_segmented_reductions");
                     out.extend(stms2);
                     i += 1;
@@ -311,7 +329,10 @@ impl<'a> Flattener<'a> {
                     params,
                     form: LoopForm::For { var, bound },
                     body: lbody,
-                } if self.is_invariant(bound) && has_inner_parallelism(lbody) => {
+                } if self.is_invariant(bound)
+                    && has_inner_parallelism(lbody)
+                    && self.cur.decide(ChoiceClass::FlattenInterchange) =>
+                {
                     let stms2 = self.interchange_loop(
                         widths,
                         params.clone(),
@@ -604,6 +625,64 @@ impl<'a> Flattener<'a> {
             );
         }
         vec![stm]
+    }
+
+    /// Pure applicability probe for G5: true only when [`Self::try_g5`] is
+    /// guaranteed to succeed. Mirrors every early-return check of `try_g5`
+    /// without mutating any state, so the schedule decision can be asked
+    /// *before* the (side-effecting, recursive) rewrite runs.
+    fn g5_candidate(&self, stm: &Stm, widths: &[SubExp]) -> bool {
+        let Exp::Soac(Soac::Reduce {
+            width,
+            lam,
+            neutral,
+            arrs,
+            ..
+        }) = &stm.exp
+        else {
+            return false;
+        };
+        if !self.is_invariant(width) || neutral.len() != 1 || arrs.len() != 1 {
+            return false;
+        }
+        if lam.body.stms.len() != 1 {
+            return false;
+        }
+        let Exp::Soac(Soac::Map {
+            lam: inner,
+            width: seg_w,
+            ..
+        }) = &lam.body.stms[0].exp
+        else {
+            return false;
+        };
+        if inner.ret.is_empty()
+            || !inner.ret.iter().all(Type::is_scalar)
+            || !self.is_invariant(seg_w)
+        {
+            return false;
+        }
+        let Some(ne_var) = neutral[0].as_var() else {
+            return false;
+        };
+        if self.env.contains_key(ne_var) {
+            return false;
+        }
+        let depth = widths.len();
+        let z = &arrs[0];
+        match self.env.get(z) {
+            Some(e) if e.path == (1..=depth).collect::<Vec<_>>() => {
+                let Type::Array(at) = self.ty_of(&e.top) else {
+                    return false;
+                };
+                if at.rank() < depth + 2 {
+                    return false;
+                }
+                matches!(self.ty_of(z), Type::Array(at2) if at2.rank() >= 2)
+            }
+            None => matches!(self.ty_of(z), Type::Array(at) if at.rank() >= 2),
+            _ => false,
+        }
     }
 
     /// G5: `reduce (map ⊕) (replicate k e) zss` → transpose + map(reduce ⊕).
@@ -980,12 +1059,23 @@ pub fn has_inner_parallelism(body: &Body) -> bool {
 /// (Section 4's chunk-one streams) so kernels contain only scalar code,
 /// loops, and the segmented SOAC forms the backend knows.
 pub fn sequentialise_inner_soacs(body: &mut Body, ns: &mut NameSource) {
+    let mut cur = ScheduleCursor::new(Schedule::default());
+    sequentialise_inner_soacs_with(body, ns, &mut cur);
+}
+
+/// As [`sequentialise_inner_soacs`], but each chain collapse consults the
+/// schedule's `FuseChain` choice points.
+pub fn sequentialise_inner_soacs_with(
+    body: &mut Body,
+    ns: &mut NameSource,
+    cur: &mut ScheduleCursor,
+) {
     for stm in &mut body.stms {
         for ib in stm.exp.inner_bodies_mut() {
-            sequentialise_inner_soacs(ib, ns);
+            sequentialise_inner_soacs_with(ib, ns, cur);
         }
     }
-    while chain_to_loop(body, ns) {}
+    while chain_to_loop_with(body, ns, cur) {}
 }
 
 #[cfg(test)]

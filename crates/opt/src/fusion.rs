@@ -18,6 +18,7 @@
 //! that a producer is never moved past a consumption point of one of its
 //! inputs (checked conservatively).
 
+use futhark_core::schedule::{ChoiceClass, Schedule, ScheduleCursor};
 use futhark_core::traverse::{alpha_rename_lambda, free_in_exp, free_in_lambda, Subst};
 use futhark_core::{
     Body, Exp, Lambda, LoopForm, Name, NameSource, Param, PatElem, Program, ScalarType, Soac, Stm,
@@ -27,25 +28,40 @@ use std::collections::{HashMap, HashSet};
 
 /// Runs fusion over a whole program to a (bounded) fixed point.
 pub fn fuse_program(prog: &mut Program, ns: &mut NameSource) {
+    let mut cur = ScheduleCursor::new(Schedule::default());
+    fuse_program_with(prog, ns, &mut cur);
+}
+
+/// Runs fusion with every candidate edge consulted as a choice point on
+/// the cursor's schedule. A site is only *queried* when the rewrite is
+/// actually applicable (all legality checks passed), so site numbering
+/// is the deterministic order in which applicable rewrites are found.
+pub fn fuse_program_with(prog: &mut Program, ns: &mut NameSource, cur: &mut ScheduleCursor) {
     for f in &mut prog.functions {
-        fuse_body(&mut f.body, ns);
+        fuse_body_with(&mut f.body, ns, cur);
     }
 }
 
 /// Runs fusion over one body (recursively into nested bodies).
 pub fn fuse_body(body: &mut Body, ns: &mut NameSource) {
+    let mut cur = ScheduleCursor::new(Schedule::default());
+    fuse_body_with(body, ns, &mut cur);
+}
+
+/// Runs fusion over one body under a schedule cursor.
+pub fn fuse_body_with(body: &mut Body, ns: &mut NameSource, cur: &mut ScheduleCursor) {
     for stm in &mut body.stms {
         for ib in stm.exp.inner_bodies_mut() {
-            fuse_body(ib, ns);
+            fuse_body_with(ib, ns, cur);
         }
     }
     for _ in 0..12 {
         // Fusion introduces copy bindings when composing lambdas; propagate
         // them so chained fusions see through them.
         crate::simplify::copy_propagate_body(body);
-        let mut changed = try_vertical_fusion(body, ns);
-        changed |= try_stream_reduce_fusion(body, ns);
-        changed |= try_horizontal_fusion(body, ns);
+        let mut changed = try_vertical_fusion(body, ns, cur);
+        changed |= try_stream_reduce_fusion(body, ns, cur);
+        changed |= try_horizontal_fusion(body, ns, cur);
         if !changed {
             break;
         }
@@ -89,7 +105,7 @@ fn soac_of(stm: &Stm) -> Option<&Soac> {
 
 // ---- Vertical fusion ----
 
-fn try_vertical_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
+fn try_vertical_fusion(body: &mut Body, ns: &mut NameSource, cur: &mut ScheduleCursor) -> bool {
     let counts = use_counts(body);
     for j in 0..body.stms.len() {
         let Some(Soac::Map { .. }) = soac_of(&body.stms[j]) else {
@@ -190,6 +206,11 @@ fn try_vertical_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
             continue;
         }
         if let Some(fused) = fuse_pair(&body.stms[j], &body.stms[k], ns) {
+            // A legal, profitable-by-heuristic fusion edge: this is the
+            // choice point. Declining leaves both statements in place.
+            if !cur.decide(ChoiceClass::FuseVertical) {
+                continue;
+            }
             if matches!(fused.exp, Exp::Soac(Soac::Redomap { .. })) {
                 futhark_trace::event("fusion.redomap");
             }
@@ -398,7 +419,7 @@ fn passthrough_map_lambda(
 
 // ---- Horizontal fusion ----
 
-fn try_horizontal_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
+fn try_horizontal_fusion(body: &mut Body, ns: &mut NameSource, cur: &mut ScheduleCursor) -> bool {
     for j in 0..body.stms.len() {
         let Some(Soac::Map { width: wj, .. }) = soac_of(&body.stms[j]) else {
             continue;
@@ -427,6 +448,10 @@ fn try_horizontal_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
                 continue;
             }
             if body.stms[j + 1..k].iter().any(is_consuming) {
+                continue;
+            }
+            // Legal horizontal merge: the choice point.
+            if !cur.decide(ChoiceClass::FuseHorizontal) {
                 continue;
             }
             // Merge k into j.
@@ -483,7 +508,11 @@ fn try_horizontal_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
 
 // ---- stream_map + reduce → stream_red (F3/F6, the Figure 10 outer step) ----
 
-fn try_stream_reduce_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
+fn try_stream_reduce_fusion(
+    body: &mut Body,
+    ns: &mut NameSource,
+    cur: &mut ScheduleCursor,
+) -> bool {
     let counts = use_counts(body);
     for j in 0..body.stms.len() {
         let Some(Soac::StreamMap { .. }) = soac_of(&body.stms[j]) else {
@@ -530,6 +559,10 @@ fn try_stream_reduce_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
             unreachable!()
         };
         if neutral.len() != 1 || slam.ret.len() != 1 {
+            continue;
+        }
+        // Legal stream_map+reduce edge: the choice point.
+        if !cur.decide(ChoiceClass::FuseStream) {
             continue;
         }
         let slam2 = alpha_rename_lambda(ns, slam);
@@ -611,6 +644,12 @@ fn try_stream_reduce_fusion(body: &mut Body, ns: &mut NameSource) -> bool {
 /// `reduce` (scalar result), are rewritten; the final reduce's value is the
 /// loop result.
 pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
+    let mut cur = ScheduleCursor::new(Schedule::default());
+    chain_to_loop_with(body, ns, &mut cur)
+}
+
+/// [`chain_to_loop`] with the rewrite consulted as a choice point.
+pub fn chain_to_loop_with(body: &mut Body, ns: &mut NameSource, cur: &mut ScheduleCursor) -> bool {
     let counts = use_counts(body);
     // Find a reduce whose input comes from a chain of single-use map/scan
     // statements.
@@ -667,6 +706,10 @@ pub fn chain_to_loop(body: &mut Body, ns: &mut NameSource) -> bool {
             .enumerate()
             .any(|(off, s)| !chain.contains(&(lo + off)) && is_consuming(s))
         {
+            continue;
+        }
+        // A collapsible chain exists: the choice point.
+        if !cur.decide(ChoiceClass::FuseChain) {
             continue;
         }
         // Build the loop.

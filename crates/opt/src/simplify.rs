@@ -6,6 +6,7 @@
 //! by the property tests in `tests/`), and all operate on one function at a
 //! time except inlining.
 
+use futhark_core::schedule::SimplifyToggles;
 use futhark_core::traverse::{alpha_rename_body, free_in_exp, Subst};
 use futhark_core::{
     BinOp, Body, Exp, FunDef, LoopForm, Name, NameSource, Program, Scalar, Soac, Stm, SubExp,
@@ -15,27 +16,49 @@ use std::collections::{HashMap, HashSet};
 
 /// Runs the full simplification pipeline to a fixed point (bounded).
 pub fn simplify_program(prog: &mut Program, ns: &mut NameSource) {
+    simplify_program_with(prog, ns, &SimplifyToggles::default());
+}
+
+/// Runs the simplification pipeline with only the scheduled rewrite
+/// families enabled. Inlining always runs — it is a prerequisite of
+/// fusion and flattening, not an optimisation choice.
+pub fn simplify_program_with(prog: &mut Program, ns: &mut NameSource, toggles: &SimplifyToggles) {
     inline_functions(prog, ns);
     for f in &mut prog.functions {
-        simplify_fun(f, ns);
+        simplify_fun_with(f, ns, toggles);
     }
 }
 
 /// Simplifies one function to a (bounded) fixed point.
-pub fn simplify_fun(f: &mut FunDef, _ns: &mut NameSource) {
+pub fn simplify_fun(f: &mut FunDef, ns: &mut NameSource) {
+    simplify_fun_with(f, ns, &SimplifyToggles::default());
+}
+
+/// Simplifies one function with only the scheduled rewrite families.
+pub fn simplify_fun_with(f: &mut FunDef, _ns: &mut NameSource, toggles: &SimplifyToggles) {
     for _ in 0..8 {
         let before = format!("{f}");
-        copy_propagate_body(&mut f.body);
-        constant_fold_body(&mut f.body);
-        cse_body(&mut f.body, &mut HashMap::new());
-        hoist_fun(f);
-        let keep: HashSet<Name> = f
-            .body
-            .result
-            .iter()
-            .filter_map(|se| se.as_var().cloned())
-            .collect();
-        dead_code_body(&mut f.body, &keep);
+        if toggles.copy_prop {
+            copy_propagate_body(&mut f.body);
+        }
+        if toggles.const_fold {
+            constant_fold_body(&mut f.body);
+        }
+        if toggles.cse {
+            cse_body(&mut f.body, &mut HashMap::new());
+        }
+        if toggles.hoist {
+            hoist_fun(f);
+        }
+        if toggles.dead_code {
+            let keep: HashSet<Name> = f
+                .body
+                .result
+                .iter()
+                .filter_map(|se| se.as_var().cloned())
+                .collect();
+            dead_code_body(&mut f.body, &keep);
+        }
         if format!("{f}") == before {
             break;
         }

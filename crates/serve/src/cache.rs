@@ -19,7 +19,7 @@
 //! many tenants, and their statistics must not bleed together).
 
 use crate::hash::Fnv1a;
-use futhark::{Compiled, DeviceProfile, PipelineOptions};
+use futhark::{Compiled, DeviceProfile, PipelineOptions, Schedule};
 use futhark_core::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -65,12 +65,17 @@ pub struct ArtifactCache {
 
 /// The content-addressed key of one compilation input.
 pub fn artifact_key(source: &str, opts: &PipelineOptions, device: &DeviceProfile) -> u64 {
+    artifact_key_sched(source, &opts.to_schedule(), device)
+}
+
+/// The content-addressed key of one compilation input, keyed on the full
+/// [`Schedule`]. The schedule's canonical label is collision-free by
+/// construction, so two distinct schedules can never share a key for the
+/// same source and device.
+pub fn artifact_key_sched(source: &str, sched: &Schedule, device: &DeviceProfile) -> u64 {
     let mut h = Fnv1a::default();
     h.update_str(source);
-    // The options label covers every optimisation switch; `check` is not
-    // part of the label, so fold it in separately.
-    h.update_str(&opts.label());
-    h.update(&[opts.check as u8]);
+    h.update_str(&sched.label());
     h.update_str(&device.name);
     h.update(&device.global_mem_bytes.to_le_bytes());
     h.update(&(device.num_cus as u64).to_le_bytes());

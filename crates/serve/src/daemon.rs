@@ -38,7 +38,7 @@
 //! All daemon locks recover from poison ([`crate::lock_ok`]): one
 //! panicking job thread must not wedge every future scrape.
 
-use crate::cache::{artifact_key, shape_signature, ArtifactCache, CacheStats};
+use crate::cache::{artifact_key_sched, shape_signature, ArtifactCache, CacheStats};
 use crate::lock_ok;
 use crate::metrics::{registry_json, registry_prometheus, GaugeSet, Metrics};
 use crate::proto::{self, ErrorKind, MetricsFormat, Request, Response, RunRequest, Span};
@@ -402,7 +402,14 @@ impl Daemon {
         self.record(&r.id, EventKind::Received);
         let mut spans = Vec::new();
         let class = self.class_profile().clone();
-        let key = artifact_key(&r.source, &r.options, &class);
+        // The effective schedule — explicit if the request carried one,
+        // otherwise derived from the options — keys the artifact cache,
+        // so two schedules for the same source occupy distinct entries.
+        let sched = r
+            .schedule
+            .clone()
+            .unwrap_or_else(|| r.options.to_schedule());
+        let key = artifact_key_sched(&r.source, &sched, &class);
 
         // Compile, or hit the artifact cache. The lock is held only for
         // the lookup/insert, not for compilation — concurrent misses of
@@ -413,7 +420,7 @@ impl Daemon {
             Some(a) => (a, true),
             None => {
                 let t0 = Instant::now();
-                let compiled = Compiler::with_options(r.options).compile(&r.source);
+                let compiled = Compiler::with_schedule(sched.clone()).compile(&r.source);
                 let us = t0.elapsed().as_secs_f64() * 1e6;
                 match compiled {
                     Ok(c) => {

@@ -29,15 +29,16 @@
 //! errors include `predicted_peak_bytes` and the best device `capacity`
 //! the job did not fit.
 
-use futhark::{PipelineOptions, SimEngine};
+use futhark::{schedule_from_json, PipelineOptions, Schedule, SimEngine};
 use futhark_core::{ArrayVal, Buffer, Scalar, ScalarType, Value};
 use futhark_trace::Json;
 
 /// A parsed client request.
 #[derive(Debug, Clone)]
 pub enum Request {
-    /// Compile-and-execute.
-    Run(RunRequest),
+    /// Compile-and-execute (boxed: a run carries source, args, and an
+    /// optional schedule, far larger than the control-plane variants).
+    Run(Box<RunRequest>),
     /// Server counters.
     Stats {
         /// Correlation id.
@@ -81,6 +82,10 @@ pub struct RunRequest {
     pub args: Vec<Value>,
     /// Pipeline configuration (defaults to everything on).
     pub options: PipelineOptions,
+    /// Explicit compilation schedule. When present it subsumes
+    /// `options`; when absent the pipeline derives the schedule from
+    /// `options` (the default schedule for default options).
+    pub schedule: Option<Schedule>,
     /// Host worker threads for group execution (default 1 — a server
     /// parallelises across jobs, not within them).
     pub threads: usize,
@@ -366,6 +371,13 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
                     .ok_or_else(|| (id.clone(), "run: malformed \"options\"".to_string()))?,
                 None => PipelineOptions::default(),
             };
+            let schedule = match j.get("schedule") {
+                Some(s) => Some(
+                    schedule_from_json(s)
+                        .map_err(|e| (id.clone(), format!("run: malformed \"schedule\": {e}")))?,
+                ),
+                None => None,
+            };
             let threads = match j.get("threads") {
                 Some(t) => t
                     .as_u64()
@@ -383,15 +395,16 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
                 }
             };
             let profile = matches!(j.get("profile"), Some(Json::Bool(true)));
-            Ok(Request::Run(RunRequest {
+            Ok(Request::Run(Box::new(RunRequest {
                 id,
                 source,
                 args,
                 options,
+                schedule,
                 threads,
                 engine,
                 profile,
-            }))
+            })))
         }
         other => Err((id, format!("unknown op {other:?}"))),
     }

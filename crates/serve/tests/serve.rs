@@ -118,6 +118,67 @@ fn options_are_part_of_the_cache_key() {
     assert_eq!(d.stats().cache.misses, 2);
 }
 
+/// Schedules are part of the cache key: two schedules for the same
+/// source occupy distinct cache entries, an explicit default schedule
+/// shares the implicit default's entry, and every schedule computes the
+/// same outputs.
+#[test]
+fn schedules_occupy_distinct_cache_entries() {
+    use futhark::Schedule;
+    let d = daemon(1);
+    let line_with_schedule = |id: &str, sched: &Schedule| {
+        let xs: Vec<String> = (0..32).map(|i| (i * 7 % 1001).to_string()).collect();
+        format!(
+            r#"{{"op":"run","id":"{id}","source":{},"args":[{{"i64":32}},{{"array":{{"elem":"i64","shape":[32],"data":[{}]}}}}],"schedule":{}}}"#,
+            quote(MAP_SRC),
+            xs.join(","),
+            quote(&sched.label())
+        )
+    };
+    let default = Schedule::default();
+    let unfused = Schedule {
+        fusion_pass: false,
+        ..Schedule::default()
+    };
+
+    // Implicit default compiles once…
+    let implicit = parse(&d.handle_line(&run_line("a", MAP_SRC, 32, true)));
+    assert_eq!(implicit.get("cache").and_then(Json::as_str), Some("miss"));
+    // …and an explicit default schedule is the *same* artifact: a hit.
+    let explicit = parse(&d.handle_line(&line_with_schedule("b", &default)));
+    assert_eq!(
+        explicit.get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "explicit default schedule must share the implicit entry"
+    );
+    // A different schedule for the same source is a different artifact.
+    let other = parse(&d.handle_line(&line_with_schedule("c", &unfused)));
+    assert_eq!(
+        other.get("cache").and_then(Json::as_str),
+        Some("miss"),
+        "a distinct schedule must occupy a distinct cache entry"
+    );
+    // …which is itself cached under its own key.
+    let again = parse(&d.handle_line(&line_with_schedule("d", &unfused)));
+    assert_eq!(again.get("cache").and_then(Json::as_str), Some("hit"));
+
+    // Both entries live side by side and agree on outputs.
+    let stats = d.stats();
+    assert_eq!(stats.cache.misses, 2);
+    assert_eq!(stats.cache.hits, 2);
+    assert_eq!(implicit.get("outputs"), other.get("outputs"));
+    assert_eq!(other.get("outputs"), again.get("outputs"));
+
+    // A malformed schedule label is a protocol error, not a daemon death.
+    let bad = format!(
+        r#"{{"op":"run","id":"e","source":{},"args":[{{"i64":4}},{{"array":{{"elem":"i64","shape":[4],"data":[1,2,3,4]}}}}],"schedule":"sched1,bogus"}}"#,
+        quote(MAP_SRC)
+    );
+    let j = parse(&d.handle_line(&bad));
+    assert_eq!(j.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(j.get("kind").and_then(Json::as_str), Some("protocol"));
+}
+
 /// Concurrent mixed-tenant load produces bit-identical responses to the
 /// same jobs run sequentially: no cross-request state (engine, thread
 /// count, uniform tallies, cache) bleeds between tenants.
